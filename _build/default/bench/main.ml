@@ -1,0 +1,530 @@
+(* Benchmark harness regenerating every table/figure of the paper's
+   evaluation (Section V), plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe                 -- everything, fast settings
+     dune exec bench/main.exe -- --full       -- longer windows/budgets
+     dune exec bench/main.exe -- --only fig12,abl-opt
+
+   Absolute numbers differ from the paper's testbeds (see EXPERIMENTS.md);
+   the shapes -- who wins where, where the existing compiler fails, where
+   the monolithic product blows up -- are the reproduction targets. *)
+
+open Preo_support
+
+let sections =
+  [ "fig12"; "fig13"; "fig13-blowup"; "abl-opt"; "abl-cache"; "abl-part"; "micro" ]
+
+type opts = { full : bool; only : string list; detail : bool }
+
+let parse_args () =
+  let full = ref false and only = ref [] and detail = ref false in
+  let set_only s = only := String.split_on_char ',' s in
+  let spec =
+    [
+      ("--full", Arg.Set full, " longer measurement windows and budgets");
+      ("--only", Arg.String set_only,
+       "SECTIONS comma-separated subset of: " ^ String.concat "," sections);
+      ("--detail", Arg.Set detail, " per-connector detail for fig12");
+    ]
+  in
+  Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
+    "preo benchmark harness";
+  { full = !full; only = !only; detail = !detail }
+
+let wants opts name = opts.only = [] || List.mem name opts.only
+
+(* ------------------------------------------------------------------ *)
+(* FIG12: connector benchmarks                                          *)
+(* ------------------------------------------------------------------ *)
+
+type cell =
+  | C_rate of float * float  (* steps/s, compile seconds *)
+  | C_compile_failed
+  | C_run_failed of string
+
+let fig12_cell ~window ~config entry n =
+  match Preo_connectors.Driver.run_noop ~config ~seconds:window entry ~n with
+  | Preo_connectors.Driver.Steps { steps; compile_seconds; run_seconds } ->
+    C_rate (float_of_int steps /. run_seconds, compile_seconds)
+  | Preo_connectors.Driver.Compile_failed _ -> C_compile_failed
+  | Preo_connectors.Driver.Run_failed msg -> C_run_failed msg
+
+type verdict =
+  | New_only  (* new compiles/runs where existing fails: Fig. 12 dotted *)
+  | New_wins  (* dark gray *)
+  | Exist_wins_1  (* medium gray: <= 1 order of magnitude *)
+  | Exist_wins_2  (* light gray: more than 1 order *)
+  | New_failed
+  | Both_failed
+
+let verdict_name = function
+  | New_only -> "new-compiles-existing-fails"
+  | New_wins -> "new-outperforms"
+  | Exist_wins_1 -> "existing-wins-up-to-10x"
+  | Exist_wins_2 -> "existing-wins-more-than-10x"
+  | New_failed -> "new-fails"
+  | Both_failed -> "both-fail"
+
+let judge existing new_ =
+  match (existing, new_) with
+  | (C_compile_failed | C_run_failed _), C_rate _ -> New_only
+  | C_rate _, (C_compile_failed | C_run_failed _) -> New_failed
+  | (C_compile_failed | C_run_failed _), (C_compile_failed | C_run_failed _) ->
+    Both_failed
+  | C_rate (re, _), C_rate (rn, _) ->
+    if rn >= re then New_wins
+    else if re /. rn <= 10.0 then Exist_wins_1
+    else Exist_wins_2
+
+let cell_str = function
+  | C_rate (r, _) -> Printf.sprintf "%.0f/s" r
+  | C_compile_failed -> "COMPILE-FAIL"
+  | C_run_failed _ -> "RUN-FAIL"
+
+let fig12 opts =
+  let window = if opts.full then 1.0 else 0.12 in
+  let ns = [ 2; 4; 8; 16; 32; 64 ] in
+  let existing_config =
+    if opts.full then Preo_runtime.Config.existing
+    else Preo_runtime.Config.existing_states 50_000
+  in
+  Tablefmt.rule "FIG12: connector benchmarks (steps per second, no-op tasks)";
+  Printf.printf
+    "existing = full ahead-of-time composition (+dispatch +command opts)\n\
+     new      = medium automata + just-in-time composition\n\
+     window   = %.2fs per cell\n\n"
+    window;
+  let tally : (int * verdict, int) Hashtbl.t = Hashtbl.create 64 in
+  let bump n v =
+    Hashtbl.replace tally (n, v)
+      (1 + try Hashtbl.find tally (n, v) with Not_found -> 0)
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (e : Preo_connectors.Catalog.entry) ->
+      List.iter
+        (fun n ->
+          let existing = fig12_cell ~window ~config:existing_config e n in
+          let new_ = fig12_cell ~window ~config:Preo_runtime.Config.new_jit e n in
+          let v = judge existing new_ in
+          bump n v;
+          Printf.eprintf "[fig12] %-16s N=%-3d existing=%-13s new=%-10s %s\n%!"
+            e.name n (cell_str existing) (cell_str new_) (verdict_name v);
+          rows :=
+            [
+              e.name;
+              string_of_int n;
+              cell_str existing;
+              cell_str new_;
+              (match (existing, new_) with
+               | C_rate (re, _), C_rate (rn, _) -> Printf.sprintf "%.2f" (rn /. re)
+               | _ -> "-");
+              verdict_name v;
+            ]
+            :: !rows)
+        ns)
+    Preo_connectors.Catalog.all;
+  if opts.detail then
+    Tablefmt.print
+      ~header:[ "connector"; "N"; "existing"; "new"; "new/existing"; "verdict" ]
+      (List.rev !rows);
+  (* Per-N summary (the bar chart of Fig. 12). *)
+  let verdicts = [ New_only; New_wins; Exist_wins_1; Exist_wins_2; New_failed; Both_failed ] in
+  Tablefmt.print
+    ~header:("N" :: List.map verdict_name verdicts)
+    (List.map
+       (fun n ->
+         string_of_int n
+         :: List.map
+              (fun v ->
+                string_of_int (try Hashtbl.find tally (n, v) with Not_found -> 0))
+              verdicts)
+       ns);
+  (* Overall pie (the pie chart of Fig. 12). *)
+  let totals =
+    List.map
+      (fun v ->
+        ( v,
+          Hashtbl.fold (fun (_, v') c acc -> if v' = v then acc + c else acc) tally 0 ))
+      verdicts
+  in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 totals in
+  Printf.printf "\nOverall (%d connector/N cells; paper: 8%% / 42%% / 42%% / 8%%):\n" total;
+  List.iter
+    (fun (v, c) ->
+      if c > 0 then
+        Printf.printf "  %-28s %3d  (%.0f%%)\n" (verdict_name v) c
+          (100.0 *. float_of_int c /. float_of_int total))
+    totals
+
+(* ------------------------------------------------------------------ *)
+(* FIG13: NPB                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type kernel_run = {
+  kr_value : float;
+  kr_seconds : float;
+  kr_steps : int;
+  kr_dnf : bool;
+}
+
+let run_kernel ~kernel ~comm ~cls ~nslaves ~timeout =
+  let result = ref None in
+  let t =
+    Preo_runtime.Task.spawn (fun () ->
+        let v =
+          match kernel with
+          | `Cg ->
+            let r = Preo_npb.Cg.run ~comm ~cls ~nslaves in
+            (r.Preo_npb.Cg.zeta, r.seconds, r.comm_steps)
+          | `Lu ->
+            let r = Preo_npb.Lu.run ~comm ~cls ~nslaves in
+            (r.Preo_npb.Lu.residual, r.seconds, r.comm_steps)
+          | `Ep ->
+            let r = Preo_npb.Ep.run ~comm ~cls ~nslaves in
+            (r.Preo_npb.Ep.estimate, r.seconds, r.comm_steps)
+          | `Is ->
+            let r = Preo_npb.Is.run ~comm ~cls ~nslaves in
+            (r.Preo_npb.Is.checksum, r.seconds, r.comm_steps)
+          | `Mg ->
+            let r = Preo_npb.Mg.run ~comm ~cls ~nslaves in
+            (r.Preo_npb.Mg.norm, r.seconds, r.comm_steps)
+        in
+        result := Some v)
+  in
+  (* Watchdog: abort the communication layer if the kernel overruns. *)
+  let deadline = Clock.now () +. timeout in
+  let aborted = ref false in
+  let rec wait () =
+    if !result <> None then ()
+    else if Clock.now () > deadline then begin
+      aborted := true;
+      comm.Preo_npb.Comm.abort ()
+    end
+    else begin
+      Thread.delay 0.05;
+      wait ()
+    end
+  in
+  wait ();
+  (try Preo_runtime.Task.join t with _ -> ());
+  comm.Preo_npb.Comm.finish ();
+  match !result with
+  | Some (v, s, st) when not !aborted ->
+    { kr_value = v; kr_seconds = s; kr_steps = st; kr_dnf = false }
+  | _ -> { kr_value = nan; kr_seconds = timeout; kr_steps = 0; kr_dnf = true }
+
+let fig13 opts =
+  let classes =
+    if opts.full then [ Preo_npb.Workloads.S; W; A; C ]
+    else [ Preo_npb.Workloads.S; C ]
+  in
+  let ns = [ 2; 4; 8 ] in
+  let timeout = if opts.full then 120.0 else 60.0 in
+  Tablefmt.rule "FIG13: NAS Parallel Benchmarks (total run time, seconds)";
+  Printf.printf
+    "orig = hand-written synchronization; reo = generated connectors (new \
+     approach).\n\
+     Single-core testbed: compare the orig/reo ratio per row, not scaling \
+     across N.\n\n";
+  let rows = ref [] in
+  List.iter
+    (fun kernel ->
+      let kname =
+        match kernel with
+        | `Cg -> "CG" | `Lu -> "LU" | `Ep -> "EP" | `Is -> "IS" | `Mg -> "MG"
+      in
+      List.iter
+        (fun cls ->
+          List.iter
+            (fun n ->
+              let orig =
+                run_kernel ~kernel ~comm:(Preo_npb.Comm.hand ~nslaves:n) ~cls
+                  ~nslaves:n ~timeout
+              in
+              let reo =
+                run_kernel ~kernel ~comm:(Preo_npb.Comm.reo ~nslaves:n ()) ~cls
+                  ~nslaves:n ~timeout
+              in
+              rows :=
+                [
+                  kname;
+                  Preo_npb.Workloads.cls_name cls;
+                  string_of_int n;
+                  Printf.sprintf "%.3f" orig.kr_seconds;
+                  (if reo.kr_dnf then "DNF" else Printf.sprintf "%.3f" reo.kr_seconds);
+                  (if reo.kr_dnf then "-"
+                   else Printf.sprintf "%.2f" (reo.kr_seconds /. orig.kr_seconds));
+                  string_of_int reo.kr_steps;
+                  (if reo.kr_dnf then "-"
+                   else if orig.kr_value = reo.kr_value then "ok"
+                   else "MISMATCH");
+                ]
+                :: !rows)
+            ns)
+        classes)
+    [ `Cg; `Lu; `Mg; `Is; `Ep ];
+  Tablefmt.print
+    ~header:[ "kernel"; "class"; "N"; "orig(s)"; "reo(s)"; "reo/orig"; "steps"; "verify" ]
+    (List.rev !rows)
+
+let fig13_blowup opts =
+  Tablefmt.rule
+    "FIG13 finding 3: textbook-synchronous product blows up for N >= 16";
+  Printf.printf
+    "CG class S under the fully synchronous product (joint independent \
+     firings,\n\
+     as in the paper's implementation): states acquire exponentially many\n\
+     transitions and runs stop terminating. The interleaving product and \
+     the\n\
+     partitioned runtime (the paper's proposed fix, implemented here) both\n\
+     stay fine.\n\n";
+  let timeout = if opts.full then 30.0 else 10.0 in
+  let ns = [ 4; 8; 16 ] in
+  let variants =
+    [
+      ("reo-synchronous",
+       fun n ->
+         Preo_npb.Comm.reo
+           ~config:(Preo_runtime.Config.synchronous_of Preo_runtime.Config.new_jit)
+           ~nslaves:n ());
+      ("reo-interleaved", fun n -> Preo_npb.Comm.reo ~nslaves:n ());
+      ("reo-partitioned",
+       fun n ->
+         Preo_npb.Comm.reo ~config:Preo_runtime.Config.new_partitioned ~nslaves:n ());
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (vname, mk) ->
+            let r =
+              run_kernel ~kernel:`Cg ~comm:(mk n) ~cls:Preo_npb.Workloads.S
+                ~nslaves:n ~timeout
+            in
+            [
+              vname;
+              string_of_int n;
+              (if r.kr_dnf then Printf.sprintf "DNF(>%.0fs)" timeout
+               else Printf.sprintf "%.3f" r.kr_seconds);
+            ])
+          variants)
+      ns
+  in
+  Tablefmt.print ~header:[ "variant"; "N"; "time(s)" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let abl_opt opts =
+  Tablefmt.rule "ABL-OPT: the two existing-compiler optimizations (paper V-B)";
+  Printf.printf
+    "Reason 1 (command precompilation [30]) and reason 2 (whole-automaton\n\
+     dispatch [19]), measured on the sequencer connector at N=8.\n\n";
+  let window = if opts.full then 1.0 else 0.2 in
+  let e = Preo_connectors.Catalog.find "sequencer" in
+  let existing ~dispatch ~commands =
+    Preo_runtime.Config.Existing
+      { use_dispatch = dispatch; optimize_labels = commands;
+        max_states = 200_000; max_trans = 2_000_000;
+        max_compile_seconds = 30.0; true_synchronous = false }
+  in
+  let jit ~commands =
+    Preo_runtime.Config.New
+      { optimize_labels = commands; cache_capacity = 0;
+        expansion_budget = 2_000_000; partition = false;
+        true_synchronous = false }
+  in
+  let cases =
+    [
+      ("existing (+dispatch +commands)", existing ~dispatch:true ~commands:true);
+      ("existing (-dispatch +commands)", existing ~dispatch:false ~commands:true);
+      ("existing (+dispatch -commands)", existing ~dispatch:true ~commands:false);
+      ("existing (-dispatch -commands)", existing ~dispatch:false ~commands:false);
+      ("new (+commands at expansion)", jit ~commands:true);
+      ("new (-commands: solve every firing)", jit ~commands:false);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, config) ->
+        match Preo_connectors.Driver.run_noop ~config ~seconds:window e ~n:8 with
+        | Preo_connectors.Driver.Steps { steps; run_seconds; _ } ->
+          [ name; Printf.sprintf "%.0f" (float_of_int steps /. run_seconds) ]
+        | _ -> [ name; "fail" ])
+      cases
+  in
+  Tablefmt.print ~header:[ "configuration"; "steps/s" ] rows
+
+let abl_cache opts =
+  Tablefmt.rule "ABL-CACHE: bounded JIT state cache (paper's future work)";
+  Printf.printf
+    "relay_ring at N=6 revisits many product states; a bounded LRU cache\n\
+     trades recomputation for memory.\n\n";
+  let window = if opts.full then 1.0 else 0.25 in
+  let e = Preo_connectors.Catalog.find "relay_ring" in
+  let rows =
+    List.map
+      (fun cap ->
+        let config = Preo_runtime.Config.new_jit_cached cap in
+        let compiled = Preo_connectors.Catalog.compiled e in
+        let inst = Preo.instantiate ~config compiled ~lengths:(e.Preo_connectors.Catalog.lengths 6) in
+        let conn = Preo.connector inst in
+        let outs = Preo.outports inst "tl" in
+        let ins = Preo.inports inst "hd" in
+        let threads =
+          List.init 6 (fun i ->
+              Preo_runtime.Task.spawn (fun () ->
+                  while true do
+                    ignore (Preo.Port.recv ins.(i));
+                    Preo.Port.send outs.(i) Value.unit
+                  done))
+        in
+        Thread.delay window;
+        let steps = Preo.steps inst in
+        Preo.shutdown inst;
+        List.iter (fun t -> try Preo_runtime.Task.join t with _ -> ()) threads;
+        [
+          (if cap = 0 then "unbounded" else string_of_int cap);
+          Printf.sprintf "%.0f" (float_of_int steps /. window);
+          string_of_int (Preo_runtime.Connector.cache_evictions conn);
+        ])
+      [ 2; 8; 64; 512; 0 ]
+  in
+  Tablefmt.print ~header:[ "cache capacity"; "steps/s"; "evictions" ] rows
+
+let abl_part opts =
+  Tablefmt.rule
+    "ABL-PART: partitioned multi-engine runtime (DESIGN.md extension)";
+  Printf.printf
+    "relay_ring (a deep fifo pipeline) under one monolithic JIT engine vs.\n\
+     the connector split at internal fifos into one engine per region.\n\n";
+  let window = if opts.full then 1.0 else 0.25 in
+  let e = Preo_connectors.Catalog.find "relay_ring" in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (vname, config) ->
+            let compiled = Preo_connectors.Catalog.compiled e in
+            let inst =
+              Preo.instantiate ~config compiled
+                ~lengths:(e.Preo_connectors.Catalog.lengths n)
+            in
+            let outs = Preo.outports inst "tl" in
+            let ins = Preo.inports inst "hd" in
+            let threads =
+              List.init n (fun i ->
+                  Preo_runtime.Task.spawn (fun () ->
+                      while true do
+                        ignore (Preo.Port.recv ins.(i));
+                        Preo.Port.send outs.(i) Value.unit
+                      done))
+            in
+            Thread.delay window;
+            let steps = Preo.steps inst in
+            let regions = Preo.Connector.nregions (Preo.connector inst) in
+            Preo.shutdown inst;
+            List.iter (fun t -> try Preo_runtime.Task.join t with _ -> ()) threads;
+            [
+              vname;
+              string_of_int n;
+              string_of_int regions;
+              Printf.sprintf "%.0f" (float_of_int steps /. window);
+            ])
+          [
+            ("monolithic-jit", Preo_runtime.Config.new_jit);
+            ("partitioned", Preo_runtime.Config.new_partitioned);
+          ])
+      [ 4; 8; 16 ]
+  in
+  Tablefmt.print ~header:[ "runtime"; "N"; "regions"; "steps/s" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro _opts =
+  Tablefmt.rule "MICRO: bechamel latencies";
+  let open Bechamel in
+  let fig5_graph = (Preo_reo.Figures.fig5 ()).Preo_reo.Figures.graph in
+  let a = Preo_automata.Vertex.fresh "ma" and b = Preo_automata.Vertex.fresh "mb" in
+  let constr =
+    Preo_automata.Constr.
+      [ Port b === App ("incr", Port a); pred "positive" (Port a) ]
+  in
+  let readable = Iset.of_list [ a ] and writable = Iset.of_list [ b ] in
+  let fifo_entry = Preo_connectors.Catalog.find "broadcast_fifo" in
+  let fifo_compiled = Preo_connectors.Catalog.compiled fifo_entry in
+  let inst =
+    Preo.instantiate ~config:Preo_runtime.Config.new_jit fifo_compiled
+      ~lengths:[ ("hd", 1) ]
+  in
+  let out = (Preo.outports inst "tl").(0) in
+  let inp = (Preo.inports inst "hd").(0) in
+  let s1 = Iset.of_list [ 1; 5; 9; 12 ] and s2 = Iset.of_list [ 3; 5; 12; 40 ] in
+  let tests =
+    Test.make_grouped ~name:"micro" ~fmt:"%s %s"
+      [
+        Test.make ~name:"engine: fifo send+recv roundtrip (2 steps)"
+          (Staged.stage (fun () ->
+               Preo.Port.send out Value.unit;
+               ignore (Preo.Port.recv inp)));
+        Test.make ~name:"command: solve transform constraint"
+          (Staged.stage (fun () ->
+               ignore (Preo_automata.Command.solve ~readable ~writable constr)));
+        Test.make ~name:"iset: union+inter (4-element sets)"
+          (Staged.stage (fun () -> ignore (Iset.inter (Iset.union s1 s2) s1)));
+        Test.make ~name:"product: fig5 large automaton"
+          (Staged.stage (fun () ->
+               ignore (Preo_reo.Graph.to_large_automaton fig5_graph)));
+        Test.make ~name:"runtime share: instantiate broadcast_fifo N=8"
+          (Staged.stage (fun () ->
+               let bindings, _, _ =
+                 Preo_lang.Eval.boundary_of_def fifo_compiled.Preo.def
+                   ~lengths:[ ("hd", 8) ]
+               in
+               let venv = Preo_lang.Eval.venv ~ints:[] ~arrays:bindings in
+               ignore
+                 (Preo_lang.Template.instantiate fifo_compiled.Preo.template venv)));
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let est =
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) -> Printf.sprintf "%.0f ns" t
+          | _ -> "?"
+        in
+        [ name; est ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  Tablefmt.print ~header:[ "operation"; "time/run" ] rows;
+  Preo.shutdown inst
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let opts = parse_args () in
+  let t0 = Clock.now () in
+  if wants opts "fig12" then fig12 opts;
+  if wants opts "fig13" then fig13 opts;
+  if wants opts "fig13-blowup" then fig13_blowup opts;
+  if wants opts "abl-opt" then abl_opt opts;
+  if wants opts "abl-cache" then abl_cache opts;
+  if wants opts "abl-part" then abl_part opts;
+  if wants opts "micro" then micro opts;
+  Printf.printf "\nbench total: %.1fs\n" (Clock.now () -. t0)

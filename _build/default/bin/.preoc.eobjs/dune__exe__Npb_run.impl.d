@@ -1,0 +1,1 @@
+bin/npb_run.ml: Array Preo_npb Preo_runtime Printf Sys

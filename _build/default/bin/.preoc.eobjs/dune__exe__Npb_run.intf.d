@@ -1,0 +1,1 @@
+bin/npb_run.mli:

@@ -1,0 +1,1 @@
+bin/preoc.ml: Array Buffer Format Fun Hashtbl List Preo Preo_automata Preo_connectors Preo_lang Preo_reo Preo_runtime Preo_support Preo_verify Printf String Sys Thread

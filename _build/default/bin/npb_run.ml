@@ -1,0 +1,64 @@
+(* npb_run: run one NPB kernel from the command line.
+
+     npb_run KERNEL CLASS NSLAVES [orig|reo|reo-partitioned|reo-sync]
+
+     npb_run cg C 4 reo
+     npb_run lu S 8 orig
+*)
+
+let usage () =
+  prerr_endline
+    "usage: npb_run {cg|lu|ep|is|mg} {S|W|A|C} NSLAVES [orig|reo|reo-partitioned|reo-sync]";
+  exit 2
+
+let () =
+  let kernel, cls, n, variant =
+    match Array.to_list Sys.argv with
+    | _ :: k :: c :: n :: rest ->
+      let cls =
+        match Preo_npb.Workloads.cls_of_string c with
+        | Some cls -> cls
+        | None -> usage ()
+      in
+      let v = match rest with [] -> "reo" | v :: _ -> v in
+      (k, cls, int_of_string n, v)
+    | _ -> usage ()
+  in
+  let comm =
+    match variant with
+    | "orig" -> Preo_npb.Comm.hand ~nslaves:n
+    | "reo" -> Preo_npb.Comm.reo ~nslaves:n ()
+    | "reo-partitioned" ->
+      Preo_npb.Comm.reo ~config:Preo_runtime.Config.new_partitioned ~nslaves:n ()
+    | "reo-sync" ->
+      Preo_npb.Comm.reo
+        ~config:(Preo_runtime.Config.synchronous_of Preo_runtime.Config.new_jit)
+        ~nslaves:n ()
+    | _ -> usage ()
+  in
+  match kernel with
+  | "cg" ->
+    let r = Preo_npb.Cg.run ~comm ~cls ~nslaves:n in
+    Printf.printf "CG class %s N=%d %s: zeta=%.10f in %.3fs (%d connector steps)\n"
+      (Preo_npb.Workloads.cls_name cls) n variant r.zeta r.seconds r.comm_steps
+  | "lu" ->
+    let r = Preo_npb.Lu.run ~comm ~cls ~nslaves:n in
+    Printf.printf
+      "LU class %s N=%d %s: residual=%.10f in %.3fs (%d connector steps)\n"
+      (Preo_npb.Workloads.cls_name cls) n variant r.residual r.seconds
+      r.comm_steps
+  | "is" ->
+    let r = Preo_npb.Is.run ~comm ~cls ~nslaves:n in
+    Printf.printf "IS class %s N=%d %s: checksum=%.3f in %.3fs (%d connector steps)\n"
+      (Preo_npb.Workloads.cls_name cls) n variant r.checksum r.seconds
+      r.comm_steps
+  | "mg" ->
+    let r = Preo_npb.Mg.run ~comm ~cls ~nslaves:n in
+    Printf.printf "MG class %s N=%d %s: norm=%.6f in %.3fs (%d connector steps)\n"
+      (Preo_npb.Workloads.cls_name cls) n variant r.norm r.seconds r.comm_steps
+  | "ep" ->
+    let r = Preo_npb.Ep.run ~comm ~cls ~nslaves:n in
+    Printf.printf "EP class %s N=%d %s: pi~%.6f in %.3fs (%d connector steps)\n"
+      (Preo_npb.Workloads.cls_name cls) n variant r.estimate r.seconds
+      r.comm_steps
+  | _ -> usage ()

@@ -1,0 +1,293 @@
+(* preoc: command-line front end for the connector DSL.
+
+     preoc check FILE                  parse + semantic check
+     preoc print FILE                  pretty-print the parsed program
+     preoc fmt FILE                    reformat a protocol file (canonical form)
+     preoc flatten FILE CONN           flatten one definition
+     preoc eval FILE CONN K=N ...      list the primitives for concrete sizes
+     preoc automaton FILE CONN K=N ... compose and print the large automaton
+     preoc dot FILE CONN K=N ...       Graphviz of the large automaton
+     preoc graph FILE CONN K=N ...     Graphviz of the connector data flow
+     preoc trace FILE CONN K=N ...     run 1s with port spammers, print fired steps
+     preoc verify FILE CONN K=N ... [--prop P]
+                                       deadlock/property check the composition
+     preoc template FILE CONN          show the compile-time share
+     preoc emit FILE CONN              generate a standalone OCaml module
+     preoc simulate FILE CONN K=N ...  run with port-spamming tasks for 1s
+     preoc catalog                     list the built-in connector families
+*)
+
+module Ast = Preo_lang.Ast
+module Parser = Preo_lang.Parser
+module Eval = Preo_lang.Eval
+module Template = Preo_lang.Template
+module Iset = Preo_support.Iset
+module Automaton = Preo_automata.Automaton
+module Product = Preo_automata.Product
+module Verify = Preo_verify.Verify
+
+let usage () =
+  prerr_endline
+    "usage: preoc \
+     {check|print|flatten|eval|automaton|dot|verify|template|simulate} FILE \
+     [CONNECTOR] [ARR=N ...]\n\
+     \       preoc catalog";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_lengths args =
+  List.map
+    (fun s ->
+      match String.index_opt s '=' with
+      | Some i ->
+        ( String.sub s 0 i,
+          int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+      | None -> failwith (s ^ ": expected ARR=N"))
+    args
+
+let compiled path name = Preo.compile ~source:(read_file path) ~name
+
+let large_automaton_full c lengths =
+  let bindings, sources, sinks = Eval.boundary_of_def c.Preo.def ~lengths in
+  let venv = Eval.venv ~ints:[] ~arrays:bindings in
+  let prims = Eval.prims venv c.Preo.flat.Ast.c_body in
+  let large = Product.all (Eval.small_automata prims) in
+  let keep = Iset.of_list (Array.to_list sources @ Array.to_list sinks) in
+  ( Automaton.trim
+      (Automaton.hide (Iset.diff large.Automaton.vertices keep) large),
+    bindings )
+
+let large_automaton c lengths = fst (large_automaton_full c lengths)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "catalog" :: _ ->
+    List.iter
+      (fun (e : Preo_connectors.Catalog.entry) ->
+        Printf.printf "%-16s %s\n" e.name e.description)
+      Preo_connectors.Catalog.all
+  | _ :: "check" :: path :: _ ->
+    ignore (Preo.parse_check (read_file path));
+    print_endline "ok"
+  | _ :: "print" :: path :: _ ->
+    Format.printf "%a@." Ast.pp_program (Preo.parse_check (read_file path))
+  | _ :: "fmt" :: path :: _ ->
+    (* parse (without semantic checks, so fragments format too) and print *)
+    let p =
+      try Parser.program (read_file path)
+      with Parser.Error (msg, line) ->
+        Printf.eprintf "parse error (line %d): %s\n" line msg;
+        exit 2
+    in
+    Format.printf "%a@." Ast.pp_program p
+  | _ :: "flatten" :: path :: name :: _ ->
+    let c = compiled path name in
+    Format.printf "%a@." Ast.pp_conn_def c.Preo.flat
+  | _ :: "template" :: path :: name :: _ ->
+    let c = compiled path name in
+    Printf.printf
+      "compile-time share of %s: %d static medium template(s), %d \
+       dynamic-arity constituent(s)\n"
+      name
+      (Template.count_static_mediums c.Preo.template)
+      (Template.count_dynamic_mediums c.Preo.template)
+  | _ :: "emit" :: path :: name :: _ ->
+    let c = compiled path name in
+    print_string
+      (Preo_lang.Codegen.connector
+         ~module_comment:(Printf.sprintf "Connector %s from %s" name path)
+         c.Preo.template)
+  | _ :: "eval" :: path :: name :: rest ->
+    let c = compiled path name in
+    let bindings, _, _ =
+      Eval.boundary_of_def c.Preo.def ~lengths:(parse_lengths rest)
+    in
+    let venv = Eval.venv ~ints:[] ~arrays:bindings in
+    List.iter
+      (fun (p : Eval.prim_inst) ->
+        Printf.printf "%s(%s;%s)\n"
+          (Preo_reo.Prim.kind_name p.pi_kind)
+          (String.concat ","
+             (List.map Preo_automata.Vertex.name p.pi_tails))
+          (String.concat ","
+             (List.map Preo_automata.Vertex.name p.pi_heads)))
+      (Eval.prims venv c.Preo.flat.Ast.c_body)
+  | _ :: "automaton" :: path :: name :: rest ->
+    let large = large_automaton (compiled path name) (parse_lengths rest) in
+    Format.printf "%a@." Automaton.pp large
+  | _ :: "graph" :: path :: name :: rest ->
+    (* Dataflow rendering: vertices as circles, primitives as boxes. *)
+    let c = compiled path name in
+    let bindings, sources, sinks =
+      Eval.boundary_of_def c.Preo.def ~lengths:(parse_lengths rest)
+    in
+    let venv = Eval.venv ~ints:[] ~arrays:bindings in
+    let prims = Eval.prims venv c.Preo.flat.Ast.c_body in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n" name);
+    let vertex_attrs v =
+      let vname = Preo_automata.Vertex.name v in
+      let shape =
+        if Array.exists (Preo_automata.Vertex.equal v) sources then
+          ",style=filled,fillcolor=lightblue"
+        else if Array.exists (Preo_automata.Vertex.equal v) sinks then
+          ",style=filled,fillcolor=lightsalmon"
+        else ""
+      in
+      Printf.sprintf "  v%d [label=\"%s\",shape=circle%s];\n" v vname shape
+    in
+    let seen = Hashtbl.create 32 in
+    List.iteri
+      (fun i (p : Eval.prim_inst) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  p%d [label=\"%s\",shape=box];\n" i
+             (Preo_reo.Prim.kind_name p.pi_kind));
+        List.iter
+          (fun v ->
+            if not (Hashtbl.mem seen v) then begin
+              Hashtbl.add seen v ();
+              Buffer.add_string buf (vertex_attrs v)
+            end)
+          (p.pi_tails @ p.pi_heads);
+        List.iter
+          (fun v -> Buffer.add_string buf (Printf.sprintf "  v%d -> p%d;\n" v i))
+          p.pi_tails;
+        List.iter
+          (fun v -> Buffer.add_string buf (Printf.sprintf "  p%d -> v%d;\n" i v))
+          p.pi_heads)
+      prims;
+    Buffer.add_string buf "}\n";
+    print_string (Buffer.contents buf)
+  | _ :: "trace" :: path :: name :: rest ->
+    let c = compiled path name in
+    let inst = Preo.instantiate c ~lengths:(parse_lengths rest) in
+    List.iter
+      (fun e ->
+        Preo_runtime.Engine.set_on_fire e
+          (Some
+             (fun sync ->
+               Printf.printf "step {%s}\n%!"
+                 (String.concat ","
+                    (List.map Preo_automata.Vertex.name
+                       (Preo_support.Iset.elements sync))))))
+      (Preo.Connector.engines (Preo.connector inst));
+    let threads =
+      List.concat_map
+        (fun (gname, is_source) ->
+          if is_source then
+            Array.to_list
+              (Array.map
+                 (fun p ->
+                   Preo.Task.spawn (fun () ->
+                       let i = ref 0 in
+                       while !i < 5 do
+                         Preo.Port.send p (Preo.Value.int !i);
+                         incr i
+                       done))
+                 (Preo.outports inst gname))
+          else
+            Array.to_list
+              (Array.map
+                 (fun p ->
+                   Preo.Task.spawn (fun () ->
+                       while true do
+                         ignore (Preo.Port.recv p)
+                       done))
+                 (Preo.inports inst gname)))
+        (Preo.groups inst)
+    in
+    Thread.delay 0.5;
+    Preo.shutdown inst;
+    List.iter (fun t -> try Preo.Task.join t with _ -> ()) threads
+  | _ :: "dot" :: path :: name :: rest ->
+    let large = large_automaton (compiled path name) (parse_lengths rest) in
+    print_string (Preo_automata.Dot.automaton ~name large)
+  | _ :: "verify" :: path :: name :: rest ->
+    let props, rest =
+      let rec split acc = function
+        | "--prop" :: p :: more -> split (p :: acc) more
+        | x :: more ->
+          let ps, r = split acc more in
+          (ps, x :: r)
+        | [] -> (acc, [])
+      in
+      split [] rest
+    in
+    let large, bindings =
+      large_automaton_full (compiled path name) (parse_lengths rest)
+    in
+    Printf.printf "%d reachable states, %d transitions\n" large.Automaton.nstates
+      (Automaton.num_transitions large);
+    (match Verify.deadlocks large with
+     | [] -> print_endline "deadlock-free"
+     | ce :: _ ->
+       Printf.printf "DEADLOCK reachable after %d steps\n"
+         (List.length ce.Verify.path);
+       exit 1);
+    let resolve pname =
+      (* "tl[2]" or scalar "hd" against the boundary bindings *)
+      let base, idx =
+        match String.index_opt pname '[' with
+        | Some i ->
+          ( String.sub pname 0 i,
+            int_of_string
+              (String.sub pname (i + 1) (String.length pname - i - 2)) )
+        | None -> (pname, 1)
+      in
+      match List.assoc_opt base bindings with
+      | Some vs when idx >= 1 && idx <= Array.length vs -> Some vs.(idx - 1)
+      | _ -> None
+    in
+    List.iter
+      (fun psrc ->
+        match Preo_verify.Prop.parse psrc with
+        | Error msg ->
+          Printf.printf "property %S: parse error: %s\n" psrc msg;
+          exit 2
+        | Ok prop -> begin
+          match Preo_verify.Prop.check ~resolve large prop with
+          | Ok () -> Printf.printf "property %S holds\n" psrc
+          | Error msg ->
+            Printf.printf "property %S FAILS: %s\n" psrc msg;
+            exit 1
+        end)
+      (List.rev props)
+  | _ :: "simulate" :: path :: name :: rest ->
+    let c = compiled path name in
+    let inst = Preo.instantiate c ~lengths:(parse_lengths rest) in
+    let threads =
+      List.concat_map
+        (fun (gname, is_source) ->
+          if is_source then
+            Array.to_list
+              (Array.map
+                 (fun p ->
+                   Preo.Task.spawn (fun () ->
+                       let i = ref 0 in
+                       while true do
+                         Preo.Port.send p (Preo.Value.int !i);
+                         incr i
+                       done))
+                 (Preo.outports inst gname))
+          else
+            Array.to_list
+              (Array.map
+                 (fun p ->
+                   Preo.Task.spawn (fun () ->
+                       while true do
+                         ignore (Preo.Port.recv p)
+                       done))
+                 (Preo.inports inst gname)))
+        (Preo.groups inst)
+    in
+    Thread.delay 1.0;
+    Format.printf "%a@." Preo.Connector.pp_stats
+      (Preo.Connector.stats (Preo.connector inst));
+    Preo.shutdown inst;
+    List.iter (fun t -> try Preo.Task.join t with _ -> ()) threads
+  | _ -> usage ()

@@ -1,0 +1,1 @@
+examples/distributed.ml: Array List Port Preo Preo_connectors Preo_dist Printf Sys Task Thread Unix Value

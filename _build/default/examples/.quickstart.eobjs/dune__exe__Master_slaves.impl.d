@@ -1,0 +1,1 @@
+examples/master_slaves.ml: Array List Port Preo Preo_connectors Printf Sys Task Value

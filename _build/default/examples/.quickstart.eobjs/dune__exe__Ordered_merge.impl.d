@@ -1,0 +1,1 @@
+examples/ordered_merge.ml: Array List Port Preo Printf Sys Value

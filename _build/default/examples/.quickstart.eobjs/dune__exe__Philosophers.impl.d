@@ -1,0 +1,1 @@
+examples/philosophers.ml: Array Ast Eval List Port Preo Preo_automata Preo_support Preo_verify Printf Sys Task Value

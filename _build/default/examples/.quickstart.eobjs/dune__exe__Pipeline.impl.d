@@ -1,0 +1,1 @@
+examples/pipeline.ml: Array Config Connector List Port Preo Printf Sys Task Value

@@ -1,0 +1,1 @@
+examples/streaming.ml: Array Format List Preo_runtime Preo_stream Preo_support Printf String Sys Value

@@ -1,0 +1,52 @@
+(* A processing pipeline with a run-time number of stages: stage i reads
+   from its inbound buffer, transforms the datum, and writes to the next
+   buffer. The inter-stage protocol is a connector (a fifo array defined in
+   the DSL); stages are ordinary OCaml functions. The partitioned runtime
+   (the DESIGN.md extension) runs each hop on its own engine.
+
+     dune exec examples/pipeline.exe -- 5 partitioned
+*)
+
+open Preo
+
+let protocol = {|NPipe(tl[];hd[]) = prod (i:1..#tl) Fifo1(tl[i];hd[i])|}
+
+let () =
+  let nstages = try int_of_string Sys.argv.(1) with _ -> 4 in
+  let config =
+    match if Array.length Sys.argv > 2 then Sys.argv.(2) else "jit" with
+    | "existing" -> Config.existing
+    | "partitioned" -> Config.new_partitioned
+    | _ -> Config.new_jit
+  in
+  let items = 6 in
+  (* nstages+1 hops: source -> stage 1 -> ... -> stage n -> sink *)
+  let compiled = compile ~source:protocol ~name:"NPipe" in
+  let inst =
+    instantiate ~config compiled
+      ~lengths:[ ("tl", nstages + 1); ("hd", nstages + 1) ]
+  in
+  let outs = outports inst "tl" in
+  let ins = inports inst "hd" in
+  let source () =
+    for i = 1 to items do
+      Port.send outs.(0) (Value.int i)
+    done
+  in
+  let stage k () =
+    for _ = 1 to items do
+      let x = Value.to_int (Port.recv ins.(k)) in
+      (* each stage adds a digit so the provenance is visible *)
+      Port.send outs.(k + 1) (Value.int ((x * 10) + k + 1))
+    done
+  in
+  let sink () =
+    for _ = 1 to items do
+      Printf.printf "sink got %d\n%!" (Value.to_int (Port.recv ins.(nstages)))
+    done
+  in
+  Task.run_all
+    ((source :: List.init nstages (fun k -> stage k)) @ [ sink ]);
+  Printf.printf "%d stages, %d engine regions, %d global steps\n" nstages
+    (Connector.nregions (connector inst))
+    (steps inst)

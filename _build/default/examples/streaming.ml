@@ -1,0 +1,49 @@
+(* Stream processing on top of connectors: a log-analytics pipeline built
+   from the combinator layer (lib/stream). The plumbing — buffering, strict
+   round-robin dealing to workers, merging — is entirely connector-based;
+   the stages are plain OCaml closures.
+
+     dune exec examples/streaming.exe -- 4
+*)
+
+module S = Preo_stream.Stream_graph
+open Preo_support
+
+let () =
+  let nworkers = try int_of_string Sys.argv.(1) with _ -> 3 in
+  let b = S.create () in
+  (* source: synthetic "log lines" *)
+  let lines =
+    List.init 24 (fun i ->
+        Value.str
+          (Printf.sprintf "%s request=%d"
+             (if i mod 3 = 0 then "ERROR" else "INFO")
+             i))
+  in
+  let events = S.buffer ~depth:4 b (S.of_list b ~name:"log" lines) in
+  (* keep only errors *)
+  let errors =
+    S.filter b
+      (fun v -> String.length (Value.to_str v) >= 5
+                && String.sub (Value.to_str v) 0 5 = "ERROR")
+      events
+  in
+  (* deal to workers round-robin; each worker annotates with its id *)
+  let sharded = S.round_robin b errors nworkers in
+  let processed =
+    List.mapi
+      (fun w shard ->
+        S.buffer b
+          (S.map b
+             (fun v -> Value.str (Printf.sprintf "[worker %d] %s" w (Value.to_str v)))
+             shard))
+      sharded
+  in
+  (* merge the workers' outputs into one report *)
+  let report = S.to_list b (S.merge b processed) in
+  let conn = S.run b in
+  List.iter
+    (fun v -> print_endline (Value.to_str v))
+    (List.rev !report);
+  Format.printf "pipeline: %a@." Preo_runtime.Connector.pp_stats
+    (Preo_runtime.Connector.stats conn)

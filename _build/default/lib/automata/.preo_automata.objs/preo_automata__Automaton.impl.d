@@ -1,0 +1,1 @@
+lib/automata/automaton.ml: Array Command Constr Format Iset List Option Preo_support Queue

@@ -1,0 +1,1 @@
+lib/automata/automaton.mli: Command Constr Format Iset Preo_support Vertex

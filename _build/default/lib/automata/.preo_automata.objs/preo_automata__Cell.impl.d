@@ -1,0 +1,1 @@
+lib/automata/cell.ml: Format Hashtbl Mutex Printf

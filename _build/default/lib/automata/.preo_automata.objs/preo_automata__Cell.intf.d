@@ -1,0 +1,1 @@
+lib/automata/cell.mli: Format

@@ -1,0 +1,1 @@
+lib/automata/command.ml: Array Constr Datafun Format Fun Hashtbl Iset List Preo_support Union_find Value Vertex

@@ -1,0 +1,1 @@
+lib/automata/command.mli: Constr Format Iset Preo_support Value Vertex

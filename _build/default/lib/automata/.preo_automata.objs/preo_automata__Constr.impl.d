@@ -1,0 +1,1 @@
+lib/automata/constr.ml: Cell Format Iset List Preo_support Value Vertex

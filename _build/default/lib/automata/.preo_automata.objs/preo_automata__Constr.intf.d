@@ -1,0 +1,1 @@
+lib/automata/constr.mli: Cell Format Preo_support Vertex

@@ -1,0 +1,1 @@
+lib/automata/datafun.ml: Fun Hashtbl Mutex Preo_support Printf Value

@@ -1,0 +1,1 @@
+lib/automata/datafun.mli: Preo_support

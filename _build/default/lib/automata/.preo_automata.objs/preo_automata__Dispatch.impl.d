@@ -1,0 +1,1 @@
+lib/automata/dispatch.ml: Array Automaton Hashtbl Iset List Preo_support Vertex

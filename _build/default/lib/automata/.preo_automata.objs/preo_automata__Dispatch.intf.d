@@ -1,0 +1,1 @@
+lib/automata/dispatch.mli: Automaton Preo_support

@@ -1,0 +1,1 @@
+lib/automata/dot.ml: Array Automaton Buffer Constr Format Iset List Preo_support Printf String Vertex

@@ -1,0 +1,1 @@
+lib/automata/explore.ml: Array Automaton Queue

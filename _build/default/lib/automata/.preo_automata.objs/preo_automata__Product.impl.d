@@ -1,0 +1,1 @@
+lib/automata/product.ml: Array Automaton Constr Dyn Hashtbl Iset List Option Preo_support Printf Queue Sys

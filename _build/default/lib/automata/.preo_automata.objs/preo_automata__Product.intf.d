@@ -1,0 +1,1 @@
+lib/automata/product.mli: Automaton Preo_support

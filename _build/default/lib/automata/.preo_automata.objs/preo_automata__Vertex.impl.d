@@ -1,0 +1,1 @@
+lib/automata/vertex.ml: Format Hashtbl Int Mutex Printf

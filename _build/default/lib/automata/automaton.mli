@@ -1,0 +1,69 @@
+(** Constraint automata: the formal semantics of connectors
+    (Baier–Sirjani–Arbab–Rutten 2006, as used by the Reo compilers).
+
+    States are the connector's internal configurations, transitions its
+    global execution steps. Each transition carries the set of vertices
+    through which messages flow synchronously in that step ([sync]), a data
+    constraint relating the values involved, and optionally a precompiled
+    {!Command} (the label-simplification optimization). *)
+
+open Preo_support
+
+type trans = {
+  sync : Iset.t;  (** visible vertices firing in this step *)
+  constr : Constr.t;
+  command : Command.t option;  (** [Some _] once label-optimized *)
+  target : int;
+}
+
+type t = {
+  nstates : int;
+  initial : int;
+  trans : trans array array;  (** [trans.(s)] = outgoing transitions of [s] *)
+  vertices : Iset.t;  (** visible alphabet: sync sets range over this *)
+  sources : Iset.t;  (** boundary vertices where tasks send (⊆ vertices) *)
+  sinks : Iset.t;  (** boundary vertices where tasks receive (⊆ vertices) *)
+  cells : Iset.t;  (** memory cells owned by this automaton *)
+}
+
+val make :
+  nstates:int ->
+  initial:int ->
+  trans:trans array array ->
+  sources:Iset.t ->
+  sinks:Iset.t ->
+  t
+(** Computes [vertices] and [cells] from the transitions; checks shape
+    invariants with assertions. Internal vertices (appearing in syncs but in
+    neither [sources] nor [sinks]) are allowed. *)
+
+val num_transitions : t -> int
+
+val internal : t -> Iset.t
+(** Vertices that are neither sources nor sinks. *)
+
+val map_vertices : (Vertex.t -> Vertex.t) -> t -> t
+(** Renames vertices everywhere (labels, polarity sets, constraints,
+    commands). The function must be injective on [vertices]. *)
+
+val map_cells : (int -> int) -> t -> t
+
+val hide : Iset.t -> t -> t
+(** [hide h a] removes the vertices [h] from the alphabet and all sync
+    labels. Transitions whose sync becomes empty remain as silent (internal)
+    steps. Constraints keep mentioning hidden ports as glue terms. *)
+
+val optimize_labels : t -> t
+(** Pre-solve every transition's constraint into a command; transitions with
+    structurally unsatisfiable constraints are dropped. This is the
+    compile-time transition-label optimization of the existing compiler. *)
+
+val strip_commands : t -> t
+(** Drop any precompiled commands (forces fire-time solving). *)
+
+val trim : t -> t
+(** Restrict to states reachable from [initial] (renumbering states), and
+    remove duplicate transitions. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = int
+
+let lock = Mutex.create ()
+let next = ref 0
+let names : (int, string) Hashtbl.t = Hashtbl.create 64
+
+let fresh name =
+  Mutex.lock lock;
+  let id = !next in
+  incr next;
+  Hashtbl.replace names id name;
+  Mutex.unlock lock;
+  id
+
+let name c = try Hashtbl.find names c with Not_found -> Printf.sprintf "c%d" c
+let pp ppf c = Format.fprintf ppf "%s@%d" (name c) c

@@ -1,0 +1,11 @@
+(** Memory cells of buffered primitives (e.g. the slot of a fifo1).
+
+    Cells are allocated process-globally like vertices; a connector instance
+    renumbers the cells of its constituent automata densely before execution
+    so the engine can keep its memory in a flat array. *)
+
+type t = int
+
+val fresh : string -> t
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+open Preo_support
+
+type term =
+  | Port of Vertex.t
+  | Pre of Cell.t
+  | Post of Cell.t
+  | Const of Value.t
+  | App of string * term
+
+type atom = Eq of term * term | Pred of string * bool * term
+type t = atom list
+
+let tt : t = []
+let ( === ) a b = Eq (a, b)
+let pred name t = Pred (name, true, t)
+let npred name t = Pred (name, false, t)
+let conj a b = a @ b
+
+let rec map_term_vertices f = function
+  | Port v -> Port (f v)
+  | (Pre _ | Post _ | Const _) as t -> t
+  | App (name, t) -> App (name, map_term_vertices f t)
+
+let rec map_term_cells f = function
+  | Pre c -> Pre (f c)
+  | Post c -> Post (f c)
+  | (Port _ | Const _) as t -> t
+  | App (name, t) -> App (name, map_term_cells f t)
+
+let map_atom g = function
+  | Eq (a, b) -> Eq (g a, g b)
+  | Pred (name, pos, t) -> Pred (name, pos, g t)
+
+let map_vertices f t = List.map (map_atom (map_term_vertices f)) t
+let map_cells f t = List.map (map_atom (map_term_cells f)) t
+
+let rec term_ports acc = function
+  | Port v -> Iset.add v acc
+  | Pre _ | Post _ | Const _ -> acc
+  | App (_, t) -> term_ports acc t
+
+let rec term_cells acc = function
+  | Pre c | Post c -> Iset.add c acc
+  | Port _ | Const _ -> acc
+  | App (_, t) -> term_cells acc t
+
+let fold_terms f init t =
+  List.fold_left
+    (fun acc atom ->
+      match atom with
+      | Eq (a, b) -> f (f acc a) b
+      | Pred (_, _, x) -> f acc x)
+    init t
+
+let ports t = fold_terms term_ports Iset.empty t
+let cells t = fold_terms term_cells Iset.empty t
+
+let rec pp_term ppf = function
+  | Port v -> Vertex.pp ppf v
+  | Pre c -> Format.fprintf ppf "pre(%a)" Cell.pp c
+  | Post c -> Format.fprintf ppf "post(%a)" Cell.pp c
+  | Const v -> Value.pp ppf v
+  | App (name, t) -> Format.fprintf ppf "%s(%a)" name pp_term t
+
+let pp_atom ppf = function
+  | Eq (a, b) -> Format.fprintf ppf "%a = %a" pp_term a pp_term b
+  | Pred (name, true, t) -> Format.fprintf ppf "%s(%a)" name pp_term t
+  | Pred (name, false, t) -> Format.fprintf ppf "!%s(%a)" name pp_term t
+
+let pp ppf = function
+  | [] -> Format.pp_print_string ppf "true"
+  | atoms ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+      pp_atom ppf atoms

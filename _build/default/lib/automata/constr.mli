@@ -1,0 +1,40 @@
+(** Data constraints labelling automaton transitions.
+
+    A transition's data constraint relates the values observed at the firing
+    vertices, the connector memory before the step ([Pre] cells) and after it
+    ([Post] cells), constants, and applications of registered data functions.
+    Synchronous product simply unions constraint sets; the {!Command} solver
+    later turns a constraint into an executable data-flow program. *)
+
+type term =
+  | Port of Vertex.t  (** value flowing at a vertex in this step *)
+  | Pre of Cell.t  (** cell content before the step *)
+  | Post of Cell.t  (** cell content after the step *)
+  | Const of Preo_support.Value.t
+  | App of string * term  (** registered data function applied to a term *)
+
+type atom =
+  | Eq of term * term
+  | Pred of string * bool * term
+      (** [Pred (p, positive, t)]: registered predicate [p] applied to [t]
+          must evaluate to [positive]. *)
+
+type t = atom list
+(** Conjunction. The empty list is [true]. *)
+
+val tt : t
+val ( === ) : term -> term -> atom
+val pred : string -> term -> atom
+val npred : string -> term -> atom
+
+val conj : t -> t -> t
+val map_vertices : (Vertex.t -> Vertex.t) -> t -> t
+val map_cells : (Cell.t -> Cell.t) -> t -> t
+
+val ports : t -> Preo_support.Iset.t
+(** All vertices mentioned. *)
+
+val cells : t -> Preo_support.Iset.t
+(** All cells mentioned (pre or post). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+open Preo_support
+
+let lock = Mutex.create ()
+let fns : (string, Value.t -> Value.t) Hashtbl.t = Hashtbl.create 16
+let preds : (string, Value.t -> bool) Hashtbl.t = Hashtbl.create 16
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let register_fn name f = with_lock (fun () -> Hashtbl.replace fns name f)
+let register_pred name p = with_lock (fun () -> Hashtbl.replace preds name p)
+
+let find_fn name =
+  match with_lock (fun () -> Hashtbl.find_opt fns name) with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "Datafun: unregistered function %S" name)
+
+let find_pred name =
+  match with_lock (fun () -> Hashtbl.find_opt preds name) with
+  | Some p -> p
+  | None -> failwith (Printf.sprintf "Datafun: unregistered predicate %S" name)
+
+let fn_exists name = with_lock (fun () -> Hashtbl.mem fns name)
+let pred_exists name = with_lock (fun () -> Hashtbl.mem preds name)
+
+(* A few stock functions/predicates, always available. *)
+let () =
+  register_fn "id" Fun.id;
+  register_fn "incr" (fun v -> Value.int (Value.to_int v + 1));
+  register_fn "negate" (fun v -> Value.int (-Value.to_int v));
+  register_pred "true" (fun _ -> true);
+  register_pred "even" (fun v -> Value.to_int v mod 2 = 0);
+  register_pred "odd" (fun v -> Value.to_int v mod 2 <> 0);
+  register_pred "positive" (fun v -> Value.to_int v > 0)

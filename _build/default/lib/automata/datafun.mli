@@ -1,0 +1,17 @@
+(** Registry of named data functions and predicates.
+
+    Data-sensitive primitives (transformer and filter channels) refer to
+    functions and predicates by name in the DSL; implementations are
+    registered here by the host program. Registration is idempotent per name
+    (last wins) and thread-safe. *)
+
+val register_fn : string -> (Preo_support.Value.t -> Preo_support.Value.t) -> unit
+val register_pred : string -> (Preo_support.Value.t -> bool) -> unit
+
+val find_fn : string -> (Preo_support.Value.t -> Preo_support.Value.t)
+(** Raises [Not_found] with a helpful message if unregistered. *)
+
+val find_pred : string -> (Preo_support.Value.t -> bool)
+
+val fn_exists : string -> bool
+val pred_exists : string -> bool

@@ -1,0 +1,55 @@
+open Preo_support
+
+type state_index = {
+  silent : Automaton.trans array;
+  (* For each transition, the boundary vertices it needs. Transitions are
+     bucketed by their least boundary vertex; a transition is only
+     examined when that vertex is pending, which skips most of the
+     out-degree in wide states. *)
+  by_least : (Vertex.t, (Iset.t * Automaton.trans) list) Hashtbl.t;
+  everything : Automaton.trans array;
+}
+
+type t = { boundary : Iset.t; states : state_index array }
+
+let build (a : Automaton.t) =
+  let boundary = Iset.union a.sources a.sinks in
+  let states =
+    Array.map
+      (fun ts ->
+        let silent = ref [] in
+        let by_least = Hashtbl.create 8 in
+        Array.iter
+          (fun (tr : Automaton.trans) ->
+            let needs = Iset.inter tr.sync boundary in
+            if Iset.is_empty needs then silent := tr :: !silent
+            else begin
+              let key = Iset.min_elt needs in
+              let prev = try Hashtbl.find by_least key with Not_found -> [] in
+              Hashtbl.replace by_least key ((needs, tr) :: prev)
+            end)
+          ts;
+        {
+          silent = Array.of_list (List.rev !silent);
+          by_least;
+          everything = ts;
+        })
+      a.trans
+  in
+  { boundary; states }
+
+let candidates t ~state ~pending =
+  let idx = t.states.(state) in
+  let acc = ref (Array.to_list idx.silent) in
+  Iset.iter
+    (fun v ->
+      match Hashtbl.find_opt idx.by_least v with
+      | None -> ()
+      | Some entries ->
+        List.iter
+          (fun (needs, tr) -> if Iset.subset needs pending then acc := tr :: !acc)
+          entries)
+    pending;
+  Array.of_list !acc
+
+let all t ~state = t.states.(state).everything

@@ -1,0 +1,20 @@
+(** Per-state transition dispatch index.
+
+    The whole-automaton ("transition-global") optimization of the existing
+    compiler: with the complete large automaton known ahead of time, every
+    state gets an index from vertices to the transitions that involve them,
+    so the runtime inspects only transitions that can possibly be enabled by
+    the pending operations instead of scanning the whole outgoing set. This
+    optimization is inherently unavailable to the just-in-time approach
+    (the paper's §V-B, reason 2). *)
+
+type t
+
+val build : Automaton.t -> t
+
+val candidates : t -> state:int -> pending:Preo_support.Iset.t -> Automaton.trans array
+(** Transitions of [state] whose sync set is covered by [pending] boundary
+    vertices (silent transitions are always included). The guard/data checks
+    still have to be performed by the caller. *)
+
+val all : t -> state:int -> Automaton.trans array

@@ -1,0 +1,29 @@
+open Preo_support
+
+let escape s = String.concat "\\\"" (String.split_on_char '"' s)
+
+let automaton ?(name = "automaton") (a : Automaton.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=circle];\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  init [shape=point]; init -> s%d;\n" a.initial);
+  Array.iteri
+    (fun s ts ->
+      Buffer.add_string buf (Printf.sprintf "  s%d [label=\"%d\"];\n" s s);
+      Array.iter
+        (fun (tr : Automaton.trans) ->
+          let sync =
+            String.concat ","
+              (List.map Vertex.name (Iset.elements tr.sync))
+          in
+          let label =
+            Format.asprintf "{%s} %a" sync Constr.pp tr.constr
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" s tr.target
+               (escape label)))
+        ts)
+    a.trans;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

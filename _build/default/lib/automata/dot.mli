@@ -1,0 +1,5 @@
+(** Graphviz export of automata, for documentation and debugging. *)
+
+val automaton : ?name:string -> Automaton.t -> string
+(** DOT source for the state graph; transition labels show sync sets and
+    constraints. *)

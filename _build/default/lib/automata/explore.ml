@@ -1,0 +1,39 @@
+let reachable (a : Automaton.t) =
+  let seen = Array.make a.nstates false in
+  let queue = Queue.create () in
+  seen.(a.initial) <- true;
+  Queue.push a.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Array.iter
+      (fun (tr : Automaton.trans) ->
+        if not seen.(tr.target) then begin
+          seen.(tr.target) <- true;
+          Queue.push tr.target queue
+        end)
+      a.trans.(s)
+  done;
+  seen
+
+let deadlock_states (a : Automaton.t) =
+  let seen = reachable a in
+  let acc = ref [] in
+  for s = a.nstates - 1 downto 0 do
+    if seen.(s) && Array.length a.trans.(s) = 0 then acc := s :: !acc
+  done;
+  !acc
+
+let on_paths (a : Automaton.t) ~init ~step =
+  let visited = Array.make a.nstates false in
+  let rec go acc s =
+    if not visited.(s) then begin
+      visited.(s) <- true;
+      Array.iter
+        (fun tr ->
+          match step acc s tr with
+          | Some acc' -> go acc' tr.Automaton.target
+          | None -> ())
+        a.trans.(s)
+    end
+  in
+  go init a.initial

@@ -1,0 +1,14 @@
+(** Reachability-based analyses over a single automaton. *)
+
+val reachable : Automaton.t -> bool array
+(** [reachable a].(s) iff state [s] is reachable from the initial state. *)
+
+val deadlock_states : Automaton.t -> int list
+(** Reachable states without outgoing transitions. *)
+
+val on_paths :
+  Automaton.t -> init:'a -> step:('a -> int -> Automaton.trans -> 'a option) -> unit
+(** Depth-first traversal of reachable transitions: [step acc s tr] is called
+    for each transition; returning [None] cuts the branch. Visits each state
+    once per distinct accumulator via a visited-set on states only (i.e. the
+    traversal is a spanning exploration, suited to invariant checks). *)

@@ -1,0 +1,162 @@
+open Preo_support
+
+exception Budget_exceeded of string
+
+let sync_compatible ~vertices_a ~vertices_b ~sync_a ~sync_b =
+  Iset.equal (Iset.inter sync_a vertices_b) (Iset.inter sync_b vertices_a)
+
+let combine_polarity a b =
+  let open Automaton in
+  let sources = Iset.union a.sources b.sources in
+  let sinks = Iset.union a.sinks b.sinks in
+  (* A vertex written by one constituent and read by the other is internal. *)
+  let mixed = Iset.inter sources sinks in
+  (Iset.diff sources mixed, Iset.diff sinks mixed)
+
+let pair ?(max_states = max_int) ?(max_trans = max_int) ?deadline
+    ?(joint_independent = false) ?(open_vertices = Iset.empty)
+    (a : Automaton.t) (b : Automaton.t) : Automaton.t =
+  let va = a.vertices and vb = b.vertices in
+  let shared = Iset.inter va vb in
+  let index : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let states : (int * int) Dyn.t = Dyn.create () in
+  let out : Automaton.trans list Dyn.t = Dyn.create () in
+  let queue = Queue.create () in
+  let intern (sa, sb) =
+    match Hashtbl.find_opt index (sa, sb) with
+    | Some i -> i
+    | None ->
+      let i = Dyn.length states in
+      if i >= max_states then
+        raise
+          (Budget_exceeded
+             (Printf.sprintf "product exceeded %d states" max_states));
+      Hashtbl.add index (sa, sb) i;
+      ignore (Dyn.add states (sa, sb));
+      ignore (Dyn.add out []);
+      Queue.push i queue;
+      i
+  in
+  let initial = intern (a.initial, b.initial) in
+  assert (initial = 0);
+  let ntrans = ref 0 in
+  let emit i tr =
+    incr ntrans;
+    if !ntrans > max_trans then
+      raise
+        (Budget_exceeded
+           (Printf.sprintf "product exceeded %d transitions" max_trans));
+    (match deadline with
+     | Some d when !ntrans land 0xFFF = 0 && Sys.time () > d ->
+       raise (Budget_exceeded "product exceeded its compile-time budget")
+     | _ -> ());
+    Dyn.set out i (tr :: Dyn.get out i)
+  in
+  while not (Queue.is_empty queue) do
+    (match deadline with
+     | Some d when Sys.time () > d ->
+       raise (Budget_exceeded "product exceeded its compile-time budget")
+     | _ -> ());
+    let i = Queue.pop queue in
+    let sa, sb = Dyn.get states i in
+    let ta = a.trans.(sa) and tb = b.trans.(sb) in
+    (* Joint steps: transitions agreeing on the shared alphabet. A joint of
+       two transitions with disjoint syncs is only kept if a later automaton
+       could still force them to fire together, i.e. if both syncs touch
+       [open_vertices]; joints that can never be externally synchronized are
+       interleaving-equivalent to firing the parts in sequence and are
+       dropped (unless [joint_independent] restores the textbook product). *)
+    Array.iter
+      (fun (t1 : Automaton.trans) ->
+        (match deadline with
+         | Some d when Sys.time () > d ->
+           raise (Budget_exceeded "product exceeded its compile-time budget")
+         | _ -> ());
+        let s1_shared = Iset.inter t1.sync shared in
+        Array.iter
+          (fun (t2 : Automaton.trans) ->
+            if
+              Iset.equal s1_shared (Iset.inter t2.sync shared)
+              && (joint_independent
+                 || (not (Iset.is_empty s1_shared))
+                 || ((not (Iset.disjoint t1.sync open_vertices))
+                    && not (Iset.disjoint t2.sync open_vertices)))
+            then
+              emit i
+                {
+                  Automaton.sync = Iset.union t1.sync t2.sync;
+                  constr = Constr.conj t1.constr t2.constr;
+                  command = None;
+                  target = intern (t1.target, t2.target);
+                })
+          tb)
+      ta;
+    (* Independent steps of [a]. *)
+    Array.iter
+      (fun (t1 : Automaton.trans) ->
+        if Iset.disjoint t1.sync shared then
+          emit i { t1 with target = intern (t1.target, sb) })
+      ta;
+    (* Independent steps of [b]. *)
+    Array.iter
+      (fun (t2 : Automaton.trans) ->
+        if Iset.disjoint t2.sync shared then
+          emit i { t2 with target = intern (sa, t2.target) })
+      tb
+  done;
+  let sources, sinks = combine_polarity a b in
+  let trans =
+    Array.init (Dyn.length out) (fun i ->
+        Array.of_list (List.rev (Dyn.get out i)))
+  in
+  Automaton.make ~nstates:(Array.length trans) ~initial:0 ~trans ~sources
+    ~sinks
+
+let all ?max_states ?max_trans ?max_seconds ?joint_independent = function
+  | [] -> invalid_arg "Product.all: empty list"
+  | [ a ] -> Automaton.trim a
+  | first :: rest ->
+    (* Fold in connectivity order: composing automata that share vertices as
+       early as possible keeps the preserved independent joints (below) from
+       accumulating across long unrelated prefixes. *)
+    let a, rest =
+      let chosen = ref [ first ] in
+      let covered = ref first.Automaton.vertices in
+      let remaining = ref rest in
+      while !remaining <> [] do
+        let score (x : Automaton.t) = Iset.cardinal (Iset.inter x.vertices !covered) in
+        let best =
+          List.fold_left
+            (fun acc x ->
+              match acc with
+              | None -> Some x
+              | Some b -> if score x > score b then Some x else acc)
+            None !remaining
+        in
+        let b = Option.get best in
+        chosen := b :: !chosen;
+        covered := Iset.union !covered b.Automaton.vertices;
+        remaining := List.filter (fun x -> x != b) !remaining
+      done;
+      match List.rev !chosen with
+      | a :: rest -> (a, rest)
+      | [] -> assert false
+    in
+    (* At each fold step the vertices of the automata still to be composed
+       are "open" — independent joints touching them on both sides must be
+       preserved for later synchronization. *)
+    let rec opens = function
+      | [] -> []
+      | _ :: tl ->
+        List.fold_left
+          (fun s (x : Automaton.t) -> Iset.union s x.vertices)
+          Iset.empty tl
+        :: opens tl
+    in
+    let deadline = Option.map (fun s -> Sys.time () +. s) max_seconds in
+    List.fold_left2
+      (fun acc b open_vertices ->
+        Automaton.trim
+          (pair ?max_states ?max_trans ?deadline ?joint_independent
+             ~open_vertices acc b))
+      (Automaton.trim a) rest (opens rest)

@@ -1,0 +1,58 @@
+(** Synchronous product of constraint automata.
+
+    A transition of [a] and one of [b] synchronize iff they agree on the
+    shared alphabet: [sync_a ∩ V_b = sync_b ∩ V_a]. A transition fires alone
+    iff it involves no shared vertices. This is the × operator of the
+    constraint-automata semantics; the existing Reo compiler applies it
+    exhaustively at compile time, the parametrized approach at run time. *)
+
+exception Budget_exceeded of string
+
+val pair :
+  ?max_states:int ->
+  ?max_trans:int ->
+  ?deadline:float ->
+  ?joint_independent:bool ->
+  ?open_vertices:Preo_support.Iset.t ->
+  Automaton.t ->
+  Automaton.t ->
+  Automaton.t
+(** Reachable product of two automata (BFS from the initial pair). Raises
+    {!Budget_exceeded} if more than [max_states] product states or
+    [max_trans] transitions are generated. Polarity: a vertex that is a
+    source on one side and a sink on the other becomes internal.
+
+    [joint_independent] (default [false]) controls whether two transitions
+    with no shared vertices may also fire {e together} as one step. The
+    constraint-automata product admits all such joint steps, but including
+    them makes the number of transitions exponential in the number of
+    independent parts; a joint independent step is observationally
+    equivalent to firing the parts in sequence {e unless} a third automaton
+    later synchronizes them. [open_vertices] are the vertices of automata
+    still to be composed: independent joints whose both sides touch them are
+    preserved, all others dropped. Setting [joint_independent] restores the
+    textbook fully-synchronous product (used to reproduce the paper's §V-C
+    transition blow-up). *)
+
+val all :
+  ?max_states:int ->
+  ?max_trans:int ->
+  ?max_seconds:float ->
+  ?joint_independent:bool ->
+  Automaton.t list ->
+  Automaton.t
+(** Left fold of {!pair} with trimming, for the ahead-of-time ("existing
+    compiler") pipeline. The budgets apply to every intermediate product;
+    [max_seconds] additionally bounds the total CPU time ([Sys.time]) spent
+    composing. Exceeding any budget raises {!Budget_exceeded} (a compile
+    failure of the existing approach). Raises [Invalid_argument] on the
+    empty list. *)
+
+val sync_compatible :
+  vertices_a:Preo_support.Iset.t ->
+  vertices_b:Preo_support.Iset.t ->
+  sync_a:Preo_support.Iset.t ->
+  sync_b:Preo_support.Iset.t ->
+  bool
+(** The synchronization condition of ×, exposed for the JIT composer and for
+    property tests. *)

@@ -1,0 +1,19 @@
+type t = int
+
+let lock = Mutex.create ()
+let next = ref 0
+let names : (int, string) Hashtbl.t = Hashtbl.create 256
+
+let fresh name =
+  Mutex.lock lock;
+  let id = !next in
+  incr next;
+  Hashtbl.replace names id name;
+  Mutex.unlock lock;
+  id
+
+let name v = try Hashtbl.find names v with Not_found -> Printf.sprintf "v%d" v
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf v = Format.fprintf ppf "%s#%d" (name v) v
+let count () = !next

@@ -1,0 +1,21 @@
+(** Connector vertices.
+
+    A vertex is a named point through which messages flow: the boundary
+    vertices of a connector are linked to task outports/inports, the internal
+    ones join primitive connectors to each other. Identifiers are allocated
+    from a process-global counter so that automata can be composed without
+    renaming collisions. *)
+
+type t = int
+
+val fresh : string -> t
+(** [fresh name] allocates a new vertex. Names are kept for diagnostics only;
+    distinct calls with the same name yield distinct vertices. *)
+
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val count : unit -> int
+(** Number of vertices allocated so far (diagnostics). *)

@@ -1,0 +1,1 @@
+lib/connectors/catalog.ml: Fun Hashtbl List Mutex Preo

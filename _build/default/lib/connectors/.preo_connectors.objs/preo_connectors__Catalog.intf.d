@@ -1,0 +1,1 @@
+lib/connectors/catalog.mli: Preo

@@ -1,0 +1,1 @@
+lib/connectors/driver.ml: Array Catalog List Preo Preo_support Printf Sys Thread Value

@@ -1,0 +1,1 @@
+lib/connectors/driver.mli: Catalog Preo_runtime

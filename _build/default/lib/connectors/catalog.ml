@@ -1,0 +1,212 @@
+type entry = {
+  name : string;
+  description : string;
+  conn_name : string;
+  source : string;
+  lengths : int -> (string * int) list;
+  exponential_choice : bool;
+}
+
+let tl_n n = [ ("tl", n) ]
+let hd_n n = [ ("hd", n) ]
+let tl_hd_n n = [ ("tl", n); ("hd", n) ]
+
+let entry ?(exponential_choice = false) name description conn_name source
+    lengths =
+  { name; description; conn_name; source; lengths; exponential_choice }
+
+let all =
+  [
+    entry "merger" "N producers, one consumer, nondeterministic choice"
+      "NMerger"
+      {|NMerger(tl[];hd) = Merger(tl[1..#tl];hd)|}
+      tl_n;
+    entry "replicator" "one producer, N consumers, synchronous broadcast"
+      "NRepl"
+      {|NRepl(tl;hd[]) = Repl(tl;hd[1..#hd])|}
+      hd_n;
+    entry "router" "one producer, exactly one of N consumers per datum"
+      "NRouter"
+      {|NRouter(tl;hd[]) = Router(tl;hd[1..#hd])|}
+      hd_n;
+    entry "ordered_merger"
+      "the paper's running example (Fig. 9): N producers buffered and \
+       forwarded to one consumer in strict round-robin order"
+      "NOrderedMerger"
+      {|XStage(tl;prev,next,hd) =
+  Repl2(tl;prev,v) mult Fifo1(v;w) mult Repl2(w;next,hd)
+
+NOrderedMerger(tl[];hd[]) =
+  if (#tl == 1) {
+    Fifo1(tl[1];hd[1])
+  } else {
+    prod (i:1..#tl) XStage(tl[i];prev[i],next[i],hd[i])
+    mult prod (i:1..#tl-1) Seq2(next[i],prev[i+1];)
+    mult Seq2(prev[1],next[#tl];)
+  }|}
+      tl_hd_n;
+    entry "alternator"
+      "N producers accepted in one synchronous step, emitted to one \
+       consumer in index order"
+      "NAlternator"
+      {|NAlternator(tl[];hd) =
+  prod (i:1..#tl) Repl2(tl[i];a[i],b[i])
+  mult SyncDrain(b[1..#tl];)
+  mult Sync(a[1];x[1])
+  mult prod (i:2..#tl) Fifo1(a[i];x[i])
+  mult prod (i:1..#tl) Repl2(x[i];m[i],s[i])
+  mult Merger(m[1..#tl];hd)
+  mult Seq(s[1..#tl];)|}
+      tl_n;
+    entry "sequencer"
+      "token ring granting N clients a signal in strict round-robin order"
+      "NSequencer"
+      {|NSequencer(;hd[]) =
+  prod (i:1..#hd) Repl2(v[i];hd[i],u[i])
+  mult prod (i:1..#hd-1) Fifo1(u[i];v[i+1])
+  mult Fifo1Full(u[#hd];v[1])|}
+      hd_n;
+    entry "barrier"
+      "N senders synchronize in one step; each datum is delivered to the \
+       matching receiver through a buffer (so sequential tasks can send, \
+       then receive)"
+      "NBarrier"
+      {|NBarrier(tl[];hd[]) =
+  prod (i:1..#tl) Repl2(tl[i];x[i],b[i])
+  mult SyncDrain(b[1..#tl];)
+  mult prod (i:1..#tl) Fifo1(x[i];hd[i])|}
+      tl_hd_n;
+    entry "lock" "mutual exclusion among N clients via a token buffer"
+      "NLock"
+      {|NLock(acq[],rel[];) =
+  Merger(acq[1..#acq];q)
+  mult Merger(rel[1..#rel];r)
+  mult Fifo1Full(r;t)
+  mult SyncDrain(q,t;)|}
+      (fun n -> [ ("acq", n); ("rel", n) ]);
+    entry "load_balancer"
+      "one producer buffered-routed to whichever of N consumers is free"
+      "NLoadBalancer"
+      {|NLoadBalancer(tl;hd[]) =
+  Router(tl;x[1..#hd])
+  mult prod (i:1..#hd) Fifo1(x[i];hd[i])|}
+      hd_n;
+    entry "gather" "N buffered producers merged into one consumer" "NGather"
+      {|NGather(tl[];hd) =
+  prod (i:1..#tl) Fifo1(tl[i];m[i])
+  mult Merger(m[1..#tl];hd)|}
+      tl_n;
+    entry "broadcast_fifo"
+      "one producer broadcast into N per-consumer buffers" "NBcastFifo"
+      {|NBcastFifo(tl;hd[]) =
+  Repl(tl;x[1..#hd])
+  mult prod (i:1..#hd) Fifo1(x[i];hd[i])|}
+      hd_n;
+    entry "token_ring"
+      "a token circulates through N stations; station i receives the grant \
+       and passes it on by sending"
+      "NTokenRing"
+      {|NTokenRing(tl[];hd[]) =
+  prod (i:1..#tl-1) Fifo1(tl[i];w[i+1])
+  mult Fifo1Full(tl[#tl];w[1])
+  mult prod (i:1..#tl) Sync(w[i];hd[i])|}
+      tl_hd_n;
+    entry "relay_ring"
+      "ring of N stations with double-buffered hops (a deeper pipeline)"
+      "NRelayRing"
+      {|NRelayRing(tl[];hd[]) =
+  prod (i:1..#tl-1) {
+    Fifo1(tl[i];c[i]) mult Fifo1(c[i];hd[i+1])
+  }
+  mult Fifo1Full(tl[#tl];c[#tl])
+  mult Fifo1(c[#tl];hd[1])|}
+      tl_hd_n;
+    entry "fork_join"
+      "one producer forks to N workers synchronously; their N replies join \
+       into one result"
+      "NForkJoin"
+      {|NForkJoin(tl,ack[];work[],hd) =
+  Repl(tl;work[1..#work])
+  mult Repl2(ack[1];hd,k[1])
+  mult prod (i:2..#ack) Sync(ack[i];k[i])
+  mult SyncDrain(k[1..#ack];)|}
+      (fun n -> [ ("ack", n); ("work", n) ]);
+    entry "discriminator"
+      "waits for one item from each of N producers (any order), then emits \
+       a combined signal and resets"
+      "NDiscriminator"
+      {|NDiscriminator(tl[];hd) =
+  prod (i:1..#tl) Fifo1(tl[i];x[i])
+  mult Repl2(x[1];hd,k[1])
+  mult prod (i:2..#tl) Sync(x[i];k[i])
+  mult SyncDrain(k[1..#tl];)|}
+      tl_n;
+    entry "exchanger"
+      "N parties exchange messages in one synchronous intake step, each \
+       receiving its left neighbour's datum from a buffer"
+      "NExchanger"
+      {|NExchanger(tl[];hd[]) =
+  prod (i:1..#tl) Repl2(tl[i];d[i],b[i])
+  mult prod (i:1..#tl-1) Fifo1(d[i];hd[i+1])
+  mult Fifo1(d[#tl];hd[1])
+  mult SyncDrain(b[1..#tl];)|}
+      tl_hd_n;
+    entry "lossy_bcast"
+      "one producer broadcast over lossy channels: each of the N consumers \
+       independently takes or misses the datum (exponential synchronized \
+       choice — the paper's §V-C shape)"
+      "NLossyBcast"
+      {|NLossyBcast(tl;hd[]) =
+  Repl(tl;x[1..#hd])
+  mult prod (i:1..#hd) LossySync(x[i];hd[i])|}
+      hd_n ~exponential_choice:true;
+    entry "distributor"
+      "one producer dealt to N consumers in strict round-robin order"
+      "NDistributor"
+      {|NDistributor(tl;hd[]) =
+  Router(tl;x[1..#hd])
+  mult prod (i:1..#hd) Repl2(x[i];hd[i],s[i])
+  mult Seq(s[1..#hd];)|}
+      hd_n;
+    entry "sampler"
+      "one producer fans out through shift-lossy buffers: each of N \
+       consumers always reads the newest datum, slow consumers skip"
+      "NSampler"
+      {|NSampler(tl;hd[]) =
+  Repl(tl;x[1..#hd])
+  mult prod (i:1..#hd) ShiftLossy(x[i];hd[i])|}
+      hd_n;
+    entry "parallel_syncs"
+      "N independent synchronous sender/receiver pairs (embarrassingly \
+       parallel control baseline)"
+      "NParallelSyncs"
+      {|NParallelSyncs(tl[];hd[]) =
+  prod (i:1..#tl) Sync(tl[i];hd[i])|}
+      tl_hd_n;
+    entry "crossbar"
+      "N producers funneled through a single buffer and routed exclusively \
+       to N consumers"
+      "NCrossbar"
+      {|NCrossbar(tl[];hd[]) =
+  Merger(tl[1..#tl];a)
+  mult Fifo1(a;b)
+  mult Router(b;hd[1..#hd])|}
+      tl_hd_n;
+  ]
+
+let find name = List.find (fun e -> e.name = name) all
+
+let memo : (string, Preo.compiled) Hashtbl.t = Hashtbl.create 32
+let memo_lock = Mutex.create ()
+
+let compiled e =
+  Mutex.lock memo_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock memo_lock)
+    (fun () ->
+      match Hashtbl.find_opt memo e.name with
+      | Some c -> c
+      | None ->
+        let c = Preo.compile ~source:e.source ~name:e.conn_name in
+        Hashtbl.add memo e.name c;
+        c)

@@ -1,0 +1,27 @@
+(** The 18 parametrizable connector families of the Fig. 12 benchmark suite,
+    covering the major parametrizable examples of the Reo literature:
+    (de)multiplexers, round-robin disciplines, barriers and fork/joins,
+    buffered distribution/collection, token and relay rings, mutual
+    exclusion, and data-sensitive broadcast. Each entry carries its DSL
+    source, so the catalog doubles as a corpus of example programs. *)
+
+type entry = {
+  name : string;  (** short key used in benchmark tables *)
+  description : string;
+  conn_name : string;  (** connector definition to instantiate *)
+  source : string;  (** DSL source text *)
+  lengths : int -> (string * int) list;
+      (** array-parameter lengths as a function of N (the number of
+          senders/receivers the family is parametrized in) *)
+  exponential_choice : bool;
+      (** whether single states have a number of transitions exponential in
+          N (the paper's §V-C blow-up shape) even under the interleaving
+          product *)
+}
+
+val all : entry list
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val compiled : entry -> Preo.compiled
+(** Parse+check+flatten+template-compile the entry (memoized). *)

@@ -1,0 +1,79 @@
+open Preo_support
+
+type outcome =
+  | Steps of { steps : int; compile_seconds : float; run_seconds : float }
+  | Compile_failed of string
+  | Run_failed of string
+
+let port_threads inst =
+  let bodies = ref [] in
+  List.iter
+    (fun (name, is_source) ->
+      if is_source then
+        Array.iter
+          (fun p ->
+            bodies :=
+              (fun () ->
+                let i = ref 0 in
+                while true do
+                  Preo.Port.send p (Value.int !i);
+                  incr i
+                done)
+              :: !bodies)
+          (Preo.outports inst name)
+      else
+        Array.iter
+          (fun p ->
+            bodies :=
+              (fun () ->
+                while true do
+                  ignore (Preo.Port.recv p)
+                done)
+              :: !bodies)
+          (Preo.inports inst name))
+    (Preo.groups inst);
+  !bodies
+
+let dbg fmt =
+  if Sys.getenv_opt "PREO_DRIVER_DEBUG" <> None then
+    Printf.eprintf ("[driver] " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stderr fmt
+
+let run_window ?config ~seconds entry n =
+  let compiled = Catalog.compiled entry in
+  match Preo.instantiate ?config compiled ~lengths:(entry.Catalog.lengths n) with
+  | exception Preo.Connector.Compile_failure msg -> Compile_failed msg
+  | inst ->
+    dbg "instantiated %s" entry.Catalog.name;
+    let conn = Preo.connector inst in
+    let threads = List.map Preo.Task.spawn (port_threads inst) in
+    dbg "spawned %d" (List.length threads);
+    Thread.delay seconds;
+    let steps = Preo.steps inst in
+    let run_seconds = seconds in
+    dbg "window over, steps=%d; shutting down" steps;
+    Preo.shutdown inst;
+    dbg "poisoned; joining";
+    List.iteri
+      (fun i t ->
+        dbg "join %d" i;
+        try Preo.Task.join t with _ -> ())
+      threads;
+    dbg "joined";
+    (match Preo.Connector.failure conn with
+     | Some msg -> Run_failed msg
+     | None ->
+       Steps
+         {
+           steps;
+           compile_seconds = Preo.Connector.compile_seconds conn;
+           run_seconds;
+         })
+
+let run_noop ?config ?(seconds = 0.2) entry ~n = run_window ?config ~seconds entry n
+
+let smoke ?config entry ~n =
+  match run_window ?config ~seconds:0.05 entry n with
+  | Steps { steps; _ } -> Ok steps
+  | Compile_failed msg -> Error ("compile: " ^ msg)
+  | Run_failed msg -> Error ("run: " ^ msg)

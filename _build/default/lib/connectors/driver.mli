@@ -1,0 +1,25 @@
+(** Benchmark driver for catalog entries: the Fig. 12 methodology. Tasks
+    perform no computation — every boundary port is hammered by a dedicated
+    thread — and the measured quantity is the number of global execution
+    steps the connector completes within a wall-clock window. *)
+
+type outcome =
+  | Steps of { steps : int; compile_seconds : float; run_seconds : float }
+  | Compile_failed of string
+      (** ahead-of-time composition exceeded its budget *)
+  | Run_failed of string
+      (** execution aborted (e.g. JIT expansion blow-up) *)
+
+val run_noop :
+  ?config:Preo_runtime.Config.t ->
+  ?seconds:float ->
+  Catalog.entry ->
+  n:int ->
+  outcome
+(** Instantiate the entry for [n], spam all ports for [seconds] (default
+    0.2), poison the connector, join the tasks, and report. *)
+
+val smoke :
+  ?config:Preo_runtime.Config.t -> Catalog.entry -> n:int -> (int, string) result
+(** Short correctness-oriented run: exchanges a bounded number of messages
+    (window 0.05 s) and returns the step count. Used by tests. *)

@@ -1,0 +1,256 @@
+module Ast = Preo_lang.Ast
+module Parser = Preo_lang.Parser
+module Sema = Preo_lang.Sema
+module Flatten = Preo_lang.Flatten
+module Normalize = Preo_lang.Normalize
+module Template = Preo_lang.Template
+module Eval = Preo_lang.Eval
+module Value = Preo_support.Value
+module Port = Preo_runtime.Port
+module Task = Preo_runtime.Task
+module Config = Preo_runtime.Config
+module Connector = Preo_runtime.Connector
+module Datafun = Preo_automata.Datafun
+module Vertex = Preo_automata.Vertex
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let reraise f =
+  try f () with
+  | Parser.Error (msg, line) -> err "parse error (line %d): %s" line msg
+  | Sema.Error msg -> err "%s" msg
+  | Flatten.Error msg -> err "%s" msg
+  | Template.Error msg -> err "%s" msg
+  | Eval.Error msg -> err "%s" msg
+
+(* --- Compilation --------------------------------------------------------- *)
+
+type compiled = {
+  program : Ast.program;
+  def : Ast.conn_def;
+  flat : Ast.conn_def;
+  template : Template.t;
+}
+
+let parse_check source =
+  reraise (fun () ->
+      let p = Parser.program source in
+      Sema.check p;
+      p)
+
+let compile_program (program : Ast.program) ~name =
+  reraise (fun () ->
+      match List.find_opt (fun d -> d.Ast.c_name = name) program.defs with
+      | None -> err "no connector definition named %s" name
+      | Some def ->
+        let flat = Flatten.def ~defs:program.defs def in
+        { program; def; flat; template = Template.compile flat })
+
+let compile ~source ~name = compile_program (parse_check source) ~name
+
+(* --- Instantiation ------------------------------------------------------- *)
+
+type group = {
+  g_vertices : Vertex.t array;
+  g_offset : int;  (** value of the first index (1 for plain parameters) *)
+  g_is_source : bool;
+}
+
+type instance = {
+  conn : Connector.t;
+  groups : (string * group) list;
+}
+
+let build_mediums ?(config = Config.new_jit) (c : compiled) venv =
+  match config with
+  | Config.Existing _ ->
+    (* The existing pipeline starts from the fully evaluated primitives;
+       composition happens inside Connector.create. *)
+    Eval.small_automata (Eval.prims venv c.flat.Ast.c_body)
+  | Config.New _ -> Template.instantiate c.template venv
+
+let instantiate ?(config = Config.new_jit) (c : compiled) ~lengths =
+  reraise (fun () ->
+      let bindings, sources, sinks = Eval.boundary_of_def c.def ~lengths in
+      let venv = Eval.venv ~ints:[] ~arrays:bindings in
+      let mediums = build_mediums ~config c venv in
+      let conn = Connector.create ~config ~sources ~sinks mediums in
+      let tails =
+        List.map (function Ast.P_scalar x | Ast.P_array x -> x) c.def.Ast.c_tparams
+      in
+      let groups =
+        List.map
+          (fun (name, vs) ->
+            ( name,
+              {
+                g_vertices = vs;
+                g_offset = 1;
+                g_is_source = List.mem name tails;
+              } ))
+          bindings
+      in
+      { conn; groups })
+
+let groups inst = List.map (fun (n, g) -> (n, g.g_is_source)) inst.groups
+
+let group_of inst name =
+  match List.assoc_opt name inst.groups with
+  | Some g -> g
+  | None -> err "no parameter group named %s" name
+
+let outports inst name =
+  let g = group_of inst name in
+  if not g.g_is_source then err "%s is a sink-side group (use inports)" name;
+  Array.map (Connector.outport inst.conn) g.g_vertices
+
+let inports inst name =
+  let g = group_of inst name in
+  if g.g_is_source then err "%s is a source-side group (use outports)" name;
+  Array.map (Connector.inport inst.conn) g.g_vertices
+
+let connector inst = inst.conn
+let steps inst = Connector.steps inst.conn
+let shutdown inst = Connector.poison inst.conn "shutdown"
+
+(* --- Running main -------------------------------------------------------- *)
+
+type port_arg = Outs of Port.outport array | Ins of Port.inport array
+
+let out1 = function
+  | Outs [| p |] -> p
+  | Outs ps -> err "expected one outport, got %d" (Array.length ps)
+  | Ins _ -> err "expected an outport argument, got inports"
+
+let in1 = function
+  | Ins [| p |] -> p
+  | Ins ps -> err "expected one inport, got %d" (Array.length ps)
+  | Outs _ -> err "expected an inport argument, got outports"
+
+let run_main ?(config = Config.new_jit) ~(program : Ast.program) ~params tasks =
+  reraise (fun () ->
+      let main =
+        match program.main with
+        | Some m -> m
+        | None -> err "program has no main definition"
+      in
+      let ienv = Eval.venv ~ints:params ~arrays:[] in
+      (* Materialize the port groups declared by the connector instance. *)
+      let make_group is_source arg =
+        match arg with
+        | Ast.A_id x ->
+          ( x,
+            {
+              g_vertices = [| Vertex.fresh x |];
+              g_offset = 1;
+              g_is_source = is_source;
+            } )
+        | Ast.A_slice (x, lo, hi) ->
+          let lo = Eval.eval_int ienv lo and hi = Eval.eval_int ienv hi in
+          if hi < lo then err "main: empty port group %s[%d..%d]" x lo hi;
+          ( x,
+            {
+              g_vertices =
+                Array.init
+                  (hi - lo + 1)
+                  (fun k -> Vertex.fresh (Printf.sprintf "%s[%d]" x (lo + k)));
+              g_offset = lo;
+              g_is_source = is_source;
+            } )
+        | Ast.A_index _ -> err "main: connector arguments must be names or slices"
+      in
+      let tail_groups = List.map (make_group true) main.m_conn.Ast.i_tails in
+      let head_groups = List.map (make_group false) main.m_conn.Ast.i_heads in
+      let groups = tail_groups @ head_groups in
+      let sources = Array.concat (List.map (fun (_, g) -> g.g_vertices) tail_groups) in
+      let sinks = Array.concat (List.map (fun (_, g) -> g.g_vertices) head_groups) in
+      (* Build the mediums for the instantiated connector. *)
+      let conn_name = main.m_conn.Ast.i_name in
+      let mediums =
+        match Preo_reo.Prim.of_name conn_name with
+        | Some _ ->
+          (* main may instantiate a primitive directly *)
+          let venv =
+            Eval.venv ~ints:params
+              ~arrays:(List.map (fun (n, g) -> (n, g.g_vertices)) groups)
+          in
+          Eval.small_automata
+            (Eval.prims venv
+               (Ast.E_inst
+                  {
+                    main.m_conn with
+                    Ast.i_tails = List.map (fun (n, _) -> Ast.A_id n) tail_groups;
+                    i_heads = List.map (fun (n, _) -> Ast.A_id n) head_groups;
+                  }))
+        | None ->
+          let c = compile_program program ~name:conn_name in
+          (* Bind the definition's formals to the group vertex arrays. *)
+          let formals =
+            List.map
+              (function Ast.P_scalar x | Ast.P_array x -> x)
+              (c.def.Ast.c_tparams @ c.def.Ast.c_hparams)
+          in
+          if List.length formals <> List.length groups then
+            err "main: %s expects %d parameters, got %d" conn_name
+              (List.length formals) (List.length groups);
+          let arrays =
+            List.map2 (fun f (_, g) -> (f, g.g_vertices)) formals groups
+          in
+          let venv = Eval.venv ~ints:[] ~arrays in
+          build_mediums ~config c venv
+      in
+      let conn = Connector.create ~config ~sources ~sinks mediums in
+      let inst = { conn; groups } in
+      (* Resolve a task argument to ports. *)
+      let task_arg tenv arg =
+        let name =
+          match arg with
+          | Ast.A_id x | Ast.A_index (x, _) | Ast.A_slice (x, _, _) -> x
+        in
+        let g = group_of inst name in
+        let pick i =
+          let k = i - g.g_offset in
+          if k < 0 || k >= Array.length g.g_vertices then
+            err "main: index %d out of range for port group %s" i name;
+          g.g_vertices.(k)
+        in
+        let vertices =
+          match arg with
+          | Ast.A_id _ -> g.g_vertices
+          | Ast.A_index (_, [ e ]) -> [| pick (Eval.eval_int tenv e) |]
+          | Ast.A_index _ -> err "main: port groups take one index"
+          | Ast.A_slice (_, lo, hi) ->
+            let lo = Eval.eval_int tenv lo and hi = Eval.eval_int tenv hi in
+            Array.init (max 0 (hi - lo + 1)) (fun k -> pick (lo + k))
+        in
+        if g.g_is_source then Outs (Array.map (Connector.outport conn) vertices)
+        else Ins (Array.map (Connector.inport conn) vertices)
+      in
+      let task_fn name =
+        match List.assoc_opt name tasks with
+        | Some f -> f
+        | None -> err "main: no OCaml implementation registered for task %s" name
+      in
+      let bodies = ref [] in
+      List.iter
+        (fun item ->
+          match item with
+          | Ast.TI_single t ->
+            let f = task_fn t.Ast.t_name in
+            let args = List.map (task_arg ienv) t.Ast.t_args in
+            bodies := (fun () -> f args) :: !bodies
+          | Ast.TI_forall (v, lo, hi, t) ->
+            let f = task_fn t.Ast.t_name in
+            let lo = Eval.eval_int ienv lo and hi = Eval.eval_int ienv hi in
+            for i = lo to hi do
+              let tenv = Eval.venv ~ints:((v, i) :: params) ~arrays:[] in
+              let args = List.map (task_arg tenv) t.Ast.t_args in
+              bodies := (fun () -> f args) :: !bodies
+            done)
+        main.m_tasks;
+      Task.run_all (List.rev !bodies);
+      inst)
+
+let run_main_source ?config ~source ~params tasks =
+  run_main ?config ~program:(parse_check source) ~params tasks

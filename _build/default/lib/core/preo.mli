@@ -1,0 +1,105 @@
+(** Public facade of the parametrized-Reo library.
+
+    Typical use:
+
+    {[
+      let compiled = Preo.compile ~source ~name:"OrderedMergerN" in
+      let inst =
+        Preo.instantiate compiled ~lengths:[ ("tl", 8); ("hd", 1) ]
+      in
+      let producers = Preo.outports inst "tl" in
+      let consumer = (Preo.inports inst "hd").(0) in
+      ...spawn tasks using Preo.Port.send / Preo.Port.recv...
+    ]}
+
+    or, with a [main] definition in the DSL source, register the task bodies
+    and call {!run_main}. *)
+
+module Ast = Preo_lang.Ast
+module Parser = Preo_lang.Parser
+module Sema = Preo_lang.Sema
+module Flatten = Preo_lang.Flatten
+module Normalize = Preo_lang.Normalize
+module Template = Preo_lang.Template
+module Eval = Preo_lang.Eval
+module Value = Preo_support.Value
+module Port = Preo_runtime.Port
+module Task = Preo_runtime.Task
+module Config = Preo_runtime.Config
+module Connector = Preo_runtime.Connector
+module Datafun = Preo_automata.Datafun
+
+exception Error of string
+
+(** {1 Compilation} *)
+
+type compiled = {
+  program : Ast.program;
+  def : Ast.conn_def;  (** the chosen connector definition *)
+  flat : Ast.conn_def;  (** after flattening *)
+  template : Template.t;  (** compile-time share of the new approach *)
+}
+
+val parse_check : string -> Ast.program
+(** Parse and semantically check DSL source. Raises {!Error} with the parser
+    or checker message. *)
+
+val compile : source:string -> name:string -> compiled
+val compile_program : Ast.program -> name:string -> compiled
+
+(** {1 Instantiation} *)
+
+type instance
+
+val instantiate :
+  ?config:Config.t -> compiled -> lengths:(string * int) list -> instance
+(** Create boundary vertices ([lengths] sizes each array parameter), run the
+    run-time share (or, under [Config.Existing], evaluate and compose
+    everything), and start the connector. Default config: [Config.new_jit].
+    Raises {!Connector.Compile_failure} if the existing approach exceeds its
+    composition budget. *)
+
+val groups : instance -> (string * bool) list
+(** Parameter groups of the instance: (name, is_source). *)
+
+val outports : instance -> string -> Port.outport array
+(** Ports of a tail-side parameter group, in index order. *)
+
+val inports : instance -> string -> Port.inport array
+val connector : instance -> Connector.t
+val steps : instance -> int
+val shutdown : instance -> unit
+(** Poison the connector, releasing any blocked task. *)
+
+(** {1 Running a [main] definition} *)
+
+type port_arg =
+  | Outs of Port.outport array
+  | Ins of Port.inport array
+      (** what a task signature argument denotes: one or more ports of a
+          single group, in the order written *)
+
+val out1 : port_arg -> Port.outport
+(** Convenience: the single outport of an argument (raises {!Error} if the
+    argument is not exactly one outport). *)
+
+val in1 : port_arg -> Port.inport
+
+val run_main :
+  ?config:Config.t ->
+  program:Ast.program ->
+  params:(string * int) list ->
+  (string * (port_arg list -> unit)) list ->
+  instance
+(** Instantiate the [main] connector with the given integer parameters,
+    spawn one thread per task instance ([forall] items expand), wait for all
+    of them, and return the finished instance (for inspecting step counts).
+    [tasks] maps the task names used in [main] (e.g. ["Tasks.pro"]) to OCaml
+    functions. *)
+
+val run_main_source :
+  ?config:Config.t ->
+  source:string ->
+  params:(string * int) list ->
+  (string * (port_arg list -> unit)) list ->
+  instance

@@ -1,0 +1,1 @@
+lib/dist/bridge.ml: Fun Mutex Preo_runtime Printexc String Sys Thread Unix Wire

@@ -1,0 +1,1 @@
+lib/dist/bridge.mli: Preo_runtime Preo_support Thread Unix Value

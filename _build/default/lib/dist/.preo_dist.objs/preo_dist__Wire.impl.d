@@ -1,0 +1,1 @@
+lib/dist/wire.ml: Array Buffer Bytes Char Int64 List Preo_support Printf String Unix Value

@@ -1,0 +1,1 @@
+lib/dist/wire.mli: Buffer Preo_support Unix Value

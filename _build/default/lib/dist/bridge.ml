@@ -1,0 +1,101 @@
+(* Writing to a peer that already closed must surface as EPIPE, not kill the
+   process. *)
+let () =
+  match Sys.os_type with
+  | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+  | _ -> ()
+
+(* --- Serving ---------------------------------------------------------------- *)
+
+let serve loop fd =
+  Thread.create
+    (fun () ->
+      let rec go () =
+        match Wire.read_request fd with
+        | None | Some Wire.Req_close -> ()
+        | Some req ->
+          let resp =
+            try loop req with
+            | Preo_runtime.Engine.Poisoned msg ->
+              Wire.Resp_error ("poisoned: " ^ msg)
+            | e -> Wire.Resp_error (Printexc.to_string e)
+          in
+          Wire.write_response fd resp;
+          (match resp with Wire.Resp_error _ -> () | _ -> go ())
+      in
+      (try go () with _ -> ());
+      try Unix.close fd with _ -> ())
+    ()
+
+let serve_outport port fd =
+  serve
+    (fun req ->
+      match req with
+      | Wire.Req_send v ->
+        Preo_runtime.Port.send port v;
+        Wire.Resp_ok
+      | Wire.Req_recv -> Wire.Resp_error "this bridge serves an outport"
+      | Wire.Req_close -> assert false)
+    fd
+
+let serve_inport port fd =
+  serve
+    (fun req ->
+      match req with
+      | Wire.Req_recv -> Wire.Resp_value (Preo_runtime.Port.recv port)
+      | Wire.Req_send _ -> Wire.Resp_error "this bridge serves an inport"
+      | Wire.Req_close -> assert false)
+    fd
+
+(* --- Remote ------------------------------------------------------------------ *)
+
+type remote_outport = { ofd : Unix.file_descr; olock : Mutex.t }
+type remote_inport = { ifd : Unix.file_descr; ilock : Mutex.t }
+
+let remote_outport ofd = { ofd; olock = Mutex.create () }
+let remote_inport ifd = { ifd; ilock = Mutex.create () }
+
+let rpc fd lock req =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+      Wire.write_request fd req;
+      Wire.read_response fd)
+
+let fail_of_error msg =
+  if String.length msg >= 9 && String.sub msg 0 9 = "poisoned:" then
+    raise (Preo_runtime.Engine.Poisoned msg)
+  else failwith ("bridge: " ^ msg)
+
+let send r v =
+  match rpc r.ofd r.olock (Wire.Req_send v) with
+  | Wire.Resp_ok -> ()
+  | Wire.Resp_error msg -> fail_of_error msg
+  | Wire.Resp_value _ -> failwith "bridge: unexpected value response"
+
+let recv r =
+  match rpc r.ifd r.ilock Wire.Req_recv with
+  | Wire.Resp_value v -> v
+  | Wire.Resp_error msg -> fail_of_error msg
+  | Wire.Resp_ok -> failwith "bridge: unexpected ok response"
+
+let close_remote fd =
+  (try Wire.write_request fd Wire.Req_close with _ -> ());
+  try Unix.close fd with _ -> ()
+
+(* --- TCP ---------------------------------------------------------------------- *)
+
+let listen_local ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 8;
+  fd
+
+let accept_one fd = fst (Unix.accept fd)
+
+let connect_local ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd

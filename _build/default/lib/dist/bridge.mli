@@ -1,0 +1,47 @@
+(** Bridging connector ports across process boundaries.
+
+    A host that owns a connector can export individual boundary ports over
+    file descriptors (sockets); a remote peer drives them with the same
+    blocking semantics as local ports. One descriptor carries one port.
+    This realizes the paper's remark that Reo "can in principle be used to
+    … enforce protocols among tasks across heterogeneous platforms": the
+    protocol stays on one host, tasks can live anywhere.
+
+    All functions are thread-safe per descriptor (one outstanding request at
+    a time per bridge, as enforced by an internal lock). *)
+
+open Preo_support
+
+(** {1 Serving (connector-owning side)} *)
+
+val serve_outport : Preo_runtime.Port.outport -> Unix.file_descr -> Thread.t
+(** Handle [Req_send] requests by performing blocking local sends; replies
+    [Resp_ok] per completed send. Returns when the peer closes. *)
+
+val serve_inport : Preo_runtime.Port.inport -> Unix.file_descr -> Thread.t
+(** Handle [Req_recv] requests by performing blocking local receives. *)
+
+(** {1 Remote (task side)} *)
+
+type remote_outport
+type remote_inport
+
+val remote_outport : Unix.file_descr -> remote_outport
+val remote_inport : Unix.file_descr -> remote_inport
+
+val send : remote_outport -> Value.t -> unit
+(** Blocks until the remote connector completed the send. Raises [Failure]
+    on protocol errors and [Preo_runtime.Engine.Poisoned] if the remote
+    reports poisoning. *)
+
+val recv : remote_inport -> Value.t
+val close_remote : Unix.file_descr -> unit
+(** Send a clean close so the serving thread exits. *)
+
+(** {1 TCP conveniences} *)
+
+val listen_local : port:int -> Unix.file_descr
+(** Bind+listen on 127.0.0.1. *)
+
+val accept_one : Unix.file_descr -> Unix.file_descr
+val connect_local : port:int -> Unix.file_descr

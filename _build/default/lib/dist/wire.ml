@@ -1,0 +1,183 @@
+open Preo_support
+
+(* --- Value encoding ------------------------------------------------------- *)
+
+let add_int64 buf (x : int64) =
+  for shift = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * shift)) 0xFFL)))
+  done
+
+let add_int buf n = add_int64 buf (Int64.of_int n)
+
+let get_int64 b ~pos =
+  let x = ref 0L in
+  for shift = 7 downto 0 do
+    x :=
+      Int64.logor
+        (Int64.shift_left !x 8)
+        (Int64.of_int (Char.code (Bytes.get b (!pos + shift))))
+  done;
+  pos := !pos + 8;
+  !x
+
+let get_int b ~pos = Int64.to_int (get_int64 b ~pos)
+
+let rec encode_value buf (v : Value.t) =
+  match v with
+  | Value.Unit -> Buffer.add_char buf 'u'
+  | Value.Bool b ->
+    Buffer.add_char buf 'b';
+    Buffer.add_char buf (if b then '\001' else '\000')
+  | Value.Int n ->
+    Buffer.add_char buf 'i';
+    add_int buf n
+  | Value.Float f ->
+    Buffer.add_char buf 'f';
+    add_int64 buf (Int64.bits_of_float f)
+  | Value.Str s ->
+    Buffer.add_char buf 's';
+    add_int buf (String.length s);
+    Buffer.add_string buf s
+  | Value.Pair (a, b) ->
+    Buffer.add_char buf 'p';
+    encode_value buf a;
+    encode_value buf b
+  | Value.List l ->
+    Buffer.add_char buf 'l';
+    add_int buf (List.length l);
+    List.iter (encode_value buf) l
+  | Value.Float_array a ->
+    Buffer.add_char buf 'a';
+    add_int buf (Array.length a);
+    Array.iter (fun x -> add_int64 buf (Int64.bits_of_float x)) a
+
+let rec decode_value b ~pos =
+  let tag = Bytes.get b !pos in
+  incr pos;
+  match tag with
+  | 'u' -> Value.Unit
+  | 'b' ->
+    let c = Bytes.get b !pos in
+    incr pos;
+    Value.Bool (c <> '\000')
+  | 'i' -> Value.Int (get_int b ~pos)
+  | 'f' -> Value.Float (Int64.float_of_bits (get_int64 b ~pos))
+  | 's' ->
+    let n = get_int b ~pos in
+    let s = Bytes.sub_string b !pos n in
+    pos := !pos + n;
+    Value.Str s
+  | 'p' ->
+    let a = decode_value b ~pos in
+    let b' = decode_value b ~pos in
+    Value.Pair (a, b')
+  | 'l' ->
+    let n = get_int b ~pos in
+    Value.List (List.init n (fun _ -> decode_value b ~pos))
+  | 'a' ->
+    let n = get_int b ~pos in
+    Value.Float_array
+      (Array.init n (fun _ -> Int64.float_of_bits (get_int64 b ~pos)))
+  | c -> failwith (Printf.sprintf "wire: bad value tag %C" c)
+
+(* --- Frames ---------------------------------------------------------------- *)
+
+let really_write fd bytes =
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write fd bytes off (n - off) in
+      if w = 0 then failwith "wire: short write";
+      go (off + w)
+    end
+  in
+  go 0
+
+(* Returns [None] on EOF at a frame boundary. *)
+let really_read fd n ~allow_eof =
+  let b = Bytes.create n in
+  let rec go off =
+    if off >= n then Some b
+    else begin
+      let r = Unix.read fd b off (n - off) in
+      if r = 0 then
+        if off = 0 && allow_eof then None else failwith "wire: unexpected EOF"
+      else go (off + r)
+    end
+  in
+  go 0
+
+let write_frame fd buf =
+  let payload = Buffer.to_bytes buf in
+  let header = Buffer.create 8 in
+  add_int header (Bytes.length payload);
+  really_write fd (Buffer.to_bytes header);
+  really_write fd payload
+
+let read_frame fd ~allow_eof =
+  match really_read fd 8 ~allow_eof with
+  | None -> None
+  | Some header ->
+    let pos = ref 0 in
+    let n = get_int header ~pos in
+    if n < 0 || n > 64 * 1024 * 1024 then failwith "wire: absurd frame length";
+    (match really_read fd n ~allow_eof:false with
+     | Some payload -> Some payload
+     | None -> assert false)
+
+(* --- Messages --------------------------------------------------------------- *)
+
+type request = Req_send of Value.t | Req_recv | Req_close
+type response = Resp_ok | Resp_value of Value.t | Resp_error of string
+
+let write_request fd req =
+  let buf = Buffer.create 32 in
+  (match req with
+   | Req_send v ->
+     Buffer.add_char buf 'S';
+     encode_value buf v
+   | Req_recv -> Buffer.add_char buf 'R'
+   | Req_close -> Buffer.add_char buf 'C');
+  write_frame fd buf
+
+let read_request fd =
+  match read_frame fd ~allow_eof:true with
+  | None -> None
+  | Some b ->
+    let pos = ref 0 in
+    let tag = Bytes.get b !pos in
+    incr pos;
+    (match tag with
+     | 'S' -> Some (Req_send (decode_value b ~pos))
+     | 'R' -> Some Req_recv
+     | 'C' -> Some Req_close
+     | c -> failwith (Printf.sprintf "wire: bad request tag %C" c))
+
+let write_response fd resp =
+  let buf = Buffer.create 32 in
+  (match resp with
+   | Resp_ok -> Buffer.add_char buf 'O'
+   | Resp_value v ->
+     Buffer.add_char buf 'V';
+     encode_value buf v
+   | Resp_error msg ->
+     Buffer.add_char buf 'E';
+     add_int buf (String.length msg);
+     Buffer.add_string buf msg);
+  write_frame fd buf
+
+let read_response fd =
+  match read_frame fd ~allow_eof:false with
+  | None -> assert false
+  | Some b ->
+    let pos = ref 0 in
+    let tag = Bytes.get b !pos in
+    incr pos;
+    (match tag with
+     | 'O' -> Resp_ok
+     | 'V' -> Resp_value (decode_value b ~pos)
+     | 'E' ->
+       let n = get_int b ~pos in
+       Resp_error (Bytes.sub_string b !pos n)
+     | c -> failwith (Printf.sprintf "wire: bad response tag %C" c))

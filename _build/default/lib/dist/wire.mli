@@ -1,0 +1,28 @@
+(** Wire format for port operations across process boundaries.
+
+    Values are encoded with a self-describing binary format (no [Marshal],
+    so the two endpoints need not run the same binary); every message is a
+    length-prefixed frame. *)
+
+open Preo_support
+
+val encode_value : Buffer.t -> Value.t -> unit
+val decode_value : bytes -> pos:int ref -> Value.t
+(** Raises [Failure] on malformed input. *)
+
+type request =
+  | Req_send of Value.t  (** complete a send on the bridged outport *)
+  | Req_recv  (** complete a receive on the bridged inport *)
+  | Req_close
+
+type response =
+  | Resp_ok
+  | Resp_value of Value.t
+  | Resp_error of string
+
+val write_request : Unix.file_descr -> request -> unit
+val read_request : Unix.file_descr -> request option
+(** [None] on clean EOF. *)
+
+val write_response : Unix.file_descr -> response -> unit
+val read_response : Unix.file_descr -> response

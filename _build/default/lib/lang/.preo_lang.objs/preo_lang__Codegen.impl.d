@@ -1,0 +1,1 @@
+lib/lang/codegen.ml: Array Ast Buffer Eval Hashtbl List Preo_automata Preo_reo Preo_support Printf String Template

@@ -1,0 +1,1 @@
+lib/lang/codegen.mli: Template

@@ -1,0 +1,1 @@
+lib/lang/eval.ml: Array Ast Hashtbl List Preo_automata Preo_reo Preo_support Printf String Value Vertex

@@ -1,0 +1,1 @@
+lib/lang/eval.mli: Ast Automaton Hashtbl Preo_automata Preo_reo Vertex

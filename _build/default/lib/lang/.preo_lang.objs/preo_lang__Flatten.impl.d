@@ -1,0 +1,1 @@
+lib/lang/flatten.ml: Ast Hashtbl List Preo_reo Printf

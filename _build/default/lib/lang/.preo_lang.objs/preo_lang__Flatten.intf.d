@@ -1,0 +1,1 @@
+lib/lang/flatten.mli: Ast

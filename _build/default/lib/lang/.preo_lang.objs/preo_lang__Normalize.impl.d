@@ -1,0 +1,1 @@
+lib/lang/normalize.ml: Ast List

@@ -1,0 +1,1 @@
+lib/lang/template.ml: Array Ast Automaton Cell Eval Hashtbl List Normalize Preo_automata Preo_reo Printf Product Vertex

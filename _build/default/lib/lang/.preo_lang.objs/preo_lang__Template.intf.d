@@ -1,0 +1,1 @@
+lib/lang/template.mli: Ast Automaton Eval Preo_automata Vertex

@@ -1,0 +1,235 @@
+type iexpr =
+  | I_lit of int
+  | I_var of string
+  | I_len of string
+  | I_add of iexpr * iexpr
+  | I_sub of iexpr * iexpr
+  | I_mul of iexpr * iexpr
+  | I_div of iexpr * iexpr
+  | I_mod of iexpr * iexpr
+  | I_neg of iexpr
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type bexpr =
+  | B_cmp of cmp * iexpr * iexpr
+  | B_and of bexpr * bexpr
+  | B_or of bexpr * bexpr
+  | B_not of bexpr
+
+type arg =
+  | A_id of string
+  | A_index of string * iexpr list
+  | A_slice of string * iexpr * iexpr
+
+type inst = {
+  i_name : string;
+  i_ann : string option;
+  i_tails : arg list;
+  i_heads : arg list;
+}
+
+type expr =
+  | E_skip
+  | E_inst of inst
+  | E_mult of expr * expr
+  | E_prod of string * iexpr * iexpr * expr
+  | E_if of bexpr * expr * expr
+
+type param = P_scalar of string | P_array of string
+
+type conn_def = {
+  c_name : string;
+  c_tparams : param list;
+  c_hparams : param list;
+  c_body : expr;
+}
+
+type task_inst = { t_name : string; t_args : arg list }
+
+type task_item =
+  | TI_single of task_inst
+  | TI_forall of string * iexpr * iexpr * task_inst
+
+type main_def = {
+  m_params : string list;
+  m_conn : inst;
+  m_tasks : task_item list;
+}
+
+type program = { defs : conn_def list; main : main_def option }
+
+(* --- Printing ----------------------------------------------------------- *)
+
+let rec pp_iexpr ppf = function
+  | I_lit n -> Format.pp_print_int ppf n
+  | I_var v -> Format.pp_print_string ppf v
+  | I_len a -> Format.fprintf ppf "#%s" a
+  | I_add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_iexpr a pp_iexpr b
+  | I_sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_iexpr a pp_iexpr b
+  | I_mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_iexpr a pp_iexpr b
+  | I_div (a, b) -> Format.fprintf ppf "(%a / %a)" pp_iexpr a pp_iexpr b
+  | I_mod (a, b) -> Format.fprintf ppf "(%a %% %a)" pp_iexpr a pp_iexpr b
+  | I_neg a -> Format.fprintf ppf "(-%a)" pp_iexpr a
+
+let cmp_name = function
+  | Ceq -> "=="
+  | Cne -> "!="
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+let rec pp_bexpr ppf = function
+  | B_cmp (c, a, b) ->
+    Format.fprintf ppf "%a %s %a" pp_iexpr a (cmp_name c) pp_iexpr b
+  | B_and (a, b) -> Format.fprintf ppf "(%a && %a)" pp_bexpr a pp_bexpr b
+  | B_or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_bexpr a pp_bexpr b
+  | B_not a -> Format.fprintf ppf "!(%a)" pp_bexpr a
+
+let pp_arg ppf = function
+  | A_id x -> Format.pp_print_string ppf x
+  | A_index (x, idxs) ->
+    Format.pp_print_string ppf x;
+    List.iter (fun e -> Format.fprintf ppf "[%a]" pp_iexpr e) idxs
+  | A_slice (x, lo, hi) ->
+    Format.fprintf ppf "%s[%a..%a]" x pp_iexpr lo pp_iexpr hi
+
+let pp_args ppf args =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+    pp_arg ppf args
+
+let pp_inst ppf i =
+  Format.fprintf ppf "%s%s(%a;%a)" i.i_name
+    (match i.i_ann with Some a -> "<" ^ a ^ ">" | None -> "")
+    pp_args i.i_tails pp_args i.i_heads
+
+let rec pp_expr ppf = function
+  | E_skip -> Format.pp_print_string ppf "skip"
+  | E_inst i -> pp_inst ppf i
+  | E_mult (a, b) ->
+    Format.fprintf ppf "@[<hv>%a@ mult %a@]" pp_expr a pp_expr b
+  | E_prod (v, lo, hi, body) ->
+    Format.fprintf ppf "@[<hv 2>prod (%s:%a..%a) {@ %a@ }@]" v pp_iexpr lo
+      pp_iexpr hi pp_expr body
+  | E_if (c, t, e) ->
+    Format.fprintf ppf "@[<hv 2>if (%a) {@ %a@ } else {@ %a@ }@]" pp_bexpr c
+      pp_expr t pp_expr e
+
+let pp_param ppf = function
+  | P_scalar x -> Format.pp_print_string ppf x
+  | P_array x -> Format.fprintf ppf "%s[]" x
+
+let pp_params ppf ps =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+    pp_param ppf ps
+
+let pp_conn_def ppf d =
+  Format.fprintf ppf "@[<hv 2>%s(%a;%a) =@ %a@]@." d.c_name pp_params
+    d.c_tparams pp_params d.c_hparams pp_expr d.c_body
+
+let pp_task_inst ppf t =
+  Format.fprintf ppf "%s(%a)" t.t_name pp_args t.t_args
+
+let pp_task_item ppf = function
+  | TI_single t -> pp_task_inst ppf t
+  | TI_forall (v, lo, hi, t) ->
+    Format.fprintf ppf "forall (%s:%a..%a) %a" v pp_iexpr lo pp_iexpr hi
+      pp_task_inst t
+
+let pp_main ppf m =
+  Format.fprintf ppf "@[<hv 2>main%s = %a among@ %a@]@."
+    (match m.m_params with
+     | [] -> ""
+     | ps -> "(" ^ String.concat "," ps ^ ")")
+    pp_inst m.m_conn
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ and ")
+       pp_task_item)
+    m.m_tasks
+
+let pp_program ppf p =
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp_conn_def d) p.defs;
+  Option.iter (pp_main ppf) p.main
+
+(* --- Canonicalization --------------------------------------------------- *)
+
+(* Linear normal form: a sorted sum of monomials coeff*key, where keys are
+   variables, array lengths, the unit constant, or opaque non-linear
+   sub-expressions (whose children are canonicalized recursively). *)
+
+type key = K_const | K_var of string | K_len of string | K_opaque of iexpr
+
+let rec monomials e : (key * int) list =
+  match e with
+  | I_lit n -> [ (K_const, n) ]
+  | I_var v -> [ (K_var v, 1) ]
+  | I_len a -> [ (K_len a, 1) ]
+  | I_add (a, b) -> monomials a @ monomials b
+  | I_sub (a, b) -> monomials a @ List.map (fun (k, c) -> (k, -c)) (monomials b)
+  | I_neg a -> List.map (fun (k, c) -> (k, -c)) (monomials a)
+  | I_mul (a, b) -> begin
+    let ma = monomials a and mb = monomials b in
+    (* A side is constant iff its monomials collapse to pure constants once
+       equal keys are merged and zero coefficients dropped (e.g. [i - i]). *)
+    let const_of m =
+      let tbl = Hashtbl.create 4 in
+      List.iter
+        (fun (k, c) ->
+          Hashtbl.replace tbl k (c + try Hashtbl.find tbl k with Not_found -> 0))
+        m;
+      Hashtbl.fold
+        (fun k c acc ->
+          match acc with
+          | None -> None
+          | Some n ->
+            if c = 0 then acc
+            else begin
+              match k with K_const -> Some (n + c) | _ -> None
+            end)
+        tbl (Some 0)
+    in
+    match (const_of ma, const_of mb) with
+    | Some n, _ -> List.map (fun (k, c) -> (k, n * c)) mb
+    | _, Some n -> List.map (fun (k, c) -> (k, n * c)) ma
+    | None, None -> [ (K_opaque (I_mul (canon a, canon b)), 1) ]
+  end
+  | I_div (a, b) -> [ (K_opaque (I_div (canon a, canon b)), 1) ]
+  | I_mod (a, b) -> [ (K_opaque (I_mod (canon a, canon b)), 1) ]
+
+and canon e =
+  let ms = monomials e in
+  (* Sum equal keys; drop zero coefficients; sort deterministically. *)
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (k, c) ->
+      match Hashtbl.find_opt tbl k with
+      | Some c' -> Hashtbl.replace tbl k (c + c')
+      | None ->
+        Hashtbl.add tbl k c;
+        order := k :: !order)
+    ms;
+  let entries =
+    List.filter_map
+      (fun k ->
+        let c = Hashtbl.find tbl k in
+        if c = 0 then None else Some (k, c))
+      (List.sort_uniq Stdlib.compare (List.rev !order))
+  in
+  let term (k, c) =
+    match k with
+    | K_const -> I_lit c
+    | K_var v -> if c = 1 then I_var v else I_mul (I_lit c, I_var v)
+    | K_len a -> if c = 1 then I_len a else I_mul (I_lit c, I_len a)
+    | K_opaque e -> if c = 1 then e else I_mul (I_lit c, e)
+  in
+  match entries with
+  | [] -> I_lit 0
+  | first :: rest ->
+    List.fold_left (fun acc kc -> I_add (acc, term kc)) (term first) rest
+
+let canon_iexpr = canon
+let iexpr_equal a b = canon a = canon b

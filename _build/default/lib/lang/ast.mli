@@ -1,0 +1,82 @@
+(** Abstract syntax of the textual, parametrized connector DSL (§IV-B).
+
+    A program is a list of connector definitions plus an optional [main]
+    definition wiring one connector instance to task signatures. *)
+
+type iexpr =
+  | I_lit of int
+  | I_var of string  (** iteration variable or main parameter *)
+  | I_len of string  (** [#arr] *)
+  | I_add of iexpr * iexpr
+  | I_sub of iexpr * iexpr
+  | I_mul of iexpr * iexpr
+  | I_div of iexpr * iexpr
+  | I_mod of iexpr * iexpr
+  | I_neg of iexpr
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type bexpr =
+  | B_cmp of cmp * iexpr * iexpr
+  | B_and of bexpr * bexpr
+  | B_or of bexpr * bexpr
+  | B_not of bexpr
+
+type arg =
+  | A_id of string  (** scalar vertex variable, or a whole array *)
+  | A_index of string * iexpr list
+      (** [x[e]]; multiple indices arise internally from flattening
+          composites inside iterations *)
+  | A_slice of string * iexpr * iexpr  (** [x[e1..e2]], 1-based inclusive *)
+
+type inst = {
+  i_name : string;
+  i_ann : string option;  (** [Filter<even>], [Transform<incr>], [Fifo1Full<42>] *)
+  i_tails : arg list;
+  i_heads : arg list;
+}
+
+type expr =
+  | E_skip
+  | E_inst of inst
+  | E_mult of expr * expr
+  | E_prod of string * iexpr * iexpr * expr  (** prod (i : lo .. hi) body *)
+  | E_if of bexpr * expr * expr
+
+type param = P_scalar of string | P_array of string
+
+type conn_def = {
+  c_name : string;
+  c_tparams : param list;  (** before the ';' — where tasks send *)
+  c_hparams : param list;  (** after the ';' — where tasks receive *)
+  c_body : expr;
+}
+
+type task_inst = { t_name : string; t_args : arg list }
+
+type task_item =
+  | TI_single of task_inst
+  | TI_forall of string * iexpr * iexpr * task_inst
+
+type main_def = {
+  m_params : string list;  (** run-time integer inputs, e.g. N *)
+  m_conn : inst;  (** the instantiated top-level connector *)
+  m_tasks : task_item list;
+}
+
+type program = { defs : conn_def list; main : main_def option }
+
+val pp_iexpr : Format.formatter -> iexpr -> unit
+val pp_bexpr : Format.formatter -> bexpr -> unit
+val pp_arg : Format.formatter -> arg -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val pp_conn_def : Format.formatter -> conn_def -> unit
+val pp_program : Format.formatter -> program -> unit
+
+val canon_iexpr : iexpr -> iexpr
+(** Canonical form for syntactic comparison: linear sub-expressions are
+    normalized to a sorted sum of monomials (so [i+1] and [1+i] compare
+    equal); non-linear parts are kept structurally. *)
+
+val iexpr_equal : iexpr -> iexpr -> bool
+(** Equality modulo {!canon_iexpr}. *)

@@ -1,0 +1,328 @@
+open Ast
+
+let buf_add = Buffer.add_string
+
+(* --- Small emitters ------------------------------------------------------- *)
+
+let param_var name = "p_" ^ name
+
+let rec emit_iexpr ~loops = function
+  | I_lit n -> if n < 0 then Printf.sprintf "(%d)" n else string_of_int n
+  | I_var v -> begin
+    match List.assoc_opt v loops with
+    | Some ocaml -> ocaml
+    | None -> failwith ("codegen: unbound iteration variable " ^ v)
+  end
+  | I_len a -> Printf.sprintf "(len %S)" a
+  | I_add (a, b) ->
+    Printf.sprintf "(%s + %s)" (emit_iexpr ~loops a) (emit_iexpr ~loops b)
+  | I_sub (a, b) ->
+    Printf.sprintf "(%s - %s)" (emit_iexpr ~loops a) (emit_iexpr ~loops b)
+  | I_mul (a, b) ->
+    Printf.sprintf "(%s * %s)" (emit_iexpr ~loops a) (emit_iexpr ~loops b)
+  | I_div (a, b) ->
+    Printf.sprintf "(%s / %s)" (emit_iexpr ~loops a) (emit_iexpr ~loops b)
+  | I_mod (a, b) ->
+    Printf.sprintf "(%s mod %s)" (emit_iexpr ~loops a) (emit_iexpr ~loops b)
+  | I_neg a -> Printf.sprintf "(- %s)" (emit_iexpr ~loops a)
+
+let rec emit_bexpr ~loops = function
+  | B_cmp (c, a, b) ->
+    let op =
+      match c with
+      | Ceq -> "=" | Cne -> "<>" | Clt -> "<" | Cle -> "<=" | Cgt -> ">"
+      | Cge -> ">="
+    in
+    Printf.sprintf "(%s %s %s)" (emit_iexpr ~loops a) op (emit_iexpr ~loops b)
+  | B_and (a, b) ->
+    Printf.sprintf "(%s && %s)" (emit_bexpr ~loops a) (emit_bexpr ~loops b)
+  | B_or (a, b) ->
+    Printf.sprintf "(%s || %s)" (emit_bexpr ~loops a) (emit_bexpr ~loops b)
+  | B_not a -> Printf.sprintf "(not %s)" (emit_bexpr ~loops a)
+
+let emit_value (v : Preo_support.Value.t) =
+  match v with
+  | Preo_support.Value.Unit -> "Value.unit"
+  | Preo_support.Value.Int n -> Printf.sprintf "(Value.int (%d))" n
+  | Preo_support.Value.Str s -> Printf.sprintf "(Value.str %S)" s
+  | Preo_support.Value.Bool b -> Printf.sprintf "(Value.bool %b)" b
+  | Preo_support.Value.Float f -> Printf.sprintf "(Value.float %h)" f
+  | _ -> failwith "codegen: unsupported annotation value"
+
+let emit_kind (k : Preo_reo.Prim.kind) =
+  let open Preo_reo.Prim in
+  match k with
+  | Sync -> "Preo_reo.Prim.Sync"
+  | Lossy_sync -> "Preo_reo.Prim.Lossy_sync"
+  | Sync_drain -> "Preo_reo.Prim.Sync_drain"
+  | Async_drain -> "Preo_reo.Prim.Async_drain"
+  | Sync_spout -> "Preo_reo.Prim.Sync_spout"
+  | Fifo1 -> "Preo_reo.Prim.Fifo1"
+  | Fifo1_full v -> Printf.sprintf "(Preo_reo.Prim.Fifo1_full %s)" (emit_value v)
+  | Fifo_n n -> Printf.sprintf "(Preo_reo.Prim.Fifo_n %d)" n
+  | Shift_lossy -> "Preo_reo.Prim.Shift_lossy"
+  | Overflow_lossy -> "Preo_reo.Prim.Overflow_lossy"
+  | Filter p -> Printf.sprintf "(Preo_reo.Prim.Filter %S)" p
+  | Transform f -> Printf.sprintf "(Preo_reo.Prim.Transform %S)" f
+  | Merger -> "Preo_reo.Prim.Merger"
+  | Replicator -> "Preo_reo.Prim.Replicator"
+  | Router -> "Preo_reo.Prim.Router"
+  | Seq -> "Preo_reo.Prim.Seq"
+
+(* A vertex-producing expression for a symbolic reference. [arrays] is the
+   set of array-parameter names; scalars are one-element arrays. *)
+let emit_sym ~loops ~params (sym : Template.sym) =
+  match sym with
+  | Template.S_scalar x ->
+    if List.mem x params then Printf.sprintf "%s.(0)" (param_var x)
+    else Printf.sprintf "(local %S [])" x
+  | Template.S_indexed (x, idxs) ->
+    if List.mem x params then begin
+      match idxs with
+      | [ e ] -> Printf.sprintf "%s.(%s - 1)" (param_var x) (emit_iexpr ~loops e)
+      | _ -> failwith "codegen: parameter with multiple indices"
+    end
+    else
+      Printf.sprintf "(local %S [ %s ])" x
+        (String.concat "; " (List.map (emit_iexpr ~loops) idxs))
+
+(* A vertex-list expression for a dynamic constituent argument. *)
+let emit_arg_list ~loops ~params (a : arg) =
+  match a with
+  | A_id x ->
+    if List.mem x params then Printf.sprintf "(Array.to_list %s)" (param_var x)
+    else Printf.sprintf "[ local %S [] ]" x
+  | A_index (x, idxs) ->
+    if List.mem x params then begin
+      match idxs with
+      | [ e ] ->
+        Printf.sprintf "[ %s.(%s - 1) ]" (param_var x) (emit_iexpr ~loops e)
+      | _ -> failwith "codegen: parameter with multiple indices"
+    end
+    else
+      Printf.sprintf "[ local %S [ %s ] ]" x
+        (String.concat "; " (List.map (emit_iexpr ~loops) idxs))
+  | A_slice (x, lo, hi) ->
+    let lo = emit_iexpr ~loops lo and hi = emit_iexpr ~loops hi in
+    if List.mem x params then
+      Printf.sprintf "(List.init (%s - %s + 1) (fun k_ -> %s.(%s + k_ - 1)))" hi
+        lo (param_var x) lo
+    else
+      Printf.sprintf "(List.init (%s - %s + 1) (fun k_ -> local %S [ %s + k_ ]))"
+        hi lo x lo
+
+(* --- Static medium automata as literals ----------------------------------- *)
+
+let emit_medium_literal buf ~name (auto : Preo_automata.Automaton.t)
+    (binding : (Preo_automata.Vertex.t * Template.sym) array) =
+  (* placeholder vertex id -> subst index *)
+  let vmap = Hashtbl.create 8 in
+  Array.iteri (fun i (ph, _) -> Hashtbl.replace vmap ph i) binding;
+  let vexpr v =
+    match Hashtbl.find_opt vmap v with
+    | Some i -> Printf.sprintf "subst.(%d)" i
+    | None -> failwith "codegen: vertex outside the medium binding"
+  in
+  (* template cell id -> dense index *)
+  let cmap = Hashtbl.create 4 in
+  Preo_support.Iset.iter
+    (fun c -> Hashtbl.replace cmap c (Hashtbl.length cmap))
+    auto.Preo_automata.Automaton.cells;
+  let cexpr c =
+    Printf.sprintf "cells.(%d)" (Hashtbl.find cmap c)
+  in
+  let rec term (t : Preo_automata.Constr.term) =
+    match t with
+    | Preo_automata.Constr.Port v -> Printf.sprintf "Constr.Port %s" (vexpr v)
+    | Preo_automata.Constr.Pre c -> Printf.sprintf "Constr.Pre %s" (cexpr c)
+    | Preo_automata.Constr.Post c -> Printf.sprintf "Constr.Post %s" (cexpr c)
+    | Preo_automata.Constr.Const v ->
+      Printf.sprintf "Constr.Const %s" (emit_value v)
+    | Preo_automata.Constr.App (f, u) ->
+      Printf.sprintf "Constr.App (%S, %s)" f (term u)
+  in
+  let atom (a : Preo_automata.Constr.atom) =
+    match a with
+    | Preo_automata.Constr.Eq (x, y) ->
+      Printf.sprintf "Constr.Eq (%s, %s)" (term x) (term y)
+    | Preo_automata.Constr.Pred (p, pos, x) ->
+      Printf.sprintf "Constr.Pred (%S, %b, %s)" p pos (term x)
+  in
+  let iset_expr s =
+    Printf.sprintf "Iset.of_list [ %s ]"
+      (String.concat "; "
+         (List.map vexpr (Preo_support.Iset.elements s)))
+  in
+  buf_add buf (Printf.sprintf "  let %s (subst : Vertex.t array) =\n" name);
+  let ncells = Hashtbl.length cmap in
+  if ncells > 0 then
+    buf_add buf
+      (Printf.sprintf
+         "    let cells = Array.init %d (fun _ -> Cell.fresh \"cell\") in\n"
+         ncells);
+  buf_add buf
+    (Printf.sprintf "    Automaton.make ~nstates:%d ~initial:%d\n"
+       auto.Preo_automata.Automaton.nstates auto.Preo_automata.Automaton.initial);
+  buf_add buf "      ~trans:[|\n";
+  Array.iter
+    (fun ts ->
+      buf_add buf "        [|";
+      Array.iter
+        (fun (tr : Preo_automata.Automaton.trans) ->
+          buf_add buf
+            (Printf.sprintf
+               "\n          { Automaton.sync = %s;\n            constr = [ %s \
+                ];\n            command = None; target = %d };"
+               (iset_expr tr.sync)
+               (String.concat ";\n                       "
+                  (List.map atom tr.constr))
+               tr.target))
+        ts;
+      buf_add buf " |];\n")
+    auto.Preo_automata.Automaton.trans;
+  buf_add buf "      |]\n";
+  buf_add buf
+    (Printf.sprintf "      ~sources:(%s) ~sinks:(%s)\n  in\n"
+       (iset_expr auto.Preo_automata.Automaton.sources)
+       (iset_expr auto.Preo_automata.Automaton.sinks))
+
+(* --- The instantiation program (Fig. 10's connect body) ------------------- *)
+
+let rec emit_nodes buf ~indent ~loops ~params ~medium_names nodes =
+  let pad = String.make indent ' ' in
+  List.iter
+    (fun node ->
+      match node with
+      | Template.N_medium (Template.M_static { auto = _; binding }) as n ->
+        let name = List.assq n medium_names in
+        let substs =
+          Array.to_list binding
+          |> List.map (fun (_, sym) -> emit_sym ~loops ~params sym)
+        in
+        buf_add buf
+          (Printf.sprintf "%sadd (%s [| %s |]);\n" pad name
+             (String.concat "; " substs))
+      | Template.N_medium (Template.M_dynamic inst) ->
+        let kind = Eval.kind_of_inst inst in
+        let tails =
+          List.map (emit_arg_list ~loops ~params) inst.i_tails
+        in
+        let heads =
+          List.map (emit_arg_list ~loops ~params) inst.i_heads
+        in
+        let cat = function
+          | [] -> "[]"
+          | [ one ] -> one
+          | many -> Printf.sprintf "(List.concat [ %s ])" (String.concat "; " many)
+        in
+        buf_add buf
+          (Printf.sprintf "%sadd (Preo_reo.Prim.build %s ~tails:%s ~heads:%s);\n"
+             pad (emit_kind kind) (cat tails) (cat heads))
+      | Template.N_loop (var, lo, hi, body) ->
+        let ocaml_var = "v_" ^ var in
+        buf_add buf
+          (Printf.sprintf "%sfor %s = %s to %s do\n" pad ocaml_var
+             (emit_iexpr ~loops lo) (emit_iexpr ~loops hi));
+        emit_nodes buf ~indent:(indent + 2)
+          ~loops:((var, ocaml_var) :: loops)
+          ~params ~medium_names body;
+        buf_add buf (Printf.sprintf "%sdone;\n" pad)
+      | Template.N_if (cond, then_, else_) ->
+        buf_add buf
+          (Printf.sprintf "%sif %s then begin\n" pad (emit_bexpr ~loops cond));
+        emit_nodes buf ~indent:(indent + 2) ~loops ~params ~medium_names then_;
+        buf_add buf (Printf.sprintf "%send\n%selse begin\n" pad pad);
+        emit_nodes buf ~indent:(indent + 2) ~loops ~params ~medium_names else_;
+        buf_add buf (Printf.sprintf "%send;\n" pad)
+      )
+    nodes
+
+let collect_static_mediums (t : Template.t) =
+  let acc = ref [] in
+  let rec go nodes =
+    List.iter
+      (fun node ->
+        match node with
+        | Template.N_medium (Template.M_static { auto; binding }) ->
+          acc := (node, auto, binding) :: !acc
+        | Template.N_medium (Template.M_dynamic _) -> ()
+        | Template.N_loop (_, _, _, body) -> go body
+        | Template.N_if (_, a, b) -> go a; go b)
+      nodes
+  in
+  go t.Template.nodes;
+  List.rev !acc
+
+let connector ~module_comment (t : Template.t) =
+  let def = t.Template.def in
+  let params =
+    List.map (function P_scalar x | P_array x -> x)
+      (def.c_tparams @ def.c_hparams)
+  in
+  let buf = Buffer.create 4096 in
+  buf_add buf (Printf.sprintf "(* %s *)\n" module_comment);
+  buf_add buf
+    "(* Generated by preoc — do not edit. Links against the preo runtime\n\
+    \   (libraries: preo_support preo_automata preo_reo preo_runtime). *)\n\n";
+  buf_add buf "open Preo_support\nopen Preo_automata\n\n";
+  buf_add buf "let connect ?config ~(lengths : (string * int) list) () :\n";
+  buf_add buf "    Preo_runtime.Connector.t =\n";
+  buf_add buf
+    "  let len name =\n\
+    \    match List.assoc_opt name lengths with\n\
+    \    | Some n -> n\n\
+    \    | None -> invalid_arg (\"missing length for array parameter \" ^ name)\n\
+    \  in\n\
+    \  ignore len;\n";
+  (* Boundary vertices, one array per parameter (scalars have length 1). *)
+  List.iter
+    (fun p ->
+      match p with
+      | P_scalar x ->
+        buf_add buf
+          (Printf.sprintf "  let %s = [| Vertex.fresh %S |] in\n" (param_var x) x)
+      | P_array x ->
+        buf_add buf
+          (Printf.sprintf
+             "  let %s =\n\
+             \    Array.init (len %S)\n\
+             \      (fun i -> Vertex.fresh (Printf.sprintf \"%s[%%d]\" (i + 1)))\n\
+             \  in\n"
+             (param_var x) x x))
+    (def.c_tparams @ def.c_hparams);
+  buf_add buf
+    "  let locals : (string * int list, Vertex.t) Hashtbl.t = Hashtbl.create 16 in\n\
+    \  let local name idxs =\n\
+    \    match Hashtbl.find_opt locals (name, idxs) with\n\
+    \    | Some v -> v\n\
+    \    | None ->\n\
+    \      let v = Vertex.fresh name in\n\
+    \      Hashtbl.add locals (name, idxs) v;\n\
+    \      v\n\
+    \  in\n\
+    \  ignore local;\n\
+    \  let mediums = ref [] in\n\
+    \  let add m = mediums := m :: !mediums in\n";
+  (* Compile-time share: one literal automaton per static medium. *)
+  let statics = collect_static_mediums t in
+  let medium_names =
+    List.mapi (fun i (node, _, _) -> (node, Printf.sprintf "medium_%d" i)) statics
+  in
+  List.iter
+    (fun (node, auto, binding) ->
+      let name = List.assq node medium_names in
+      emit_medium_literal buf ~name auto binding)
+    statics;
+  (* Run-time share. *)
+  emit_nodes buf ~indent:2 ~loops:[] ~params ~medium_names t.Template.nodes;
+  let group which =
+    String.concat "; " (List.map (fun p -> param_var (match p with P_scalar x | P_array x -> x)) which)
+  in
+  buf_add buf
+    (Printf.sprintf
+       "  Preo_runtime.Connector.create ?config\n\
+       \    ~sources:(Array.concat [ %s ])\n\
+       \    ~sinks:(Array.concat [ %s ])\n\
+       \    (List.rev !mediums)\n"
+       (group def.c_tparams) (group def.c_hparams));
+  Buffer.contents buf

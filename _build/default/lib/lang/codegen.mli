@@ -1,0 +1,23 @@
+(** Code generation: emit a standalone OCaml module implementing one
+    parametrized connector — the analogue of the paper's text-to-Java
+    compiler output (Fig. 10).
+
+    The generated module contains the compile-time share verbatim: every
+    static medium automaton appears as a literal [Automaton.make] (the
+    generated "state machine classes"), and the run-time share is ordinary
+    OCaml control flow (loops/conditionals around medium constructors, as in
+    Fig. 10's [connect]). The module exposes
+
+    {[
+      val connect :
+        ?config:Preo_runtime.Config.t ->
+        lengths:(string * int) list ->
+        unit ->
+        Preo_runtime.Connector.t
+    ]}
+
+    and links against this library's runtime system, exactly as the paper's
+    generated Java links against its runtime plug-in. *)
+
+val connector : module_comment:string -> Template.t -> string
+(** OCaml source text. [module_comment] goes into the header. *)

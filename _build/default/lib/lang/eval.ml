@@ -1,0 +1,178 @@
+open Preo_support
+open Preo_automata
+open Ast
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type venv = {
+  ints : (string * int) list;
+  arrays : (string, Vertex.t array) Hashtbl.t;
+  locals : (string * int list, Vertex.t) Hashtbl.t;
+}
+
+let venv ~ints ~arrays =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (name, vs) -> Hashtbl.replace tbl name vs) arrays;
+  { ints; arrays = tbl; locals = Hashtbl.create 32 }
+
+let rec eval_int env = function
+  | I_lit n -> n
+  | I_var v -> begin
+    match List.assoc_opt v env.ints with
+    | Some n -> n
+    | None -> err "eval: unbound integer variable %s" v
+  end
+  | I_len a -> begin
+    match Hashtbl.find_opt env.arrays a with
+    | Some vs -> Array.length vs
+    | None -> err "eval: #%s refers to an unknown array" a
+  end
+  | I_add (a, b) -> eval_int env a + eval_int env b
+  | I_sub (a, b) -> eval_int env a - eval_int env b
+  | I_mul (a, b) -> eval_int env a * eval_int env b
+  | I_div (a, b) ->
+    let d = eval_int env b in
+    if d = 0 then err "eval: division by zero" else eval_int env a / d
+  | I_mod (a, b) ->
+    let d = eval_int env b in
+    if d = 0 then err "eval: modulo by zero" else eval_int env a mod d
+  | I_neg a -> -eval_int env a
+
+let rec eval_bool env = function
+  | B_cmp (c, a, b) -> begin
+    let x = eval_int env a and y = eval_int env b in
+    match c with
+    | Ceq -> x = y
+    | Cne -> x <> y
+    | Clt -> x < y
+    | Cle -> x <= y
+    | Cgt -> x > y
+    | Cge -> x >= y
+  end
+  | B_and (a, b) -> eval_bool env a && eval_bool env b
+  | B_or (a, b) -> eval_bool env a || eval_bool env b
+  | B_not a -> not (eval_bool env a)
+
+let kind_of_inst (i : inst) =
+  match Preo_reo.Prim.of_name i.i_name with
+  | None -> err "eval: %s is not a primitive" i.i_name
+  | Some kind -> begin
+    match (kind, i.i_ann) with
+    | Preo_reo.Prim.Filter _, Some p -> Preo_reo.Prim.Filter p
+    | Preo_reo.Prim.Transform _, Some f -> Preo_reo.Prim.Transform f
+    | Preo_reo.Prim.Fifo1_full _, Some v -> begin
+      match int_of_string_opt v with
+      | Some n -> Preo_reo.Prim.Fifo1_full (Value.int n)
+      | None -> Preo_reo.Prim.Fifo1_full (Value.str v)
+    end
+    | Preo_reo.Prim.Fifo1, Some v -> begin
+      (* Fifo<k>: bounded buffer of capacity k (the paper's fifon). *)
+      match int_of_string_opt v with
+      | Some 1 -> Preo_reo.Prim.Fifo1
+      | Some n when n >= 2 -> Preo_reo.Prim.Fifo_n n
+      | _ -> err "eval: Fifo<%s>: capacity must be a positive integer" v
+    end
+    | kind, _ -> kind
+  end
+
+type prim_inst = {
+  pi_kind : Preo_reo.Prim.kind;
+  pi_tails : Vertex.t list;
+  pi_heads : Vertex.t list;
+}
+
+let array_of env x =
+  match Hashtbl.find_opt env.arrays x with
+  | Some vs -> Some vs
+  | None -> None
+
+let local_vertex env x idxs =
+  let key = (x, idxs) in
+  match Hashtbl.find_opt env.locals key with
+  | Some v -> v
+  | None ->
+    let name =
+      match idxs with
+      | [] -> x
+      | idxs ->
+        x ^ String.concat "" (List.map (fun i -> Printf.sprintf "[%d]" i) idxs)
+    in
+    let v = Vertex.fresh name in
+    Hashtbl.add env.locals key v;
+    v
+
+let index_into x vs i =
+  if i < 1 || i > Array.length vs then
+    err "eval: index %d out of bounds for %s (length %d)" i x (Array.length vs)
+  else vs.(i - 1)
+
+let resolve_arg env = function
+  | A_id x -> begin
+    match array_of env x with
+    | Some vs -> Array.to_list vs
+    | None -> [ local_vertex env x [] ]
+  end
+  | A_index (x, idxs) -> begin
+    let idxs = List.map (eval_int env) idxs in
+    match array_of env x with
+    | Some vs -> begin
+      match idxs with
+      | [ i ] -> [ index_into x vs i ]
+      | _ -> err "eval: parameter %s takes exactly one index" x
+    end
+    | None -> [ local_vertex env x idxs ]
+  end
+  | A_slice (x, lo, hi) -> begin
+    let lo = eval_int env lo and hi = eval_int env hi in
+    if lo > hi then err "eval: empty slice %s[%d..%d]" x lo hi;
+    match array_of env x with
+    | Some vs -> List.init (hi - lo + 1) (fun k -> index_into x vs (lo + k))
+    | None ->
+      (* Slice of a local array: materialize (memoized) local vertices. *)
+      List.init (hi - lo + 1) (fun k -> local_vertex env x [ lo + k ])
+  end
+
+let rec prims env = function
+  | E_skip -> []
+  | E_mult (a, b) -> prims env a @ prims env b
+  | E_inst i ->
+    let kind = kind_of_inst i in
+    let tails = List.concat_map (resolve_arg env) i.i_tails in
+    let heads = List.concat_map (resolve_arg env) i.i_heads in
+    if
+      not
+        (Preo_reo.Prim.arity_ok kind ~ntails:(List.length tails)
+           ~nheads:(List.length heads))
+    then
+      err "eval: %s instantiated with %d tails / %d heads" i.i_name
+        (List.length tails) (List.length heads);
+    [ { pi_kind = kind; pi_tails = tails; pi_heads = heads } ]
+  | E_prod (v, lo, hi, body) ->
+    let lo = eval_int env lo and hi = eval_int env hi in
+    List.concat_map
+      (fun i -> prims { env with ints = (v, i) :: env.ints } body)
+      (List.init (max 0 (hi - lo + 1)) (fun k -> lo + k))
+  | E_if (c, t, e) -> if eval_bool env c then prims env t else prims env e
+
+let boundary_of_def (d : conn_def) ~lengths =
+  let make p =
+    match p with
+    | P_scalar x -> (x, [| Vertex.fresh x |])
+    | P_array x -> begin
+      match List.assoc_opt x lengths with
+      | Some n ->
+        if n < 1 then err "boundary: array %s must be nonempty" x;
+        (x, Array.init n (fun i -> Vertex.fresh (Printf.sprintf "%s[%d]" x (i + 1))))
+      | None -> err "boundary: missing length for array parameter %s" x
+    end
+  in
+  let tg = List.map make d.c_tparams and hg = List.map make d.c_hparams in
+  let flat groups = Array.concat (List.map snd groups) in
+  (tg @ hg, flat tg, flat hg)
+
+let small_automata ps =
+  List.map
+    (fun p -> Preo_reo.Prim.build p.pi_kind ~tails:p.pi_tails ~heads:p.pi_heads)
+    ps

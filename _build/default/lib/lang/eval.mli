@@ -1,0 +1,50 @@
+(** Evaluation of (flattened) connector bodies with fully concrete
+    parameters — the front half of the existing compiler: once every array
+    length is known, the body denotes a plain multiset of primitive
+    instances over concrete vertices. *)
+
+open Preo_automata
+
+exception Error of string
+
+type venv = {
+  ints : (string * int) list;  (** iteration variables, main parameters *)
+  arrays : (string, Vertex.t array) Hashtbl.t;
+      (** formal vertex parameters: scalars are 1-element arrays *)
+  locals : (string * int list, Vertex.t) Hashtbl.t;
+      (** memoized local vertices, keyed by name and index values *)
+}
+
+val venv : ints:(string * int) list -> arrays:(string * Vertex.t array) list -> venv
+
+val eval_int : venv -> Ast.iexpr -> int
+val eval_bool : venv -> Ast.bexpr -> bool
+
+val kind_of_inst : Ast.inst -> Preo_reo.Prim.kind
+(** Resolve primitive name + annotation ([Filter<p>], [Transform<f>],
+    [Fifo1Full<v>]). Raises {!Error} on a composite name. *)
+
+type prim_inst = {
+  pi_kind : Preo_reo.Prim.kind;
+  pi_tails : Vertex.t list;
+  pi_heads : Vertex.t list;
+}
+
+val resolve_arg : venv -> Ast.arg -> Vertex.t list
+(** Scalars and indexed names yield one vertex; whole arrays and slices
+    spread to several (for variadic primitives). Local vertices are created
+    on first use. *)
+
+val prims : venv -> Ast.expr -> prim_inst list
+(** Evaluate a flattened body. *)
+
+val boundary_of_def :
+  Ast.conn_def ->
+  lengths:(string * int) list ->
+  (string * Vertex.t array) list * Vertex.t array * Vertex.t array
+(** Create fresh boundary vertices for a definition's formals: [lengths]
+    gives each array parameter's size. Returns the name->vertices binding
+    plus the flattened source and sink boundary arrays (in signature
+    order). *)
+
+val small_automata : prim_inst list -> Automaton.t list

@@ -1,0 +1,202 @@
+open Ast
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type view = { vbase : string; voffset : iexpr; vlen : iexpr }
+(* Maps the formal's 1-based index i to vbase[voffset + i]. *)
+
+type env = {
+  defs : (string, conn_def) Hashtbl.t;
+  counter : int ref;
+  scalars : (string, arg) Hashtbl.t;
+  arrays : (string, view) Hashtbl.t;
+  renames : (string, string) Hashtbl.t;  (** locals of the current frame *)
+  loop_renames : (string, string) Hashtbl.t;
+  mutable loops : iexpr list;  (** enclosing (renamed) iteration variables *)
+  prefix : iexpr list;
+      (** iteration variables enclosing this frame's call site: in-lined
+          locals are implicitly indexed by these *)
+  rename_locals : bool;  (** false only for the outermost frame *)
+}
+
+let fresh env base =
+  incr env.counter;
+  Printf.sprintf "%s__%d" base !(env.counter)
+
+let local_name env x =
+  if not env.rename_locals then x
+  else begin
+    match Hashtbl.find_opt env.renames x with
+    | Some x' -> x'
+    | None ->
+      let x' = fresh env x in
+      Hashtbl.add env.renames x x';
+      x'
+  end
+
+let rec subst_iexpr env = function
+  | I_lit n -> I_lit n
+  | I_var v -> begin
+    match Hashtbl.find_opt env.loop_renames v with
+    | Some v' -> I_var v'
+    | None -> I_var v (* main parameter *)
+  end
+  | I_len a -> begin
+    match Hashtbl.find_opt env.arrays a with
+    | Some view -> view.vlen
+    | None -> err "flatten: #%s does not refer to an array in scope" a
+  end
+  | I_add (a, b) -> I_add (subst_iexpr env a, subst_iexpr env b)
+  | I_sub (a, b) -> I_sub (subst_iexpr env a, subst_iexpr env b)
+  | I_mul (a, b) -> I_mul (subst_iexpr env a, subst_iexpr env b)
+  | I_div (a, b) -> I_div (subst_iexpr env a, subst_iexpr env b)
+  | I_mod (a, b) -> I_mod (subst_iexpr env a, subst_iexpr env b)
+  | I_neg a -> I_neg (subst_iexpr env a)
+
+let rec subst_bexpr env = function
+  | B_cmp (c, a, b) -> B_cmp (c, subst_iexpr env a, subst_iexpr env b)
+  | B_and (a, b) -> B_and (subst_bexpr env a, subst_bexpr env b)
+  | B_or (a, b) -> B_or (subst_bexpr env a, subst_bexpr env b)
+  | B_not a -> B_not (subst_bexpr env a)
+
+let shift view e = canon_iexpr (I_add (view.voffset, e))
+
+let with_prefix env name idxs =
+  match env.prefix @ idxs with
+  | [] -> A_id name
+  | idxs -> A_index (name, idxs)
+
+let subst_arg env = function
+  | A_id x -> begin
+    match Hashtbl.find_opt env.scalars x with
+    | Some a -> a
+    | None -> begin
+      match Hashtbl.find_opt env.arrays x with
+      | Some v ->
+        (* Whole array passed on. *)
+        A_slice (v.vbase, shift v (I_lit 1), shift v v.vlen)
+      | None ->
+        (* Local scalar of this frame. *)
+        with_prefix env (local_name env x) []
+    end
+  end
+  | A_index (x, idxs) -> begin
+    let idxs = List.map (subst_iexpr env) idxs in
+    match Hashtbl.find_opt env.arrays x with
+    | Some v -> begin
+      match idxs with
+      | [ e ] -> A_index (v.vbase, [ shift v e ])
+      | _ -> err "flatten: array %s takes exactly one index" x
+    end
+    | None ->
+      if Hashtbl.mem env.scalars x then
+        err "flatten: scalar %s cannot be indexed" x
+      else with_prefix env (local_name env x) idxs
+  end
+  | A_slice (x, lo, hi) -> begin
+    let lo = subst_iexpr env lo and hi = subst_iexpr env hi in
+    match Hashtbl.find_opt env.arrays x with
+    | Some v -> A_slice (v.vbase, shift v lo, shift v hi)
+    | None ->
+      if Hashtbl.mem env.scalars x then
+        err "flatten: cannot slice scalar %s" x
+      else if env.prefix <> [] then
+        err
+          "flatten: cannot slice local array %s of an in-lined composite \
+           under an iteration"
+          x
+      else A_slice (local_name env x, lo, hi)
+  end
+
+(* Bind the formals of [d] to already-substituted actual arguments. *)
+let frame_for env (d : conn_def) (tails : arg list) (heads : arg list) =
+  let scalars = Hashtbl.create 8 and arrays = Hashtbl.create 8 in
+  let bind formal actual =
+    match (formal, actual) with
+    | P_scalar f, ((A_id _ | A_index _) as a) -> Hashtbl.add scalars f a
+    | P_array f, A_slice (base, lo, hi) ->
+      Hashtbl.add arrays f
+        {
+          vbase = base;
+          voffset = canon_iexpr (I_sub (lo, I_lit 1));
+          vlen = canon_iexpr (I_add (I_sub (hi, lo), I_lit 1));
+        }
+    | P_scalar f, A_slice _ -> err "flatten: parameter %s needs a scalar" f
+    | P_array f, (A_id _ | A_index _) ->
+      err "flatten: parameter %s needs an array slice" f
+  in
+  (try List.iter2 bind d.c_tparams tails with Invalid_argument _ ->
+    err "flatten: arity mismatch instantiating %s" d.c_name);
+  (try List.iter2 bind d.c_hparams heads with Invalid_argument _ ->
+    err "flatten: arity mismatch instantiating %s" d.c_name);
+  {
+    env with
+    scalars;
+    arrays;
+    renames = Hashtbl.create 8;
+    loop_renames = Hashtbl.create 8;
+    loops = env.loops;
+    prefix = env.loops;
+    rename_locals = true;
+  }
+
+let rec flatten_expr env = function
+  | E_skip -> E_skip
+  | E_mult (a, b) -> E_mult (flatten_expr env a, flatten_expr env b)
+  | E_prod (v, lo, hi, body) ->
+    let lo = subst_iexpr env lo and hi = subst_iexpr env hi in
+    let v' = fresh env v in
+    Hashtbl.add env.loop_renames v v';
+    let saved = env.loops in
+    env.loops <- saved @ [ I_var v' ];
+    let body = flatten_expr env body in
+    env.loops <- saved;
+    Hashtbl.remove env.loop_renames v;
+    E_prod (v', lo, hi, body)
+  | E_if (c, t, e) ->
+    E_if (subst_bexpr env c, flatten_expr env t, flatten_expr env e)
+  | E_inst i -> begin
+    let tails = List.map (subst_arg env) i.i_tails in
+    let heads = List.map (subst_arg env) i.i_heads in
+    match Preo_reo.Prim.of_name i.i_name with
+    | Some _ -> E_inst { i with i_tails = tails; i_heads = heads }
+    | None -> begin
+      match Hashtbl.find_opt env.defs i.i_name with
+      | None -> err "flatten: unknown connector %s" i.i_name
+      | Some d ->
+        let inner = frame_for env d tails heads in
+        flatten_expr inner d.c_body
+    end
+  end
+
+let def ~defs (d : conn_def) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace tbl d.c_name d) defs;
+  let env =
+    {
+      defs = tbl;
+      counter = ref 0;
+      scalars = Hashtbl.create 8;
+      arrays = Hashtbl.create 8;
+      renames = Hashtbl.create 8;
+      loop_renames = Hashtbl.create 8;
+      loops = [];
+      prefix = [];
+      rename_locals = false;
+    }
+  in
+  (* Identity views for the outermost formals. *)
+  List.iter
+    (fun p ->
+      match p with
+      | P_scalar x -> Hashtbl.add env.scalars x (A_id x)
+      | P_array x ->
+        Hashtbl.add env.arrays x
+          { vbase = x; voffset = I_lit 0; vlen = I_len x })
+    (d.c_tparams @ d.c_hparams);
+  { d with c_body = flatten_expr env d.c_body }
+
+let program (p : program) =
+  { p with defs = List.map (def ~defs:p.defs) p.defs }

@@ -1,0 +1,17 @@
+(** Flattening (§IV-C, first compilation step): recursively expand and
+    in-line every composite constituent, renaming in-lined local variables to
+    fresh names. Local variables of a composite in-lined under [k] enclosing
+    iterations become locals indexed by those iteration variables, so each
+    run-time instance of the composite gets its own internal vertices.
+
+    After flattening, a definition's body contains only primitive
+    constituents (possibly under [prod]/[if]). *)
+
+exception Error of string
+
+val def : defs:Ast.conn_def list -> Ast.conn_def -> Ast.conn_def
+(** Flatten one definition in the context of [defs]. The program must have
+    passed {!Sema.check}. *)
+
+val program : Ast.program -> Ast.program
+(** Flatten every definition (main is untouched). *)

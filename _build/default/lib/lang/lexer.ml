@@ -1,0 +1,112 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | DOT | DOTDOT | HASH
+  | EQ
+  | EQEQ | NE | LE | GE | LT | GT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ANDAND | OROR | BANG
+  | KW_MULT | KW_PROD | KW_IF | KW_ELSE | KW_MAIN | KW_AMONG
+  | KW_FORALL | KW_AND | KW_SKIP
+  | EOF
+
+exception Error of string * int
+
+let keyword = function
+  | "mult" -> Some KW_MULT
+  | "prod" -> Some KW_PROD
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "main" -> Some KW_MAIN
+  | "among" -> Some KW_AMONG
+  | "forall" -> Some KW_FORALL
+  | "and" -> Some KW_AND
+  | "skip" -> Some KW_SKIP
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      emit (match keyword word with Some kw -> kw | None -> IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else begin
+      let two tok = emit tok; i := !i + 2 in
+      let one tok = emit tok; incr i in
+      match (c, peek 1) with
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '.', Some '.' -> two DOTDOT
+      | '=', _ -> one EQ
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '!', _ -> one BANG
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | '.', _ -> one DOT
+      | '#', _ -> one HASH
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | LPAREN -> "'('" | RPAREN -> "')'"
+  | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | COMMA -> "','" | SEMI -> "';'" | COLON -> "':'"
+  | DOT -> "'.'" | DOTDOT -> "'..'" | HASH -> "'#'"
+  | EQ -> "'='" | EQEQ -> "'=='" | NE -> "'!='"
+  | LE -> "'<='" | GE -> "'>='" | LT -> "'<'" | GT -> "'>'"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'"
+  | SLASH -> "'/'" | PERCENT -> "'%'"
+  | ANDAND -> "'&&'" | OROR -> "'||'" | BANG -> "'!'"
+  | KW_MULT -> "'mult'" | KW_PROD -> "'prod'" | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'" | KW_MAIN -> "'main'" | KW_AMONG -> "'among'"
+  | KW_FORALL -> "'forall'" | KW_AND -> "'and'" | KW_SKIP -> "'skip'"
+  | EOF -> "end of input"

@@ -1,0 +1,22 @@
+(** Hand-written lexer for the textual DSL. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | DOT | DOTDOT | HASH
+  | EQ  (** [=] *)
+  | EQEQ | NE | LE | GE | LT | GT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | ANDAND | OROR | BANG
+  | KW_MULT | KW_PROD | KW_IF | KW_ELSE | KW_MAIN | KW_AMONG
+  | KW_FORALL | KW_AND | KW_SKIP
+  | EOF
+
+exception Error of string * int
+(** message, line number *)
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers. Supports [//] line comments. *)
+
+val token_name : token -> string

@@ -1,0 +1,40 @@
+open Ast
+
+type nbody = {
+  n_consts : inst list;
+  n_prods : (string * iexpr * iexpr * nbody) list;
+  n_ifs : (bexpr * nbody * nbody) list;
+}
+
+let empty = { n_consts = []; n_prods = []; n_ifs = [] }
+
+let merge a b =
+  {
+    n_consts = a.n_consts @ b.n_consts;
+    n_prods = a.n_prods @ b.n_prods;
+    n_ifs = a.n_ifs @ b.n_ifs;
+  }
+
+let rec of_expr = function
+  | E_skip -> empty
+  | E_inst i -> { empty with n_consts = [ i ] }
+  | E_mult (a, b) -> merge (of_expr a) (of_expr b)
+  | E_prod (v, lo, hi, body) ->
+    { empty with n_prods = [ (v, lo, hi, of_expr body) ] }
+  | E_if (c, t, e) -> begin
+    match (of_expr t, of_expr e) with
+    | t, e when t = empty && e = empty -> empty
+    | t, e -> { empty with n_ifs = [ (c, t, e) ] }
+  end
+
+let is_empty b = b = empty
+
+let rec to_expr b =
+  let parts =
+    List.map (fun i -> E_inst i) b.n_consts
+    @ List.map (fun (v, lo, hi, body) -> E_prod (v, lo, hi, to_expr body)) b.n_prods
+    @ List.map (fun (c, t, e) -> E_if (c, to_expr t, to_expr e)) b.n_ifs
+  in
+  match parts with
+  | [] -> E_skip
+  | first :: rest -> List.fold_left (fun acc e -> E_mult (acc, e)) first rest

@@ -1,0 +1,18 @@
+(** Normal form (§IV-C, second compilation step): a body is reordered —
+    soundly, by associativity/commutativity of [mult] — into a section of
+    plain constituents, then a section of iterations, then a section of
+    conditionals, recursively. *)
+
+type nbody = {
+  n_consts : Ast.inst list;
+  n_prods : (string * Ast.iexpr * Ast.iexpr * nbody) list;
+  n_ifs : (Ast.bexpr * nbody * nbody) list;
+}
+
+val of_expr : Ast.expr -> nbody
+(** The expression must be flattened (primitive constituents only). *)
+
+val to_expr : nbody -> Ast.expr
+(** Re-linearize (for printing and round-trip tests). *)
+
+val is_empty : nbody -> bool

@@ -1,0 +1,369 @@
+open Ast
+
+exception Error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let make src =
+  match Lexer.tokenize src with
+  | toks -> { toks = Array.of_list toks; pos = 0 }
+  | exception Lexer.Error (msg, line) -> raise (Error (msg, line))
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st what =
+  raise
+    (Error
+       ( Printf.sprintf "expected %s, found %s" what
+           (Lexer.token_name (peek st)),
+         line st ))
+
+let expect st tok what = if peek st = tok then advance st else fail st what
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | _ -> fail st "an identifier"
+
+(* --- Integer expressions ------------------------------------------------ *)
+
+let rec iexpr_p st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS -> advance st; loop (I_add (acc, term st))
+    | Lexer.MINUS -> advance st; loop (I_sub (acc, term st))
+    | _ -> acc
+  in
+  loop (term st)
+
+and term st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR -> advance st; loop (I_mul (acc, unary st))
+    | Lexer.SLASH -> advance st; loop (I_div (acc, unary st))
+    | Lexer.PERCENT -> advance st; loop (I_mod (acc, unary st))
+    | _ -> acc
+  in
+  loop (unary st)
+
+and unary st =
+  match peek st with
+  | Lexer.MINUS -> advance st; I_neg (unary st)
+  | _ -> atom st
+
+and atom st =
+  match peek st with
+  | Lexer.INT n -> advance st; I_lit n
+  | Lexer.IDENT v -> advance st; I_var v
+  | Lexer.HASH -> advance st; I_len (ident st)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = iexpr_p st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | _ -> fail st "an integer expression"
+
+(* --- Boolean expressions ------------------------------------------------ *)
+
+let cmp_of_token = function
+  | Lexer.EQEQ -> Some Ceq
+  | Lexer.NE -> Some Cne
+  | Lexer.LT -> Some Clt
+  | Lexer.LE -> Some Cle
+  | Lexer.GT -> Some Cgt
+  | Lexer.GE -> Some Cge
+  | _ -> None
+
+let rec bexpr_p st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.OROR -> advance st; loop (B_or (acc, bterm st))
+    | _ -> acc
+  in
+  loop (bterm st)
+
+and bterm st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.ANDAND -> advance st; loop (B_and (acc, bfactor st))
+    | _ -> acc
+  in
+  loop (bfactor st)
+
+and bfactor st =
+  match peek st with
+  | Lexer.BANG -> advance st; B_not (bfactor st)
+  | _ ->
+    (* Could be "iexpr cmp iexpr" or "( bexpr )": try the comparison first
+       and backtrack on failure. *)
+    let saved = st.pos in
+    (match
+       try
+         let a = iexpr_p st in
+         match cmp_of_token (peek st) with
+         | Some c ->
+           advance st;
+           let b = iexpr_p st in
+           Some (B_cmp (c, a, b))
+         | None -> None
+       with Error _ -> None
+     with
+     | Some b -> b
+     | None ->
+       st.pos <- saved;
+       expect st Lexer.LPAREN "a comparison or '('";
+       let b = bexpr_p st in
+       expect st Lexer.RPAREN "')'";
+       b)
+
+(* --- Arguments ----------------------------------------------------------- *)
+
+let arg st =
+  let name = ident st in
+  let rec indices acc =
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let e1 = iexpr_p st in
+      (match peek st with
+       | Lexer.DOTDOT ->
+         advance st;
+         let e2 = iexpr_p st in
+         expect st Lexer.RBRACKET "']'";
+         if acc <> [] then
+           raise (Error ("slices cannot follow other indices", line st));
+         (match peek st with
+          | Lexer.LBRACKET ->
+            raise (Error ("slices cannot be indexed further", line st))
+          | _ -> `Slice (e1, e2))
+       | _ ->
+         expect st Lexer.RBRACKET "']'";
+         indices (e1 :: acc))
+    | _ -> `Indices (List.rev acc)
+  in
+  match indices [] with
+  | `Slice (e1, e2) -> A_slice (name, e1, e2)
+  | `Indices [] -> A_id name
+  | `Indices idxs -> A_index (name, idxs)
+
+let args st close =
+  if peek st = close then []
+  else begin
+    let rec loop acc =
+      let a = arg st in
+      match peek st with
+      | Lexer.COMMA -> advance st; loop (a :: acc)
+      | _ -> List.rev (a :: acc)
+    in
+    loop []
+  end
+
+let qname st =
+  let first = ident st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.DOT -> advance st; loop (acc ^ "." ^ ident st)
+    | _ -> acc
+  in
+  loop first
+
+let annotation st =
+  match peek st with
+  | Lexer.LT ->
+    advance st;
+    let a =
+      match peek st with
+      | Lexer.IDENT s -> advance st; s
+      | Lexer.INT n -> advance st; string_of_int n
+      | _ -> fail st "an annotation (identifier or integer)"
+    in
+    expect st Lexer.GT "'>'";
+    Some a
+  | _ -> None
+
+let inst_with_name st name =
+  let ann = annotation st in
+  expect st Lexer.LPAREN "'('";
+  let tails = args st Lexer.SEMI in
+  expect st Lexer.SEMI "';'";
+  let heads = args st Lexer.RPAREN in
+  expect st Lexer.RPAREN "')'";
+  { i_name = name; i_ann = ann; i_tails = tails; i_heads = heads }
+
+(* --- Connector expressions ---------------------------------------------- *)
+
+let rec expr_p st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.KW_MULT -> advance st; loop (E_mult (acc, factor st))
+    | _ -> acc
+  in
+  loop (factor st)
+
+and factor st =
+  match peek st with
+  | Lexer.KW_SKIP -> advance st; E_skip
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr_p st in
+    expect st Lexer.RPAREN "')'";
+    e
+  | Lexer.KW_PROD ->
+    advance st;
+    expect st Lexer.LPAREN "'('";
+    let v = ident st in
+    expect st Lexer.COLON "':'";
+    let lo = iexpr_p st in
+    expect st Lexer.DOTDOT "'..'";
+    let hi = iexpr_p st in
+    expect st Lexer.RPAREN "')'";
+    let body =
+      match peek st with
+      | Lexer.LBRACE ->
+        advance st;
+        let e = expr_p st in
+        expect st Lexer.RBRACE "'}'";
+        e
+      | _ -> factor st
+    in
+    E_prod (v, lo, hi, body)
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN "'('";
+    let c = bexpr_p st in
+    expect st Lexer.RPAREN "')'";
+    expect st Lexer.LBRACE "'{'";
+    let t = expr_p st in
+    expect st Lexer.RBRACE "'}'";
+    let e =
+      match peek st with
+      | Lexer.KW_ELSE ->
+        advance st;
+        expect st Lexer.LBRACE "'{'";
+        let e = expr_p st in
+        expect st Lexer.RBRACE "'}'";
+        e
+      | _ -> E_skip
+    in
+    E_if (c, t, e)
+  | Lexer.IDENT _ -> E_inst (inst_with_name st (ident st))
+  | _ -> fail st "a connector expression"
+
+(* --- Definitions --------------------------------------------------------- *)
+
+let param st =
+  let name = ident st in
+  match peek st with
+  | Lexer.LBRACKET ->
+    advance st;
+    expect st Lexer.RBRACKET "']'";
+    P_array name
+  | _ -> P_scalar name
+
+let params st close =
+  if peek st = close then []
+  else begin
+    let rec loop acc =
+      let p = param st in
+      match peek st with
+      | Lexer.COMMA -> advance st; loop (p :: acc)
+      | _ -> List.rev (p :: acc)
+    in
+    loop []
+  end
+
+let conn_def_p st name =
+  expect st Lexer.LPAREN "'('";
+  let tparams = params st Lexer.SEMI in
+  expect st Lexer.SEMI "';'";
+  let hparams = params st Lexer.RPAREN in
+  expect st Lexer.RPAREN "')'";
+  expect st Lexer.EQ "'='";
+  let body = expr_p st in
+  { c_name = name; c_tparams = tparams; c_hparams = hparams; c_body = body }
+
+let task_inst_p st =
+  let name = qname st in
+  expect st Lexer.LPAREN "'('";
+  let targs = args st Lexer.RPAREN in
+  expect st Lexer.RPAREN "')'";
+  { t_name = name; t_args = targs }
+
+let task_item_p st =
+  match peek st with
+  | Lexer.KW_FORALL ->
+    advance st;
+    expect st Lexer.LPAREN "'('";
+    let v = ident st in
+    expect st Lexer.COLON "':'";
+    let lo = iexpr_p st in
+    expect st Lexer.DOTDOT "'..'";
+    let hi = iexpr_p st in
+    expect st Lexer.RPAREN "')'";
+    TI_forall (v, lo, hi, task_inst_p st)
+  | _ -> TI_single (task_inst_p st)
+
+let main_def_p st =
+  let mparams =
+    match peek st with
+    | Lexer.LPAREN ->
+      advance st;
+      let rec loop acc =
+        let p = ident st in
+        match peek st with
+        | Lexer.COMMA -> advance st; loop (p :: acc)
+        | _ -> List.rev (p :: acc)
+      in
+      let ps = loop [] in
+      expect st Lexer.RPAREN "')'";
+      ps
+    | _ -> []
+  in
+  expect st Lexer.EQ "'='";
+  let conn = inst_with_name st (ident st) in
+  expect st Lexer.KW_AMONG "'among'";
+  let rec tasks acc =
+    let t = task_item_p st in
+    match peek st with
+    | Lexer.KW_AND -> advance st; tasks (t :: acc)
+    | _ -> List.rev (t :: acc)
+  in
+  { m_params = mparams; m_conn = conn; m_tasks = tasks [] }
+
+let program_p st =
+  let defs = ref [] in
+  let main = ref None in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW_MAIN ->
+      advance st;
+      if !main <> None then
+        raise (Error ("duplicate main definition", line st));
+      main := Some (main_def_p st);
+      loop ()
+    | Lexer.IDENT _ ->
+      let name = ident st in
+      defs := conn_def_p st name :: !defs;
+      loop ()
+    | _ -> fail st "a definition or end of input"
+  in
+  loop ();
+  { defs = List.rev !defs; main = !main }
+
+(* --- Entry points -------------------------------------------------------- *)
+
+let parse_with f src =
+  let st = make src in
+  let x = f st in
+  (match peek st with
+   | Lexer.EOF -> ()
+   | _ -> fail st "end of input");
+  x
+
+let program src = parse_with program_p src
+let conn_def src = parse_with (fun st -> conn_def_p st (ident st)) src
+let iexpr src = parse_with iexpr_p src
+let bexpr src = parse_with bexpr_p src

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the textual DSL (concrete grammar in the
+    README; it follows the paper's Figs. 8–9 verbatim, plus [skip], [//]
+    comments, and [Name<ann>] data annotations). *)
+
+exception Error of string * int
+(** message, line *)
+
+val program : string -> Ast.program
+val conn_def : string -> Ast.conn_def
+(** Parse a single connector definition (convenience for tests). *)
+
+val iexpr : string -> Ast.iexpr
+val bexpr : string -> Ast.bexpr

@@ -1,0 +1,323 @@
+open Ast
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type kind = K_scalar | K_array
+
+type scope = {
+  defs : (string, conn_def) Hashtbl.t;
+  params : (string, kind) Hashtbl.t;  (** formal vertex parameters *)
+  locals : (string, int) Hashtbl.t;  (** local name -> index arity *)
+  mutable loop_vars : string list;
+  int_params : string list;  (** main parameters, empty inside conn defs *)
+  where : string;
+}
+
+let param_name = function P_scalar x | P_array x -> x
+let param_kind = function P_scalar _ -> K_scalar | P_array _ -> K_array
+
+(* --- Integer and boolean expressions ------------------------------------ *)
+
+let rec check_iexpr sc = function
+  | I_lit _ -> ()
+  | I_var v ->
+    if not (List.mem v sc.loop_vars || List.mem v sc.int_params) then
+      err "%s: %s is not an iteration variable or integer parameter" sc.where v
+  | I_len a -> begin
+    match Hashtbl.find_opt sc.params a with
+    | Some K_array -> ()
+    | Some K_scalar -> err "%s: #%s applied to a scalar parameter" sc.where a
+    | None -> err "%s: #%s refers to an unknown array" sc.where a
+  end
+  | I_add (a, b) | I_sub (a, b) | I_mul (a, b) | I_div (a, b) | I_mod (a, b) ->
+    check_iexpr sc a;
+    check_iexpr sc b
+  | I_neg a -> check_iexpr sc a
+
+let rec check_bexpr sc = function
+  | B_cmp (_, a, b) -> check_iexpr sc a; check_iexpr sc b
+  | B_and (a, b) | B_or (a, b) -> check_bexpr sc a; check_bexpr sc b
+  | B_not a -> check_bexpr sc a
+
+(* --- Arguments ----------------------------------------------------------- *)
+
+(* Returns the kind the argument denotes. *)
+let check_arg sc = function
+  | A_id x -> begin
+    match Hashtbl.find_opt sc.params x with
+    | Some k -> k
+    | None ->
+      if List.mem x sc.loop_vars then
+        err "%s: iteration variable %s used as a vertex" sc.where x;
+      (* Implicitly declared local scalar. *)
+      (match Hashtbl.find_opt sc.locals x with
+       | Some 0 -> ()
+       | Some n ->
+         err "%s: local %s used both with %d indices and without" sc.where x n
+       | None -> Hashtbl.add sc.locals x 0);
+      K_scalar
+  end
+  | A_index (x, idxs) -> begin
+    List.iter (check_iexpr sc) idxs;
+    let nidx = List.length idxs in
+    match Hashtbl.find_opt sc.params x with
+    | Some K_array ->
+      if nidx <> 1 then
+        err "%s: array parameter %s takes exactly one index" sc.where x;
+      K_scalar
+    | Some K_scalar -> err "%s: scalar parameter %s cannot be indexed" sc.where x
+    | None ->
+      if List.mem x sc.loop_vars then
+        err "%s: iteration variable %s used as a vertex" sc.where x;
+      (match Hashtbl.find_opt sc.locals x with
+       | Some n when n <> nidx ->
+         err "%s: local %s used with both %d and %d indices" sc.where x n nidx
+       | Some _ -> ()
+       | None -> Hashtbl.add sc.locals x nidx);
+      K_scalar
+  end
+  | A_slice (x, lo, hi) -> begin
+    check_iexpr sc lo;
+    check_iexpr sc hi;
+    match Hashtbl.find_opt sc.params x with
+    | Some K_array -> K_array
+    | Some K_scalar -> err "%s: cannot slice scalar parameter %s" sc.where x
+    | None ->
+      if List.mem x sc.loop_vars then
+        err "%s: iteration variable %s used as a vertex" sc.where x;
+      (* Slice of a local array: the local must be singly indexed. *)
+      (match Hashtbl.find_opt sc.locals x with
+       | Some 1 -> ()
+       | Some n -> err "%s: local %s used with both %d and 1 indices" sc.where x n
+       | None -> Hashtbl.add sc.locals x 1);
+      K_array
+  end
+
+(* --- Instantiations ------------------------------------------------------ *)
+
+let has_slice args = List.exists (function A_slice _ -> true | _ -> false) args
+
+let check_inst sc (i : inst) =
+  let tails = List.map (check_arg sc) i.i_tails in
+  let heads = List.map (check_arg sc) i.i_heads in
+  match Preo_reo.Prim.of_name i.i_name with
+  | Some kind -> begin
+    (match i.i_ann with
+     | Some ann -> begin
+       match kind with
+       | Preo_reo.Prim.Filter _ | Preo_reo.Prim.Transform _
+       | Preo_reo.Prim.Fifo1_full _ -> ()
+       | Preo_reo.Prim.Fifo1 -> begin
+         match int_of_string_opt ann with
+         | Some n when n >= 1 -> ()
+         | _ -> err "%s: Fifo<%s>: capacity must be a positive integer" sc.where ann
+       end
+       | _ -> err "%s: %s does not take a <...> annotation" sc.where i.i_name
+     end
+     | None -> begin
+       match kind with
+       | Preo_reo.Prim.Filter _ ->
+         err "%s: Filter requires a <predicate> annotation" sc.where
+       | Preo_reo.Prim.Transform _ ->
+         err "%s: Transform requires a <function> annotation" sc.where
+       | _ -> ()
+     end);
+    let variadic_tails, variadic_heads =
+      match kind with
+      | Preo_reo.Prim.Merger | Preo_reo.Prim.Seq | Preo_reo.Prim.Sync_drain
+      | Preo_reo.Prim.Async_drain -> (true, false)
+      | Preo_reo.Prim.Replicator | Preo_reo.Prim.Router -> (false, true)
+      | _ -> (false, false)
+    in
+    let ntails = List.length i.i_tails and nheads = List.length i.i_heads in
+    if (not variadic_tails) && (has_slice i.i_tails || List.mem K_array tails)
+    then err "%s: %s does not accept arrays as tails" sc.where i.i_name;
+    if (not variadic_heads) && (has_slice i.i_heads || List.mem K_array heads)
+    then err "%s: %s does not accept arrays as heads" sc.where i.i_name;
+    (* With slices, the static count is a lower bound only. *)
+    let ok =
+      if variadic_tails || variadic_heads then ntails >= 1 || nheads >= 1
+      else Preo_reo.Prim.arity_ok kind ~ntails ~nheads
+    in
+    if not ok then
+      err "%s: %s does not accept %d tails and %d heads" sc.where i.i_name
+        ntails nheads
+  end
+  | None -> begin
+    match Hashtbl.find_opt sc.defs i.i_name with
+    | None -> err "%s: unknown connector %s" sc.where i.i_name
+    | Some d ->
+      if i.i_ann <> None then
+        err "%s: composite %s does not take an annotation" sc.where i.i_name;
+      let check_group formals actuals which =
+        if List.length formals <> List.length actuals then
+          err "%s: %s expects %d %s parameters, got %d" sc.where i.i_name
+            (List.length formals) which (List.length actuals);
+        List.iter2
+          (fun formal actual_kind ->
+            match (formal, actual_kind) with
+            | P_scalar _, K_scalar | P_array _, K_array -> ()
+            | P_scalar x, K_array ->
+              err "%s: %s parameter %s needs a scalar vertex" sc.where
+                i.i_name x
+            | P_array x, K_scalar ->
+              err "%s: %s parameter %s needs an array (use a slice)" sc.where
+                i.i_name x)
+          formals actuals
+      in
+      check_group d.c_tparams tails "tail";
+      check_group d.c_hparams heads "head"
+  end
+
+(* --- Expressions --------------------------------------------------------- *)
+
+let rec check_expr sc = function
+  | E_skip -> ()
+  | E_inst i -> check_inst sc i
+  | E_mult (a, b) -> check_expr sc a; check_expr sc b
+  | E_prod (v, lo, hi, body) ->
+    if List.mem v sc.loop_vars then
+      err "%s: iteration variable %s shadows an enclosing one" sc.where v;
+    if Hashtbl.mem sc.params v then
+      err "%s: iteration variable %s shadows a parameter" sc.where v;
+    check_iexpr sc lo;
+    check_iexpr sc hi;
+    sc.loop_vars <- v :: sc.loop_vars;
+    check_expr sc body;
+    sc.loop_vars <- List.tl sc.loop_vars
+  | E_if (c, t, e) ->
+    check_bexpr sc c;
+    check_expr sc t;
+    check_expr sc e
+
+(* --- Definitions --------------------------------------------------------- *)
+
+let scope_of_def defs (d : conn_def) =
+  let params = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let name = param_name p in
+      if Hashtbl.mem params name then
+        err "%s: duplicate parameter %s" d.c_name name;
+      Hashtbl.add params name (param_kind p))
+    (d.c_tparams @ d.c_hparams);
+  {
+    defs;
+    params;
+    locals = Hashtbl.create 8;
+    loop_vars = [];
+    int_params = [];
+    where = d.c_name;
+  }
+
+let check_def ~defs d =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace tbl d.c_name d) defs;
+  check_expr (scope_of_def tbl d) d.c_body
+
+(* Reject (mutual) recursion among composite definitions. *)
+let check_recursion defs =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace tbl d.c_name d) defs;
+  let rec calls_of = function
+    | E_skip -> []
+    | E_inst i -> if Hashtbl.mem tbl i.i_name then [ i.i_name ] else []
+    | E_mult (a, b) -> calls_of a @ calls_of b
+    | E_prod (_, _, _, b) -> calls_of b
+    | E_if (_, a, b) -> calls_of a @ calls_of b
+  in
+  let visiting = Hashtbl.create 8 and done_ = Hashtbl.create 8 in
+  let rec visit name =
+    if Hashtbl.mem done_ name then ()
+    else if Hashtbl.mem visiting name then
+      err "recursive connector definition involving %s" name
+    else begin
+      Hashtbl.add visiting name ();
+      (match Hashtbl.find_opt tbl name with
+       | Some d -> List.iter visit (calls_of d.c_body)
+       | None -> ());
+      Hashtbl.remove visiting name;
+      Hashtbl.add done_ name ()
+    end
+  in
+  List.iter (fun d -> visit d.c_name) defs
+
+(* --- Main ---------------------------------------------------------------- *)
+
+let check_main defs (m : main_def) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun d -> Hashtbl.replace tbl d.c_name d) defs;
+  (match List.find_opt (fun p -> List.length (List.filter (String.equal p) m.m_params) > 1) m.m_params with
+   | Some p -> err "main: duplicate parameter %s" p
+   | None -> ());
+  let sc =
+    {
+      defs = tbl;
+      params = Hashtbl.create 8;
+      locals = Hashtbl.create 8;
+      loop_vars = [];
+      int_params = m.m_params;
+      where = "main";
+    }
+  in
+  (* Port groups created by the connector instance. *)
+  let declare arg =
+    match arg with
+    | A_id x | A_index (x, _) | A_slice (x, _, _) ->
+      if Hashtbl.mem sc.params x then err "main: port group %s reused" x;
+      (match arg with
+       | A_id x -> Hashtbl.add sc.params x K_scalar
+       | A_slice (x, lo, hi) ->
+         check_iexpr sc lo;
+         check_iexpr sc hi;
+         Hashtbl.add sc.params x K_array
+       | A_index _ -> err "main: connector arguments must be names or slices");
+      x
+  in
+  let groups =
+    List.map declare (m.m_conn.i_tails @ m.m_conn.i_heads)
+  in
+  (* The connector itself must exist with compatible shape. *)
+  check_inst sc m.m_conn;
+  (* Tasks may only use the declared groups. *)
+  let used = Hashtbl.create 8 in
+  let check_task_arg sc a =
+    (match a with
+     | A_id x | A_index (x, _) | A_slice (x, _, _) ->
+       if not (Hashtbl.mem sc.params x) then
+         err "main: task uses undeclared port %s" x;
+       Hashtbl.replace used x ());
+    ignore (check_arg sc a)
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | TI_single t -> List.iter (check_task_arg sc) t.t_args
+      | TI_forall (v, lo, hi, t) ->
+        check_iexpr sc lo;
+        check_iexpr sc hi;
+        sc.loop_vars <- v :: sc.loop_vars;
+        List.iter (check_task_arg sc) t.t_args;
+        sc.loop_vars <- List.tl sc.loop_vars)
+    m.m_tasks;
+  List.iter
+    (fun g ->
+      if not (Hashtbl.mem used g) then
+        err "main: port group %s is not used by any task" g)
+    groups
+
+let check (p : program) =
+  (* Unique definition names, not shadowing primitives. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if Preo_reo.Prim.of_name d.c_name <> None then
+        err "definition %s shadows a primitive" d.c_name;
+      if Hashtbl.mem seen d.c_name then err "duplicate definition %s" d.c_name;
+      Hashtbl.add seen d.c_name ())
+    p.defs;
+  List.iter (check_def ~defs:p.defs) p.defs;
+  check_recursion p.defs;
+  Option.iter (check_main p.defs) p.main

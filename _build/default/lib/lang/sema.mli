@@ -1,0 +1,22 @@
+(** Semantic analysis: scoping, kinds, arities, recursion.
+
+    Checks a parsed program before flattening/compilation:
+    - definition names are unique and do not shadow primitives;
+    - formal parameters are distinct; array/scalar kinds are used
+      consistently (indexing only arrays, [#] only on arrays, scalars never
+      indexed);
+    - integer expressions refer only to iteration variables in scope (and to
+      main parameters inside [main]);
+    - instantiated names exist and argument shapes fit (fixed-arity
+      primitives get exactly their ports, variadic ones at least one);
+    - composite definitions are not (mutually) recursive;
+    - in [main], tasks use exactly the port groups declared by the connector
+      instance. *)
+
+exception Error of string
+
+val check : Ast.program -> unit
+(** Raises {!Error} with a descriptive message on the first problem. *)
+
+val check_def : defs:Ast.conn_def list -> Ast.conn_def -> unit
+(** Check a single definition in the context of [defs]. *)

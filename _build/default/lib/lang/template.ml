@@ -1,0 +1,187 @@
+open Preo_automata
+open Ast
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type sym = S_indexed of string * iexpr list | S_scalar of string
+
+type medium =
+  | M_static of {
+      auto : Automaton.t;
+      binding : (Vertex.t * sym) array;
+    }
+  | M_dynamic of Ast.inst
+
+type node =
+  | N_medium of medium
+  | N_loop of string * iexpr * iexpr * node list
+  | N_if of bexpr * node list * node list
+
+type t = { def : conn_def; nodes : node list }
+
+(* --- Compilation -------------------------------------------------------- *)
+
+let sym_of_arg = function
+  | A_id x -> S_scalar x
+  | A_index (x, idxs) -> S_indexed (x, List.map canon_iexpr idxs)
+  | A_slice _ -> invalid_arg "sym_of_arg: slice"
+
+let has_slice (i : inst) =
+  List.exists
+    (function A_slice _ -> true | A_id _ | A_index _ -> false)
+    (i.i_tails @ i.i_heads)
+
+(* Whole-array parameters passed bare (A_id over an array formal) also have
+   run-time arity. The flattened form only produces A_slice for those, so
+   [has_slice] is the complete test. *)
+
+let compile_group ~max_medium_states (consts : inst list) : medium =
+  let placeholders : (sym, Vertex.t) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let placeholder sym =
+    match Hashtbl.find_opt placeholders sym with
+    | Some v -> v
+    | None ->
+      let name =
+        match sym with
+        | S_scalar x -> x
+        | S_indexed (x, _) -> x ^ "[..]"
+      in
+      let v = Vertex.fresh name in
+      Hashtbl.add placeholders sym v;
+      order := (v, sym) :: !order;
+      v
+  in
+  let smalls =
+    List.map
+      (fun i ->
+        let kind = Eval.kind_of_inst i in
+        let tails = List.map (fun a -> placeholder (sym_of_arg a)) i.i_tails in
+        let heads = List.map (fun a -> placeholder (sym_of_arg a)) i.i_heads in
+        Preo_reo.Prim.build kind ~tails ~heads)
+      consts
+  in
+  let auto =
+    try Product.all ~max_states:max_medium_states smalls
+    with Product.Budget_exceeded msg ->
+      err "template: a static group is too large to compose at compile time (%s)" msg
+  in
+  M_static { auto; binding = Array.of_list (List.rev !order) }
+
+let rec compile_nbody ~max_medium_states (b : Normalize.nbody) : node list =
+  let static, dynamic = List.partition (fun i -> not (has_slice i)) b.n_consts in
+  let mediums =
+    (if static = [] then []
+     else [ N_medium (compile_group ~max_medium_states static) ])
+    @ List.map (fun i -> N_medium (M_dynamic i)) dynamic
+  in
+  mediums
+  @ List.map
+      (fun (v, lo, hi, body) ->
+        N_loop (v, lo, hi, compile_nbody ~max_medium_states body))
+      b.n_prods
+  @ List.map
+      (fun (c, t, e) ->
+        N_if
+          ( c,
+            compile_nbody ~max_medium_states t,
+            compile_nbody ~max_medium_states e ))
+      b.n_ifs
+
+let compile ?(max_medium_states = 100_000) (d : conn_def) =
+  { def = d; nodes = compile_nbody ~max_medium_states (Normalize.of_expr d.c_body) }
+
+(* --- Instantiation ------------------------------------------------------ *)
+
+let resolve_sym (env : Eval.venv) = function
+  | S_scalar x -> begin
+    match Eval.resolve_arg env (A_id x) with
+    | [ v ] -> v
+    | _ -> err "template: %s is an array, expected a scalar vertex" x
+  end
+  | S_indexed (x, idxs) -> begin
+    match Eval.resolve_arg env (A_index (x, idxs)) with
+    | [ v ] -> v
+    | _ -> err "template: %s[...] did not resolve to one vertex" x
+  end
+
+let instantiate_static env auto (binding : (Vertex.t * sym) array) =
+  let mapping = Hashtbl.create 16 in
+  let inverse = Hashtbl.create 16 in
+  Array.iter
+    (fun (ph, sym) ->
+      let v = resolve_sym env sym in
+      (match Hashtbl.find_opt inverse v with
+       | Some _ ->
+         err
+           "template: two symbolic vertices of one medium resolved to the \
+            same vertex %s (ill-formed instantiation)"
+           (Vertex.name v)
+       | None -> Hashtbl.add inverse v ());
+      Hashtbl.add mapping ph v)
+    binding;
+  let fresh_cells = Hashtbl.create 4 in
+  let cell_copy c =
+    match Hashtbl.find_opt fresh_cells c with
+    | Some d -> d
+    | None ->
+      let d = Cell.fresh (Cell.name c) in
+      Hashtbl.add fresh_cells c d;
+      d
+  in
+  auto
+  |> Automaton.map_vertices (fun v ->
+         match Hashtbl.find_opt mapping v with Some c -> c | None -> v)
+  |> Automaton.map_cells cell_copy
+
+let instantiate_dynamic env (i : inst) =
+  let kind = Eval.kind_of_inst i in
+  let tails = List.concat_map (Eval.resolve_arg env) i.i_tails in
+  let heads = List.concat_map (Eval.resolve_arg env) i.i_heads in
+  if
+    not
+      (Preo_reo.Prim.arity_ok kind ~ntails:(List.length tails)
+         ~nheads:(List.length heads))
+  then
+    err "template: %s instantiated with %d tails / %d heads" i.i_name
+      (List.length tails) (List.length heads);
+  Preo_reo.Prim.build kind ~tails ~heads
+
+let rec instantiate_nodes env nodes =
+  List.concat_map
+    (fun node ->
+      match node with
+      | N_medium (M_static { auto; binding }) ->
+        [ instantiate_static env auto binding ]
+      | N_medium (M_dynamic i) -> [ instantiate_dynamic env i ]
+      | N_loop (v, lo, hi, body) ->
+        let lo = Eval.eval_int env lo and hi = Eval.eval_int env hi in
+        List.concat_map
+          (fun k ->
+            instantiate_nodes { env with Eval.ints = (v, k) :: env.Eval.ints } body)
+          (List.init (max 0 (hi - lo + 1)) (fun j -> lo + j))
+      | N_if (c, t, e) ->
+        if Eval.eval_bool env c then instantiate_nodes env t
+        else instantiate_nodes env e)
+    nodes
+
+let instantiate t env = instantiate_nodes env t.nodes
+
+let rec count_nodes pred nodes =
+  List.fold_left
+    (fun acc node ->
+      acc
+      +
+      match node with
+      | N_medium m -> if pred m then 1 else 0
+      | N_loop (_, _, _, body) -> count_nodes pred body
+      | N_if (_, t, e) -> count_nodes pred t + count_nodes pred e)
+    0 nodes
+
+let count_static_mediums t =
+  count_nodes (function M_static _ -> true | M_dynamic _ -> false) t.nodes
+
+let count_dynamic_mediums t =
+  count_nodes (function M_dynamic _ -> true | M_static _ -> false) t.nodes

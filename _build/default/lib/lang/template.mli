@@ -1,0 +1,47 @@
+(** Parametrized compilation (§IV-C, compile-time share) and run-time
+    instantiation (§IV-D, run-time share).
+
+    [compile] composes, at compile time, every statically known group of
+    constituents into a "medium automaton" over placeholder vertices, and
+    wraps the groups under iteration/conditional nodes mirroring the
+    generated code of the paper's Fig. 10. [instantiate] executes those
+    nodes once the array lengths are known, renaming placeholders to
+    concrete vertices and giving every instance fresh memory cells. *)
+
+open Preo_automata
+
+exception Error of string
+
+type sym =
+  | S_indexed of string * Ast.iexpr list
+      (** formal array parameter at an index, or an (indexed) local *)
+  | S_scalar of string  (** formal scalar parameter or bare local *)
+
+type medium =
+  | M_static of {
+      auto : Automaton.t;  (** composed over placeholder vertices *)
+      binding : (Vertex.t * sym) array;  (** placeholder -> symbolic vertex *)
+    }
+  | M_dynamic of Ast.inst
+      (** a constituent with run-time arity (array-slice arguments): its
+          small automaton is built at instantiation time *)
+
+type node =
+  | N_medium of medium
+  | N_loop of string * Ast.iexpr * Ast.iexpr * node list
+  | N_if of Ast.bexpr * node list * node list
+
+type t = { def : Ast.conn_def; nodes : node list }
+
+val compile : ?max_medium_states:int -> Ast.conn_def -> t
+(** The definition must be flattened. [max_medium_states] bounds each static
+    group's compile-time product (default 100_000). *)
+
+val instantiate : t -> Eval.venv -> Automaton.t list
+(** The run-time share: returns the concrete medium automata. Raises
+    {!Error} if two distinct symbolic vertices of one medium resolve to the
+    same concrete vertex (an ill-formed instantiation, cf. Fig. 9's [if]
+    guarding the N=1 case). *)
+
+val count_static_mediums : t -> int
+val count_dynamic_mediums : t -> int

@@ -1,0 +1,1 @@
+lib/npb/cg.ml: Array Clock Comm Float Int List Preo_runtime Preo_support Rng Workloads

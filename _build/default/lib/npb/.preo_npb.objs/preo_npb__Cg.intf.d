@@ -1,0 +1,1 @@
+lib/npb/cg.mli: Comm Workloads

@@ -1,0 +1,1 @@
+lib/npb/comm.ml: Array Atomic Config Handsync List Port Preo Preo_connectors Task Value

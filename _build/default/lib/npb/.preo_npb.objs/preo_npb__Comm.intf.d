@@ -1,0 +1,1 @@
+lib/npb/comm.mli: Preo_runtime Preo_support

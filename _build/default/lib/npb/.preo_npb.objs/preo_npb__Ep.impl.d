@@ -1,0 +1,1 @@
+lib/npb/ep.ml: Clock Comm List Preo_runtime Preo_support Rng Workloads

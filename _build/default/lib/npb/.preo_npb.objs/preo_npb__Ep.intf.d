@@ -1,0 +1,1 @@
+lib/npb/ep.mli: Comm Workloads

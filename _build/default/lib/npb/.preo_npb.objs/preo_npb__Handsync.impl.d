@@ -1,0 +1,1 @@
+lib/npb/handsync.ml: Array Condition Mutex Queue

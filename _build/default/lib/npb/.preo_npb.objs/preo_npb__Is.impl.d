@@ -1,0 +1,1 @@
+lib/npb/is.ml: Array Clock Comm Int List Preo_runtime Preo_support Rng Workloads

@@ -1,0 +1,1 @@
+lib/npb/is.mli: Comm Workloads

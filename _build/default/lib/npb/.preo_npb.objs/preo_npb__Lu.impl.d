@@ -1,0 +1,1 @@
+lib/npb/lu.ml: Array Clock Comm Float List Preo_runtime Preo_support Rng Value Workloads

@@ -1,0 +1,1 @@
+lib/npb/lu.mli: Comm Workloads

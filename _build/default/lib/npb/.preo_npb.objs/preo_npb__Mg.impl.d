@@ -1,0 +1,1 @@
+lib/npb/mg.ml: Array Clock Comm List Preo_runtime Preo_support Rng Workloads

@@ -1,0 +1,1 @@
+lib/npb/mg.mli: Comm Workloads

@@ -1,0 +1,1 @@
+lib/npb/workloads.ml:

@@ -1,0 +1,136 @@
+open Preo_support
+
+type result = { zeta : float; seconds : float; comm_steps : int }
+
+(* Sparse symmetric positive-definite matrix in CSR form. Diagonal dominance
+   makes it SPD; construction is deterministic in (na, nonzer). *)
+type csr = {
+  row_ptr : int array;  (** length na+1 *)
+  col : int array;
+  value : float array;
+  na : int;
+}
+
+let make_matrix ~na ~nonzer =
+  let rng = Rng.create (na * 1_000_003 + nonzer) in
+  (* Off-diagonal pattern: per row, ~nonzer/2 entries with col > row,
+     mirrored below the diagonal. *)
+  let upper = Array.make na [] in
+  let lower = Array.make na [] in
+  for i = 0 to na - 1 do
+    let k = 1 + Rng.int rng (max 1 (nonzer / 2)) in
+    for _ = 1 to k do
+      let j = Rng.int rng na in
+      if j > i then begin
+        let v = Rng.float rng 1.0 -. 0.5 in
+        upper.(i) <- (j, v) :: upper.(i);
+        lower.(j) <- (i, v) :: lower.(j)
+      end
+    done
+  done;
+  let rows =
+    Array.init na (fun i ->
+        let entries = lower.(i) @ upper.(i) in
+        let entries = List.sort_uniq (fun (a, _) (b, _) -> Int.compare a b) entries in
+        let offdiag = List.fold_left (fun s (_, v) -> s +. Float.abs v) 0.0 entries in
+        (* strictly diagonally dominant: SPD *)
+        let diag = offdiag +. 1.0 +. (10.0 /. float_of_int na *. float_of_int (i + 1)) in
+        List.filter (fun (j, _) -> j < i) entries
+        @ [ (i, diag) ]
+        @ List.filter (fun (j, _) -> j > i) entries)
+  in
+  let nnz = Array.fold_left (fun acc r -> acc + List.length r) 0 rows in
+  let row_ptr = Array.make (na + 1) 0 in
+  let col = Array.make nnz 0 in
+  let value = Array.make nnz 0.0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i r ->
+      row_ptr.(i) <- !k;
+      List.iter
+        (fun (j, v) ->
+          col.(!k) <- j;
+          value.(!k) <- v;
+          incr k)
+        r)
+    rows;
+  row_ptr.(na) <- !k;
+  { row_ptr; col; value; na }
+
+let spmv_rows m x y lo hi =
+  for i = lo to hi - 1 do
+    let acc = ref 0.0 in
+    for k = m.row_ptr.(i) to m.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (m.value.(k) *. x.(m.col.(k)))
+    done;
+    y.(i) <- !acc
+  done
+
+let dot_rows a b lo hi =
+  let acc = ref 0.0 in
+  for i = lo to hi - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let run ~(comm : Comm.t) ~cls ~nslaves =
+  let { Workloads.cg_na = na; cg_nonzer; cg_niter; cg_inner; cg_shift } =
+    Workloads.cg cls
+  in
+  let m = make_matrix ~na ~nonzer:cg_nonzer in
+  (* Shared vectors (slaves write disjoint slices, separated by barriers). *)
+  let x = Array.make na 1.0 in
+  let z = Array.make na 0.0 in
+  let r = Array.make na 0.0 in
+  let p = Array.make na 0.0 in
+  let q = Array.make na 0.0 in
+  let zeta = ref 0.0 in
+  let t0 = Clock.now () in
+  let slave rank =
+    let lo = rank * na / nslaves and hi = (rank + 1) * na / nslaves in
+    for _it = 1 to cg_niter do
+      (* z = solve A z = x by CG *)
+      for i = lo to hi - 1 do
+        z.(i) <- 0.0;
+        r.(i) <- x.(i);
+        p.(i) <- x.(i)
+      done;
+      let rho = ref (comm.allreduce ~rank (dot_rows r r lo hi)) in
+      for _cgit = 1 to cg_inner do
+        comm.barrier ~rank;
+        (* everyone's p slice is visible *)
+        spmv_rows m p q lo hi;
+        let d = comm.allreduce ~rank (dot_rows p q lo hi) in
+        let alpha = !rho /. d in
+        for i = lo to hi - 1 do
+          z.(i) <- z.(i) +. (alpha *. p.(i));
+          r.(i) <- r.(i) -. (alpha *. q.(i))
+        done;
+        let rho' = comm.allreduce ~rank (dot_rows r r lo hi) in
+        let beta = rho' /. !rho in
+        rho := rho';
+        for i = lo to hi - 1 do
+          p.(i) <- r.(i) +. (beta *. p.(i))
+        done
+      done;
+      (* zeta = shift + 1 / (x . z); then x = z / ||z|| *)
+      let xz = comm.allreduce ~rank (dot_rows x z lo hi) in
+      let zz = comm.allreduce ~rank (dot_rows z z lo hi) in
+      let norm = sqrt zz in
+      if rank = 0 then zeta := cg_shift +. (1.0 /. xz);
+      for i = lo to hi - 1 do
+        x.(i) <- z.(i) /. norm
+      done;
+      comm.barrier ~rank
+    done
+  in
+  Preo_runtime.Task.run_all (List.init nslaves (fun rank () -> slave rank));
+  let seconds = Clock.now () -. t0 in
+  let comm_steps = comm.comm_steps () in
+  comm.finish ();
+  { zeta = !zeta; seconds; comm_steps }
+
+let verify cls ~nslaves =
+  let hand = run ~comm:(Comm.hand ~nslaves) ~cls ~nslaves in
+  let reo = run ~comm:(Comm.reo ~nslaves ()) ~cls ~nslaves in
+  hand.zeta = reo.zeta

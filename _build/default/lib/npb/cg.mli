@@ -1,0 +1,20 @@
+(** NPB CG kernel: estimate the largest eigenvalue of a sparse symmetric
+    positive-definite matrix with the power method, solving each inner
+    system by conjugate gradients (master–slaves organization; the paper's
+    Fig. 13 left column).
+
+    Work is partitioned by matrix rows; vectors live in shared memory (as in
+    the threaded Java reference implementation), so communication consists
+    of barriers and rank-ordered allreduce operations, supplied by a
+    {!Comm.t}. Both variants compute bit-identical results. *)
+
+type result = {
+  zeta : float;  (** verification value (eigenvalue estimate) *)
+  seconds : float;
+  comm_steps : int;  (** connector steps (0 for the hand variant) *)
+}
+
+val run : comm:Comm.t -> cls:Workloads.cls -> nslaves:int -> result
+
+val verify : Workloads.cls -> nslaves:int -> bool
+(** Hand vs Reo variants agree exactly. *)

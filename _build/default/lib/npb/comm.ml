@@ -1,0 +1,136 @@
+open Preo
+
+type t = {
+  allreduce : rank:int -> float -> float;
+  allreduce_array : rank:int -> float array -> float array;
+  barrier : rank:int -> unit;
+  pipe_send : rank:int -> Value.t -> unit;
+  pipe_recv : rank:int -> Value.t;
+  abort : unit -> unit;
+  finish : unit -> unit;
+  comm_steps : unit -> int;
+}
+
+(* --- Hand-written variant ------------------------------------------------ *)
+
+let hand ~nslaves =
+  let red = Handsync.reducer nslaves in
+  let ared = Handsync.array_reducer nslaves in
+  let bar = Handsync.barrier nslaves in
+  let pipes = Array.init (max 0 (nslaves - 1)) (fun _ -> Handsync.channel ()) in
+  {
+    allreduce = (fun ~rank x -> Handsync.reduce red rank x);
+    allreduce_array = (fun ~rank xs -> Handsync.reduce_array ared rank xs);
+    barrier = (fun ~rank:_ -> Handsync.await bar);
+    pipe_send = (fun ~rank v -> Handsync.send pipes.(rank) v);
+    pipe_recv = (fun ~rank -> Handsync.recv pipes.(rank - 1));
+    abort = (fun () -> ());
+    finish = (fun () -> ());
+    comm_steps = (fun () -> 0);
+  }
+
+(* --- Connector-based variant --------------------------------------------- *)
+
+let pipe_source =
+  {|NPipe(tl[];hd[]) = prod (i:1..#tl) Fifo1(tl[i];hd[i])|}
+
+let reo ?(config = Config.new_jit) ~nslaves () =
+  (* Gather (ordered) + broadcast for the allreduce. *)
+  let gather_entry = Preo_connectors.Catalog.find "ordered_merger" in
+  let gather_inst =
+    instantiate ~config
+      (Preo_connectors.Catalog.compiled gather_entry)
+      ~lengths:[ ("tl", nslaves); ("hd", nslaves) ]
+  in
+  let gather_out = outports gather_inst "tl" in
+  let gather_in = inports gather_inst "hd" in
+  let bcast_entry = Preo_connectors.Catalog.find "broadcast_fifo" in
+  let bcast_inst =
+    instantiate ~config
+      (Preo_connectors.Catalog.compiled bcast_entry)
+      ~lengths:[ ("hd", nslaves) ]
+  in
+  let bcast_out = (outports bcast_inst "tl").(0) in
+  let bcast_in = inports bcast_inst "hd" in
+  (* Barrier connector. *)
+  let bar_entry = Preo_connectors.Catalog.find "barrier" in
+  let bar_inst =
+    instantiate ~config
+      (Preo_connectors.Catalog.compiled bar_entry)
+      ~lengths:[ ("tl", nslaves); ("hd", nslaves) ]
+  in
+  let bar_out = outports bar_inst "tl" in
+  let bar_in = inports bar_inst "hd" in
+  (* Pipeline fifos between adjacent ranks. *)
+  let pipe_inst =
+    if nslaves > 1 then
+      Some
+        (instantiate ~config
+           (compile ~source:pipe_source ~name:"NPipe")
+           ~lengths:[ ("tl", nslaves - 1); ("hd", nslaves - 1) ])
+    else None
+  in
+  let pipe_out, pipe_in =
+    match pipe_inst with
+    | Some inst -> (outports inst "tl", inports inst "hd")
+    | None -> ([||], [||])
+  in
+  (* Master helper: repeatedly gather N partials in rank order, sum, and
+     broadcast the total; scalar floats and float arrays (elementwise) share
+     one protocol since every rank issues the same collective. Ends when the
+     connectors are poisoned. *)
+  let master =
+    Task.spawn (fun () ->
+        while true do
+          let parts = Array.map Port.recv gather_in in
+          let total =
+            match parts.(0) with
+            | Value.Float _ ->
+              Value.float
+                (Array.fold_left (fun acc v -> acc +. Value.to_float v) 0.0 parts)
+            | Value.Float_array first ->
+              let acc = Array.make (Array.length first) 0.0 in
+              Array.iter
+                (fun v ->
+                  Array.iteri
+                    (fun i x -> acc.(i) <- acc.(i) +. x)
+                    (Value.to_float_array v))
+                parts;
+              Value.float_array acc
+            | v ->
+              failwith
+                ("reo allreduce: unsupported payload " ^ Value.to_string v)
+          in
+          Port.send bcast_out total
+        done)
+  in
+  let instances =
+    [ gather_inst; bcast_inst; bar_inst ]
+    @ (match pipe_inst with Some i -> [ i ] | None -> [])
+  in
+  {
+    allreduce =
+      (fun ~rank x ->
+        Port.send gather_out.(rank) (Value.float x);
+        Value.to_float (Port.recv bcast_in.(rank)));
+    allreduce_array =
+      (fun ~rank xs ->
+        Port.send gather_out.(rank) (Value.float_array xs);
+        Value.to_float_array (Port.recv bcast_in.(rank)));
+    barrier =
+      (fun ~rank ->
+        Port.send bar_out.(rank) Value.unit;
+        ignore (Port.recv bar_in.(rank)));
+    pipe_send = (fun ~rank v -> Port.send pipe_out.(rank) v);
+    pipe_recv = (fun ~rank -> Port.recv pipe_in.(rank - 1));
+    abort = (fun () -> List.iter shutdown instances);
+    finish =
+      (let done_ = Atomic.make false in
+       fun () ->
+         if not (Atomic.exchange done_ true) then begin
+           List.iter shutdown instances;
+           Task.join master
+         end);
+    comm_steps =
+      (fun () -> List.fold_left (fun acc i -> acc + steps i) 0 instances);
+  }

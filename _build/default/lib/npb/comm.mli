@@ -1,0 +1,35 @@
+(** Communication/synchronization layer for the NPB kernels, in two
+    implementations with identical interfaces:
+
+    - {!hand}: hand-written barriers, reducers and channels — the paper's
+      "original" programs;
+    - {!reo}: everything expressed as connectors compiled from the DSL —
+      the paper's Reo-based variants. The allreduce uses the paper's
+      ordered-merger connector (Fig. 9) for the gather (rank order makes
+      floating-point reduction deterministic and bit-identical to the hand
+      variant), a broadcast-fifo connector for the result, a barrier
+      connector for sync points, and a fifo array for pipelines.
+
+    Ranks are 0-based slave indices. *)
+
+type t = {
+  allreduce : rank:int -> float -> float;
+      (** contribute and receive the rank-ordered sum (collective) *)
+  allreduce_array : rank:int -> float array -> float array;
+      (** elementwise rank-ordered sum of equal-length arrays (collective);
+          the result is shared and must not be mutated *)
+  barrier : rank:int -> unit;  (** collective synchronization *)
+  pipe_send : rank:int -> Preo_support.Value.t -> unit;
+      (** send to rank+1 (ranks 0..n-2); buffered *)
+  pipe_recv : rank:int -> Preo_support.Value.t;
+      (** receive from rank-1 (ranks 1..n-1) *)
+  abort : unit -> unit;
+      (** poison the connectors immediately (watchdog use); hand variant:
+          no-op. Safe to call from another thread. *)
+  finish : unit -> unit;  (** tear down helper tasks/connectors; idempotent *)
+  comm_steps : unit -> int;
+      (** global connector execution steps so far (0 for the hand variant) *)
+}
+
+val hand : nslaves:int -> t
+val reo : ?config:Preo_runtime.Config.t -> nslaves:int -> unit -> t

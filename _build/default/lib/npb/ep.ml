@@ -1,0 +1,30 @@
+open Preo_support
+
+type result = { estimate : float; seconds : float; comm_steps : int }
+
+let run ~(comm : Comm.t) ~cls ~nslaves =
+  let { Workloads.ep_samples } = Workloads.ep cls in
+  let per = ep_samples / nslaves in
+  let estimate = ref 0.0 in
+  let t0 = Clock.now () in
+  let slave rank =
+    let rng = Rng.create (7919 * (rank + 1)) in
+    let hits = ref 0 in
+    for _ = 1 to per do
+      let x = Rng.float rng 2.0 -. 1.0 and y = Rng.float rng 2.0 -. 1.0 in
+      if (x *. x) +. (y *. y) <= 1.0 then incr hits
+    done;
+    let total = comm.allreduce ~rank (float_of_int !hits) in
+    if rank = 0 then
+      estimate := 4.0 *. total /. float_of_int (per * nslaves)
+  in
+  Preo_runtime.Task.run_all (List.init nslaves (fun rank () -> slave rank));
+  let seconds = Clock.now () -. t0 in
+  let comm_steps = comm.comm_steps () in
+  comm.finish ();
+  { estimate = !estimate; seconds; comm_steps }
+
+let verify cls ~nslaves =
+  let hand = run ~comm:(Comm.hand ~nslaves) ~cls ~nslaves in
+  let reo = run ~comm:(Comm.reo ~nslaves ()) ~cls ~nslaves in
+  hand.estimate = reo.estimate

@@ -1,0 +1,8 @@
+(** NPB EP kernel ("embarrassingly parallel"): Monte-Carlo estimation with
+    per-slave independent random streams and one final reduction — minimal
+    communication, included to cover the kernels' easy end. *)
+
+type result = { estimate : float; seconds : float; comm_steps : int }
+
+val run : comm:Comm.t -> cls:Workloads.cls -> nslaves:int -> result
+val verify : Workloads.cls -> nslaves:int -> bool

@@ -1,0 +1,128 @@
+type barrier = {
+  b_lock : Mutex.t;
+  b_cond : Condition.t;
+  b_parties : int;
+  mutable b_count : int;
+  mutable b_phase : int;
+}
+
+let barrier n =
+  { b_lock = Mutex.create (); b_cond = Condition.create (); b_parties = n;
+    b_count = 0; b_phase = 0 }
+
+let await b =
+  Mutex.lock b.b_lock;
+  let phase = b.b_phase in
+  b.b_count <- b.b_count + 1;
+  if b.b_count = b.b_parties then begin
+    b.b_count <- 0;
+    b.b_phase <- b.b_phase + 1;
+    Condition.broadcast b.b_cond
+  end
+  else
+    while b.b_phase = phase do
+      Condition.wait b.b_cond b.b_lock
+    done;
+  Mutex.unlock b.b_lock
+
+type 'a channel = {
+  c_lock : Mutex.t;
+  c_cond : Condition.t;
+  c_queue : 'a Queue.t;
+}
+
+let channel () =
+  { c_lock = Mutex.create (); c_cond = Condition.create (); c_queue = Queue.create () }
+
+let send c x =
+  Mutex.lock c.c_lock;
+  Queue.push x c.c_queue;
+  Condition.signal c.c_cond;
+  Mutex.unlock c.c_lock
+
+let recv c =
+  Mutex.lock c.c_lock;
+  while Queue.is_empty c.c_queue do
+    Condition.wait c.c_cond c.c_lock
+  done;
+  let x = Queue.pop c.c_queue in
+  Mutex.unlock c.c_lock;
+  x
+
+type reducer = {
+  r_lock : Mutex.t;
+  r_cond : Condition.t;
+  r_parties : int;
+  mutable r_count : int;
+  mutable r_phase : int;
+  r_parts : float array;
+  mutable r_result : float;
+}
+
+let reducer n =
+  { r_lock = Mutex.create (); r_cond = Condition.create (); r_parties = n;
+    r_count = 0; r_phase = 0; r_parts = Array.make n 0.0; r_result = 0.0 }
+
+(* Summation happens in rank order so the result is deterministic and
+   bit-identical to the connector-based variant (which also reduces in rank
+   order). *)
+let reduce r rank x =
+  Mutex.lock r.r_lock;
+  let phase = r.r_phase in
+  r.r_parts.(rank) <- x;
+  r.r_count <- r.r_count + 1;
+  if r.r_count = r.r_parties then begin
+    r.r_result <- Array.fold_left ( +. ) 0.0 r.r_parts;
+    r.r_count <- 0;
+    r.r_phase <- r.r_phase + 1;
+    Condition.broadcast r.r_cond
+  end
+  else
+    while r.r_phase = phase do
+      Condition.wait r.r_cond r.r_lock
+    done;
+  let result = r.r_result in
+  Mutex.unlock r.r_lock;
+  result
+
+type array_reducer = {
+  a_lock : Mutex.t;
+  a_cond : Condition.t;
+  a_parties : int;
+  mutable a_count : int;
+  mutable a_phase : int;
+  a_parts : float array option array;
+  mutable a_result : float array;
+}
+
+let array_reducer n =
+  { a_lock = Mutex.create (); a_cond = Condition.create (); a_parties = n;
+    a_count = 0; a_phase = 0; a_parts = Array.make n None; a_result = [||] }
+
+let reduce_array r rank xs =
+  Mutex.lock r.a_lock;
+  let phase = r.a_phase in
+  r.a_parts.(rank) <- Some xs;
+  r.a_count <- r.a_count + 1;
+  if r.a_count = r.a_parties then begin
+    let len = Array.length xs in
+    let acc = Array.make len 0.0 in
+    (* rank order: deterministic *)
+    Array.iter
+      (function
+        | Some part -> Array.iteri (fun i x -> acc.(i) <- acc.(i) +. x) part
+        | None -> assert false)
+      r.a_parts;
+    Array.fill r.a_parts 0 r.a_parties None;
+    r.a_result <- acc;
+    r.a_count <- 0;
+    r.a_phase <- r.a_phase + 1;
+    Condition.broadcast r.a_cond
+  end
+  else
+    while r.a_phase = phase do
+      Condition.wait r.a_cond r.a_lock
+    done;
+  let result = r.a_result in
+  Mutex.unlock r.a_lock;
+  result

@@ -1,0 +1,35 @@
+(** Hand-written synchronization for the "original" NPB variants: the
+    constructs a programmer would reach for without a protocol language
+    (cf. the paper's §V-C baseline). *)
+
+type barrier
+
+val barrier : int -> barrier
+val await : barrier -> unit
+(** Cyclic: blocks until all parties arrive, then all are released. *)
+
+type 'a channel
+
+val channel : unit -> 'a channel
+val send : 'a channel -> 'a -> unit
+(** Nonblocking (unbounded buffer). *)
+
+val recv : 'a channel -> 'a
+(** Blocking. *)
+
+type reducer
+
+val reducer : int -> reducer
+val reduce : reducer -> int -> float -> float
+(** [reduce r rank x] contributes [x] as party [rank] and returns the sum of
+    all [n] contributions, added in rank order (deterministic); acts as a
+    barrier (phase-correct for repeated use). *)
+
+type array_reducer
+
+val array_reducer : int -> array_reducer
+
+val reduce_array : array_reducer -> int -> float array -> float array
+(** Elementwise sum of all parties' arrays (equal lengths), added in rank
+    order; collective like {!reduce}. The returned array is shared between
+    parties and must not be mutated. *)

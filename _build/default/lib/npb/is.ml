@@ -1,0 +1,55 @@
+open Preo_support
+
+type result = { checksum : float; seconds : float; comm_steps : int }
+
+let nbuckets = 64
+let iterations = 5
+
+let run ~(comm : Comm.t) ~cls ~nslaves =
+  let { Workloads.ep_samples } = Workloads.ep cls in
+  (* reuse the EP size ladder: keys per slave *)
+  let nkeys = max 1_000 (ep_samples / 10 / nslaves) in
+  let max_key = 1 lsl 16 in
+  let checksum = ref 0.0 in
+  let t0 = Clock.now () in
+  let slave rank =
+    let rng = Rng.create ((rank + 1) * 104729) in
+    let keys = Array.init nkeys (fun _ -> Rng.int rng max_key) in
+    let local_check = ref 0.0 in
+    for it = 1 to iterations do
+      (* Perturb keys deterministically so each iteration sorts new data. *)
+      Array.iteri
+        (fun i k -> keys.(i) <- (k + (it * 17)) land (max_key - 1))
+        keys;
+      (* Local histogram over the global buckets. *)
+      let hist = Array.make nbuckets 0.0 in
+      let bucket k = k * nbuckets / max_key in
+      Array.iter (fun k -> hist.(bucket k) <- hist.(bucket k) +. 1.0) keys;
+      let global = comm.allreduce_array ~rank hist in
+      (* Global bucket offsets (exclusive prefix sums). *)
+      let offsets = Array.make nbuckets 0.0 in
+      let acc = ref 0.0 in
+      for b = 0 to nbuckets - 1 do
+        offsets.(b) <- !acc;
+        acc := !acc +. global.(b)
+      done;
+      (* Local counting sort (the kernel's computational share). *)
+      Array.sort Int.compare keys;
+      (* Verification contribution: global rank of this slave's median key. *)
+      let median = keys.(nkeys / 2) in
+      local_check :=
+        !local_check +. offsets.(bucket median) +. float_of_int (median mod 97)
+    done;
+    let total = comm.allreduce ~rank !local_check in
+    if rank = 0 then checksum := total
+  in
+  Preo_runtime.Task.run_all (List.init nslaves (fun rank () -> slave rank));
+  let seconds = Clock.now () -. t0 in
+  let comm_steps = comm.comm_steps () in
+  comm.finish ();
+  { checksum = !checksum; seconds; comm_steps }
+
+let verify cls ~nslaves =
+  let hand = run ~comm:(Comm.hand ~nslaves) ~cls ~nslaves in
+  let reo = run ~comm:(Comm.reo ~nslaves ()) ~cls ~nslaves in
+  hand.checksum = reo.checksum

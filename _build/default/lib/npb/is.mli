@@ -1,0 +1,11 @@
+(** NPB IS kernel (integer sort, simplified): each slave generates random
+    keys, all ranks build a global bucket histogram with an array allreduce,
+    derive global ranks, and locally counting-sort their keys. The global
+    histogram exchange is the kernel's communication signature (here: one
+    array allreduce per iteration — gather through the paper's
+    ordered-merger connector, broadcast through a fifo broadcast). *)
+
+type result = { checksum : float; seconds : float; comm_steps : int }
+
+val run : comm:Comm.t -> cls:Workloads.cls -> nslaves:int -> result
+val verify : Workloads.cls -> nslaves:int -> bool

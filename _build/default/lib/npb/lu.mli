@@ -1,0 +1,21 @@
+(** NPB LU application (simplified): SSOR-style wavefront sweeps over a 2-D
+    grid, with row blocks owned by slaves and a software pipeline between
+    adjacent ranks (the paper's "master–slaves and pipeline" structure;
+    Fig. 13 right column).
+
+    A slave may update chunk [k] of its block only after its upper
+    neighbour finished chunk [k] of the previous block — the dependency
+    token travels down the pipeline (hand-written channels vs. a fifo-array
+    connector). The reverse sweep pipelines in the same direction ordering,
+    preserving determinism. *)
+
+type result = {
+  residual : float;
+      (** verification value: weighted grid checksum plus the last sweep's
+          residual *)
+  seconds : float;
+  comm_steps : int;
+}
+
+val run : comm:Comm.t -> cls:Workloads.cls -> nslaves:int -> result
+val verify : Workloads.cls -> nslaves:int -> bool

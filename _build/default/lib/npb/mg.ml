@@ -1,0 +1,163 @@
+open Preo_support
+
+type result = { norm : float; seconds : float; comm_steps : int }
+
+(* Grid levels: level 0 is the finest, side (n0 >> level) + 1 points per
+   axis; all levels live in pre-allocated shared arrays. *)
+type level = {
+  side : int;  (** number of interior+boundary points per axis *)
+  u : float array array;  (** current solution *)
+  f : float array array;  (** right-hand side *)
+  r : float array array;  (** residual scratch *)
+}
+
+let make_level side =
+  {
+    side;
+    u = Array.make_matrix side side 0.0;
+    f = Array.make_matrix side side 0.0;
+    r = Array.make_matrix side side 0.0;
+  }
+
+let rows_of rank nslaves side =
+  (* interior rows [1, side-2] split into contiguous blocks *)
+  let interior = side - 2 in
+  let lo = 1 + (rank * interior / nslaves) in
+  let hi = 1 + ((rank + 1) * interior / nslaves) in
+  (lo, hi)
+
+let run ~(comm : Comm.t) ~cls ~nslaves =
+  let { Workloads.lu_nx; lu_niter; _ } = Workloads.lu cls in
+  (* reuse the LU size ladder: finest grid side (power of two + 1) *)
+  let rec pow2_le n p = if 2 * p > n then p else pow2_le n (2 * p) in
+  let finest = pow2_le (max 16 lu_nx) 16 + 1 in
+  let nlevels =
+    let rec count side acc = if side <= 5 then acc else count ((side / 2) + 1) (acc + 1) in
+    count finest 1
+  in
+  let levels =
+    Array.init nlevels (fun l ->
+        let rec side_at l side = if l = 0 then side else side_at (l - 1) ((side / 2) + 1) in
+        make_level (side_at l finest))
+  in
+  (* Deterministic right-hand side on the finest level. *)
+  let rng = Rng.create (finest * 7 + nlevels) in
+  let fine = levels.(0) in
+  for i = 1 to finest - 2 do
+    for j = 1 to finest - 2 do
+      fine.f.(i).(j) <- Rng.float rng 1.0 -. 0.5
+    done
+  done;
+  let norm = ref 0.0 in
+  let t0 = Clock.now () in
+  let smooth lvl rank steps =
+    (* damped Jacobi with a read phase and a write-back phase separated by
+       barriers, so neighbouring blocks never observe half-updated rows and
+       both communication variants compute bit-identical grids *)
+    let { side; u; f; r } = levels.(lvl) in
+    let lo, hi = rows_of rank nslaves side in
+    for _ = 1 to steps do
+      comm.barrier ~rank;
+      for i = lo to hi - 1 do
+        for j = 1 to side - 2 do
+          r.(i).(j) <-
+            (0.8
+            *. 0.25
+            *. (u.(i - 1).(j) +. u.(i + 1).(j) +. u.(i).(j - 1)
+               +. u.(i).(j + 1)
+               -. f.(i).(j)))
+            +. (0.2 *. u.(i).(j))
+        done
+      done;
+      comm.barrier ~rank;
+      for i = lo to hi - 1 do
+        for j = 1 to side - 2 do
+          u.(i).(j) <- r.(i).(j)
+        done
+      done
+    done;
+    comm.barrier ~rank
+  in
+  let residual lvl rank =
+    let { side; u; f; r } = levels.(lvl) in
+    let lo, hi = rows_of rank nslaves side in
+    for i = lo to hi - 1 do
+      for j = 1 to side - 2 do
+        r.(i).(j) <-
+          f.(i).(j)
+          -. (u.(i - 1).(j) +. u.(i + 1).(j) +. u.(i).(j - 1) +. u.(i).(j + 1)
+             -. (4.0 *. u.(i).(j)))
+      done
+    done;
+    comm.barrier ~rank
+  in
+  let restrict lvl rank =
+    (* full-weighting from lvl to lvl+1 *)
+    let coarse = levels.(lvl + 1) and finel = levels.(lvl) in
+    let lo, hi = rows_of rank nslaves coarse.side in
+    for i = lo to hi - 1 do
+      for j = 1 to coarse.side - 2 do
+        let fi = 2 * i and fj = 2 * j in
+        if fi < finel.side - 1 && fj < finel.side - 1 then
+          coarse.f.(i).(j) <- finel.r.(fi).(fj);
+        coarse.u.(i).(j) <- 0.0
+      done
+    done;
+    comm.barrier ~rank
+  in
+  let prolong lvl rank =
+    (* add coarse correction into the fine solution *)
+    let coarse = levels.(lvl + 1) and finel = levels.(lvl) in
+    let lo, hi = rows_of rank nslaves finel.side in
+    for i = lo to hi - 1 do
+      for j = 1 to finel.side - 2 do
+        let ci = i / 2 and cj = j / 2 in
+        if ci < coarse.side && cj < coarse.side then
+          finel.u.(i).(j) <- finel.u.(i).(j) +. coarse.u.(ci).(cj)
+      done
+    done;
+    comm.barrier ~rank
+  in
+  let slave rank =
+    for _cycle = 1 to lu_niter do
+      (* V-cycle *)
+      for lvl = 0 to nlevels - 2 do
+        smooth lvl rank 2;
+        residual lvl rank;
+        restrict lvl rank
+      done;
+      smooth (nlevels - 1) rank 8;
+      for lvl = nlevels - 2 downto 0 do
+        prolong lvl rank;
+        smooth lvl rank 2
+      done;
+      (* residual norm on the finest level *)
+      residual 0 rank;
+      let lo, hi = rows_of rank nslaves fine.side in
+      let local = ref 0.0 in
+      for i = lo to hi - 1 do
+        for j = 1 to fine.side - 2 do
+          local := !local +. (fine.r.(i).(j) *. fine.r.(i).(j))
+        done
+      done;
+      let total = comm.allreduce ~rank !local in
+      if rank = 0 then norm := sqrt total
+    done
+  in
+  Preo_runtime.Task.run_all (List.init nslaves (fun rank () -> slave rank));
+  let seconds = Clock.now () -. t0 in
+  (* verification value: final norm plus a solution checksum *)
+  let checksum = ref 0.0 in
+  for i = 0 to fine.side - 1 do
+    for j = 0 to fine.side - 1 do
+      checksum := !checksum +. (fine.u.(i).(j) *. float_of_int (((i * 13) + j) mod 31))
+    done
+  done;
+  let comm_steps = comm.comm_steps () in
+  comm.finish ();
+  { norm = !norm +. !checksum; seconds; comm_steps }
+
+let verify cls ~nslaves =
+  let hand = run ~comm:(Comm.hand ~nslaves) ~cls ~nslaves in
+  let reo = run ~comm:(Comm.reo ~nslaves ()) ~cls ~nslaves in
+  hand.norm = reo.norm

@@ -1,0 +1,10 @@
+(** NPB MG kernel (simplified): V-cycle multigrid for a 2-D Poisson problem
+    with damped-Jacobi smoothing. Slaves own row blocks at every grid level;
+    the communication signature is barrier-heavy (phase separation at each
+    level) with one residual-norm allreduce per V-cycle — distinct from CG's
+    reduce-dominated and LU's pipeline-dominated patterns. *)
+
+type result = { norm : float; seconds : float; comm_steps : int }
+
+val run : comm:Comm.t -> cls:Workloads.cls -> nslaves:int -> result
+val verify : Workloads.cls -> nslaves:int -> bool

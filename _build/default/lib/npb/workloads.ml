@@ -1,0 +1,46 @@
+type cls = S | W | A | C
+
+let cls_of_string = function
+  | "S" | "s" -> Some S
+  | "W" | "w" -> Some W
+  | "A" | "a" -> Some A
+  | "C" | "c" -> Some C
+  | _ -> None
+
+let cls_name = function S -> "S" | W -> "W" | A -> "A" | C -> "C"
+let all = [ S; W; A; C ]
+
+type cg_params = {
+  cg_na : int;
+  cg_nonzer : int;
+  cg_niter : int;
+  cg_inner : int;
+  cg_shift : float;
+}
+
+let cg = function
+  | S -> { cg_na = 200; cg_nonzer = 6; cg_niter = 3; cg_inner = 10; cg_shift = 10.0 }
+  | W -> { cg_na = 1_000; cg_nonzer = 8; cg_niter = 5; cg_inner = 15; cg_shift = 12.0 }
+  | A -> { cg_na = 8_000; cg_nonzer = 12; cg_niter = 10; cg_inner = 25; cg_shift = 20.0 }
+  | C -> { cg_na = 40_000; cg_nonzer = 16; cg_niter = 15; cg_inner = 25; cg_shift = 60.0 }
+
+type lu_params = {
+  lu_nx : int;
+  lu_ny : int;
+  lu_niter : int;
+  lu_chunk : int;
+}
+
+let lu = function
+  | S -> { lu_nx = 24; lu_ny = 24; lu_niter = 4; lu_chunk = 8 }
+  | W -> { lu_nx = 64; lu_ny = 64; lu_niter = 8; lu_chunk = 16 }
+  | A -> { lu_nx = 256; lu_ny = 256; lu_niter = 12; lu_chunk = 32 }
+  | C -> { lu_nx = 1024; lu_ny = 1024; lu_niter = 40; lu_chunk = 64 }
+
+type ep_params = { ep_samples : int }
+
+let ep = function
+  | S -> { ep_samples = 50_000 }
+  | W -> { ep_samples = 500_000 }
+  | A -> { ep_samples = 5_000_000 }
+  | C -> { ep_samples = 50_000_000 }

@@ -1,0 +1,36 @@
+(** Workload classes for the NAS Parallel Benchmarks kernels.
+
+    The original NPB classes (S, W, A, B, C) are defined by problem sizes
+    that take minutes on a 1990s supercomputer; we keep the class ladder and
+    its intent (S = tiny, overhead-dominated; C = large, compute-dominated)
+    but scale the absolute sizes so that class C runs in seconds on one
+    laptop core. The substitution is documented in DESIGN.md §2. *)
+
+type cls = S | W | A | C
+
+val cls_of_string : string -> cls option
+val cls_name : cls -> string
+val all : cls list
+
+type cg_params = {
+  cg_na : int;  (** matrix order *)
+  cg_nonzer : int;  (** nonzeros per row (approx.) *)
+  cg_niter : int;  (** outer (power-method) iterations *)
+  cg_inner : int;  (** CG iterations per outer step *)
+  cg_shift : float;  (** diagonal shift *)
+}
+
+val cg : cls -> cg_params
+
+type lu_params = {
+  lu_nx : int;  (** grid rows *)
+  lu_ny : int;  (** grid columns *)
+  lu_niter : int;  (** SSOR sweeps *)
+  lu_chunk : int;  (** pipeline chunk width (columns per hop) *)
+}
+
+val lu : cls -> lu_params
+
+type ep_params = { ep_samples : int }
+
+val ep : cls -> ep_params

@@ -1,0 +1,1 @@
+lib/reo/figures.ml: Graph Preo_automata Prim Vertex

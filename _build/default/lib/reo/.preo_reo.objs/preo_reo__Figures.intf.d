@@ -1,0 +1,1 @@
+lib/reo/figures.mli: Graph Preo_automata Vertex

@@ -1,0 +1,1 @@
+lib/reo/graph.ml: Automaton Hashtbl Iset List Preo_automata Preo_support Prim Printf Product String Vertex

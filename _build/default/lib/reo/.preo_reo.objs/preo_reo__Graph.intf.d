@@ -1,0 +1,1 @@
+lib/reo/graph.mli: Automaton Preo_automata Preo_support Prim Vertex

@@ -1,0 +1,1 @@
+lib/reo/prim.ml: Array Automaton Cell Constr Iset List Preo_automata Preo_support Printf String Value

@@ -1,0 +1,1 @@
+lib/reo/prim.mli: Automaton Preo_automata Preo_support Vertex

@@ -1,0 +1,1 @@
+lib/reo/to_text.ml: Buffer Graph Hashtbl Iset List Preo_automata Preo_support Prim Printf String Vertex

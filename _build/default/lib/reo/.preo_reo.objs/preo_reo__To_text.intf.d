@@ -1,0 +1,1 @@
+lib/reo/to_text.mli: Graph

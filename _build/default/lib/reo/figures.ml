@@ -1,0 +1,33 @@
+(** The paper's running example as a graphical connector (Fig. 5): first task
+    A communicates to task C, then task B communicates to C, repeating. *)
+
+open Preo_automata
+
+type fig5 = {
+  graph : Graph.t;
+  a_out : Vertex.t;  (** tl1: where task A sends *)
+  b_out : Vertex.t;  (** tl2: where task B sends *)
+  c_in1 : Vertex.t;  (** hd1: where task C receives A's messages *)
+  c_in2 : Vertex.t;  (** hd2: where task C receives B's messages *)
+}
+
+let fig5 () =
+  let tl1 = Vertex.fresh "tl1" and tl2 = Vertex.fresh "tl2" in
+  let hd1 = Vertex.fresh "hd1" and hd2 = Vertex.fresh "hd2" in
+  let prev1 = Vertex.fresh "prev1" and prev2 = Vertex.fresh "prev2" in
+  let next1 = Vertex.fresh "next1" and next2 = Vertex.fresh "next2" in
+  let v1 = Vertex.fresh "v1" and v2 = Vertex.fresh "v2" in
+  let w1 = Vertex.fresh "w1" and w2 = Vertex.fresh "w2" in
+  let graph =
+    [
+      Graph.arc Prim.Replicator ~tails:[ tl1 ] ~heads:[ prev1; v1 ];
+      Graph.arc Prim.Replicator ~tails:[ tl2 ] ~heads:[ prev2; v2 ];
+      Graph.arc Prim.Fifo1 ~tails:[ v1 ] ~heads:[ w1 ];
+      Graph.arc Prim.Fifo1 ~tails:[ v2 ] ~heads:[ w2 ];
+      Graph.arc Prim.Replicator ~tails:[ w1 ] ~heads:[ next1; hd1 ];
+      Graph.arc Prim.Replicator ~tails:[ w2 ] ~heads:[ next2; hd2 ];
+      Graph.arc Prim.Seq ~tails:[ next1; prev2 ] ~heads:[];
+      Graph.arc Prim.Seq ~tails:[ prev1; next2 ] ~heads:[];
+    ]
+  in
+  { graph; a_out = tl1; b_out = tl2; c_in1 = hd1; c_in2 = hd2 }

@@ -1,0 +1,15 @@
+(** Prebuilt graphical connectors from the paper's figures. *)
+
+open Preo_automata
+
+type fig5 = {
+  graph : Graph.t;
+  a_out : Vertex.t;  (** tl1: where task A sends *)
+  b_out : Vertex.t;  (** tl2: where task B sends *)
+  c_in1 : Vertex.t;  (** hd1: where task C receives A's messages *)
+  c_in2 : Vertex.t;  (** hd2: where task C receives B's messages *)
+}
+
+val fig5 : unit -> fig5
+(** The running example (Fig. 5): first task A communicates to task C, then
+    task B communicates to C, repeating. Fresh vertices per call. *)

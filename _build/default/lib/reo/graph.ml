@@ -1,0 +1,64 @@
+open Preo_support
+open Preo_automata
+
+type arc = { kind : Prim.kind; tails : Vertex.t list; heads : Vertex.t list }
+type t = arc list
+
+let arc kind ~tails ~heads =
+  if not
+       (Prim.arity_ok kind ~ntails:(List.length tails)
+          ~nheads:(List.length heads))
+  then
+    invalid_arg
+      (Printf.sprintf "Graph.arc: bad arity for %s" (Prim.kind_name kind));
+  { kind; tails; heads }
+
+let compose a b = a @ b
+
+let vertices g =
+  List.fold_left
+    (fun acc a -> Iset.union acc (Iset.of_list (a.tails @ a.heads)))
+    Iset.empty g
+
+let boundary g =
+  let tails =
+    List.fold_left (fun acc a -> Iset.union acc (Iset.of_list a.tails)) Iset.empty g
+  in
+  let heads =
+    List.fold_left (fun acc a -> Iset.union acc (Iset.of_list a.heads)) Iset.empty g
+  in
+  (Iset.diff tails heads, Iset.diff heads tails)
+
+let well_formed g =
+  let readers : (Vertex.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let writers : (Vertex.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let bump tbl v =
+    Hashtbl.replace tbl v (1 + try Hashtbl.find tbl v with Not_found -> 0)
+  in
+  List.iter
+    (fun a ->
+      List.iter (bump readers) a.tails;
+      List.iter (bump writers) a.heads)
+    g;
+  let bad tbl role =
+    Hashtbl.fold
+      (fun v n acc ->
+        if n > 1 then Printf.sprintf "%s %s by %d arcs" (Vertex.name v) role n :: acc
+        else acc)
+      tbl []
+  in
+  match bad readers "read" @ bad writers "written" with
+  | [] -> Ok ()
+  | problems ->
+    Error
+      ("ill-formed connector (insert explicit mergers/replicators): "
+      ^ String.concat "; " problems)
+
+let to_automata g =
+  List.map (fun a -> Prim.build a.kind ~tails:a.tails ~heads:a.heads) g
+
+let to_large_automaton ?max_states g =
+  let large = Product.all ?max_states (to_automata g) in
+  let sources, sinks = boundary g in
+  let keep = Iset.union sources sinks in
+  Automaton.trim (Automaton.hide (Iset.diff large.vertices keep) large)

@@ -1,0 +1,35 @@
+(** Graphical representation of connectors: directed hypergraphs of typed
+    arcs over vertices (the paper's Section III syntax).
+
+    A connector [(V, A)] is kept in its equivalent "set of primitives" form
+    Γ = {prim(a) | a ∈ A}; composition ⊕ is union. *)
+
+open Preo_automata
+
+type arc = { kind : Prim.kind; tails : Vertex.t list; heads : Vertex.t list }
+type t = arc list
+
+val arc : Prim.kind -> tails:Vertex.t list -> heads:Vertex.t list -> arc
+(** Checks arity. *)
+
+val compose : t -> t -> t
+(** The ⊕ operator (multiset union of primitives). *)
+
+val vertices : t -> Preo_support.Iset.t
+
+val boundary : t -> Preo_support.Iset.t * Preo_support.Iset.t
+(** [(sources, sinks)]: vertices read only by tasks (no arc writes them /
+    no arc reads them respectively). Sources = vertices that appear only as
+    tails; sinks = vertices that appear only as heads. *)
+
+val well_formed : t -> (unit, string) result
+(** Every vertex is written by at most one arc head and read by at most one
+    arc tail (fan-in/fan-out must be made explicit with merger/replicator
+    primitives, as in the paper's figures). *)
+
+val to_automata : t -> Automaton.t list
+(** One small automaton per primitive. *)
+
+val to_large_automaton : ?max_states:int -> t -> Automaton.t
+(** Existing-compiler pipeline on a graph: full product, internal vertices
+    hidden, trimmed. May raise {!Product.Budget_exceeded}. *)

@@ -1,0 +1,244 @@
+open Preo_support
+open Preo_automata
+
+type kind =
+  | Sync
+  | Lossy_sync
+  | Sync_drain
+  | Async_drain
+  | Sync_spout
+  | Fifo1
+  | Fifo1_full of Value.t
+  | Fifo_n of int
+  | Shift_lossy
+  | Overflow_lossy
+  | Filter of string
+  | Transform of string
+  | Merger
+  | Replicator
+  | Router
+  | Seq
+
+let equal_kind a b =
+  match (a, b) with
+  | Fifo1_full x, Fifo1_full y -> Value.equal x y
+  | Fifo_n x, Fifo_n y -> x = y
+  | Filter p, Filter q | Transform p, Transform q -> String.equal p q
+  | a, b -> a = b
+
+let kind_name = function
+  | Sync -> "Sync"
+  | Lossy_sync -> "LossySync"
+  | Sync_drain -> "SyncDrain"
+  | Async_drain -> "AsyncDrain"
+  | Sync_spout -> "SyncSpout"
+  | Fifo1 -> "Fifo1"
+  | Fifo1_full _ -> "Fifo1Full"
+  | Fifo_n n -> Printf.sprintf "Fifo<%d>" n
+  | Shift_lossy -> "ShiftLossy"
+  | Overflow_lossy -> "OverflowLossy"
+  | Filter p -> Printf.sprintf "Filter<%s>" p
+  | Transform f -> Printf.sprintf "Transform<%s>" f
+  | Merger -> "Merger"
+  | Replicator -> "Repl"
+  | Router -> "Router"
+  | Seq -> "Seq"
+
+let arity_ok kind ~ntails ~nheads =
+  match kind with
+  | Sync | Lossy_sync | Fifo1 | Fifo1_full _ | Filter _ | Transform _ ->
+    ntails = 1 && nheads = 1
+  | Fifo_n n -> n >= 2 && ntails = 1 && nheads = 1
+  | Shift_lossy | Overflow_lossy -> ntails = 1 && nheads = 1
+  | Sync_drain | Async_drain -> ntails >= 1 && nheads = 0
+  | Sync_spout -> ntails = 0 && nheads = 2
+  | Merger -> ntails >= 1 && nheads = 1
+  | Replicator | Router -> ntails = 1 && nheads >= 1
+  | Seq -> ntails >= 1 && nheads = 0
+
+(* Builders. States are numbered from 0 = initial. *)
+
+let single_state transitions ~sources ~sinks =
+  Automaton.make ~nstates:1 ~initial:0
+    ~trans:[| Array.of_list transitions |]
+    ~sources ~sinks
+
+let trans sync constr target = { Automaton.sync; constr; command = None; target }
+
+let build kind ~tails ~heads =
+  if not (arity_ok kind ~ntails:(List.length tails) ~nheads:(List.length heads))
+  then
+    invalid_arg
+      (Printf.sprintf "Prim.build: %s does not accept %d tails / %d heads"
+         (kind_name kind) (List.length tails) (List.length heads));
+  let sources = Iset.of_list tails and sinks = Iset.of_list heads in
+  let open Constr in
+  match (kind, tails, heads) with
+  | Sync, [ a ], [ b ] ->
+    single_state ~sources ~sinks
+      [ trans (Iset.of_list [ a; b ]) [ Port b === Port a ] 0 ]
+  | Lossy_sync, [ a ], [ b ] ->
+    single_state ~sources ~sinks
+      [
+        trans (Iset.of_list [ a; b ]) [ Port b === Port a ] 0;
+        trans (Iset.singleton a) tt 0;
+      ]
+  | Sync_drain, tails, [] ->
+    single_state ~sources ~sinks [ trans (Iset.of_list tails) tt 0 ]
+  | Async_drain, tails, [] ->
+    single_state ~sources ~sinks
+      (List.map (fun a -> trans (Iset.singleton a) tt 0) tails)
+  | Sync_spout, [], [ a; b ] ->
+    single_state ~sources ~sinks
+      [
+        trans
+          (Iset.of_list [ a; b ])
+          [ Port a === Const Value.unit; Port b === Const Value.unit ]
+          0;
+      ]
+  | Fifo1, [ a ], [ b ] ->
+    let c = Cell.fresh "buf" in
+    Automaton.make ~nstates:2 ~initial:0
+      ~trans:
+        [|
+          [| trans (Iset.singleton a) [ Post c === Port a ] 1 |];
+          [| trans (Iset.singleton b) [ Port b === Pre c ] 0 |];
+        |]
+      ~sources ~sinks
+  | Fifo1_full x, [ a ], [ b ] ->
+    (* State 0: initialized-full (emits the constant), then behaves as a
+       plain fifo1 over states 1 (empty) / 2 (full). *)
+    let c = Cell.fresh "buf" in
+    Automaton.make ~nstates:3 ~initial:0
+      ~trans:
+        [|
+          [| trans (Iset.singleton b) [ Port b === Const x ] 1 |];
+          [| trans (Iset.singleton a) [ Post c === Port a ] 2 |];
+          [| trans (Iset.singleton b) [ Port b === Pre c ] 1 |];
+        |]
+      ~sources ~sinks
+  | Fifo_n n, [ a ], [ b ] ->
+    (* Ring buffer: state (start, count) at index start*(n+1)+count; accept
+       writes cell (start+count) mod n, emit reads cell start. *)
+    let cells = Array.init n (fun i -> Cell.fresh (Printf.sprintf "ring%d" i)) in
+    let state start count = (start * (n + 1)) + count in
+    let trans_of start count =
+      let accept =
+        if count < n then
+          [
+            trans (Iset.singleton a)
+              [ Post cells.((start + count) mod n) === Port a ]
+              (state start (count + 1));
+          ]
+        else []
+      in
+      let emit =
+        if count > 0 then
+          [
+            trans (Iset.singleton b)
+              [ Port b === Pre cells.(start) ]
+              (state ((start + 1) mod n) (count - 1));
+          ]
+        else []
+      in
+      Array.of_list (accept @ emit)
+    in
+    Automaton.make ~nstates:(n * (n + 1)) ~initial:0
+      ~trans:
+        (Array.init
+           (n * (n + 1))
+           (fun id -> trans_of (id / (n + 1)) (id mod (n + 1))))
+      ~sources ~sinks
+  | Shift_lossy, [ a ], [ b ] ->
+    (* full state accepts again, overwriting the buffered datum *)
+    let c = Cell.fresh "latest" in
+    Automaton.make ~nstates:2 ~initial:0
+      ~trans:
+        [|
+          [| trans (Iset.singleton a) [ Post c === Port a ] 1 |];
+          [|
+            trans (Iset.singleton a) [ Post c === Port a ] 1;
+            trans (Iset.singleton b) [ Port b === Pre c ] 0;
+          |];
+        |]
+      ~sources ~sinks
+  | Overflow_lossy, [ a ], [ b ] ->
+    (* full state accepts and discards the new datum *)
+    let c = Cell.fresh "oldest" in
+    Automaton.make ~nstates:2 ~initial:0
+      ~trans:
+        [|
+          [| trans (Iset.singleton a) [ Post c === Port a ] 1 |];
+          [|
+            trans (Iset.singleton a) tt 1;
+            trans (Iset.singleton b) [ Port b === Pre c ] 0;
+          |];
+        |]
+      ~sources ~sinks
+  | Filter p, [ a ], [ b ] ->
+    single_state ~sources ~sinks
+      [
+        trans (Iset.of_list [ a; b ]) [ Port b === Port a; pred p (Port a) ] 0;
+        trans (Iset.singleton a) [ npred p (Port a) ] 0;
+      ]
+  | Transform f, [ a ], [ b ] ->
+    single_state ~sources ~sinks
+      [ trans (Iset.of_list [ a; b ]) [ Port b === App (f, Port a) ] 0 ]
+  | Merger, tails, [ b ] ->
+    single_state ~sources ~sinks
+      (List.map
+         (fun a -> trans (Iset.of_list [ a; b ]) [ Port b === Port a ] 0)
+         tails)
+  | Replicator, [ a ], heads ->
+    single_state ~sources ~sinks
+      [
+        trans
+          (Iset.of_list (a :: heads))
+          (List.map (fun b -> Port b === Port a) heads)
+          0;
+      ]
+  | Router, [ a ], heads ->
+    single_state ~sources ~sinks
+      (List.map
+         (fun b -> trans (Iset.of_list [ a; b ]) [ Port b === Port a ] 0)
+         heads)
+  | Seq, tails, [] ->
+    let vs = Array.of_list tails in
+    let k = Array.length vs in
+    Automaton.make ~nstates:k ~initial:0
+      ~trans:
+        (Array.init k (fun i ->
+             [| trans (Iset.singleton vs.(i)) tt ((i + 1) mod k) |]))
+      ~sources ~sinks
+  | (Sync | Lossy_sync | Sync_drain | Async_drain | Sync_spout | Fifo1
+    | Fifo1_full _ | Fifo_n _ | Shift_lossy | Overflow_lossy | Filter _
+    | Transform _ | Merger | Replicator | Router | Seq), _, _ ->
+    assert false (* arity_ok already rejected these shapes *)
+
+let strip_arity_suffix s =
+  let n = String.length s in
+  let rec go i = if i > 0 && s.[i - 1] >= '0' && s.[i - 1] <= '9' then go (i - 1) else i in
+  String.sub s 0 (go n)
+
+let of_name name =
+  (* "Fifo1" must not lose its digit; handle the fifos before stripping. *)
+  match name with
+  | "Fifo1" | "Fifo" -> Some Fifo1
+  | "Fifo1Full" | "FifoFull" -> Some (Fifo1_full Value.unit)
+  | _ -> begin
+    match strip_arity_suffix name with
+    | "Sync" -> Some Sync
+    | "LossySync" | "Lossy" -> Some Lossy_sync
+    | "SyncDrain" -> Some Sync_drain
+    | "AsyncDrain" -> Some Async_drain
+    | "SyncSpout" -> Some Sync_spout
+    | "ShiftLossy" | "ShiftLossyFifo" -> Some Shift_lossy
+    | "OverflowLossy" | "OverflowLossyFifo" -> Some Overflow_lossy
+    | "Filter" -> Some (Filter "true")
+    | "Transform" -> Some (Transform "id")
+    | "Merger" | "Merg" -> Some Merger
+    | "Repl" | "Replicator" -> Some Replicator
+    | "Router" | "ExRouter" -> Some Router
+    | "Seq" -> Some Seq
+    | _ -> None
+  end

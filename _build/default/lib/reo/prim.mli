@@ -1,0 +1,42 @@
+(** Primitive connectors and their "small" constraint automata.
+
+    Tails are the reading ends of an arc (data flows from a tail into the
+    primitive), heads the writing ends (data flows out to a head). In a
+    composition, a vertex that is the head of one primitive and the tail of
+    another becomes internal. *)
+
+open Preo_automata
+
+type kind =
+  | Sync  (** 1 tail, 1 head; synchronous move *)
+  | Lossy_sync  (** 1/1; may lose the datum if the head cannot fire *)
+  | Sync_drain  (** n >= 1 tails; synchronizes them all and discards *)
+  | Async_drain  (** n >= 1 tails; fires one at a time, discards *)
+  | Sync_spout  (** 2 heads; emits (unit) signals synchronously *)
+  | Fifo1  (** 1/1; one-place buffer *)
+  | Fifo1_full of Preo_support.Value.t  (** fifo1 initialized with a datum *)
+  | Fifo_n of int  (** 1/1; bounded buffer of the given capacity (>= 2), ring semantics (the paper's fifon) *)
+  | Shift_lossy  (** 1/1; one-place buffer that overwrites when full (keeps the newest datum) *)
+  | Overflow_lossy  (** 1/1; one-place buffer that drops new input when full (keeps the oldest datum) *)
+  | Filter of string  (** 1/1; passes data satisfying the named predicate, drops the rest *)
+  | Transform of string  (** 1/1; applies the named function *)
+  | Merger  (** n tails, 1 head; nondeterministic choice *)
+  | Replicator  (** 1 tail, n heads; synchronous broadcast *)
+  | Router  (** 1 tail, n heads; exclusive routing *)
+  | Seq  (** k tails, 0 heads; lets them fire one at a time, round-robin, discarding data *)
+
+val equal_kind : kind -> kind -> bool
+val kind_name : kind -> string
+
+val arity_ok : kind -> ntails:int -> nheads:int -> bool
+(** Whether the kind accepts this port shape. *)
+
+val build : kind -> tails:Vertex.t list -> heads:Vertex.t list -> Automaton.t
+(** The small automaton of a primitive instance. Tails become the
+    automaton's sources, heads its sinks. Raises [Invalid_argument] if
+    [arity_ok] fails. *)
+
+val of_name : string -> kind option
+(** Resolve a DSL primitive name ("Sync", "Fifo1", "Repl2", "Merg3", "Seq2",
+    "Router4", …). Numeric arity suffixes on the variadic primitives are
+    accepted and ignored (arity is taken from the argument lists). *)

@@ -1,0 +1,68 @@
+open Preo_support
+open Preo_automata
+
+let sanitize s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    s;
+  let s = Buffer.contents b in
+  if s = "" then "v"
+  else
+    match s.[0] with
+    | 'a' .. 'z' -> s
+    | 'A' .. 'Z' -> String.uncapitalize_ascii s
+    | _ -> "v" ^ s
+
+let connector ~name g =
+  (match Graph.well_formed g with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("To_text.connector: " ^ msg));
+  let sources, sinks = Graph.boundary g in
+  let names : (Vertex.t, string) Hashtbl.t = Hashtbl.create 16 in
+  let used : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let ident v =
+    match Hashtbl.find_opt names v with
+    | Some s -> s
+    | None ->
+      let base = sanitize (Vertex.name v) in
+      let s =
+        if not (Hashtbl.mem used base) then base
+        else begin
+          let rec fresh i =
+            let cand = Printf.sprintf "%s_%d" base i in
+            if Hashtbl.mem used cand then fresh (i + 1) else cand
+          in
+          fresh 2
+        end
+      in
+      Hashtbl.replace used s ();
+      Hashtbl.replace names v s;
+      s
+  in
+  let commas vs = String.concat "," (List.map ident vs) in
+  let params =
+    Printf.sprintf "%s;%s"
+      (commas (Iset.elements sources))
+      (commas (Iset.elements sinks))
+  in
+  let constituent (a : Graph.arc) =
+    let prim_name =
+      match a.kind with
+      | Prim.Merger -> Printf.sprintf "Merger%d" (List.length a.tails)
+      | Prim.Replicator -> Printf.sprintf "Repl%d" (List.length a.heads)
+      | Prim.Router -> Printf.sprintf "Router%d" (List.length a.heads)
+      | Prim.Seq -> Printf.sprintf "Seq%d" (List.length a.tails)
+      | k -> Prim.kind_name k
+    in
+    Printf.sprintf "%s(%s;%s)" prim_name (commas a.tails) (commas a.heads)
+  in
+  let body =
+    match g with
+    | [] -> "skip"
+    | arcs -> String.concat "\n  mult " (List.map constituent arcs)
+  in
+  Printf.sprintf "%s(%s) =\n  %s\n" name params body

@@ -1,0 +1,9 @@
+(** Graph-to-text translator (the paper's Fig. 11 workflow component): turn a
+    graphical connector into equivalent (non-parametrized) textual DSL
+    source, ready to be parametrized by hand. *)
+
+val connector : name:string -> Graph.t -> string
+(** DSL source of one connector definition. Boundary source vertices become
+    the tail parameters, boundary sinks the head parameters; internal
+    vertices become local variables. Raises [Invalid_argument] if the graph
+    is not well-formed. *)

@@ -1,0 +1,1 @@
+lib/runtime/composer.ml: Array Automaton Command Constr Fun Hashtbl Iset List Lru Preo_automata Preo_support Printf String Vertex

@@ -1,0 +1,1 @@
+lib/runtime/composer.mli: Automaton Command Constr Iset Preo_automata Preo_support

@@ -1,0 +1,1 @@
+lib/runtime/connector.ml: Array Automaton Clock Composer Config Engine Format Hashtbl Iset List Partition Port Preo_automata Preo_support Printf Product Vertex

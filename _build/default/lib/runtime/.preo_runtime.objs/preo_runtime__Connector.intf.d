@@ -1,0 +1,1 @@
+lib/runtime/connector.mli: Automaton Config Engine Format Port Preo_automata Vertex

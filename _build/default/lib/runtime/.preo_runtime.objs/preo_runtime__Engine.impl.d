@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Atomic Buffer Command Composer Condition Hashtbl Iset List Mutex Preo_automata Preo_support Printf Queue String Sys Thread Value Vertex

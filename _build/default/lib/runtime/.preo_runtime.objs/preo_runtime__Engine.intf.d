@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Composer Preo_automata Preo_support Value

@@ -1,0 +1,1 @@
+lib/runtime/partition.ml: Array Atomic Automaton Engine Hashtbl Iset List Preo_automata Preo_support Union_find Value Vertex

@@ -1,0 +1,1 @@
+lib/runtime/partition.mli: Automaton Engine Iset Preo_automata Preo_support Vertex

@@ -1,0 +1,1 @@
+lib/runtime/port.ml: Engine Preo_automata Preo_support Value Vertex

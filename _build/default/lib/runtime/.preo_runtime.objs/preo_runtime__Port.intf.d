@@ -1,0 +1,1 @@
+lib/runtime/port.mli: Engine Preo_automata Preo_support Value

@@ -1,0 +1,1 @@
+lib/runtime/sim.ml: Array Automaton Command Composer Config Fun Hashtbl Iset List Preo_automata Preo_support Product Queue Rng Value Vertex

@@ -1,0 +1,1 @@
+lib/runtime/sim.mli: Automaton Config Iset Preo_automata Preo_support Value Vertex

@@ -1,0 +1,432 @@
+open Preo_support
+open Preo_automata
+
+type xtrans = {
+  sync : Iset.t;
+  needs_send : Iset.t;
+  needs_recv : Iset.t;
+  constr : Constr.t;
+  cmd : Command.t option;
+  target : target;
+}
+
+and target = T_aot of int | T_jit of int array
+
+exception Expansion_budget of string
+
+(* A per-state index bucketing transitions by their least needed boundary
+   vertex, so only transitions that could be enabled by the pending
+   operations are examined. *)
+type state_index = {
+  si_silent : xtrans array;
+  si_by_least : (Vertex.t, xtrans list) Hashtbl.t;
+}
+
+type expanded = { all : xtrans array; index : state_index option }
+
+module Tuple_key = struct
+  type t = int array
+
+  let equal (a : t) (b : t) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (a : t) = Array.fold_left (fun acc x -> (acc * 31) + x + 1) 7 a
+end
+
+module Cache = Lru.Make (Tuple_key)
+
+type jit_state = {
+  mediums : Automaton.t array;
+  cache : expanded Cache.t;
+  mutable jit_current : int array;
+  expansion_budget : int;
+  true_synchronous : bool;
+  mutable nexpansions : int;
+  mutable ncache_hits : int;
+}
+
+type aot_state = { states : expanded array; mutable aot_current : int }
+type strategy = S_aot of aot_state | S_jit of jit_state
+
+type t = {
+  strategy : strategy;
+  srcs : Iset.t;
+  snks : Iset.t;
+  cells : int;
+  optimize : bool;
+}
+
+(* --- Shared helpers ----------------------------------------------------- *)
+
+let build_index boundary (ts : xtrans array) =
+  let silent = ref [] in
+  let by_least = Hashtbl.create 8 in
+  Array.iter
+    (fun tr ->
+      let needs = Iset.inter tr.sync boundary in
+      if Iset.is_empty needs then silent := tr :: !silent
+      else begin
+        let key = Iset.min_elt needs in
+        let prev = try Hashtbl.find by_least key with Not_found -> [] in
+        Hashtbl.replace by_least key (tr :: prev)
+      end)
+    ts;
+  { si_silent = Array.of_list (List.rev !silent); si_by_least = by_least }
+
+let make_xtrans ~srcs ~snks ~optimize ~sync ~constr ~target =
+  let cmd =
+    if optimize then
+      match Command.solve ~readable:srcs ~writable:snks constr with
+      | Ok c -> Some c
+      | Error _ -> None (* structurally unsatisfiable: caller drops it *)
+    else None
+  in
+  let keep = (not optimize) || cmd <> None in
+  if keep then
+    Some
+      {
+        sync;
+        needs_send = Iset.inter sync srcs;
+        needs_recv = Iset.inter sync snks;
+        constr;
+        cmd;
+        target;
+      }
+  else None
+
+(* Densely renumber the cells mentioned by a list of automata. *)
+let renumber_cells autos =
+  let mapping : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let fresh = ref 0 in
+  let remap c =
+    match Hashtbl.find_opt mapping c with
+    | Some d -> d
+    | None ->
+      let d = !fresh in
+      incr fresh;
+      Hashtbl.add mapping c d;
+      d
+  in
+  let autos = List.map (Automaton.map_cells remap) autos in
+  (autos, !fresh)
+
+(* --- Ahead-of-time ------------------------------------------------------ *)
+
+let aot ?(use_dispatch = true) ?(optimize_labels = true) (large : Automaton.t) =
+  let large, cells = match renumber_cells [ large ] with
+    | [ a ], n -> (a, n)
+    | _ -> assert false
+  in
+  let srcs = large.sources and snks = large.sinks in
+  let boundary = Iset.union srcs snks in
+  let states =
+    Array.init large.nstates (fun s ->
+        let ts =
+          Array.to_list large.trans.(s)
+          |> List.filter_map (fun (tr : Automaton.trans) ->
+                 make_xtrans ~srcs ~snks ~optimize:optimize_labels
+                   ~sync:tr.sync ~constr:tr.constr ~target:(T_aot tr.target))
+          |> Array.of_list
+        in
+        {
+          all = ts;
+          index = (if use_dispatch then Some (build_index boundary ts) else None);
+        })
+  in
+  {
+    strategy = S_aot { states; aot_current = large.initial };
+    srcs;
+    snks;
+    cells;
+    optimize = optimize_labels;
+  }
+
+(* --- Just-in-time ------------------------------------------------------- *)
+
+let prepare_mediums ~sources ~sinks mediums =
+  (* Hide vertices that occur in exactly one medium and are not boundary:
+     they need no cross-medium synchronization. *)
+  let boundary = Iset.union sources sinks in
+  let count : (Vertex.t, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Automaton.t) ->
+      Iset.iter
+        (fun v ->
+          Hashtbl.replace count v
+            (1 + try Hashtbl.find count v with Not_found -> 0))
+        a.vertices)
+    mediums;
+  List.map
+    (fun (a : Automaton.t) ->
+      let hidden =
+        Iset.filter
+          (fun v -> (not (Iset.mem v boundary)) && Hashtbl.find count v = 1)
+          a.vertices
+      in
+      Automaton.trim (Automaton.hide hidden a))
+    mediums
+
+let jit ?(cache_capacity = 0) ?(optimize_labels = true)
+    ?(expansion_budget = 2_000_000) ?(true_synchronous = false) ~sources
+    ~sinks mediums =
+  let mediums = prepare_mediums ~sources ~sinks mediums in
+  let mediums, cells = renumber_cells mediums in
+  let mediums = Array.of_list mediums in
+  let initial = Array.map (fun (a : Automaton.t) -> a.initial) mediums in
+  {
+    strategy =
+      S_jit
+        {
+          mediums;
+          cache = Cache.create ~capacity:cache_capacity;
+          jit_current = initial;
+          expansion_budget;
+          true_synchronous;
+          nexpansions = 0;
+          ncache_hits = 0;
+        };
+    srcs = sources;
+    snks = sinks;
+    cells;
+    optimize = optimize_labels;
+  }
+
+(* Expand one product state, interleaving flavour: every global transition is
+   the synchronization closure of one seed local transition — mediums are
+   pulled in only when a fired vertex belongs to them, so independent local
+   transitions stay separate steps. Exponential growth can still arise from
+   genuinely synchronized choice (several compatible local options per pulled
+   medium); that is the paper's §V-C blow-up, guarded by the budget. *)
+let expand_interleaved t (js : jit_state) (state : int array) : expanded =
+  let k = Array.length js.mediums in
+  let result = ref [] in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let budget = ref js.expansion_budget in
+  let spend () =
+    decr budget;
+    if !budget <= 0 then
+      raise
+        (Expansion_budget
+           (Printf.sprintf
+              "state expansion exceeded %d combinations (exponential \
+               transition structure)"
+              js.expansion_budget))
+  in
+  (* selection: medium index -> chosen transition index, or unset *)
+  let selection = Array.make k (-1) in
+  let emit () =
+    let key =
+      String.concat ","
+        (List.filter_map
+           (fun i ->
+             if selection.(i) >= 0 then Some (Printf.sprintf "%d:%d" i selection.(i))
+             else None)
+           (List.init k Fun.id))
+    in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let sync = ref Iset.empty in
+      let constr = ref Constr.tt in
+      let target = Array.copy state in
+      Array.iteri
+        (fun j ti ->
+          if ti >= 0 then begin
+            let tr = js.mediums.(j).trans.(state.(j)).(ti) in
+            sync := Iset.union !sync tr.sync;
+            constr := Constr.conj tr.constr !constr;
+            target.(j) <- tr.target
+          end)
+        selection;
+      match
+        make_xtrans ~srcs:t.srcs ~snks:t.snks ~optimize:t.optimize ~sync:!sync
+          ~constr:!constr ~target:(T_jit target)
+      with
+      | Some x -> result := x :: !result
+      | None -> ()
+    end
+  in
+  (* Close the current selection: if some unselected medium owns a fired
+     vertex, branch over its compatible local transitions. *)
+  let rec close fired idled =
+    spend ();
+    let pulled = ref (-1) in
+    (try
+       for j = 0 to k - 1 do
+         if selection.(j) < 0 && not (Iset.disjoint js.mediums.(j).vertices fired)
+         then begin
+           pulled := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pulled < 0 then emit ()
+    else begin
+      let j = !pulled in
+      let vj = js.mediums.(j).vertices in
+      let need = Iset.inter fired vj in
+      Array.iteri
+        (fun ti (tr : Automaton.trans) ->
+          if Iset.subset need tr.sync && Iset.disjoint tr.sync idled then begin
+            selection.(j) <- ti;
+            close (Iset.union fired tr.sync)
+              (Iset.union idled (Iset.diff vj tr.sync));
+            selection.(j) <- -1
+          end)
+        js.mediums.(j).trans.(state.(j))
+    end
+  in
+  for i = 0 to k - 1 do
+    let vi = js.mediums.(i).vertices in
+    Array.iteri
+      (fun ti (tr : Automaton.trans) ->
+        selection.(i) <- ti;
+        close tr.sync (Iset.diff vi tr.sync);
+        selection.(i) <- -1)
+      js.mediums.(i).trans.(state.(i))
+  done;
+  js.nexpansions <- js.nexpansions + 1;
+  let ts = Array.of_list (List.rev !result) in
+  let boundary = Iset.union t.srcs t.snks in
+  { all = ts; index = Some (build_index boundary ts) }
+
+(* Fully synchronous flavour: enumerate all maximal consistent combinations
+   of per-medium local transitions (each medium either idles or contributes
+   one transition), including joint firings of independent parts. *)
+let expand_synchronous t (js : jit_state) (state : int array) : expanded =
+  let k = Array.length js.mediums in
+  let result = ref [] in
+  let budget = ref js.expansion_budget in
+  let spend () =
+    decr budget;
+    if !budget <= 0 then
+      raise
+        (Expansion_budget
+           (Printf.sprintf
+              "state expansion exceeded %d combinations (exponential \
+               transition structure)"
+              js.expansion_budget))
+  in
+  (* choices.(i) = None (idle) or Some tr *)
+  let choices = Array.make k None in
+  let rec go i must_fire must_idle any =
+    spend ();
+    if i >= k then begin
+      if any then begin
+        let sync = ref Iset.empty in
+        let constr = ref Constr.tt in
+        let target = Array.copy state in
+        Array.iteri
+          (fun j choice ->
+            match choice with
+            | None -> ()
+            | Some (tr : Automaton.trans) ->
+              sync := Iset.union !sync tr.sync;
+              constr := Constr.conj tr.constr !constr;
+              target.(j) <- tr.target)
+          choices;
+        match
+          make_xtrans ~srcs:t.srcs ~snks:t.snks ~optimize:t.optimize
+            ~sync:!sync ~constr:!constr ~target:(T_jit target)
+        with
+        | Some x -> result := x :: !result
+        | None -> ()
+      end
+    end
+    else begin
+      let a = js.mediums.(i) in
+      let va = a.vertices in
+      (* Option 1: medium i idles. *)
+      if Iset.disjoint must_fire va then begin
+        choices.(i) <- None;
+        go (i + 1) must_fire (Iset.union must_idle va) any
+      end;
+      (* Option 2: medium i contributes a local transition. *)
+      Array.iter
+        (fun (tr : Automaton.trans) ->
+          if
+            Iset.disjoint tr.sync must_idle
+            && Iset.subset (Iset.inter must_fire va) tr.sync
+          then begin
+            choices.(i) <- Some tr;
+            go (i + 1) (Iset.union must_fire tr.sync)
+              (Iset.union must_idle (Iset.diff va tr.sync))
+              true
+          end)
+        a.trans.(state.(i));
+      choices.(i) <- None
+    end
+  in
+  go 0 Iset.empty Iset.empty false;
+  js.nexpansions <- js.nexpansions + 1;
+  let ts = Array.of_list (List.rev !result) in
+  let boundary = Iset.union t.srcs t.snks in
+  { all = ts; index = Some (build_index boundary ts) }
+
+let expanded_of_current t =
+  match t.strategy with
+  | S_aot s -> s.states.(s.aot_current)
+  | S_jit js -> begin
+    match Cache.find js.cache js.jit_current with
+    | Some e ->
+      js.ncache_hits <- js.ncache_hits + 1;
+      e
+    | None ->
+      let e =
+        if js.true_synchronous then expand_synchronous t js (Array.copy js.jit_current)
+        else expand_interleaved t js (Array.copy js.jit_current)
+      in
+      Cache.add js.cache (Array.copy js.jit_current) e;
+      e
+  end
+
+let candidates t ~pending =
+  let e = expanded_of_current t in
+  match e.index with
+  | None ->
+    Array.of_list
+      (List.filter
+         (fun tr ->
+           Iset.subset tr.needs_send pending && Iset.subset tr.needs_recv pending)
+         (Array.to_list e.all))
+  | Some idx ->
+    let acc = ref (Array.to_list idx.si_silent) in
+    Iset.iter
+      (fun v ->
+        match Hashtbl.find_opt idx.si_by_least v with
+        | None -> ()
+        | Some entries ->
+          List.iter
+            (fun tr ->
+              if
+                Iset.subset tr.needs_send pending
+                && Iset.subset tr.needs_recv pending
+              then acc := tr :: !acc)
+            entries)
+      pending;
+    Array.of_list !acc
+
+let commit t (x : xtrans) =
+  match (t.strategy, x.target) with
+  | S_aot s, T_aot target -> s.aot_current <- target
+  | S_jit js, T_jit target -> js.jit_current <- target
+  | S_aot _, T_jit _ | S_jit _, T_aot _ ->
+    invalid_arg "Composer.commit: transition from a different composer"
+
+let ncells t = t.cells
+let sources t = t.srcs
+let sinks t = t.snks
+
+let expansions t =
+  match t.strategy with S_aot _ -> 0 | S_jit js -> js.nexpansions
+
+let cache_hits t =
+  match t.strategy with S_aot _ -> 0 | S_jit js -> js.ncache_hits
+
+let cache_evictions t =
+  match t.strategy with S_aot _ -> 0 | S_jit js -> Cache.evictions js.cache
+
+let current_out_degree t = Array.length (expanded_of_current t).all

@@ -1,0 +1,82 @@
+(** Composition strategies: how the "medium automata" of a connector become
+    the "large automaton" that the runtime walks.
+
+    [aot] receives the large automaton already composed ahead of time (the
+    existing compiler's approach, §IV-D "ahead-of-time composition");
+    [jit] keeps the medium automata apart and expands the product state
+    space lazily, one state at a time, as execution reaches it ("just-in-time
+    composition"). Both present the same stateful interface to the engine. *)
+
+open Preo_support
+open Preo_automata
+
+type xtrans = {
+  sync : Iset.t;
+  needs_send : Iset.t;  (** boundary source vertices that must have a pending send *)
+  needs_recv : Iset.t;  (** boundary sink vertices that must have a pending receive *)
+  constr : Constr.t;
+  cmd : Command.t option;  (** present iff label-optimized *)
+  target : target;
+}
+
+and target = T_aot of int | T_jit of int array
+
+type t
+
+exception Expansion_budget of string
+(** Raised when a single JIT state expansion enumerates more than the
+    configured number of candidate transition combinations — the blow-up of
+    the paper's §V-C finding 3. *)
+
+val aot :
+  ?use_dispatch:bool ->
+  ?optimize_labels:bool ->
+  Automaton.t ->
+  t
+(** The automaton's [sources]/[sinks] are the connector boundary.
+    [use_dispatch] builds the per-state vertex index (the whole-automaton
+    optimization); [optimize_labels] pre-solves all commands. Both default
+    to [true] (the existing compiler applies both). *)
+
+val jit :
+  ?cache_capacity:int ->
+  ?optimize_labels:bool ->
+  ?expansion_budget:int ->
+  ?true_synchronous:bool ->
+  sources:Iset.t ->
+  sinks:Iset.t ->
+  Automaton.t list ->
+  t
+(** [cache_capacity]: bound on memoized expanded states (LRU eviction);
+    unbounded by default. [optimize_labels] (default [true]) solves each
+    expanded transition's constraint once at expansion time. Vertices
+    internal to a single medium and not on the boundary are hidden before
+    composition. [true_synchronous] (default [false]) additionally
+    enumerates joint firings of independent mediums, as the textbook ×
+    does — exponentially many in wide states (the paper's §V-C finding). *)
+
+val candidates : t -> pending:Iset.t -> xtrans array
+(** Transitions leaving the current state whose needed boundary vertices are
+    covered by [pending]; silent transitions are always included. Guards are
+    not yet checked. *)
+
+val commit : t -> xtrans -> unit
+(** Advance the current state. The transition must come from the latest
+    {!candidates} call. *)
+
+val ncells : t -> int
+(** Number of (densely renumbered) memory cells; engine memory size. *)
+
+val sources : t -> Iset.t
+val sinks : t -> Iset.t
+
+(** Instrumentation *)
+
+val expansions : t -> int
+(** JIT: number of distinct state expansions performed (0 for AOT). *)
+
+val cache_hits : t -> int
+(** JIT: how often the current state's expansion was found memoized. *)
+
+val cache_evictions : t -> int
+val current_out_degree : t -> int

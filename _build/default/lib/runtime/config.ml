@@ -1,0 +1,83 @@
+type t =
+  | Existing of {
+      use_dispatch : bool;
+      optimize_labels : bool;
+      max_states : int;
+      max_trans : int;
+      max_compile_seconds : float;
+      true_synchronous : bool;
+    }
+  | New of {
+      optimize_labels : bool;
+      cache_capacity : int;
+      expansion_budget : int;
+      partition : bool;
+      true_synchronous : bool;
+    }
+
+let existing =
+  Existing
+    {
+      use_dispatch = true;
+      optimize_labels = true;
+      max_states = 200_000;
+      max_trans = 2_000_000;
+      max_compile_seconds = 30.0;
+      true_synchronous = false;
+    }
+
+let existing_states max_states =
+  Existing
+    {
+      use_dispatch = true;
+      optimize_labels = true;
+      max_states;
+      max_trans = 2_000_000;
+      max_compile_seconds = 2.0;
+      true_synchronous = false;
+    }
+
+let new_jit =
+  New
+    {
+      optimize_labels = true;
+      cache_capacity = 0;
+      expansion_budget = 2_000_000;
+      partition = false;
+      true_synchronous = false;
+    }
+
+let new_jit_cached cache_capacity =
+  New
+    {
+      optimize_labels = true;
+      cache_capacity;
+      expansion_budget = 2_000_000;
+      partition = false;
+      true_synchronous = false;
+    }
+
+let new_partitioned =
+  New
+    {
+      optimize_labels = true;
+      cache_capacity = 0;
+      expansion_budget = 2_000_000;
+      partition = true;
+      true_synchronous = false;
+    }
+
+let synchronous_of = function
+  | Existing e -> Existing { e with true_synchronous = true }
+  | New n -> New { n with true_synchronous = true }
+
+let describe = function
+  | Existing { use_dispatch; optimize_labels; max_states; true_synchronous; _ } ->
+    Printf.sprintf "existing(dispatch=%b,opt=%b,budget=%d%s)" use_dispatch
+      optimize_labels max_states
+      (if true_synchronous then ",sync" else "")
+  | New { optimize_labels; cache_capacity; partition; true_synchronous; _ } ->
+    Printf.sprintf "new(opt=%b,cache=%s,partition=%b%s)" optimize_labels
+      (if cache_capacity = 0 then "unbounded" else string_of_int cache_capacity)
+      partition
+      (if true_synchronous then ",sync" else "")

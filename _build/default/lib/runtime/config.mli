@@ -1,0 +1,41 @@
+(** Runtime configuration: which compilation/execution approach drives a
+    connector instance. *)
+
+type t =
+  | Existing of {
+      use_dispatch : bool;  (** whole-automaton dispatch index (opt. [19]) *)
+      optimize_labels : bool;  (** command precompilation (opt. [30]) *)
+      max_states : int;  (** compile-time state budget; exceeding = compile failure *)
+      max_trans : int;  (** compile-time transition budget *)
+      max_compile_seconds : float;  (** compile-time CPU budget *)
+      true_synchronous : bool;  (** include joint firings of independent parts *)
+    }
+      (** The existing compiler: full ahead-of-time composition into one
+          large automaton. *)
+  | New of {
+      optimize_labels : bool;  (** solve each expanded transition once *)
+      cache_capacity : int;  (** bounded LRU state cache; 0 = unbounded *)
+      expansion_budget : int;  (** per-state combination budget before giving up *)
+      partition : bool;  (** split at internal fifos into multiple engines (extension) *)
+      true_synchronous : bool;  (** include joint firings of independent parts *)
+    }
+      (** The new parametrized approach: medium automata composed
+          just-in-time. *)
+
+val existing : t
+(** Defaults: dispatch + label optimization on, 200k-state budget. *)
+
+val existing_states : int -> t
+
+val new_jit : t
+(** Defaults: label optimization on, unbounded cache, 2M expansion budget,
+    no partitioning. *)
+
+val new_jit_cached : int -> t
+val new_partitioned : t
+
+val synchronous_of : t -> t
+(** Same configuration with the textbook fully-synchronous product
+    (joint independent firings included). *)
+
+val describe : t -> string

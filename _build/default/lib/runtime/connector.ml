@@ -1,0 +1,174 @@
+open Preo_support
+open Preo_automata
+
+exception Compile_failure of string
+
+type t = {
+  engines : Engine.t array;
+  (* vertex -> owning engine *)
+  route : (Vertex.t, Engine.t) Hashtbl.t;
+  sources : Vertex.t array;
+  sinks : Vertex.t array;
+  compile_seconds : float;
+}
+
+let hide_internals ~keep (a : Automaton.t) =
+  Automaton.trim (Automaton.hide (Iset.diff a.vertices keep) a)
+
+let create ?(config = Config.new_jit) ~sources ~sinks mediums =
+  let src_set = Iset.of_list (Array.to_list sources) in
+  let snk_set = Iset.of_list (Array.to_list sinks) in
+  let t0 = Clock.now () in
+  let engines, routes =
+    match config with
+    | Config.Existing
+        {
+          use_dispatch;
+          optimize_labels;
+          max_states;
+          max_trans;
+          max_compile_seconds;
+          true_synchronous;
+        } ->
+      let large =
+        try
+          Product.all ~max_states ~max_trans ~max_seconds:max_compile_seconds
+            ~joint_independent:true_synchronous mediums
+        with
+        | Product.Budget_exceeded msg -> raise (Compile_failure msg)
+        | Stack_overflow -> raise (Compile_failure "stack overflow during composition")
+      in
+      let large = hide_internals ~keep:(Iset.union src_set snk_set) large in
+      (* Force boundary polarity from the declared signature. *)
+      let large = { large with sources = src_set; sinks = snk_set } in
+      let comp = Composer.aot ~use_dispatch ~optimize_labels large in
+      let e = Engine.create comp in
+      ([| e |], [ (Iset.union src_set snk_set, e) ])
+    | Config.New
+        {
+          optimize_labels;
+          cache_capacity;
+          expansion_budget;
+          partition;
+          true_synchronous;
+        } ->
+      if not partition then begin
+        let comp =
+          Composer.jit ~cache_capacity ~optimize_labels ~expansion_budget
+            ~true_synchronous ~sources:src_set ~sinks:snk_set mediums
+        in
+        let e = Engine.create comp in
+        ([| e |], [ (Iset.union src_set snk_set, e) ])
+      end
+      else begin
+        let plan = Partition.split ~sources:src_set ~sinks:snk_set mediums in
+        let engines =
+          Array.map
+            (fun (r : Partition.region) ->
+              let comp =
+                Composer.jit ~cache_capacity ~optimize_labels ~expansion_budget
+                  ~true_synchronous ~sources:r.r_sources ~sinks:r.r_sinks
+                  r.mediums
+              in
+              Engine.create ~gates:r.gates comp)
+            plan.regions
+        in
+        Array.iteri
+          (fun i (r : Partition.region) ->
+            Engine.set_peers engines.(i)
+              (List.map (fun j -> engines.(j)) r.bridge_peers))
+          plan.regions;
+        let routes =
+          Array.to_list
+            (Array.mapi
+               (fun i (r : Partition.region) ->
+                 (Iset.union r.r_sources r.r_sinks, engines.(i)))
+               plan.regions)
+        in
+        (engines, routes)
+      end
+  in
+  let route = Hashtbl.create 32 in
+  List.iter
+    (fun (vs, e) ->
+      Iset.iter
+        (fun v -> if not (Hashtbl.mem route v) then Hashtbl.add route v e)
+        vs)
+    routes;
+  {
+    engines;
+    route;
+    sources;
+    sinks;
+    compile_seconds = Clock.now () -. t0;
+  }
+
+let engine_of t v =
+  match Hashtbl.find_opt t.route v with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Connector: vertex %s is not on the boundary"
+         (Vertex.name v))
+
+let outport t v = Port.make_out (engine_of t v) v
+let inport t v = Port.make_in (engine_of t v) v
+let outports t = Array.map (outport t) t.sources
+let inports t = Array.map (inport t) t.sinks
+
+let steps t = Array.fold_left (fun acc e -> acc + Engine.steps e) 0 t.engines
+let compile_seconds t = t.compile_seconds
+let engines t = Array.to_list t.engines
+let nregions t = Array.length t.engines
+
+let expansions t =
+  Array.fold_left
+    (fun acc e -> acc + Composer.expansions (Engine.composer e))
+    0 t.engines
+
+let cache_evictions t =
+  Array.fold_left
+    (fun acc e -> acc + Composer.cache_evictions (Engine.composer e))
+    0 t.engines
+
+let poison t msg = Array.iter (fun e -> Engine.poison e msg) t.engines
+
+let failure t =
+  Array.fold_left
+    (fun acc e ->
+      match acc with
+      | Some _ -> acc
+      | None -> begin
+        match Engine.poisoned_reason e with
+        | Some msg when msg <> "shutdown" -> Some msg
+        | _ -> None
+      end)
+    None t.engines
+
+type stats = {
+  st_steps : int;
+  st_regions : int;
+  st_expansions : int;
+  st_cache_hits : int;
+  st_cache_evictions : int;
+  st_compile_seconds : float;
+}
+
+let stats t =
+  {
+    st_steps = steps t;
+    st_regions = nregions t;
+    st_expansions = expansions t;
+    st_cache_hits =
+      Array.fold_left
+        (fun acc e -> acc + Composer.cache_hits (Engine.composer e))
+        0 t.engines;
+    st_cache_evictions = cache_evictions t;
+    st_compile_seconds = compile_seconds t;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "steps=%d regions=%d expansions=%d cache-hits=%d evictions=%d compile=%.3fs"
+    s.st_steps s.st_regions s.st_expansions s.st_cache_hits s.st_cache_evictions
+    s.st_compile_seconds

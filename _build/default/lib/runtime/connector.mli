@@ -1,0 +1,56 @@
+(** Connector instances: medium automata + a boundary, compiled into running
+    engines according to a {!Config.t}, exposing task-facing ports (the
+    [Connector.connect] of the paper's Fig. 3). *)
+
+open Preo_automata
+
+exception Compile_failure of string
+(** The existing approach exceeded its ahead-of-time composition budget
+    (Fig. 12's "existing approach fails" cells). *)
+
+type t
+
+val create :
+  ?config:Config.t ->
+  sources:Vertex.t array ->
+  sinks:Vertex.t array ->
+  Automaton.t list ->
+  t
+(** [create ~sources ~sinks mediums] compiles and starts a connector whose
+    boundary vertices are [sources] (tasks send there) and [sinks] (tasks
+    receive there). Default config: {!Config.new_jit}. *)
+
+val outport : t -> Vertex.t -> Port.outport
+val inport : t -> Vertex.t -> Port.inport
+val outports : t -> Port.outport array
+(** In [sources] order. *)
+
+val inports : t -> Port.inport array
+
+val steps : t -> int
+(** Total global execution steps across all engines. *)
+
+val compile_seconds : t -> float
+(** Time spent composing/preparing before execution started. *)
+
+val engines : t -> Engine.t list
+val nregions : t -> int
+val expansions : t -> int
+val cache_evictions : t -> int
+val poison : t -> string -> unit
+
+val failure : t -> string option
+(** The first engine-poisoning reason other than plain shutdown, if any
+    (e.g. a JIT expansion blow-up). *)
+
+type stats = {
+  st_steps : int;
+  st_regions : int;
+  st_expansions : int;  (** JIT state expansions (0 under the existing approach) *)
+  st_cache_hits : int;
+  st_cache_evictions : int;
+  st_compile_seconds : float;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

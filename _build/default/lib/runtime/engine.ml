@@ -1,0 +1,421 @@
+open Preo_support
+open Preo_automata
+
+exception Poisoned of string
+
+(* Diagnostic-only: per-thread stage notes, enabled via PREO_ENGINE_TRACE. *)
+let trace_enabled = Sys.getenv_opt "PREO_ENGINE_TRACE" <> None
+let trace_tbl : (int, string) Hashtbl.t = Hashtbl.create 32
+let trace_lock = Mutex.create ()
+
+let trace stage =
+  if trace_enabled then begin
+    Mutex.lock trace_lock;
+    Hashtbl.replace trace_tbl (Thread.id (Thread.self ())) stage;
+    Mutex.unlock trace_lock
+  end
+
+let trace_dump () =
+  Mutex.lock trace_lock;
+  let s =
+    Hashtbl.fold
+      (fun tid stage acc -> acc ^ Printf.sprintf "thread %d: %s\n" tid stage)
+      trace_tbl ""
+  in
+  Mutex.unlock trace_lock;
+  s
+
+type gate = {
+  gate_ready : unit -> bool;
+  gate_peek : unit -> Value.t;
+  gate_commit : Value.t option -> unit;
+}
+
+type send_op = { sv : Value.t; mutable s_done : bool }
+type recv_op = { mutable r_result : Value.t option }
+
+type t = {
+  lock : Mutex.t;
+  cond : Condition.t;
+  comp : Composer.t;
+  cells : Value.t option array;
+  send_q : (Vertex.t, send_op Queue.t) Hashtbl.t;
+  recv_q : (Vertex.t, recv_op Queue.t) Hashtbl.t;
+  mutable base_pending : Iset.t;  (** vertices with nonempty queues *)
+  gates : (Vertex.t * gate) array;
+  mutable nsteps : int;
+  poison_flag : string option Atomic.t;
+      (* read without the lock so overloaded engines notice shutdown *)
+  mutable poisoned : string option;
+  mutable peers : t list;
+  mutable need_kick : bool;
+  mutable on_fire : (Iset.t -> unit) option;
+      (* called with each fired sync set, under the engine lock (tracing) *)
+}
+
+let create ?(gates = []) comp =
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    comp;
+    cells = Array.make (max 1 (Composer.ncells comp)) None;
+    send_q = Hashtbl.create 16;
+    recv_q = Hashtbl.create 16;
+    base_pending = Iset.empty;
+    gates = Array.of_list gates;
+    nsteps = 0;
+    poison_flag = Atomic.make None;
+    poisoned = None;
+    peers = [];
+    need_kick = false;
+    on_fire = None;
+  }
+
+let set_peers t peers = t.peers <- peers
+let set_on_fire t f = t.on_fire <- f
+let composer t = t.comp
+let steps t = t.nsteps
+
+let gate_of t v =
+  let n = Array.length t.gates in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let u, g = t.gates.(i) in
+      if Vertex.equal u v then Some g else go (i + 1)
+    end
+  in
+  go 0
+
+let queue_of tbl v =
+  match Hashtbl.find_opt tbl v with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add tbl v q;
+    q
+
+let pending_now t =
+  Array.fold_left
+    (fun acc (v, g) -> if g.gate_ready () then Iset.add v acc else acc)
+    t.base_pending t.gates
+
+let check_poison t =
+  (match (t.poisoned, Atomic.get t.poison_flag) with
+   | None, Some msg -> t.poisoned <- Some msg
+   | _ -> ());
+  match t.poisoned with Some msg -> raise (Poisoned msg) | None -> ()
+
+(* Fire one enabled transition if any; caller holds the lock. *)
+let fire_one t =
+  let pending = pending_now t in
+  let cands = Composer.candidates t.comp ~pending in
+  let n = Array.length cands in
+  if n = 0 then false
+  else begin
+    let start = t.nsteps mod n in
+    let try_candidate (x : Composer.xtrans) =
+      let read_send v =
+        match gate_of t v with
+        | Some g -> g.gate_peek ()
+        | None -> (Queue.peek (queue_of t.send_q v)).sv
+      in
+      let read_cell c =
+        match t.cells.(c) with
+        | Some v -> v
+        | None -> failwith "engine: read from empty cell (corrupt automaton)"
+      in
+      let staged_cells = ref [] in
+      let delivered = ref [] in
+      let env =
+        {
+          Command.read_send;
+          read_cell;
+          write_cell = (fun c v -> staged_cells := (c, v) :: !staged_cells);
+          deliver = (fun v value -> delivered := (v, value) :: !delivered);
+        }
+      in
+      let cmd =
+        match x.cmd with
+        | Some c -> Ok c
+        | None ->
+          Command.solve ~readable:(Composer.sources t.comp)
+            ~writable:(Composer.sinks t.comp) x.constr
+      in
+      match cmd with
+      | Error _ -> false (* structurally unsatisfiable: never enabled *)
+      | Ok cmd ->
+        if not (Command.guards_hold cmd env) then false
+        else begin
+          Command.execute cmd env;
+          (* Apply staged effects. *)
+          List.iter (fun (c, v) -> t.cells.(c) <- Some v) !staged_cells;
+          List.iter
+            (fun (v, value) ->
+              match gate_of t v with
+              | Some g -> g.gate_commit (Some value)
+              | None ->
+                let q = queue_of t.recv_q v in
+                let op = Queue.pop q in
+                op.r_result <- Some value;
+                if Queue.is_empty q then
+                  t.base_pending <- Iset.remove v t.base_pending)
+            !delivered;
+          (* Complete the consumed sends (their data was either moved by the
+             command or discarded by the protocol). *)
+          Iset.iter
+            (fun v ->
+              match gate_of t v with
+              | Some g -> g.gate_commit None
+              | None ->
+                let q = queue_of t.send_q v in
+                let op = Queue.pop q in
+                op.s_done <- true;
+                if Queue.is_empty q then
+                  t.base_pending <- Iset.remove v t.base_pending)
+            x.needs_send;
+          (* Every non-gated needed receive must have been delivered. *)
+          assert (
+            Iset.for_all
+              (fun v ->
+                gate_of t v <> None
+                || List.exists (fun (u, _) -> Vertex.equal u v) !delivered)
+              x.needs_recv);
+          Composer.commit t.comp x;
+          t.nsteps <- t.nsteps + 1;
+          (match t.on_fire with Some f -> f x.sync | None -> ());
+          if t.peers <> [] then t.need_kick <- true;
+          Condition.broadcast t.cond;
+          true
+        end
+    in
+    let rec scan i = i < n && (try_candidate cands.((start + i) mod n) || scan (i + 1)) in
+    scan 0
+  end
+
+(* Fire as many transitions as possible; returns whether any fired. *)
+let drive t =
+  let fired = ref false in
+  (try
+     while fire_one t do
+       fired := true
+     done
+   with Composer.Expansion_budget msg ->
+     t.poisoned <- Some msg;
+     Condition.broadcast t.cond);
+  !fired
+
+let rec kick_all engines =
+  match engines with
+  | [] -> ()
+  | e :: rest ->
+    let more =
+      Mutex.lock e.lock;
+      let _ = drive e in
+      let more = if e.need_kick then (e.need_kick <- false; e.peers) else [] in
+      Condition.broadcast e.cond;
+      Mutex.unlock e.lock;
+      more
+    in
+    kick_all (List.filter (fun x -> not (List.memq x (e :: rest))) more @ rest)
+
+(* Release the lock, nudge peers, re-acquire. Caller holds the lock. *)
+let flush_kicks t =
+  if t.need_kick then begin
+    t.need_kick <- false;
+    let peers = t.peers in
+    Mutex.unlock t.lock;
+    kick_all peers;
+    Mutex.lock t.lock
+  end
+
+let add_pending t v = t.base_pending <- Iset.add v t.base_pending
+
+let run_op t ~enqueue ~finished ~extract =
+  trace "entry";
+  (match Atomic.get t.poison_flag with
+   | Some msg -> raise (Poisoned msg)
+   | None -> ());
+  trace "locking";
+  Mutex.lock t.lock;
+  let result =
+    try
+      check_poison t;
+      enqueue ();
+      let rec loop () =
+        trace "loop";
+        check_poison t;
+        if finished () then extract ()
+        else begin
+          trace "driving";
+          let progressed = drive t in
+          check_poison t;
+          if finished () then begin
+            flush_kicks t;
+            extract ()
+          end
+          else begin
+            flush_kicks t;
+            if not progressed && not (finished ()) then begin
+              trace "waiting";
+              Condition.wait t.cond t.lock;
+              trace "woken"
+            end;
+            loop ()
+          end
+        end
+      in
+      loop ()
+    with e ->
+      Mutex.unlock t.lock;
+      trace "raised";
+      raise e
+  in
+  flush_kicks t;
+  Mutex.unlock t.lock;
+  trace "done";
+  result
+
+let send t v value =
+  let op = { sv = value; s_done = false } in
+  run_op t
+    ~enqueue:(fun () ->
+      Queue.push op (queue_of t.send_q v);
+      add_pending t v)
+    ~finished:(fun () -> op.s_done)
+    ~extract:(fun () -> ())
+
+let recv t v =
+  let op = { r_result = None } in
+  run_op t
+    ~enqueue:(fun () ->
+      Queue.push op (queue_of t.recv_q v);
+      add_pending t v)
+    ~finished:(fun () -> op.r_result <> None)
+    ~extract:(fun () ->
+      match op.r_result with Some x -> x | None -> assert false)
+
+(* Withdraw an op from a queue (nonblocking attempt that did not fire). *)
+let withdraw t tbl v keep_op =
+  let q = queue_of tbl v in
+  let kept = Queue.create () in
+  Queue.iter (fun o -> if not (keep_op o) then Queue.push o kept) q;
+  Queue.clear q;
+  Queue.transfer kept q;
+  if Queue.is_empty q then t.base_pending <- Iset.remove v t.base_pending
+
+let try_send t v value =
+  (match Atomic.get t.poison_flag with
+   | Some msg -> raise (Poisoned msg)
+   | None -> ());
+  Mutex.lock t.lock;
+  let result =
+    try
+      check_poison t;
+      let op = { sv = value; s_done = false } in
+      Queue.push op (queue_of t.send_q v);
+      add_pending t v;
+      let _ = drive t in
+      check_poison t;
+      if op.s_done then true
+      else begin
+        withdraw t t.send_q v (fun o -> o == op);
+        false
+      end
+    with e ->
+      Mutex.unlock t.lock;
+      raise e
+  in
+  flush_kicks t;
+  Mutex.unlock t.lock;
+  result
+
+let try_recv t v =
+  (match Atomic.get t.poison_flag with
+   | Some msg -> raise (Poisoned msg)
+   | None -> ());
+  Mutex.lock t.lock;
+  let result =
+    try
+      check_poison t;
+      let op = { r_result = None } in
+      Queue.push op (queue_of t.recv_q v);
+      add_pending t v;
+      let _ = drive t in
+      check_poison t;
+      (match op.r_result with
+       | Some _ as r -> r
+       | None ->
+         withdraw t t.recv_q v (fun o -> o == op);
+         None)
+    with e ->
+      Mutex.unlock t.lock;
+      raise e
+  in
+  flush_kicks t;
+  Mutex.unlock t.lock;
+  result
+
+let try_step t =
+  Mutex.lock t.lock;
+  let fired = (try fire_one t with Composer.Expansion_budget msg ->
+    t.poisoned <- Some msg;
+    Condition.broadcast t.cond;
+    false)
+  in
+  if fired then Condition.broadcast t.cond;
+  flush_kicks t;
+  Mutex.unlock t.lock;
+  fired
+
+let poison t msg =
+  if Atomic.get t.poison_flag = None then Atomic.set t.poison_flag (Some msg);
+  Mutex.lock t.lock;
+  if t.poisoned = None then t.poisoned <- Some msg;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let poisoned_reason t =
+  Mutex.lock t.lock;
+  let r = t.poisoned in
+  Mutex.unlock t.lock;
+  r
+
+let debug_dump t =
+  Mutex.lock t.lock;
+  let buf = Buffer.create 256 in
+  let pending = pending_now t in
+  Buffer.add_string buf
+    (Printf.sprintf "steps=%d poisoned=%s\n" t.nsteps
+       (match t.poisoned with Some m -> m | None -> "no"));
+  Buffer.add_string buf "pending:";
+  Iset.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf " %s#%d" (Vertex.name v) v))
+    pending;
+  Buffer.add_char buf '\n';
+  Hashtbl.iter
+    (fun v q ->
+      Buffer.add_string buf
+        (Printf.sprintf "send_q %s#%d len=%d\n" (Vertex.name v) v (Queue.length q)))
+    t.send_q;
+  Hashtbl.iter
+    (fun v q ->
+      Buffer.add_string buf
+        (Printf.sprintf "recv_q %s#%d len=%d\n" (Vertex.name v) v (Queue.length q)))
+    t.recv_q;
+  let cands = Composer.candidates t.comp ~pending in
+  Buffer.add_string buf
+    (Printf.sprintf "candidates(enabled-by-pending)=%d out-degree=%d\n"
+       (Array.length cands)
+       (Composer.current_out_degree t.comp));
+  let all = Composer.candidates t.comp ~pending:(Iset.union (Composer.sources t.comp) (Composer.sinks t.comp)) in
+  Array.iter
+    (fun (x : Composer.xtrans) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  trans sync={%s} needs_send={%s} needs_recv={%s}\n"
+           (String.concat "," (List.map Vertex.name (Iset.elements x.sync)))
+           (String.concat "," (List.map Vertex.name (Iset.elements x.needs_send)))
+           (String.concat "," (List.map Vertex.name (Iset.elements x.needs_recv)))))
+    all;
+  Mutex.unlock t.lock;
+  Buffer.contents buf

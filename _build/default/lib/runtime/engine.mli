@@ -1,0 +1,74 @@
+(** Connector execution engine.
+
+    One engine owns one composed protocol (via a {!Composer.t}) plus the
+    connector memory. Tasks interact through blocking [send]/[recv]
+    operations on boundary vertices; the state machine runs inside the
+    calling threads, under the engine lock, exactly like the generated code
+    of the Reo-to-Java runtime: whenever an operation is registered, the
+    caller repeatedly tries to fire enabled transitions until its own
+    operation completes, and otherwise waits to be woken by another firing.
+
+    External gates let a vertex be driven by another engine instead of a
+    task (used by the partitioned runtime). *)
+
+open Preo_support
+
+type t
+
+exception Poisoned of string
+(** Raised by pending operations when the engine is shut down or a JIT state
+    expansion blows its budget. *)
+
+type gate = {
+  gate_ready : unit -> bool;  (** may the gated vertex fire right now? *)
+  gate_peek : unit -> Value.t;  (** for source gates: the value offered *)
+  gate_commit : Value.t option -> unit;
+      (** called on firing: [Some v] delivers to a sink gate, [None] consumes
+          from a source gate *)
+}
+
+val create : ?gates:(Preo_automata.Vertex.t * gate) list -> Composer.t -> t
+
+val send : t -> Preo_automata.Vertex.t -> Value.t -> unit
+(** Blocking send at a boundary source vertex. *)
+
+val recv : t -> Preo_automata.Vertex.t -> Value.t
+(** Blocking receive at a boundary sink vertex. *)
+
+val try_send : t -> Preo_automata.Vertex.t -> Preo_support.Value.t -> bool
+(** Nonblocking send: fires whatever the offer enables and reports whether
+    the operation completed; otherwise the offer is withdrawn. *)
+
+val try_recv : t -> Preo_automata.Vertex.t -> Preo_support.Value.t option
+(** Nonblocking receive (see {!try_send}). *)
+
+val try_step : t -> bool
+(** Fire at most one enabled transition without registering any operation
+    (used by the partitioned runtime to react to gate changes and by tests).
+    Returns whether a transition fired. *)
+
+val steps : t -> int
+(** Number of global execution steps (fired transitions) so far. *)
+
+val poison : t -> string -> unit
+(** Wake all blocked operations with {!Poisoned}. *)
+
+val poisoned_reason : t -> string option
+
+val composer : t -> Composer.t
+
+val set_peers : t -> t list -> unit
+(** Other engines to nudge after each firing (partitioned runtime). *)
+
+val set_on_fire : t -> (Preo_support.Iset.t -> unit) option -> unit
+(** Tracing hook: called with each fired sync set, under the engine lock —
+    keep it fast and reentrancy-free. *)
+
+(**/**)
+
+val trace_dump : unit -> string
+(** Per-thread stage notes when PREO_ENGINE_TRACE is set. *)
+
+val debug_dump : t -> string
+(** Engine state snapshot (pending vertices, candidate count) for
+    diagnosing stuck protocols; not part of the stable API. *)

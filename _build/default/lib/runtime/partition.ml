@@ -1,0 +1,272 @@
+open Preo_support
+open Preo_automata
+
+type region = {
+  mediums : Automaton.t list;
+  r_sources : Iset.t;
+  r_sinks : Iset.t;
+  gates : (Vertex.t * Engine.gate) list;
+  bridge_peers : int list;
+}
+
+type plan = { regions : region array; nbridges : int }
+
+let is_plain_fifo1 (a : Automaton.t) =
+  if
+    a.nstates = 2 && a.initial = 0
+    && Iset.cardinal a.sources = 1
+    && Iset.cardinal a.sinks = 1
+    && Array.length a.trans.(0) = 1
+    && Array.length a.trans.(1) = 1
+  then begin
+    let tail = Iset.choose a.sources and head = Iset.choose a.sinks in
+    let t0 = a.trans.(0).(0) and t1 = a.trans.(1).(0) in
+    if
+      t0.target = 1 && t1.target = 0
+      && Iset.equal t0.sync (Iset.singleton tail)
+      && Iset.equal t1.sync (Iset.singleton head)
+    then Some (tail, head)
+    else None
+  end
+  else None
+
+(* A single-place slot bridging two engines. [Atomic] gives the necessary
+   memory ordering; mutual exclusion follows from the slot being
+   single-producer single-consumer: the producing engine only acts when the
+   slot is empty, the consuming engine only when it is full. *)
+let make_slot () =
+  let slot : Value.t option Atomic.t = Atomic.make None in
+  let producer_gate =
+    {
+      Engine.gate_ready = (fun () -> Atomic.get slot = None);
+      gate_peek = (fun () -> invalid_arg "producer gate has no value");
+      gate_commit =
+        (fun v ->
+          match v with
+          | Some value -> Atomic.set slot (Some value)
+          | None -> invalid_arg "producer gate expects a value");
+    }
+  in
+  let consumer_gate =
+    {
+      Engine.gate_ready = (fun () -> Atomic.get slot <> None);
+      gate_peek =
+        (fun () ->
+          match Atomic.get slot with
+          | Some v -> v
+          | None -> invalid_arg "consumer gate: slot empty");
+      gate_commit =
+        (fun v ->
+          match v with
+          | None -> Atomic.set slot None
+          | Some _ -> invalid_arg "consumer gate consumes, not delivers");
+    }
+  in
+  (producer_gate, consumer_gate)
+
+let split ~sources ~sinks (mediums : Automaton.t list) =
+  let boundary = Iset.union sources sinks in
+  let candidates0, solids0 =
+    List.partition
+      (fun a ->
+        match is_plain_fifo1 a with
+        | Some (tail, head) ->
+          (* Only cut fifos whose both ends are internal joints. *)
+          (not (Iset.mem tail boundary)) && not (Iset.mem head boundary)
+        | None -> false)
+      mediums
+  in
+  (* Every vertex of a remaining bridge must belong to some solid region.
+     Vertices shared between two candidate fifos (fifo-to-fifo chains)
+     therefore force one of the two to be kept solid: a greedy vertex cover
+     on the candidate-adjacency graph decides which. *)
+  let candidates0 = Array.of_list candidates0 in
+  let nc = Array.length candidates0 in
+  let owned_by_solid : (Vertex.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Automaton.t) ->
+      Iset.iter (fun v -> Hashtbl.replace owned_by_solid v ()) a.vertices)
+    solids0;
+  let promoted = Array.make nc false in
+  let touches : (Vertex.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (a : Automaton.t) ->
+      Iset.iter
+        (fun v ->
+          Hashtbl.replace touches v
+            (i :: (try Hashtbl.find touches v with Not_found -> [])))
+        a.vertices)
+    candidates0;
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun v is ->
+      if not (Hashtbl.mem owned_by_solid v) then
+        match is with
+        | [ i ] -> promoted.(i) <- true (* dangling end: keep solid *)
+        | [ i; j ] -> edges := (i, j) :: !edges
+        | _ -> List.iter (fun i -> promoted.(i) <- true) is)
+    touches;
+  let degree = Array.make nc 0 in
+  List.iter
+    (fun (i, j) ->
+      degree.(i) <- degree.(i) + 1;
+      degree.(j) <- degree.(j) + 1)
+    !edges;
+  let remaining = ref !edges in
+  let uncovered (i, j) = (not promoted.(i)) && not promoted.(j) in
+  while List.exists uncovered !remaining do
+    (* Promote the max-degree endpoint of some uncovered edge. *)
+    let i, j = List.find uncovered !remaining in
+    let pick = if degree.(i) >= degree.(j) then i else j in
+    promoted.(pick) <- true;
+    remaining := List.filter uncovered !remaining
+  done;
+  let candidates = ref [] and solids = ref solids0 in
+  Array.iteri
+    (fun i a ->
+      if promoted.(i) then solids := a :: !solids
+      else candidates := a :: !candidates)
+    candidates0;
+  let candidates = !candidates and solids = !solids in
+  (* Union-find over solid mediums through shared vertices. *)
+  let solids = Array.of_list solids in
+  let n = Array.length solids in
+  if n = 0 then begin
+    (* Nothing to anchor regions on; fall back to a single region. *)
+    let gates = [] in
+    {
+      regions =
+        [|
+          {
+            mediums;
+            r_sources = sources;
+            r_sinks = sinks;
+            gates;
+            bridge_peers = [];
+          };
+        |];
+      nbridges = 0;
+    }
+  end
+  else begin
+    let uf = Union_find.create n in
+    let owner : (Vertex.t, int) Hashtbl.t = Hashtbl.create 64 in
+    Array.iteri
+      (fun i (a : Automaton.t) ->
+        Iset.iter
+          (fun v ->
+            match Hashtbl.find_opt owner v with
+            | Some j -> Union_find.union uf i j
+            | None -> Hashtbl.add owner v i)
+          a.vertices)
+      solids;
+    (* Decide each candidate fifo: bridge if its ends lie in two different
+       components, otherwise return it to its (single) region. *)
+    let region_of_vertex v =
+      match Hashtbl.find_opt owner v with
+      | Some i -> Some (Union_find.find uf i)
+      | None -> None
+    in
+    let bridges = ref [] and returned = ref [] in
+    List.iter
+      (fun (f : Automaton.t) ->
+        match is_plain_fifo1 f with
+        | None -> assert false
+        | Some (tail, head) -> begin
+          match (region_of_vertex tail, region_of_vertex head) with
+          | Some rt, Some rh when rt <> rh -> bridges := (f, tail, head, rt, rh) :: !bridges
+          | _ -> returned := f :: !returned
+        end)
+      candidates;
+    (* Materialize regions. *)
+    let reps = Hashtbl.create 8 in
+    let region_ids = ref [] in
+    for i = n - 1 downto 0 do
+      let r = Union_find.find uf i in
+      if not (Hashtbl.mem reps r) then begin
+        Hashtbl.add reps r ();
+        region_ids := r :: !region_ids
+      end
+    done;
+    let region_ids = Array.of_list !region_ids in
+    let index_of_rep r =
+      let rec go i = if region_ids.(i) = r then i else go (i + 1) in
+      go 0
+    in
+    let nregions = Array.length region_ids in
+    let r_mediums = Array.make nregions [] in
+    let r_sources = Array.make nregions Iset.empty in
+    let r_sinks = Array.make nregions Iset.empty in
+    let r_gates = Array.make nregions [] in
+    let r_peers = Array.make nregions [] in
+    Array.iteri
+      (fun i (a : Automaton.t) ->
+        let r = index_of_rep (Union_find.find uf i) in
+        r_mediums.(r) <- a :: r_mediums.(r))
+      solids;
+    List.iter
+      (fun (f : Automaton.t) ->
+        match is_plain_fifo1 f with
+        | Some (tail, _) -> begin
+          (* Returned fifos keep living in the region of their tail (or any
+             region if dangling). *)
+          let r =
+            match region_of_vertex tail with
+            | Some rep -> index_of_rep rep
+            | None -> 0
+          in
+          r_mediums.(r) <- f :: r_mediums.(r)
+        end
+        | None -> assert false)
+      !returned;
+    (* Boundary vertices belong to the region that mentions them. *)
+    let assign_boundary v =
+      let rec find r =
+        if r >= nregions then None
+        else if
+          List.exists (fun (a : Automaton.t) -> Iset.mem v a.vertices) r_mediums.(r)
+        then Some r
+        else find (r + 1)
+      in
+      find 0
+    in
+    Iset.iter
+      (fun v ->
+        match assign_boundary v with
+        | Some r -> r_sources.(r) <- Iset.add v r_sources.(r)
+        | None -> r_sources.(0) <- Iset.add v r_sources.(0))
+      sources;
+    Iset.iter
+      (fun v ->
+        match assign_boundary v with
+        | Some r -> r_sinks.(r) <- Iset.add v r_sinks.(r)
+        | None -> r_sinks.(0) <- Iset.add v r_sinks.(0))
+      sinks;
+    (* Bridges: the tail region treats the fifo's tail vertex as a gated
+       sink (it pushes into the slot); the head region treats the head
+       vertex as a gated source. *)
+    let nbridges = List.length !bridges in
+    List.iter
+      (fun (_f, tail, head, rep_t, rep_h) ->
+        let rt = index_of_rep rep_t and rh = index_of_rep rep_h in
+        let producer_gate, consumer_gate = make_slot () in
+        r_sinks.(rt) <- Iset.add tail r_sinks.(rt);
+        r_gates.(rt) <- (tail, producer_gate) :: r_gates.(rt);
+        r_sources.(rh) <- Iset.add head r_sources.(rh);
+        r_gates.(rh) <- (head, consumer_gate) :: r_gates.(rh);
+        if not (List.mem rh r_peers.(rt)) then r_peers.(rt) <- rh :: r_peers.(rt);
+        if not (List.mem rt r_peers.(rh)) then r_peers.(rh) <- rt :: r_peers.(rh))
+      !bridges;
+    {
+      regions =
+        Array.init nregions (fun r ->
+            {
+              mediums = r_mediums.(r);
+              r_sources = r_sources.(r);
+              r_sinks = r_sinks.(r);
+              gates = r_gates.(r);
+              bridge_peers = r_peers.(r);
+            });
+      nbridges;
+    }
+  end

@@ -1,0 +1,32 @@
+(** Partitioned composition (extension; the fix the paper's §V-C points to,
+    after Jongmans–Santini–Arbab 2015).
+
+    Internal fifo1 mediums decouple the synchronous regions on their two
+    sides: neither side ever fires together with the other through the
+    buffer, so the product across a fifo never needs to be computed. This
+    module splits a connector's medium automata at such fifos into regions;
+    each region runs on its own engine, and the cut fifos become native
+    single-place slots bridging the engines. The per-region products stay
+    small even when the monolithic product would have exponentially many
+    transitions per state. *)
+
+open Preo_support
+open Preo_automata
+
+type region = {
+  mediums : Automaton.t list;
+  r_sources : Iset.t;  (** task-facing sources plus incoming bridge ends *)
+  r_sinks : Iset.t;
+  gates : (Vertex.t * Engine.gate) list;
+  bridge_peers : int list;  (** indices of regions adjacent via bridges *)
+}
+
+type plan = { regions : region array; nbridges : int }
+
+val split : sources:Iset.t -> sinks:Iset.t -> Automaton.t list -> plan
+(** Always succeeds; when nothing can be cut the plan has one region and no
+    bridges. *)
+
+val is_plain_fifo1 : Automaton.t -> (Vertex.t * Vertex.t) option
+(** Recognize an (empty) fifo1-shaped medium, returning (tail, head);
+    exposed for tests. *)

@@ -1,0 +1,14 @@
+open Preo_support
+open Preo_automata
+
+type outport = { oe : Engine.t; ov : Vertex.t }
+type inport = { ie : Engine.t; iv : Vertex.t }
+
+let make_out oe ov = { oe; ov }
+let make_in ie iv = { ie; iv }
+let send p (v : Value.t) = Engine.send p.oe p.ov v
+let recv p = Engine.recv p.ie p.iv
+let try_send p (v : Value.t) = Engine.try_send p.oe p.ov v
+let try_recv p = Engine.try_recv p.ie p.iv
+let out_vertex p = p.ov
+let in_vertex p = p.iv

@@ -1,0 +1,29 @@
+(** Task-facing ports (the generalized Foster–Chandy model, Fig. 3).
+
+    An outport accepts blocking [send] operations, an inport blocking [recv]
+    operations; completion is decided entirely by the connector the port is
+    linked to. *)
+
+open Preo_support
+
+type outport
+type inport
+
+val make_out : Engine.t -> Preo_automata.Vertex.t -> outport
+val make_in : Engine.t -> Preo_automata.Vertex.t -> inport
+
+val send : outport -> Value.t -> unit
+(** Blocks until the connector completes the operation. May raise
+    {!Engine.Poisoned}. *)
+
+val recv : inport -> Value.t
+(** Blocks until a datum is delivered. May raise {!Engine.Poisoned}. *)
+
+val try_send : outport -> Value.t -> bool
+(** Nonblocking: completes the send iff the connector can take it now. *)
+
+val try_recv : inport -> Value.t option
+(** Nonblocking: returns a datum iff the connector can deliver one now. *)
+
+val out_vertex : outport -> Preo_automata.Vertex.t
+val in_vertex : inport -> Preo_automata.Vertex.t

@@ -1,0 +1,28 @@
+type t = { thread : Thread.t; failure : exn option ref }
+
+let spawn f =
+  let failure = ref None in
+  let thread =
+    Thread.create
+      (fun () -> try f () with e -> failure := Some e)
+      ()
+  in
+  { thread; failure }
+
+let join t =
+  Thread.join t.thread;
+  match !(t.failure) with
+  | None | Some (Engine.Poisoned _) -> ()
+  | Some e -> raise e
+
+let join_all ts =
+  (* Join everything before propagating, so no thread outlives the call. *)
+  List.iter (fun t -> Thread.join t.thread) ts;
+  List.iter
+    (fun t ->
+      match !(t.failure) with
+      | None | Some (Engine.Poisoned _) -> ()
+      | Some e -> raise e)
+    ts
+
+let run_all fs = join_all (List.map spawn fs)

@@ -1,0 +1,14 @@
+(** Tasks as threads. Thin wrappers so examples and benchmarks read like the
+    paper's programming model: spawn tasks, join them, tolerate poisoning. *)
+
+type t
+
+val spawn : (unit -> unit) -> t
+val join : t -> unit
+(** Re-raises any exception the task died with, except {!Engine.Poisoned},
+    which is swallowed (a poisoned connector already reported the failure). *)
+
+val join_all : t list -> unit
+
+val run_all : (unit -> unit) list -> unit
+(** Spawn all, then join all. *)

@@ -1,0 +1,1 @@
+lib/stream/stream_graph.ml: Array Atomic Config Connector Datafun Iset List Port Preo_automata Preo_reo Preo_runtime Preo_support Printf Task Thread Value Vertex

@@ -1,0 +1,1 @@
+lib/stream/stream_graph.mli: Preo_runtime Preo_support Value

@@ -1,0 +1,198 @@
+open Preo_support
+open Preo_automata
+open Preo_runtime
+
+type endpoint = Vertex.t
+type stream = { vertex : endpoint; mutable consumed : bool }
+
+type builder = {
+  mutable arcs : Preo_reo.Graph.t;
+  mutable sources : (string * Vertex.t * (unit -> Value.t option)) list;
+  mutable sinks : (Vertex.t * (Value.t -> unit)) list;
+  mutable counter : int;
+}
+
+let create () = { arcs = []; sources = []; sinks = []; counter = 0 }
+
+let fresh b base =
+  b.counter <- b.counter + 1;
+  Vertex.fresh (Printf.sprintf "%s%d" base b.counter)
+
+let mk_stream v = { vertex = v; consumed = false }
+
+let consume (s : stream) =
+  if s.consumed then
+    invalid_arg "Stream_graph: a stream can only be consumed once";
+  s.consumed <- true;
+  s.vertex
+
+let add b arc = b.arcs <- arc :: b.arcs
+
+(* Anonymous per-builder function/predicate registration. *)
+let reg_counter = Atomic.make 0
+
+let register_fn f =
+  let name = Printf.sprintf "__stream_fn_%d" (Atomic.fetch_and_add reg_counter 1) in
+  Datafun.register_fn name f;
+  name
+
+let register_pred p =
+  let name = Printf.sprintf "__stream_pred_%d" (Atomic.fetch_and_add reg_counter 1) in
+  Datafun.register_pred name p;
+  name
+
+(* --- Producers / consumers -------------------------------------------------- *)
+
+let source b ?(name = "src") produce =
+  let v = fresh b name in
+  b.sources <- (name, v, produce) :: b.sources;
+  mk_stream v
+
+let of_list b ?name values =
+  let remaining = ref values in
+  source b ?name (fun () ->
+      match !remaining with
+      | [] -> None
+      | x :: rest ->
+        remaining := rest;
+        Some x)
+
+let sink b s callback =
+  let v = consume s in
+  b.sinks <- (v, callback) :: b.sinks
+
+let to_list b s =
+  let acc = ref [] in
+  sink b s (fun x -> acc := x :: !acc);
+  acc
+
+(* --- Transformations ---------------------------------------------------------- *)
+
+let map b f s =
+  let v = consume s in
+  let out = fresh b "map" in
+  add b (Preo_reo.Graph.arc (Preo_reo.Prim.Transform (register_fn f)) ~tails:[ v ] ~heads:[ out ]);
+  mk_stream out
+
+let filter b p s =
+  let v = consume s in
+  let out = fresh b "flt" in
+  add b (Preo_reo.Graph.arc (Preo_reo.Prim.Filter (register_pred p)) ~tails:[ v ] ~heads:[ out ]);
+  mk_stream out
+
+let buffer ?(depth = 1) b s =
+  let v = consume s in
+  let out = fresh b "buf" in
+  let kind =
+    if depth <= 1 then Preo_reo.Prim.Fifo1 else Preo_reo.Prim.Fifo_n depth
+  in
+  add b (Preo_reo.Graph.arc kind ~tails:[ v ] ~heads:[ out ]);
+  mk_stream out
+
+let merge b streams =
+  match streams with
+  | [] -> invalid_arg "Stream_graph.merge: empty"
+  | [ s ] -> s
+  | _ ->
+    let vs = List.map consume streams in
+    let out = fresh b "mrg" in
+    add b (Preo_reo.Graph.arc Preo_reo.Prim.Merger ~tails:vs ~heads:[ out ]);
+    mk_stream out
+
+let round_robin b s n =
+  if n < 1 then invalid_arg "Stream_graph.round_robin: n >= 1";
+  if n = 1 then [ s ]
+  else begin
+    let v = consume s in
+    let outs = List.init n (fun _ -> fresh b "rr") in
+    let gates = List.init n (fun _ -> fresh b "rrg") in
+    let seqs = List.init n (fun _ -> fresh b "rrs") in
+    add b (Preo_reo.Graph.arc Preo_reo.Prim.Router ~tails:[ v ] ~heads:gates);
+    List.iteri
+      (fun i g ->
+        add b
+          (Preo_reo.Graph.arc Preo_reo.Prim.Replicator ~tails:[ g ]
+             ~heads:[ List.nth outs i; List.nth seqs i ]))
+      gates;
+    add b (Preo_reo.Graph.arc Preo_reo.Prim.Seq ~tails:seqs ~heads:[]);
+    List.map mk_stream outs
+  end
+
+let broadcast b s n =
+  if n < 1 then invalid_arg "Stream_graph.broadcast: n >= 1";
+  if n = 1 then [ s ]
+  else begin
+    let v = consume s in
+    let mids = List.init n (fun _ -> fresh b "bc") in
+    let outs = List.init n (fun _ -> fresh b "bco") in
+    add b (Preo_reo.Graph.arc Preo_reo.Prim.Replicator ~tails:[ v ] ~heads:mids);
+    List.iter2
+      (fun m o -> add b (Preo_reo.Graph.arc Preo_reo.Prim.Fifo1 ~tails:[ m ] ~heads:[ o ]))
+      mids outs;
+    List.map mk_stream outs
+  end
+
+let sample b s =
+  let v = consume s in
+  let out = fresh b "smp" in
+  add b (Preo_reo.Graph.arc Preo_reo.Prim.Shift_lossy ~tails:[ v ] ~heads:[ out ]);
+  mk_stream out
+
+(* --- Execution ------------------------------------------------------------------ *)
+
+let run ?(config = Config.new_jit) b =
+  (match Preo_reo.Graph.well_formed b.arcs with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Stream_graph: " ^ msg));
+  let srcs = Array.of_list (List.rev_map (fun (_, v, _) -> v) b.sources) in
+  let snks = Array.of_list (List.rev_map (fun (v, _) -> v) b.sinks) in
+  (* Sanity: every graph boundary is wired to a task. *)
+  let gsrc, gsnk = Preo_reo.Graph.boundary b.arcs in
+  Iset.iter
+    (fun v ->
+      if not (Array.exists (Vertex.equal v) srcs) then
+        invalid_arg "Stream_graph: a stream input has no source")
+    gsrc;
+  Iset.iter
+    (fun v ->
+      if not (Array.exists (Vertex.equal v) snks) then
+        invalid_arg "Stream_graph: a stream was never consumed (add a sink)")
+    gsnk;
+  let conn =
+    Connector.create ~config ~sources:srcs ~sinks:snks
+      (Preo_reo.Graph.to_automata b.arcs)
+  in
+  let producers =
+    List.map
+      (fun (_, v, produce) ->
+        Task.spawn (fun () ->
+            let rec loop () =
+              match produce () with
+              | Some x ->
+                Port.send (Connector.outport conn v) x;
+                loop ()
+              | None -> ()
+            in
+            loop ()))
+      b.sources
+  in
+  let consumers =
+    List.map
+      (fun (v, callback) ->
+        Task.spawn (fun () ->
+            while true do
+              callback (Port.recv (Connector.inport conn v))
+            done))
+      b.sinks
+  in
+  (* Wait for the finite sources, then for quiescence, then stop. *)
+  List.iter Task.join producers;
+  let rec settle last =
+    Thread.delay 0.005;
+    let now = Connector.steps conn in
+    if now <> last then settle now else ()
+  in
+  settle (Connector.steps conn);
+  Connector.poison conn "stream complete";
+  List.iter (fun t -> try Task.join t with _ -> ()) consumers;
+  conn

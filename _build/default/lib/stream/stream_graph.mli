@@ -1,0 +1,59 @@
+(** Stream-processing combinators whose plumbing is connectors.
+
+    A small "downstream consumer" layer showing how an application library
+    builds on the protocol substrate: sources, transforms, buffers, merges,
+    splits and sinks assemble a connector graph; [run] compiles it, spawns
+    the source/sink tasks, and coordinates everything through the engine.
+
+    Data functions/predicates are OCaml closures registered on the fly (no
+    DSL involved here — this is the programmatic face of the library; the
+    textual DSL remains available for protocol-first designs).
+
+    Termination: sources are finite ([None] ends a source). [run] returns
+    once every source is exhausted and the connector has gone quiescent;
+    any data still buffered inside dropped branches is discarded. *)
+
+open Preo_support
+
+type builder
+type stream
+
+val create : unit -> builder
+
+(** {1 Producers and consumers} *)
+
+val source : builder -> ?name:string -> (unit -> Value.t option) -> stream
+val of_list : builder -> ?name:string -> Value.t list -> stream
+
+val sink : builder -> stream -> (Value.t -> unit) -> unit
+(** Each arriving value is passed to the callback (in its own task). *)
+
+val to_list : builder -> stream -> Value.t list ref
+(** Convenience sink accumulating values; after {!run} returns the ref
+    holds them in reverse arrival order. *)
+
+(** {1 Transformations} *)
+
+val map : builder -> (Value.t -> Value.t) -> stream -> stream
+val filter : builder -> (Value.t -> bool) -> stream -> stream
+val buffer : ?depth:int -> builder -> stream -> stream
+(** Decouple producer and consumer rates; [depth] defaults to 1. *)
+
+val merge : builder -> stream list -> stream
+(** Nondeterministic fair-ish merge. *)
+
+val round_robin : builder -> stream -> int -> stream list
+(** Deal values to [n] branches in strict rotation. *)
+
+val broadcast : builder -> stream -> int -> stream list
+(** Every branch receives every value (buffered per branch). *)
+
+val sample : builder -> stream -> stream
+(** Keep only the newest value when the consumer lags (shift-lossy). *)
+
+(** {1 Execution} *)
+
+val run : ?config:Preo_runtime.Config.t -> builder -> Preo_runtime.Connector.t
+(** Build, execute to quiescence, tear down; returns the (poisoned)
+    connector for stats inspection. Raises [Invalid_argument] if a stream
+    was left unconsumed or consumed twice. *)

@@ -1,0 +1,1 @@
+lib/support/iset.ml: Array Format Int List

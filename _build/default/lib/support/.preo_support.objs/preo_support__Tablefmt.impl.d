@@ -1,0 +1,1 @@
+lib/support/tablefmt.ml: Array Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/support/value.ml: Array Format List Printf Stdlib String

@@ -1,0 +1,11 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  (x, now () -. t0)
+
+let run_for seconds step =
+  let t0 = now () in
+  let rec go n = if now () -. t0 >= seconds then n else (step (); go (n + 1)) in
+  go 0

@@ -1,0 +1,12 @@
+(** Monotonic wall-clock timing helpers. *)
+
+val now : unit -> float
+(** Seconds from an arbitrary monotonic origin. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result and elapsed seconds. *)
+
+val run_for : float -> (unit -> unit) -> int
+(** [run_for seconds step] repeatedly calls [step] until [seconds] have
+    elapsed, checking the clock every iteration; returns the iteration
+    count. *)

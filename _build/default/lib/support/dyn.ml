@@ -1,0 +1,34 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+
+let grow t x =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let data = Array.make ncap x in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let add t x =
+  if t.len >= Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  t.len - 1
+
+let check t i = if i < 0 || i >= t.len then invalid_arg "Dyn: index out of bounds"
+
+let get t i =
+  check t i;
+  t.data.(i)
+
+let set t i x =
+  check t i;
+  t.data.(i) <- x
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done

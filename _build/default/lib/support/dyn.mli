@@ -1,0 +1,14 @@
+(** Growable arrays (a minimal [Dynarray]; the stdlib one arrives only in
+    OCaml 5.2). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val add : 'a t -> 'a -> int
+(** Appends and returns the index of the new element. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val to_array : 'a t -> 'a array
+val iteri : (int -> 'a -> unit) -> 'a t -> unit

@@ -1,0 +1,78 @@
+module Make (K : Hashtbl.HashedType) = struct
+  module H = Hashtbl.Make (K)
+
+  type 'v node = {
+    key : K.t;
+    mutable value : 'v;
+    mutable prev : 'v node option;
+    mutable next : 'v node option;
+  }
+
+  type 'v t = {
+    capacity : int;
+    table : 'v node H.t;
+    mutable head : 'v node option; (* most recently used *)
+    mutable tail : 'v node option; (* least recently used *)
+    mutable evicted : int;
+  }
+
+  let create ~capacity = { capacity; table = H.create 64; head = None; tail = None; evicted = 0 }
+
+  let unlink t node =
+    (match node.prev with
+     | Some p -> p.next <- node.next
+     | None -> t.head <- node.next);
+    (match node.next with
+     | Some n -> n.prev <- node.prev
+     | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None
+
+  let push_front t node =
+    node.next <- t.head;
+    node.prev <- None;
+    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    t.head <- Some node
+
+  let find t k =
+    match H.find_opt t.table k with
+    | None -> None
+    | Some node ->
+      if t.capacity > 0 then begin
+        unlink t node;
+        push_front t node
+      end;
+      Some node.value
+
+  let evict_lru t =
+    match t.tail with
+    | None -> ()
+    | Some node ->
+      unlink t node;
+      H.remove t.table node.key;
+      t.evicted <- t.evicted + 1
+
+  let add t k v =
+    match H.find_opt t.table k with
+    | Some node ->
+      node.value <- v;
+      if t.capacity > 0 then begin
+        unlink t node;
+        push_front t node
+      end
+    | None ->
+      let node = { key = k; value = v; prev = None; next = None } in
+      H.replace t.table k node;
+      if t.capacity > 0 then begin
+        push_front t node;
+        if H.length t.table > t.capacity then evict_lru t
+      end
+
+  let length t = H.length t.table
+  let evictions t = t.evicted
+
+  let clear t =
+    H.clear t.table;
+    t.head <- None;
+    t.tail <- None
+end

@@ -1,0 +1,25 @@
+(** Bounded least-recently-used cache.
+
+    Backs the just-in-time composer's optional bounded state cache: expanded
+    product states can be evicted and recomputed later, trading time for
+    space (the paper's "bounded state cache" future-work discussion). *)
+
+module Make (K : Hashtbl.HashedType) : sig
+  type 'v t
+
+  val create : capacity:int -> 'v t
+  (** [capacity <= 0] means unbounded. *)
+
+  val find : 'v t -> K.t -> 'v option
+  (** Marks the entry most-recently used on hit. *)
+
+  val add : 'v t -> K.t -> 'v -> unit
+  (** Inserts (or refreshes) the binding, evicting the least-recently-used
+      entry if over capacity. *)
+
+  val length : 'v t -> int
+  val evictions : 'v t -> int
+  (** Number of entries evicted so far. *)
+
+  val clear : 'v t -> unit
+end

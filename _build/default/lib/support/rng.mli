@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Benchmarks and property tests need reproducible streams that do not
+    depend on the global [Random] state shared across threads; each consumer
+    owns its own generator. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds yield equal streams. *)
+
+val copy : t -> t
+val next : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val shuffle : t -> 'a array -> unit

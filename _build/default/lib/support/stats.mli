@@ -1,0 +1,13 @@
+(** Descriptive statistics over float samples (benchmark post-processing). *)
+
+val mean : float array -> float
+val stdev : float array -> float
+(** Sample standard deviation; 0 for fewer than two samples. *)
+
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] for p in [0,100], linear interpolation. *)
+
+val min : float array -> float
+val max : float array -> float
+val sum : float array -> float

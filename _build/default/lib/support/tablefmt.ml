@@ -1,0 +1,58 @@
+type align = Left | Right
+
+let render ?(header = []) ?aligns rows =
+  let all = if header = [] then rows else header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  if ncols = 0 then ""
+  else begin
+    let aligns =
+      match aligns with
+      | Some a -> Array.of_list a
+      | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+    in
+    let width = Array.make ncols 0 in
+    let measure row =
+      List.iteri
+        (fun i cell -> width.(i) <- max width.(i) (String.length cell))
+        row
+    in
+    List.iter measure all;
+    let buf = Buffer.create 256 in
+    let pad i cell =
+      let w = width.(i) in
+      let n = w - String.length cell in
+      let a = if i < Array.length aligns then aligns.(i) else Right in
+      match a with
+      | Left -> cell ^ String.make n ' '
+      | Right -> String.make n ' ' ^ cell
+    in
+    let emit_row row =
+      let cells = List.mapi pad row in
+      let missing = ncols - List.length cells in
+      let cells =
+        cells @ List.init missing (fun k -> pad (List.length cells + k) "")
+      in
+      Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n")
+    in
+    let sep () =
+      Buffer.add_char buf '+';
+      Array.iter
+        (fun w -> Buffer.add_string buf (String.make (w + 2) '-' ^ "+"))
+        width;
+      Buffer.add_char buf '\n'
+    in
+    sep ();
+    if header <> [] then begin
+      emit_row header;
+      sep ()
+    end;
+    List.iter emit_row rows;
+    sep ();
+    Buffer.contents buf
+  end
+
+let print ?header ?aligns rows = print_string (render ?header ?aligns rows)
+
+let rule title =
+  let n = max 4 (72 - String.length title - 6) in
+  Printf.printf "\n==== %s %s\n" title (String.make n '=')

@@ -1,0 +1,12 @@
+(** Aligned ASCII tables for benchmark and experiment reports. *)
+
+type align = Left | Right
+
+val render : ?header:string list -> ?aligns:align list -> string list list -> string
+(** [render ~header rows] renders rows as a box-drawn table. [aligns]
+    defaults to left for the first column and right for the rest. *)
+
+val print : ?header:string list -> ?aligns:align list -> string list list -> unit
+
+val rule : string -> unit
+(** [rule title] prints a section separator line featuring [title]. *)

@@ -1,0 +1,18 @@
+(** Imperative union–find over dense integer keys.
+
+    Used by the constraint solver to group data-constraint terms into
+    equivalence classes before extracting commands. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0 .. n-1], each in its own class. *)
+
+val find : t -> int -> int
+(** Canonical representative (with path compression). *)
+
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+val classes : t -> int list list
+(** All equivalence classes (each a nonempty list), in ascending order of
+    representative. *)

@@ -1,0 +1,73 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Pair of t * t
+  | List of t list
+  | Float_array of float array
+
+let unit = Unit
+let bool b = Bool b
+let int n = Int n
+let float x = Float x
+let str s = Str s
+let pair a b = Pair (a, b)
+let list l = List l
+let float_array a = Float_array a
+
+let constructor_name = function
+  | Unit -> "Unit"
+  | Bool _ -> "Bool"
+  | Int _ -> "Int"
+  | Float _ -> "Float"
+  | Str _ -> "Str"
+  | Pair _ -> "Pair"
+  | List _ -> "List"
+  | Float_array _ -> "Float_array"
+
+let projection_error want v =
+  invalid_arg
+    (Printf.sprintf "Value: expected %s, got %s" want (constructor_name v))
+
+let to_bool = function Bool b -> b | v -> projection_error "Bool" v
+let to_int = function Int n -> n | v -> projection_error "Int" v
+let to_float = function Float x -> x | v -> projection_error "Float" v
+let to_str = function Str s -> s | v -> projection_error "Str" v
+let to_pair = function Pair (a, b) -> (a, b) | v -> projection_error "Pair" v
+let to_list = function List l -> l | v -> projection_error "List" v
+
+let to_float_array = function
+  | Float_array a -> a
+  | v -> projection_error "Float_array" v
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Pair (x1, x2), Pair (y1, y2) -> equal x1 y1 && equal x2 y2
+  | List xs, List ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Float_array x, Float_array y -> x == y || x = y
+  | (Unit | Bool _ | Int _ | Float _ | Str _ | Pair _ | List _ | Float_array _), _
+    -> false
+
+let compare = Stdlib.compare
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Float x -> Format.fprintf ppf "%g" x
+  | Str s -> Format.fprintf ppf "%S" s
+  | Pair (a, b) -> Format.fprintf ppf "(%a, %a)" pp a pp b
+  | List l ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+      l
+  | Float_array a -> Format.fprintf ppf "<float[%d]>" (Array.length a)
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,42 @@
+(** Message payloads transported by connectors.
+
+    Connectors are data-agnostic: they move values between ports and, for
+    data-sensitive primitives (filters, transformers), apply registered
+    predicates/functions to them. A small closed variant keeps the runtime
+    monomorphic and the engines allocation-light; [Float_array] carries bulk
+    numeric payloads for the NPB kernels without copying. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Pair of t * t
+  | List of t list
+  | Float_array of float array
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+val float_array : float array -> t
+
+(** Projections raise [Invalid_argument] on a wrong constructor; protocols are
+    expected to be type-homogeneous per port. *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_float : t -> float
+val to_str : t -> string
+val to_pair : t -> t * t
+val to_list : t -> t list
+val to_float_array : t -> float array
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

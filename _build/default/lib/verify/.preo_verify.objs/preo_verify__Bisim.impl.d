@@ -1,0 +1,1 @@
+lib/verify/bisim.ml: Array Automaton Constr Iset List Preo_automata Preo_support Set Stdlib String

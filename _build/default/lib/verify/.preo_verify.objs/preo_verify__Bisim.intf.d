@@ -1,0 +1,1 @@
+lib/verify/bisim.mli: Preo_automata

@@ -1,0 +1,1 @@
+lib/verify/prop.ml: Array Automaton Format Hashtbl Iset List Preo_automata Preo_support Printf Queue Result String Verify

@@ -1,0 +1,1 @@
+lib/verify/prop.mli: Automaton Format Preo_automata Vertex

@@ -1,0 +1,1 @@
+lib/verify/verify.ml: Array Automaton Iset Preo_automata Preo_support Printf Queue Vertex

@@ -1,0 +1,1 @@
+lib/verify/verify.mli: Automaton Preo_automata Preo_support Vertex

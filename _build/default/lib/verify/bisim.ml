@@ -1,0 +1,179 @@
+open Preo_support
+open Preo_automata
+
+(* Normalize a constraint for syntactic comparison: orient equations by
+   structural order and sort the atom list (products built in different fold
+   orders concatenate the same atoms differently). *)
+let norm_constr (c : Constr.t) : Constr.t =
+  let atom = function
+    | Constr.Eq (a, b) ->
+      if Stdlib.compare a b <= 0 then Constr.Eq (a, b) else Constr.Eq (b, a)
+    | Constr.Pred _ as p -> p
+  in
+  List.sort Stdlib.compare (List.map atom c)
+
+let label (tr : Automaton.trans) = (tr.sync, norm_constr tr.constr)
+let label_equal (s1, c1) (s2, c2) = Iset.equal s1 s2 && c1 = c2
+
+let equivalent (a : Automaton.t) (b : Automaton.t) =
+  (* Greatest fixpoint of the strong-bisimulation conditions over state
+     pairs. *)
+  let rel = Array.make_matrix a.nstates b.nstates true in
+  let step_ok outgoing_other rel_row_ok (tr : Automaton.trans) =
+    Array.exists
+      (fun (tr' : Automaton.trans) ->
+        label_equal (label tr) (label tr') && rel_row_ok tr.target tr'.target)
+      outgoing_other
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for sa = 0 to a.nstates - 1 do
+      for sb = 0 to b.nstates - 1 do
+        if rel.(sa).(sb) then begin
+          let ok_fwd =
+            Array.for_all
+              (step_ok b.trans.(sb) (fun ta tb -> rel.(ta).(tb)))
+              a.trans.(sa)
+          in
+          let ok_bwd =
+            Array.for_all
+              (step_ok a.trans.(sa) (fun tb ta -> rel.(ta).(tb)))
+              b.trans.(sb)
+          in
+          if not (ok_fwd && ok_bwd) then begin
+            rel.(sa).(sb) <- false;
+            changed := true
+          end
+        end
+      done
+    done
+  done;
+  rel.(a.initial).(b.initial)
+
+module Sset = Set.Make (String)
+
+let sequences ~depth (a : Automaton.t) =
+  let render sync =
+    String.concat "," (List.map string_of_int (Iset.elements sync))
+  in
+  let acc = ref Sset.empty in
+  let rec go s prefix d =
+    acc := Sset.add prefix !acc;
+    if d > 0 then
+      Array.iter
+        (fun (tr : Automaton.trans) ->
+          go tr.target (prefix ^ "|" ^ render tr.sync) (d - 1))
+        a.trans.(s)
+  in
+  go a.initial "" depth;
+  !acc
+
+let language_equal_upto ~depth a b =
+  Sset.equal (sequences ~depth a) (sequences ~depth b)
+
+let label_sequences ~depth a = Sset.elements (sequences ~depth a)
+
+(* --- Weak bisimulation ---------------------------------------------------- *)
+
+(* tau-closure: states reachable via silent (empty-sync) transitions. *)
+let tau_closure (a : Automaton.t) s =
+  let seen = Array.make a.nstates false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      Array.iter
+        (fun (tr : Automaton.trans) ->
+          if Iset.is_empty tr.sync then go tr.target)
+        a.trans.(s)
+    end
+  in
+  go s;
+  seen
+
+(* Weak step: from s, fire zero or more taus, one visible transition with
+   label l, then zero or more taus; returns the set of possible landing
+   states. *)
+let weak_successors (a : Automaton.t) closures s l =
+  let landing = Array.make a.nstates false in
+  Array.iteri
+    (fun s' reachable ->
+      if reachable then
+        Array.iter
+          (fun (tr : Automaton.trans) ->
+            if (not (Iset.is_empty tr.sync)) && Iset.equal tr.sync l then
+              Array.iteri
+                (fun s'' r -> if r then landing.(s'') <- true)
+                closures.(tr.target))
+          a.trans.(s'))
+    closures.(s);
+  landing
+
+let visible_labels (a : Automaton.t) closures s =
+  let acc = ref [] in
+  Array.iteri
+    (fun s' reachable ->
+      if reachable then
+        Array.iter
+          (fun (tr : Automaton.trans) ->
+            if not (Iset.is_empty tr.sync) then
+              if not (List.exists (Iset.equal tr.sync) !acc) then
+                acc := tr.sync :: !acc)
+          a.trans.(s'))
+    closures.(s);
+  !acc
+
+let weakly_equivalent (a : Automaton.t) (b : Automaton.t) =
+  let ca = Array.init a.nstates (tau_closure a) in
+  let cb = Array.init b.nstates (tau_closure b) in
+  let rel = Array.make_matrix a.nstates b.nstates true in
+  (* Standard weak-bisimulation step condition: every weak successor on the
+     self side must be related to some weak successor on the other side. *)
+  let simulated_by succs_other rel_ok landing_self =
+    Array.to_list landing_self
+    |> List.mapi (fun i x -> (i, x))
+    |> List.filter (fun (_, x) -> x)
+    |> List.for_all (fun (s', _) ->
+           let ok = ref false in
+           Array.iteri
+             (fun t' r -> if r && rel_ok s' t' then ok := true)
+             succs_other;
+           !ok)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for sa = 0 to a.nstates - 1 do
+      for sb = 0 to b.nstates - 1 do
+        if rel.(sa).(sb) then begin
+          let ok_fwd =
+            List.for_all
+              (fun l ->
+                let la = weak_successors a ca sa l in
+                let lb = weak_successors b cb sb l in
+                simulated_by lb (fun s' t' -> rel.(s').(t')) la)
+              (visible_labels a ca sa)
+          in
+          let ok_bwd =
+            List.for_all
+              (fun l ->
+                let lb = weak_successors b cb sb l in
+                let la = weak_successors a ca sa l in
+                simulated_by la (fun t' s' -> rel.(s').(t')) lb)
+              (visible_labels b cb sb)
+          in
+          (* labels available on one side must be available on the other *)
+          let same_menu =
+            let menu_a = visible_labels a ca sa and menu_b = visible_labels b cb sb in
+            List.for_all (fun l -> List.exists (Iset.equal l) menu_b) menu_a
+            && List.for_all (fun l -> List.exists (Iset.equal l) menu_a) menu_b
+          in
+          if not (ok_fwd && ok_bwd && same_menu) then begin
+            rel.(sa).(sb) <- false;
+            changed := true
+          end
+        end
+      done
+    done
+  done;
+  rel.(a.initial).(b.initial)

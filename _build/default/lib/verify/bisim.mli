@@ -1,0 +1,32 @@
+(** Bounded bisimulation checking over constraint automata, used to validate
+    the algebraic laws of composition (commutativity/associativity of × up
+    to behaviour, soundness of the interleaving product's joint-dropping
+    rule) on concrete instances.
+
+    Transitions are compared by their visible sync label and (normalized)
+    data constraint; states by mutual simulation. Intended for small
+    automata (tests, ablations), not for verification at scale. *)
+
+val equivalent : Preo_automata.Automaton.t -> Preo_automata.Automaton.t -> bool
+(** Strong bisimilarity of the initial states, where a transition matches
+    another iff it has the same sync label and a structurally equal
+    normalized constraint. Both automata must range over the same vertex
+    set (compose the same primitives). *)
+
+val language_equal_upto :
+  depth:int -> Preo_automata.Automaton.t -> Preo_automata.Automaton.t -> bool
+(** Weaker check: equality of the sets of sync-label sequences up to
+    [depth] (ignores data). Useful when constraints differ syntactically
+    but label behaviour must agree. *)
+
+val label_sequences : depth:int -> Preo_automata.Automaton.t -> string list
+(** The sync-label sequences up to [depth], each rendered as a string
+    (for subset checks and debugging). *)
+
+val weakly_equivalent :
+  Preo_automata.Automaton.t -> Preo_automata.Automaton.t -> bool
+(** Weak bisimilarity: transitions with an empty sync label (internal/hidden
+    steps) are treated as silent and may be absorbed on either side; visible
+    transitions are matched by sync label only (data ignored). Validates
+    laws like fifo{_n}(2) ≈ fifo1 ; fifo1, whose chain has an internal
+    transfer step. *)

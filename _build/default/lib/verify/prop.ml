@@ -1,0 +1,181 @@
+open Preo_support
+open Preo_automata
+
+type atom =
+  | Deadlock_free
+  | Live of string
+  | Dead of string
+  | Never of string * string
+  | Together of string * string
+  | Precedes of string * string
+  | Sequence of string list
+
+type t = atom list  (* conjunction *)
+
+(* --- Parsing -------------------------------------------------------------- *)
+
+let parse src =
+  (* Tokens: identifiers-with-brackets, parens, commas, &&. *)
+  let n = String.length src in
+  let pos = ref 0 in
+  let error msg = Error (Printf.sprintf "%s (at offset %d)" msg !pos) in
+  let skip_ws () =
+    while !pos < n && (src.[!pos] = ' ' || src.[!pos] = '\t' || src.[!pos] = '\n') do
+      incr pos
+    done
+  in
+  let ident () =
+    skip_ws ();
+    let start = !pos in
+    let ok c =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+      || c = '_' || c = '[' || c = ']' || c = '-'
+    in
+    while !pos < n && ok src.[!pos] do incr pos done;
+    if !pos = start then None else Some (String.sub src start (!pos - start))
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && src.[!pos] = c then begin incr pos; true end else false
+  in
+  let rec atoms acc =
+    skip_ws ();
+    match ident () with
+    | None -> error "expected a property name"
+    | Some "deadlock-free" -> conj (Deadlock_free :: acc)
+    | Some name -> begin
+      if not (expect '(') then error ("expected '(' after " ^ name)
+      else begin
+        let rec args acc_args =
+          match ident () with
+          | None -> Error "expected a port name"
+          | Some arg ->
+            skip_ws ();
+            if expect ',' then args (arg :: acc_args)
+            else if expect ')' then Ok (List.rev (arg :: acc_args))
+            else Error "expected ',' or ')'"
+        in
+        match args [] with
+        | Error e -> Error e
+        | Ok args -> begin
+          match (name, args) with
+          | "live", [ p ] -> conj (Live p :: acc)
+          | "dead", [ p ] -> conj (Dead p :: acc)
+          | "never", [ p; q ] -> conj (Never (p, q) :: acc)
+          | "together", [ p; q ] -> conj (Together (p, q) :: acc)
+          | "precedes", [ p; q ] -> conj (Precedes (p, q) :: acc)
+          | "sequence", (_ :: _ :: _ as ps) -> conj (Sequence ps :: acc)
+          | _ ->
+            Error
+              (Printf.sprintf "unknown property %s with %d argument(s)" name
+                 (List.length args))
+        end
+      end
+    end
+  and conj acc =
+    skip_ws ();
+    if !pos + 1 < n && src.[!pos] = '&' && src.[!pos + 1] = '&' then begin
+      pos := !pos + 2;
+      atoms acc
+    end
+    else if !pos >= n then Ok (List.rev acc)
+    else error "trailing input"
+  in
+  atoms []
+
+let pp_atom ppf = function
+  | Deadlock_free -> Format.pp_print_string ppf "deadlock-free"
+  | Live p -> Format.fprintf ppf "live(%s)" p
+  | Dead p -> Format.fprintf ppf "dead(%s)" p
+  | Never (p, q) -> Format.fprintf ppf "never(%s, %s)" p q
+  | Together (p, q) -> Format.fprintf ppf "together(%s, %s)" p q
+  | Precedes (p, q) -> Format.fprintf ppf "precedes(%s, %s)" p q
+  | Sequence ps -> Format.fprintf ppf "sequence(%s)" (String.concat ", " ps)
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf " && ")
+    pp_atom ppf t
+
+(* --- Checking ------------------------------------------------------------- *)
+
+(* Existence of a run firing the given vertices in order (with arbitrary
+   other steps in between): BFS over (state, how many matched). *)
+let sequence_possible (a : Automaton.t) vs =
+  let vs = Array.of_list vs in
+  let k = Array.length vs in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let found = ref false in
+  Queue.push (a.initial, 0) queue;
+  Hashtbl.replace seen (a.initial, 0) ();
+  while (not !found) && not (Queue.is_empty queue) do
+    let s, matched = Queue.pop queue in
+    if matched = k then found := true
+    else
+      Array.iter
+        (fun (tr : Automaton.trans) ->
+          let matched' =
+            if Iset.mem vs.(matched) tr.sync then matched + 1 else matched
+          in
+          if not (Hashtbl.mem seen (tr.target, matched')) then begin
+            Hashtbl.replace seen (tr.target, matched') ();
+            Queue.push (tr.target, matched') queue
+          end)
+        a.trans.(s)
+  done;
+  !found || k = 0
+
+let check ~resolve (a : Automaton.t) (t : t) =
+  let port name =
+    match resolve name with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "unknown port %s" name)
+  in
+  let ( let* ) = Result.bind in
+  let check_atom atom =
+    let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+    match atom with
+    | Deadlock_free ->
+      if Verify.deadlocks a = [] then Ok ()
+      else fail "deadlock-free violated: a reachable state has no transitions"
+    | Live p ->
+      let* v = port p in
+      if Verify.eventually_enabled a v then Ok ()
+      else fail "live(%s) violated: the port never fires" p
+    | Dead p ->
+      let* v = port p in
+      if not (Verify.eventually_enabled a v) then Ok ()
+      else fail "dead(%s) violated: the port can fire" p
+    | Never (p, q) ->
+      let* vp = port p in
+      let* vq = port q in
+      if Verify.never_together a vp vq then Ok ()
+      else fail "never(%s, %s) violated: they fire in one step" p q
+    | Together (p, q) ->
+      let* vp = port p in
+      let* vq = port q in
+      if Verify.always_together a vp vq then Ok ()
+      else fail "together(%s, %s) violated: one fires without the other" p q
+    | Precedes (p, q) ->
+      let* vp = port p in
+      let* vq = port q in
+      if Verify.precedes a vp vq then Ok ()
+      else fail "precedes(%s, %s) violated: %s can fire first" p q q
+    | Sequence ps ->
+      let* vs =
+        List.fold_left
+          (fun acc p ->
+            let* acc = acc in
+            let* v = port p in
+            Ok (v :: acc))
+          (Ok []) ps
+      in
+      if sequence_possible a (List.rev vs) then Ok ()
+      else fail "sequence(%s) violated: no such execution" (String.concat ", " ps)
+  in
+  List.fold_left
+    (fun acc atom ->
+      let* () = acc in
+      check_atom atom)
+    (Ok ()) t

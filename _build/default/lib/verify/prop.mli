@@ -1,0 +1,31 @@
+(** A small property language over composed connectors, in the spirit of the
+    model-checker front ends of the Reo tool chain. Checked exhaustively on
+    the reachable state space of an explicit automaton.
+
+    Concrete syntax (ports named as in the DSL signature, e.g. [tl[2]]):
+
+    {v
+    prop ::= deadlock-free
+           | live(p)            -- p fires on some reachable transition
+           | dead(p)            -- p never fires
+           | never(p, q)        -- p and q never fire in the same step
+           | together(p, q)     -- p and q only fire in the same step
+           | precedes(p, q)     -- q cannot fire before the first p
+           | sequence(p, ...)   -- some execution fires these in this order
+           | prop && prop
+    v} *)
+
+open Preo_automata
+
+type t
+
+val parse : string -> (t, string) result
+val pp : Format.formatter -> t -> unit
+
+val check :
+  resolve:(string -> Vertex.t option) ->
+  Automaton.t ->
+  t ->
+  (unit, string) result
+(** [resolve] maps source-syntax port names to boundary vertices. [Error]
+    carries the first failing conjunct with an explanation. *)

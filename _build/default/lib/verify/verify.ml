@@ -1,0 +1,109 @@
+open Preo_support
+open Preo_automata
+
+type counterexample = {
+  path : (int * Iset.t) list;
+  state : int;
+}
+
+(* BFS predecessor tree for counterexample paths. *)
+let bfs_tree (a : Automaton.t) =
+  let pred = Array.make a.nstates None in
+  let seen = Array.make a.nstates false in
+  let queue = Queue.create () in
+  seen.(a.initial) <- true;
+  Queue.push a.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Array.iter
+      (fun (tr : Automaton.trans) ->
+        if not seen.(tr.target) then begin
+          seen.(tr.target) <- true;
+          pred.(tr.target) <- Some (s, tr.sync);
+          Queue.push tr.target queue
+        end)
+      a.trans.(s)
+  done;
+  (seen, pred)
+
+let path_to pred state =
+  let rec go s acc =
+    match pred.(s) with
+    | None -> acc
+    | Some (p, sync) -> go p ((p, sync) :: acc)
+  in
+  go state []
+
+let deadlocks (a : Automaton.t) =
+  let seen, pred = bfs_tree a in
+  let acc = ref [] in
+  for s = a.nstates - 1 downto 0 do
+    if seen.(s) && Array.length a.trans.(s) = 0 then
+      acc := { path = path_to pred s; state = s } :: !acc
+  done;
+  !acc
+
+let unreachable_states (a : Automaton.t) =
+  let seen, _ = bfs_tree a in
+  let acc = ref [] in
+  for s = a.nstates - 1 downto 0 do
+    if not seen.(s) then acc := s :: !acc
+  done;
+  !acc
+
+let reachable_transitions (a : Automaton.t) f =
+  let seen, _ = bfs_tree a in
+  let ok = ref true in
+  Array.iteri
+    (fun s ts ->
+      if seen.(s) then
+        Array.iter (fun (tr : Automaton.trans) -> if not (f tr) then ok := false) ts)
+    a.trans;
+  !ok
+
+let never_together a u v =
+  reachable_transitions a (fun tr ->
+      not (Iset.mem u tr.sync && Iset.mem v tr.sync))
+
+let always_together a u v =
+  reachable_transitions a (fun tr ->
+      Iset.mem u tr.sync = Iset.mem v tr.sync)
+
+let precedes (a : Automaton.t) u v =
+  (* Explore the sub-automaton of behaviour before the first firing of [u];
+     [v] must not fire there. *)
+  let seen = Array.make a.nstates false in
+  let queue = Queue.create () in
+  let ok = ref true in
+  seen.(a.initial) <- true;
+  Queue.push a.initial queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Array.iter
+      (fun (tr : Automaton.trans) ->
+        if Iset.mem u tr.sync then () (* [u] fired: anything goes afterwards *)
+        else begin
+          if Iset.mem v tr.sync then ok := false;
+          if not seen.(tr.target) then begin
+            seen.(tr.target) <- true;
+            Queue.push tr.target queue
+          end
+        end)
+      a.trans.(s)
+  done;
+  !ok
+
+let eventually_enabled (a : Automaton.t) u =
+  not (reachable_transitions a (fun tr -> not (Iset.mem u tr.sync)))
+
+let check_fig5_properties a ~a:va ~b:vb =
+  if not (eventually_enabled a va) then
+    Error (Printf.sprintf "port %s is dead" (Vertex.name va))
+  else if not (eventually_enabled a vb) then
+    Error (Printf.sprintf "port %s is dead" (Vertex.name vb))
+  else if not (precedes a va vb) then
+    Error
+      (Printf.sprintf "%s can communicate before %s" (Vertex.name vb)
+         (Vertex.name va))
+  else if deadlocks a <> [] then Error "connector can deadlock"
+  else Ok ()

@@ -1,0 +1,1 @@
+test/suite_automata.ml: Alcotest Array Automaton Command Constr Dispatch Dot Explore Hashtbl Iset List Preo_automata Preo_reo Preo_support Printf Product String Value Vertex

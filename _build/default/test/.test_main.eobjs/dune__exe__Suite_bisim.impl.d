@@ -1,0 +1,1 @@
+test/suite_bisim.ml: Alcotest Array Automaton Iset List Preo Preo_automata Preo_connectors Preo_lang Preo_reo Preo_support Preo_verify Prim Printf Product Rng Vertex

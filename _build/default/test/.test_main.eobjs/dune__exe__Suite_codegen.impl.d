@@ -1,0 +1,1 @@
+test/suite_codegen.ml: Alcotest Lexing List Parse Preo Preo_connectors Preo_lang String

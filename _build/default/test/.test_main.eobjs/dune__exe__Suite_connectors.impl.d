@@ -1,0 +1,1 @@
+test/suite_connectors.ml: Alcotest Array Config Fun List Mutex Port Preo Preo_connectors Printf Task Thread Unix Value

@@ -1,0 +1,1 @@
+test/suite_dist.ml: Alcotest Array Atomic Buffer Connector Engine Format Gen List Preo_automata Preo_dist Preo_reo Preo_runtime Preo_support QCheck QCheck_alcotest Task Thread Unix Value Vertex

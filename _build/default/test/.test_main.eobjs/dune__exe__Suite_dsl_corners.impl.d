@@ -1,0 +1,1 @@
+test/suite_dsl_corners.ml: Alcotest Graph List Preo_automata Preo_lang Preo_reo Preo_support Prim String To_text

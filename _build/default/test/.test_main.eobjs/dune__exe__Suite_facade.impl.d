@@ -1,0 +1,1 @@
+test/suite_facade.ml: Alcotest Array Config Connector Datafun Fun List Port Preo Preo_connectors Preo_lang String Task Value

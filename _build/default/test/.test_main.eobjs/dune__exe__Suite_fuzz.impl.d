@@ -1,0 +1,1 @@
+test/suite_fuzz.ml: Array List Preo Preo_connectors Preo_lang Preo_runtime Preo_support QCheck QCheck_alcotest Rng Test Value

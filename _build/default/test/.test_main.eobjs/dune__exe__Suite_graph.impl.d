@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Automaton Figures Graph Iset List Preo_automata Preo_lang Preo_reo Preo_support Prim To_text Vertex

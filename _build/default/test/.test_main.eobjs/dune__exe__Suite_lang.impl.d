@@ -1,0 +1,1 @@
+test/suite_lang.ml: Alcotest Format Gen List Option Preo Preo_automata Preo_connectors Preo_lang Preo_reo Preo_support Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_npb.ml: Alcotest Array Float List Preo_npb Preo_runtime Printf

@@ -1,0 +1,1 @@
+test/suite_prim.ml: Alcotest Array Automaton Iset List Preo_automata Preo_reo Preo_support Prim Value Vertex

@@ -1,0 +1,1 @@
+test/suite_prop.ml: Alcotest Array Automaton Format Iset List Preo Preo_automata Preo_connectors Preo_lang Preo_support Preo_verify Product String

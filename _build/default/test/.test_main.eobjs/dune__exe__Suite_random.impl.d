@@ -1,0 +1,1 @@
+test/suite_random.ml: Alcotest Array Config Connector List Mutex Port Preo_automata Preo_reo Preo_runtime Preo_support Printf Rng Task Value Vertex

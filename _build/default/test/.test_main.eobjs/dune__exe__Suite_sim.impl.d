@@ -1,0 +1,1 @@
+test/suite_sim.ml: Alcotest Array Connector List Port Preo Preo_automata Preo_connectors Preo_lang Preo_reo Preo_runtime Preo_support Task Thread Value Vertex

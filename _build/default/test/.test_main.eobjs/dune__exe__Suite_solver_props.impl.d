@@ -1,0 +1,1 @@
+test/suite_solver_props.ml: Array Cell Command Constr Iset List Preo_automata Preo_support QCheck QCheck_alcotest Rng Test Value Vertex

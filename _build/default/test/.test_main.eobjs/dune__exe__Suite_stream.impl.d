@@ -1,0 +1,1 @@
+test/suite_stream.ml: Alcotest Fun List Preo_runtime Preo_stream Preo_support Value

@@ -1,0 +1,1 @@
+test/suite_stress.ml: Alcotest Array Atomic Clock Config Connector List Port Preo_automata Preo_reo Preo_runtime Preo_support Printf Task Thread Value Vertex

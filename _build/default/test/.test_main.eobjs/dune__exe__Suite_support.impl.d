@@ -1,0 +1,1 @@
+test/suite_support.ml: Alcotest Array Dyn Float Fun Hashtbl Int Iset List Lru Preo_support QCheck QCheck_alcotest Rng Set Stats String Tablefmt Test Union_find

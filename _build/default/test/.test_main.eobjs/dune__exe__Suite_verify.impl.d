@@ -1,0 +1,1 @@
+test/suite_verify.ml: Alcotest Array Automaton Constr Figures Graph List Preo Preo_automata Preo_connectors Preo_lang Preo_reo Preo_support Preo_verify Prim Vertex

@@ -1,0 +1,1 @@
+test/gen/ordered_merger_gen.ml: Array Automaton Cell Constr Hashtbl Iset List Preo_automata Preo_runtime Preo_support Printf Vertex

@@ -1,0 +1,1 @@
+test/gen/test_gen.ml: Alcotest Array Connector List Ordered_merger_gen Port Preo_runtime Preo_support Task Value

@@ -1,0 +1,45 @@
+(* End-to-end check of the code generator: ordered_merger_gen.ml is produced
+   at build time by `preoc emit` (see the dune rule), compiled against the
+   runtime, and must implement the Fig. 9 protocol — for several run-time N,
+   including the N=1 branch of the DSL conditional. *)
+
+open Preo_support
+open Preo_runtime
+
+let protocol_order n =
+  let conn = Ordered_merger_gen.connect ~lengths:[ ("tl", n); ("hd", n) ] () in
+  (* Recover ports from the connector boundary via Connector.outports. *)
+  let outs = Connector.outports conn in
+  let ins = Connector.inports conn in
+  Alcotest.(check int) "n outports" n (Array.length outs);
+  Alcotest.(check int) "n inports" n (Array.length ins);
+  let got = ref [] in
+  Task.run_all
+    ((fun () ->
+       for _round = 1 to 3 do
+         Array.iter (fun p -> got := Value.to_int (Port.recv p) :: !got) ins
+       done)
+    :: List.init n (fun i -> fun () ->
+           for r = 1 to 3 do
+             Port.send outs.(i) (Value.int ((r * 100) + i))
+           done));
+  let want =
+    List.concat_map (fun r -> List.init n (fun i -> (r * 100) + i)) [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "strict round-robin" want (List.rev !got);
+  Connector.poison conn "done"
+
+let generated_n1_uses_conditional () = protocol_order 1
+let generated_n3 () = protocol_order 3
+let generated_n5 () = protocol_order 5
+
+let () =
+  Alcotest.run "preoc-codegen"
+    [
+      ( "generated ordered merger",
+        [
+          ("N=1 (if-branch)", `Quick, generated_n1_uses_conditional);
+          ("N=3", `Quick, generated_n3);
+          ("N=5", `Quick, generated_n5);
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Algebraic laws of composition, checked by bisimulation:
+   - × is commutative and associative up to behaviour;
+   - the fold order chosen by Product.all does not change behaviour;
+   - the interleaving product is label-equivalent to the textbook product
+     up to reordering of independent steps (checked on the reachable labels
+     of synchronized cores where they must coincide). *)
+
+module Bisim = Preo_verify.Bisim
+
+open Preo_support
+open Preo_automata
+open Preo_reo
+
+let v = Vertex.fresh
+
+let pair_commutative () =
+  let a = v "a" and m = v "m" and b = v "b" in
+  let s1 = Prim.build Prim.Sync ~tails:[ a ] ~heads:[ m ] in
+  let s2 = Prim.build Prim.Fifo1 ~tails:[ m ] ~heads:[ b ] in
+  Alcotest.(check bool) "A x B ~ B x A" true
+    (Bisim.equivalent (Product.pair s1 s2) (Product.pair s2 s1))
+
+let pair_associative () =
+  let a = v "a" and m1 = v "m1" and m2 = v "m2" and b = v "b" in
+  let p1 = Prim.build Prim.Fifo1 ~tails:[ a ] ~heads:[ m1 ] in
+  let p2 = Prim.build Prim.Sync ~tails:[ m1 ] ~heads:[ m2 ] in
+  let p3 = Prim.build Prim.Fifo1 ~tails:[ m2 ] ~heads:[ b ] in
+  (* (p1 x p2) x p3  ~  p1 x (p2 x p3): open vertices must be supplied for
+     standalone pairs so cross joints survive. *)
+  let left =
+    Product.pair ~open_vertices:Iset.empty
+      (Product.pair ~open_vertices:p3.Automaton.vertices p1 p2)
+      p3
+  in
+  let right =
+    Product.pair ~open_vertices:Iset.empty p1
+      (Product.pair ~open_vertices:p1.Automaton.vertices p2 p3)
+  in
+  Alcotest.(check bool) "assoc" true
+    (Bisim.equivalent (Automaton.trim left) (Automaton.trim right))
+
+(* Product.all must be permutation-invariant despite its connectivity-order
+   heuristic and joint-dropping rule: check on catalog connectors composed
+   from shuffled primitive lists. *)
+let fold_order_invariant () =
+  let rng = Rng.create 99 in
+  List.iter
+    (fun name ->
+      let e = Preo_connectors.Catalog.find name in
+      let c = Preo_connectors.Catalog.compiled e in
+      let bindings, sources, sinks =
+        Preo_lang.Eval.boundary_of_def c.Preo.def ~lengths:(e.lengths 3)
+      in
+      let venv = Preo_lang.Eval.venv ~ints:[] ~arrays:bindings in
+      let prims = Preo_lang.Eval.prims venv c.Preo.flat.Preo.Ast.c_body in
+      let autos = Array.of_list (Preo_lang.Eval.small_automata prims) in
+      let keep =
+        Iset.of_list (Array.to_list sources @ Array.to_list sinks)
+      in
+      let compose order =
+        let large = Product.all (Array.to_list order) in
+        Automaton.trim
+          (Automaton.hide (Iset.diff large.Automaton.vertices keep) large)
+      in
+      let reference = compose autos in
+      for _ = 1 to 3 do
+        let shuffled = Array.copy autos in
+        Rng.shuffle rng shuffled;
+        Alcotest.(check bool)
+          (name ^ " permutation-invariant")
+          true
+          (Bisim.equivalent reference (compose shuffled))
+      done)
+    [ "ordered_merger"; "alternator"; "sequencer"; "barrier"; "token_ring"; "distributor" ]
+
+let interleaving_vs_synchronous_on_synchronized_core () =
+  (* A fully synchronized connector (barrier) has no independent parts:
+     interleaving and textbook products must coincide exactly. *)
+  let n = 3 in
+  let tls = List.init n (fun i -> v (Printf.sprintf "t%d" i)) in
+  let hds = List.init n (fun i -> v (Printf.sprintf "h%d" i)) in
+  let bs = List.init n (fun i -> v (Printf.sprintf "k%d" i)) in
+  let autos =
+    List.concat
+      (List.map2
+         (fun (t, h) b ->
+           [ Prim.build Prim.Replicator ~tails:[ t ] ~heads:[ h; b ] ])
+         (List.combine tls hds) bs)
+    @ [ Prim.build Prim.Sync_drain ~tails:bs ~heads:[] ]
+  in
+  let inter = Product.all autos in
+  let sync = Product.all ~joint_independent:true autos in
+  Alcotest.(check bool) "coincide" true
+    (Bisim.equivalent (Automaton.trim inter) (Automaton.trim sync))
+
+let interleaving_labels_subset_of_synchronous () =
+  (* For a connector with independent parts, every interleaving behaviour is
+     also a behaviour of the textbook product (label sequences up to a small
+     depth). *)
+  let a1 = v "a1" and b1 = v "b1" and a2 = v "a2" and b2 = v "b2" in
+  let autos =
+    [
+      Prim.build Prim.Fifo1 ~tails:[ a1 ] ~heads:[ b1 ];
+      Prim.build Prim.Fifo1 ~tails:[ a2 ] ~heads:[ b2 ];
+    ]
+  in
+  let inter = Product.all autos in
+  let sync = Product.all ~joint_independent:true autos in
+  let si = Bisim.label_sequences ~depth:3 inter in
+  let ss = Bisim.label_sequences ~depth:3 sync in
+  Alcotest.(check bool) "subset" true (List.for_all (fun s -> List.mem s ss) si)
+
+let renaming_preserves_behaviour () =
+  let a = v "a" and b = v "b" in
+  let f = Prim.build Prim.Fifo1 ~tails:[ a ] ~heads:[ b ] in
+  let a' = v "a'" and b' = v "b'" in
+  let g =
+    Automaton.map_vertices
+      (fun x -> if Vertex.equal x a then a' else if Vertex.equal x b then b' else x)
+      f
+  in
+  let back =
+    Automaton.map_vertices
+      (fun x -> if Vertex.equal x a' then a else if Vertex.equal x b' then b else x)
+      g
+  in
+  Alcotest.(check bool) "roundtrip bisimilar" true (Bisim.equivalent f back)
+
+let trim_preserves_behaviour () =
+  List.iter
+    (fun name ->
+      let e = Preo_connectors.Catalog.find name in
+      let c = Preo_connectors.Catalog.compiled e in
+      let bindings, _, _ =
+        Preo_lang.Eval.boundary_of_def c.Preo.def ~lengths:(e.lengths 2)
+      in
+      let venv = Preo_lang.Eval.venv ~ints:[] ~arrays:bindings in
+      let prims = Preo_lang.Eval.prims venv c.Preo.flat.Preo.Ast.c_body in
+      let large = Product.all (Preo_lang.Eval.small_automata prims) in
+      Alcotest.(check bool) (name ^ " trim ~ id") true
+        (Bisim.equivalent large (Automaton.trim large)))
+    [ "gather"; "sequencer" ]
+
+
+(* --- weak bisimulation ----------------------------------------------------- *)
+
+let weak_fifon_law () =
+  (* Fifo<2>(a;b)  ≈  Fifo1(a;m) x Fifo1(m;b) with m hidden. *)
+  let a = v "wa" and b = v "wb" in
+  let ring = Prim.build (Prim.Fifo_n 2) ~tails:[ a ] ~heads:[ b ] in
+  let m = v "wm" in
+  let chain =
+    Product.all
+      [
+        Prim.build Prim.Fifo1 ~tails:[ a ] ~heads:[ m ];
+        Prim.build Prim.Fifo1 ~tails:[ m ] ~heads:[ b ];
+      ]
+  in
+  let chain = Automaton.trim (Automaton.hide (Iset.singleton m) chain) in
+  Alcotest.(check bool) "fifo2 ~ fifo1;fifo1 (weak)" true
+    (Bisim.weakly_equivalent (Automaton.trim ring) chain);
+  (* and strongly they are NOT equivalent (the chain has a silent step) *)
+  Alcotest.(check bool) "not strongly" false
+    (Bisim.equivalent (Automaton.trim ring) chain)
+
+let weak_distinguishes_capacity () =
+  let a = v "ka" and b = v "kb" in
+  let f2 = Prim.build (Prim.Fifo_n 2) ~tails:[ a ] ~heads:[ b ] in
+  let f3 = Prim.build (Prim.Fifo_n 3) ~tails:[ a ] ~heads:[ b ] in
+  Alcotest.(check bool) "fifo2 != fifo3" false
+    (Bisim.weakly_equivalent (Automaton.trim f2) (Automaton.trim f3))
+
+let weak_sync_chain_collapses () =
+  (* sync;sync with the middle hidden is weakly equivalent to sync — the
+     composite fires {a,m,b} whose hidden label is {a,b}. *)
+  let a = v "sa" and b = v "sb" in
+  let direct = Prim.build Prim.Sync ~tails:[ a ] ~heads:[ b ] in
+  let m = v "sm" in
+  let chain =
+    Product.all
+      [
+        Prim.build Prim.Sync ~tails:[ a ] ~heads:[ m ];
+        Prim.build Prim.Sync ~tails:[ m ] ~heads:[ b ];
+      ]
+  in
+  let chain = Automaton.trim (Automaton.hide (Iset.singleton m) chain) in
+  Alcotest.(check bool) "sync;sync ~ sync" true
+    (Bisim.weakly_equivalent (Automaton.trim direct) chain)
+
+let tests =
+  [
+    ("pair commutative", `Quick, pair_commutative);
+    ("pair associative", `Quick, pair_associative);
+    ("fold order invariant", `Quick, fold_order_invariant);
+    ("interleaving = synchronous on synchronized core", `Quick,
+     interleaving_vs_synchronous_on_synchronized_core);
+    ("interleaving labels within synchronous", `Quick,
+     interleaving_labels_subset_of_synchronous);
+    ("renaming roundtrip", `Quick, renaming_preserves_behaviour);
+    ("trim preserves behaviour", `Quick, trim_preserves_behaviour);
+    ("weak: fifo2 = fifo1;fifo1", `Quick, weak_fifon_law);
+    ("weak: capacity distinguishes", `Quick, weak_distinguishes_capacity);
+    ("weak: sync chain collapses", `Quick, weak_sync_chain_collapses);
+  ]

@@ -1,0 +1,200 @@
+(* Distributed port bridges: wire format roundtrips, socketpair and TCP
+   bridges with real connectors behind them. *)
+
+module Wire = Preo_dist.Wire
+module Bridge = Preo_dist.Bridge
+
+open Preo_support
+open Preo_automata
+open Preo_runtime
+
+let v = Vertex.fresh
+let prim = Preo_reo.Prim.build
+
+(* --- wire format ------------------------------------------------------------ *)
+
+let roundtrip_value x =
+  let buf = Buffer.create 64 in
+  Wire.encode_value buf x;
+  let pos = ref 0 in
+  let y = Wire.decode_value (Buffer.to_bytes buf) ~pos in
+  Alcotest.(check bool)
+    (Format.asprintf "roundtrip %a" Value.pp x)
+    true (Value.equal x y);
+  Alcotest.(check int) "consumed all" (Buffer.length buf) !pos
+
+let wire_values () =
+  List.iter roundtrip_value
+    [
+      Value.unit;
+      Value.bool true;
+      Value.bool false;
+      Value.int 0;
+      Value.int (-12345678901);
+      Value.int max_int;
+      Value.float 3.14159;
+      Value.float (-0.0);
+      Value.float infinity;
+      Value.str "";
+      Value.str "hello \x00 world";
+      Value.pair (Value.int 1) (Value.str "x");
+      Value.list [ Value.int 1; Value.list [ Value.unit ]; Value.float 2.5 ];
+      Value.float_array [| 1.0; -2.5; 1e300 |];
+      Value.float_array [||];
+    ]
+
+let qcheck_wire =
+  let open QCheck in
+  let rec gen_value depth =
+    let open Gen in
+    if depth = 0 then
+      oneof
+        [
+          return Value.unit;
+          map Value.bool bool;
+          map Value.int int;
+          map Value.float (float_range (-1e6) 1e6);
+          map Value.str string_small;
+        ]
+    else
+      oneof
+        [
+          map Value.int int;
+          map2 Value.pair (gen_value (depth - 1)) (gen_value (depth - 1));
+          map Value.list (list_size (int_range 0 4) (gen_value (depth - 1)));
+          map
+            (fun l -> Value.float_array (Array.of_list l))
+            (list_size (int_range 0 6) (float_range (-1e9) 1e9));
+        ]
+  in
+  [
+    QCheck.Test.make ~name:"wire roundtrip (random values)" ~count:300
+      (QCheck.make ~print:Value.to_string (gen_value 3))
+      (fun x ->
+        let buf = Buffer.create 64 in
+        Wire.encode_value buf x;
+        let pos = ref 0 in
+        Value.equal x (Wire.decode_value (Buffer.to_bytes buf) ~pos));
+  ]
+
+(* --- socketpair bridge -------------------------------------------------------- *)
+
+let bridged_fifo_over_socketpair () =
+  let a = v "a" and b = v "b" in
+  let conn =
+    Connector.create ~sources:[| a |] ~sinks:[| b |]
+      [ prim (Preo_reo.Prim.Fifo_n 4) ~tails:[ a ] ~heads:[ b ] ]
+  in
+  let s_out, c_out = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let s_in, c_in = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let server_out = Bridge.serve_outport (Connector.outport conn a) s_out in
+  let server_in = Bridge.serve_inport (Connector.inport conn b) s_in in
+  let rout = Bridge.remote_outport c_out in
+  let rin = Bridge.remote_inport c_in in
+  let got = ref [] in
+  Task.run_all
+    [
+      (fun () ->
+        for i = 1 to 20 do
+          Bridge.send rout (Value.int i)
+        done);
+      (fun () ->
+        for _ = 1 to 20 do
+          got := Value.to_int (Bridge.recv rin) :: !got
+        done);
+    ];
+  Alcotest.(check (list int)) "fifo order over the wire"
+    (List.init 20 (fun i -> i + 1))
+    (List.rev !got);
+  Bridge.close_remote c_out;
+  Bridge.close_remote c_in;
+  Thread.join server_out;
+  Thread.join server_in;
+  Connector.poison conn "done"
+
+let bridged_sync_blocks_until_partner () =
+  (* A sync channel over two bridges: the remote send must not complete
+     before the remote receive is in flight. *)
+  let a = v "a" and b = v "b" in
+  let conn =
+    Connector.create ~sources:[| a |] ~sinks:[| b |]
+      [ prim Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ b ] ]
+  in
+  let s_out, c_out = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let s_in, c_in = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let _srv1 = Bridge.serve_outport (Connector.outport conn a) s_out in
+  let _srv2 = Bridge.serve_inport (Connector.inport conn b) s_in in
+  let rout = Bridge.remote_outport c_out in
+  let rin = Bridge.remote_inport c_in in
+  let send_done = Atomic.make false in
+  let sender =
+    Task.spawn (fun () ->
+        Bridge.send rout (Value.str "x");
+        Atomic.set send_done true)
+  in
+  Thread.delay 0.05;
+  Alcotest.(check bool) "send still blocked" false (Atomic.get send_done);
+  Alcotest.(check string) "received" "x" (Value.to_str (Bridge.recv rin));
+  Task.join sender;
+  Alcotest.(check bool) "send completed" true (Atomic.get send_done);
+  Bridge.close_remote c_out;
+  Bridge.close_remote c_in;
+  Connector.poison conn "done"
+
+let bridged_over_tcp () =
+  let a = v "a" and b = v "b" in
+  let conn =
+    Connector.create ~sources:[| a |] ~sinks:[| b |]
+      [ prim Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ b ] ]
+  in
+  let port = 35711 in
+  let listener = Bridge.listen_local ~port in
+  let acceptor =
+    Task.spawn (fun () ->
+        let fd1 = Bridge.accept_one listener in
+        ignore (Bridge.serve_outport (Connector.outport conn a) fd1);
+        let fd2 = Bridge.accept_one listener in
+        ignore (Bridge.serve_inport (Connector.inport conn b) fd2))
+  in
+  let c1 = Bridge.connect_local ~port in
+  let c2 = Bridge.connect_local ~port in
+  Task.join acceptor;
+  let rout = Bridge.remote_outport c1 and rin = Bridge.remote_inport c2 in
+  Bridge.send rout (Value.pair (Value.int 1) (Value.str "tcp"));
+  let got = Bridge.recv rin in
+  Alcotest.(check bool) "value across TCP" true
+    (Value.equal got (Value.pair (Value.int 1) (Value.str "tcp")));
+  Bridge.close_remote c1;
+  Bridge.close_remote c2;
+  Unix.close listener;
+  Connector.poison conn "done"
+
+let poisoned_connector_reported_remotely () =
+  let a = v "a" and b = v "b" in
+  let conn =
+    Connector.create ~sources:[| a |] ~sinks:[| b |]
+      [ prim Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ b ] ]
+  in
+  let s_out, c_out = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let _srv = Bridge.serve_outport (Connector.outport conn a) s_out in
+  let rout = Bridge.remote_outport c_out in
+  let blocked =
+    Task.spawn (fun () ->
+        match Bridge.send rout Value.unit with
+        | exception Engine.Poisoned _ -> ()
+        | () -> Alcotest.fail "expected remote poisoning")
+  in
+  Thread.delay 0.05;
+  Connector.poison conn "remote test";
+  Task.join blocked;
+  Bridge.close_remote c_out
+
+let tests =
+  [
+    ("wire value roundtrips", `Quick, wire_values);
+    ("bridged fifo over socketpair", `Quick, bridged_fifo_over_socketpair);
+    ("bridged sync blocks until partner", `Quick, bridged_sync_blocks_until_partner);
+    ("bridged over TCP", `Quick, bridged_over_tcp);
+    ("remote poisoning surfaces", `Quick, poisoned_connector_reported_remotely);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_wire

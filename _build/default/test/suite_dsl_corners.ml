@@ -1,0 +1,188 @@
+(* DSL corner cases: arithmetic, empty ranges, nested iteration, composite
+   chains, whole-array passing, graph->text for every primitive kind. *)
+
+module Ast = Preo_lang.Ast
+module Parser = Preo_lang.Parser
+module Sema = Preo_lang.Sema
+module Flatten = Preo_lang.Flatten
+module Eval = Preo_lang.Eval
+module Template = Preo_lang.Template
+
+let prims_of ?(lengths = []) src name =
+  let p = Parser.program src in
+  Sema.check p;
+  let def = List.find (fun d -> d.Ast.c_name = name) p.Ast.defs in
+  let flat = Flatten.def ~defs:p.Ast.defs def in
+  let bindings, _, _ = Eval.boundary_of_def flat ~lengths in
+  let venv = Eval.venv ~ints:[] ~arrays:bindings in
+  Eval.prims venv flat.Ast.c_body
+
+let count_prims ?(lengths = []) src name =
+  List.length (prims_of ~lengths src name)
+
+let empty_prod_range () =
+  (* prod over 1..0 contributes nothing (the N=1 edge of many catalog
+     connectors). *)
+  Alcotest.(check int) "one fifo only" 1
+    (count_prims ~lengths:[ ("a", 1); ("b", 1) ]
+       {|C(a[];b[]) = prod (i:1..#a-1) Sync(a[i];x[i]) mult Fifo1(a[#a];b[1])|}
+       "C")
+
+let arith_in_ranges () =
+  (* 2*#a-3 with #a=3 -> 1..3 *)
+  Alcotest.(check int) "three" 3
+    (count_prims ~lengths:[ ("a", 3); ("b", 3) ]
+       {|C(a[];b[]) = prod (i:1..2*#a-3) Sync(a[i];b[i])|}
+       "C")
+
+let modulo_indexing () =
+  (* ring indexing with % *)
+  let prims =
+    prims_of ~lengths:[ ("a", 3); ("b", 3) ]
+      {|C(a[];b[]) = prod (i:1..#a) Sync(a[i];b[i % #a + 1])|}
+      "C"
+  in
+  Alcotest.(check int) "three syncs" 3 (List.length prims);
+  (* a[1]->b[2], a[2]->b[3], a[3]->b[1]: all b's used exactly once *)
+  let heads = List.concat_map (fun p -> p.Eval.pi_heads) prims in
+  Alcotest.(check int) "distinct heads" 3
+    (List.length (List.sort_uniq compare heads))
+
+let nested_prods () =
+  (* a grid of fifos: locals indexed by two loop variables *)
+  Alcotest.(check int) "3*4 fifos + 12 syncs" 24
+    (count_prims ~lengths:[ ("a", 3); ("b", 3) ]
+       {|C(a[];b[]) =
+  prod (i:1..#a) prod (j:1..4) {
+    Fifo1(m[i][j];w[i][j]) mult Sync(w[i][j];m2[i][j])
+  }
+  mult skip|}
+       "C")
+
+let composite_chain_three_deep () =
+  let src =
+    {|
+A(x;y) = Fifo1(x;y)
+B(x;y) = A(x;m) mult A(m;y)
+C(x;y) = B(x;m) mult B(m;y)
+|}
+  in
+  Alcotest.(check int) "4 fifos" 4 (count_prims src "C")
+
+let whole_array_pass_through () =
+  let src =
+    {|
+Inner(a[];z) = Merger(a[1..#a];z)
+Outer(tl[];hd) = Inner(tl;hd)
+|}
+  in
+  let prims = prims_of ~lengths:[ ("tl", 4) ] src "Outer" in
+  match prims with
+  | [ { Eval.pi_kind = Preo_reo.Prim.Merger; pi_tails; _ } ] ->
+    Alcotest.(check int) "4 tails" 4 (List.length pi_tails)
+  | _ -> Alcotest.fail "expected one merger"
+
+let slice_offset_composition () =
+  (* Passing a sub-slice: Inner sees a 2-element array starting at tl[2]. *)
+  let src =
+    {|
+Inner(a[];z) = Merger(a[1..#a];z)
+Outer(tl[];hd) = Inner(tl[2..3];hd) mult Fifo1(tl[1];q) mult Fifo1(tl[4];r)
+|}
+  in
+  let prims = prims_of ~lengths:[ ("tl", 4) ] src "Outer" in
+  let merger = List.find (fun p -> p.Eval.pi_kind = Preo_reo.Prim.Merger) prims in
+  Alcotest.(check int) "merger over the middle two" 2
+    (List.length merger.Eval.pi_tails)
+
+let if_else_chooses () =
+  let src =
+    {|C(a[];b) = if (#a >= 3 && #a % 2 == 1) { Merger(a[1..#a];b) } else { Fifo1(a[1];b) }|}
+  in
+  let kind lengths =
+    match prims_of ~lengths src "C" with
+    | [ p ] -> Preo_reo.Prim.kind_name p.Eval.pi_kind
+    | _ -> "?"
+  in
+  Alcotest.(check string) "odd >= 3 -> merger" "Merger" (kind [ ("a", 5) ]);
+  Alcotest.(check string) "even -> fifo" "Fifo1" (kind [ ("a", 4) ]);
+  Alcotest.(check string) "small -> fifo" "Fifo1" (kind [ ("a", 1) ])
+
+let division_by_zero_reported () =
+  let src = {|C(a[];b) = prod (i:1..#a / (#a - #a)) Sync(a[i];b)|} in
+  let p = Parser.program src in
+  Sema.check p;
+  let def = List.hd p.Ast.defs in
+  let flat = Flatten.def ~defs:p.Ast.defs def in
+  let bindings, _, _ = Eval.boundary_of_def flat ~lengths:[ ("a", 2) ] in
+  let venv = Eval.venv ~ints:[] ~arrays:bindings in
+  match Eval.prims venv flat.Ast.c_body with
+  | exception Eval.Error msg ->
+    Alcotest.(check bool) "division message" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected division by zero"
+
+let template_handles_nested_prods () =
+  let src =
+    {|C(a[];b[]) =
+  prod (i:1..#a) prod (j:1..2) Fifo1(m[i][j];w[i][j])
+  mult prod (i:1..#a) Sync(a[i];m[i][1])
+  mult prod (i:1..#a) Sync(w[i][2];b[i])|}
+  in
+  let p = Parser.program src in
+  Sema.check p;
+  let def = List.hd p.Ast.defs in
+  let flat = Flatten.def ~defs:p.Ast.defs def in
+  let t = Template.compile flat in
+  let bindings, _, _ = Eval.boundary_of_def flat ~lengths:[ ("a", 3); ("b", 3) ] in
+  let venv = Eval.venv ~ints:[] ~arrays:bindings in
+  let mediums = Template.instantiate t venv in
+  Alcotest.(check int) "6 fifos + 6 syncs" 12 (List.length mediums)
+
+let to_text_all_prim_kinds () =
+  let open Preo_reo in
+  let v = Preo_automata.Vertex.fresh in
+  let g =
+    [
+      Graph.arc Prim.Sync ~tails:[ v "a1" ] ~heads:[ v "b1" ];
+      Graph.arc Prim.Lossy_sync ~tails:[ v "a2" ] ~heads:[ v "b2" ];
+      Graph.arc Prim.Sync_drain ~tails:[ v "a3"; v "a4" ] ~heads:[];
+      Graph.arc Prim.Async_drain ~tails:[ v "a5"; v "a6" ] ~heads:[];
+      Graph.arc Prim.Sync_spout ~tails:[] ~heads:[ v "b3"; v "b4" ];
+      Graph.arc Prim.Fifo1 ~tails:[ v "a7" ] ~heads:[ v "b5" ];
+      Graph.arc (Prim.Fifo1_full Preo_support.Value.unit) ~tails:[ v "a8" ]
+        ~heads:[ v "b6" ];
+      Graph.arc (Prim.Filter "even") ~tails:[ v "a9" ] ~heads:[ v "b7" ];
+      Graph.arc (Prim.Transform "incr") ~tails:[ v "a10" ] ~heads:[ v "b8" ];
+      Graph.arc Prim.Merger ~tails:[ v "a11"; v "a12" ] ~heads:[ v "b9" ];
+      Graph.arc Prim.Replicator ~tails:[ v "a13" ] ~heads:[ v "b10"; v "b11" ];
+      Graph.arc Prim.Router ~tails:[ v "a14" ] ~heads:[ v "b12"; v "b13" ];
+      Graph.arc Prim.Seq ~tails:[ v "a15"; v "a16" ] ~heads:[];
+      Graph.arc (Prim.Fifo_n 3) ~tails:[ v "a17" ] ~heads:[ v "b14" ];
+      Graph.arc Prim.Shift_lossy ~tails:[ v "a18" ] ~heads:[ v "b15" ];
+      Graph.arc Prim.Overflow_lossy ~tails:[ v "a19" ] ~heads:[ v "b16" ];
+    ]
+  in
+  let src = To_text.connector ~name:"Everything" g in
+  (* must parse and check *)
+  let p = Parser.program src in
+  Sema.check p;
+  Alcotest.(check int) "16 constituents" 16
+    (count_prims
+       ~lengths:[]
+       src "Everything")
+
+let tests =
+  [
+    ("empty prod range", `Quick, empty_prod_range);
+    ("arith in ranges", `Quick, arith_in_ranges);
+    ("modulo indexing", `Quick, modulo_indexing);
+    ("nested prods", `Quick, nested_prods);
+    ("composite chain 3-deep", `Quick, composite_chain_three_deep);
+    ("whole array pass-through", `Quick, whole_array_pass_through);
+    ("slice offset composition", `Quick, slice_offset_composition);
+    ("if/else chooses", `Quick, if_else_chooses);
+    ("division by zero reported", `Quick, division_by_zero_reported);
+    ("template handles nested prods", `Quick, template_handles_nested_prods);
+    ("to_text all primitive kinds", `Quick, to_text_all_prim_kinds);
+  ]

@@ -1,0 +1,192 @@
+(* The public Preo facade: compile/instantiate/run_main, error paths,
+   group metadata, datafun registration. *)
+
+open Preo
+
+let gather_src =
+  {|NGather(tl[];hd) =
+  prod (i:1..#tl) Fifo1(tl[i];m[i])
+  mult Merger(m[1..#tl];hd)|}
+
+let compile_and_groups () =
+  let c = compile ~source:gather_src ~name:"NGather" in
+  let inst = instantiate c ~lengths:[ ("tl", 3) ] in
+  Alcotest.(check (list (pair string bool)))
+    "groups"
+    [ ("tl", true); ("hd", false) ]
+    (groups inst);
+  Alcotest.(check int) "3 outports" 3 (Array.length (outports inst "tl"));
+  Alcotest.(check int) "1 inport" 1 (Array.length (inports inst "hd"));
+  shutdown inst
+
+let wrong_polarity_rejected () =
+  let c = compile ~source:gather_src ~name:"NGather" in
+  let inst = instantiate c ~lengths:[ ("tl", 2) ] in
+  Fun.protect ~finally:(fun () -> shutdown inst) (fun () ->
+      (match inports inst "tl" with
+       | exception Error _ -> ()
+       | _ -> Alcotest.fail "tl is source-side");
+      (match outports inst "hd" with
+       | exception Error _ -> ()
+       | _ -> Alcotest.fail "hd is sink-side");
+      match outports inst "nonsense" with
+      | exception Error _ -> ()
+      | _ -> Alcotest.fail "unknown group")
+
+let missing_length_rejected () =
+  let c = compile ~source:gather_src ~name:"NGather" in
+  match instantiate c ~lengths:[] with
+  | exception Error _ -> ()
+  | _ -> Alcotest.fail "missing tl length"
+
+let unknown_connector_rejected () =
+  match compile ~source:gather_src ~name:"Nope" with
+  | exception Error _ -> ()
+  | _ -> Alcotest.fail "unknown definition"
+
+let parse_error_is_Error () =
+  match parse_check "NGather(tl[];hd) = mult" with
+  | exception Error msg ->
+    Alcotest.(check bool) "mentions line" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected parse error"
+
+let run_main_missing_task () =
+  let src =
+    gather_src
+    ^ "\nmain(N) = NGather(o[1..N];z) among forall (i:1..N) T.p(o[i]) and T.c(z)"
+  in
+  match
+    run_main_source ~source:src ~params:[ ("N", 2) ] [ ("T.p", fun _ -> ()) ]
+  with
+  | exception Error msg ->
+    Alcotest.(check bool) "names the task" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected missing-task error"
+
+let run_main_end_to_end () =
+  let src =
+    gather_src
+    ^ "\nmain(N) = NGather(o[1..N];z) among forall (i:1..N) T.p(o[i]) and T.c(z)"
+  in
+  let received = ref 0 in
+  let inst =
+    run_main_source ~source:src ~params:[ ("N", 3) ]
+      [
+        ("T.p", fun args -> Port.send (out1 (List.hd args)) (Value.int 1));
+        ( "T.c",
+          fun args ->
+            let p = in1 (List.hd args) in
+            for _ = 1 to 3 do
+              received := !received + Value.to_int (Port.recv p)
+            done );
+      ]
+  in
+  Alcotest.(check int) "all three received" 3 !received;
+  Alcotest.(check int) "steps: 3 sends + 3 recvs" 6 (steps inst)
+
+let datafun_in_protocol () =
+  Datafun.register_fn "double_it" (fun v -> Value.int (2 * Value.to_int v));
+  Datafun.register_pred "big" (fun v -> Value.to_int v > 10);
+  let src =
+    {|P(a;b,c) = Repl2(a;x,y) mult Transform<double_it>(x;b) mult Filter<big>(y;c)|}
+  in
+  let c = compile ~source:src ~name:"P" in
+  let inst = instantiate c ~lengths:[] in
+  Fun.protect ~finally:(fun () -> shutdown inst) (fun () ->
+      let a = (outports inst "a").(0) in
+      let b = (inports inst "b").(0) in
+      let cport = (inports inst "c").(0) in
+      let got_b = ref [] and got_c = ref [] in
+      Task.run_all
+        [
+          (fun () ->
+            List.iter (fun v -> Port.send a (Value.int v)) [ 5; 20; 7 ]);
+          (fun () ->
+            for _ = 1 to 3 do
+              got_b := Value.to_int (Port.recv b) :: !got_b
+            done);
+          (fun () ->
+            (* only 20 passes the filter *)
+            got_c := Value.to_int (Port.recv cport) :: !got_c);
+        ];
+      Alcotest.(check (list int)) "transformed" [ 10; 40; 14 ] (List.rev !got_b);
+      Alcotest.(check (list int)) "filtered" [ 20 ] !got_c)
+
+let instantiate_both_configs_same_primitive_behaviour () =
+  (* trivial cross-check on a filter+transform protocol *)
+  List.iter
+    (fun config ->
+      let src = {|P(a;b) = Transform<incr>(a;b)|} in
+      let c = compile ~source:src ~name:"P" in
+      let inst = instantiate ~config c ~lengths:[] in
+      Fun.protect ~finally:(fun () -> shutdown inst) (fun () ->
+          let a = (outports inst "a").(0) in
+          let b = (inports inst "b").(0) in
+          let got = ref 0 in
+          Task.run_all
+            [
+              (fun () -> Port.send a (Value.int 41));
+              (fun () -> got := Value.to_int (Port.recv b));
+            ];
+          Alcotest.(check int) "incr applied" 42 !got))
+    [ Config.existing; Config.new_jit; Config.new_partitioned ]
+
+let catalog_entries_all_compile () =
+  List.iter
+    (fun (e : Preo_connectors.Catalog.entry) ->
+      let c = Preo_connectors.Catalog.compiled e in
+      Alcotest.(check bool)
+        (e.name ^ " has mediums")
+        true
+        (Preo_lang.Template.count_static_mediums c.template
+         + Preo_lang.Template.count_dynamic_mediums c.template
+        > 0))
+    Preo_connectors.Catalog.all
+
+let config_describe_strings () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "nonempty" true
+        (String.length (Config.describe c) > 0))
+    [
+      Config.existing;
+      Config.new_jit;
+      Config.new_partitioned;
+      Config.new_jit_cached 7;
+      Config.synchronous_of Config.existing;
+      Config.synchronous_of Config.new_jit;
+    ]
+
+let stats_reflect_jit_activity () =
+  let c = compile ~source:gather_src ~name:"NGather" in
+  let inst = instantiate c ~lengths:[ ("tl", 2) ] in
+  Fun.protect ~finally:(fun () -> shutdown inst) (fun () ->
+      let outs = outports inst "tl" in
+      let consume = (inports inst "hd").(0) in
+      Task.run_all
+        ((fun () -> for _ = 1 to 10 do ignore (Port.recv consume) done)
+        :: List.init 2 (fun i -> fun () ->
+               for r = 1 to 5 do Port.send outs.(i) (Value.int r) done));
+      let s = Connector.stats (connector inst) in
+      Alcotest.(check int) "steps" 20 s.Connector.st_steps;
+      Alcotest.(check bool) "expanded some states" true (s.Connector.st_expansions > 0);
+      Alcotest.(check bool) "cache reused" true
+        (s.Connector.st_cache_hits > s.Connector.st_expansions);
+      Alcotest.(check int) "one region" 1 s.Connector.st_regions)
+
+let tests =
+  [
+    ("compile + groups", `Quick, compile_and_groups);
+    ("wrong polarity rejected", `Quick, wrong_polarity_rejected);
+    ("missing length rejected", `Quick, missing_length_rejected);
+    ("unknown connector rejected", `Quick, unknown_connector_rejected);
+    ("parse error surfaces", `Quick, parse_error_is_Error);
+    ("run_main missing task", `Quick, run_main_missing_task);
+    ("run_main end-to-end", `Quick, run_main_end_to_end);
+    ("datafun in protocol", `Quick, datafun_in_protocol);
+    ("transform across configs", `Quick, instantiate_both_configs_same_primitive_behaviour);
+    ("catalog entries compile", `Quick, catalog_entries_all_compile);
+    ("config describe", `Quick, config_describe_strings);
+    ("stats reflect jit activity", `Quick, stats_reflect_jit_activity);
+  ]

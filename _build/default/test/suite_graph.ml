@@ -1,0 +1,134 @@
+(* Hypergraph connectors, graph->text translation, Fig. 5. *)
+
+module Parser = Preo_lang.Parser
+module Sema = Preo_lang.Sema
+module Flatten = Preo_lang.Flatten
+module Eval = Preo_lang.Eval
+module Ast = Preo_lang.Ast
+
+open Preo_support
+open Preo_automata
+open Preo_reo
+
+let v = Vertex.fresh
+
+let boundary_and_wellformed () =
+  let a = v "a" and m = v "m" and b = v "b" in
+  let g =
+    [
+      Graph.arc Prim.Sync ~tails:[ a ] ~heads:[ m ];
+      Graph.arc Prim.Fifo1 ~tails:[ m ] ~heads:[ b ];
+    ]
+  in
+  (match Graph.well_formed g with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  let sources, sinks = Graph.boundary g in
+  Alcotest.(check bool) "a source" true (Iset.equal sources (Iset.singleton a));
+  Alcotest.(check bool) "b sink" true (Iset.equal sinks (Iset.singleton b))
+
+let double_reader_rejected () =
+  let a = v "a" and b = v "b" and c = v "c" in
+  let g =
+    [
+      Graph.arc Prim.Sync ~tails:[ a ] ~heads:[ b ];
+      Graph.arc Prim.Sync ~tails:[ a ] ~heads:[ c ];
+    ]
+  in
+  match Graph.well_formed g with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "vertex read twice must be rejected"
+
+let double_writer_rejected () =
+  let a = v "a" and b = v "b" and c = v "c" in
+  let g =
+    [
+      Graph.arc Prim.Sync ~tails:[ a ] ~heads:[ c ];
+      Graph.arc Prim.Sync ~tails:[ b ] ~heads:[ c ];
+    ]
+  in
+  match Graph.well_formed g with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "vertex written twice must be rejected"
+
+let compose_is_union () =
+  let a = v "a" and b = v "b" and c = v "c" and d = v "d" in
+  let g1 = [ Graph.arc Prim.Sync ~tails:[ a ] ~heads:[ b ] ] in
+  let g2 = [ Graph.arc Prim.Fifo1 ~tails:[ c ] ~heads:[ d ] ] in
+  Alcotest.(check int) "two arcs" 2 (List.length (Graph.compose g1 g2));
+  Alcotest.(check bool) "vertices union" true
+    (Iset.equal (Graph.vertices (Graph.compose g1 g2)) (Iset.of_list [ a; b; c; d ]))
+
+let large_automaton_of_chain () =
+  let a = v "a" and m = v "m" and b = v "b" in
+  let g =
+    [
+      Graph.arc Prim.Fifo1 ~tails:[ a ] ~heads:[ m ];
+      Graph.arc Prim.Fifo1 ~tails:[ m ] ~heads:[ b ];
+    ]
+  in
+  let large = Graph.to_large_automaton g in
+  (* 2 fifos: 4 states reachable; m hidden. *)
+  Alcotest.(check int) "4 states" 4 large.Automaton.nstates;
+  Alcotest.(check bool) "m hidden" false (Iset.mem m large.Automaton.vertices)
+
+(* --- graph -> text -> parse round trip ------------------------------------ *)
+
+let to_text_parses_back () =
+  let f = Figures.fig5 () in
+  let src = To_text.connector ~name:"Fig5" f.Figures.graph in
+  let def = Parser.conn_def src in
+  Alcotest.(check string) "name kept" "Fig5" def.Ast.c_name;
+  Alcotest.(check int) "4 tail params... (2 sources)" 2
+    (List.length def.Ast.c_tparams);
+  Alcotest.(check int) "2 sinks" 2 (List.length def.Ast.c_hparams);
+  (* And the parsed definition must survive semantic checking. *)
+  Sema.check { Ast.defs = [ def ]; main = None }
+
+let to_text_eval_matches_graph () =
+  (* Evaluating the emitted text yields the same number and kinds of
+     primitives as the original graph. *)
+  let f = Figures.fig5 () in
+  let src = To_text.connector ~name:"Fig5" f.Figures.graph in
+  let def = Parser.conn_def src in
+  let flat = Flatten.def ~defs:[ def ] def in
+  let _, _sources, _sinks =
+    Eval.boundary_of_def flat
+      ~lengths:[]
+  in
+  let bindings, _, _ = Eval.boundary_of_def flat ~lengths:[] in
+  let venv = Eval.venv ~ints:[] ~arrays:bindings in
+  let prims = Eval.prims venv flat.Ast.c_body in
+  Alcotest.(check int) "8 primitives" 8 (List.length prims);
+  let count k =
+    List.length
+      (List.filter (fun p -> Preo_reo.Prim.equal_kind p.Eval.pi_kind k) prims)
+  in
+  Alcotest.(check int) "4 replicators" 4 (count Prim.Replicator);
+  Alcotest.(check int) "2 fifos" 2 (count Prim.Fifo1);
+  Alcotest.(check int) "2 seqs" 2 (count Prim.Seq)
+
+let fig5_protocol_automaton () =
+  (* Composing Fig. 5 and hiding internals gives the 4-state cycle of the
+     paper's Fig. 7(f). *)
+  let f = Figures.fig5 () in
+  let large = Graph.to_large_automaton f.Figures.graph in
+  Alcotest.(check int) "4 states" 4 large.Automaton.nstates;
+  Alcotest.(check int) "4 transitions" 4 (Automaton.num_transitions large);
+  (* From the initial state, only A's send {tl1,...} can happen. *)
+  let init = large.Automaton.trans.(large.Automaton.initial) in
+  Alcotest.(check int) "single initial step" 1 (Array.length init);
+  Alcotest.(check bool) "it is A's send" true
+    (Iset.mem f.Figures.a_out init.(0).Automaton.sync)
+
+let tests =
+  [
+    ("boundary + wellformed", `Quick, boundary_and_wellformed);
+    ("double reader rejected", `Quick, double_reader_rejected);
+    ("double writer rejected", `Quick, double_writer_rejected);
+    ("compose is union", `Quick, compose_is_union);
+    ("large automaton of chain", `Quick, large_automaton_of_chain);
+    ("to_text parses back", `Quick, to_text_parses_back);
+    ("to_text eval matches graph", `Quick, to_text_eval_matches_graph);
+    ("fig5 protocol automaton", `Quick, fig5_protocol_automaton);
+  ]

@@ -1,0 +1,410 @@
+(* DSL front end: lexer, parser, canonicalization, sema, flatten,
+   normalize, eval/template agreement. *)
+
+module Ast = Preo_lang.Ast
+module Lexer = Preo_lang.Lexer
+module Parser = Preo_lang.Parser
+module Sema = Preo_lang.Sema
+module Flatten = Preo_lang.Flatten
+module Normalize = Preo_lang.Normalize
+module Eval = Preo_lang.Eval
+module Template = Preo_lang.Template
+
+open Ast
+
+let fig9_src =
+  {|
+// the paper's Fig. 9 (Seq polarity as in Fig. 8)
+X(tl;prev,next,hd) =
+  Repl2(tl;prev,v) mult Fifo1(v;w) mult Repl2(w;next,hd)
+
+ConnectorEx11N(tl[];hd[]) =
+  if (#tl == 1) {
+    Fifo1(tl[1];hd[1])
+  } else {
+    prod (i:1..#tl) X(tl[i];prev[i],next[i],hd[i])
+    mult prod (i:1..#tl-1) Seq2(next[i],prev[i+1];)
+    mult Seq2(prev[1],next[#tl];)
+  }
+
+main(N) = ConnectorEx11N(out[1..N];in[1..N]) among
+  forall (i:1..N) Tasks.pro(out[i]) and Tasks.con(in[1..N])
+|}
+
+(* --- Lexer ----------------------------------------------------------------- *)
+
+let lexer_tokens () =
+  let toks = List.map fst (Lexer.tokenize "prod (i:1..#tl-1) X<f>(a[i];) // c") in
+  Alcotest.(check bool) "shape" true
+    (toks
+    = Lexer.
+        [
+          KW_PROD; LPAREN; IDENT "i"; COLON; INT 1; DOTDOT; HASH; IDENT "tl";
+          MINUS; INT 1; RPAREN; IDENT "X"; LT; IDENT "f"; GT; LPAREN;
+          IDENT "a"; LBRACKET; IDENT "i"; RBRACKET; SEMI; RPAREN; EOF;
+        ])
+
+let lexer_operators () =
+  let toks = List.map fst (Lexer.tokenize "== != <= >= && || ! = < >") in
+  Alcotest.(check bool) "ops" true
+    (toks = Lexer.[ EQEQ; NE; LE; GE; ANDAND; OROR; BANG; EQ; LT; GT; EOF ])
+
+let lexer_error_position () =
+  match Lexer.tokenize "a\nb\n@" with
+  | exception Lexer.Error (_, 3) -> ()
+  | exception Lexer.Error (_, l) -> Alcotest.failf "wrong line %d" l
+  | _ -> Alcotest.fail "expected lexer error"
+
+(* --- Parser ---------------------------------------------------------------- *)
+
+let parse_program () =
+  let p = Parser.program fig9_src in
+  Alcotest.(check int) "2 defs" 2 (List.length p.defs);
+  Alcotest.(check bool) "has main" true (p.main <> None);
+  let m = Option.get p.main in
+  Alcotest.(check (list string)) "main params" [ "N" ] m.m_params;
+  Alcotest.(check int) "2 task items" 2 (List.length m.m_tasks)
+
+let parse_precedence () =
+  Alcotest.(check bool) "mul binds tighter" true
+    (Parser.iexpr "1+2*3" = I_add (I_lit 1, I_mul (I_lit 2, I_lit 3)));
+  Alcotest.(check bool) "parens" true
+    (Parser.iexpr "(1+2)*3" = I_mul (I_add (I_lit 1, I_lit 2), I_lit 3));
+  Alcotest.(check bool) "and over or" true
+    (Parser.bexpr "1==1 || 2==2 && 3==3"
+    = B_or (B_cmp (Ceq, I_lit 1, I_lit 1),
+            B_and (B_cmp (Ceq, I_lit 2, I_lit 2), B_cmp (Ceq, I_lit 3, I_lit 3))))
+
+let parse_paren_bexpr () =
+  (* '(' can open either a comparison operand or a boolean group. *)
+  Alcotest.(check bool) "paren iexpr" true
+    (Parser.bexpr "(1+2) == 3" = B_cmp (Ceq, I_add (I_lit 1, I_lit 2), I_lit 3));
+  Alcotest.(check bool) "paren bexpr" true
+    (Parser.bexpr "(1 == 2) && 3 == 3"
+    = B_and (B_cmp (Ceq, I_lit 1, I_lit 2), B_cmp (Ceq, I_lit 3, I_lit 3)))
+
+let parse_if_without_else () =
+  let d = Parser.conn_def "C(a;b) = if (1 == 1) { Sync(a;b) }" in
+  match d.c_body with
+  | E_if (_, E_inst _, E_skip) -> ()
+  | _ -> Alcotest.fail "else defaults to skip"
+
+let parse_annotation () =
+  let d = Parser.conn_def "C(a;b) = Filter<even>(a;b)" in
+  match d.c_body with
+  | E_inst { i_name = "Filter"; i_ann = Some "even"; _ } -> ()
+  | _ -> Alcotest.fail "annotation"
+
+let parse_slice_and_index () =
+  let d = Parser.conn_def "C(a[];b) = Merger(a[1..#a];b)" in
+  match d.c_body with
+  | E_inst { i_tails = [ A_slice ("a", I_lit 1, I_len "a") ]; _ } -> ()
+  | _ -> Alcotest.fail "slice arg"
+
+let parse_error_reports_line () =
+  match Parser.program "C(a;b) =\n  Sync(a;b) mult mult" with
+  | exception Parser.Error (_, 2) -> ()
+  | exception Parser.Error (_, l) -> Alcotest.failf "wrong line %d" l
+  | _ -> Alcotest.fail "expected parse error"
+
+(* Pretty-print / re-parse round trip on the fig9 program. *)
+let pp_reparse_roundtrip () =
+  let p = Parser.program fig9_src in
+  let printed = Format.asprintf "%a" Ast.pp_program p in
+  let p2 = Parser.program printed in
+  Alcotest.(check int) "same def count" (List.length p.defs) (List.length p2.defs);
+  let again = Format.asprintf "%a" Ast.pp_program p2 in
+  Alcotest.(check string) "pp fixpoint" printed again
+
+(* --- canon_iexpr ------------------------------------------------------------ *)
+
+let canon_units () =
+  let eq a b = Alcotest.(check bool) (a ^ " = " ^ b) true
+      (Ast.iexpr_equal (Parser.iexpr a) (Parser.iexpr b))
+  and ne a b = Alcotest.(check bool) (a ^ " <> " ^ b) false
+      (Ast.iexpr_equal (Parser.iexpr a) (Parser.iexpr b)) in
+  eq "i+1" "1+i";
+  eq "i - i" "0";
+  eq "2*i + 3*i" "5*i";
+  eq "#tl - 1 + 1" "#tl";
+  eq "(i+1)*2" "2*i + 2";
+  ne "i+1" "i";
+  ne "i" "j";
+  ne "i/2" "i";
+  eq "i/2" "i/2"
+
+let qcheck_canon =
+  let open QCheck in
+  let gen_iexpr =
+    let open Gen in
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n <= 0 then
+              oneof
+                [
+                  map (fun i -> I_lit i) (int_range (-5) 5);
+                  oneofl [ I_var "i"; I_var "j"; I_len "a" ];
+                ]
+            else
+              oneof
+                [
+                  map2 (fun a b -> I_add (a, b)) (self (n / 2)) (self (n / 2));
+                  map2 (fun a b -> I_sub (a, b)) (self (n / 2)) (self (n / 2));
+                  map2 (fun a b -> I_mul (a, b)) (self (n / 2)) (self (n / 2));
+                  map (fun a -> I_neg a) (self (n - 1));
+                ])
+          (min n 6))
+  in
+  let arb = QCheck.make ~print:(Format.asprintf "%a" Ast.pp_iexpr) gen_iexpr in
+  let eval env e =
+    let rec go = function
+      | I_lit n -> n
+      | I_var "i" -> fst env
+      | I_var _ -> snd env
+      | I_len _ -> 4
+      | I_add (a, b) -> go a + go b
+      | I_sub (a, b) -> go a - go b
+      | I_mul (a, b) -> go a * go b
+      | I_div (a, b) -> if go b = 0 then 0 else go a / go b
+      | I_mod (a, b) -> if go b = 0 then 0 else go a mod go b
+      | I_neg a -> -go a
+    in
+    go e
+  in
+  [
+    QCheck.Test.make ~name:"canon preserves value" ~count:500 arb (fun e ->
+        let c = Ast.canon_iexpr e in
+        List.for_all
+          (fun env -> eval env e = eval env c)
+          [ (0, 0); (1, 2); (3, -1); (7, 5) ]);
+    QCheck.Test.make ~name:"canon idempotent" ~count:500 arb (fun e ->
+        Ast.canon_iexpr (Ast.canon_iexpr e) = Ast.canon_iexpr e);
+  ]
+
+(* --- Sema ------------------------------------------------------------------- *)
+
+let sema_accepts_fig9 () = Sema.check (Parser.program fig9_src)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let sema_rejects src expect_fragment =
+  match Sema.check (Parser.program src) with
+  | exception Sema.Error msg ->
+    if not (contains msg expect_fragment) then
+      Alcotest.failf "wrong message: %s (wanted %s)" msg expect_fragment
+  | () -> Alcotest.failf "expected rejection: %s" expect_fragment
+
+let sema_rejections () =
+  sema_rejects "C(a;b) = Unknown(a;b)" "unknown connector";
+  sema_rejects "C(a;a) = Sync(a;a)" "duplicate parameter";
+  sema_rejects "C(a;b) = Sync(a;b)\nC(x;y) = Sync(x;y)" "duplicate definition";
+  sema_rejects "Sync(a;b) = Sync(a;b)" "shadows a primitive";
+  sema_rejects "C(a;b) = Filter(a;b)" "requires a <predicate>";
+  sema_rejects "C(a;b) = Sync<f>(a;b)" "does not take";
+  sema_rejects "C(a[];b) = Sync(a;b)" "arrays as tails";
+  sema_rejects "C(a[];b) = Merger(a[1..#a];b[1])" "cannot be indexed";
+  sema_rejects "C(a;b) = prod (i:1..2) Sync(a;i)" "used as a vertex";
+  sema_rejects "C(a;b) = Sync(a[1];b)" "cannot be indexed";
+  sema_rejects "C(a[];b) = prod (i:1..#c) Sync(a[i];b)" "unknown array";
+  sema_rejects "D(x;y) = C(x;y)" "unknown connector";
+  sema_rejects "C(a;b) = C(a;b)" "recursive";
+  sema_rejects "C(a;b) = D(a;b)\nD(x;y) = C(x;y)" "recursive";
+  sema_rejects "C(a;b) = Sync(a;b) mult Sync(a;c)\nmain = C(p;q) among T.t(p)"
+    "not used by any task"
+
+let sema_local_consistency () =
+  sema_rejects "C(a;b) = Sync(a;x) mult Fifo1(x[1];b)" "local x used";
+  (* But consistent single-index locals plus slices of them are fine. *)
+  Sema.check
+    (Parser.program
+       "C(a[];b) = prod (i:1..#a) Sync(a[i];x[i]) mult Merger(x[1..#a];b)")
+
+(* --- Flatten ------------------------------------------------------------------ *)
+
+let flatten_fig9 () =
+  let p = Parser.program fig9_src in
+  let def = List.find (fun d -> d.c_name = "ConnectorEx11N") p.defs in
+  let flat = Flatten.def ~defs:p.defs def in
+  (* The body must be composite-free. *)
+  let rec no_composites = function
+    | E_skip -> true
+    | E_inst i -> Preo_reo.Prim.of_name i.i_name <> None
+    | E_mult (a, b) -> no_composites a && no_composites b
+    | E_prod (_, _, _, b) -> no_composites b
+    | E_if (_, a, b) -> no_composites a && no_composites b
+  in
+  Alcotest.(check bool) "no composites" true (no_composites flat.c_body)
+
+(* Flattening Fig. 8's ConnectorEx11b yields ConnectorEx11a (Example 9): same
+   multiset of primitives when evaluated. *)
+let flatten_example9 () =
+  let src =
+    {|
+ConnectorEx11a(tl1,tl2;hd1,hd2) =
+  Repl2(tl1;prev1,v1) mult Repl2(tl2;prev2,v2)
+  mult Fifo1(v1;w1) mult Fifo1(v2;w2)
+  mult Repl2(w1;next1,hd1) mult Repl2(w2;next2,hd2)
+  mult Seq2(next1,prev2;) mult Seq2(prev1,next2;)
+
+ConnectorEx11b(tl1,tl2;hd1,hd2) =
+  X(tl1;prev1,next1,hd1) mult X(tl2;prev2,next2,hd2)
+  mult Seq2(next1,prev2;) mult Seq2(prev1,next2;)
+
+X(tl;prev,next,hd) =
+  Repl2(tl;prev,v) mult Fifo1(v;w) mult Repl2(w;next,hd)
+|}
+  in
+  let p = Parser.program src in
+  Sema.check p;
+  let eval_kinds name =
+    let def = List.find (fun d -> d.c_name = name) p.defs in
+    let flat = Flatten.def ~defs:p.defs def in
+    let bindings, _, _ = Eval.boundary_of_def flat ~lengths:[] in
+    let venv = Eval.venv ~ints:[] ~arrays:bindings in
+    Eval.prims venv flat.c_body
+    |> List.map (fun pi -> Preo_reo.Prim.kind_name pi.Eval.pi_kind)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "same primitive multiset"
+    (eval_kinds "ConnectorEx11a") (eval_kinds "ConnectorEx11b")
+
+(* Locals of a composite in-lined under an iteration are distinct per
+   iteration; top-level locals are shared. *)
+let flatten_local_scoping () =
+  let src =
+    {|
+Inner(a;b) = Fifo1(a;m) mult Fifo1(m;b)
+Outer(tl[];hd[]) = prod (i:1..#tl) Inner(tl[i];hd[i])
+|}
+  in
+  let p = Parser.program src in
+  Sema.check p;
+  let def = List.find (fun d -> d.c_name = "Outer") p.defs in
+  let flat = Flatten.def ~defs:p.defs def in
+  let bindings, _, _ = Eval.boundary_of_def flat ~lengths:[ ("tl", 3); ("hd", 3) ] in
+  let venv = Eval.venv ~ints:[] ~arrays:bindings in
+  let prims = Eval.prims venv flat.c_body in
+  Alcotest.(check int) "6 fifos" 6 (List.length prims);
+  (* All 6 fifos have pairwise distinct tails (the in-lined m is fresh per
+     iteration, so no vertex is read twice). *)
+  let tails = List.concat_map (fun pi -> pi.Eval.pi_tails) prims in
+  Alcotest.(check int) "distinct tails" 6
+    (List.length (List.sort_uniq compare tails))
+
+(* --- Normalize ------------------------------------------------------------------ *)
+
+let normalize_sections () =
+  let d =
+    Parser.conn_def
+      "C(a[];b) = prod (i:1..#a) Sync(a[i];x[i]) mult Merger(x[1..#a];b) mult \
+       if (#a == 1) { skip } else { skip }"
+  in
+  let n = Normalize.of_expr d.c_body in
+  Alcotest.(check int) "consts" 1 (List.length n.Normalize.n_consts);
+  Alcotest.(check int) "prods" 1 (List.length n.Normalize.n_prods);
+  (* if with two skip branches normalizes away *)
+  Alcotest.(check int) "ifs" 0 (List.length n.Normalize.n_ifs)
+
+let normalize_preserves_eval () =
+  (* Evaluating to_expr (of_expr body) gives the same primitive multiset. *)
+  List.iter
+    (fun (e : Preo_connectors.Catalog.entry) ->
+      let c = Preo_connectors.Catalog.compiled e in
+      let flat = c.Preo.flat in
+      let normalized =
+        { flat with c_body = Normalize.to_expr (Normalize.of_expr flat.c_body) }
+      in
+      let kinds def n =
+        let bindings, _, _ = Eval.boundary_of_def def ~lengths:(e.lengths n) in
+        let venv = Eval.venv ~ints:[] ~arrays:bindings in
+        Eval.prims venv def.c_body
+        |> List.map (fun pi ->
+               ( Preo_reo.Prim.kind_name pi.Eval.pi_kind,
+                 List.length pi.Eval.pi_tails,
+                 List.length pi.Eval.pi_heads ))
+        |> List.sort compare
+      in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s N=%d" e.name n)
+            true
+            (kinds flat n = kinds normalized n))
+        [ 1; 2; 5 ])
+    Preo_connectors.Catalog.all
+
+(* --- Template vs eval --------------------------------------------------------- *)
+
+(* The run-time share of the new approach must produce the same primitive
+   structure as full evaluation: compare multisets of (shape of medium
+   pieces). We compare the *composed* small automata statistics: total
+   transition count of all mediums equals that of all small automata composed
+   per template grouping is hard to compare directly, so instead compare
+   vertex sets and total cells. *)
+let template_matches_eval () =
+  List.iter
+    (fun (e : Preo_connectors.Catalog.entry) ->
+      let c = Preo_connectors.Catalog.compiled e in
+      List.iter
+        (fun n ->
+          let bindings, _, _ =
+            Eval.boundary_of_def c.Preo.def ~lengths:(e.lengths n)
+          in
+          let venv = Eval.venv ~ints:[] ~arrays:bindings in
+          let mediums = Template.instantiate c.Preo.template venv in
+          let venv2 = Eval.venv ~ints:[] ~arrays:bindings in
+          let prims = Eval.prims venv2 c.Preo.flat.c_body in
+          let smalls = Eval.small_automata prims in
+          let vertices autos =
+            List.fold_left
+              (fun acc (a : Preo_automata.Automaton.t) ->
+                Preo_support.Iset.union acc a.vertices)
+              Preo_support.Iset.empty autos
+          in
+          (* Medium vertices = small-automata vertices up to renamed locals:
+             compare cardinalities and the boundary subset. *)
+          Alcotest.(check int)
+            (Printf.sprintf "%s N=%d vertex count" e.name n)
+            (Preo_support.Iset.cardinal (vertices smalls))
+            (Preo_support.Iset.cardinal (vertices mediums));
+          let cells autos =
+            List.fold_left
+              (fun acc (a : Preo_automata.Automaton.t) ->
+                acc + Preo_support.Iset.cardinal a.cells)
+              0 autos
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s N=%d cells" e.name n)
+            (cells smalls) (cells mediums))
+        [ 1; 2; 4; 7 ])
+    Preo_connectors.Catalog.all
+
+let tests =
+  [
+    ("lexer tokens", `Quick, lexer_tokens);
+    ("lexer operators", `Quick, lexer_operators);
+    ("lexer error line", `Quick, lexer_error_position);
+    ("parse program", `Quick, parse_program);
+    ("parse precedence", `Quick, parse_precedence);
+    ("parse paren bexpr", `Quick, parse_paren_bexpr);
+    ("parse if without else", `Quick, parse_if_without_else);
+    ("parse annotation", `Quick, parse_annotation);
+    ("parse slice", `Quick, parse_slice_and_index);
+    ("parse error line", `Quick, parse_error_reports_line);
+    ("pp/reparse roundtrip", `Quick, pp_reparse_roundtrip);
+    ("canon units", `Quick, canon_units);
+    ("sema accepts fig9", `Quick, sema_accepts_fig9);
+    ("sema rejections", `Quick, sema_rejections);
+    ("sema local consistency", `Quick, sema_local_consistency);
+    ("flatten fig9", `Quick, flatten_fig9);
+    ("flatten example 9", `Quick, flatten_example9);
+    ("flatten local scoping", `Quick, flatten_local_scoping);
+    ("normalize sections", `Quick, normalize_sections);
+    ("normalize preserves eval", `Quick, normalize_preserves_eval);
+    ("template matches eval", `Quick, template_matches_eval);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_canon

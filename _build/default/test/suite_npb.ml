@@ -1,0 +1,138 @@
+(* NPB kernels: hand-written vs connector-based variants must agree
+   bit-for-bit (rank-ordered reductions), across runtimes. *)
+
+module W = Preo_npb.Workloads
+
+let check_verify name f =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "%s N=%d" name n) true (f W.S ~nslaves:n))
+    [ 1; 2; 4 ]
+
+let cg_verify () = check_verify "cg" Preo_npb.Cg.verify
+let lu_verify () = check_verify "lu" Preo_npb.Lu.verify
+let ep_verify () = check_verify "ep" Preo_npb.Ep.verify
+let is_verify () = check_verify "is" Preo_npb.Is.verify
+let mg_verify () = check_verify "mg" Preo_npb.Mg.verify
+
+let allreduce_array_matches () =
+  (* hand and reo array allreduce agree elementwise, across phases *)
+  let n = 3 in
+  let run mk =
+    let comm : Preo_npb.Comm.t = mk () in
+    let results = Array.make n [||] in
+    Preo_runtime.Task.run_all
+      (List.init n (fun rank () ->
+           let a = Array.init 5 (fun i -> float_of_int ((rank * 10) + i)) in
+           let r1 = comm.allreduce_array ~rank a in
+           let r2 = comm.allreduce_array ~rank (Array.map (fun x -> x +. 1.0) r1) in
+           results.(rank) <- r2));
+    comm.finish ();
+    results.(0)
+  in
+  let hand = run (fun () -> Preo_npb.Comm.hand ~nslaves:n) in
+  let reo = run (fun () -> Preo_npb.Comm.reo ~nslaves:n ()) in
+  Alcotest.(check (array (Alcotest.float 0.0))) "same arrays" hand reo;
+  (* phase 1: elementwise sum of [0..4],[10..14],[20..24] = [30,33,36,39,42];
+     phase 2: 3 * (that + 1) *)
+  Alcotest.(check (array (Alcotest.float 0.0))) "expected"
+    [| 93.0; 102.0; 111.0; 120.0; 129.0 |]
+    hand
+
+let cg_partitioned_matches () =
+  let hand =
+    Preo_npb.Cg.run ~comm:(Preo_npb.Comm.hand ~nslaves:3) ~cls:W.S ~nslaves:3
+  in
+  let part =
+    Preo_npb.Cg.run
+      ~comm:
+        (Preo_npb.Comm.reo ~config:Preo_runtime.Config.new_partitioned
+           ~nslaves:3 ())
+      ~cls:W.S ~nslaves:3
+  in
+  Alcotest.(check bool) "partitioned zeta equal" true (hand.zeta = part.zeta)
+
+let cg_existing_runtime_matches () =
+  let hand =
+    Preo_npb.Cg.run ~comm:(Preo_npb.Comm.hand ~nslaves:2) ~cls:W.S ~nslaves:2
+  in
+  let exist =
+    Preo_npb.Cg.run
+      ~comm:(Preo_npb.Comm.reo ~config:Preo_runtime.Config.existing ~nslaves:2 ())
+      ~cls:W.S ~nslaves:2
+  in
+  Alcotest.(check bool) "existing-runtime zeta equal" true (hand.zeta = exist.zeta)
+
+let cg_zeta_plausible () =
+  (* shift 10 + 1/(x.z) with an SPD matrix: eigenvalue estimate near shift *)
+  let r = Preo_npb.Cg.run ~comm:(Preo_npb.Comm.hand ~nslaves:2) ~cls:W.S ~nslaves:2 in
+  Alcotest.(check bool) "zeta in range" true (r.zeta > 10.0 && r.zeta < 13.0)
+
+let cg_zeta_independent_of_runtime_interleaving () =
+  (* Same N, repeated runs: deterministic. *)
+  let run () =
+    (Preo_npb.Cg.run ~comm:(Preo_npb.Comm.reo ~nslaves:3 ()) ~cls:W.S ~nslaves:3).zeta
+  in
+  Alcotest.(check bool) "deterministic" true (run () = run ())
+
+let ep_estimates_pi () =
+  let r = Preo_npb.Ep.run ~comm:(Preo_npb.Comm.hand ~nslaves:4) ~cls:W.S ~nslaves:4 in
+  Alcotest.(check bool) "pi-ish" true (Float.abs (r.estimate -. 3.14159) < 0.1)
+
+let lu_residual_decreases_with_iters () =
+  (* More sweeps, smaller residual change per sweep: sanity only — run W vs
+     S and require both positive and finite. *)
+  let s = Preo_npb.Lu.run ~comm:(Preo_npb.Comm.hand ~nslaves:2) ~cls:W.S ~nslaves:2 in
+  Alcotest.(check bool) "finite residual" true
+    (Float.is_finite s.residual && s.residual >= 0.0)
+
+let reo_steps_counted () =
+  let r = Preo_npb.Cg.run ~comm:(Preo_npb.Comm.reo ~nslaves:2 ()) ~cls:W.S ~nslaves:2 in
+  Alcotest.(check bool) "connector steps > 0" true (r.comm_steps > 0)
+
+let handsync_barrier_cycles () =
+  let b = Preo_npb.Handsync.barrier 3 in
+  let hits = Array.make 3 0 in
+  Preo_runtime.Task.run_all
+    (List.init 3 (fun i -> fun () ->
+         for r = 1 to 50 do
+           hits.(i) <- hits.(i) + 1;
+           ignore r;
+           Preo_npb.Handsync.await b
+         done));
+  Alcotest.(check (list int)) "all arrived 50x" [ 50; 50; 50 ] (Array.to_list hits)
+
+let handsync_reducer_rank_order () =
+  let r = Preo_npb.Handsync.reducer 3 in
+  let results = Array.make 3 0.0 in
+  Preo_runtime.Task.run_all
+    (List.init 3 (fun i -> fun () ->
+         results.(i) <- Preo_npb.Handsync.reduce r i (float_of_int (i + 1))));
+  Array.iter (fun x -> Alcotest.(check (Alcotest.float 0.0)) "sum" 6.0 x) results
+
+let handsync_channel_fifo () =
+  let c = Preo_npb.Handsync.channel () in
+  for i = 1 to 10 do Preo_npb.Handsync.send c i done;
+  for i = 1 to 10 do
+    Alcotest.(check int) "order" i (Preo_npb.Handsync.recv c)
+  done
+
+let tests =
+  [
+    ("cg hand=reo", `Quick, cg_verify);
+    ("lu hand=reo", `Quick, lu_verify);
+    ("ep hand=reo", `Quick, ep_verify);
+    ("is hand=reo", `Quick, is_verify);
+    ("mg hand=reo", `Quick, mg_verify);
+    ("allreduce_array hand=reo", `Quick, allreduce_array_matches);
+    ("cg partitioned matches", `Quick, cg_partitioned_matches);
+    ("cg existing-runtime matches", `Quick, cg_existing_runtime_matches);
+    ("cg zeta plausible", `Quick, cg_zeta_plausible);
+    ("cg deterministic", `Quick, cg_zeta_independent_of_runtime_interleaving);
+    ("ep estimates pi", `Quick, ep_estimates_pi);
+    ("lu residual sane", `Quick, lu_residual_decreases_with_iters);
+    ("reo comm steps counted", `Quick, reo_steps_counted);
+    ("handsync barrier", `Quick, handsync_barrier_cycles);
+    ("handsync reducer", `Quick, handsync_reducer_rank_order);
+    ("handsync channel", `Quick, handsync_channel_fifo);
+  ]

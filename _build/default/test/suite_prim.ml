@@ -1,0 +1,137 @@
+(* Primitive connectors: automaton shapes and name resolution. *)
+
+open Preo_support
+open Preo_automata
+open Preo_reo
+
+let v = Vertex.fresh
+let iset = Iset.of_list
+
+let shape name auto ~nstates ~ntrans =
+  Alcotest.(check int) (name ^ " states") nstates auto.Automaton.nstates;
+  Alcotest.(check int) (name ^ " transitions") ntrans (Automaton.num_transitions auto)
+
+let prim_shapes () =
+  shape "sync" (Prim.build Prim.Sync ~tails:[ v "a" ] ~heads:[ v "b" ]) ~nstates:1 ~ntrans:1;
+  shape "lossy" (Prim.build Prim.Lossy_sync ~tails:[ v "a" ] ~heads:[ v "b" ]) ~nstates:1 ~ntrans:2;
+  shape "drain2" (Prim.build Prim.Sync_drain ~tails:[ v "a"; v "b" ] ~heads:[]) ~nstates:1 ~ntrans:1;
+  shape "drain4"
+    (Prim.build Prim.Sync_drain ~tails:[ v "a"; v "b"; v "c"; v "d" ] ~heads:[])
+    ~nstates:1 ~ntrans:1;
+  shape "adrain3"
+    (Prim.build Prim.Async_drain ~tails:[ v "a"; v "b"; v "c" ] ~heads:[])
+    ~nstates:1 ~ntrans:3;
+  shape "spout" (Prim.build Prim.Sync_spout ~tails:[] ~heads:[ v "a"; v "b" ]) ~nstates:1 ~ntrans:1;
+  shape "fifo1" (Prim.build Prim.Fifo1 ~tails:[ v "a" ] ~heads:[ v "b" ]) ~nstates:2 ~ntrans:2;
+  shape "fifo1full"
+    (Prim.build (Prim.Fifo1_full Value.unit) ~tails:[ v "a" ] ~heads:[ v "b" ])
+    ~nstates:3 ~ntrans:3;
+  shape "filter"
+    (Prim.build (Prim.Filter "even") ~tails:[ v "a" ] ~heads:[ v "b" ])
+    ~nstates:1 ~ntrans:2;
+  shape "transform"
+    (Prim.build (Prim.Transform "incr") ~tails:[ v "a" ] ~heads:[ v "b" ])
+    ~nstates:1 ~ntrans:1;
+  shape "merger3"
+    (Prim.build Prim.Merger ~tails:[ v "a"; v "b"; v "c" ] ~heads:[ v "z" ])
+    ~nstates:1 ~ntrans:3;
+  shape "repl3"
+    (Prim.build Prim.Replicator ~tails:[ v "a" ] ~heads:[ v "x"; v "y"; v "z" ])
+    ~nstates:1 ~ntrans:1;
+  shape "router3"
+    (Prim.build Prim.Router ~tails:[ v "a" ] ~heads:[ v "x"; v "y"; v "z" ])
+    ~nstates:1 ~ntrans:3;
+  shape "seq3" (Prim.build Prim.Seq ~tails:[ v "a"; v "b"; v "c" ] ~heads:[]) ~nstates:3 ~ntrans:3
+
+let seq_cycles_in_order () =
+  let a = v "a" and b = v "b" in
+  let auto = Prim.build Prim.Seq ~tails:[ a; b ] ~heads:[] in
+  let t0 = auto.Automaton.trans.(0).(0) in
+  let t1 = auto.Automaton.trans.(1).(0) in
+  Alcotest.(check bool) "first a" true (Iset.equal t0.Automaton.sync (iset [ a ]));
+  Alcotest.(check bool) "then b" true (Iset.equal t1.Automaton.sync (iset [ b ]));
+  Alcotest.(check int) "cycles" 0 t1.Automaton.target
+
+let repl_syncs_everything () =
+  let a = v "a" and x = v "x" and y = v "y" in
+  let auto = Prim.build Prim.Replicator ~tails:[ a ] ~heads:[ x; y ] in
+  let t = auto.Automaton.trans.(0).(0) in
+  Alcotest.(check bool) "all fire" true
+    (Iset.equal t.Automaton.sync (iset [ a; x; y ]))
+
+let arity_rejected () =
+  Alcotest.check_raises "sync needs 1/1"
+    (Invalid_argument "Prim.build: Sync does not accept 2 tails / 1 heads")
+    (fun () -> ignore (Prim.build Prim.Sync ~tails:[ v "a"; v "b" ] ~heads:[ v "c" ]))
+
+let of_name_resolution () =
+  let some k = Some k in
+  let cases =
+    [
+      ("Sync", some Prim.Sync);
+      ("Fifo1", some Prim.Fifo1);
+      ("Fifo1Full", some (Prim.Fifo1_full Value.unit));
+      ("Repl2", some Prim.Replicator);
+      ("Repl17", some Prim.Replicator);
+      ("Merger", some Prim.Merger);
+      ("Merg3", some Prim.Merger);
+      ("Seq2", some Prim.Seq);
+      ("Router4", some Prim.Router);
+      ("SyncDrain", some Prim.Sync_drain);
+      ("AsyncDrain2", some Prim.Async_drain);
+      ("LossySync", some Prim.Lossy_sync);
+      ("SyncSpout", some Prim.Sync_spout);
+      ("Filter", some (Prim.Filter "true"));
+      ("Transform", some (Prim.Transform "id"));
+      ("Nonsense", None);
+      ("X", None);
+    ]
+  in
+  List.iter
+    (fun (name, expect) ->
+      let got = Prim.of_name name in
+      let eq =
+        match (got, expect) with
+        | None, None -> true
+        | Some a, Some b -> Prim.equal_kind a b
+        | _ -> false
+      in
+      Alcotest.(check bool) name true eq)
+    cases
+
+let polarity () =
+  let a = v "a" and b = v "b" in
+  let f = Prim.build Prim.Fifo1 ~tails:[ a ] ~heads:[ b ] in
+  Alcotest.(check bool) "tail is source" true (Iset.mem a f.Automaton.sources);
+  Alcotest.(check bool) "head is sink" true (Iset.mem b f.Automaton.sinks)
+
+let fifo_cells_are_fresh () =
+  let f1 = Prim.build Prim.Fifo1 ~tails:[ v "a" ] ~heads:[ v "b" ] in
+  let f2 = Prim.build Prim.Fifo1 ~tails:[ v "c" ] ~heads:[ v "d" ] in
+  Alcotest.(check bool) "distinct cells" true
+    (Iset.disjoint f1.Automaton.cells f2.Automaton.cells)
+
+
+(* --- Fifo_n (bounded ring buffer) ----------------------------------------- *)
+
+let fifon_shape () =
+  let auto = Prim.build (Prim.Fifo_n 3) ~tails:[ v "a" ] ~heads:[ v "b" ] in
+  Alcotest.(check int) "n(n+1) states" 12 auto.Automaton.nstates;
+  Alcotest.(check int) "3 cells" 3 (Iset.cardinal auto.Automaton.cells)
+
+let fifon_rejects_capacity_one () =
+  Alcotest.(check bool) "arity gate" false
+    (Prim.arity_ok (Prim.Fifo_n 1) ~ntails:1 ~nheads:1)
+
+let tests =
+  [
+    ("primitive shapes", `Quick, prim_shapes);
+    ("seq cycles in order", `Quick, seq_cycles_in_order);
+    ("replicator syncs all", `Quick, repl_syncs_everything);
+    ("arity rejected", `Quick, arity_rejected);
+    ("of_name", `Quick, of_name_resolution);
+    ("polarity", `Quick, polarity);
+    ("fifo cells fresh", `Quick, fifo_cells_are_fresh);
+    ("fifon shape", `Quick, fifon_shape);
+    ("fifon rejects capacity 1", `Quick, fifon_rejects_capacity_one);
+  ]

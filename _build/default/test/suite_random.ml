@@ -1,0 +1,161 @@
+(* Randomized cross-checks: for randomly generated deterministic connector
+   networks, the existing (AOT), new (JIT), bounded-cache, and partitioned
+   runtimes must transport exactly the same data and count the same number
+   of global steps. *)
+
+open Preo_support
+open Preo_automata
+open Preo_runtime
+
+let configs =
+  [
+    ("existing", Config.existing);
+    ("jit", Config.new_jit);
+    ("cached2", Config.new_jit_cached 2);
+    ("partitioned", Config.new_partitioned);
+  ]
+
+(* A random linear network: chain of stages, each sync / fifo1 / transform /
+   fifo1full; deterministic end-to-end behaviour. *)
+type stage = St_sync | St_fifo | St_incr | St_full
+
+let build_chain rng len =
+  let stages = List.init len (fun _ ->
+      match Rng.int rng 4 with
+      | 0 -> St_sync
+      | 1 -> St_fifo
+      | 2 -> St_incr
+      | _ -> St_full)
+  in
+  let a = Vertex.fresh "in" in
+  let rec go tail = function
+    | [] -> ([], tail)
+    | st :: rest ->
+      let head = Vertex.fresh "v" in
+      let auto =
+        match st with
+        | St_sync -> Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ tail ] ~heads:[ head ]
+        | St_fifo -> Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ tail ] ~heads:[ head ]
+        | St_incr ->
+          Preo_reo.Prim.build (Preo_reo.Prim.Transform "incr") ~tails:[ tail ] ~heads:[ head ]
+        | St_full ->
+          Preo_reo.Prim.build (Preo_reo.Prim.Fifo1_full (Value.int 0)) ~tails:[ tail ]
+            ~heads:[ head ]
+      in
+      let autos, last = go head rest in
+      (auto :: autos, last)
+  in
+  let autos, b = go a stages in
+  (autos, a, b, stages)
+
+let run_chain config autos a b nitems =
+  let conn = Connector.create ~config ~sources:[| a |] ~sinks:[| b |] autos in
+  let got = ref [] in
+  Task.run_all
+    [
+      (fun () ->
+        for i = 1 to nitems do
+          Port.send (Connector.outport conn a) (Value.int (i * 100))
+        done);
+      (fun () ->
+        (* initialized fifos inject extra items *)
+        let extra =
+          Array.fold_left (fun acc _ -> acc) 0 [||]
+        in
+        ignore extra;
+        for _ = 1 to nitems do
+          got := Value.to_int (Port.recv (Connector.inport conn b)) :: !got
+        done);
+    ];
+  let steps = Connector.steps conn in
+  Connector.poison conn "done";
+  (List.rev !got, steps)
+
+let chains_agree () =
+  let rng = Rng.create 2024 in
+  for _case = 1 to 12 do
+    let len = 1 + Rng.int rng 6 in
+    let seedlen = len in
+    (* build one description, replay it for each config with fresh vertices *)
+    let descr_rng = Rng.copy rng in
+    ignore seedlen;
+    let results =
+      List.map
+        (fun (name, config) ->
+          let rng' = Rng.copy descr_rng in
+          let autos, a, b, _stages = build_chain rng' len in
+          let r = run_chain config autos a b 8 in
+          (name, r))
+        configs
+    in
+    (* advance the shared rng identically *)
+    ignore (build_chain rng len);
+    match results with
+    | (_, first) :: rest ->
+      List.iter
+        (fun (name, r) ->
+          Alcotest.(check (pair (list int) int))
+            (Printf.sprintf "case len=%d config=%s" len name)
+            first r)
+        rest
+    | [] -> ()
+  done
+
+(* Random fan-out/fan-in: replicator into k parallel fifo+transform lanes,
+   then results read lane by lane (deterministic per lane). *)
+let fanout_agree () =
+  let rng = Rng.create 77 in
+  for _case = 1 to 6 do
+    let k = 2 + Rng.int rng 4 in
+    let incr_lane = Rng.int rng k in
+    let run (config : Config.t) =
+      let a = Vertex.fresh "a" in
+      let mids = Array.init k (fun _ -> Vertex.fresh "m") in
+      let outs = Array.init k (fun _ -> Vertex.fresh "o") in
+      let autos =
+        Preo_reo.Prim.build Preo_reo.Prim.Replicator ~tails:[ a ]
+          ~heads:(Array.to_list mids)
+        :: List.init k (fun i ->
+               if i = incr_lane then
+                 Preo_reo.Prim.build (Preo_reo.Prim.Transform "incr")
+                   ~tails:[ mids.(i) ] ~heads:[ outs.(i) ]
+               else
+                 Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ mids.(i) ]
+                   ~heads:[ outs.(i) ])
+      in
+      let conn = Connector.create ~config ~sources:[| a |] ~sinks:outs autos in
+      let lanes = Array.make k [] in
+      let lock = Mutex.create () in
+      Task.run_all
+        ((fun () ->
+           for i = 1 to 5 do
+             Port.send (Connector.outport conn a) (Value.int i)
+           done)
+        :: List.init k (fun i -> fun () ->
+               for _ = 1 to 5 do
+                 let x = Value.to_int (Port.recv (Connector.inport conn outs.(i))) in
+                 Mutex.lock lock;
+                 lanes.(i) <- x :: lanes.(i);
+                 Mutex.unlock lock
+               done));
+      Connector.poison conn "done";
+      Array.map List.rev lanes
+    in
+    let reference = run Config.existing in
+    List.iter
+      (fun (name, config) ->
+        let got = run config in
+        Array.iteri
+          (fun i lane ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "k=%d lane=%d %s" k i name)
+              reference.(i) lane)
+          got)
+      [ ("jit", Config.new_jit); ("partitioned", Config.new_partitioned) ]
+  done
+
+let tests =
+  [
+    ("random chains agree across runtimes", `Quick, chains_agree);
+    ("random fanouts agree across runtimes", `Quick, fanout_agree);
+  ]

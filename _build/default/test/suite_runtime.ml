@@ -1,0 +1,427 @@
+(* Runtime: engines, composers, partition, poisoning, cache. *)
+
+open Preo_support
+open Preo_automata
+open Preo_runtime
+
+let v = Vertex.fresh
+
+let mk_conn ?config prims ~sources ~sinks =
+  Connector.create ?config ~sources ~sinks prims
+
+let sync_conn config =
+  let a = v "a" and b = v "b" in
+  let auto = Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ b ] in
+  (mk_conn ~config [ auto ] ~sources:[| a |] ~sinks:[| b |], a, b)
+
+let all_configs =
+  [
+    ("existing", Config.existing);
+    ("jit", Config.new_jit);
+    ("jit-nolabel", Config.New
+       { optimize_labels = false; cache_capacity = 0; expansion_budget = 2_000_000;
+         partition = false; true_synchronous = false });
+    ("existing-nodispatch", Config.Existing
+       { use_dispatch = false; optimize_labels = false; max_states = 200_000;
+         max_trans = 2_000_000; max_compile_seconds = 30.0;
+         true_synchronous = false });
+    ("partitioned", Config.new_partitioned);
+    ("cached8", Config.new_jit_cached 8);
+  ]
+
+let sync_rendezvous () =
+  List.iter
+    (fun (name, config) ->
+      let conn, a, b = sync_conn config in
+      let got = ref [] in
+      Task.run_all
+        [
+          (fun () ->
+            for i = 1 to 10 do
+              Port.send (Connector.outport conn a) (Value.int i)
+            done);
+          (fun () ->
+            for _ = 1 to 10 do
+              got := Value.to_int (Port.recv (Connector.inport conn b)) :: !got
+            done);
+        ];
+      Alcotest.(check (list int)) (name ^ " order") [1;2;3;4;5;6;7;8;9;10]
+        (List.rev !got);
+      Alcotest.(check int) (name ^ " steps") 10 (Connector.steps conn))
+    all_configs
+
+let fifo_decouples () =
+  (* A send into an empty fifo completes without a receiver. *)
+  let a = v "a" and b = v "b" in
+  let auto = Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ b ] in
+  let conn = mk_conn ~config:Config.new_jit [ auto ] ~sources:[| a |] ~sinks:[| b |] in
+  Port.send (Connector.outport conn a) (Value.int 42);
+  Alcotest.(check int) "one step" 1 (Connector.steps conn);
+  let got = Port.recv (Connector.inport conn b) in
+  Alcotest.(check bool) "value preserved" true (Value.equal got (Value.int 42))
+
+let fifo_order_preserved () =
+  List.iter
+    (fun (name, config) ->
+      let a = v "a" and m = v "m" and b = v "b" in
+      let autos =
+        [
+          Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ m ];
+          Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ m ] ~heads:[ b ];
+        ]
+      in
+      let conn = mk_conn ~config autos ~sources:[| a |] ~sinks:[| b |] in
+      let got = ref [] in
+      Task.run_all
+        [
+          (fun () ->
+            for i = 1 to 50 do
+              Port.send (Connector.outport conn a) (Value.int i)
+            done);
+          (fun () ->
+            for _ = 1 to 50 do
+              got := Value.to_int (Port.recv (Connector.inport conn b)) :: !got
+            done);
+        ];
+      Alcotest.(check (list int)) (name ^ " fifo order")
+        (List.init 50 (fun i -> i + 1))
+        (List.rev !got))
+    all_configs
+
+let poison_unblocks () =
+  let conn, a, _ = sync_conn Config.new_jit in
+  let blocked = Task.spawn (fun () ->
+      Port.send (Connector.outport conn a) Value.unit)
+  in
+  Thread.delay 0.02;
+  Connector.poison conn "test";
+  (* join swallows Poisoned *)
+  Task.join blocked;
+  Alcotest.(check int) "no steps" 0 (Connector.steps conn)
+
+let send_after_poison_raises () =
+  let conn, a, _ = sync_conn Config.new_jit in
+  Connector.poison conn "gone";
+  match Port.send (Connector.outport conn a) Value.unit with
+  | exception Engine.Poisoned _ -> ()
+  | () -> Alcotest.fail "expected Poisoned"
+
+let unknown_boundary_vertex_rejected () =
+  let conn, _, _ = sync_conn Config.new_jit in
+  match Connector.outport conn (v "ghost") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let compile_failure_on_budget () =
+  let autos =
+    List.init 24 (fun i ->
+        Preo_reo.Prim.build Preo_reo.Prim.Fifo1
+          ~tails:[ v (Printf.sprintf "a%d" i) ]
+          ~heads:[ v (Printf.sprintf "b%d" i) ])
+  in
+  let sources = Array.of_list (List.map (fun (a : Automaton.t) -> Iset.choose a.sources) autos) in
+  let sinks = Array.of_list (List.map (fun (a : Automaton.t) -> Iset.choose a.sinks) autos) in
+  match
+    mk_conn ~config:(Config.existing_states 1000) autos ~sources ~sinks
+  with
+  | exception Connector.Compile_failure _ -> ()
+  | _ -> Alcotest.fail "expected Compile_failure"
+
+(* JIT with a tiny bounded cache must still be correct (recompute evicted
+   states) and must actually evict. *)
+let bounded_cache_recomputes () =
+  let a = v "a" and m = v "m" and b = v "b" in
+  let autos =
+    [
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ m ];
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ m ] ~heads:[ b ];
+    ]
+  in
+  let conn = mk_conn ~config:(Config.new_jit_cached 1) autos ~sources:[| a |] ~sinks:[| b |] in
+  let got = ref [] in
+  Task.run_all
+    [
+      (fun () ->
+        for i = 1 to 30 do
+          Port.send (Connector.outport conn a) (Value.int i)
+        done);
+      (fun () ->
+        for _ = 1 to 30 do
+          got := Value.to_int (Port.recv (Connector.inport conn b)) :: !got
+        done);
+    ];
+  Alcotest.(check (list int)) "order despite eviction"
+    (List.init 30 (fun i -> i + 1))
+    (List.rev !got);
+  Alcotest.(check bool) "evictions happened" true (Connector.cache_evictions conn > 0)
+
+(* Expansion budget: a lossy broadcast over many branches blows up a single
+   state's expansion under the synchronous product. *)
+let expansion_blowup_poisons () =
+  let n = 18 in
+  let a = v "a" in
+  let xs = List.init n (fun i -> v (Printf.sprintf "x%d" i)) in
+  let bs = List.init n (fun i -> v (Printf.sprintf "b%d" i)) in
+  let autos =
+    Preo_reo.Prim.build Preo_reo.Prim.Replicator ~tails:[ a ] ~heads:xs
+    :: List.map2
+         (fun x b -> Preo_reo.Prim.build Preo_reo.Prim.Lossy_sync ~tails:[ x ] ~heads:[ b ])
+         xs bs
+  in
+  let config =
+    Config.New
+      { optimize_labels = true; cache_capacity = 0; expansion_budget = 10_000;
+        partition = false; true_synchronous = false }
+  in
+  let conn =
+    mk_conn ~config autos ~sources:[| a |] ~sinks:(Array.of_list bs)
+  in
+  (match Port.send (Connector.outport conn a) Value.unit with
+   | exception Engine.Poisoned _ -> ()
+   | () -> Alcotest.fail "expected blow-up");
+  Alcotest.(check bool) "failure recorded" true (Connector.failure conn <> None)
+
+(* --- Partition ------------------------------------------------------------- *)
+
+let partition_recognizes_fifo () =
+  let a = v "a" and b = v "b" in
+  let f = Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ b ] in
+  (match Partition.is_plain_fifo1 f with
+   | Some (t, h) ->
+     Alcotest.(check bool) "ends" true (Vertex.equal t a && Vertex.equal h b)
+   | None -> Alcotest.fail "fifo1 not recognized");
+  let s = Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ b ] in
+  Alcotest.(check bool) "sync not fifo" true (Partition.is_plain_fifo1 s = None);
+  let ff = Preo_reo.Prim.build (Preo_reo.Prim.Fifo1_full Value.unit) ~tails:[ a ] ~heads:[ b ] in
+  Alcotest.(check bool) "full fifo not plain" true (Partition.is_plain_fifo1 ff = None)
+
+let partition_splits_pipeline () =
+  (* repl -> fifo -> merger-ish chain: sync(a;m1) fifo(m1;m2) sync(m2;b) *)
+  let a = v "a" and m1 = v "m1" and m2 = v "m2" and b = v "b" in
+  let autos =
+    [
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ m1 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ m1 ] ~heads:[ m2 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ m2 ] ~heads:[ b ];
+    ]
+  in
+  let plan =
+    Partition.split ~sources:(Iset.singleton a) ~sinks:(Iset.singleton b) autos
+  in
+  Alcotest.(check int) "2 regions" 2 (Array.length plan.Partition.regions);
+  Alcotest.(check int) "1 bridge" 1 plan.Partition.nbridges;
+  Array.iter
+    (fun (r : Partition.region) ->
+      Alcotest.(check bool) "region has adjacency" true (r.bridge_peers <> []))
+    plan.Partition.regions
+
+let partition_boundary_fifo_not_cut () =
+  let a = v "a" and b = v "b" in
+  let autos = [ Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ b ] ] in
+  let plan =
+    Partition.split ~sources:(Iset.singleton a) ~sinks:(Iset.singleton b) autos
+  in
+  Alcotest.(check int) "one region" 1 (Array.length plan.Partition.regions);
+  Alcotest.(check int) "no bridges" 0 plan.Partition.nbridges
+
+let partition_fifo_chain_alternates () =
+  (* Chain of 6 fifos between boundary a and b: vertex-cover promotion must
+     produce at least 2 regions with bridges. *)
+  let vs = Array.init 7 (fun i -> v (Printf.sprintf "m%d" i)) in
+  let autos =
+    List.init 6 (fun i ->
+        Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ vs.(i) ] ~heads:[ vs.(i + 1) ])
+  in
+  let plan =
+    Partition.split ~sources:(Iset.singleton vs.(0)) ~sinks:(Iset.singleton vs.(6))
+      autos
+  in
+  Alcotest.(check bool) "at least 2 regions" true
+    (Array.length plan.Partition.regions >= 2);
+  Alcotest.(check bool) "bridges exist" true (plan.Partition.nbridges >= 1)
+
+let partitioned_execution_matches () =
+  (* Same data through a partitioned pipeline as through monolithic JIT. *)
+  let run config =
+    let a = v "a" and m1 = v "m1" and m2 = v "m2" and b = v "b" in
+    let autos =
+      [
+        Preo_reo.Prim.build (Preo_reo.Prim.Transform "incr") ~tails:[ a ] ~heads:[ m1 ];
+        Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ m1 ] ~heads:[ m2 ];
+        Preo_reo.Prim.build (Preo_reo.Prim.Transform "incr") ~tails:[ m2 ] ~heads:[ b ];
+      ]
+    in
+    let conn = mk_conn ~config autos ~sources:[| a |] ~sinks:[| b |] in
+    let got = ref [] in
+    Task.run_all
+      [
+        (fun () ->
+          for i = 1 to 20 do
+            Port.send (Connector.outport conn a) (Value.int i)
+          done);
+        (fun () ->
+          for _ = 1 to 20 do
+            got := Value.to_int (Port.recv (Connector.inport conn b)) :: !got
+          done);
+      ];
+    (List.rev !got, Connector.nregions conn)
+  in
+  let jit, r1 = run Config.new_jit in
+  let part, r2 = run Config.new_partitioned in
+  Alcotest.(check (list int)) "same values" jit part;
+  Alcotest.(check (list int)) "incr twice" (List.init 20 (fun i -> i + 3)) part;
+  Alcotest.(check int) "jit monolithic" 1 r1;
+  Alcotest.(check int) "partitioned split" 2 r2
+
+(* Steps agree between AOT and JIT for a deterministic protocol. *)
+let steps_agree_across_composers () =
+  let run config =
+    let a = v "a" and m = v "m" and b = v "b" in
+    let autos =
+      [
+        Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ m ];
+        Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ m ] ~heads:[ b ];
+      ]
+    in
+    let conn = mk_conn ~config autos ~sources:[| a |] ~sinks:[| b |] in
+    Task.run_all
+      [
+        (fun () ->
+          for i = 1 to 10 do
+            Port.send (Connector.outport conn a) (Value.int i)
+          done);
+        (fun () ->
+          for _ = 1 to 10 do
+            ignore (Port.recv (Connector.inport conn b))
+          done);
+      ];
+    Connector.steps conn
+  in
+  let s1 = run Config.existing and s2 = run Config.new_jit in
+  Alcotest.(check int) "same global steps" s1 s2;
+  Alcotest.(check int) "3 steps per item" 30 s2
+
+let gates_direct () =
+  (* Drive a gated source by hand through Engine.try_step. *)
+  let a = v "a" and b = v "b" in
+  let auto = Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ b ] in
+  let slot = Atomic.make (Some (Value.int 5)) in
+  let gate =
+    {
+      Engine.gate_ready = (fun () -> Atomic.get slot <> None);
+      gate_peek = (fun () -> Option.get (Atomic.get slot));
+      gate_commit = (fun _ -> Atomic.set slot None);
+    }
+  in
+  let comp =
+    Composer.jit ~sources:(Iset.singleton a) ~sinks:(Iset.singleton b) [ auto ]
+  in
+  let e = Engine.create ~gates:[ (a, gate) ] comp in
+  let recvd = Task.spawn (fun () ->
+      let x = Engine.recv e b in
+      Alcotest.(check bool) "gate value" true (Value.equal x (Value.int 5)))
+  in
+  Task.join recvd;
+  Alcotest.(check bool) "slot consumed" true (Atomic.get slot = None)
+
+
+(* --- Fifo<n> capacity and ordering ---------------------------------------- *)
+
+let fifon_capacity_and_order () =
+  List.iter
+    (fun (name, config) ->
+      let a = v "a" and b = v "b" in
+      let auto = Preo_reo.Prim.build (Preo_reo.Prim.Fifo_n 3) ~tails:[ a ] ~heads:[ b ] in
+      let conn = mk_conn ~config [ auto ] ~sources:[| a |] ~sinks:[| b |] in
+      (* 3 sends complete without any receiver *)
+      for i = 1 to 3 do
+        Port.send (Connector.outport conn a) (Value.int i)
+      done;
+      Alcotest.(check int) (name ^ " buffered 3") 3 (Connector.steps conn);
+      (* 4th send blocks until one receive drains a slot; run them together *)
+      let got = ref [] in
+      Task.run_all
+        [
+          (fun () ->
+            for i = 4 to 10 do
+              Port.send (Connector.outport conn a) (Value.int i)
+            done);
+          (fun () ->
+            for _ = 1 to 10 do
+              got := Value.to_int (Port.recv (Connector.inport conn b)) :: !got
+            done);
+        ];
+      Alcotest.(check (list int)) (name ^ " fifo order")
+        (List.init 10 (fun i -> i + 1))
+        (List.rev !got))
+    [ ("existing", Config.existing); ("jit", Config.new_jit) ]
+
+let fifon_from_dsl () =
+  let inst =
+    Preo.instantiate
+      (Preo.compile ~source:{|C(a;b) = Fifo<2>(a;b)|} ~name:"C")
+      ~lengths:[]
+  in
+  let a = (Preo.outports inst "a").(0) in
+  let b = (Preo.inports inst "b").(0) in
+  Preo.Port.send a (Value.int 1);
+  Preo.Port.send a (Value.int 2);
+  Alcotest.(check int) "two buffered" 2 (Preo.steps inst);
+  Alcotest.(check int) "first out" 1 (Value.to_int (Preo.Port.recv b));
+  Alcotest.(check int) "second out" 2 (Value.to_int (Preo.Port.recv b));
+  Preo.shutdown inst
+
+
+(* --- lossy one-place buffers ------------------------------------------------ *)
+
+let shift_lossy_keeps_newest () =
+  let a = v "a" and b = v "b" in
+  let conn =
+    mk_conn ~config:Config.new_jit
+      [ Preo_reo.Prim.build Preo_reo.Prim.Shift_lossy ~tails:[ a ] ~heads:[ b ] ]
+      ~sources:[| a |] ~sinks:[| b |]
+  in
+  (* three sends complete with no receiver; only the newest survives *)
+  for i = 1 to 3 do
+    Port.send (Connector.outport conn a) (Value.int i)
+  done;
+  Alcotest.(check int) "3 accepts" 3 (Connector.steps conn);
+  Alcotest.(check int) "newest wins" 3
+    (Value.to_int (Port.recv (Connector.inport conn b)))
+
+let overflow_lossy_keeps_oldest () =
+  let a = v "a" and b = v "b" in
+  let conn =
+    mk_conn ~config:Config.new_jit
+      [ Preo_reo.Prim.build Preo_reo.Prim.Overflow_lossy ~tails:[ a ] ~heads:[ b ] ]
+      ~sources:[| a |] ~sinks:[| b |]
+  in
+  for i = 1 to 3 do
+    Port.send (Connector.outport conn a) (Value.int i)
+  done;
+  Alcotest.(check int) "oldest wins" 1
+    (Value.to_int (Port.recv (Connector.inport conn b)))
+
+let tests =
+  [
+    ("sync rendezvous (all configs)", `Quick, sync_rendezvous);
+    ("fifo decouples", `Quick, fifo_decouples);
+    ("fifo order (all configs)", `Quick, fifo_order_preserved);
+    ("poison unblocks", `Quick, poison_unblocks);
+    ("send after poison", `Quick, send_after_poison_raises);
+    ("unknown boundary rejected", `Quick, unknown_boundary_vertex_rejected);
+    ("compile failure on budget", `Quick, compile_failure_on_budget);
+    ("bounded cache recomputes", `Quick, bounded_cache_recomputes);
+    ("expansion blow-up poisons", `Quick, expansion_blowup_poisons);
+    ("partition recognizes fifo1", `Quick, partition_recognizes_fifo);
+    ("partition splits pipeline", `Quick, partition_splits_pipeline);
+    ("partition keeps boundary fifo", `Quick, partition_boundary_fifo_not_cut);
+    ("partition cuts fifo chain", `Quick, partition_fifo_chain_alternates);
+    ("partitioned execution matches", `Quick, partitioned_execution_matches);
+    ("steps agree across composers", `Quick, steps_agree_across_composers);
+    ("gated source", `Quick, gates_direct);
+    ("fifon capacity and order", `Quick, fifon_capacity_and_order);
+    ("fifon from DSL", `Quick, fifon_from_dsl);
+    ("shift-lossy keeps newest", `Quick, shift_lossy_keeps_newest);
+    ("overflow-lossy keeps oldest", `Quick, overflow_lossy_keeps_oldest);
+  ]

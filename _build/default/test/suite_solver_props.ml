@@ -1,0 +1,138 @@
+(* Property tests for the command solver: random flow-shaped constraints
+   solve and execute to the expected values; random inconsistencies are
+   rejected; atom order never matters (the product concatenates constraints
+   in arbitrary fold order). *)
+
+open Preo_support
+open Preo_automata
+
+(* A random "flow": source port -> chain of [incr]-applications and glue
+   equalities -> sink port (+ optionally a cell write). The expected sink
+   value is the input plus the number of [incr]s. *)
+type flow = {
+  atoms : Constr.t;
+  source : Vertex.t;
+  sink : Vertex.t;
+  cell : int option;
+  incrs : int;
+}
+
+let gen_flow rng =
+  let source = Vertex.fresh "src" in
+  let sink = Vertex.fresh "snk" in
+  let len = 1 + Rng.int rng 5 in
+  let rec build prev i atoms incrs =
+    if i >= len then (prev, atoms, incrs)
+    else begin
+      let next = Vertex.fresh "mid" in
+      if Rng.bool rng then
+        build next (i + 1)
+          (Constr.(Port next === App ("incr", Port prev)) :: atoms)
+          (incrs + 1)
+      else
+        build next (i + 1) (Constr.(Port next === Port prev) :: atoms) incrs
+    end
+  in
+  let last, atoms, incrs = build source 0 [] 0 in
+  let atoms = Constr.(Port sink === Port last) :: atoms in
+  let cell, atoms =
+    if Rng.bool rng then begin
+      let c = Cell.fresh "obs" in
+      (Some c, Constr.(Post c === Port last) :: atoms)
+    end
+    else (None, atoms)
+  in
+  { atoms; source; sink; cell; incrs }
+
+let run_flow flow input ~shuffle_seed =
+  let atoms =
+    match shuffle_seed with
+    | None -> flow.atoms
+    | Some seed ->
+      let a = Array.of_list flow.atoms in
+      Rng.shuffle (Rng.create seed) a;
+      Array.to_list a
+  in
+  match
+    Command.solve ~readable:(Iset.singleton flow.source)
+      ~writable:(Iset.singleton flow.sink) atoms
+  with
+  | Error msg -> Error msg
+  | Ok cmd ->
+    let delivered = ref None and written = ref None in
+    let env =
+      {
+        Command.read_send = (fun _ -> Value.int input);
+        read_cell = (fun _ -> failwith "no cell reads in flows");
+        write_cell = (fun _ v -> written := Some v);
+        deliver = (fun _ v -> delivered := Some v);
+      }
+    in
+    Command.execute cmd env;
+    Ok (!delivered, !written)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"solver: flows deliver the composed value" ~count:200
+      (pair (int_range 0 10_000) (int_range (-1000) 1000))
+      (fun (seed, input) ->
+        let flow = gen_flow (Rng.create seed) in
+        match run_flow flow input ~shuffle_seed:None with
+        | Error _ -> false
+        | Ok (delivered, written) ->
+          let expect = Value.int (input + flow.incrs) in
+          (match delivered with Some v -> Value.equal v expect | None -> false)
+          && (match (flow.cell, written) with
+             | None, None -> true
+             | Some _, Some v -> Value.equal v expect
+             | _ -> false));
+    Test.make ~name:"solver: atom order irrelevant" ~count:200
+      (pair (int_range 0 10_000) (int_range 0 10_000))
+      (fun (seed, shuffle) ->
+        let flow = gen_flow (Rng.create seed) in
+        run_flow flow 5 ~shuffle_seed:None
+        = run_flow flow 5 ~shuffle_seed:(Some shuffle));
+    Test.make ~name:"solver: conflicting constants rejected" ~count:100
+      (int_range 0 10_000)
+      (fun seed ->
+        let flow = gen_flow (Rng.create seed) in
+        let poisoned =
+          Constr.(Port flow.source === Const (Value.int 1))
+          :: Constr.(Port flow.source === Const (Value.int 2))
+          :: flow.atoms
+        in
+        match
+          Command.solve ~readable:(Iset.singleton flow.source)
+            ~writable:(Iset.singleton flow.sink) poisoned
+        with
+        | Error _ -> true
+        | Ok _ -> false);
+    Test.make ~name:"solver: constant pins become equality guards" ~count:100
+      (pair (int_range 0 10_000) (int_range (-50) 50))
+      (fun (seed, pin) ->
+        (* Pinning the source to a constant must yield a command whose
+           guards pass iff the input equals the pin. *)
+        let flow = gen_flow (Rng.create seed) in
+        let pinned =
+          Constr.(Port flow.source === Const (Value.int pin)) :: flow.atoms
+        in
+        match
+          Command.solve ~readable:(Iset.singleton flow.source)
+            ~writable:(Iset.singleton flow.sink) pinned
+        with
+        | Error _ -> false
+        | Ok cmd ->
+          let env input =
+            {
+              Command.read_send = (fun _ -> Value.int input);
+              read_cell = (fun _ -> assert false);
+              write_cell = (fun _ _ -> ());
+              deliver = (fun _ _ -> ());
+            }
+          in
+          Command.guards_hold cmd (env pin)
+          && not (Command.guards_hold cmd (env (pin + 1))));
+  ]
+
+let tests = List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_tests

@@ -1,0 +1,110 @@
+(* Concurrency stress: many threads hammering one engine; totals and
+   per-lane orders must survive contention, repeatedly, under every
+   runtime configuration. *)
+
+open Preo_support
+open Preo_automata
+open Preo_runtime
+
+let v = Vertex.fresh
+let prim = Preo_reo.Prim.build
+
+let crossbar_conservation () =
+  (* n senders, n receivers through one buffer: total sent = total
+     received, every tagged value exactly once. *)
+  List.iter
+    (fun (cname, config) ->
+      let n = 6 and per = 40 in
+      let tls = Array.init n (fun i -> v (Printf.sprintf "t%d" i)) in
+      let hds = Array.init n (fun i -> v (Printf.sprintf "h%d" i)) in
+      let a = v "mid_a" and bvx = v "mid_b" in
+      let autos =
+        [
+          prim Preo_reo.Prim.Merger ~tails:(Array.to_list tls) ~heads:[ a ];
+          prim Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ bvx ];
+          prim Preo_reo.Prim.Router ~tails:[ bvx ] ~heads:(Array.to_list hds);
+        ]
+      in
+      let conn = Connector.create ~config ~sources:tls ~sinks:hds autos in
+      let received = Array.make (n * per) 0 in
+      let count = Atomic.make 0 in
+      let consumers =
+        List.init n (fun i ->
+            Task.spawn (fun () ->
+                while true do
+                  let x = Value.to_int (Port.recv (Connector.inport conn hds.(i))) in
+                  received.(x) <- received.(x) + 1;
+                  Atomic.incr count
+                done))
+      in
+      let producers =
+        List.init n (fun i ->
+            Task.spawn (fun () ->
+                for r = 0 to per - 1 do
+                  Port.send (Connector.outport conn tls.(i)) (Value.int ((i * per) + r))
+                done))
+      in
+      List.iter Task.join producers;
+      let deadline = Clock.now () +. 5.0 in
+      while Atomic.get count < n * per && Clock.now () < deadline do
+        Thread.delay 0.002
+      done;
+      Connector.poison conn "done";
+      List.iter (fun t -> try Task.join t with _ -> ()) consumers;
+      Alcotest.(check int) (cname ^ " total") (n * per) (Atomic.get count);
+      Array.iteri
+        (fun tag c ->
+          if c <> 1 then Alcotest.failf "%s: tag %d seen %d times" cname tag c)
+        received)
+    [
+      ("existing", Config.existing);
+      ("jit", Config.new_jit);
+      ("cached4", Config.new_jit_cached 4);
+      ("partitioned", Config.new_partitioned);
+    ]
+
+let repeated_setup_teardown () =
+  (* Rapid create/use/poison cycles must not leak wedged engine state. *)
+  for round = 1 to 40 do
+    let a = v "sa" and b = v "sb" in
+    let conn =
+      Connector.create ~sources:[| a |] ~sinks:[| b |]
+        [ prim Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ b ] ]
+    in
+    Task.run_all
+      [
+        (fun () -> Port.send (Connector.outport conn a) (Value.int round));
+        (fun () -> ignore (Port.recv (Connector.inport conn b)));
+      ];
+    Connector.poison conn "cycle"
+  done
+
+let poison_under_contention () =
+  (* Poison while many threads are mid-operation: everyone must return. *)
+  for _round = 1 to 10 do
+    let n = 8 in
+    let tls = Array.init n (fun i -> v (Printf.sprintf "pt%d" i)) in
+    let hd = v "ph" in
+    let conn =
+      Connector.create ~sources:tls ~sinks:[| hd |]
+        [ prim Preo_reo.Prim.Merger ~tails:(Array.to_list tls) ~heads:[ hd ] ]
+    in
+    let blockers =
+      List.init n (fun i ->
+          Task.spawn (fun () ->
+              while true do
+                Port.send (Connector.outport conn tls.(i)) Value.unit
+              done))
+    in
+    (* nobody receives; everyone piles up; then poison *)
+    Thread.delay 0.005;
+    Connector.poison conn "stress";
+    List.iter (fun t -> try Task.join t with _ -> ()) blockers
+  done
+
+let tests =
+  [
+    ("crossbar conservation (all configs)", `Slow, crossbar_conservation);
+    ("repeated setup/teardown", `Quick, repeated_setup_teardown);
+    ("poison under contention", `Quick, poison_under_contention);
+  ]

@@ -1,0 +1,122 @@
+(* Verification library over composed automata. *)
+
+module Verify = Preo_verify.Verify
+module Eval = Preo_lang.Eval
+module Ast = Preo_lang.Ast
+
+open Preo_automata
+open Preo_reo
+
+let v = Vertex.fresh
+
+let fig5_contract () =
+  let f = Figures.fig5 () in
+  let large = Graph.to_large_automaton f.Figures.graph in
+  match
+    Verify.check_fig5_properties large ~a:f.Figures.a_out ~b:f.Figures.b_out
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let fig5_violated_when_swapped () =
+  let f = Figures.fig5 () in
+  let large = Graph.to_large_automaton f.Figures.graph in
+  (* B before A must be reported. *)
+  match
+    Verify.check_fig5_properties large ~a:f.Figures.b_out ~b:f.Figures.a_out
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "swapped contract should fail"
+
+let deadlock_detected () =
+  (* Two sync-drains demanding contradictory pairs: a&b then... build a
+     simple automaton that reaches a sink state: fifo1-full that is never
+     refillable because its tail is also its head's prerequisite. Easier:
+     hand-made automaton with a dead state. *)
+  let a = v "a" in
+  let t sync target = { Automaton.sync; constr = Constr.tt; command = None; target } in
+  let auto =
+    Automaton.make ~nstates:2 ~initial:0
+      ~trans:[| [| t (Preo_support.Iset.singleton a) 1 |]; [||] |]
+      ~sources:(Preo_support.Iset.singleton a) ~sinks:Preo_support.Iset.empty
+  in
+  match Verify.deadlocks auto with
+  | [ ce ] ->
+    Alcotest.(check int) "dead state" 1 ce.Verify.state;
+    Alcotest.(check int) "path length" 1 (List.length ce.Verify.path)
+  | other -> Alcotest.failf "expected 1 deadlock, got %d" (List.length other)
+
+let deadlock_free_connectors () =
+  (* Every catalog connector composes to a deadlock-free automaton at small
+     N under the existing pipeline. *)
+  List.iter
+    (fun (e : Preo_connectors.Catalog.entry) ->
+      let c = Preo_connectors.Catalog.compiled e in
+      let bindings, sources, sinks =
+        Eval.boundary_of_def c.Preo.def ~lengths:(e.lengths 3)
+      in
+      let venv = Eval.venv ~ints:[] ~arrays:bindings in
+      let prims = Eval.prims venv c.Preo.flat.Ast.c_body in
+      let large =
+        Preo_automata.Product.all (Eval.small_automata prims)
+      in
+      let keep =
+        Preo_support.Iset.of_list (Array.to_list sources @ Array.to_list sinks)
+      in
+      let large =
+        Automaton.trim
+          (Automaton.hide (Preo_support.Iset.diff large.Automaton.vertices keep) large)
+      in
+      Alcotest.(check int)
+        (e.name ^ " deadlock-free")
+        0
+        (List.length (Verify.deadlocks large)))
+    Preo_connectors.Catalog.all
+
+let mutual_exclusion_of_router_branches () =
+  let a = v "a" and b1 = v "b1" and b2 = v "b2" in
+  let auto = Prim.build Prim.Router ~tails:[ a ] ~heads:[ b1; b2 ] in
+  Alcotest.(check bool) "never together" true (Verify.never_together auto b1 b2);
+  Alcotest.(check bool) "a with b1 sometimes" false (Verify.never_together auto a b1)
+
+let synchrony_of_replicator () =
+  let a = v "a" and b1 = v "b1" and b2 = v "b2" in
+  let auto = Prim.build Prim.Replicator ~tails:[ a ] ~heads:[ b1; b2 ] in
+  Alcotest.(check bool) "always together" true (Verify.always_together auto b1 b2);
+  Alcotest.(check bool) "with source too" true (Verify.always_together auto a b1)
+
+let precedence_of_fifo () =
+  let a = v "a" and b = v "b" in
+  let auto = Prim.build Prim.Fifo1 ~tails:[ a ] ~heads:[ b ] in
+  Alcotest.(check bool) "a precedes b" true (Verify.precedes auto a b);
+  Alcotest.(check bool) "b does not precede a" false (Verify.precedes auto b a)
+
+let dead_port_detected () =
+  let a = v "a" and b = v "b" and c = v "c" in
+  let auto = Prim.build Prim.Sync ~tails:[ a ] ~heads:[ b ] in
+  Alcotest.(check bool) "live" true (Verify.eventually_enabled auto a);
+  Alcotest.(check bool) "dead" false (Verify.eventually_enabled auto c)
+
+let unreachable_reported () =
+  let a = v "a" in
+  let t sync target = { Automaton.sync; constr = Constr.tt; command = None; target } in
+  let auto =
+    Automaton.make ~nstates:3 ~initial:0
+      ~trans:
+        [| [| t (Preo_support.Iset.singleton a) 0 |]; [||]; [||] |]
+      ~sources:(Preo_support.Iset.singleton a) ~sinks:Preo_support.Iset.empty
+  in
+  Alcotest.(check (list int)) "states 1,2" [ 1; 2 ] (Verify.unreachable_states auto)
+
+let tests =
+  [
+    ("fig5 contract holds", `Quick, fig5_contract);
+    ("fig5 swapped fails", `Quick, fig5_violated_when_swapped);
+    ("deadlock detected", `Quick, deadlock_detected);
+    ("catalog deadlock-free", `Quick, deadlock_free_connectors);
+    ("router mutual exclusion", `Quick, mutual_exclusion_of_router_branches);
+    ("replicator synchrony", `Quick, synchrony_of_replicator);
+    ("fifo precedence", `Quick, precedence_of_fifo);
+    ("dead port detected", `Quick, dead_port_detected);
+    ("unreachable states", `Quick, unreachable_reported);
+  ]

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "preo"
+    [
+      ("support", Suite_support.tests);
+      ("automata", Suite_automata.tests);
+      ("primitives", Suite_prim.tests);
+      ("graph", Suite_graph.tests);
+      ("lang", Suite_lang.tests);
+      ("runtime", Suite_runtime.tests);
+      ("connectors", Suite_connectors.tests);
+      ("verify", Suite_verify.tests);
+      ("bisim", Suite_bisim.tests);
+      ("sim", Suite_sim.tests);
+      ("prop", Suite_prop.tests);
+      ("codegen", Suite_codegen.tests);
+      ("dist", Suite_dist.tests);
+      ("solver-props", Suite_solver_props.tests);
+      ("fuzz", Suite_fuzz.tests);
+      ("stream", Suite_stream.tests);
+      ("stress", Suite_stress.tests);
+      ("facade", Suite_facade.tests);
+      ("dsl-corners", Suite_dsl_corners.tests);
+      ("random-networks", Suite_random.tests);
+      ("npb", Suite_npb.tests);
+    ]
