@@ -14,22 +14,47 @@ open Preo_support
 let sections =
   [ "fig12"; "fig13"; "fig13-blowup"; "abl-opt"; "abl-cache"; "abl-part"; "micro" ]
 
-type opts = { full : bool; only : string list; detail : bool }
+(* Representative connector families for the steps/s micro bench: picked to
+   exercise deep pending sets (sequencer), partitionable pipelines
+   (relay_ring), wide synchronization (broadcast_fifo, gather), and token
+   circulation (token_ring). BENCH_baseline.json is regenerated from these
+   rows via `--only micro --json BENCH_baseline.json`. *)
+let micro_families =
+  [ ("sequencer", 8); ("relay_ring", 6); ("broadcast_fifo", 8);
+    ("token_ring", 8); ("gather", 8) ]
+
+let micro_configs =
+  [
+    ("new-jit", Preo_runtime.Config.new_jit);
+    ("new-jit-nolabel",
+     Preo_runtime.Config.New
+       { optimize_labels = false; cache_capacity = 0;
+         expansion_budget = 2_000_000; partition = false;
+         true_synchronous = false });
+    ("new-partitioned", Preo_runtime.Config.new_partitioned);
+  ]
+
+type opts = { full : bool; only : string list; detail : bool; json : string option }
 
 let parse_args () =
   let full = ref false and only = ref [] and detail = ref false in
+  let json = ref None in
   let set_only s = only := String.split_on_char ',' s in
   let spec =
     [
       ("--full", Arg.Set full, " longer measurement windows and budgets");
       ("--only", Arg.String set_only,
        "SECTIONS comma-separated subset of: " ^ String.concat "," sections);
-      ("--detail", Arg.Set detail, " per-connector detail for fig12");
+      ("--detail", Arg.Set detail,
+       " per-connector detail for fig12 and engine counters for micro");
+      ("--json", Arg.String (fun f -> json := Some f),
+       "FILE dump the micro steps/s rows as JSON (baseline format, see \
+        EXPERIMENTS.md)");
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
     "preo benchmark harness";
-  { full = !full; only = !only; detail = !detail }
+  { full = !full; only = !only; detail = !detail; json = !json }
 
 let wants opts name = opts.only = [] || List.mem name opts.only
 
@@ -44,7 +69,7 @@ type cell =
 
 let fig12_cell ~window ~config entry n =
   match Preo_connectors.Driver.run_noop ~config ~seconds:window entry ~n with
-  | Preo_connectors.Driver.Steps { steps; compile_seconds; run_seconds } ->
+  | Preo_connectors.Driver.Steps { steps; compile_seconds; run_seconds; _ } ->
     C_rate (float_of_int steps /. run_seconds, compile_seconds)
   | Preo_connectors.Driver.Compile_failed _ -> C_compile_failed
   | Preo_connectors.Driver.Run_failed msg -> C_run_failed msg
@@ -446,6 +471,67 @@ let abl_part opts =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Firing-loop throughput per connector family. The committed
+   BENCH_baseline.json pins these numbers so future engine changes have a
+   perf trajectory to compare against. *)
+let micro_steps opts =
+  Tablefmt.rule "MICRO-STEPS: firing-loop throughput per connector family";
+  let window = if opts.full then 1.0 else 0.5 in
+  Printf.printf "window = %.2fs per cell; counters with --detail\n\n" window;
+  let json_rows = ref [] in
+  let rows =
+    List.concat_map
+      (fun (fname, n) ->
+        let e = Preo_connectors.Catalog.find fname in
+        List.map
+          (fun (cname, config) ->
+            match
+              Preo_connectors.Driver.run_noop ~config ~seconds:window e ~n
+            with
+            | Preo_connectors.Driver.Steps { steps; run_seconds; stats = st; _ } ->
+              let rate = float_of_int steps /. run_seconds in
+              json_rows :=
+                Printf.sprintf
+                  "    {\"family\": %S, \"n\": %d, \"config\": %S, \
+                   \"steps_per_s\": %.1f}"
+                  fname n cname rate
+                :: !json_rows;
+              Printf.eprintf "[micro] %-16s N=%-3d %-16s %.0f steps/s\n%!"
+                fname n cname rate;
+              [ fname; string_of_int n; cname; Printf.sprintf "%.0f" rate ]
+              @ (if opts.detail then
+                   Preo_runtime.Connector.
+                     [ string_of_int st.st_solver_calls;
+                       string_of_int st.st_cond_waits;
+                       string_of_int st.st_peer_kicks;
+                       string_of_int st.st_cand_hits;
+                       string_of_int st.st_cache_hits ]
+                 else [])
+            | Preo_connectors.Driver.Compile_failed _ ->
+              [ fname; string_of_int n; cname; "COMPILE-FAIL" ]
+              @ (if opts.detail then [ "-"; "-"; "-"; "-"; "-" ] else [])
+            | Preo_connectors.Driver.Run_failed _ ->
+              [ fname; string_of_int n; cname; "RUN-FAIL" ]
+              @ (if opts.detail then [ "-"; "-"; "-"; "-"; "-" ] else []))
+          micro_configs)
+      micro_families
+  in
+  let header =
+    [ "family"; "N"; "config"; "steps/s" ]
+    @ (if opts.detail then [ "solves"; "waits"; "kicks"; "cand-hits"; "exp-hits" ]
+       else [])
+  in
+  Tablefmt.print ~header rows;
+  match opts.json with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"window_seconds\": %.2f,\n  \"rows\": [\n%s\n  ]\n}\n" window
+      (String.concat ",\n" (List.rev !json_rows));
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let micro _opts =
   Tablefmt.rule "MICRO: bechamel latencies";
   let open Bechamel in
@@ -526,5 +612,8 @@ let () =
   if wants opts "abl-opt" then abl_opt opts;
   if wants opts "abl-cache" then abl_cache opts;
   if wants opts "abl-part" then abl_part opts;
-  if wants opts "micro" then micro opts;
+  if wants opts "micro" then begin
+    micro_steps opts;
+    micro opts
+  end;
   Printf.printf "\nbench total: %.1fs\n" (Clock.now () -. t0)

@@ -1,7 +1,12 @@
 open Preo_support
 
 type outcome =
-  | Steps of { steps : int; compile_seconds : float; run_seconds : float }
+  | Steps of {
+      steps : int;
+      compile_seconds : float;
+      run_seconds : float;
+      stats : Preo.Connector.stats;
+    }
   | Compile_failed of string
   | Run_failed of string
 
@@ -52,6 +57,7 @@ let run_window ?config ~seconds entry n =
     let steps = Preo.steps inst in
     let run_seconds = seconds in
     dbg "window over, steps=%d; shutting down" steps;
+    let stats = Preo.Connector.stats conn in
     Preo.shutdown inst;
     dbg "poisoned; joining";
     List.iteri
@@ -68,6 +74,7 @@ let run_window ?config ~seconds entry n =
            steps;
            compile_seconds = Preo.Connector.compile_seconds conn;
            run_seconds;
+           stats;
          })
 
 let run_noop ?config ?(seconds = 0.2) entry ~n = run_window ?config ~seconds entry n

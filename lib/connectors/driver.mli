@@ -4,7 +4,14 @@
     steps the connector completes within a wall-clock window. *)
 
 type outcome =
-  | Steps of { steps : int; compile_seconds : float; run_seconds : float }
+  | Steps of {
+      steps : int;
+      compile_seconds : float;
+      run_seconds : float;
+      stats : Preo.Connector.stats;
+          (** runtime counters sampled at the end of the window (before
+              shutdown): fires, solver calls, waits, kicks, cache activity *)
+    }
   | Compile_failed of string
       (** ahead-of-time composition exceeded its budget *)
   | Run_failed of string

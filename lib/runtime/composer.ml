@@ -6,10 +6,13 @@ type xtrans = {
   needs_send : Iset.t;
   needs_recv : Iset.t;
   constr : Constr.t;
-  cmd : Command.t option;
+  mutable cmd : cmd_state;
+      (* solved eagerly under label optimization, lazily (once, on first
+         firing attempt) otherwise *)
   target : target;
 }
 
+and cmd_state = C_unsolved | C_solved of Command.t | C_unsat
 and target = T_aot of int | T_jit of int array
 
 exception Expansion_budget of string
@@ -22,7 +25,18 @@ type state_index = {
   si_by_least : (Vertex.t, xtrans list) Hashtbl.t;
 }
 
-type expanded = { all : xtrans array; index : state_index option }
+(* Per-state candidate memo: the firing loop recomputes the pending-filtered
+   candidate array for the same state over and over. The memo key is the
+   pending set *restricted to the boundary vertices this state's transitions
+   actually test* ([relevant]) — pending operations on other vertices cannot
+   change the filter result, so collapsing them makes the key nearly
+   constant under load and the memo a short move-nothing assoc list. *)
+type expanded = {
+  all : xtrans array;
+  index : state_index option;
+  relevant : Iset.t;
+  mutable cand_memo : (Iset.t * xtrans array) list;
+}
 
 module Tuple_key = struct
   type t = int array
@@ -52,15 +66,30 @@ type jit_state = {
 type aot_state = { states : expanded array; mutable aot_current : int }
 type strategy = S_aot of aot_state | S_jit of jit_state
 
+let cand_memo_capacity = 8
+
 type t = {
   strategy : strategy;
   srcs : Iset.t;
   snks : Iset.t;
   cells : int;
   optimize : bool;
+  mutable ncand_hits : int;
+  mutable ncand_evictions : int;
+  mutable nsolves : int;
+      (* runtime (post-expansion) Command.solve calls, i.e. firing-loop
+         solver work that label optimization would have precompiled *)
 }
 
 (* --- Shared helpers ----------------------------------------------------- *)
+
+let mk_expanded ~index (ts : xtrans array) =
+  let relevant =
+    Array.fold_left
+      (fun acc tr -> Iset.union acc (Iset.union tr.needs_send tr.needs_recv))
+      Iset.empty ts
+  in
+  { all = ts; index; relevant; cand_memo = [] }
 
 let build_index boundary (ts : xtrans array) =
   let silent = ref [] in
@@ -81,11 +110,11 @@ let make_xtrans ~srcs ~snks ~optimize ~sync ~constr ~target =
   let cmd =
     if optimize then
       match Command.solve ~readable:srcs ~writable:snks constr with
-      | Ok c -> Some c
-      | Error _ -> None (* structurally unsatisfiable: caller drops it *)
-    else None
+      | Ok c -> C_solved c
+      | Error _ -> C_unsat (* structurally unsatisfiable: caller drops it *)
+    else C_unsolved
   in
-  let keep = (not optimize) || cmd <> None in
+  let keep = (not optimize) || (match cmd with C_unsat -> false | _ -> true) in
   if keep then
     Some
       {
@@ -132,10 +161,8 @@ let aot ?(use_dispatch = true) ?(optimize_labels = true) (large : Automaton.t) =
                    ~sync:tr.sync ~constr:tr.constr ~target:(T_aot tr.target))
           |> Array.of_list
         in
-        {
-          all = ts;
-          index = (if use_dispatch then Some (build_index boundary ts) else None);
-        })
+        mk_expanded ts
+          ~index:(if use_dispatch then Some (build_index boundary ts) else None))
   in
   {
     strategy = S_aot { states; aot_current = large.initial };
@@ -143,6 +170,9 @@ let aot ?(use_dispatch = true) ?(optimize_labels = true) (large : Automaton.t) =
     snks;
     cells;
     optimize = optimize_labels;
+    ncand_hits = 0;
+    ncand_evictions = 0;
+    nsolves = 0;
   }
 
 (* --- Just-in-time ------------------------------------------------------- *)
@@ -193,6 +223,9 @@ let jit ?(cache_capacity = 0) ?(optimize_labels = true)
     snks = sinks;
     cells;
     optimize = optimize_labels;
+    ncand_hits = 0;
+    ncand_evictions = 0;
+    nsolves = 0;
   }
 
 (* Expand one product state, interleaving flavour: every global transition is
@@ -291,7 +324,7 @@ let expand_interleaved t (js : jit_state) (state : int array) : expanded =
   js.nexpansions <- js.nexpansions + 1;
   let ts = Array.of_list (List.rev !result) in
   let boundary = Iset.union t.srcs t.snks in
-  { all = ts; index = Some (build_index boundary ts) }
+  mk_expanded ts ~index:(Some (build_index boundary ts))
 
 (* Fully synchronous flavour: enumerate all maximal consistent combinations
    of per-medium local transitions (each medium either idles or contributes
@@ -364,7 +397,7 @@ let expand_synchronous t (js : jit_state) (state : int array) : expanded =
   js.nexpansions <- js.nexpansions + 1;
   let ts = Array.of_list (List.rev !result) in
   let boundary = Iset.union t.srcs t.snks in
-  { all = ts; index = Some (build_index boundary ts) }
+  mk_expanded ts ~index:(Some (build_index boundary ts))
 
 let expanded_of_current t =
   match t.strategy with
@@ -383,8 +416,7 @@ let expanded_of_current t =
       e
   end
 
-let candidates t ~pending =
-  let e = expanded_of_current t in
+let build_candidates e ~pending =
   match e.index with
   | None ->
     Array.of_list
@@ -409,6 +441,51 @@ let candidates t ~pending =
       pending;
     Array.of_list !acc
 
+let candidates t ~pending =
+  let e = expanded_of_current t in
+  let key = Iset.inter pending e.relevant in
+  let rec probe = function
+    | [] -> None
+    | (k, arr) :: _ when Iset.equal k key -> Some arr
+    | _ :: rest -> probe rest
+  in
+  match probe e.cand_memo with
+  | Some arr ->
+    t.ncand_hits <- t.ncand_hits + 1;
+    arr (* shared buffer: callers must not mutate it *)
+  | None ->
+    (* Filtering with the restricted key is equivalent: every transition's
+       needed vertices are contained in [relevant]. *)
+    let arr = build_candidates e ~pending:key in
+    let memo = (key, arr) :: e.cand_memo in
+    let memo =
+      if List.length memo > cand_memo_capacity then begin
+        t.ncand_evictions <- t.ncand_evictions + 1;
+        List.filteri (fun i _ -> i < cand_memo_capacity) memo
+      end
+      else memo
+    in
+    e.cand_memo <- memo;
+    arr
+
+(* The executable command of a transition: precompiled at expansion time
+   when label optimization is on, otherwise solved here. [None] means the
+   constraint is structurally unsatisfiable (never enabled). *)
+let command_of t (x : xtrans) =
+  match x.cmd with
+  | C_solved c -> Some c
+  | C_unsat -> None
+  | C_unsolved -> begin
+    t.nsolves <- t.nsolves + 1;
+    match Command.solve ~readable:t.srcs ~writable:t.snks x.constr with
+    | Ok c ->
+      x.cmd <- C_solved c;
+      Some c
+    | Error _ ->
+      x.cmd <- C_unsat;
+      None
+  end
+
 let commit t (x : xtrans) =
   match (t.strategy, x.target) with
   | S_aot s, T_aot target -> s.aot_current <- target
@@ -428,5 +505,9 @@ let cache_hits t =
 
 let cache_evictions t =
   match t.strategy with S_aot _ -> 0 | S_jit js -> Cache.evictions js.cache
+
+let solver_calls t = t.nsolves
+let cand_hits t = t.ncand_hits
+let cand_evictions t = t.ncand_evictions
 
 let current_out_degree t = Array.length (expanded_of_current t).all

@@ -15,10 +15,13 @@ type xtrans = {
   needs_send : Iset.t;  (** boundary source vertices that must have a pending send *)
   needs_recv : Iset.t;  (** boundary sink vertices that must have a pending receive *)
   constr : Constr.t;
-  cmd : Command.t option;  (** present iff label-optimized *)
+  mutable cmd : cmd_state;
+      (** solved at expansion time under label optimization, otherwise
+          memoized by {!command_of} on the first firing attempt *)
   target : target;
 }
 
+and cmd_state = C_unsolved | C_solved of Command.t | C_unsat
 and target = T_aot of int | T_jit of int array
 
 type t
@@ -58,11 +61,19 @@ val jit :
 val candidates : t -> pending:Iset.t -> xtrans array
 (** Transitions leaving the current state whose needed boundary vertices are
     covered by [pending]; silent transitions are always included. Guards are
-    not yet checked. *)
+    not yet checked. The returned array is a shared buffer memoized on the
+    expanded state, keyed by [pending] restricted to the vertices the
+    state's transitions test — callers must not mutate it. *)
 
 val commit : t -> xtrans -> unit
 (** Advance the current state. The transition must come from the latest
     {!candidates} call. *)
+
+val command_of : t -> xtrans -> Command.t option
+(** The executable command of a transition: the precompiled one when label
+    optimization is on, otherwise solved — once — on the first firing
+    attempt and memoized on the transition. [None] means the constraint is
+    structurally unsatisfiable (the transition is never enabled). *)
 
 val ncells : t -> int
 (** Number of (densely renumbered) memory cells; engine memory size. *)
@@ -79,4 +90,15 @@ val cache_hits : t -> int
 (** JIT: how often the current state's expansion was found memoized. *)
 
 val cache_evictions : t -> int
+
+val solver_calls : t -> int
+(** Runtime (firing-loop) [Command.solve] calls: solves that label
+    optimization did not precompile. *)
+
+val cand_hits : t -> int
+(** Hits in the (state, pending-set) candidate cache consulted by
+    {!candidates}. *)
+
+val cand_evictions : t -> int
+
 val current_out_degree : t -> int

@@ -152,23 +152,33 @@ type stats = {
   st_cache_hits : int;
   st_cache_evictions : int;
   st_compile_seconds : float;
+  st_solver_calls : int;
+  st_cond_waits : int;
+  st_peer_kicks : int;
+  st_cand_hits : int;
 }
+
+let sum_engines t f = Array.fold_left (fun acc e -> acc + f e) 0 t.engines
 
 let stats t =
   {
     st_steps = steps t;
     st_regions = nregions t;
     st_expansions = expansions t;
-    st_cache_hits =
-      Array.fold_left
-        (fun acc e -> acc + Composer.cache_hits (Engine.composer e))
-        0 t.engines;
+    st_cache_hits = sum_engines t (fun e -> Composer.cache_hits (Engine.composer e));
     st_cache_evictions = cache_evictions t;
     st_compile_seconds = compile_seconds t;
+    st_solver_calls =
+      sum_engines t (fun e -> Composer.solver_calls (Engine.composer e));
+    st_cond_waits = sum_engines t Engine.cond_waits;
+    st_peer_kicks = sum_engines t Engine.peer_kicks;
+    st_cand_hits = sum_engines t (fun e -> Composer.cand_hits (Engine.composer e));
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "steps=%d regions=%d expansions=%d cache-hits=%d evictions=%d compile=%.3fs"
+    "steps=%d regions=%d expansions=%d cache-hits=%d evictions=%d \
+     compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d"
     s.st_steps s.st_regions s.st_expansions s.st_cache_hits s.st_cache_evictions
-    s.st_compile_seconds
+    s.st_compile_seconds s.st_solver_calls s.st_cond_waits s.st_peer_kicks
+    s.st_cand_hits

@@ -44,12 +44,17 @@ val failure : t -> string option
     (e.g. a JIT expansion blow-up). *)
 
 type stats = {
-  st_steps : int;
+  st_steps : int;  (** fired transitions across all engines *)
   st_regions : int;
   st_expansions : int;  (** JIT state expansions (0 under the existing approach) *)
   st_cache_hits : int;
   st_cache_evictions : int;
   st_compile_seconds : float;
+  st_solver_calls : int;
+      (** firing-loop [Command.solve] calls (0 when labels are optimized) *)
+  st_cond_waits : int;  (** blocked operations parked on a condition variable *)
+  st_peer_kicks : int;  (** cross-engine nudges (partitioned runtime) *)
+  st_cand_hits : int;  (** candidate-cache hits in the firing loop *)
 }
 
 val stats : t -> stats

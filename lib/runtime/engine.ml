@@ -43,7 +43,16 @@ type t = {
   recv_q : (Vertex.t, recv_op Queue.t) Hashtbl.t;
   mutable base_pending : Iset.t;  (** vertices with nonempty queues *)
   gates : (Vertex.t * gate) array;
+  gate_tbl : (Vertex.t, gate) Hashtbl.t;  (** O(1) view of [gates] *)
+  mutable gate_pending : Iset.t;
+      (** cached gate-readiness; meaningful only while [gate_valid].
+          External gate changes only ever turn readiness ON (the peer that
+          consumes a slot re-drives us via a kick), so a stale cache can
+          under-report but never over-report enabledness. *)
+  mutable gate_valid : bool;
   mutable nsteps : int;
+  mutable nwaits : int;  (** times a blocked operation parked on [cond] *)
+  mutable nkicks : int;  (** peer-engine nudges issued after firings *)
   poison_flag : string option Atomic.t;
       (* read without the lock so overloaded engines notice shutdown *)
   mutable poisoned : string option;
@@ -54,6 +63,8 @@ type t = {
 }
 
 let create ?(gates = []) comp =
+  let gate_tbl = Hashtbl.create (max 1 (List.length gates)) in
+  List.iter (fun (v, g) -> Hashtbl.replace gate_tbl v g) gates;
   {
     lock = Mutex.create ();
     cond = Condition.create ();
@@ -63,7 +74,12 @@ let create ?(gates = []) comp =
     recv_q = Hashtbl.create 16;
     base_pending = Iset.empty;
     gates = Array.of_list gates;
+    gate_tbl;
+    gate_pending = Iset.empty;
+    gate_valid = false;
     nsteps = 0;
+    nwaits = 0;
+    nkicks = 0;
     poison_flag = Atomic.make None;
     poisoned = None;
     peers = [];
@@ -75,17 +91,11 @@ let set_peers t peers = t.peers <- peers
 let set_on_fire t f = t.on_fire <- f
 let composer t = t.comp
 let steps t = t.nsteps
+let cond_waits t = t.nwaits
+let peer_kicks t = t.nkicks
 
 let gate_of t v =
-  let n = Array.length t.gates in
-  let rec go i =
-    if i >= n then None
-    else begin
-      let u, g = t.gates.(i) in
-      if Vertex.equal u v then Some g else go (i + 1)
-    end
-  in
-  go 0
+  if Array.length t.gates = 0 then None else Hashtbl.find_opt t.gate_tbl v
 
 let queue_of tbl v =
   match Hashtbl.find_opt tbl v with
@@ -95,10 +105,24 @@ let queue_of tbl v =
     Hashtbl.add tbl v q;
     q
 
+(* Pending boundary set. Engines without gates (the common case) pay
+   nothing; gated engines refold readiness only when the cache was
+   invalidated (on entry to a drive loop, and after a firing that committed
+   to a gate). *)
 let pending_now t =
-  Array.fold_left
-    (fun acc (v, g) -> if g.gate_ready () then Iset.add v acc else acc)
-    t.base_pending t.gates
+  if Array.length t.gates = 0 then t.base_pending
+  else begin
+    if not t.gate_valid then begin
+      t.gate_pending <-
+        Array.fold_left
+          (fun acc (v, g) -> if g.gate_ready () then Iset.add v acc else acc)
+          Iset.empty t.gates;
+      t.gate_valid <- true
+    end;
+    Iset.union t.base_pending t.gate_pending
+  end
+
+let invalidate_gates t = if Array.length t.gates > 0 then t.gate_valid <- false
 
 let check_poison t =
   (match (t.poisoned, Atomic.get t.poison_flag) with
@@ -135,16 +159,9 @@ let fire_one t =
           deliver = (fun v value -> delivered := (v, value) :: !delivered);
         }
       in
-      let cmd =
-        match x.cmd with
-        | Some c -> Ok c
-        | None ->
-          Command.solve ~readable:(Composer.sources t.comp)
-            ~writable:(Composer.sinks t.comp) x.constr
-      in
-      match cmd with
-      | Error _ -> false (* structurally unsatisfiable: never enabled *)
-      | Ok cmd ->
+      match Composer.command_of t.comp x with
+      | None -> false (* structurally unsatisfiable: never enabled *)
+      | Some cmd ->
         if not (Command.guards_hold cmd env) then false
         else begin
           Command.execute cmd env;
@@ -182,6 +199,7 @@ let fire_one t =
                 || List.exists (fun (u, _) -> Vertex.equal u v) !delivered)
               x.needs_recv);
           Composer.commit t.comp x;
+          invalidate_gates t;
           t.nsteps <- t.nsteps + 1;
           (match t.on_fire with Some f -> f x.sync | None -> ());
           if t.peers <> [] then t.need_kick <- true;
@@ -195,6 +213,7 @@ let fire_one t =
 
 (* Fire as many transitions as possible; returns whether any fired. *)
 let drive t =
+  invalidate_gates t;
   let fired = ref false in
   (try
      while fire_one t do
@@ -205,29 +224,96 @@ let drive t =
      Condition.broadcast t.cond);
   !fired
 
-let rec kick_all engines =
-  match engines with
-  | [] -> ()
-  | e :: rest ->
+(* Nudge peer engines so a firing here propagates through shared gates.
+   Each engine is visited at most once per round; a kick aimed at an
+   already-visited engine is deferred to the next round rather than
+   revisited immediately, so cyclic peer topologies cannot loop. The round
+   cap bounds total work; any requests left after it still get a wake-up
+   broadcast so blocked tasks re-examine their engine themselves. The cap is
+   generous because in ring topologies each round advances the ring by one
+   lap, and momentum (one thread driving the whole ring without context
+   switches) is where the partitioned runtime's throughput comes from. *)
+let kick_rounds = 64
+
+let kick_all engines =
+  let broadcast_only e =
+    Mutex.lock e.lock;
+    Condition.broadcast e.cond;
+    Mutex.unlock e.lock
+  in
+  let visit e =
+    Mutex.lock e.lock;
+    let _ = drive e in
     let more =
-      Mutex.lock e.lock;
-      let _ = drive e in
-      let more = if e.need_kick then (e.need_kick <- false; e.peers) else [] in
-      Condition.broadcast e.cond;
-      Mutex.unlock e.lock;
-      more
+      if e.need_kick then begin
+        e.need_kick <- false;
+        e.nkicks <- e.nkicks + List.length e.peers;
+        e.peers
+      end
+      else []
     in
-    kick_all (List.filter (fun x -> not (List.memq x (e :: rest))) more @ rest)
+    Condition.broadcast e.cond;
+    Mutex.unlock e.lock;
+    more
+  in
+  let rec round n todo =
+    match todo with
+    | [] -> ()
+    | _ when n >= kick_rounds -> List.iter broadcast_only todo
+    | _ ->
+      let visited = ref [] in
+      let deferred = ref [] in
+      let rec go = function
+        | [] -> ()
+        | e :: rest ->
+          if List.memq e !visited then go rest
+          else begin
+            visited := e :: !visited;
+            let fresh, seen =
+              List.partition (fun x -> not (List.memq x !visited)) (visit e)
+            in
+            List.iter
+              (fun x ->
+                if not (List.memq x !deferred) then deferred := x :: !deferred)
+              seen;
+            go (fresh @ rest)
+          end
+      in
+      go todo;
+      round (n + 1) !deferred
+  in
+  round 0 engines
 
 (* Release the lock, nudge peers, re-acquire. Caller holds the lock. *)
 let flush_kicks t =
   if t.need_kick then begin
     t.need_kick <- false;
     let peers = t.peers in
+    t.nkicks <- t.nkicks + List.length peers;
     Mutex.unlock t.lock;
     kick_all peers;
     Mutex.lock t.lock
   end
+
+(* Consume any pending kick request, unlock, deliver the kicks, and only
+   then propagate [exn]. A transition that fired just before the exception
+   (e.g. before poison was noticed) must still wake downstream peers, or
+   their blocked tasks never re-check their engines. Caller holds the
+   lock. *)
+let unlock_raise t exn =
+  let peers =
+    if t.need_kick then begin
+      t.need_kick <- false;
+      t.nkicks <- t.nkicks + List.length t.peers;
+      t.peers
+    end
+    else []
+  in
+  Mutex.unlock t.lock;
+  (match peers with
+   | [] -> ()
+   | _ -> ( try kick_all peers with _ -> ()));
+  raise exn
 
 let add_pending t v = t.base_pending <- Iset.add v t.base_pending
 
@@ -258,6 +344,7 @@ let run_op t ~enqueue ~finished ~extract =
             flush_kicks t;
             if not progressed && not (finished ()) then begin
               trace "waiting";
+              t.nwaits <- t.nwaits + 1;
               Condition.wait t.cond t.lock;
               trace "woken"
             end;
@@ -267,9 +354,8 @@ let run_op t ~enqueue ~finished ~extract =
       in
       loop ()
     with e ->
-      Mutex.unlock t.lock;
       trace "raised";
-      raise e
+      unlock_raise t e
   in
   flush_kicks t;
   Mutex.unlock t.lock;
@@ -322,9 +408,7 @@ let try_send t v value =
         withdraw t t.send_q v (fun o -> o == op);
         false
       end
-    with e ->
-      Mutex.unlock t.lock;
-      raise e
+    with e -> unlock_raise t e
   in
   flush_kicks t;
   Mutex.unlock t.lock;
@@ -348,20 +432,26 @@ let try_recv t v =
        | None ->
          withdraw t t.recv_q v (fun o -> o == op);
          None)
-    with e ->
-      Mutex.unlock t.lock;
-      raise e
+    with e -> unlock_raise t e
   in
   flush_kicks t;
   Mutex.unlock t.lock;
   result
 
 let try_step t =
+  (match Atomic.get t.poison_flag with
+   | Some msg -> raise (Poisoned msg)
+   | None -> ());
   Mutex.lock t.lock;
-  let fired = (try fire_one t with Composer.Expansion_budget msg ->
-    t.poisoned <- Some msg;
-    Condition.broadcast t.cond;
-    false)
+  let fired =
+    try
+      check_poison t;
+      invalidate_gates t;
+      (try fire_one t with Composer.Expansion_budget msg ->
+        t.poisoned <- Some msg;
+        Condition.broadcast t.cond;
+        false)
+    with e -> unlock_raise t e
   in
   if fired then Condition.broadcast t.cond;
   flush_kicks t;
@@ -383,7 +473,9 @@ let poisoned_reason t =
 
 let debug_dump t =
   Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   let buf = Buffer.create 256 in
+  invalidate_gates t;
   let pending = pending_now t in
   Buffer.add_string buf
     (Printf.sprintf "steps=%d poisoned=%s\n" t.nsteps
@@ -403,19 +495,32 @@ let debug_dump t =
       Buffer.add_string buf
         (Printf.sprintf "recv_q %s#%d len=%d\n" (Vertex.name v) v (Queue.length q)))
     t.recv_q;
-  let cands = Composer.candidates t.comp ~pending in
-  Buffer.add_string buf
-    (Printf.sprintf "candidates(enabled-by-pending)=%d out-degree=%d\n"
-       (Array.length cands)
-       (Composer.current_out_degree t.comp));
-  let all = Composer.candidates t.comp ~pending:(Iset.union (Composer.sources t.comp) (Composer.sinks t.comp)) in
-  Array.iter
-    (fun (x : Composer.xtrans) ->
-      Buffer.add_string buf
-        (Printf.sprintf "  trans sync={%s} needs_send={%s} needs_recv={%s}\n"
-           (String.concat "," (List.map Vertex.name (Iset.elements x.sync)))
-           (String.concat "," (List.map Vertex.name (Iset.elements x.needs_send)))
-           (String.concat "," (List.map Vertex.name (Iset.elements x.needs_recv)))))
-    all;
-  Mutex.unlock t.lock;
+  (match Composer.candidates t.comp ~pending with
+   | cands ->
+     let degree =
+       match Composer.current_out_degree t.comp with
+       | d -> string_of_int d
+       | exception Composer.Expansion_budget _ -> "?"
+     in
+     Buffer.add_string buf
+       (Printf.sprintf "candidates(enabled-by-pending)=%d out-degree=%s\n"
+          (Array.length cands) degree)
+   | exception Composer.Expansion_budget msg ->
+     Buffer.add_string buf
+       (Printf.sprintf "candidates unavailable: expansion budget exhausted: %s\n"
+          msg));
+  (match
+     Composer.candidates t.comp
+       ~pending:(Iset.union (Composer.sources t.comp) (Composer.sinks t.comp))
+   with
+   | all ->
+     Array.iter
+       (fun (x : Composer.xtrans) ->
+         Buffer.add_string buf
+           (Printf.sprintf "  trans sync={%s} needs_send={%s} needs_recv={%s}\n"
+              (String.concat "," (List.map Vertex.name (Iset.elements x.sync)))
+              (String.concat "," (List.map Vertex.name (Iset.elements x.needs_send)))
+              (String.concat "," (List.map Vertex.name (Iset.elements x.needs_recv)))))
+       all
+   | exception Composer.Expansion_budget _ -> ());
   Buffer.contents buf

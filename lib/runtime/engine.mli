@@ -45,10 +45,18 @@ val try_recv : t -> Preo_automata.Vertex.t -> Preo_support.Value.t option
 val try_step : t -> bool
 (** Fire at most one enabled transition without registering any operation
     (used by the partitioned runtime to react to gate changes and by tests).
-    Returns whether a transition fired. *)
+    Returns whether a transition fired.
+    @raise Poisoned if the engine has been shut down. *)
 
 val steps : t -> int
 (** Number of global execution steps (fired transitions) so far. *)
+
+val cond_waits : t -> int
+(** How often a blocked operation parked on the engine's condition
+    variable (cheap always-on counter). *)
+
+val peer_kicks : t -> int
+(** Peer-engine nudges issued after firings (partitioned runtime). *)
 
 val poison : t -> string -> unit
 (** Wake all blocked operations with {!Poisoned}. *)

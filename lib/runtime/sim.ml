@@ -93,16 +93,9 @@ let try_transition t (x : Composer.xtrans) =
       deliver = (fun v value -> delivered := (v, value) :: !delivered);
     }
   in
-  let cmd =
-    match x.cmd with
-    | Some c -> Ok c
-    | None ->
-      Command.solve ~readable:(Composer.sources t.comp)
-        ~writable:(Composer.sinks t.comp) x.constr
-  in
-  match cmd with
-  | Error _ -> None
-  | Ok cmd ->
+  match Composer.command_of t.comp x with
+  | None -> None
+  | Some cmd ->
     if not (Command.guards_hold cmd env) then None
     else begin
       Command.execute cmd env;

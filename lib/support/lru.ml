@@ -14,9 +14,12 @@ module Make (K : Hashtbl.HashedType) = struct
     mutable head : 'v node option; (* most recently used *)
     mutable tail : 'v node option; (* least recently used *)
     mutable evicted : int;
+    mutable hit : int;
   }
 
-  let create ~capacity = { capacity; table = H.create 64; head = None; tail = None; evicted = 0 }
+  let create ~capacity =
+    { capacity; table = H.create 64; head = None; tail = None; evicted = 0;
+      hit = 0 }
 
   let unlink t node =
     (match node.prev with
@@ -38,6 +41,7 @@ module Make (K : Hashtbl.HashedType) = struct
     match H.find_opt t.table k with
     | None -> None
     | Some node ->
+      t.hit <- t.hit + 1;
       if t.capacity > 0 then begin
         unlink t node;
         push_front t node
@@ -70,6 +74,7 @@ module Make (K : Hashtbl.HashedType) = struct
 
   let length t = H.length t.table
   let evictions t = t.evicted
+  let hits t = t.hit
 
   let clear t =
     H.clear t.table;

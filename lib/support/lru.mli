@@ -21,5 +21,9 @@ module Make (K : Hashtbl.HashedType) : sig
   val evictions : 'v t -> int
   (** Number of entries evicted so far. *)
 
+  val hits : 'v t -> int
+  (** Number of successful {!find} lookups so far. Like {!evictions}, the
+      counter survives {!clear}. *)
+
   val clear : 'v t -> unit
 end

@@ -1,0 +1,88 @@
+(* Tests for the bounded LRU cache backing the JIT state cache and the
+   composer's candidate cache. *)
+
+open Preo_support
+
+module L = Lru.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+let eviction_order () =
+  let c = L.create ~capacity:3 in
+  L.add c 1 "a";
+  L.add c 2 "b";
+  L.add c 3 "c";
+  (* Touch 1 so that 2 becomes the least recently used. *)
+  Alcotest.(check (option string)) "find 1" (Some "a") (L.find c 1);
+  L.add c 4 "d";
+  Alcotest.(check (option string)) "2 evicted" None (L.find c 2);
+  Alcotest.(check (option string)) "1 kept" (Some "a") (L.find c 1);
+  Alcotest.(check (option string)) "3 kept" (Some "c") (L.find c 3);
+  Alcotest.(check (option string)) "4 kept" (Some "d") (L.find c 4);
+  L.add c 5 "e";
+  (* 1, 3, 4 were all touched above; 1 is now the oldest of them. *)
+  Alcotest.(check (option string)) "1 evicted second" None (L.find c 1);
+  Alcotest.(check int) "length stays at capacity" 3 (L.length c);
+  Alcotest.(check int) "two evictions" 2 (L.evictions c)
+
+let refresh_on_add () =
+  let c = L.create ~capacity:2 in
+  L.add c 1 "a";
+  L.add c 2 "b";
+  (* Re-adding an existing key refreshes both value and recency. *)
+  L.add c 1 "a'";
+  L.add c 3 "c";
+  Alcotest.(check (option string)) "2 evicted, not 1" None (L.find c 2);
+  Alcotest.(check (option string)) "1 has new value" (Some "a'") (L.find c 1)
+
+let capacity_zero_unbounded () =
+  let c = L.create ~capacity:0 in
+  for i = 1 to 1000 do
+    L.add c i (string_of_int i)
+  done;
+  Alcotest.(check int) "all retained" 1000 (L.length c);
+  Alcotest.(check int) "no evictions" 0 (L.evictions c);
+  Alcotest.(check (option string)) "oldest still present" (Some "1") (L.find c 1)
+
+let clear_semantics () =
+  let c = L.create ~capacity:2 in
+  L.add c 1 "a";
+  L.add c 2 "b";
+  ignore (L.find c 1);
+  L.add c 3 "c" (* evicts 2 *);
+  L.clear c;
+  Alcotest.(check int) "empty after clear" 0 (L.length c);
+  Alcotest.(check (option string)) "no stale entries" None (L.find c 1);
+  (* The cache is usable again after clear, up to full capacity. *)
+  L.add c 4 "d";
+  L.add c 5 "e";
+  Alcotest.(check int) "refilled" 2 (L.length c);
+  L.add c 6 "f";
+  Alcotest.(check (option string)) "eviction works post-clear" None (L.find c 4)
+
+let counters () =
+  let c = L.create ~capacity:2 in
+  L.add c 1 "a";
+  ignore (L.find c 1);
+  ignore (L.find c 1);
+  ignore (L.find c 99) (* miss: not counted *);
+  Alcotest.(check int) "two hits" 2 (L.hits c);
+  L.add c 2 "b";
+  L.add c 3 "c";
+  Alcotest.(check int) "one eviction" 1 (L.evictions c);
+  L.clear c;
+  (* Instrumentation counters are cumulative across clears. *)
+  Alcotest.(check int) "hits survive clear" 2 (L.hits c);
+  Alcotest.(check int) "evictions survive clear" 1 (L.evictions c)
+
+let tests =
+  [
+    Alcotest.test_case "eviction order" `Quick eviction_order;
+    Alcotest.test_case "add refreshes recency" `Quick refresh_on_add;
+    Alcotest.test_case "capacity 0 is unbounded" `Quick capacity_zero_unbounded;
+    Alcotest.test_case "clear" `Quick clear_semantics;
+    Alcotest.test_case "hit and eviction counters" `Quick counters;
+  ]

@@ -325,6 +325,121 @@ let gates_direct () =
   Alcotest.(check bool) "slot consumed" true (Atomic.get slot = None)
 
 
+(* --- Engine regressions ----------------------------------------------------- *)
+
+let try_step_after_poison_raises () =
+  let a = v "a" and b = v "b" in
+  let auto = Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ b ] in
+  let comp =
+    Composer.jit ~sources:(Iset.singleton a) ~sinks:(Iset.singleton b) [ auto ]
+  in
+  let e = Engine.create comp in
+  Engine.poison e "gone";
+  match Engine.try_step e with
+  | exception Engine.Poisoned _ -> ()
+  | _ -> Alcotest.fail "expected Poisoned"
+
+(* debug_dump must release the engine lock even when the composer blows its
+   expansion budget mid-dump; a second dump used to die on the wedged
+   mutex. *)
+let debug_dump_survives_budget () =
+  let n = 18 in
+  let a = v "a" in
+  let xs = List.init n (fun i -> v (Printf.sprintf "x%d" i)) in
+  let bs = List.init n (fun i -> v (Printf.sprintf "b%d" i)) in
+  let autos =
+    Preo_reo.Prim.build Preo_reo.Prim.Replicator ~tails:[ a ] ~heads:xs
+    :: List.map2
+         (fun x b ->
+           Preo_reo.Prim.build Preo_reo.Prim.Lossy_sync ~tails:[ x ] ~heads:[ b ])
+         xs bs
+  in
+  let comp =
+    Composer.jit ~expansion_budget:10_000 ~sources:(Iset.singleton a)
+      ~sinks:(Iset.of_list bs) autos
+  in
+  let e = Engine.create comp in
+  let dump1 = Engine.debug_dump e in
+  Alcotest.(check bool) "budget failure reported" true
+    (let re = "expansion budget" in
+     let rec contains i =
+       i + String.length re <= String.length dump1
+       && (String.sub dump1 i (String.length re) = re || contains (i + 1))
+     in
+     contains 0);
+  (* The lock was released: a second dump must not raise Sys_error. *)
+  ignore (Engine.debug_dump e)
+
+(* Cyclic peer topology: partitioned token ring engines kick each other in a
+   cycle; the rounds-bounded kick_all must terminate and the ring must make
+   progress. *)
+let kick_all_cyclic_ring () =
+  match
+    Preo_connectors.Driver.smoke ~config:Config.new_partitioned
+      (Preo_connectors.Catalog.find "token_ring") ~n:6
+  with
+  | Ok steps -> Alcotest.(check bool) "ring progressed" true (steps > 0)
+  | Error msg -> Alcotest.fail ("ring run failed: " ^ msg)
+
+let firing_loop_counters () =
+  (* Unoptimized labels: runtime solver calls happen, but memoization caps
+     them; repeated states hit the candidate cache. *)
+  let a = v "a" and m = v "m" and b = v "b" in
+  let autos =
+    [
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ m ];
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ m ] ~heads:[ b ];
+    ]
+  in
+  let config =
+    Config.New
+      { optimize_labels = false; cache_capacity = 0; expansion_budget = 2_000_000;
+        partition = false; true_synchronous = false }
+  in
+  let conn = mk_conn ~config autos ~sources:[| a |] ~sinks:[| b |] in
+  Task.run_all
+    [
+      (fun () ->
+        for i = 1 to 50 do
+          Port.send (Connector.outport conn a) (Value.int i)
+        done);
+      (fun () ->
+        for _ = 1 to 50 do
+          ignore (Port.recv (Connector.inport conn b))
+        done);
+    ];
+  let st = Connector.stats conn in
+  Alcotest.(check bool) "solver ran" true (st.Connector.st_solver_calls > 0);
+  Alcotest.(check bool) "solver memoized" true
+    (st.Connector.st_solver_calls < Connector.steps conn);
+  Alcotest.(check bool) "candidate cache hit" true
+    (st.Connector.st_cand_hits > 0);
+  (* Partitioned pipeline: firings must have nudged the peer engine. *)
+  let a = v "a" and m1 = v "m1" and m2 = v "m2" and b = v "b" in
+  let autos =
+    [
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ m1 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ m1 ] ~heads:[ m2 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ m2 ] ~heads:[ b ];
+    ]
+  in
+  let conn =
+    mk_conn ~config:Config.new_partitioned autos ~sources:[| a |] ~sinks:[| b |]
+  in
+  Task.run_all
+    [
+      (fun () ->
+        for i = 1 to 20 do
+          Port.send (Connector.outport conn a) (Value.int i)
+        done);
+      (fun () ->
+        for _ = 1 to 20 do
+          ignore (Port.recv (Connector.inport conn b))
+        done);
+    ];
+  let st = Connector.stats conn in
+  Alcotest.(check bool) "peer kicks counted" true (st.Connector.st_peer_kicks > 0)
+
 (* --- Fifo<n> capacity and ordering ---------------------------------------- *)
 
 let fifon_capacity_and_order () =
@@ -420,6 +535,10 @@ let tests =
     ("partitioned execution matches", `Quick, partitioned_execution_matches);
     ("steps agree across composers", `Quick, steps_agree_across_composers);
     ("gated source", `Quick, gates_direct);
+    ("try_step after poison", `Quick, try_step_after_poison_raises);
+    ("debug_dump survives budget", `Quick, debug_dump_survives_budget);
+    ("kick_all cyclic ring", `Quick, kick_all_cyclic_ring);
+    ("firing-loop counters", `Quick, firing_loop_counters);
     ("fifon capacity and order", `Quick, fifon_capacity_and_order);
     ("fifon from DSL", `Quick, fifon_from_dsl);
     ("shift-lossy keeps newest", `Quick, shift_lossy_keeps_newest);

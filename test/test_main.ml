@@ -2,6 +2,7 @@ let () =
   Alcotest.run "preo"
     [
       ("support", Suite_support.tests);
+      ("lru", Suite_lru.tests);
       ("automata", Suite_automata.tests);
       ("primitives", Suite_prim.tests);
       ("graph", Suite_graph.tests);
