@@ -13,7 +13,10 @@
                                        deadlock/property check the composition
      preoc template FILE CONN          show the compile-time share
      preoc emit FILE CONN              generate a standalone OCaml module
-     preoc simulate FILE CONN K=N ...  run with port-spamming tasks for 1s
+     preoc simulate FILE CONN K=N ... [--deadline SECS]
+                                       run with port-spamming tasks for 1s;
+                                       with --deadline, a blocked operation
+                                       times out and prints a stall report
      preoc catalog                     list the built-in connector families
 *)
 
@@ -30,7 +33,7 @@ let usage () =
   prerr_endline
     "usage: preoc \
      {check|print|flatten|eval|automaton|dot|verify|template|simulate} FILE \
-     [CONNECTOR] [ARR=N ...]\n\
+     [CONNECTOR] [ARR=N ...] [--deadline SECS]\n\
      \       preoc catalog";
   exit 2
 
@@ -258,8 +261,34 @@ let () =
         end)
       (List.rev props)
   | _ :: "simulate" :: path :: name :: rest ->
+    (* --deadline SECS: every port operation of the spamming tasks carries
+       a deadline. On expiry the stall report is printed (which pending
+       vertices, how many enabled transitions, engine counters) and the
+       connector is poisoned with the report attached, so this doubles as a
+       runtime deadlock detector for protocols too big to verify
+       statically. *)
+    let deadline_s, rest =
+      let rec split acc = function
+        | "--deadline" :: s :: more -> split (Some (float_of_string s)) more
+        | x :: more ->
+          let d, r = split acc more in
+          (d, x :: r)
+        | [] -> (acc, [])
+      in
+      split None rest
+    in
     let c = compiled path name in
     let inst = Preo.instantiate c ~lengths:(parse_lengths rest) in
+    let stall_lock = Mutex.create () in
+    let stall : Preo.Engine.stall_report option ref = ref None in
+    let on_timeout (r : Preo.Engine.stall_report) =
+      Mutex.lock stall_lock;
+      if !stall = None then stall := Some r;
+      Mutex.unlock stall_lock;
+      Preo.Connector.poison ~stall:r (Preo.connector inst) "deadline expired";
+      raise (Preo.Engine.Timed_out r)
+    in
+    let deadline () = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
     let threads =
       List.concat_map
         (fun (gname, is_source) ->
@@ -270,7 +299,9 @@ let () =
                    Preo.Task.spawn (fun () ->
                        let i = ref 0 in
                        while true do
-                         Preo.Port.send p (Preo.Value.int !i);
+                         (try Preo.Port.send ?deadline:(deadline ()) p
+                                (Preo.Value.int !i)
+                          with Preo.Engine.Timed_out r -> on_timeout r);
                          incr i
                        done))
                  (Preo.outports inst gname))
@@ -280,7 +311,8 @@ let () =
                  (fun p ->
                    Preo.Task.spawn (fun () ->
                        while true do
-                         ignore (Preo.Port.recv p)
+                         try ignore (Preo.Port.recv ?deadline:(deadline ()) p)
+                         with Preo.Engine.Timed_out r -> on_timeout r
                        done))
                  (Preo.inports inst gname)))
         (Preo.groups inst)
@@ -289,5 +321,11 @@ let () =
     Format.printf "%a@." Preo.Connector.pp_stats
       (Preo.Connector.stats (Preo.connector inst));
     Preo.shutdown inst;
-    List.iter (fun t -> try Preo.Task.join t with _ -> ()) threads
+    List.iter (fun t -> try Preo.Task.join t with _ -> ()) threads;
+    (match !stall with
+     | None -> ()
+     | Some r ->
+       Printf.printf "TIMED OUT after %.3fs:\n%s\n" r.Preo.Engine.sr_waited
+         (Preo.Engine.string_of_stall_report r);
+       exit 1)
   | _ -> usage ()

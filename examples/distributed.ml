@@ -40,8 +40,8 @@ let () =
   in
   (* --- "remote" workers: talk to the host only through sockets *)
   let worker i () =
-    let fd_work = Bridge.connect_local ~port:base_port in
-    let fd_res = Bridge.connect_local ~port:base_port in
+    let fd_work = Bridge.connect_local ~port:base_port () in
+    let fd_res = Bridge.connect_local ~port:base_port () in
     let work = Bridge.remote_inport fd_work in
     let results = Bridge.remote_outport fd_res in
     for _ = 1 to rounds do

@@ -59,6 +59,40 @@ let () =
      Printf.printf
        "naive protocol CAN deadlock: dead state reached after %d steps\n"
        (List.length ce.Verify.path));
+  (* The same deadlock caught at run time: drive the naive protocol with
+     every philosopher grabbing left-then-right, each blocking operation
+     carrying a deadline. The first expiry prints the stall diagnosis —
+     which boundary vertices are parked across the engines, and that no
+     transition is enabled — then poisons the connector so the remaining
+     philosophers are released with the report in their Poisoned payload. *)
+  let naive_inst =
+    instantiate naive ~lengths:[ ("al", n); ("ar", n); ("rl", n); ("rr", n) ]
+  in
+  let nal = outports naive_inst "al" and nar = outports naive_inst "ar" in
+  let report = ref None in
+  let greedy i () =
+    let deadline = Unix.gettimeofday () +. 0.5 in
+    try
+      Port.send ~deadline nal.(i) Value.unit;
+      (* let every philosopher pick up their left fork first: the classic
+         hold-and-wait interleaving the verifier predicted *)
+      Thread.delay 0.05;
+      Port.send ~deadline nar.(i) Value.unit
+    with
+    | Engine.Timed_out r ->
+      if !report = None then begin
+        report := Some r;
+        Connector.poison ~stall:r (connector naive_inst) "deadlock detected"
+      end
+    | Engine.Poisoned _ -> ()
+  in
+  Task.run_all (List.init n greedy);
+  (match !report with
+   | Some r ->
+     Printf.printf "naive protocol deadlocks at run time too; stall report:\n%s\n"
+       (Engine.string_of_stall_report r)
+   | None -> Printf.printf "naive protocol did not stall?! (unexpected)\n");
+  shutdown naive_inst;
   (match Verify.deadlocks (compose_model fixed n) with
    | [] -> Printf.printf "fixed protocol verified deadlock-free; running it...\n"
    | _ -> Printf.printf "fixed protocol still deadlocks?! (unexpected)\n");

@@ -10,6 +10,7 @@ module Port = Preo_runtime.Port
 module Task = Preo_runtime.Task
 module Config = Preo_runtime.Config
 module Connector = Preo_runtime.Connector
+module Engine = Preo_runtime.Engine
 module Datafun = Preo_automata.Datafun
 module Vertex = Preo_automata.Vertex
 
@@ -113,6 +114,8 @@ let inports inst name =
 let connector inst = inst.conn
 let steps inst = Connector.steps inst.conn
 let shutdown inst = Connector.poison inst.conn "shutdown"
+let set_stall_threshold v = Preo_runtime.Config.stall_threshold := v
+let last_stall inst = Connector.last_stall inst.conn
 
 (* --- Running main -------------------------------------------------------- *)
 

@@ -27,6 +27,7 @@ module Port = Preo_runtime.Port
 module Task = Preo_runtime.Task
 module Config = Preo_runtime.Config
 module Connector = Preo_runtime.Connector
+module Engine = Preo_runtime.Engine
 module Datafun = Preo_automata.Datafun
 
 exception Error of string
@@ -70,6 +71,17 @@ val connector : instance -> Connector.t
 val steps : instance -> int
 val shutdown : instance -> unit
 (** Poison the connector, releasing any blocked task. *)
+
+val set_stall_threshold : float option -> unit
+(** Configure the global stall watchdog ({!Config.stall_threshold}): a port
+    operation blocked longer than this many seconds has a stall report
+    recorded against its engine (see {!last_stall}); [None] turns the
+    watchdog off. *)
+
+val last_stall : instance -> Engine.stall_report option
+(** The most significant stall report recorded by the instance's engines —
+    what was pending, how many transitions were enabled, and the engine
+    counters at the moment a deadline expired or the watchdog tripped. *)
 
 (** {1 Running a [main] definition} *)
 

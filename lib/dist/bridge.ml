@@ -5,6 +5,21 @@ let () =
   | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
   | _ -> ()
 
+exception Bridge_down of string
+
+let poison_prefix = "poisoned:"
+
+let is_poison_error msg = String.starts_with ~prefix:poison_prefix msg
+
+(* Strip the "poisoned: " marker a serving side prepends, so the reason
+   survives any number of re-bridge hops without accumulating prefixes. *)
+let poison_reason msg =
+  let n = String.length poison_prefix in
+  let rest = String.sub msg n (String.length msg - n) in
+  if String.starts_with ~prefix:" " rest then
+    String.sub rest 1 (String.length rest - 1)
+  else rest
+
 (* --- Serving ---------------------------------------------------------------- *)
 
 let serve loop fd =
@@ -17,11 +32,19 @@ let serve loop fd =
           let resp =
             try loop req with
             | Preo_runtime.Engine.Poisoned msg ->
-              Wire.Resp_error ("poisoned: " ^ msg)
+              Wire.Resp_error (poison_prefix ^ " " ^ msg)
             | e -> Wire.Resp_error (Printexc.to_string e)
           in
           Wire.write_response fd resp;
-          (match resp with Wire.Resp_error _ -> () | _ -> go ())
+          (* Keep serving after recoverable errors (e.g. a wrong-direction
+             request); only poisoning — the connector is gone for good — or
+             EOF ends the session. *)
+          let fatal =
+            match resp with
+            | Wire.Resp_error msg -> is_poison_error msg
+            | _ -> false
+          in
+          if not fatal then go ()
       in
       (try go () with _ -> ());
       try Unix.close fd with _ -> ())
@@ -49,33 +72,60 @@ let serve_inport port fd =
 
 (* --- Remote ------------------------------------------------------------------ *)
 
-type remote_outport = { ofd : Unix.file_descr; olock : Mutex.t }
-type remote_inport = { ifd : Unix.file_descr; ilock : Mutex.t }
+type remote_outport = {
+  ofd : Unix.file_descr;
+  olock : Mutex.t;
+  otimeout : float option;
+}
 
-let remote_outport ofd = { ofd; olock = Mutex.create () }
-let remote_inport ifd = { ifd; ilock = Mutex.create () }
+type remote_inport = {
+  ifd : Unix.file_descr;
+  ilock : Mutex.t;
+  itimeout : float option;
+}
 
-let rpc fd lock req =
+let remote_outport ?timeout ofd = { ofd; olock = Mutex.create (); otimeout = timeout }
+let remote_inport ?timeout ifd = { ifd; ilock = Mutex.create (); itimeout = timeout }
+
+(* One request/response round trip. A dead or wedged peer — connection
+   reset, EOF mid-frame, garbage framing, or no response within [timeout] —
+   surfaces as the typed {!Bridge_down}, never as a hung thread or a bare
+   [Unix_error]. No blind resend: a send RPC is not idempotent (the request
+   may have fired before the failure), so recovery policy belongs to the
+   caller. *)
+let rpc fd lock timeout req =
   Mutex.lock lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock lock)
     (fun () ->
-      Wire.write_request fd req;
-      Wire.read_response fd)
+      let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+      try
+        Wire.write_request ?deadline fd req;
+        Wire.read_response ?deadline fd
+      with
+      | Wire.Timeout ->
+        raise
+          (Bridge_down
+             (Printf.sprintf "peer did not respond within %.3fs"
+                (match timeout with Some s -> s | None -> 0.0)))
+      | Unix.Unix_error (e, _, _) ->
+        raise (Bridge_down (Unix.error_message e))
+      | Failure msg when String.starts_with ~prefix:"wire:" msg ->
+        raise (Bridge_down msg))
 
 let fail_of_error msg =
-  if String.length msg >= 9 && String.sub msg 0 9 = "poisoned:" then
-    raise (Preo_runtime.Engine.Poisoned msg)
+  if is_poison_error msg then
+    raise (Preo_runtime.Engine.Poisoned (poison_reason msg))
   else failwith ("bridge: " ^ msg)
 
 let send r v =
-  match rpc r.ofd r.olock (Wire.Req_send v) with
+  match rpc r.ofd r.olock r.otimeout (Wire.Req_send v) with
   | Wire.Resp_ok -> ()
   | Wire.Resp_error msg -> fail_of_error msg
   | Wire.Resp_value _ -> failwith "bridge: unexpected value response"
 
 let recv r =
-  match rpc r.ifd r.ilock Wire.Req_recv with
+  match rpc r.ifd r.ilock r.itimeout Wire.Req_recv with
   | Wire.Resp_value v -> v
   | Wire.Resp_error msg -> fail_of_error msg
   | Wire.Resp_ok -> failwith "bridge: unexpected ok response"
@@ -93,9 +143,31 @@ let listen_local ~port =
   Unix.listen fd 8;
   fd
 
+(* With [listen_local ~port:0] the kernel picks a free port; this reads it
+   back, so tests and multi-service hosts need no hardcoded port numbers. *)
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> invalid_arg "Bridge.bound_port: not an inet socket"
+
 let accept_one fd = fst (Unix.accept fd)
 
-let connect_local ~port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  fd
+let connect_local ?(retries = 0) ?(backoff = 0.05) ~port () =
+  let fd () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  (* A listener that is still starting up is transient: retry with
+     exponential backoff, bounded so a genuinely dead peer fails fast. *)
+  let rec go n delay =
+    let s = fd () in
+    match Unix.connect s addr with
+    | () -> s
+    | exception Unix.Unix_error ((ECONNREFUSED | ECONNRESET | EINTR), _, _)
+      when n < retries ->
+      (try Unix.close s with _ -> ());
+      Thread.delay delay;
+      go (n + 1) (delay *. 2.0)
+    | exception e ->
+      (try Unix.close s with _ -> ());
+      raise e
+  in
+  go 0 backoff

@@ -8,15 +8,26 @@
     protocol stays on one host, tasks can live anywhere.
 
     All functions are thread-safe per descriptor (one outstanding request at
-    a time per bridge, as enforced by an internal lock). *)
+    a time per bridge, as enforced by an internal lock).
+
+    Fault model: a serving side keeps the session alive across recoverable
+    request errors (e.g. a wrong-direction request) and only closes on clean
+    EOF or connector poisoning; a remote side surfaces a dead or wedged peer
+    as the typed {!Bridge_down} — never as a silently hung thread. *)
 
 open Preo_support
+
+exception Bridge_down of string
+(** The peer is unreachable: connection reset, EOF or garbage mid-frame, or
+    no response within the bridge's configured [timeout]. *)
 
 (** {1 Serving (connector-owning side)} *)
 
 val serve_outport : Preo_runtime.Port.outport -> Unix.file_descr -> Thread.t
 (** Handle [Req_send] requests by performing blocking local sends; replies
-    [Resp_ok] per completed send. Returns when the peer closes. *)
+    [Resp_ok] per completed send. Returns when the peer closes or the
+    connector is poisoned; recoverable errors are reported to the peer and
+    the session continues. *)
 
 val serve_inport : Preo_runtime.Port.inport -> Unix.file_descr -> Thread.t
 (** Handle [Req_recv] requests by performing blocking local receives. *)
@@ -26,13 +37,19 @@ val serve_inport : Preo_runtime.Port.inport -> Unix.file_descr -> Thread.t
 type remote_outport
 type remote_inport
 
-val remote_outport : Unix.file_descr -> remote_outport
-val remote_inport : Unix.file_descr -> remote_inport
+val remote_outport : ?timeout:float -> Unix.file_descr -> remote_outport
+(** [timeout] bounds each whole RPC round trip, in seconds; when it expires
+    (dead peer, or a protocol legitimately blocking longer than expected),
+    {!Bridge_down} is raised. Default: wait forever. *)
+
+val remote_inport : ?timeout:float -> Unix.file_descr -> remote_inport
 
 val send : remote_outport -> Value.t -> unit
 (** Blocks until the remote connector completed the send. Raises [Failure]
-    on protocol errors and [Preo_runtime.Engine.Poisoned] if the remote
-    reports poisoning. *)
+    on protocol errors, [Preo_runtime.Engine.Poisoned] if the remote
+    reports poisoning (with the original reason — the wire prefix is
+    stripped, so the message survives re-bridge hops unchanged), and
+    {!Bridge_down} if the peer dies or the timeout expires. *)
 
 val recv : remote_inport -> Value.t
 val close_remote : Unix.file_descr -> unit
@@ -41,7 +58,16 @@ val close_remote : Unix.file_descr -> unit
 (** {1 TCP conveniences} *)
 
 val listen_local : port:int -> Unix.file_descr
-(** Bind+listen on 127.0.0.1. *)
+(** Bind+listen on 127.0.0.1. [~port:0] lets the kernel pick a free port —
+    read it back with {!bound_port}. *)
+
+val bound_port : Unix.file_descr -> int
+(** The actual local port of a bound socket (via [getsockname]). *)
 
 val accept_one : Unix.file_descr -> Unix.file_descr
-val connect_local : port:int -> Unix.file_descr
+
+val connect_local :
+  ?retries:int -> ?backoff:float -> port:int -> unit -> Unix.file_descr
+(** Connect to 127.0.0.1:[port]. A refused connection (listener still
+    starting) is retried up to [retries] times with exponentially growing
+    [backoff] (initial delay, default 50ms); default is no retry. *)

@@ -52,19 +52,37 @@ let rec encode_value buf (v : Value.t) =
     add_int buf (Array.length a);
     Array.iter (fun x -> add_int64 buf (Int64.bits_of_float x)) a
 
+(* Frames can come from untrusted peers: every length and every read is
+   bounds-checked against the frame, so malformed input fails with a
+   [Failure "wire: ..."] instead of escaping as [Invalid_argument] (negative
+   or out-of-frame index) or [Out_of_memory] (absurd allocation size). *)
+let need b pos n =
+  if n < 0 || n > Bytes.length b - !pos then
+    failwith
+      (Printf.sprintf "wire: malformed frame (need %d bytes at %d of %d)" n
+         !pos (Bytes.length b))
+
 let rec decode_value b ~pos =
+  need b pos 1;
   let tag = Bytes.get b !pos in
   incr pos;
   match tag with
   | 'u' -> Value.Unit
   | 'b' ->
+    need b pos 1;
     let c = Bytes.get b !pos in
     incr pos;
     Value.Bool (c <> '\000')
-  | 'i' -> Value.Int (get_int b ~pos)
-  | 'f' -> Value.Float (Int64.float_of_bits (get_int64 b ~pos))
+  | 'i' ->
+    need b pos 8;
+    Value.Int (get_int b ~pos)
+  | 'f' ->
+    need b pos 8;
+    Value.Float (Int64.float_of_bits (get_int64 b ~pos))
   | 's' ->
+    need b pos 8;
     let n = get_int b ~pos in
+    need b pos n;
     let s = Bytes.sub_string b !pos n in
     pos := !pos + n;
     Value.Str s
@@ -73,21 +91,51 @@ let rec decode_value b ~pos =
     let b' = decode_value b ~pos in
     Value.Pair (a, b')
   | 'l' ->
+    need b pos 8;
     let n = get_int b ~pos in
+    (* each element takes at least its one tag byte *)
+    need b pos n;
     Value.List (List.init n (fun _ -> decode_value b ~pos))
   | 'a' ->
+    need b pos 8;
     let n = get_int b ~pos in
+    if n < 0 || n > (Bytes.length b - !pos) / 8 then
+      failwith (Printf.sprintf "wire: malformed float-array length %d" n);
     Value.Float_array
       (Array.init n (fun _ -> Int64.float_of_bits (get_int64 b ~pos)))
   | c -> failwith (Printf.sprintf "wire: bad value tag %C" c)
 
 (* --- Frames ---------------------------------------------------------------- *)
 
-let really_write fd bytes =
+exception Timeout
+
+(* A signal landing mid-frame must restart the interrupted syscall, not
+   propagate EINTR and corrupt the stream framing. *)
+let rec restart_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_eintr f
+
+(* Block until [fd] is ready (readable/writable per [for_read]) or
+   [deadline] (absolute Unix time) passes, raising {!Timeout} then. *)
+let wait_ready fd ~for_read deadline =
+  match deadline with
+  | None -> ()
+  | Some d ->
+    let rec go () =
+      let remaining = d -. Unix.gettimeofday () in
+      if remaining <= 0.0 then raise Timeout;
+      let rd, wr = if for_read then ([ fd ], []) else ([], [ fd ]) in
+      match restart_eintr (fun () -> Unix.select rd wr [] remaining) with
+      | [], [], _ -> go () (* re-check the clock; select can return early *)
+      | _ -> ()
+    in
+    go ()
+
+let really_write ?deadline fd bytes =
   let n = Bytes.length bytes in
   let rec go off =
     if off < n then begin
-      let w = Unix.write fd bytes off (n - off) in
+      wait_ready fd ~for_read:false deadline;
+      let w = restart_eintr (fun () -> Unix.write fd bytes off (n - off)) in
       if w = 0 then failwith "wire: short write";
       go (off + w)
     end
@@ -95,12 +143,13 @@ let really_write fd bytes =
   go 0
 
 (* Returns [None] on EOF at a frame boundary. *)
-let really_read fd n ~allow_eof =
+let really_read ?deadline fd n ~allow_eof =
   let b = Bytes.create n in
   let rec go off =
     if off >= n then Some b
     else begin
-      let r = Unix.read fd b off (n - off) in
+      wait_ready fd ~for_read:true deadline;
+      let r = restart_eintr (fun () -> Unix.read fd b off (n - off)) in
       if r = 0 then
         if off = 0 && allow_eof then None else failwith "wire: unexpected EOF"
       else go (off + r)
@@ -108,21 +157,21 @@ let really_read fd n ~allow_eof =
   in
   go 0
 
-let write_frame fd buf =
+let write_frame ?deadline fd buf =
   let payload = Buffer.to_bytes buf in
   let header = Buffer.create 8 in
   add_int header (Bytes.length payload);
-  really_write fd (Buffer.to_bytes header);
-  really_write fd payload
+  really_write ?deadline fd (Buffer.to_bytes header);
+  really_write ?deadline fd payload
 
-let read_frame fd ~allow_eof =
-  match really_read fd 8 ~allow_eof with
+let read_frame ?deadline fd ~allow_eof =
+  match really_read ?deadline fd 8 ~allow_eof with
   | None -> None
   | Some header ->
     let pos = ref 0 in
     let n = get_int header ~pos in
     if n < 0 || n > 64 * 1024 * 1024 then failwith "wire: absurd frame length";
-    (match really_read fd n ~allow_eof:false with
+    (match really_read ?deadline fd n ~allow_eof:false with
      | Some payload -> Some payload
      | None -> assert false)
 
@@ -131,7 +180,7 @@ let read_frame fd ~allow_eof =
 type request = Req_send of Value.t | Req_recv | Req_close
 type response = Resp_ok | Resp_value of Value.t | Resp_error of string
 
-let write_request fd req =
+let write_request ?deadline fd req =
   let buf = Buffer.create 32 in
   (match req with
    | Req_send v ->
@@ -139,13 +188,14 @@ let write_request fd req =
      encode_value buf v
    | Req_recv -> Buffer.add_char buf 'R'
    | Req_close -> Buffer.add_char buf 'C');
-  write_frame fd buf
+  write_frame ?deadline fd buf
 
-let read_request fd =
-  match read_frame fd ~allow_eof:true with
+let read_request ?deadline fd =
+  match read_frame ?deadline fd ~allow_eof:true with
   | None -> None
   | Some b ->
     let pos = ref 0 in
+    need b pos 1;
     let tag = Bytes.get b !pos in
     incr pos;
     (match tag with
@@ -154,7 +204,7 @@ let read_request fd =
      | 'C' -> Some Req_close
      | c -> failwith (Printf.sprintf "wire: bad request tag %C" c))
 
-let write_response fd resp =
+let write_response ?deadline fd resp =
   let buf = Buffer.create 32 in
   (match resp with
    | Resp_ok -> Buffer.add_char buf 'O'
@@ -165,19 +215,22 @@ let write_response fd resp =
      Buffer.add_char buf 'E';
      add_int buf (String.length msg);
      Buffer.add_string buf msg);
-  write_frame fd buf
+  write_frame ?deadline fd buf
 
-let read_response fd =
-  match read_frame fd ~allow_eof:false with
+let read_response ?deadline fd =
+  match read_frame ?deadline fd ~allow_eof:false with
   | None -> assert false
   | Some b ->
     let pos = ref 0 in
+    need b pos 1;
     let tag = Bytes.get b !pos in
     incr pos;
     (match tag with
      | 'O' -> Resp_ok
      | 'V' -> Resp_value (decode_value b ~pos)
      | 'E' ->
+       need b pos 8;
        let n = get_int b ~pos in
+       need b pos n;
        Resp_error (Bytes.sub_string b !pos n)
      | c -> failwith (Printf.sprintf "wire: bad response tag %C" c))

@@ -2,9 +2,18 @@
 
     Values are encoded with a self-describing binary format (no [Marshal],
     so the two endpoints need not run the same binary); every message is a
-    length-prefixed frame. *)
+    length-prefixed frame. Decoding bounds-checks every length against the
+    frame, so malformed peer input fails with [Failure "wire: ..."] rather
+    than [Invalid_argument] or [Out_of_memory]; reads and writes restart on
+    [EINTR] so a signal cannot corrupt the stream framing.
+
+    All I/O entry points take an optional [deadline] (absolute Unix time);
+    when the descriptor is not ready in time, {!Timeout} is raised. *)
 
 open Preo_support
+
+exception Timeout
+(** A [deadline] passed before the peer produced (or accepted) the data. *)
 
 val encode_value : Buffer.t -> Value.t -> unit
 val decode_value : bytes -> pos:int ref -> Value.t
@@ -20,9 +29,9 @@ type response =
   | Resp_value of Value.t
   | Resp_error of string
 
-val write_request : Unix.file_descr -> request -> unit
-val read_request : Unix.file_descr -> request option
+val write_request : ?deadline:float -> Unix.file_descr -> request -> unit
+val read_request : ?deadline:float -> Unix.file_descr -> request option
 (** [None] on clean EOF. *)
 
-val write_response : Unix.file_descr -> response -> unit
-val read_response : Unix.file_descr -> response
+val write_response : ?deadline:float -> Unix.file_descr -> response -> unit
+val read_response : ?deadline:float -> Unix.file_descr -> response

@@ -67,6 +67,17 @@ let new_partitioned =
       true_synchronous = false;
     }
 
+(* Stall watchdog threshold, in seconds: a blocking port operation that
+   waits longer than this gets a stall report recorded against its engine
+   (see Engine). [None] disables the watchdog entirely — the default, so
+   the firing loop pays nothing. Settable at runtime or via the
+   PREO_STALL_THRESHOLD environment variable. *)
+let stall_threshold : float option ref =
+  ref
+    (match Sys.getenv_opt "PREO_STALL_THRESHOLD" with
+     | Some s -> float_of_string_opt s
+     | None -> None)
+
 let synchronous_of = function
   | Existing e -> Existing { e with true_synchronous = true }
   | New n -> New { n with true_synchronous = true }

@@ -34,6 +34,13 @@ val new_jit : t
 val new_jit_cached : int -> t
 val new_partitioned : t
 
+val stall_threshold : float option ref
+(** Stall-watchdog threshold in seconds: a blocking port operation waiting
+    longer than this has a stall report snapshotted into its engine (see
+    [Engine.last_stall]) and counted in [Connector.stats]. [None] (default)
+    disables the watchdog; initialized from the [PREO_STALL_THRESHOLD]
+    environment variable when set. *)
+
 val synchronous_of : t -> t
 (** Same configuration with the textbook fully-synchronous product
     (joint independent firings included). *)

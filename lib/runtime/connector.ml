@@ -131,7 +131,36 @@ let cache_evictions t =
     (fun acc e -> acc + Composer.cache_evictions (Engine.composer e))
     0 t.engines
 
-let poison t msg = Array.iter (fun e -> Engine.poison e msg) t.engines
+(* [stall] (defaulting to the engines' most recent stall report, if any)
+   is rendered into the poison message, so every task released by the
+   shutdown — including those blocked on other regions, via cross-region
+   poison propagation — sees the diagnosis in its [Poisoned] payload. *)
+let poison ?stall t msg =
+  let stall =
+    match stall with
+    | Some _ -> stall
+    | None ->
+      Array.fold_left
+        (fun acc e -> match acc with Some _ -> acc | None -> Engine.last_stall e)
+        None t.engines
+  in
+  let msg =
+    match stall with
+    | Some r when msg <> "shutdown" ->
+      msg ^ "\n" ^ Engine.string_of_stall_report r
+    | _ -> msg
+  in
+  Array.iter (fun e -> Engine.poison e msg) t.engines
+
+let last_stall t =
+  Array.fold_left
+    (fun acc e ->
+      match (acc, Engine.last_stall e) with
+      | None, r -> r
+      | Some (a : Engine.stall_report), Some b ->
+        Some (if b.sr_waited > a.sr_waited then b else a)
+      | acc, None -> acc)
+    None t.engines
 
 let failure t =
   Array.fold_left
@@ -156,6 +185,7 @@ type stats = {
   st_cond_waits : int;
   st_peer_kicks : int;
   st_cand_hits : int;
+  st_stalls : int;
 }
 
 let sum_engines t f = Array.fold_left (fun acc e -> acc + f e) 0 t.engines
@@ -173,12 +203,13 @@ let stats t =
     st_cond_waits = sum_engines t Engine.cond_waits;
     st_peer_kicks = sum_engines t Engine.peer_kicks;
     st_cand_hits = sum_engines t (fun e -> Composer.cand_hits (Engine.composer e));
+    st_stalls = sum_engines t Engine.stalls;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "steps=%d regions=%d expansions=%d cache-hits=%d evictions=%d \
-     compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d"
+     compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d stalls=%d"
     s.st_steps s.st_regions s.st_expansions s.st_cache_hits s.st_cache_evictions
     s.st_compile_seconds s.st_solver_calls s.st_cond_waits s.st_peer_kicks
-    s.st_cand_hits
+    s.st_cand_hits s.st_stalls

@@ -37,7 +37,16 @@ val engines : t -> Engine.t list
 val nregions : t -> int
 val expansions : t -> int
 val cache_evictions : t -> int
-val poison : t -> string -> unit
+
+val poison : ?stall:Engine.stall_report -> t -> string -> unit
+(** Shut every engine down. [stall] (defaulting to the most recent recorded
+    stall report, if any, unless [msg] is plain ["shutdown"]) is appended to
+    the poison message so released tasks — including those blocked on other
+    partitioned regions — see the diagnosis in their [Poisoned] payload. *)
+
+val last_stall : t -> Engine.stall_report option
+(** The longest-waited stall report recorded by any engine, from a deadline
+    expiry or the {!Config.stall_threshold} watchdog. *)
 
 val failure : t -> string option
 (** The first engine-poisoning reason other than plain shutdown, if any
@@ -55,6 +64,7 @@ type stats = {
   st_cond_waits : int;  (** blocked operations parked on a condition variable *)
   st_peer_kicks : int;  (** cross-engine nudges (partitioned runtime) *)
   st_cand_hits : int;  (** candidate-cache hits in the firing loop *)
+  st_stalls : int;  (** stall reports recorded (watchdog trips + deadline expiries) *)
 }
 
 val stats : t -> stats

@@ -29,7 +29,30 @@ type gate = {
   gate_ready : unit -> bool;
   gate_peek : unit -> Value.t;
   gate_commit : Value.t option -> unit;
+  gate_dump : unit -> string;
 }
+
+(* Structured diagnosis of a blocked operation: what the engine (and its
+   partitioned peers) looked like when a deadline expired or the stall
+   watchdog tripped. *)
+type engine_snapshot = {
+  es_steps : int;
+  es_waits : int;
+  es_kicks : int;
+  es_pending : string list;
+  es_candidates : int;  (** -1 when the composer budget is exhausted *)
+  es_gates : string list;
+  es_poisoned : string option;
+}
+
+type stall_report = {
+  sr_op : string;
+  sr_vertex : string;
+  sr_waited : float;
+  sr_engines : engine_snapshot list;
+}
+
+exception Timed_out of stall_report
 
 type send_op = { sv : Value.t; mutable s_done : bool }
 type recv_op = { mutable r_result : Value.t option }
@@ -53,6 +76,8 @@ type t = {
   mutable nsteps : int;
   mutable nwaits : int;  (** times a blocked operation parked on [cond] *)
   mutable nkicks : int;  (** peer-engine nudges issued after firings *)
+  mutable nstalls : int;  (** stall reports recorded (watchdog + deadlines) *)
+  mutable last_stall : stall_report option;
   poison_flag : string option Atomic.t;
       (* read without the lock so overloaded engines notice shutdown *)
   mutable poisoned : string option;
@@ -80,6 +105,8 @@ let create ?(gates = []) comp =
     nsteps = 0;
     nwaits = 0;
     nkicks = 0;
+    nstalls = 0;
+    last_stall = None;
     poison_flag = Atomic.make None;
     poisoned = None;
     peers = [];
@@ -93,6 +120,7 @@ let composer t = t.comp
 let steps t = t.nsteps
 let cond_waits t = t.nwaits
 let peer_kicks t = t.nkicks
+let stalls t = t.nstalls
 
 let gate_of t v =
   if Array.length t.gates = 0 then None else Hashtbl.find_opt t.gate_tbl v
@@ -211,6 +239,24 @@ let fire_one t =
     scan 0
   end
 
+(* Poison this engine and (lock-free) flag its partitioned peers; the
+   caller holds the lock, so peers are only marked through their atomic
+   flags and woken later through the kick machinery — taking their locks
+   here could deadlock against a peer poisoning us. This is what makes a
+   cross-region failure (and the poison message, including any attached
+   stall report) reach tasks blocked on sibling regions instead of leaving
+   them hung forever. *)
+let poison_locked t msg =
+  if Atomic.get t.poison_flag = None then Atomic.set t.poison_flag (Some msg);
+  if t.poisoned = None then t.poisoned <- Some msg;
+  List.iter
+    (fun p ->
+      if Atomic.get p.poison_flag = None then
+        Atomic.set p.poison_flag (Some msg))
+    t.peers;
+  if t.peers <> [] then t.need_kick <- true;
+  Condition.broadcast t.cond
+
 (* Fire as many transitions as possible; returns whether any fired. *)
 let drive t =
   invalidate_gates t;
@@ -219,9 +265,7 @@ let drive t =
      while fire_one t do
        fired := true
      done
-   with Composer.Expansion_budget msg ->
-     t.poisoned <- Some msg;
-     Condition.broadcast t.cond);
+   with Composer.Expansion_budget msg -> poison_locked t msg);
   !fired
 
 (* Nudge peer engines so a firing here propagates through shared gates.
@@ -317,7 +361,85 @@ let unlock_raise t exn =
 
 let add_pending t v = t.base_pending <- Iset.add v t.base_pending
 
-let run_op t ~enqueue ~finished ~extract =
+(* --- Stall diagnosis -------------------------------------------------------- *)
+
+let vname v = Printf.sprintf "%s#%d" (Vertex.name v) v
+
+(* Caller holds the lock. Refolds gate readiness so the snapshot reflects
+   the engine as the firing loop would see it. *)
+let snapshot_locked t =
+  invalidate_gates t;
+  let pending = pending_now t in
+  let candidates =
+    match Composer.candidates t.comp ~pending with
+    | cands -> Array.length cands
+    | exception Composer.Expansion_budget _ -> -1
+  in
+  {
+    es_steps = t.nsteps;
+    es_waits = t.nwaits;
+    es_kicks = t.nkicks;
+    es_pending = List.map vname (Iset.elements pending);
+    es_candidates = candidates;
+    es_gates =
+      Array.to_list
+        (Array.map
+           (fun (v, g) ->
+             Printf.sprintf "%s:%s" (vname v)
+               (try g.gate_dump () with _ -> "?"))
+           t.gates);
+    es_poisoned = t.poisoned;
+  }
+
+let snapshot t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  snapshot_locked t
+
+let pp_stall_report ppf r =
+  Format.fprintf ppf "stalled %s at %s after %.3fs@," r.sr_op r.sr_vertex
+    r.sr_waited;
+  List.iteri
+    (fun i es ->
+      Format.fprintf ppf
+        "engine[%d]: steps=%d waits=%d kicks=%d candidates=%s pending={%s}%s \
+         poisoned=%s@,"
+        i es.es_steps es.es_waits es.es_kicks
+        (if es.es_candidates < 0 then "?" else string_of_int es.es_candidates)
+        (String.concat "," es.es_pending)
+        (match es.es_gates with
+         | [] -> ""
+         | gs -> Printf.sprintf " gates={%s}" (String.concat "," gs))
+        (match es.es_poisoned with Some m -> m | None -> "no"))
+    r.sr_engines
+
+let string_of_stall_report r =
+  Format.asprintf "@[<v>%a@]" pp_stall_report r
+
+let last_stall t =
+  Mutex.lock t.lock;
+  let r = t.last_stall in
+  Mutex.unlock t.lock;
+  r
+
+(* Withdraw an op from a queue (nonblocking or timed-out attempt that did
+   not fire), so a later firing cannot complete into a dead slot. *)
+let withdraw t tbl v keep_op =
+  let q = queue_of tbl v in
+  let kept = Queue.create () in
+  Queue.iter (fun o -> if not (keep_op o) then Queue.push o kept) q;
+  Queue.clear q;
+  Queue.transfer kept q;
+  if Queue.is_empty q then t.base_pending <- Iset.remove v t.base_pending
+
+(* The blocking-operation loop. With neither a deadline nor a stall
+   threshold configured (the common case) the extra work is two option
+   checks on the park path only — firings never touch any of it. When an
+   operation is about to park and carries a deadline (or the global
+   watchdog threshold is set), a one-shot wake-up is registered with
+   {!Timer} so even a fully deadlocked engine gets woken to notice the
+   expiry; expiry withdraws the operation and returns the stall report. *)
+let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
   trace "entry";
   (match Atomic.get t.poison_flag with
    | Some msg -> raise (Poisoned msg)
@@ -328,27 +450,84 @@ let run_op t ~enqueue ~finished ~extract =
     try
       check_poison t;
       enqueue ();
+      let threshold = !Config.stall_threshold in
+      let wait_start = ref nan in
+      let timer_armed = ref false in
+      let watchdog_tripped = ref false in
+      let stall_here waited =
+        {
+          sr_op = opname;
+          sr_vertex = vname opv;
+          sr_waited = waited;
+          sr_engines = [ snapshot_locked t ];
+        }
+      in
+      (* About to park with a deadline or watchdog active: check expiry,
+         arm the timer wake-up once. Returns [Some report] on expiry. *)
+      let check_deadline () =
+        let now = Clock.now () in
+        if Float.is_nan !wait_start then wait_start := now;
+        let waited = now -. !wait_start in
+        (match threshold with
+         | Some th when (not !watchdog_tripped) && waited >= th ->
+           watchdog_tripped := true;
+           t.nstalls <- t.nstalls + 1;
+           t.last_stall <- Some (stall_here waited)
+         | _ -> ());
+        match deadline with
+        | Some d when now >= d ->
+          (* snapshot before withdrawing, so the report still names the
+             expiring operation among the pending vertices *)
+          let report = stall_here waited in
+          remove ();
+          Some report
+        | _ ->
+          if not !timer_armed then begin
+            timer_armed := true;
+            let wake () =
+              Mutex.lock t.lock;
+              Condition.broadcast t.cond;
+              Mutex.unlock t.lock
+            in
+            (match deadline with Some d -> Timer.wake_at d wake | None -> ());
+            match threshold with
+            | Some th -> Timer.wake_at (!wait_start +. th) wake
+            | None -> ()
+          end;
+          None
+      in
+      let park () =
+        trace "waiting";
+        t.nwaits <- t.nwaits + 1;
+        Condition.wait t.cond t.lock;
+        trace "woken"
+      in
       let rec loop () =
         trace "loop";
         check_poison t;
-        if finished () then extract ()
+        if finished () then Ok (extract ())
         else begin
           trace "driving";
           let progressed = drive t in
           check_poison t;
           if finished () then begin
             flush_kicks t;
-            extract ()
+            Ok (extract ())
           end
           else begin
             flush_kicks t;
-            if not progressed && not (finished ()) then begin
-              trace "waiting";
-              t.nwaits <- t.nwaits + 1;
-              Condition.wait t.cond t.lock;
-              trace "woken"
-            end;
-            loop ()
+            if progressed || finished () then loop ()
+            else if deadline = None && threshold = None then begin
+              park ();
+              loop ()
+            end
+            else begin
+              match check_deadline () with
+              | Some report -> Error report
+              | None ->
+                park ();
+                loop ()
+            end
           end
         end
       in
@@ -360,20 +539,35 @@ let run_op t ~enqueue ~finished ~extract =
   flush_kicks t;
   Mutex.unlock t.lock;
   trace "done";
-  result
+  match result with
+  | Ok _ -> result
+  | Error partial ->
+    (* Complete the report with peer snapshots — their locks must be taken
+       with ours released (same discipline as kick_all). *)
+    let full =
+      { partial with
+        sr_engines = partial.sr_engines @ List.map snapshot t.peers }
+    in
+    Mutex.lock t.lock;
+    t.last_stall <- Some full;
+    t.nstalls <- t.nstalls + 1;
+    Mutex.unlock t.lock;
+    Error full
 
-let send t v value =
+let send_opt ?deadline t v value =
   let op = { sv = value; s_done = false } in
-  run_op t
+  run_op ?deadline t ~opname:"send" ~opv:v
+    ~remove:(fun () -> withdraw t t.send_q v (fun o -> o == op))
     ~enqueue:(fun () ->
       Queue.push op (queue_of t.send_q v);
       add_pending t v)
     ~finished:(fun () -> op.s_done)
     ~extract:(fun () -> ())
 
-let recv t v =
+let recv_opt ?deadline t v =
   let op = { r_result = None } in
-  run_op t
+  run_op ?deadline t ~opname:"recv" ~opv:v
+    ~remove:(fun () -> withdraw t t.recv_q v (fun o -> o == op))
     ~enqueue:(fun () ->
       Queue.push op (queue_of t.recv_q v);
       add_pending t v)
@@ -381,14 +575,15 @@ let recv t v =
     ~extract:(fun () ->
       match op.r_result with Some x -> x | None -> assert false)
 
-(* Withdraw an op from a queue (nonblocking attempt that did not fire). *)
-let withdraw t tbl v keep_op =
-  let q = queue_of tbl v in
-  let kept = Queue.create () in
-  Queue.iter (fun o -> if not (keep_op o) then Queue.push o kept) q;
-  Queue.clear q;
-  Queue.transfer kept q;
-  if Queue.is_empty q then t.base_pending <- Iset.remove v t.base_pending
+let send ?deadline t v value =
+  match send_opt ?deadline t v value with
+  | Ok () -> ()
+  | Error report -> raise (Timed_out report)
+
+let recv ?deadline t v =
+  match recv_opt ?deadline t v with
+  | Ok x -> x
+  | Error report -> raise (Timed_out report)
 
 let try_send t v value =
   (match Atomic.get t.poison_flag with
@@ -448,8 +643,7 @@ let try_step t =
       check_poison t;
       invalidate_gates t;
       (try fire_one t with Composer.Expansion_budget msg ->
-        t.poisoned <- Some msg;
-        Condition.broadcast t.cond;
+        poison_locked t msg;
         false)
     with e -> unlock_raise t e
   in
@@ -458,12 +652,22 @@ let try_step t =
   Mutex.unlock t.lock;
   fired
 
-let poison t msg =
-  if Atomic.get t.poison_flag = None then Atomic.set t.poison_flag (Some msg);
+(* Public poisoning propagates transitively through partitioned peers so a
+   whole multi-region connector shuts down from any one engine; the atomic
+   flag doubles as the visited set, so peer cycles terminate. Each engine's
+   lock is taken with no other engine lock held. *)
+let rec poison t msg =
+  let first = Atomic.get t.poison_flag = None in
+  if first then Atomic.set t.poison_flag (Some msg);
   Mutex.lock t.lock;
   if t.poisoned = None then t.poisoned <- Some msg;
   Condition.broadcast t.cond;
-  Mutex.unlock t.lock
+  let peers = t.peers in
+  Mutex.unlock t.lock;
+  if first then
+    List.iter
+      (fun p -> if Atomic.get p.poison_flag = None then poison p msg)
+      peers
 
 let poisoned_reason t =
   Mutex.lock t.lock;

@@ -25,15 +25,73 @@ type gate = {
   gate_commit : Value.t option -> unit;
       (** called on firing: [Some v] delivers to a sink gate, [None] consumes
           from a source gate *)
+  gate_dump : unit -> string;
+      (** one-line state description for stall reports (e.g. bridge-slot
+          occupancy); must not block *)
 }
+
+(** {1 Deadlines and stall diagnosis} *)
+
+type engine_snapshot = {
+  es_steps : int;
+  es_waits : int;
+  es_kicks : int;
+  es_pending : string list;  (** pending boundary vertices, ["name#id"] *)
+  es_candidates : int;
+      (** transitions enabled by the pending set; -1 if the composer's
+          expansion budget is exhausted *)
+  es_gates : string list;  (** per-gate dumps (partitioned bridge slots) *)
+  es_poisoned : string option;
+}
+
+type stall_report = {
+  sr_op : string;  (** ["send"] or ["recv"] *)
+  sr_vertex : string;
+  sr_waited : float;  (** seconds the operation had been parked *)
+  sr_engines : engine_snapshot list;
+      (** the blocked operation's engine first, then its partitioned peers *)
+}
+(** Snapshot of a blocked operation's engine (and its peers) taken when a
+    deadline expired or the stall watchdog tripped: the runtime counterpart
+    of [preoc verify]'s static deadlock counterexample. *)
+
+exception Timed_out of stall_report
+(** Raised by [send]/[recv] whose [?deadline] expired. *)
+
+val pp_stall_report : Format.formatter -> stall_report -> unit
+val string_of_stall_report : stall_report -> string
+
+val last_stall : t -> stall_report option
+(** Most recent stall report recorded against this engine (by a deadline
+    expiry, or by the watchdog when {!Config.stall_threshold} is set). *)
+
+val stalls : t -> int
+(** Stall reports recorded so far (watchdog trips + deadline expiries). *)
 
 val create : ?gates:(Preo_automata.Vertex.t * gate) list -> Composer.t -> t
 
-val send : t -> Preo_automata.Vertex.t -> Value.t -> unit
-(** Blocking send at a boundary source vertex. *)
+val send : ?deadline:float -> t -> Preo_automata.Vertex.t -> Value.t -> unit
+(** Blocking send at a boundary source vertex. [deadline] is an absolute
+    Unix time; when it expires before the protocol fires, the pending
+    operation is withdrawn (later firings cannot complete into the dead
+    slot) and {!Timed_out} is raised with a stall report. *)
 
-val recv : t -> Preo_automata.Vertex.t -> Value.t
-(** Blocking receive at a boundary sink vertex. *)
+val recv : ?deadline:float -> t -> Preo_automata.Vertex.t -> Value.t
+(** Blocking receive at a boundary sink vertex (deadline as in {!send}). *)
+
+val send_opt :
+  ?deadline:float ->
+  t ->
+  Preo_automata.Vertex.t ->
+  Value.t ->
+  (unit, stall_report) result
+(** Like {!send} but returns [Error report] instead of raising on expiry. *)
+
+val recv_opt :
+  ?deadline:float ->
+  t ->
+  Preo_automata.Vertex.t ->
+  (Value.t, stall_report) result
 
 val try_send : t -> Preo_automata.Vertex.t -> Preo_support.Value.t -> bool
 (** Nonblocking send: fires whatever the offer enables and reports whether
@@ -59,7 +117,9 @@ val peer_kicks : t -> int
 (** Peer-engine nudges issued after firings (partitioned runtime). *)
 
 val poison : t -> string -> unit
-(** Wake all blocked operations with {!Poisoned}. *)
+(** Wake all blocked operations with {!Poisoned}. Propagates transitively
+    to partitioned peer engines, so the message (including any attached
+    stall report) reaches tasks blocked on sibling regions. *)
 
 val poisoned_reason : t -> string option
 

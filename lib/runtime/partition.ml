@@ -36,6 +36,12 @@ let is_plain_fifo1 (a : Automaton.t) =
    slot is empty, the consuming engine only when it is full. *)
 let make_slot () =
   let slot : Value.t option Atomic.t = Atomic.make None in
+  (* Slot occupancy feeds stall reports: a deadline expiring in one region
+     shows whether the bridge into a peer region was full or starved. *)
+  let dump side () =
+    Printf.sprintf "%s-slot=%s" side
+      (match Atomic.get slot with Some _ -> "full" | None -> "empty")
+  in
   let producer_gate =
     {
       Engine.gate_ready = (fun () -> Atomic.get slot = None);
@@ -45,6 +51,7 @@ let make_slot () =
           match v with
           | Some value -> Atomic.set slot (Some value)
           | None -> invalid_arg "producer gate expects a value");
+      gate_dump = dump "out";
     }
   in
   let consumer_gate =
@@ -60,6 +67,7 @@ let make_slot () =
           match v with
           | None -> Atomic.set slot None
           | Some _ -> invalid_arg "consumer gate consumes, not delivers");
+      gate_dump = dump "in";
     }
   in
   (producer_gate, consumer_gate)

@@ -6,8 +6,10 @@ type inport = { ie : Engine.t; iv : Vertex.t }
 
 let make_out oe ov = { oe; ov }
 let make_in ie iv = { ie; iv }
-let send p (v : Value.t) = Engine.send p.oe p.ov v
-let recv p = Engine.recv p.ie p.iv
+let send ?deadline p (v : Value.t) = Engine.send ?deadline p.oe p.ov v
+let recv ?deadline p = Engine.recv ?deadline p.ie p.iv
+let send_opt ?deadline p (v : Value.t) = Engine.send_opt ?deadline p.oe p.ov v
+let recv_opt ?deadline p = Engine.recv_opt ?deadline p.ie p.iv
 let try_send p (v : Value.t) = Engine.try_send p.oe p.ov v
 let try_recv p = Engine.try_recv p.ie p.iv
 let out_vertex p = p.ov

@@ -12,12 +12,21 @@ type inport
 val make_out : Engine.t -> Preo_automata.Vertex.t -> outport
 val make_in : Engine.t -> Preo_automata.Vertex.t -> inport
 
-val send : outport -> Value.t -> unit
+val send : ?deadline:float -> outport -> Value.t -> unit
 (** Blocks until the connector completes the operation. May raise
-    {!Engine.Poisoned}. *)
+    {!Engine.Poisoned}, and {!Engine.Timed_out} when [deadline] (an
+    absolute Unix time) expires first — the pending operation is withdrawn
+    before raising, so the port stays usable. *)
 
-val recv : inport -> Value.t
-(** Blocks until a datum is delivered. May raise {!Engine.Poisoned}. *)
+val recv : ?deadline:float -> inport -> Value.t
+(** Blocks until a datum is delivered (deadline as in {!send}). *)
+
+val send_opt :
+  ?deadline:float -> outport -> Value.t -> (unit, Engine.stall_report) result
+(** Like {!send} but returns [Error report] instead of raising on expiry. *)
+
+val recv_opt :
+  ?deadline:float -> inport -> (Value.t, Engine.stall_report) result
 
 val try_send : outport -> Value.t -> bool
 (** Nonblocking: completes the send iff the connector can take it now. *)

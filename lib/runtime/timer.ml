@@ -1,0 +1,71 @@
+(* A single lazily-started timer thread that fires callbacks at absolute
+   times. OCaml's [Condition] has no timed wait, so deadline-carrying engine
+   operations register a wake-up here before parking; the callback simply
+   broadcasts the engine's condition variable and the woken operation
+   re-checks its own deadline. A callback that fires after its operation
+   already completed is a harmless spurious broadcast.
+
+   The thread sleeps in [Unix.select] on a self-pipe: registering an
+   earlier wake-up writes one byte to the pipe to cut the sleep short.
+   Entries are dropped once fired, so memory is bounded by the number of
+   outstanding deadlines. Nothing here runs unless [wake_at] is called, so
+   deadline-free programs pay nothing. *)
+
+let lock = Mutex.create ()
+let entries : (float * (unit -> unit)) list ref = ref []
+let pipe_ref : (Unix.file_descr * Unix.file_descr) option ref = ref None
+
+(* The wake-up time the thread is currently sleeping towards (under [lock]);
+   registrations later than this need no self-pipe poke — the thread will
+   rescan [entries] when it wakes anyway. *)
+let next_wake = ref infinity
+
+let rec restart_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_eintr f
+
+let drain fd =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match restart_eintr (fun () -> Unix.read fd b 0 64) with
+    | 64 -> go ()
+    | _ -> ()
+  in
+  go ()
+
+let rec thread_fn rd () =
+  let now = Unix.gettimeofday () in
+  Mutex.lock lock;
+  let due, rest = List.partition (fun (at, _) -> at <= now) !entries in
+  entries := rest;
+  let next =
+    List.fold_left (fun acc (at, _) -> Float.min acc at) infinity rest
+  in
+  next_wake := next;
+  Mutex.unlock lock;
+  List.iter (fun (_, f) -> try f () with _ -> ()) due;
+  let timeout = if next = infinity then -1.0 else Float.max 0.0 (next -. now) in
+  (match restart_eintr (fun () -> Unix.select [ rd ] [] [] timeout) with
+   | [ _ ], _, _ -> drain rd
+   | _ -> ());
+  thread_fn rd ()
+
+(* Caller holds [lock]. *)
+let wake_pipe () =
+  match !pipe_ref with
+  | Some (_, wr) ->
+    (try ignore (restart_eintr (fun () -> Unix.write wr (Bytes.make 1 'x') 0 1))
+     with _ -> ())
+  | None ->
+    let rd, wr = Unix.pipe () in
+    pipe_ref := Some (rd, wr);
+    ignore (Thread.create (thread_fn rd) ())
+
+let wake_at at f =
+  Mutex.lock lock;
+  entries := (at, f) :: !entries;
+  if at < !next_wake then begin
+    next_wake := at;
+    wake_pipe ()
+  end
+  else if !pipe_ref = None then wake_pipe ();
+  Mutex.unlock lock

@@ -1,0 +1,14 @@
+(** Process-wide wake-up timer for deadline-carrying blocking operations.
+
+    [Condition.wait] cannot time out, so an operation with a deadline
+    registers a wake-up callback here before parking; the timer thread
+    (started lazily on first use — deadline-free programs never pay for it)
+    fires the callback at the requested absolute time. Callbacks must be
+    cheap and exception-free in spirit (exceptions are swallowed); the
+    intended use is broadcasting a condition variable so the parked
+    operation re-checks its deadline itself. Fired entries are dropped;
+    there is no cancellation — a late spurious broadcast is harmless. *)
+
+val wake_at : float -> (unit -> unit) -> unit
+(** [wake_at t f] runs [f ()] on the timer thread at absolute Unix time [t]
+    (immediately if [t] is already past). *)

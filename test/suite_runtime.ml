@@ -311,6 +311,7 @@ let gates_direct () =
       Engine.gate_ready = (fun () -> Atomic.get slot <> None);
       gate_peek = (fun () -> Option.get (Atomic.get slot));
       gate_commit = (fun _ -> Atomic.set slot None);
+      gate_dump = (fun () -> "test-slot");
     }
   in
   let comp =
@@ -517,6 +518,112 @@ let overflow_lossy_keeps_oldest () =
   Alcotest.(check int) "oldest wins" 1
     (Value.to_int (Port.recv (Connector.inport conn b)))
 
+(* --- deadlines and stall diagnosis ------------------------------------------ *)
+
+let recv_deadline_times_out () =
+  (* a sync with no sender: a deadlined recv must expire with a stall
+     report naming the pending vertex, not hang *)
+  let conn, _, b = sync_conn Config.new_jit in
+  let t0 = Unix.gettimeofday () in
+  match Port.recv ~deadline:(t0 +. 0.1) (Connector.inport conn b) with
+  | exception Engine.Timed_out r ->
+    let waited = Unix.gettimeofday () -. t0 in
+    Alcotest.(check bool) "within 2x the deadline" true (waited < 0.2);
+    Alcotest.(check string) "op named" "recv" r.Engine.sr_op;
+    Alcotest.(check bool) "vertex named" true
+      (String.starts_with ~prefix:"b#" r.Engine.sr_vertex);
+    Alcotest.(check bool) "pending vertices listed" true
+      (List.exists
+         (fun es ->
+           List.exists
+             (String.starts_with ~prefix:"b#")
+             es.Engine.es_pending)
+         r.Engine.sr_engines);
+    Alcotest.(check bool) "stall counted" true
+      ((Connector.stats conn).Connector.st_stalls > 0);
+    Alcotest.(check bool) "report retrievable" true
+      (Connector.last_stall conn <> None)
+  | _ -> Alcotest.fail "expected Timed_out"
+
+let send_deadline_times_out () =
+  let conn, a, _ = sync_conn Config.new_jit in
+  match Port.send ~deadline:(Unix.gettimeofday () +. 0.05)
+          (Connector.outport conn a) Value.unit with
+  | exception Engine.Timed_out r ->
+    Alcotest.(check string) "op named" "send" r.Engine.sr_op
+  | () -> Alcotest.fail "expected Timed_out"
+
+let timed_out_op_is_withdrawn () =
+  (* the expired recv must be withdrawn: a later send/recv pair still
+     rendezvous correctly, and the value cannot leak into the dead slot *)
+  let conn, a, b = sync_conn Config.new_jit in
+  (match Port.recv_opt ~deadline:(Unix.gettimeofday () +. 0.05)
+           (Connector.inport conn b) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "expected a timeout");
+  let sender =
+    Task.spawn (fun () -> Port.send (Connector.outport conn a) (Value.int 9))
+  in
+  let got = Port.recv (Connector.inport conn b) in
+  Task.join sender;
+  Alcotest.(check int) "fresh recv gets the value" 9 (Value.to_int got)
+
+let stall_watchdog_records () =
+  (* the watchdog snapshots a blocked op that exceeds the threshold even
+     when it is eventually released — no deadline involved *)
+  let saved = !Config.stall_threshold in
+  Config.stall_threshold := Some 0.02;
+  Fun.protect
+    ~finally:(fun () -> Config.stall_threshold := saved)
+    (fun () ->
+      let conn, a, b = sync_conn Config.new_jit in
+      let receiver =
+        Task.spawn (fun () ->
+            ignore (Port.recv (Connector.inport conn b)))
+      in
+      Thread.delay 0.1;
+      (* release the blocked recv; it completed fine, but stalled first *)
+      Port.send (Connector.outport conn a) Value.unit;
+      Task.join receiver;
+      Alcotest.(check bool) "watchdog tripped" true
+        ((Connector.stats conn).Connector.st_stalls > 0);
+      match Connector.last_stall conn with
+      | None -> Alcotest.fail "expected a recorded stall report"
+      | Some r ->
+        Alcotest.(check bool) "waited at least the threshold" true
+          (r.Engine.sr_waited >= 0.02))
+
+let cross_region_poison_propagates () =
+  (* partitioned pipeline: poisoning one region's engine must release tasks
+     blocked on the other region, poison message intact *)
+  let a = v "a" and x = v "x" and y = v "y" and b = v "b" in
+  let autos =
+    [
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ x ];
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ x ] ~heads:[ y ];
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ y ] ~heads:[ b ];
+    ]
+  in
+  let conn =
+    mk_conn ~config:Config.new_partitioned autos ~sources:[| a |] ~sinks:[| b |]
+  in
+  Alcotest.(check bool) "actually partitioned" true (Connector.nregions conn > 1);
+  let released = Atomic.make false in
+  let blocked =
+    Task.spawn (fun () ->
+        match Port.recv (Connector.inport conn b) with
+        | exception Engine.Poisoned msg ->
+          Alcotest.(check string) "reason crossed the cut" "region down" msg;
+          Atomic.set released true
+        | _ -> Alcotest.fail "expected Poisoned")
+  in
+  Thread.delay 0.05;
+  (* poison whichever engine comes first; propagation must reach the peer
+     region that owns the blocked recv *)
+  Engine.poison (List.hd (Connector.engines conn)) "region down";
+  Task.join blocked;
+  Alcotest.(check bool) "blocked task released" true (Atomic.get released)
+
 let tests =
   [
     ("sync rendezvous (all configs)", `Quick, sync_rendezvous);
@@ -543,4 +650,9 @@ let tests =
     ("fifon from DSL", `Quick, fifon_from_dsl);
     ("shift-lossy keeps newest", `Quick, shift_lossy_keeps_newest);
     ("overflow-lossy keeps oldest", `Quick, overflow_lossy_keeps_oldest);
+    ("recv deadline times out", `Quick, recv_deadline_times_out);
+    ("send deadline times out", `Quick, send_deadline_times_out);
+    ("timed-out op is withdrawn", `Quick, timed_out_op_is_withdrawn);
+    ("stall watchdog records", `Quick, stall_watchdog_records);
+    ("cross-region poison propagates", `Quick, cross_region_poison_propagates);
   ]
