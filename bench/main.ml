@@ -12,7 +12,8 @@
 open Preo_support
 
 let sections =
-  [ "fig12"; "fig13"; "fig13-blowup"; "abl-opt"; "abl-cache"; "abl-part"; "micro" ]
+  [ "fig12"; "fig13"; "fig13-blowup"; "abl-opt"; "abl-cache"; "abl-part";
+    "obs"; "micro" ]
 
 (* Representative connector families for the steps/s micro bench: picked to
    exercise deep pending sets (sequencer), partitionable pipelines
@@ -468,6 +469,41 @@ let abl_part opts =
   Tablefmt.print ~header:[ "runtime"; "N"; "regions"; "steps/s" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* OBS: tracing overhead                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Quantify what the observability layer costs: tracing off (the single
+   guard branch per recording site) vs. on (ring stores + metrics). Off is
+   the configuration whose steps/s must stay within the perf acceptance
+   bound of a build without the subsystem at all. *)
+let obs_overhead opts =
+  Tablefmt.rule "OBS: tracing overhead (steps per second, sequencer N=8)";
+  let window = if opts.full then 1.0 else 0.5 in
+  let e = Preo_connectors.Catalog.find "sequencer" in
+  let rate () =
+    match
+      Preo_connectors.Driver.run_noop ~config:Preo_runtime.Config.new_jit
+        ~seconds:window e ~n:8
+    with
+    | Preo_connectors.Driver.Steps { steps; run_seconds; _ } ->
+      float_of_int steps /. run_seconds
+    | _ -> nan
+  in
+  let was = Preo.tracing_enabled () in
+  Preo.set_tracing false;
+  let off = rate () in
+  Preo.set_tracing true;
+  let on = rate () in
+  Preo.set_tracing was;
+  Tablefmt.print
+    ~header:[ "tracing"; "steps/s"; "relative" ]
+    [
+      [ "off"; Printf.sprintf "%.0f" off; "1.00" ];
+      [ "on"; Printf.sprintf "%.0f" on; Printf.sprintf "%.2f" (on /. off) ];
+    ];
+  Printf.printf "tracing-on overhead: %.1f%%\n" (100.0 *. (1.0 -. (on /. off)))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -491,10 +527,19 @@ let micro_steps opts =
             | Preo_connectors.Driver.Steps { steps; run_seconds; stats = st; _ } ->
               let rate = float_of_int steps /. run_seconds in
               json_rows :=
-                Printf.sprintf
-                  "    {\"family\": %S, \"n\": %d, \"config\": %S, \
-                   \"steps_per_s\": %.1f}"
-                  fname n cname rate
+                Preo_runtime.Connector.(
+                  Printf.sprintf
+                    "    {\"family\": %S, \"n\": %d, \"config\": %S, \
+                     \"steps_per_s\": %.1f, \"stats\": {\"st_steps\": %d, \
+                     \"st_regions\": %d, \"st_expansions\": %d, \
+                     \"st_cache_hits\": %d, \"st_cache_evictions\": %d, \
+                     \"st_compile_seconds\": %.6f, \"st_solver_calls\": %d, \
+                     \"st_cond_waits\": %d, \"st_peer_kicks\": %d, \
+                     \"st_cand_hits\": %d, \"st_stalls\": %d}}"
+                    fname n cname rate st.st_steps st.st_regions
+                    st.st_expansions st.st_cache_hits st.st_cache_evictions
+                    st.st_compile_seconds st.st_solver_calls st.st_cond_waits
+                    st.st_peer_kicks st.st_cand_hits st.st_stalls)
                 :: !json_rows;
               Printf.eprintf "[micro] %-16s N=%-3d %-16s %.0f steps/s\n%!"
                 fname n cname rate;
@@ -527,7 +572,9 @@ let micro_steps opts =
   | Some path ->
     let oc = open_out path in
     Printf.fprintf oc
-      "{\n  \"window_seconds\": %.2f,\n  \"rows\": [\n%s\n  ]\n}\n" window
+      "{\n  \"schema_version\": 2,\n  \"window_seconds\": %.2f,\n  \
+       \"rows\": [\n%s\n  ]\n}\n"
+      window
       (String.concat ",\n" (List.rev !json_rows));
     close_out oc;
     Printf.printf "wrote %s\n" path
@@ -612,6 +659,7 @@ let () =
   if wants opts "abl-opt" then abl_opt opts;
   if wants opts "abl-cache" then abl_cache opts;
   if wants opts "abl-part" then abl_part opts;
+  if wants opts "obs" then obs_overhead opts;
   if wants opts "micro" then begin
     micro_steps opts;
     micro opts

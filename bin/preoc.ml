@@ -8,17 +8,27 @@
      preoc automaton FILE CONN K=N ... compose and print the large automaton
      preoc dot FILE CONN K=N ...       Graphviz of the large automaton
      preoc graph FILE CONN K=N ...     Graphviz of the connector data flow
-     preoc trace FILE CONN K=N ...     run 1s with port spammers, print fired steps
+     preoc trace FILE CONN K=N ... [--json OUT] [--metrics]
+                                       run 0.5s with port spammers under
+                                       tracing; print the recorded events
+                                       (or write Chrome trace JSON to OUT);
+                                       --metrics appends the metrics registry
+                                       in Prometheus text format
      preoc verify FILE CONN K=N ... [--prop P]
                                        deadlock/property check the composition
      preoc template FILE CONN          show the compile-time share
      preoc emit FILE CONN              generate a standalone OCaml module
-     preoc simulate FILE CONN K=N ... [--deadline SECS]
+     preoc simulate FILE CONN K=N ... [--deadline SECS] [--trace OUT]
                                        run with port-spamming tasks for 1s;
                                        with --deadline, a blocked operation
-                                       times out and prints a stall report
+                                       times out and prints a stall report;
+                                       with --trace, record under tracing and
+                                       write Chrome trace JSON to OUT (also on
+                                       the timed-out path)
      preoc catalog                     list the built-in connector families
-*)
+
+   Unknown subcommands, missing arguments and malformed operands all print
+   usage to stderr and exit 2. *)
 
 module Ast = Preo_lang.Ast
 module Parser = Preo_lang.Parser
@@ -32,8 +42,9 @@ module Verify = Preo_verify.Verify
 let usage () =
   prerr_endline
     "usage: preoc \
-     {check|print|flatten|eval|automaton|dot|verify|template|simulate} FILE \
-     [CONNECTOR] [ARR=N ...] [--deadline SECS]\n\
+     {check|print|fmt|flatten|eval|automaton|dot|graph|trace|verify|template|\
+     emit|simulate} FILE [CONNECTOR] [ARR=N ...] [--deadline SECS] [--trace \
+     OUT] [--json OUT] [--metrics] [--prop P]\n\
      \       preoc catalog";
   exit 2
 
@@ -43,15 +54,33 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let bad_operand fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "preoc: %s\n" msg;
+      usage ())
+    fmt
+
 let parse_lengths args =
   List.map
     (fun s ->
       match String.index_opt s '=' with
-      | Some i ->
-        ( String.sub s 0 i,
-          int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
-      | None -> failwith (s ^ ": expected ARR=N"))
+      | Some i -> begin
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some n -> (String.sub s 0 i, n)
+        | None -> bad_operand "%s: expected ARR=N with integer N" s
+      end
+      | None -> bad_operand "%s: expected ARR=N" s)
     args
+
+let parse_float_arg flag s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> bad_operand "%s %s: expected a number" flag s
 
 let compiled path name = Preo.compile ~source:(read_file path) ~name
 
@@ -67,7 +96,7 @@ let large_automaton_full c lengths =
 
 let large_automaton c lengths = fst (large_automaton_full c lengths)
 
-let () =
+let main () =
   match Array.to_list Sys.argv with
   | _ :: "catalog" :: _ ->
     List.iter
@@ -167,18 +196,24 @@ let () =
     Buffer.add_string buf "}\n";
     print_string (Buffer.contents buf)
   | _ :: "trace" :: path :: name :: rest ->
+    (* Run briefly under tracing and export what was recorded: the recorded
+       rings as a human dump (default) or Chrome trace JSON (--json OUT),
+       plus the metrics registry in Prometheus text format (--metrics). *)
+    let json_out, metrics_wanted, rest =
+      let rec split json metrics = function
+        | "--json" :: out :: more -> split (Some out) metrics more
+        | "--json" :: [] -> bad_operand "--json: missing output file"
+        | "--metrics" :: more -> split json true more
+        | x :: more ->
+          let j, m, r = split json metrics more in
+          (j, m, x :: r)
+        | [] -> (json, metrics, [])
+      in
+      split None false rest
+    in
+    Preo.set_tracing true;
     let c = compiled path name in
     let inst = Preo.instantiate c ~lengths:(parse_lengths rest) in
-    List.iter
-      (fun e ->
-        Preo_runtime.Engine.set_on_fire e
-          (Some
-             (fun sync ->
-               Printf.printf "step {%s}\n%!"
-                 (String.concat ","
-                    (List.map Preo_automata.Vertex.name
-                       (Preo_support.Iset.elements sync))))))
-      (Preo.Connector.engines (Preo.connector inst));
     let threads =
       List.concat_map
         (fun (gname, is_source) ->
@@ -206,7 +241,13 @@ let () =
     in
     Thread.delay 0.5;
     Preo.shutdown inst;
-    List.iter (fun t -> try Preo.Task.join t with _ -> ()) threads
+    List.iter (fun t -> try Preo.Task.join t with _ -> ()) threads;
+    (match json_out with
+     | Some out ->
+       write_file out (Preo.chrome_trace inst);
+       Printf.printf "wrote %s\n" out
+     | None -> print_string (Preo.dump_trace inst));
+    if metrics_wanted then print_string (Preo.Metrics.to_prometheus ())
   | _ :: "dot" :: path :: name :: rest ->
     let large = large_automaton (compiled path name) (parse_lengths rest) in
     print_string (Preo_automata.Dot.automaton ~name large)
@@ -267,18 +308,30 @@ let () =
        connector is poisoned with the report attached, so this doubles as a
        runtime deadlock detector for protocols too big to verify
        statically. *)
-    let deadline_s, rest =
-      let rec split acc = function
-        | "--deadline" :: s :: more -> split (Some (float_of_string s)) more
+    let deadline_s, trace_out, rest =
+      let rec split dl tr = function
+        | "--deadline" :: s :: more ->
+          split (Some (parse_float_arg "--deadline" s)) tr more
+        | "--deadline" :: [] -> bad_operand "--deadline: missing seconds"
+        | "--trace" :: out :: more -> split dl (Some out) more
+        | "--trace" :: [] -> bad_operand "--trace: missing output file"
         | x :: more ->
-          let d, r = split acc more in
-          (d, x :: r)
-        | [] -> (acc, [])
+          let d, t, r = split dl tr more in
+          (d, t, x :: r)
+        | [] -> (dl, tr, [])
       in
-      split None rest
+      split None None rest
     in
+    if trace_out <> None then Preo.set_tracing true;
     let c = compiled path name in
     let inst = Preo.instantiate c ~lengths:(parse_lengths rest) in
+    let write_trace () =
+      match trace_out with
+      | Some out ->
+        write_file out (Preo.chrome_trace inst);
+        Printf.printf "wrote %s\n" out
+      | None -> ()
+    in
     let stall_lock = Mutex.create () in
     let stall : Preo.Engine.stall_report option ref = ref None in
     let on_timeout (r : Preo.Engine.stall_report) =
@@ -322,6 +375,7 @@ let () =
       (Preo.Connector.stats (Preo.connector inst));
     Preo.shutdown inst;
     List.iter (fun t -> try Preo.Task.join t with _ -> ()) threads;
+    write_trace ();
     (match !stall with
      | None -> ()
      | Some r ->
@@ -329,3 +383,16 @@ let () =
          (Preo.Engine.string_of_stall_report r);
        exit 1)
   | _ -> usage ()
+
+(* Every failure mode of a CLI invocation — unknown subcommand (the fallback
+   match arm), unreadable file, parse/check errors, malformed operands —
+   lands on stderr with usage and exit code 2; only a connector that
+   actually deadlocked or failed a property exits 1. *)
+let () =
+  try main () with
+  | Preo.Error msg | Failure msg | Sys_error msg ->
+    Printf.eprintf "preoc: %s\n" msg;
+    usage ()
+  | Preo.Connector.Compile_failure msg ->
+    Printf.eprintf "preoc: composition failed: %s\n" msg;
+    exit 1

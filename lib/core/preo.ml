@@ -13,6 +13,9 @@ module Connector = Preo_runtime.Connector
 module Engine = Preo_runtime.Engine
 module Datafun = Preo_automata.Datafun
 module Vertex = Preo_automata.Vertex
+module Obs = Preo_obs.Obs
+module Metrics = Preo_obs.Metrics
+module Trace_export = Preo_obs.Export
 
 exception Error of string
 
@@ -115,6 +118,10 @@ let connector inst = inst.conn
 let steps inst = Connector.steps inst.conn
 let shutdown inst = Connector.poison inst.conn "shutdown"
 let set_stall_threshold v = Preo_runtime.Config.stall_threshold := v
+let set_tracing v = Preo_obs.Obs.set_tracing v
+let tracing_enabled () = !Preo_obs.Obs.tracing
+let dump_trace inst = Connector.dump_trace inst.conn
+let chrome_trace inst = Connector.chrome_trace inst.conn
 let last_stall inst = Connector.last_stall inst.conn
 
 (* --- Running main -------------------------------------------------------- *)

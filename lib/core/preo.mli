@@ -29,6 +29,9 @@ module Config = Preo_runtime.Config
 module Connector = Preo_runtime.Connector
 module Engine = Preo_runtime.Engine
 module Datafun = Preo_automata.Datafun
+module Obs = Preo_obs.Obs
+module Metrics = Preo_obs.Metrics
+module Trace_export = Preo_obs.Export
 
 exception Error of string
 
@@ -82,6 +85,25 @@ val last_stall : instance -> Engine.stall_report option
 (** The most significant stall report recorded by the instance's engines —
     what was pending, how many transitions were enabled, and the engine
     counters at the moment a deadline expired or the watchdog tripped. *)
+
+(** {1 Observability}
+
+    Structured tracing and metrics ({!Obs}, {!Metrics}, {!Trace_export}).
+    When tracing is enabled — here or via the [PREO_TRACE] environment
+    variable — every engine records firings, port-operation lifecycles, JIT
+    expansions, stalls and poisonings into a fixed-size ring; partition
+    bridges and process bridges record slot traffic and RPC spans. When it
+    is off (the default), the runtime pays one branch per recording site. *)
+
+val set_tracing : bool -> unit
+val tracing_enabled : unit -> bool
+
+val dump_trace : instance -> string
+(** Human-readable listing of all recorded trace events. *)
+
+val chrome_trace : instance -> string
+(** Chrome trace-event JSON (load in Perfetto or [chrome://tracing]);
+    includes every trace lane registered in the process. *)
 
 (** {1 Running a [main] definition} *)
 

@@ -7,6 +7,27 @@ let () =
 
 exception Bridge_down of string
 
+module Obs = Preo_obs.Obs
+
+(* One locked trace lane per side of this process's bridge RPCs: client
+   calls run under per-remote locks, serve loops in their own threads, so
+   neither side has a common external lock to piggyback on. *)
+let rpc_ring_of : (string, Obs.ring) Hashtbl.t = Hashtbl.create 4
+let rpc_ring_lock = Mutex.create ()
+
+let rpc_ring side =
+  Mutex.lock rpc_ring_lock;
+  let r =
+    match Hashtbl.find_opt rpc_ring_of side with
+    | Some r -> r
+    | None ->
+      let r = Obs.create_ring ~locked:true side in
+      Hashtbl.add rpc_ring_of side r;
+      r
+  in
+  Mutex.unlock rpc_ring_lock;
+  r
+
 let poison_prefix = "poisoned:"
 
 let is_poison_error msg = String.starts_with ~prefix:poison_prefix msg
@@ -26,15 +47,30 @@ let serve loop fd =
   Thread.create
     (fun () ->
       let rec go () =
-        match Wire.read_request fd with
-        | None | Some Wire.Req_close -> ()
-        | Some req ->
+        match Wire.read_request_traced fd with
+        | None | Some (Wire.Req_close, _) -> ()
+        | Some (req, span) ->
+          (* The span arrived inside the frame: echoing its correlation into
+             our events is what lets traces from the two processes merge. *)
+          let traced =
+            match span with Some _ -> !Obs.tracing | None -> false
+          in
+          (match span with
+           | Some { Wire.sp_corr; sp_span } when traced ->
+             Obs.emit (rpc_ring "rpc-server") Obs.Rpc_server_start ~a:sp_span
+               ~b:sp_corr
+           | _ -> ());
           let resp =
             try loop req with
             | Preo_runtime.Engine.Poisoned msg ->
               Wire.Resp_error (poison_prefix ^ " " ^ msg)
             | e -> Wire.Resp_error (Printexc.to_string e)
           in
+          (match span with
+           | Some { Wire.sp_corr; sp_span } when traced ->
+             Obs.emit (rpc_ring "rpc-server") Obs.Rpc_server_end ~a:sp_span
+               ~b:sp_corr
+           | _ -> ());
           Wire.write_response fd resp;
           (* Keep serving after recoverable errors (e.g. a wrong-direction
              request); only poisoning — the connector is gone for good — or
@@ -99,9 +135,28 @@ let rpc fd lock timeout req =
     ~finally:(fun () -> Mutex.unlock lock)
     (fun () ->
       let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+      let span =
+        if !Obs.tracing then begin
+          let sp =
+            { Wire.sp_corr = Obs.correlation (); sp_span = Obs.next_span () }
+          in
+          Obs.emit (rpc_ring "rpc-client") Obs.Rpc_client_start ~a:sp.Wire.sp_span
+            ~b:sp.Wire.sp_corr;
+          Some sp
+        end
+        else None
+      in
+      let finish resp =
+        (match span with
+         | Some sp when !Obs.tracing ->
+           Obs.emit (rpc_ring "rpc-client") Obs.Rpc_client_end ~a:sp.Wire.sp_span
+             ~b:sp.Wire.sp_corr
+         | _ -> ());
+        resp
+      in
       try
-        Wire.write_request ?deadline fd req;
-        Wire.read_response ?deadline fd
+        Wire.write_request ?deadline ?span fd req;
+        finish (Wire.read_response ?deadline fd)
       with
       | Wire.Timeout ->
         raise

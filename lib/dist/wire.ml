@@ -180,8 +180,20 @@ let read_frame ?deadline fd ~allow_eof =
 type request = Req_send of Value.t | Req_recv | Req_close
 type response = Resp_ok | Resp_value of Value.t | Resp_error of string
 
-let write_request ?deadline fd req =
+type span = { sp_corr : int; sp_span : int }
+
+(* A traced request frame carries a 'T' header (correlation id + span id)
+   before the request tag; untraced frames start directly at the tag, so the
+   two framings coexist on one connection and tracing can be toggled
+   per-request. *)
+let write_request ?deadline ?span fd req =
   let buf = Buffer.create 32 in
+  (match span with
+   | Some { sp_corr; sp_span } ->
+     Buffer.add_char buf 'T';
+     add_int buf sp_corr;
+     add_int buf sp_span
+   | None -> ());
   (match req with
    | Req_send v ->
      Buffer.add_char buf 'S';
@@ -190,19 +202,33 @@ let write_request ?deadline fd req =
    | Req_close -> Buffer.add_char buf 'C');
   write_frame ?deadline fd buf
 
-let read_request ?deadline fd =
+let read_request_traced ?deadline fd =
   match read_frame ?deadline fd ~allow_eof:true with
   | None -> None
   | Some b ->
     let pos = ref 0 in
     need b pos 1;
+    let span =
+      if Bytes.get b !pos = 'T' then begin
+        incr pos;
+        need b pos 16;
+        let sp_corr = get_int b ~pos in
+        let sp_span = get_int b ~pos in
+        Some { sp_corr; sp_span }
+      end
+      else None
+    in
+    need b pos 1;
     let tag = Bytes.get b !pos in
     incr pos;
     (match tag with
-     | 'S' -> Some (Req_send (decode_value b ~pos))
-     | 'R' -> Some Req_recv
-     | 'C' -> Some Req_close
+     | 'S' -> Some (Req_send (decode_value b ~pos), span)
+     | 'R' -> Some (Req_recv, span)
+     | 'C' -> Some (Req_close, span)
      | c -> failwith (Printf.sprintf "wire: bad request tag %C" c))
+
+let read_request ?deadline fd =
+  Option.map fst (read_request_traced ?deadline fd)
 
 let write_response ?deadline fd resp =
   let buf = Buffer.create 32 in

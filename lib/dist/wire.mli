@@ -29,9 +29,23 @@ type response =
   | Resp_value of Value.t
   | Resp_error of string
 
-val write_request : ?deadline:float -> Unix.file_descr -> request -> unit
+type span = { sp_corr : int; sp_span : int }
+(** Trace identity of one RPC: the client process's correlation ID plus a
+    per-RPC span ID, carried inside the request frame (as a ['T'] header
+    before the request tag) so traces exported on both sides of a bridge
+    merge on a shared correlation. *)
+
+val write_request :
+  ?deadline:float -> ?span:span -> Unix.file_descr -> request -> unit
+
 val read_request : ?deadline:float -> Unix.file_descr -> request option
-(** [None] on clean EOF. *)
+(** [None] on clean EOF. Accepts traced and untraced frames (any span is
+    dropped). *)
+
+val read_request_traced :
+  ?deadline:float -> Unix.file_descr -> (request * span option) option
+(** Like {!read_request} but also returns the trace span, if the frame
+    carried one. *)
 
 val write_response : ?deadline:float -> Unix.file_descr -> response -> unit
 val read_response : ?deadline:float -> Unix.file_descr -> response

@@ -1,0 +1,271 @@
+(* Trace sinks: render the recorded rings as a human-readable dump or as
+   Chrome trace-event JSON (the format Perfetto / chrome://tracing load).
+
+   Lane model: every ring (engine, partition bridge, RPC side) is one
+   synthetic "thread" of this process, and every OS thread observed in
+   port-operation events gets its own task lane. Blocking operations become
+   duration ("X") slices from submit to complete, with their park/wake span
+   nested inside; everything else is an instant event. *)
+
+let vname v = !Obs.vertex_namer v
+
+(* Synthetic tids for ring lanes, far above any plausible OS thread id. *)
+let lane_base = 900_000
+let ring_tid r = lane_base + Obs.ring_id r
+
+let dump ?rings () =
+  let rings = match rings with Some rs -> rs | None -> Obs.rings () in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "=== %s: %d events (%d dropped)\n" (Obs.ring_label r)
+           (Obs.recorded r) (Obs.dropped r));
+      let t0 = ref nan in
+      List.iter
+        (fun (e : Obs.event) ->
+          if Float.is_nan !t0 then t0 := e.e_ts;
+          let detail =
+            match e.e_kind with
+            | Obs.Fire ->
+              Printf.sprintf "sync=%d%s" e.e_a
+                (if e.e_b >= 0 then " at=" ^ vname e.e_b else "")
+            | Obs.Submit_send | Obs.Submit_recv | Obs.Park | Obs.Wake
+            | Obs.Complete_send | Obs.Complete_recv | Obs.Stall ->
+              Printf.sprintf "%s tid=%d" (vname e.e_a) e.e_b
+            | Obs.Expansion -> Printf.sprintf "total=%d new=%d" e.e_a e.e_b
+            | Obs.Poison -> ""
+            | Obs.Slot_put | Obs.Slot_take -> vname e.e_a
+            | Obs.Rpc_client_start | Obs.Rpc_client_end | Obs.Rpc_server_start
+            | Obs.Rpc_server_end ->
+              Printf.sprintf "span=%d corr=%d" e.e_a e.e_b
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "  +%.6f %-14s %s\n" (e.e_ts -. !t0)
+               (Obs.kind_name e.e_kind) detail))
+        (Obs.events r))
+    rings;
+  Buffer.contents buf
+
+(* --- Chrome trace-event JSON ------------------------------------------------ *)
+
+type out_event = {
+  o_name : string;
+  o_cat : string;
+  o_ph : string;  (* "X" | "i" | "M" *)
+  o_ts : float;  (* microseconds *)
+  o_dur : float;  (* microseconds, X only *)
+  o_tid : int;
+  o_args : (string * string) list;  (* pre-rendered JSON values *)
+}
+
+let categories_of_kind = function
+  | Obs.Fire | Obs.Expansion | Obs.Poison -> "engine"
+  | Obs.Submit_send | Obs.Submit_recv | Obs.Complete_send | Obs.Complete_recv ->
+    "port"
+  | Obs.Park | Obs.Wake -> "sched"
+  | Obs.Stall -> "stall"
+  | Obs.Slot_put | Obs.Slot_take -> "bridge"
+  | Obs.Rpc_client_start | Obs.Rpc_client_end | Obs.Rpc_server_start
+  | Obs.Rpc_server_end ->
+    "rpc"
+
+let chrome ?rings () =
+  let rings = match rings with Some rs -> rs | None -> Obs.rings () in
+  let pid = Unix.getpid () in
+  (* Epoch of the whole trace, so timestamps are small and lanes align. *)
+  let t0 =
+    List.fold_left
+      (fun acc r ->
+        match Obs.events r with
+        | [] -> acc
+        | e :: _ -> Float.min acc e.Obs.e_ts)
+      infinity rings
+  in
+  let t0 = if t0 = infinity then 0.0 else t0 in
+  let us t = (t -. t0) *. 1e6 in
+  let out = ref [] in
+  let push e = out := e :: !out in
+  let task_lanes = Hashtbl.create 16 in
+  let task_lane tid = Hashtbl.replace task_lanes tid () in
+  List.iter
+    (fun r ->
+      let lane = ring_tid r in
+      push
+        {
+          o_name = "thread_name";
+          o_cat = "__metadata";
+          o_ph = "M";
+          o_ts = 0.0;
+          o_dur = 0.0;
+          o_tid = lane;
+          o_args = [ ("name", Printf.sprintf "\"%s\"" (Json.escape (Obs.ring_label r))) ];
+        };
+      (* Pending submit / park / rpc-start events awaiting their partner. *)
+      let pending_op : (int * int * bool, float) Hashtbl.t = Hashtbl.create 16 in
+      let pending_park : (int, float) Hashtbl.t = Hashtbl.create 16 in
+      let pending_rpc : (int, float * string) Hashtbl.t = Hashtbl.create 16 in
+      (* Per-lane clamp so exported instants are non-decreasing even if the
+         system clock stepped mid-trace. *)
+      let last = ref neg_infinity in
+      let mono t =
+        let t = Float.max t !last in
+        last := t;
+        t
+      in
+      let instant ?(tid = lane) ?(args = []) name kind ts =
+        push
+          {
+            o_name = name;
+            o_cat = categories_of_kind kind;
+            o_ph = "i";
+            o_ts = us ts;
+            o_dur = 0.0;
+            o_tid = tid;
+            o_args = ("s", "\"t\"") :: args;
+          }
+      in
+      List.iter
+        (fun (e : Obs.event) ->
+          let ts = mono e.e_ts in
+          match e.e_kind with
+          | Obs.Fire ->
+            instant
+              (if e.e_b >= 0 then "fire " ^ vname e.e_b else "fire")
+              Obs.Fire ts
+              ~args:[ ("sync", string_of_int e.e_a) ]
+          | Obs.Expansion ->
+            instant "expansion" Obs.Expansion ts
+              ~args:
+                [ ("total", string_of_int e.e_a); ("new", string_of_int e.e_b) ]
+          | Obs.Poison -> instant "poison" Obs.Poison ts
+          | Obs.Slot_put -> instant ("put " ^ vname e.e_a) Obs.Slot_put ts
+          | Obs.Slot_take -> instant ("take " ^ vname e.e_a) Obs.Slot_take ts
+          | Obs.Submit_send ->
+            Hashtbl.replace pending_op (e.e_b, e.e_a, true) ts
+          | Obs.Submit_recv ->
+            Hashtbl.replace pending_op (e.e_b, e.e_a, false) ts
+          | Obs.Park -> Hashtbl.replace pending_park e.e_b ts
+          | Obs.Wake -> begin
+            task_lane e.e_b;
+            match Hashtbl.find_opt pending_park e.e_b with
+            | None -> instant ~tid:e.e_b "wake" Obs.Wake ts
+            | Some start ->
+              Hashtbl.remove pending_park e.e_b;
+              push
+                {
+                  o_name = "park";
+                  o_cat = "sched";
+                  o_ph = "X";
+                  o_ts = us start;
+                  o_dur = Float.max 0.01 (us ts -. us start);
+                  o_tid = e.e_b;
+                  o_args = [];
+                }
+          end
+          | Obs.Complete_send | Obs.Complete_recv ->
+            let is_send = e.e_kind = Obs.Complete_send in
+            let opname = if is_send then "send" else "recv" in
+            task_lane e.e_b;
+            (match Hashtbl.find_opt pending_op (e.e_b, e.e_a, is_send) with
+             | None ->
+               instant ~tid:e.e_b
+                 (opname ^ " " ^ vname e.e_a)
+                 e.e_kind ts
+             | Some start ->
+               Hashtbl.remove pending_op (e.e_b, e.e_a, is_send);
+               push
+                 {
+                   o_name = opname ^ " " ^ vname e.e_a;
+                   o_cat = "port";
+                   o_ph = "X";
+                   o_ts = us start;
+                   o_dur = Float.max 0.01 (us ts -. us start);
+                   o_tid = e.e_b;
+                   o_args = [ ("vertex", Printf.sprintf "\"%s\"" (Json.escape (vname e.e_a))) ];
+                 })
+          | Obs.Stall ->
+            task_lane e.e_b;
+            instant ~tid:e.e_b ("stall " ^ vname e.e_a) Obs.Stall ts
+          | Obs.Rpc_client_start | Obs.Rpc_server_start ->
+            let side =
+              if e.e_kind = Obs.Rpc_client_start then "rpc-client" else "rpc-server"
+            in
+            Hashtbl.replace pending_rpc e.e_a (ts, side)
+          | Obs.Rpc_client_end | Obs.Rpc_server_end -> begin
+            let corr_args =
+              [ ("span", string_of_int e.e_a); ("corr", string_of_int e.e_b) ]
+            in
+            match Hashtbl.find_opt pending_rpc e.e_a with
+            | None -> instant "rpc" e.e_kind ts ~args:corr_args
+            | Some (start, side) ->
+              Hashtbl.remove pending_rpc e.e_a;
+              push
+                {
+                  o_name = side;
+                  o_cat = "rpc";
+                  o_ph = "X";
+                  o_ts = us start;
+                  o_dur = Float.max 0.01 (us ts -. us start);
+                  o_tid = lane;
+                  o_args = corr_args;
+                }
+          end)
+        (Obs.events r);
+      (* Whatever is still pending at export time (blocked ops, in-flight
+         RPCs) surfaces as instants so nothing silently disappears. *)
+      Hashtbl.iter
+        (fun (tid, v, is_send) start ->
+          task_lane tid;
+          instant ~tid
+            ((if is_send then "blocked send " else "blocked recv ") ^ vname v)
+            (if is_send then Obs.Submit_send else Obs.Submit_recv)
+            start)
+        pending_op;
+      Hashtbl.iter
+        (fun span (start, side) ->
+          instant (side ^ " (in flight)") Obs.Rpc_client_start start
+            ~args:[ ("span", string_of_int span) ])
+        pending_rpc)
+    rings;
+  Hashtbl.iter
+    (fun tid () ->
+      push
+        {
+          o_name = "thread_name";
+          o_cat = "__metadata";
+          o_ph = "M";
+          o_ts = 0.0;
+          o_dur = 0.0;
+          o_tid = tid;
+          o_args = [ ("name", Printf.sprintf "\"task-%d\"" tid) ];
+        })
+    task_lanes;
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "{\"traceEvents\": [";
+  List.iteri
+    (fun i e ->
+      let args =
+        match e.o_args with
+        | [] -> ""
+        | kvs ->
+          Printf.sprintf ", \"args\": {%s}"
+            (String.concat ", "
+               (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) kvs))
+      in
+      let dur =
+        if e.o_ph = "X" then Printf.sprintf ", \"dur\": %.3f" e.o_dur else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s\n {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", \"ts\": \
+            %.3f%s, \"pid\": %d, \"tid\": %d%s}"
+           (if i = 0 then "" else ",")
+           (Json.escape e.o_name) e.o_cat e.o_ph e.o_ts dur pid e.o_tid args))
+    (List.rev !out);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"pid\": \"%d\", \
+        \"correlation\": \"%d\"}}\n"
+       pid (Obs.correlation ()));
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Minimal dependency-free JSON support: escaping for the exporters, a
+    validating parser for trace smoke tests ([preoc trace --check] and the
+    obs test suite). Not a general-purpose JSON library: numbers are floats,
+    non-ASCII escapes degrade to ['?']. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Body of a JSON string literal (no surrounding quotes). *)
+
+exception Parse_error of string
+
+val parse : string -> (t, string) result
+val parse_exn : string -> t
+
+(** Accessors (total, returning [None]/[[]] on shape mismatch): *)
+
+val member : string -> t -> t option
+val to_list : t -> t list
+val to_float : t -> float option
+val to_string : t -> string option

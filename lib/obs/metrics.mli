@@ -1,0 +1,33 @@
+(** Metrics registry: named counters and histograms with JSON and Prometheus
+    text serialization.
+
+    Handles are find-or-create by name, so modules can declare them lazily
+    without coordinating. Recording sites guard with [!Obs.tracing] — a
+    non-traced run never touches the registry. *)
+
+type counter
+type histogram
+
+val counter : ?help:string -> string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val histogram : ?help:string -> ?buckets:float array -> string -> histogram
+(** [buckets] are ascending upper bounds (an overflow bucket is implicit).
+    Default: {!seconds_buckets}. *)
+
+val seconds_buckets : float array
+(** Powers of two from 1µs to ~8s — latency measurements. *)
+
+val size_buckets : float array
+(** Powers of two from 1 to 2048 — e.g. firing-batch sizes. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+
+val to_json : unit -> string
+val to_prometheus : unit -> string
+(** Prometheus text exposition format, metric names prefixed [preo_]. *)
+
+val reset : unit -> unit
+(** Zero all values (handles stay registered and valid). *)

@@ -42,7 +42,7 @@ let create ?(config = Config.new_jit) ~sources ~sinks mediums =
       (* Force boundary polarity from the declared signature. *)
       let large = { large with sources = src_set; sinks = snk_set } in
       let comp = Composer.aot ~use_dispatch ~optimize_labels large in
-      let e = Engine.create comp in
+      let e = Engine.create ~name:"engine0" comp in
       ([| e |], [ (Iset.union src_set snk_set, e) ])
     | Config.New
         {
@@ -57,20 +57,22 @@ let create ?(config = Config.new_jit) ~sources ~sinks mediums =
           Composer.jit ~cache_capacity ~optimize_labels ~expansion_budget
             ~true_synchronous ~sources:src_set ~sinks:snk_set mediums
         in
-        let e = Engine.create comp in
+        let e = Engine.create ~name:"engine0" comp in
         ([| e |], [ (Iset.union src_set snk_set, e) ])
       end
       else begin
         let plan = Partition.split ~sources:src_set ~sinks:snk_set mediums in
         let engines =
-          Array.map
-            (fun (r : Partition.region) ->
+          Array.mapi
+            (fun i (r : Partition.region) ->
               let comp =
                 Composer.jit ~cache_capacity ~optimize_labels ~expansion_budget
                   ~true_synchronous ~sources:r.r_sources ~sinks:r.r_sinks
                   r.mediums
               in
-              Engine.create ~gates:r.gates comp)
+              Engine.create ~gates:r.gates
+                ~name:(Printf.sprintf "engine%d" i)
+                comp)
             plan.regions
         in
         Array.iteri
@@ -205,6 +207,18 @@ let stats t =
     st_cand_hits = sum_engines t (fun e -> Composer.cand_hits (Engine.composer e));
     st_stalls = sum_engines t Engine.stalls;
   }
+
+(* Exports cover every lane registered in the process — this connector's
+   engines (whose rings are forced into existence so each appears even if it
+   recorded nothing yet) plus shared lanes such as partition bridges and
+   bridge RPCs. *)
+let dump_trace t =
+  Array.iter (fun e -> ignore (Engine.obs_ring e)) t.engines;
+  Preo_obs.Export.dump ()
+
+let chrome_trace t =
+  Array.iter (fun e -> ignore (Engine.obs_ring e)) t.engines;
+  Preo_obs.Export.chrome ()
 
 let pp_stats ppf s =
   Format.fprintf ppf

@@ -69,3 +69,16 @@ type stats = {
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {1 Trace export}
+
+    Both exporters render every trace lane registered in the process: this
+    connector's engines (one lane each, present even if empty) plus shared
+    lanes — partition-bridge slots and bridge RPCs. Events are recorded only
+    while tracing is enabled ([Preo.set_tracing] / [PREO_TRACE]). *)
+
+val dump_trace : t -> string
+(** Human-readable event listing. *)
+
+val chrome_trace : t -> string
+(** Chrome trace-event JSON (load in Perfetto or [chrome://tracing]). *)

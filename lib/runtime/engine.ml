@@ -1,7 +1,27 @@
 open Preo_support
 open Preo_automata
+module Obs = Preo_obs.Obs
+module Metrics = Preo_obs.Metrics
 
 exception Poisoned of string
+
+(* Teach the exporters how to render vertex ids; obs itself cannot depend on
+   the automata layer. *)
+let () = Obs.set_vertex_namer (fun v -> Printf.sprintf "%s#%d" (Vertex.name v) v)
+
+(* Registered eagerly (cheap, once) so `preoc trace --metrics` always has the
+   full set; recording sites still guard on !Obs.tracing. *)
+let m_port_wait =
+  Metrics.histogram ~help:"blocking port-operation wait time"
+    ~buckets:Metrics.seconds_buckets "port_wait_seconds"
+
+let m_fire_batch =
+  Metrics.histogram ~help:"transitions fired per drive batch"
+    ~buckets:Metrics.size_buckets "fire_batch_size"
+
+let m_fires = Metrics.counter ~help:"transitions fired" "transitions_fired_total"
+let m_parks = Metrics.counter ~help:"operation parks" "port_parks_total"
+let m_stalls = Metrics.counter ~help:"stall reports" "stalls_total"
 
 (* Diagnostic-only: per-thread stage notes, enabled via PREO_ENGINE_TRACE. *)
 let trace_enabled = Sys.getenv_opt "PREO_ENGINE_TRACE" <> None
@@ -85,9 +105,14 @@ type t = {
   mutable need_kick : bool;
   mutable on_fire : (Iset.t -> unit) option;
       (* called with each fired sync set, under the engine lock (tracing) *)
+  ename : string;
+  mutable oring : Obs.ring option;
+      (* created on first traced emit; written only under the engine lock,
+         so it needs no ring mutex of its own *)
+  mutable last_exp : int;  (** JIT expansions already reported to the ring *)
 }
 
-let create ?(gates = []) comp =
+let create ?(gates = []) ?(name = "engine") comp =
   let gate_tbl = Hashtbl.create (max 1 (List.length gates)) in
   List.iter (fun (v, g) -> Hashtbl.replace gate_tbl v g) gates;
   {
@@ -112,7 +137,20 @@ let create ?(gates = []) comp =
     peers = [];
     need_kick = false;
     on_fire = None;
+    ename = name;
+    oring = None;
+    last_exp = 0;
   }
+
+(* The ring is the engine's trace lane; created lazily so untraced runs
+   never register anything. Callers hold the engine lock. *)
+let obs_ring t =
+  match t.oring with
+  | Some r -> r
+  | None ->
+    let r = Obs.create_ring t.ename in
+    t.oring <- Some r;
+    r
 
 let set_peers t peers = t.peers <- peers
 let set_on_fire t f = t.on_fire <- f
@@ -229,6 +267,11 @@ let fire_one t =
           Composer.commit t.comp x;
           invalidate_gates t;
           t.nsteps <- t.nsteps + 1;
+          if !Obs.tracing then begin
+            Obs.emit (obs_ring t) Obs.Fire ~a:(Iset.cardinal x.sync)
+              ~b:(if Iset.is_empty x.sync then -1 else Iset.choose x.sync);
+            Metrics.incr m_fires
+          end;
           (match t.on_fire with Some f -> f x.sync | None -> ());
           if t.peers <> [] then t.need_kick <- true;
           Condition.broadcast t.cond;
@@ -248,7 +291,10 @@ let fire_one t =
    them hung forever. *)
 let poison_locked t msg =
   if Atomic.get t.poison_flag = None then Atomic.set t.poison_flag (Some msg);
-  if t.poisoned = None then t.poisoned <- Some msg;
+  if t.poisoned = None then begin
+    t.poisoned <- Some msg;
+    if !Obs.tracing then Obs.emit (obs_ring t) Obs.Poison ~a:0 ~b:0
+  end;
   List.iter
     (fun p ->
       if Atomic.get p.poison_flag = None then
@@ -260,13 +306,21 @@ let poison_locked t msg =
 (* Fire as many transitions as possible; returns whether any fired. *)
 let drive t =
   invalidate_gates t;
-  let fired = ref false in
+  let fired = ref 0 in
   (try
      while fire_one t do
-       fired := true
+       incr fired
      done
    with Composer.Expansion_budget msg -> poison_locked t msg);
-  !fired
+  if !Obs.tracing then begin
+    if !fired > 0 then Metrics.observe m_fire_batch (float_of_int !fired);
+    let exp = Composer.expansions t.comp in
+    if exp > t.last_exp then begin
+      Obs.emit (obs_ring t) Obs.Expansion ~a:exp ~b:(exp - t.last_exp);
+      t.last_exp <- exp
+    end
+  end;
+  !fired > 0
 
 (* Nudge peer engines so a firing here propagates through shared gates.
    Each engine is visited at most once per round; a kick aimed at an
@@ -439,17 +493,33 @@ let withdraw t tbl v keep_op =
    watchdog threshold is set), a one-shot wake-up is registered with
    {!Timer} so even a fully deadlocked engine gets woken to notice the
    expiry; expiry withdraws the operation and returns the stall report. *)
+let untraced_submit_t = ref 0.0
+
 let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
   trace "entry";
   (match Atomic.get t.poison_flag with
    | Some msg -> raise (Poisoned msg)
    | None -> ());
   trace "locking";
+  (* One flag read when tracing is off; the op's whole lifecycle shares the
+     decision so submit/complete events always pair up. *)
+  let traced = !Obs.tracing in
+  let is_send = traced && String.equal opname "send" in
+  let tid = if traced then Thread.id (Thread.self ()) else 0 in
+  (* written and read only when [traced]; the shared dummy spares the
+     untraced path the allocation *)
+  let submit_t = if traced then ref 0.0 else untraced_submit_t in
   Mutex.lock t.lock;
   let result =
     try
       check_poison t;
       enqueue ();
+      if traced then begin
+        Obs.emit (obs_ring t)
+          (if is_send then Obs.Submit_send else Obs.Submit_recv)
+          ~a:opv ~b:tid;
+        submit_t := Clock.now ()
+      end;
       let threshold = !Config.stall_threshold in
       let wait_start = ref nan in
       let timer_armed = ref false in
@@ -472,7 +542,11 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
          | Some th when (not !watchdog_tripped) && waited >= th ->
            watchdog_tripped := true;
            t.nstalls <- t.nstalls + 1;
-           t.last_stall <- Some (stall_here waited)
+           t.last_stall <- Some (stall_here waited);
+           if traced then begin
+             Obs.emit (obs_ring t) Obs.Stall ~a:opv ~b:tid;
+             Metrics.incr m_stalls
+           end
          | _ -> ());
         match deadline with
         | Some d when now >= d ->
@@ -499,7 +573,12 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
       let park () =
         trace "waiting";
         t.nwaits <- t.nwaits + 1;
+        if traced then begin
+          Obs.emit (obs_ring t) Obs.Park ~a:opv ~b:tid;
+          Metrics.incr m_parks
+        end;
         Condition.wait t.cond t.lock;
+        if traced then Obs.emit (obs_ring t) Obs.Wake ~a:opv ~b:tid;
         trace "woken"
       in
       let rec loop () =
@@ -536,6 +615,17 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
       trace "raised";
       unlock_raise t e
   in
+  if traced then begin
+    (match result with
+     | Ok _ ->
+       Obs.emit (obs_ring t)
+         (if is_send then Obs.Complete_send else Obs.Complete_recv)
+         ~a:opv ~b:tid;
+       Metrics.observe m_port_wait (Clock.now () -. !submit_t)
+     | Error _ ->
+       Obs.emit (obs_ring t) Obs.Stall ~a:opv ~b:tid;
+       Metrics.incr m_stalls)
+  end;
   flush_kicks t;
   Mutex.unlock t.lock;
   trace "done";
@@ -660,7 +750,10 @@ let rec poison t msg =
   let first = Atomic.get t.poison_flag = None in
   if first then Atomic.set t.poison_flag (Some msg);
   Mutex.lock t.lock;
-  if t.poisoned = None then t.poisoned <- Some msg;
+  if t.poisoned = None then begin
+    t.poisoned <- Some msg;
+    if !Obs.tracing then Obs.emit (obs_ring t) Obs.Poison ~a:0 ~b:0
+  end;
   Condition.broadcast t.cond;
   let peers = t.peers in
   Mutex.unlock t.lock;

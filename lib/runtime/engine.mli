@@ -68,7 +68,14 @@ val last_stall : t -> stall_report option
 val stalls : t -> int
 (** Stall reports recorded so far (watchdog trips + deadline expiries). *)
 
-val create : ?gates:(Preo_automata.Vertex.t * gate) list -> Composer.t -> t
+val create :
+  ?gates:(Preo_automata.Vertex.t * gate) list -> ?name:string -> Composer.t -> t
+(** [name] (default ["engine"]) labels this engine's trace lane in
+    {!Preo_obs} exports. *)
+
+val obs_ring : t -> Preo_obs.Obs.ring
+(** This engine's trace ring (created on first use). Events are recorded
+    only while [Preo_obs.Obs.tracing] is set. *)
 
 val send : ?deadline:float -> t -> Preo_automata.Vertex.t -> Value.t -> unit
 (** Blocking send at a boundary source vertex. [deadline] is an absolute

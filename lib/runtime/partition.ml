@@ -1,5 +1,27 @@
 open Preo_support
 open Preo_automata
+module Obs = Preo_obs.Obs
+
+(* All bridge slots of the process share one trace lane. The two gate sides
+   commit under two different engine locks, so this ring needs its own. *)
+let bridge_ring : Obs.ring option ref = ref None
+let bridge_ring_lock = Mutex.create ()
+
+let get_bridge_ring () =
+  match !bridge_ring with
+  | Some r -> r
+  | None ->
+    Mutex.lock bridge_ring_lock;
+    let r =
+      match !bridge_ring with
+      | Some r -> r
+      | None ->
+        let r = Obs.create_ring ~locked:true "bridges" in
+        bridge_ring := Some r;
+        r
+    in
+    Mutex.unlock bridge_ring_lock;
+    r
 
 type region = {
   mediums : Automaton.t list;
@@ -34,7 +56,7 @@ let is_plain_fifo1 (a : Automaton.t) =
    memory ordering; mutual exclusion follows from the slot being
    single-producer single-consumer: the producing engine only acts when the
    slot is empty, the consuming engine only when it is full. *)
-let make_slot () =
+let make_slot ~tail ~head =
   let slot : Value.t option Atomic.t = Atomic.make None in
   (* Slot occupancy feeds stall reports: a deadline expiring in one region
      shows whether the bridge into a peer region was full or starved. *)
@@ -49,7 +71,10 @@ let make_slot () =
       gate_commit =
         (fun v ->
           match v with
-          | Some value -> Atomic.set slot (Some value)
+          | Some value ->
+            Atomic.set slot (Some value);
+            if !Obs.tracing then
+              Obs.emit (get_bridge_ring ()) Obs.Slot_put ~a:tail ~b:head
           | None -> invalid_arg "producer gate expects a value");
       gate_dump = dump "out";
     }
@@ -65,7 +90,10 @@ let make_slot () =
       gate_commit =
         (fun v ->
           match v with
-          | None -> Atomic.set slot None
+          | None ->
+            Atomic.set slot None;
+            if !Obs.tracing then
+              Obs.emit (get_bridge_ring ()) Obs.Slot_take ~a:head ~b:tail
           | Some _ -> invalid_arg "consumer gate consumes, not delivers");
       gate_dump = dump "in";
     }
@@ -257,7 +285,7 @@ let split ~sources ~sinks (mediums : Automaton.t list) =
     List.iter
       (fun (_f, tail, head, rep_t, rep_h) ->
         let rt = index_of_rep rep_t and rh = index_of_rep rep_h in
-        let producer_gate, consumer_gate = make_slot () in
+        let producer_gate, consumer_gate = make_slot ~tail ~head in
         r_sinks.(rt) <- Iset.add tail r_sinks.(rt);
         r_gates.(rt) <- (tail, producer_gate) :: r_gates.(rt);
         r_sources.(rh) <- Iset.add head r_sources.(rh);

@@ -1,15 +1,32 @@
 open Preo_support
 open Preo_automata
+module Obs = Preo_obs.Obs
+module Metrics = Preo_obs.Metrics
 
 type outport = { oe : Engine.t; ov : Vertex.t }
 type inport = { ie : Engine.t; iv : Vertex.t }
 
+let m_sends = Metrics.counter ~help:"blocking port sends" "port_sends_total"
+let m_recvs = Metrics.counter ~help:"blocking port receives" "port_recvs_total"
+
 let make_out oe ov = { oe; ov }
 let make_in ie iv = { ie; iv }
-let send ?deadline p (v : Value.t) = Engine.send ?deadline p.oe p.ov v
-let recv ?deadline p = Engine.recv ?deadline p.ie p.iv
-let send_opt ?deadline p (v : Value.t) = Engine.send_opt ?deadline p.oe p.ov v
-let recv_opt ?deadline p = Engine.recv_opt ?deadline p.ie p.iv
+
+let send ?deadline p (v : Value.t) =
+  if !Obs.tracing then Metrics.incr m_sends;
+  Engine.send ?deadline p.oe p.ov v
+
+let recv ?deadline p =
+  if !Obs.tracing then Metrics.incr m_recvs;
+  Engine.recv ?deadline p.ie p.iv
+
+let send_opt ?deadline p (v : Value.t) =
+  if !Obs.tracing then Metrics.incr m_sends;
+  Engine.send_opt ?deadline p.oe p.ov v
+
+let recv_opt ?deadline p =
+  if !Obs.tracing then Metrics.incr m_recvs;
+  Engine.recv_opt ?deadline p.ie p.iv
 let try_send p (v : Value.t) = Engine.try_send p.oe p.ov v
 let try_recv p = Engine.try_recv p.ie p.iv
 let out_vertex p = p.ov

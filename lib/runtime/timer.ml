@@ -8,11 +8,14 @@
    The thread sleeps in [Unix.select] on a self-pipe: registering an
    earlier wake-up writes one byte to the pipe to cut the sleep short.
    Entries are dropped once fired, so memory is bounded by the number of
-   outstanding deadlines. Nothing here runs unless [wake_at] is called, so
-   deadline-free programs pay nothing. *)
+   outstanding deadlines. Nothing here runs unless a wake-up is registered,
+   so deadline-free programs pay nothing. *)
+
+type handle = int
 
 let lock = Mutex.create ()
-let entries : (float * (unit -> unit)) list ref = ref []
+let entries : (handle * float * (unit -> unit)) list ref = ref []
+let next_handle = ref 0
 let pipe_ref : (Unix.file_descr * Unix.file_descr) option ref = ref None
 
 (* The wake-up time the thread is currently sleeping towards (under [lock]);
@@ -35,14 +38,14 @@ let drain fd =
 let rec thread_fn rd () =
   let now = Unix.gettimeofday () in
   Mutex.lock lock;
-  let due, rest = List.partition (fun (at, _) -> at <= now) !entries in
+  let due, rest = List.partition (fun (_, at, _) -> at <= now) !entries in
   entries := rest;
   let next =
-    List.fold_left (fun acc (at, _) -> Float.min acc at) infinity rest
+    List.fold_left (fun acc (_, at, _) -> Float.min acc at) infinity rest
   in
   next_wake := next;
   Mutex.unlock lock;
-  List.iter (fun (_, f) -> try f () with _ -> ()) due;
+  List.iter (fun (_, _, f) -> try f () with _ -> ()) due;
   let timeout = if next = infinity then -1.0 else Float.max 0.0 (next -. now) in
   (match restart_eintr (fun () -> Unix.select [ rd ] [] [] timeout) with
    | [ _ ], _, _ -> drain rd
@@ -60,12 +63,27 @@ let wake_pipe () =
     pipe_ref := Some (rd, wr);
     ignore (Thread.create (thread_fn rd) ())
 
-let wake_at at f =
+let register at f =
   Mutex.lock lock;
-  entries := (at, f) :: !entries;
+  incr next_handle;
+  let h = !next_handle in
+  entries := (h, at, f) :: !entries;
   if at < !next_wake then begin
     next_wake := at;
     wake_pipe ()
   end
   else if !pipe_ref = None then wake_pipe ();
+  Mutex.unlock lock;
+  h
+
+let wake_at at f = ignore (register at f)
+
+(* Removing the entry under [lock] is a complete cancellation: the thread
+   only calls callbacks it partitioned out of [entries] under the same lock,
+   so an entry still present here has not fired and never will. A handle
+   whose callback already fired is simply absent — cancelling it is a
+   no-op. *)
+let cancel h =
+  Mutex.lock lock;
+  entries := List.filter (fun (h', _, _) -> h' <> h) !entries;
   Mutex.unlock lock

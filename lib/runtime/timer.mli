@@ -6,9 +6,20 @@
     fires the callback at the requested absolute time. Callbacks must be
     cheap and exception-free in spirit (exceptions are swallowed); the
     intended use is broadcasting a condition variable so the parked
-    operation re-checks its deadline itself. Fired entries are dropped;
-    there is no cancellation — a late spurious broadcast is harmless. *)
+    operation re-checks its deadline itself. Fired entries are dropped; a
+    late spurious broadcast is harmless. *)
+
+type handle
+
+val register : float -> (unit -> unit) -> handle
+(** [register t f] runs [f ()] on the timer thread at absolute Unix time [t]
+    (promptly if [t] is already past). Entries with identical times all
+    fire. *)
+
+val cancel : handle -> unit
+(** Remove a registration; its callback will never run afterwards. Cancelling
+    an already-fired (or already-cancelled) handle is a no-op. Cancellation
+    does not wait for a concurrently-running callback. *)
 
 val wake_at : float -> (unit -> unit) -> unit
-(** [wake_at t f] runs [f ()] on the timer thread at absolute Unix time [t]
-    (immediately if [t] is already past). *)
+(** {!register} without keeping the handle (fire-and-forget). *)

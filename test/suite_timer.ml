@@ -1,0 +1,66 @@
+(* Timer edge cases: registrations in the past, cancellation, and identical
+   deadlines. The timer thread is asynchronous, so "fires" is observed by
+   polling a flag with a generous bound and "never fires" by a settle
+   delay well past the registered time. *)
+
+module Timer = Preo_runtime.Timer
+
+let wait_for ?(timeout = 5.0) f =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if f () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      Thread.delay 0.005;
+      go ()
+    end
+  in
+  go ()
+
+let past_deadline_fires_immediately () =
+  let fired = Atomic.make false in
+  ignore (Timer.register (Unix.gettimeofday () -. 1.0) (fun () -> Atomic.set fired true));
+  Alcotest.(check bool)
+    "a deadline already in the past still fires (promptly)" true
+    (wait_for (fun () -> Atomic.get fired))
+
+let cancelled_registration_never_fires () =
+  let fired = Atomic.make false in
+  let h =
+    Timer.register (Unix.gettimeofday () +. 0.15) (fun () -> Atomic.set fired true)
+  in
+  Timer.cancel h;
+  (* Well past the registered time: the callback must not have run. *)
+  Thread.delay 0.4;
+  Alcotest.(check bool) "cancelled callback never ran" false (Atomic.get fired);
+  (* Double-cancel and cancelling after the time passed are no-ops. *)
+  Timer.cancel h
+
+let identical_deadlines_both_fire () =
+  let count = Atomic.make 0 in
+  let at = Unix.gettimeofday () +. 0.05 in
+  ignore (Timer.register at (fun () -> ignore (Atomic.fetch_and_add count 1)));
+  ignore (Timer.register at (fun () -> ignore (Atomic.fetch_and_add count 1)));
+  Alcotest.(check bool)
+    "two registrations at the same instant both fire" true
+    (wait_for (fun () -> Atomic.get count = 2));
+  Alcotest.(check int) "exactly twice" 2 (Atomic.get count)
+
+let cancel_one_of_two_keeps_the_other () =
+  let fired = Atomic.make 0 in
+  let at = Unix.gettimeofday () +. 0.05 in
+  let h1 = Timer.register at (fun () -> ignore (Atomic.fetch_and_add fired 1)) in
+  ignore (Timer.register at (fun () -> ignore (Atomic.fetch_and_add fired 10)));
+  Timer.cancel h1;
+  Alcotest.(check bool) "surviving registration fired" true
+    (wait_for (fun () -> Atomic.get fired > 0));
+  Thread.delay 0.1;
+  Alcotest.(check int) "only the survivor fired" 10 (Atomic.get fired)
+
+let tests =
+  [
+    ("past deadline fires immediately", `Quick, past_deadline_fires_immediately);
+    ("cancelled registration never fires", `Quick, cancelled_registration_never_fires);
+    ("identical deadlines both fire", `Quick, identical_deadlines_both_fire);
+    ("cancel one of two keeps the other", `Quick, cancel_one_of_two_keeps_the_other);
+  ]

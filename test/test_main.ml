@@ -23,4 +23,6 @@ let () =
       ("dsl-corners", Suite_dsl_corners.tests);
       ("random-networks", Suite_random.tests);
       ("npb", Suite_npb.tests);
+      ("timer", Suite_timer.tests);
+      ("obs", Suite_obs.tests);
     ]
