@@ -35,11 +35,18 @@ let micro_configs =
     ("new-partitioned", Preo_runtime.Config.new_partitioned);
   ]
 
-type opts = { full : bool; only : string list; detail : bool; json : string option }
+type opts = {
+  full : bool;
+  only : string list;
+  detail : bool;
+  json : string option;
+  compare : (string * string) option;
+}
 
 let parse_args () =
   let full = ref false and only = ref [] and detail = ref false in
   let json = ref None in
+  let cmp_old = ref "" and cmp_new = ref None in
   let set_only s = only := String.split_on_char ',' s in
   let spec =
     [
@@ -51,11 +58,22 @@ let parse_args () =
       ("--json", Arg.String (fun f -> json := Some f),
        "FILE dump the micro steps/s rows as JSON (baseline format, see \
         EXPERIMENTS.md)");
+      ("--compare",
+       Arg.Tuple
+         [ Arg.Set_string cmp_old; Arg.String (fun f -> cmp_new := Some f) ],
+       "OLD.json NEW.json compare two --json dumps row by row (±5% noise \
+        band); exits non-zero when any row regressed");
     ]
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
     "preo benchmark harness";
-  { full = !full; only = !only; detail = !detail; json = !json }
+  {
+    full = !full;
+    only = !only;
+    detail = !detail;
+    json = !json;
+    compare = (match !cmp_new with Some n -> Some (!cmp_old, n) | None -> None);
+  }
 
 let wants opts name = opts.only = [] || List.mem name opts.only
 
@@ -535,11 +553,15 @@ let micro_steps opts =
                      \"st_cache_hits\": %d, \"st_cache_evictions\": %d, \
                      \"st_compile_seconds\": %.6f, \"st_solver_calls\": %d, \
                      \"st_cond_waits\": %d, \"st_peer_kicks\": %d, \
-                     \"st_cand_hits\": %d, \"st_stalls\": %d}}"
+                     \"st_cand_hits\": %d, \"st_stalls\": %d, \
+                     \"st_wakes_targeted\": %d, \"st_wakes_spurious\": %d, \
+                     \"st_wakes_broadcast\": %d}}"
                     fname n cname rate st.st_steps st.st_regions
                     st.st_expansions st.st_cache_hits st.st_cache_evictions
                     st.st_compile_seconds st.st_solver_calls st.st_cond_waits
-                    st.st_peer_kicks st.st_cand_hits st.st_stalls)
+                    st.st_peer_kicks st.st_cand_hits st.st_stalls
+                    st.st_wakes_targeted st.st_wakes_spurious
+                    st.st_wakes_broadcast)
                 :: !json_rows;
               Printf.eprintf "[micro] %-16s N=%-3d %-16s %.0f steps/s\n%!"
                 fname n cname rate;
@@ -550,20 +572,24 @@ let micro_steps opts =
                        string_of_int st.st_cond_waits;
                        string_of_int st.st_peer_kicks;
                        string_of_int st.st_cand_hits;
-                       string_of_int st.st_cache_hits ]
+                       string_of_int st.st_wakes_targeted;
+                       string_of_int st.st_wakes_spurious;
+                       string_of_int st.st_wakes_broadcast ]
                  else [])
             | Preo_connectors.Driver.Compile_failed _ ->
               [ fname; string_of_int n; cname; "COMPILE-FAIL" ]
-              @ (if opts.detail then [ "-"; "-"; "-"; "-"; "-" ] else [])
+              @ (if opts.detail then [ "-"; "-"; "-"; "-"; "-"; "-"; "-" ] else [])
             | Preo_connectors.Driver.Run_failed _ ->
               [ fname; string_of_int n; cname; "RUN-FAIL" ]
-              @ (if opts.detail then [ "-"; "-"; "-"; "-"; "-" ] else []))
+              @ (if opts.detail then [ "-"; "-"; "-"; "-"; "-"; "-"; "-" ] else []))
           micro_configs)
       micro_families
   in
   let header =
     [ "family"; "N"; "config"; "steps/s" ]
-    @ (if opts.detail then [ "solves"; "waits"; "kicks"; "cand-hits"; "exp-hits" ]
+    @ (if opts.detail then
+         [ "solves"; "waits"; "kicks"; "cand-hits"; "wakes-t"; "wakes-sp";
+           "wakes-b" ]
        else [])
   in
   Tablefmt.print ~header rows;
@@ -572,7 +598,7 @@ let micro_steps opts =
   | Some path ->
     let oc = open_out path in
     Printf.fprintf oc
-      "{\n  \"schema_version\": 2,\n  \"window_seconds\": %.2f,\n  \
+      "{\n  \"schema_version\": 3,\n  \"window_seconds\": %.2f,\n  \
        \"rows\": [\n%s\n  ]\n}\n"
       window
       (String.concat ",\n" (List.rev !json_rows));
@@ -649,9 +675,112 @@ let micro _opts =
   Preo.shutdown inst
 
 (* ------------------------------------------------------------------ *)
+(* --compare: baseline regression gate                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows are keyed (family, n, config); steps/s within ±5% of the old value
+   counts as noise. Exit codes: 0 clean, 1 at least one regression, 2 bad
+   input. Used by CI against the committed BENCH_baseline.json. *)
+let compare_baselines old_path new_path =
+  let module J = Preo_obs.Json in
+  let load path =
+    let j =
+      try
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        J.parse s
+      with Sys_error msg -> Error msg
+    in
+    match j with
+    | Ok j -> j
+    | Error msg ->
+      Printf.eprintf "bench --compare: %s: %s\n" path msg;
+      exit 2
+  in
+  let rows j =
+    match J.member "rows" j with
+    | Some r -> J.to_list r
+    | None ->
+      Printf.eprintf "bench --compare: missing \"rows\" array\n";
+      exit 2
+  in
+  let key r =
+    let str k = Option.bind (J.member k r) J.to_string in
+    let num k = Option.bind (J.member k r) J.to_float in
+    match (str "family", num "n", str "config") with
+    | Some f, Some n, Some c -> Some (f, int_of_float n, c)
+    | _ -> None
+  in
+  let rate r = Option.bind (J.member "steps_per_s" r) J.to_float in
+  let threshold = 0.05 in
+  let old_rows = rows (load old_path) and new_rows = rows (load new_path) in
+  let old_tbl = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      match (key r, rate r) with
+      | Some k, Some v -> Hashtbl.replace old_tbl k v
+      | _ -> ())
+    old_rows;
+  let regressions = ref 0 in
+  let seen = Hashtbl.create 32 in
+  let table =
+    List.filter_map
+      (fun r ->
+        match (key r, rate r) with
+        | Some ((f, n, c) as k), Some nv -> begin
+          Hashtbl.replace seen k ();
+          match Hashtbl.find_opt old_tbl k with
+          | None ->
+            Some [ f; string_of_int n; c; "-"; Printf.sprintf "%.0f" nv; "-";
+                   "new-row" ]
+          | Some ov ->
+            let delta = (nv -. ov) /. ov in
+            let verdict =
+              if delta < -.threshold then begin
+                incr regressions;
+                "REGRESSION"
+              end
+              else if delta > threshold then "improved"
+              else "ok"
+            in
+            Some
+              [ f; string_of_int n; c; Printf.sprintf "%.0f" ov;
+                Printf.sprintf "%.0f" nv;
+                Printf.sprintf "%+.1f%%" (100.0 *. delta); verdict ]
+        end
+        | _ -> None)
+      new_rows
+  in
+  let missing =
+    Hashtbl.fold
+      (fun ((f, n, c) as k) ov acc ->
+        if Hashtbl.mem seen k then acc
+        else
+          [ f; string_of_int n; c; Printf.sprintf "%.0f" ov; "-"; "-";
+            "missing" ]
+          :: acc)
+      old_tbl []
+  in
+  Tablefmt.print
+    ~header:[ "family"; "N"; "config"; "old/s"; "new/s"; "delta"; "verdict" ]
+    (table @ missing);
+  if !regressions > 0 then begin
+    Printf.printf "\n%d row(s) regressed beyond %.0f%%\n" !regressions
+      (100.0 *. threshold);
+    exit 1
+  end
+  else Printf.printf "\nno regressions beyond %.0f%%\n" (100.0 *. threshold)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let opts = parse_args () in
+  (match opts.compare with
+  | Some (old_path, new_path) ->
+    compare_baselines old_path new_path;
+    exit 0
+  | None -> ());
   let t0 = Clock.now () in
   if wants opts "fig12" then fig12 opts;
   if wants opts "fig13" then fig13 opts;

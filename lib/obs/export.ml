@@ -39,6 +39,9 @@ let dump ?rings () =
             | Obs.Rpc_client_start | Obs.Rpc_client_end | Obs.Rpc_server_start
             | Obs.Rpc_server_end ->
               Printf.sprintf "span=%d corr=%d" e.e_a e.e_b
+            | Obs.Wake_targeted ->
+              Printf.sprintf "%s parked=%d" (vname e.e_a) e.e_b
+            | Obs.Wake_broadcast -> Printf.sprintf "waiters=%d" e.e_a
           in
           Buffer.add_string buf
             (Printf.sprintf "  +%.6f %-14s %s\n" (e.e_ts -. !t0)
@@ -63,7 +66,7 @@ let categories_of_kind = function
   | Obs.Fire | Obs.Expansion | Obs.Poison -> "engine"
   | Obs.Submit_send | Obs.Submit_recv | Obs.Complete_send | Obs.Complete_recv ->
     "port"
-  | Obs.Park | Obs.Wake -> "sched"
+  | Obs.Park | Obs.Wake | Obs.Wake_targeted | Obs.Wake_broadcast -> "sched"
   | Obs.Stall -> "stall"
   | Obs.Slot_put | Obs.Slot_take -> "bridge"
   | Obs.Rpc_client_start | Obs.Rpc_client_end | Obs.Rpc_server_start
@@ -139,6 +142,14 @@ let chrome ?rings () =
               ~args:
                 [ ("total", string_of_int e.e_a); ("new", string_of_int e.e_b) ]
           | Obs.Poison -> instant "poison" Obs.Poison ts
+          | Obs.Wake_targeted ->
+            instant
+              ("wake " ^ vname e.e_a)
+              Obs.Wake_targeted ts
+              ~args:[ ("parked", string_of_int e.e_b) ]
+          | Obs.Wake_broadcast ->
+            instant "wake-broadcast" Obs.Wake_broadcast ts
+              ~args:[ ("waiters", string_of_int e.e_a) ]
           | Obs.Slot_put -> instant ("put " ^ vname e.e_a) Obs.Slot_put ts
           | Obs.Slot_take -> instant ("take " ^ vname e.e_a) Obs.Slot_take ts
           | Obs.Submit_send ->

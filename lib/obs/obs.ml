@@ -44,17 +44,21 @@ type kind =
   | Rpc_client_end
   | Rpc_server_start  (** traced bridge RPC received; [a] = span, [b] = corr *)
   | Rpc_server_end
+  | Wake_targeted  (** waker signalled one vertex; [a] = vertex, [b] = parked *)
+  | Wake_broadcast  (** waker woke every waiter; [a] = waiter count *)
 
 let kinds =
   [| Fire; Submit_send; Submit_recv; Park; Wake; Complete_send; Complete_recv;
      Expansion; Stall; Poison; Slot_put; Slot_take; Rpc_client_start;
-     Rpc_client_end; Rpc_server_start; Rpc_server_end |]
+     Rpc_client_end; Rpc_server_start; Rpc_server_end; Wake_targeted;
+     Wake_broadcast |]
 
 let kind_index = function
   | Fire -> 0 | Submit_send -> 1 | Submit_recv -> 2 | Park -> 3 | Wake -> 4
   | Complete_send -> 5 | Complete_recv -> 6 | Expansion -> 7 | Stall -> 8
   | Poison -> 9 | Slot_put -> 10 | Slot_take -> 11 | Rpc_client_start -> 12
   | Rpc_client_end -> 13 | Rpc_server_start -> 14 | Rpc_server_end -> 15
+  | Wake_targeted -> 16 | Wake_broadcast -> 17
 
 let kind_name = function
   | Fire -> "fire" | Submit_send -> "submit-send" | Submit_recv -> "submit-recv"
@@ -63,7 +67,8 @@ let kind_name = function
   | Stall -> "stall" | Poison -> "poison" | Slot_put -> "slot-put"
   | Slot_take -> "slot-take" | Rpc_client_start -> "rpc-client-start"
   | Rpc_client_end -> "rpc-client-end" | Rpc_server_start -> "rpc-server-start"
-  | Rpc_server_end -> "rpc-server-end"
+  | Rpc_server_end -> "rpc-server-end" | Wake_targeted -> "wake-targeted"
+  | Wake_broadcast -> "wake-broadcast"
 
 (* Resolved by the runtime at module-init time (Vertex lives above this
    library in the dependency order). *)

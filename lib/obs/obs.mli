@@ -37,6 +37,12 @@ type kind =
   | Rpc_client_end
   | Rpc_server_start  (** traced bridge RPC received; [a] = span, [b] = corr *)
   | Rpc_server_end
+  | Wake_targeted
+      (** waker-side: signalled the waiters parked on one vertex;
+          [a] = vertex, [b] = number of parked operations *)
+  | Wake_broadcast
+      (** waker-side: fallback woke every waiter of the engine (poison,
+          kick-round cap, shutdown); [a] = waiter count *)
 
 val kind_name : kind -> string
 

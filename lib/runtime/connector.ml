@@ -78,8 +78,20 @@ let create ?(config = Config.new_jit) ~sources ~sinks mediums =
         Array.iteri
           (fun i (r : Partition.region) ->
             Engine.set_peers engines.(i)
-              (List.map (fun j -> engines.(j)) r.bridge_peers))
+              (List.map (fun j -> engines.(j)) r.bridge_peers);
+            Engine.set_gate_peers engines.(i)
+              (List.map (fun (v, j) -> (v, engines.(j))) r.gate_peers))
           plan.regions;
+        (* Settle: initially-full cut fifos make some regions enabled at
+           construction with nothing to kick them (a gate commit kicks the
+           peer, but the initial queue contents were placed by the planner,
+           not by a commit). Drive every engine until the whole network is
+           quiescent; tasks attach afterwards. *)
+        let rec settle () =
+          if Array.fold_left (fun acc e -> Engine.try_step e || acc) false engines
+          then settle ()
+        in
+        settle ();
         let routes =
           Array.to_list
             (Array.mapi
@@ -154,6 +166,8 @@ let poison ?stall t msg =
   in
   Array.iter (fun e -> Engine.poison e msg) t.engines
 
+let close t = poison t "shutdown"
+
 let last_stall t =
   Array.fold_left
     (fun acc e ->
@@ -188,6 +202,9 @@ type stats = {
   st_peer_kicks : int;
   st_cand_hits : int;
   st_stalls : int;
+  st_wakes_targeted : int;
+  st_wakes_spurious : int;
+  st_wakes_broadcast : int;
 }
 
 let sum_engines t f = Array.fold_left (fun acc e -> acc + f e) 0 t.engines
@@ -206,6 +223,9 @@ let stats t =
     st_peer_kicks = sum_engines t Engine.peer_kicks;
     st_cand_hits = sum_engines t (fun e -> Composer.cand_hits (Engine.composer e));
     st_stalls = sum_engines t Engine.stalls;
+    st_wakes_targeted = sum_engines t Engine.wakes_targeted;
+    st_wakes_spurious = sum_engines t Engine.wakes_spurious;
+    st_wakes_broadcast = sum_engines t Engine.wakes_broadcast;
   }
 
 (* Exports cover every lane registered in the process — this connector's
@@ -223,7 +243,9 @@ let chrome_trace t =
 let pp_stats ppf s =
   Format.fprintf ppf
     "steps=%d regions=%d expansions=%d cache-hits=%d evictions=%d \
-     compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d stalls=%d"
+     compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d stalls=%d \
+     wakes=%d/%d/%d"
     s.st_steps s.st_regions s.st_expansions s.st_cache_hits s.st_cache_evictions
     s.st_compile_seconds s.st_solver_calls s.st_cond_waits s.st_peer_kicks
-    s.st_cand_hits s.st_stalls
+    s.st_cand_hits s.st_stalls s.st_wakes_targeted s.st_wakes_spurious
+    s.st_wakes_broadcast

@@ -44,6 +44,11 @@ val poison : ?stall:Engine.stall_report -> t -> string -> unit
     the poison message so released tasks — including those blocked on other
     partitioned regions — see the diagnosis in their [Poisoned] payload. *)
 
+val close : t -> unit
+(** Orderly shutdown: [poison t "shutdown"]. Wakes every blocked task with
+    [Engine.Poisoned "shutdown"] and clears per-thread engine-trace entries,
+    so a closed connector leaves no operation bookkeeping behind. *)
+
 val last_stall : t -> Engine.stall_report option
 (** The longest-waited stall report recorded by any engine, from a deadline
     expiry or the {!Config.stall_threshold} watchdog. *)
@@ -65,6 +70,15 @@ type stats = {
   st_peer_kicks : int;  (** cross-engine nudges (partitioned runtime) *)
   st_cand_hits : int;  (** candidate-cache hits in the firing loop *)
   st_stalls : int;  (** stall reports recorded (watchdog trips + deadline expiries) *)
+  st_wakes_targeted : int;
+      (** per-vertex wake signals issued after firings (one per woken vertex) *)
+  st_wakes_spurious : int;
+      (** wakes after which the woken operation re-parked without engine
+          progress; the spurious fraction is [st_wakes_spurious /
+          st_cond_waits] *)
+  st_wakes_broadcast : int;
+      (** fallback wake-everyone broadcasts (poison, kick-round cap,
+          shutdown) *)
 }
 
 val stats : t -> stats

@@ -23,15 +23,29 @@ let m_fires = Metrics.counter ~help:"transitions fired" "transitions_fired_total
 let m_parks = Metrics.counter ~help:"operation parks" "port_parks_total"
 let m_stalls = Metrics.counter ~help:"stall reports" "stalls_total"
 
-(* Diagnostic-only: per-thread stage notes, enabled via PREO_ENGINE_TRACE. *)
-let trace_enabled = Sys.getenv_opt "PREO_ENGINE_TRACE" <> None
+(* Diagnostic-only: per-thread stage notes, enabled via PREO_ENGINE_TRACE or
+   set_op_trace. One entry per thread with an in-flight operation; the entry
+   is removed when the operation finishes (normally or by exception), so the
+   table stays bounded by the number of currently blocked tasks instead of
+   growing with every thread ever seen. *)
+let trace_enabled = ref (Sys.getenv_opt "PREO_ENGINE_TRACE" <> None)
+let set_op_trace b = trace_enabled := b
 let trace_tbl : (int, string) Hashtbl.t = Hashtbl.create 32
 let trace_lock = Mutex.create ()
 
 let trace stage =
-  if trace_enabled then begin
+  if !trace_enabled then begin
     Mutex.lock trace_lock;
     Hashtbl.replace trace_tbl (Thread.id (Thread.self ())) stage;
+    Mutex.unlock trace_lock
+  end
+
+(* Called when an operation leaves the engine for good; the thread has no
+   in-flight op, so its stage note is stale. *)
+let trace_clear () =
+  if !trace_enabled then begin
+    Mutex.lock trace_lock;
+    Hashtbl.remove trace_tbl (Thread.id (Thread.self ()));
     Mutex.unlock trace_lock
   end
 
@@ -74,28 +88,64 @@ type stall_report = {
 
 exception Timed_out of stall_report
 
-type send_op = { sv : Value.t; mutable s_done : bool }
-type recv_op = { mutable r_result : Value.t option }
+(* Per-vertex parking list: every blocked operation waits on its vertex's
+   own condition variable (all sharing the engine mutex), so a firing can
+   wake exactly the tasks whose operations completed instead of the whole
+   herd. [w_parked] counts operations currently inside Condition.wait; a
+   waker skips vertices with nobody parked. [w_queued] dedups membership in
+   the engine's wake-list without a set structure. *)
+type waiter = {
+  w_cond : Condition.t;
+  w_vertex : Vertex.t;
+  mutable w_parked : int;
+  mutable w_queued : bool;
+}
+
+(* Blocking ops carry their vertex's waiter (resolved once at submit) so
+   completion inside the firing loop reaches the right condition variable
+   with no lookup at all; nonblocking try-ops leave it [None] — their
+   issuing thread is the one driving, nobody needs a wake. *)
+type send_op = { sv : Value.t; mutable s_done : bool; mutable s_w : waiter option }
+type recv_op = { mutable r_result : Value.t option; mutable r_w : waiter option }
 
 type t = {
   lock : Mutex.t;
-  cond : Condition.t;
   comp : Composer.t;
   cells : Value.t option array;
   send_q : (Vertex.t, send_op Queue.t) Hashtbl.t;
   recv_q : (Vertex.t, recv_op Queue.t) Hashtbl.t;
   mutable base_pending : Iset.t;  (** vertices with nonempty queues *)
   gates : (Vertex.t * gate) array;
-  gate_tbl : (Vertex.t, gate) Hashtbl.t;  (** O(1) view of [gates] *)
+  gate_tbl : (Vertex.t, gate_entry) Hashtbl.t;
+      (** O(1) view of [gates], each entry fused with the peer engine behind
+          its bridge so the firing loop resolves gate + kick target in one
+          lookup *)
   mutable gate_pending : Iset.t;
       (** cached gate-readiness; meaningful only while [gate_valid].
           External gate changes only ever turn readiness ON (the peer that
           consumes a slot re-drives us via a kick), so a stale cache can
           under-report but never over-report enabledness. *)
   mutable gate_valid : bool;
+  waiters : (Vertex.t, waiter) Hashtbl.t;
+      (** per-vertex parking lists; entries are created lazily and kept for
+          the engine's lifetime (boundary vertices are a small fixed set) *)
+  mutable wake_list : waiter list;
+      (** waiters with a parked task whose operations completed since the
+          last {!flush_wakes} — the wake-set of the current drive loop
+          (deduplicated via [w_queued]) *)
+  mutable kick_list : t list;
+      (** peer engines behind gates committed since the last kick flush
+          (already resolved through [gate_peer]; tiny, deduped by memq) *)
+  mutable kick_missing : bool;
+      (** a committed gate had no [gate_peer] mapping (hand-wired gates):
+          fall back to kicking every peer at the next flush *)
   mutable nsteps : int;
-  mutable nwaits : int;  (** times a blocked operation parked on [cond] *)
+  mutable nwaits : int;  (** times a blocked operation parked *)
   mutable nkicks : int;  (** peer-engine nudges issued after firings *)
+  mutable nwakes_t : int;  (** targeted per-vertex wake signals issued *)
+  mutable nwakes_sp : int;  (** wakes after which the woken op re-parked
+                                without the engine having progressed *)
+  mutable nwakes_b : int;  (** broadcast fallbacks (poison, kick-round cap) *)
   mutable nstalls : int;  (** stall reports recorded (watchdog + deadlines) *)
   mutable last_stall : stall_report option;
   poison_flag : string option Atomic.t;
@@ -103,6 +153,11 @@ type t = {
   mutable poisoned : string option;
   mutable peers : t list;
   mutable need_kick : bool;
+  visit_stamp : int Atomic.t;
+      (* kick_all bookkeeping: stamped with the traversal round's epoch
+         instead of scanning membership lists (atomic so concurrent
+         traversals with distinct epochs stay independent) *)
+  defer_stamp : int Atomic.t;
   mutable on_fire : (Iset.t -> unit) option;
       (* called with each fired sync set, under the engine lock (tracing) *)
   ename : string;
@@ -112,12 +167,20 @@ type t = {
   mutable last_exp : int;  (** JIT expansions already reported to the ring *)
 }
 
+and gate_entry = {
+  ge_gate : gate;
+  mutable ge_peer : t option;
+      (** the engine sharing this gate's bridge (partitioned runtime); [None]
+          falls back to kicking every peer *)
+}
+
 let create ?(gates = []) ?(name = "engine") comp =
   let gate_tbl = Hashtbl.create (max 1 (List.length gates)) in
-  List.iter (fun (v, g) -> Hashtbl.replace gate_tbl v g) gates;
+  List.iter
+    (fun (v, g) -> Hashtbl.replace gate_tbl v { ge_gate = g; ge_peer = None })
+    gates;
   {
     lock = Mutex.create ();
-    cond = Condition.create ();
     comp;
     cells = Array.make (max 1 (Composer.ncells comp)) None;
     send_q = Hashtbl.create 16;
@@ -127,15 +190,24 @@ let create ?(gates = []) ?(name = "engine") comp =
     gate_tbl;
     gate_pending = Iset.empty;
     gate_valid = false;
+    waiters = Hashtbl.create 16;
+    wake_list = [];
+    kick_list = [];
+    kick_missing = false;
     nsteps = 0;
     nwaits = 0;
     nkicks = 0;
+    nwakes_t = 0;
+    nwakes_sp = 0;
+    nwakes_b = 0;
     nstalls = 0;
     last_stall = None;
     poison_flag = Atomic.make None;
     poisoned = None;
     peers = [];
     need_kick = false;
+    visit_stamp = Atomic.make 0;
+    defer_stamp = Atomic.make 0;
     on_fire = None;
     ename = name;
     oring = None;
@@ -153,15 +225,104 @@ let obs_ring t =
     r
 
 let set_peers t peers = t.peers <- peers
+
+let set_gate_peers t pairs =
+  List.iter
+    (fun (v, p) ->
+      match Hashtbl.find_opt t.gate_tbl v with
+      | Some e -> e.ge_peer <- Some p
+      | None -> ())
+    pairs
+
 let set_on_fire t f = t.on_fire <- f
 let composer t = t.comp
 let steps t = t.nsteps
 let cond_waits t = t.nwaits
 let peer_kicks t = t.nkicks
+let wakes_targeted t = t.nwakes_t
+let wakes_spurious t = t.nwakes_sp
+let wakes_broadcast t = t.nwakes_b
 let stalls t = t.nstalls
 
-let gate_of t v =
+(* --- Targeted wakeups -------------------------------------------------------
+   Operations complete only inside [fire_one], under the engine lock, and a
+   parked task holds the lock continuously from its last [finished ()] check
+   to [Condition.wait] — so recording completed vertices in [wake_pending]
+   and signalling their waiters before the lock is released cannot lose a
+   wakeup. Paths that cannot name a vertex (poison, kick-round cap) fall
+   back to [wake_all], counted separately. *)
+
+let waiter_of t v =
+  match Hashtbl.find_opt t.waiters v with
+  | Some w -> w
+  | None ->
+    let w =
+      { w_cond = Condition.create (); w_vertex = v; w_parked = 0;
+        w_queued = false }
+    in
+    Hashtbl.add t.waiters v w;
+    w
+
+(* A task-facing operation just completed: queue its waiter (carried in
+   the op since submit) for the end-of-drive-loop flush. Skipped when
+   nobody is parked there — the lock is held from here through
+   {!flush_wakes}, so no task can park in between, and a non-parked task
+   re-checks [finished] itself. Caller holds the lock. *)
+let queue_wake t = function
+  | Some w when w.w_parked > 0 && not w.w_queued ->
+    w.w_queued <- true;
+    t.wake_list <- w :: t.wake_list
+  | _ -> ()
+
+(* Signal the waiters of every vertex in the wake-set. Caller holds the
+   lock; runs at the end of each drive loop (and on the try_step path). *)
+let flush_wakes t =
+  match t.wake_list with
+  | [] -> ()
+  | ws ->
+    t.wake_list <- [];
+    List.iter
+      (fun w ->
+        w.w_queued <- false;
+        if w.w_parked > 0 then begin
+          t.nwakes_t <- t.nwakes_t + 1;
+          if !Obs.tracing then
+            Obs.emit (obs_ring t) Obs.Wake_targeted ~a:w.w_vertex
+              ~b:w.w_parked;
+          Condition.broadcast w.w_cond
+        end)
+      ws
+
+(* Correctness backstop: wake every parked operation so each re-examines the
+   engine itself (poison delivery, kick-round cap, shutdown). *)
+let wake_all t =
+  List.iter (fun w -> w.w_queued <- false) t.wake_list;
+  t.wake_list <- [];
+  let woken = ref 0 in
+  Hashtbl.iter
+    (fun _ w ->
+      if w.w_parked > 0 then begin
+        woken := !woken + w.w_parked;
+        Condition.broadcast w.w_cond
+      end)
+    t.waiters;
+  t.nwakes_b <- t.nwakes_b + 1;
+  if !Obs.tracing then Obs.emit (obs_ring t) Obs.Wake_broadcast ~a:!woken ~b:0
+
+let entry_of t v =
   if Array.length t.gates = 0 then None else Hashtbl.find_opt t.gate_tbl v
+
+let gate_of t v =
+  match entry_of t v with Some e -> Some e.ge_gate | None -> None
+
+(* This gate just committed: remember which peer engine shares its bridge
+   so the next kick flush re-drives exactly that engine. Gates with no
+   mapping (hand-wired in tests) degrade to kicking every peer. Caller
+   holds the lock. *)
+let queue_kick t e =
+  match e.ge_peer with
+  | Some p -> if not (List.memq p t.kick_list) then t.kick_list <- p :: t.kick_list
+  | None -> t.kick_missing <- true
 
 let queue_of tbl v =
   match Hashtbl.find_opt tbl v with
@@ -235,12 +396,15 @@ let fire_one t =
           List.iter (fun (c, v) -> t.cells.(c) <- Some v) !staged_cells;
           List.iter
             (fun (v, value) ->
-              match gate_of t v with
-              | Some g -> g.gate_commit (Some value)
+              match entry_of t v with
+              | Some e ->
+                e.ge_gate.gate_commit (Some value);
+                queue_kick t e
               | None ->
                 let q = queue_of t.recv_q v in
                 let op = Queue.pop q in
                 op.r_result <- Some value;
+                queue_wake t op.r_w;
                 if Queue.is_empty q then
                   t.base_pending <- Iset.remove v t.base_pending)
             !delivered;
@@ -248,12 +412,15 @@ let fire_one t =
              command or discarded by the protocol). *)
           Iset.iter
             (fun v ->
-              match gate_of t v with
-              | Some g -> g.gate_commit None
+              match entry_of t v with
+              | Some e ->
+                e.ge_gate.gate_commit None;
+                queue_kick t e
               | None ->
                 let q = queue_of t.send_q v in
                 let op = Queue.pop q in
                 op.s_done <- true;
+                queue_wake t op.s_w;
                 if Queue.is_empty q then
                   t.base_pending <- Iset.remove v t.base_pending)
             x.needs_send;
@@ -273,8 +440,6 @@ let fire_one t =
             Metrics.incr m_fires
           end;
           (match t.on_fire with Some f -> f x.sync | None -> ());
-          if t.peers <> [] then t.need_kick <- true;
-          Condition.broadcast t.cond;
           true
         end
     in
@@ -301,7 +466,7 @@ let poison_locked t msg =
         Atomic.set p.poison_flag (Some msg))
     t.peers;
   if t.peers <> [] then t.need_kick <- true;
-  Condition.broadcast t.cond
+  wake_all t
 
 (* Fire as many transitions as possible; returns whether any fired. *)
 let drive t =
@@ -320,61 +485,105 @@ let drive t =
       t.last_exp <- exp
     end
   end;
+  (* The wake-set of this drive loop: signal exactly the vertices whose
+     task-facing operations completed, while still holding the lock. *)
+  flush_wakes t;
   !fired > 0
+
+(* Consume this engine's pending kick requests and resolve them to the
+   engines that must be re-driven. Gate commits were already resolved
+   through [gate_peer] into [kick_list] (exactly the engine sharing each
+   bridge); a commit with no mapping (hand-wired gates, tests) set
+   [kick_missing] and degrades to kicking every peer, and [need_kick]
+   (poison) always means every peer. Caller holds the lock. *)
+let take_kick_targets t =
+  let need_all = t.need_kick || t.kick_missing in
+  t.need_kick <- false;
+  t.kick_missing <- false;
+  let targets = t.kick_list in
+  t.kick_list <- [];
+  let targets =
+    if not need_all then targets
+    else
+      List.fold_left
+        (fun acc p -> if List.memq p acc then acc else p :: acc)
+        targets t.peers
+  in
+  t.nkicks <- t.nkicks + List.length targets;
+  targets
 
 (* Nudge peer engines so a firing here propagates through shared gates.
    Each engine is visited at most once per round; a kick aimed at an
    already-visited engine is deferred to the next round rather than
-   revisited immediately, so cyclic peer topologies cannot loop. The round
-   cap bounds total work; any requests left after it still get a wake-up
-   broadcast so blocked tasks re-examine their engine themselves. The cap is
-   generous because in ring topologies each round advances the ring by one
-   lap, and momentum (one thread driving the whole ring without context
-   switches) is where the partitioned runtime's throughput comes from. *)
+   revisited immediately, so cyclic peer topologies cannot loop. Rounds
+   stamp engines with a fresh epoch (two atomically allocated stamps per
+   round: visited and deferred) instead of scanning membership lists, so a
+   round over k engines costs O(k) rather than O(k²); concurrent traversals
+   draw distinct epochs and simply tolerate the occasional double visit.
+   The round cap bounds total work; any requests left after it get a
+   broadcast wake-up so blocked tasks re-examine their engine themselves.
+   The cap is generous because in ring topologies each round advances the
+   ring by one lap, and momentum (one thread driving the whole ring without
+   context switches) is where the partitioned runtime's throughput comes
+   from. *)
 let kick_rounds = 64
+let kick_epoch = Atomic.make 1
 
 let kick_all engines =
-  let broadcast_only e =
+  let wake_everyone e =
     Mutex.lock e.lock;
-    Condition.broadcast e.cond;
+    wake_all e;
     Mutex.unlock e.lock
   in
   let visit e =
     Mutex.lock e.lock;
     let _ = drive e in
-    let more =
-      if e.need_kick then begin
-        e.need_kick <- false;
-        e.nkicks <- e.nkicks + List.length e.peers;
-        e.peers
-      end
-      else []
-    in
-    Condition.broadcast e.cond;
+    (* drive signalled e's completed operations; poisoned peers (flagged
+       lock-free by poison_locked) additionally need everyone woken so
+       their parked tasks observe the poison. *)
+    (match Atomic.get e.poison_flag with
+     | Some msg ->
+       if e.poisoned = None then begin
+         e.poisoned <- Some msg;
+         if !Obs.tracing then Obs.emit (obs_ring e) Obs.Poison ~a:0 ~b:0
+       end;
+       wake_all e
+     | None -> ());
+    let more = take_kick_targets e in
     Mutex.unlock e.lock;
     more
   in
   let rec round n todo =
     match todo with
     | [] -> ()
-    | _ when n >= kick_rounds -> List.iter broadcast_only todo
+    | _ when n >= kick_rounds -> List.iter wake_everyone todo
     | _ ->
-      let visited = ref [] in
+      let ev = Atomic.fetch_and_add kick_epoch 2 in
+      let ed = ev + 1 in
       let deferred = ref [] in
       let rec go = function
         | [] -> ()
         | e :: rest ->
-          if List.memq e !visited then go rest
+          if Atomic.get e.visit_stamp = ev then go rest
           else begin
-            visited := e :: !visited;
-            let fresh, seen =
-              List.partition (fun x -> not (List.memq x !visited)) (visit e)
+            Atomic.set e.visit_stamp ev;
+            (* fresh targets are consumed this round; already-visited ones
+               are deferred to the next (no intermediate lists: the common
+               chain case — one fresh target — allocates one cons cell) *)
+            let rest =
+              List.fold_left
+                (fun acc x ->
+                  if Atomic.get x.visit_stamp <> ev then x :: acc
+                  else begin
+                    if Atomic.get x.defer_stamp <> ed then begin
+                      Atomic.set x.defer_stamp ed;
+                      deferred := x :: !deferred
+                    end;
+                    acc
+                  end)
+                rest (visit e)
             in
-            List.iter
-              (fun x ->
-                if not (List.memq x !deferred) then deferred := x :: !deferred)
-              seen;
-            go (fresh @ rest)
+            go rest
           end
       in
       go todo;
@@ -382,15 +591,16 @@ let kick_all engines =
   in
   round 0 engines
 
-(* Release the lock, nudge peers, re-acquire. Caller holds the lock. *)
+(* Release the lock, nudge the targeted engines, re-acquire. Caller holds
+   the lock. *)
 let flush_kicks t =
-  if t.need_kick then begin
-    t.need_kick <- false;
-    let peers = t.peers in
-    t.nkicks <- t.nkicks + List.length peers;
-    Mutex.unlock t.lock;
-    kick_all peers;
-    Mutex.lock t.lock
+  if t.need_kick || t.kick_missing || t.kick_list <> [] then begin
+    match take_kick_targets t with
+    | [] -> ()
+    | targets ->
+      Mutex.unlock t.lock;
+      kick_all targets;
+      Mutex.lock t.lock
   end
 
 (* Consume any pending kick request, unlock, deliver the kicks, and only
@@ -399,18 +609,16 @@ let flush_kicks t =
    their blocked tasks never re-check their engines. Caller holds the
    lock. *)
 let unlock_raise t exn =
-  let peers =
-    if t.need_kick then begin
-      t.need_kick <- false;
-      t.nkicks <- t.nkicks + List.length t.peers;
-      t.peers
-    end
+  let targets =
+    if t.need_kick || t.kick_missing || t.kick_list <> [] then
+      take_kick_targets t
     else []
   in
+  flush_wakes t;
   Mutex.unlock t.lock;
-  (match peers with
+  (match targets with
    | [] -> ()
-   | _ -> ( try kick_all peers with _ -> ()));
+   | _ -> ( try kick_all targets with _ -> ()));
   raise exn
 
 let add_pending t v = t.base_pending <- Iset.add v t.base_pending
@@ -513,7 +721,8 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
   let result =
     try
       check_poison t;
-      enqueue ();
+      let w = waiter_of t opv in
+      enqueue w;
       if traced then begin
         Obs.emit (obs_ring t)
           (if is_send then Obs.Submit_send else Obs.Submit_recv)
@@ -558,9 +767,11 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
         | _ ->
           if not !timer_armed then begin
             timer_armed := true;
+            (* Wake only this operation's vertex: the timer fires for a
+               specific parked op, not for the whole engine. *)
             let wake () =
               Mutex.lock t.lock;
-              Condition.broadcast t.cond;
+              if w.w_parked > 0 then Condition.broadcast w.w_cond;
               Mutex.unlock t.lock
             in
             (match deadline with Some d -> Timer.wake_at d wake | None -> ());
@@ -570,14 +781,22 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
           end;
           None
       in
+      (* Set after a wake, cleared when the engine makes progress: reaching
+         the next park with it still set means the wake achieved nothing —
+         a spurious wake (the metric targeted wakeups exist to minimize). *)
+      let woke_idle = ref false in
       let park () =
         trace "waiting";
+        if !woke_idle then t.nwakes_sp <- t.nwakes_sp + 1;
         t.nwaits <- t.nwaits + 1;
         if traced then begin
           Obs.emit (obs_ring t) Obs.Park ~a:opv ~b:tid;
           Metrics.incr m_parks
         end;
-        Condition.wait t.cond t.lock;
+        w.w_parked <- w.w_parked + 1;
+        Condition.wait w.w_cond t.lock;
+        w.w_parked <- w.w_parked - 1;
+        woke_idle := true;
         if traced then Obs.emit (obs_ring t) Obs.Wake ~a:opv ~b:tid;
         trace "woken"
       in
@@ -588,6 +807,7 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
         else begin
           trace "driving";
           let progressed = drive t in
+          if progressed then woke_idle := false;
           check_poison t;
           if finished () then begin
             flush_kicks t;
@@ -612,7 +832,9 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
       in
       loop ()
     with e ->
-      trace "raised";
+      (* The operation is over either way; drop this thread's stage note so
+         trace_tbl stays bounded by in-flight operations. *)
+      trace_clear ();
       unlock_raise t e
   in
   if traced then begin
@@ -628,7 +850,7 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
   end;
   flush_kicks t;
   Mutex.unlock t.lock;
-  trace "done";
+  trace_clear ();
   match result with
   | Ok _ -> result
   | Error partial ->
@@ -645,20 +867,22 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
     Error full
 
 let send_opt ?deadline t v value =
-  let op = { sv = value; s_done = false } in
+  let op = { sv = value; s_done = false; s_w = None } in
   run_op ?deadline t ~opname:"send" ~opv:v
     ~remove:(fun () -> withdraw t t.send_q v (fun o -> o == op))
-    ~enqueue:(fun () ->
+    ~enqueue:(fun w ->
+      op.s_w <- Some w;
       Queue.push op (queue_of t.send_q v);
       add_pending t v)
     ~finished:(fun () -> op.s_done)
     ~extract:(fun () -> ())
 
 let recv_opt ?deadline t v =
-  let op = { r_result = None } in
+  let op = { r_result = None; r_w = None } in
   run_op ?deadline t ~opname:"recv" ~opv:v
     ~remove:(fun () -> withdraw t t.recv_q v (fun o -> o == op))
-    ~enqueue:(fun () ->
+    ~enqueue:(fun w ->
+      op.r_w <- Some w;
       Queue.push op (queue_of t.recv_q v);
       add_pending t v)
     ~finished:(fun () -> op.r_result <> None)
@@ -683,7 +907,7 @@ let try_send t v value =
   let result =
     try
       check_poison t;
-      let op = { sv = value; s_done = false } in
+      let op = { sv = value; s_done = false; s_w = None } in
       Queue.push op (queue_of t.send_q v);
       add_pending t v;
       let _ = drive t in
@@ -707,7 +931,7 @@ let try_recv t v =
   let result =
     try
       check_poison t;
-      let op = { r_result = None } in
+      let op = { r_result = None; r_w = None } in
       Queue.push op (queue_of t.recv_q v);
       add_pending t v;
       let _ = drive t in
@@ -737,7 +961,7 @@ let try_step t =
         false)
     with e -> unlock_raise t e
   in
-  if fired then Condition.broadcast t.cond;
+  if fired then flush_wakes t;
   flush_kicks t;
   Mutex.unlock t.lock;
   fired
@@ -754,7 +978,7 @@ let rec poison t msg =
     t.poisoned <- Some msg;
     if !Obs.tracing then Obs.emit (obs_ring t) Obs.Poison ~a:0 ~b:0
   end;
-  Condition.broadcast t.cond;
+  wake_all t;
   let peers = t.peers in
   Mutex.unlock t.lock;
   if first then

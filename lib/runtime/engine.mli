@@ -117,11 +117,24 @@ val steps : t -> int
 (** Number of global execution steps (fired transitions) so far. *)
 
 val cond_waits : t -> int
-(** How often a blocked operation parked on the engine's condition
+(** How often a blocked operation parked on its vertex's condition
     variable (cheap always-on counter). *)
 
 val peer_kicks : t -> int
 (** Peer-engine nudges issued after firings (partitioned runtime). *)
+
+val wakes_targeted : t -> int
+(** Per-vertex wake signals issued by drive loops: each counts one vertex
+    whose waiters were signalled because their operation completed. *)
+
+val wakes_spurious : t -> int
+(** Wakes after which the woken operation re-parked without the engine
+    having made progress — the thundering-herd cost targeted wakeups
+    exist to eliminate. *)
+
+val wakes_broadcast : t -> int
+(** Fallback broadcasts that woke every parked operation (poison delivery,
+    kick-round cap, shutdown); correctness backstop, not a fast path. *)
 
 val poison : t -> string -> unit
 (** Wake all blocked operations with {!Poisoned}. Propagates transitively
@@ -133,7 +146,14 @@ val poisoned_reason : t -> string option
 val composer : t -> Composer.t
 
 val set_peers : t -> t list -> unit
-(** Other engines to nudge after each firing (partitioned runtime). *)
+(** Other engines this one may need to nudge (partitioned runtime): the
+    poison-propagation set and the fallback kick target when a gate commit
+    cannot be attributed to a specific peer. *)
+
+val set_gate_peers : t -> (Preo_automata.Vertex.t * t) list -> unit
+(** Which peer engine shares each gate's bridge. A firing that commits to a
+    mapped gate kicks exactly that peer; gates left unmapped degrade to
+    kicking every peer from {!set_peers}. *)
 
 val set_on_fire : t -> (Preo_support.Iset.t -> unit) option -> unit
 (** Tracing hook: called with each fired sync set, under the engine lock —
@@ -142,7 +162,13 @@ val set_on_fire : t -> (Preo_support.Iset.t -> unit) option -> unit
 (**/**)
 
 val trace_dump : unit -> string
-(** Per-thread stage notes when PREO_ENGINE_TRACE is set. *)
+(** Per-thread stage notes when PREO_ENGINE_TRACE is set. The table holds
+    one entry per thread with an in-flight operation; entries are removed
+    when the operation finishes, so an idle system dumps empty. *)
+
+val set_op_trace : bool -> unit
+(** Toggle the per-thread stage notes at runtime (same switch as the
+    PREO_ENGINE_TRACE environment variable). *)
 
 val debug_dump : t -> string
 (** Engine state snapshot (pending vertices, candidate count) for

@@ -29,9 +29,43 @@ type region = {
   r_sinks : Iset.t;
   gates : (Vertex.t * Engine.gate) list;
   bridge_peers : int list;
+  gate_peers : (Vertex.t * int) list;
 }
 
 type plan = { regions : region array; nbridges : int }
+
+(* --- Cut-shape recognition -------------------------------------------------
+
+   A medium can be cut out of the synchronous product and replaced by a
+   native bridge when no transition ever synchronizes its source side with
+   its sink side: the two sides then never fire together, so the product
+   across the medium never needs to be computed (Jongmans–Santini–Arbab
+   2015). Three recognized shapes, in order of preference:
+
+   - [Cut_queue]: fifo1 (empty or initially full) — a lock-free SPSC slot.
+     Chains of these collapse into one queue of summed capacity.
+   - [Cut_auto]: any other single-producer single-consumer medium whose
+     states are "modal": every state's transitions all consume (sync =
+     {tail}) or all emit (sync = {head}), never mixed and never both in one
+     sync. Modality is what makes the interpreted bridge safe: while the
+     consumer side is between peek and commit the automaton sits in an
+     all-head state, where the producer has no enabled transition — and
+     symmetrically — so the two engines can never interleave on the bridge,
+     and cached gate readiness only ever flips ON from the outside (the
+     invariant the engine's gate cache relies on). *)
+
+type cut_shape =
+  | Cut_queue of {
+      q_tail : Vertex.t;
+      q_head : Vertex.t;
+      q_cap : int;
+      q_init : Value.t list;  (** first element = next to pop *)
+    }
+  | Cut_auto of {
+      a_tail : Vertex.t;
+      a_head : Vertex.t;
+      a_auto : Automaton.t;  (** label-optimized, cells densely renumbered *)
+    }
 
 let is_plain_fifo1 (a : Automaton.t) =
   if
@@ -52,27 +86,139 @@ let is_plain_fifo1 (a : Automaton.t) =
   end
   else None
 
-(* A single-place slot bridging two engines. [Atomic] gives the necessary
-   memory ordering; mutual exclusion follows from the slot being
-   single-producer single-consumer: the producing engine only acts when the
-   slot is empty, the consuming engine only when it is full. *)
-let make_slot ~tail ~head =
-  let slot : Value.t option Atomic.t = Atomic.make None in
-  (* Slot occupancy feeds stall reports: a deadline expiring in one region
-     shows whether the bridge into a peer region was full or starved. *)
-  let dump side () =
-    Printf.sprintf "%s-slot=%s" side
-      (match Atomic.get slot with Some _ -> "full" | None -> "empty")
+(* The initially-full fifo1 built by [Prim]: state 0 emits a constant, then
+   the automaton is a plain fifo1 over states 1 (empty) / 2 (full). *)
+let is_full_fifo1 (a : Automaton.t) =
+  if
+    a.nstates = 3 && a.initial = 0
+    && Iset.cardinal a.sources = 1
+    && Iset.cardinal a.sinks = 1
+    && Array.length a.trans.(0) = 1
+    && Array.length a.trans.(1) = 1
+    && Array.length a.trans.(2) = 1
+  then begin
+    let tail = Iset.choose a.sources and head = Iset.choose a.sinks in
+    let t0 = a.trans.(0).(0) and t1 = a.trans.(1).(0) and t2 = a.trans.(2).(0) in
+    if
+      t0.target = 1 && t1.target = 2 && t2.target = 1
+      && Iset.equal t0.sync (Iset.singleton head)
+      && Iset.equal t1.sync (Iset.singleton tail)
+      && Iset.equal t2.sync (Iset.singleton head)
+    then
+      match t0.constr with
+      | [ Constr.Eq (Constr.Port h, Constr.Const x) ]
+      | [ Constr.Eq (Constr.Const x, Constr.Port h) ]
+        when Vertex.equal h head ->
+        Some (tail, head, x)
+      | _ -> None
+    else None
+  end
+  else None
+
+(* The general modal SPSC shape (see the module comment above). Structural
+   prechecks first; only then label-optimize and demand that nothing was
+   dropped (a dropped transition means a state could look ready without
+   being fireable) and every command is guard-free (a failing guard at
+   commit time could not be rolled back). *)
+let is_modal_spsc (a : Automaton.t) =
+  if
+    Iset.cardinal a.sources = 1
+    && Iset.cardinal a.sinks = 1
+    && a.nstates >= 1
+  then begin
+    let tail = Iset.choose a.sources and head = Iset.choose a.sinks in
+    if
+      Vertex.equal tail head
+      || not (Iset.equal a.vertices (Iset.of_list [ tail; head ]))
+    then None
+    else begin
+      let stail = Iset.singleton tail and shead = Iset.singleton head in
+      let modal =
+        Array.for_all
+          (fun ts ->
+            Array.length ts > 0
+            &&
+            let is_tail = Iset.equal ts.(0).Automaton.sync stail in
+            Array.for_all
+              (fun (tr : Automaton.trans) ->
+                Iset.equal tr.sync (if is_tail then stail else shead))
+              ts)
+          a.trans
+      in
+      if not modal then None
+      else begin
+        let opt = Automaton.optimize_labels a in
+        let intact =
+          Automaton.num_transitions opt = Automaton.num_transitions a
+          && Array.for_all
+               (Array.for_all (fun (tr : Automaton.trans) ->
+                    match tr.command with
+                    | Some cmd -> Array.length cmd.Command.guards = 0
+                    | None -> false))
+               opt.trans
+        in
+        if intact then Some (tail, head, opt) else None
+      end
+    end
+  end
+  else None
+
+let classify (a : Automaton.t) =
+  match is_plain_fifo1 a with
+  | Some (tail, head) ->
+    Some (Cut_queue { q_tail = tail; q_head = head; q_cap = 1; q_init = [] })
+  | None -> begin
+    match is_full_fifo1 a with
+    | Some (tail, head, x) ->
+      Some (Cut_queue { q_tail = tail; q_head = head; q_cap = 1; q_init = [ x ] })
+    | None -> begin
+      match is_modal_spsc a with
+      | Some (tail, head, opt) ->
+        (* Dense cell renumbering so the bridge carries a small array. *)
+        let ids = Iset.elements opt.cells in
+        let tbl = Hashtbl.create 8 in
+        List.iteri (fun i c -> Hashtbl.add tbl c i) ids;
+        let opt =
+          if ids = [] then opt
+          else Automaton.map_cells (fun c -> Hashtbl.find tbl c) opt
+        in
+        Some (Cut_auto { a_tail = tail; a_head = head; a_auto = opt })
+      | None -> None
+    end
+  end
+
+let shape_ends = function
+  | Cut_queue q -> (q.q_tail, q.q_head)
+  | Cut_auto a -> (a.a_tail, a.a_head)
+
+(* --- Bridges ---------------------------------------------------------------- *)
+
+(* A capacity-[cap] SPSC ring buffer bridging two engines, optionally
+   prefilled (initially-full fifos). [Atomic] gives the necessary memory
+   ordering; mutual exclusion follows from single-producer single-consumer:
+   only the producing engine moves [qtail], only the consuming engine moves
+   [qhead], and each side acts only when its gate reports room / data. *)
+let make_queue ~tail ~head ~cap ~init =
+  let slots : Value.t option Atomic.t array =
+    Array.init cap (fun i -> Atomic.make (List.nth_opt init i))
   in
+  let qhead = Atomic.make 0 in
+  let qtail = Atomic.make (List.length init) in
+  let count () = Atomic.get qtail - Atomic.get qhead in
+  (* Queue occupancy feeds stall reports: a deadline expiring in one region
+     shows whether the bridge into a peer region was full or starved. *)
+  let dump side () = Printf.sprintf "%s-queue=%d/%d" side (count ()) cap in
   let producer_gate =
     {
-      Engine.gate_ready = (fun () -> Atomic.get slot = None);
+      Engine.gate_ready = (fun () -> count () < cap);
       gate_peek = (fun () -> invalid_arg "producer gate has no value");
       gate_commit =
         (fun v ->
           match v with
           | Some value ->
-            Atomic.set slot (Some value);
+            let i = Atomic.get qtail in
+            Atomic.set slots.(i mod cap) (Some value);
+            Atomic.set qtail (i + 1);
             if !Obs.tracing then
               Obs.emit (get_bridge_ring ()) Obs.Slot_put ~a:tail ~b:head
           | None -> invalid_arg "producer gate expects a value");
@@ -81,17 +227,19 @@ let make_slot ~tail ~head =
   in
   let consumer_gate =
     {
-      Engine.gate_ready = (fun () -> Atomic.get slot <> None);
+      Engine.gate_ready = (fun () -> count () > 0);
       gate_peek =
         (fun () ->
-          match Atomic.get slot with
+          match Atomic.get slots.(Atomic.get qhead mod cap) with
           | Some v -> v
-          | None -> invalid_arg "consumer gate: slot empty");
+          | None -> invalid_arg "consumer gate: queue empty");
       gate_commit =
         (fun v ->
           match v with
           | None ->
-            Atomic.set slot None;
+            let i = Atomic.get qhead in
+            Atomic.set slots.(i mod cap) None;
+            Atomic.set qhead (i + 1);
             if !Obs.tracing then
               Obs.emit (get_bridge_ring ()) Obs.Slot_take ~a:head ~b:tail
           | Some _ -> invalid_arg "consumer gate consumes, not delivers");
@@ -100,76 +248,314 @@ let make_slot ~tail ~head =
   in
   (producer_gate, consumer_gate)
 
+(* An interpreted bridge running a modal SPSC automaton. The state is
+   atomic so gate_ready stays lock-free; commits serialize on the mutex.
+   Modality guarantees the consumer's peek and commit see the same state
+   (the producer is disabled throughout), so the value peeked is the value
+   popped. *)
+let make_auto ~tail ~head (a : Automaton.t) =
+  let ncells = max 1 (Iset.cardinal a.cells) in
+  let cells : Value.t option array = Array.make ncells None in
+  let state = Atomic.make a.initial in
+  let lock = Mutex.create () in
+  let first_sync_has v s =
+    let ts = a.trans.(s) in
+    Array.length ts > 0 && Iset.mem v ts.(0).Automaton.sync
+  in
+  (* Run the current state's first transition. Nondeterminism among the
+     state's (same-polarity) transitions is resolved by always taking the
+     first — peek and commit therefore agree on the chosen transition. *)
+  let exec ~input ~commit =
+    let tr = a.trans.(Atomic.get state).(0) in
+    let cmd = match tr.Automaton.command with Some c -> c | None -> assert false in
+    let staged = ref [] in
+    let delivered = ref None in
+    let env =
+      {
+        Command.read_send =
+          (fun _ ->
+            match input with
+            | Some v -> v
+            | None -> invalid_arg "auto bridge: no input value");
+        read_cell =
+          (fun c ->
+            match cells.(c) with
+            | Some v -> v
+            | None -> invalid_arg "auto bridge: read from empty cell");
+        write_cell = (fun c v -> staged := (c, v) :: !staged);
+        deliver = (fun _ v -> delivered := Some v);
+      }
+    in
+    Command.execute cmd env;
+    if commit then begin
+      List.iter (fun (c, v) -> cells.(c) <- Some v) !staged;
+      Atomic.set state tr.target
+    end;
+    !delivered
+  in
+  let locked f =
+    Mutex.lock lock;
+    match f () with
+    | r ->
+      Mutex.unlock lock;
+      r
+    | exception e ->
+      Mutex.unlock lock;
+      raise e
+  in
+  let dump side () = Printf.sprintf "%s-auto-state=%d" side (Atomic.get state) in
+  let producer_gate =
+    {
+      Engine.gate_ready = (fun () -> first_sync_has tail (Atomic.get state));
+      gate_peek = (fun () -> invalid_arg "producer gate has no value");
+      gate_commit =
+        (fun v ->
+          match v with
+          | Some value ->
+            locked (fun () -> ignore (exec ~input:(Some value) ~commit:true));
+            if !Obs.tracing then
+              Obs.emit (get_bridge_ring ()) Obs.Slot_put ~a:tail ~b:head
+          | None -> invalid_arg "producer gate expects a value");
+      gate_dump = dump "out";
+    }
+  in
+  let consumer_gate =
+    {
+      Engine.gate_ready = (fun () -> first_sync_has head (Atomic.get state));
+      gate_peek =
+        (fun () ->
+          match locked (fun () -> exec ~input:None ~commit:false) with
+          | Some v -> v
+          | None -> invalid_arg "auto bridge: head transition delivers nothing");
+      gate_commit =
+        (fun v ->
+          match v with
+          | None ->
+            locked (fun () -> ignore (exec ~input:None ~commit:true));
+            if !Obs.tracing then
+              Obs.emit (get_bridge_ring ()) Obs.Slot_take ~a:head ~b:tail
+          | Some _ -> invalid_arg "consumer gate consumes, not delivers");
+      gate_dump = dump "in";
+    }
+  in
+  (producer_gate, consumer_gate)
+
+let gates_of_shape = function
+  | Cut_queue { q_tail; q_head; q_cap; q_init } ->
+    make_queue ~tail:q_tail ~head:q_head ~cap:q_cap ~init:q_init
+  | Cut_auto { a_tail; a_head; a_auto } ->
+    make_auto ~tail:a_tail ~head:a_head a_auto
+
+(* The relay medium synthesized for a cut whose fifo end is a connector
+   boundary: a plain Sync between a fresh gate vertex and the boundary
+   vertex, run on its own little engine, preserves the cut fifo's buffered
+   semantics exactly (the buffering lives in the bridge queue). *)
+let sync_medium g h =
+  Automaton.make ~nstates:1 ~initial:0
+    ~trans:
+      [|
+        [|
+          {
+            Automaton.sync = Iset.of_list [ g; h ];
+            constr = [ Constr.Eq (Constr.Port h, Constr.Port g) ];
+            command = None;
+            target = 0;
+          };
+        |];
+      |]
+    ~sources:(Iset.singleton g) ~sinks:(Iset.singleton h)
+
+(* --- The splitter ----------------------------------------------------------- *)
+
+type chain = { members : Automaton.t list; shape : cut_shape }
+
 let split ~sources ~sinks (mediums : Automaton.t list) =
   let boundary = Iset.union sources sinks in
-  let candidates0, solids0 =
-    List.partition
-      (fun a ->
-        match is_plain_fifo1 a with
-        | Some (tail, head) ->
-          (* Only cut fifos whose both ends are internal joints. *)
-          (not (Iset.mem tail boundary)) && not (Iset.mem head boundary)
-        | None -> false)
-      mediums
+  (* Classify every medium; eligibility (boundary ends, components) is
+     decided later over the collapsed chains. *)
+  let classified =
+    List.map (fun (a : Automaton.t) -> (a, classify a)) mediums
   in
-  (* Every vertex of a remaining bridge must belong to some solid region.
-     Vertices shared between two candidate fifos (fifo-to-fifo chains)
-     therefore force one of the two to be kept solid: a greedy vertex cover
-     on the candidate-adjacency graph decides which. *)
-  let candidates0 = Array.of_list candidates0 in
-  let nc = Array.length candidates0 in
-  let owned_by_solid : (Vertex.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let solids0 =
+    List.filter_map
+      (fun (a, c) -> if c = None then Some a else None)
+      classified
+  in
+  let cand0 =
+    Array.of_list
+      (List.filter_map
+         (fun (a, c) -> match c with Some s -> Some (a, s) | None -> None)
+         classified)
+  in
+  let nc = Array.length cand0 in
+  (* Vertex usage across all mediums, to find chain joints: a joint is an
+     internal vertex touched by exactly two mediums, the head of one queue
+     candidate and the tail of another. Any other vertex shared between
+     candidates (fan-in/fan-out among cuttables, overlap with nothing to
+     own it) demotes the candidates touching it — some region must own
+     every vertex a bridge leaves behind. *)
+  let uses : (Vertex.t, int list) Hashtbl.t = Hashtbl.create 64 in
+  (* candidate indexes per vertex *)
+  let solid_touches : (Vertex.t, unit) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (a : Automaton.t) ->
-      Iset.iter (fun v -> Hashtbl.replace owned_by_solid v ()) a.vertices)
+      Iset.iter (fun v -> Hashtbl.replace solid_touches v ()) a.vertices)
     solids0;
-  let promoted = Array.make nc false in
-  let touches : (Vertex.t, int list) Hashtbl.t = Hashtbl.create 64 in
   Array.iteri
-    (fun i (a : Automaton.t) ->
+    (fun i ((a : Automaton.t), _) ->
       Iset.iter
         (fun v ->
-          Hashtbl.replace touches v
-            (i :: (try Hashtbl.find touches v with Not_found -> [])))
+          Hashtbl.replace uses v
+            (i :: (try Hashtbl.find uses v with Not_found -> [])))
         a.vertices)
-    candidates0;
-  let edges = ref [] in
+    cand0;
+  let demoted = Array.make nc false in
+  (* next candidate whose tail is this vertex, when it's a proper joint *)
+  let joint_next : (Vertex.t, int) Hashtbl.t = Hashtbl.create 16 in
   Hashtbl.iter
     (fun v is ->
-      if not (Hashtbl.mem owned_by_solid v) then
-        match is with
-        | [ i ] -> promoted.(i) <- true (* dangling end: keep solid *)
-        | [ i; j ] -> edges := (i, j) :: !edges
-        | _ -> List.iter (fun i -> promoted.(i) <- true) is)
-    touches;
-  let degree = Array.make nc 0 in
-  List.iter
-    (fun (i, j) ->
-      degree.(i) <- degree.(i) + 1;
-      degree.(j) <- degree.(j) + 1)
-    !edges;
-  let remaining = ref !edges in
-  let uncovered (i, j) = (not promoted.(i)) && not promoted.(j) in
-  while List.exists uncovered !remaining do
-    (* Promote the max-degree endpoint of some uncovered edge. *)
-    let i, j = List.find uncovered !remaining in
-    let pick = if degree.(i) >= degree.(j) then i else j in
-    promoted.(pick) <- true;
-    remaining := List.filter uncovered !remaining
+      match is with
+      | [] | [ _ ] -> ()
+      | [ i; j ] when (not (Iset.mem v boundary)) && not (Hashtbl.mem solid_touches v)
+        -> begin
+        (* chainable iff head of one queue meets tail of the other *)
+        let ends k = shape_ends (snd cand0.(k)) in
+        let queue k = match snd cand0.(k) with Cut_queue _ -> true | _ -> false in
+        let ti, hi = ends i and tj, hj = ends j in
+        if queue i && queue j && Vertex.equal hi tj && Vertex.equal v hi then
+          Hashtbl.replace joint_next v j
+        else if queue i && queue j && Vertex.equal hj ti && Vertex.equal v hj
+        then Hashtbl.replace joint_next v i
+        else begin
+          demoted.(i) <- true;
+          demoted.(j) <- true
+        end
+      end
+      | is -> List.iter (fun i -> demoted.(i) <- true) is)
+    uses;
+  let solids = ref solids0 in
+  Array.iteri (fun i (a, _) -> if demoted.(i) then solids := a :: !solids) cand0;
+  (* Build maximal chains over the surviving candidates: follow joint_next
+     links; a candidate whose tail is a joint is not a chain start. Cycles
+     (every member mid-chain) are kept solid — a pure fifo cycle has no
+     component to anchor either cut end. *)
+  let consumed = Array.make nc false in
+  let tail_is_joint = Array.make nc false in
+  Hashtbl.iter
+    (fun _ j -> if not demoted.(j) then tail_is_joint.(j) <- true)
+    joint_next;
+  let collapse idxs =
+    (* [idxs] tail-end first. Queue contents pop downstream first, so the
+       collapsed init lists the head-end fifo's value(s) first. *)
+    let qs =
+      List.map
+        (fun i ->
+          match snd cand0.(i) with
+          | Cut_queue { q_tail; q_head; q_cap; q_init } ->
+            (q_tail, q_head, q_cap, q_init)
+          | Cut_auto _ -> assert false)
+        idxs
+    in
+    let tail, _, _, _ = List.hd qs in
+    let _, head, _, _ = List.nth qs (List.length qs - 1) in
+    let cap = List.fold_left (fun acc (_, _, c, _) -> acc + c) 0 qs in
+    let init = List.concat (List.rev_map (fun (_, _, _, i) -> i) qs) in
+    {
+      members = List.map (fun i -> fst cand0.(i)) idxs;
+      shape = Cut_queue { q_tail = tail; q_head = head; q_cap = cap; q_init = init };
+    }
+  in
+  let chains = ref [] in
+  for i = 0 to nc - 1 do
+    if (not demoted.(i)) && (not consumed.(i)) && not tail_is_joint.(i) then begin
+      let rec follow j acc =
+        consumed.(j) <- true;
+        let _, hj = shape_ends (snd cand0.(j)) in
+        match Hashtbl.find_opt joint_next hj with
+        | Some k when (not demoted.(k)) && not consumed.(k) -> follow k (j :: acc)
+        | _ -> List.rev (j :: acc)
+      in
+      let idxs = follow i [] in
+      match idxs with
+      | [ j ] -> chains := { members = [ fst cand0.(j) ]; shape = snd cand0.(j) } :: !chains
+      | _ -> chains := collapse idxs :: !chains
+    end
   done;
-  let candidates = ref [] and solids = ref solids0 in
-  Array.iteri
-    (fun i a ->
-      if promoted.(i) then solids := a :: !solids
-      else candidates := a :: !candidates)
-    candidates0;
-  let candidates = !candidates and solids = !solids in
-  (* Union-find over solid mediums through shared vertices. *)
-  let solids = Array.of_list solids in
+  (* Leftover unconsumed candidates are mid-cycle: keep them solid. *)
+  for i = 0 to nc - 1 do
+    if (not demoted.(i)) && not consumed.(i) then solids := fst cand0.(i) :: !solids
+  done;
+  (* Peel boundary ends off multi-member chains: the end fifo returns to
+     the solids (it anchors the boundary vertex in a region of its own),
+     and the remaining interior — now with internal ends — stays a cut
+     candidate. Single-member chains with one boundary end stay as relay
+     candidates, decided per component below; both-boundary singles are
+     never cut. *)
+  let internal_cands = ref [] in
+  let relay_cands = ref [] in
+  List.iter
+    (fun ch ->
+      let rec peel ch =
+        let t, h = shape_ends ch.shape in
+        let tb = Iset.mem t boundary and hb = Iset.mem h boundary in
+        match ch.members with
+        | [] -> ()
+        | [ _m ] ->
+          if tb && hb then solids := ch.members @ !solids
+          else if tb || hb then relay_cands := ch :: !relay_cands
+          else internal_cands := ch :: !internal_cands
+        | m_first :: rest when tb ->
+          solids := m_first :: !solids;
+          peel { members = rest; shape = reshape_after_peel_front ch }
+        | _ when hb ->
+          let rec split_last = function
+            | [] -> assert false
+            | [ x ] -> ([], x)
+            | x :: xs ->
+              let ys, last = split_last xs in
+              (x :: ys, last)
+          in
+          let rest, m_last = split_last ch.members in
+          solids := m_last :: !solids;
+          peel { members = rest; shape = reshape_after_peel_back ch }
+        | _ -> internal_cands := ch :: !internal_cands
+      and reshape_after_peel_front ch =
+        match (ch.shape, classify (List.hd ch.members)) with
+        | ( Cut_queue { q_tail = _; q_head; q_cap; q_init },
+            Some (Cut_queue { q_head = mh; q_cap = mc; q_init = mi; _ }) ) ->
+          Cut_queue
+            {
+              q_tail = mh;
+              q_head;
+              q_cap = q_cap - mc;
+              q_init =
+                (* the peeled tail-end fifo held the upstream-most value(s):
+                   drop them from the back of the init list *)
+                (let keep = List.length q_init - List.length mi in
+                 List.filteri (fun i _ -> i < keep) q_init);
+            }
+        | _ -> assert false
+      and reshape_after_peel_back ch =
+        let m_last = List.nth ch.members (List.length ch.members - 1) in
+        match (ch.shape, classify m_last) with
+        | ( Cut_queue { q_tail; q_head = _; q_cap; q_init },
+            Some (Cut_queue { q_tail = mt; q_cap = mc; q_init = mi; _ }) ) ->
+          Cut_queue
+            {
+              q_tail;
+              q_head = mt;
+              q_cap = q_cap - mc;
+              q_init =
+                (let drop = List.length mi in
+                 List.filteri (fun i _ -> i >= drop) q_init);
+            }
+        | _ -> assert false
+      in
+      peel ch)
+    !chains;
+  let solids = Array.of_list !solids in
   let n = Array.length solids in
-  if n = 0 then begin
-    (* Nothing to anchor regions on; fall back to a single region. *)
-    let gates = [] in
+  if n = 0 then
     {
       regions =
         [|
@@ -177,14 +563,15 @@ let split ~sources ~sinks (mediums : Automaton.t list) =
             mediums;
             r_sources = sources;
             r_sinks = sinks;
-            gates;
+            gates = [];
             bridge_peers = [];
+            gate_peers = [];
           };
         |];
       nbridges = 0;
     }
-  end
   else begin
+    (* Union-find over solid mediums through shared vertices. *)
     let uf = Union_find.create n in
     let owner : (Vertex.t, int) Hashtbl.t = Hashtbl.create 64 in
     Array.iteri
@@ -196,25 +583,59 @@ let split ~sources ~sinks (mediums : Automaton.t list) =
             | None -> Hashtbl.add owner v i)
           a.vertices)
       solids;
-    (* Decide each candidate fifo: bridge if its ends lie in two different
-       components, otherwise return it to its (single) region. *)
     let region_of_vertex v =
       match Hashtbl.find_opt owner v with
       | Some i -> Some (Union_find.find uf i)
       | None -> None
     in
-    let bridges = ref [] and returned = ref [] in
+    (* Internal candidates: bridge iff the two ends lie in different solid
+       components (a same-component cut buys nothing: the cut ends would
+       still serialize on one engine), otherwise return the members to that
+       component. *)
+    let cuts = ref [] in
+    (* (shape, members, tail_rep option, head_rep option); None = relay *)
+    let returned = ref [] in
     List.iter
-      (fun (f : Automaton.t) ->
-        match is_plain_fifo1 f with
-        | None -> assert false
-        | Some (tail, head) -> begin
-          match (region_of_vertex tail, region_of_vertex head) with
-          | Some rt, Some rh when rt <> rh -> bridges := (f, tail, head, rt, rh) :: !bridges
-          | _ -> returned := f :: !returned
-        end)
-      candidates;
-    (* Materialize regions. *)
+      (fun ch ->
+        let t, h = shape_ends ch.shape in
+        match (region_of_vertex t, region_of_vertex h) with
+        | Some rt, Some rh when rt <> rh -> cuts := (ch, Some rt, Some rh) :: !cuts
+        | _ -> returned := ch :: !returned)
+      !internal_cands;
+    (* Relay candidates (exactly one boundary end): cut only when at least
+       two of them hang off the same solid component. Cutting a lone relay
+       adds an engine and a bridge on a path that already serializes
+       through that component — pure overhead (this is what keeps
+       token_ring's per-station fifos fused with their Syncs). With two or
+       more, the cut decouples siblings that previously contended on one
+       engine (broadcast_fifo's and gather's per-task fifos). *)
+    let by_comp : (int, chain list) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun ch ->
+        let t, h = shape_ends ch.shape in
+        let internal_end = if Iset.mem t boundary then h else t in
+        match region_of_vertex internal_end with
+        | Some rep ->
+          Hashtbl.replace by_comp rep
+            (ch :: (try Hashtbl.find by_comp rep with Not_found -> []))
+        | None -> returned := ch :: !returned)
+      !relay_cands;
+    let relay_cuts = ref [] in
+    Hashtbl.iter
+      (fun rep chs ->
+        if List.length chs >= 2 then
+          List.iter
+            (fun ch ->
+              let t, _ = shape_ends ch.shape in
+              if Iset.mem t boundary then
+                (* boundary tail: relay feeds the bridge *)
+                relay_cuts := (ch, None, Some rep) :: !relay_cuts
+              else relay_cuts := (ch, Some rep, None) :: !relay_cuts)
+            chs
+        else returned := chs @ !returned)
+      by_comp;
+    let all_cuts = !cuts @ !relay_cuts in
+    (* Materialize the solid regions... *)
     let reps = Hashtbl.create 8 in
     let region_ids = ref [] in
     for i = n - 1 downto 0 do
@@ -229,70 +650,128 @@ let split ~sources ~sinks (mediums : Automaton.t list) =
       let rec go i = if region_ids.(i) = r then i else go (i + 1) in
       go 0
     in
-    let nregions = Array.length region_ids in
+    let nsolid = Array.length region_ids in
+    (* ...plus one relay region per boundary-end cut. *)
+    let nrelay =
+      List.fold_left
+        (fun acc (_, rt, rh) -> if rt = None || rh = None then acc + 1 else acc)
+        0 all_cuts
+    in
+    let nregions = nsolid + nrelay in
     let r_mediums = Array.make nregions [] in
     let r_sources = Array.make nregions Iset.empty in
     let r_sinks = Array.make nregions Iset.empty in
     let r_gates = Array.make nregions [] in
     let r_peers = Array.make nregions [] in
+    let r_gpeers = Array.make nregions [] in
     Array.iteri
       (fun i (a : Automaton.t) ->
         let r = index_of_rep (Union_find.find uf i) in
         r_mediums.(r) <- a :: r_mediums.(r))
       solids;
+    (* Returned candidates keep living in the region of their tail (or
+       head, or any region if fully dangling). *)
     List.iter
-      (fun (f : Automaton.t) ->
-        match is_plain_fifo1 f with
-        | Some (tail, _) -> begin
-          (* Returned fifos keep living in the region of their tail (or any
-             region if dangling). *)
-          let r =
-            match region_of_vertex tail with
-            | Some rep -> index_of_rep rep
-            | None -> 0
-          in
-          r_mediums.(r) <- f :: r_mediums.(r)
-        end
-        | None -> assert false)
+      (fun ch ->
+        let t, h = shape_ends ch.shape in
+        let r =
+          match (region_of_vertex t, region_of_vertex h) with
+          | Some rep, _ | None, Some rep -> index_of_rep rep
+          | None, None -> 0
+        in
+        r_mediums.(r) <- ch.members @ r_mediums.(r))
       !returned;
-    (* Boundary vertices belong to the region that mentions them. *)
+    (* Boundary vertices claimed by relay regions are assigned there; the
+       rest belong to whichever region's mediums mention them. *)
+    let claimed : (Vertex.t, int) Hashtbl.t = Hashtbl.create 8 in
+    let add_peer r p =
+      if not (List.mem p r_peers.(r)) then r_peers.(r) <- p :: r_peers.(r)
+    in
+    let next_relay = ref nsolid in
+    List.iter
+      (fun (ch, rt, rh) ->
+        let tail, head = shape_ends ch.shape in
+        let producer_gate, consumer_gate = gates_of_shape ch.shape in
+        let tail_region =
+          match rt with
+          | Some rep -> index_of_rep rep
+          | None ->
+            (* boundary tail: synthesize the feeding relay *)
+            let ridx = !next_relay in
+            incr next_relay;
+            let g = Vertex.fresh "bridge" in
+            r_mediums.(ridx) <- [ sync_medium tail g ];
+            r_sources.(ridx) <- Iset.singleton tail;
+            Hashtbl.replace claimed tail ridx;
+            (* the producer gate moves to the relay's fresh vertex *)
+            r_sinks.(ridx) <- Iset.singleton g;
+            r_gates.(ridx) <- [ (g, producer_gate) ];
+            ridx
+        and head_region =
+          match rh with
+          | Some rep -> index_of_rep rep
+          | None ->
+            let ridx = !next_relay in
+            incr next_relay;
+            let g = Vertex.fresh "bridge" in
+            r_mediums.(ridx) <- [ sync_medium g head ];
+            r_sinks.(ridx) <- Iset.singleton head;
+            Hashtbl.replace claimed head ridx;
+            r_sources.(ridx) <- Iset.singleton g;
+            r_gates.(ridx) <- [ (g, consumer_gate) ];
+            ridx
+        in
+        (* Wire the two sides together. When a side is a relay its gate
+           was installed above on the fresh vertex; otherwise the gate
+           lives on the cut end itself. *)
+        (match rt with
+         | Some _ ->
+           r_sinks.(tail_region) <- Iset.add tail r_sinks.(tail_region);
+           r_gates.(tail_region) <- (tail, producer_gate) :: r_gates.(tail_region);
+           r_gpeers.(tail_region) <- (tail, head_region) :: r_gpeers.(tail_region)
+         | None ->
+           let g = fst (List.hd r_gates.(tail_region)) in
+           r_gpeers.(tail_region) <- (g, head_region) :: r_gpeers.(tail_region));
+        (match rh with
+         | Some _ ->
+           r_sources.(head_region) <- Iset.add head r_sources.(head_region);
+           r_gates.(head_region) <- (head, consumer_gate) :: r_gates.(head_region);
+           r_gpeers.(head_region) <- (head, tail_region) :: r_gpeers.(head_region)
+         | None ->
+           let g = fst (List.hd r_gates.(head_region)) in
+           r_gpeers.(head_region) <- (g, tail_region) :: r_gpeers.(head_region));
+        add_peer tail_region head_region;
+        add_peer head_region tail_region)
+      all_cuts;
     let assign_boundary v =
-      let rec find r =
-        if r >= nregions then None
-        else if
-          List.exists (fun (a : Automaton.t) -> Iset.mem v a.vertices) r_mediums.(r)
-        then Some r
-        else find (r + 1)
-      in
-      find 0
+      match Hashtbl.find_opt claimed v with
+      | Some r -> Some r
+      | None ->
+        let rec find r =
+          if r >= nregions then None
+          else if
+            List.exists
+              (fun (a : Automaton.t) -> Iset.mem v a.vertices)
+              r_mediums.(r)
+          then Some r
+          else find (r + 1)
+        in
+        find 0
     in
     Iset.iter
       (fun v ->
-        match assign_boundary v with
-        | Some r -> r_sources.(r) <- Iset.add v r_sources.(r)
-        | None -> r_sources.(0) <- Iset.add v r_sources.(0))
+        if not (Hashtbl.mem claimed v) then
+          match assign_boundary v with
+          | Some r -> r_sources.(r) <- Iset.add v r_sources.(r)
+          | None -> r_sources.(0) <- Iset.add v r_sources.(0))
       sources;
     Iset.iter
       (fun v ->
-        match assign_boundary v with
-        | Some r -> r_sinks.(r) <- Iset.add v r_sinks.(r)
-        | None -> r_sinks.(0) <- Iset.add v r_sinks.(0))
+        if not (Hashtbl.mem claimed v) then
+          match assign_boundary v with
+          | Some r -> r_sinks.(r) <- Iset.add v r_sinks.(r)
+          | None -> r_sinks.(0) <- Iset.add v r_sinks.(0))
       sinks;
-    (* Bridges: the tail region treats the fifo's tail vertex as a gated
-       sink (it pushes into the slot); the head region treats the head
-       vertex as a gated source. *)
-    let nbridges = List.length !bridges in
-    List.iter
-      (fun (_f, tail, head, rep_t, rep_h) ->
-        let rt = index_of_rep rep_t and rh = index_of_rep rep_h in
-        let producer_gate, consumer_gate = make_slot ~tail ~head in
-        r_sinks.(rt) <- Iset.add tail r_sinks.(rt);
-        r_gates.(rt) <- (tail, producer_gate) :: r_gates.(rt);
-        r_sources.(rh) <- Iset.add head r_sources.(rh);
-        r_gates.(rh) <- (head, consumer_gate) :: r_gates.(rh);
-        if not (List.mem rh r_peers.(rt)) then r_peers.(rt) <- rh :: r_peers.(rt);
-        if not (List.mem rt r_peers.(rh)) then r_peers.(rh) <- rt :: r_peers.(rh))
-      !bridges;
     {
       regions =
         Array.init nregions (fun r ->
@@ -302,7 +781,8 @@ let split ~sources ~sinks (mediums : Automaton.t list) =
               r_sinks = r_sinks.(r);
               gates = r_gates.(r);
               bridge_peers = r_peers.(r);
+              gate_peers = r_gpeers.(r);
             });
-      nbridges;
+      nbridges = List.length all_cuts;
     }
   end

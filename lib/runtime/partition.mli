@@ -1,14 +1,22 @@
 (** Partitioned composition (extension; the fix the paper's §V-C points to,
     after Jongmans–Santini–Arbab 2015).
 
-    Internal fifo1 mediums decouple the synchronous regions on their two
-    sides: neither side ever fires together with the other through the
-    buffer, so the product across a fifo never needs to be computed. This
-    module splits a connector's medium automata at such fifos into regions;
-    each region runs on its own engine, and the cut fifos become native
-    single-place slots bridging the engines. The per-region products stay
-    small even when the monolithic product would have exponentially many
-    transitions per state. *)
+    A medium whose source side never fires synchronously with its sink side
+    decouples the regions on its two sides: the product across it never
+    needs to be computed. This module splits a connector's medium automata
+    at such mediums into regions; each region runs on its own engine, and
+    the cut mediums become native bridges (lock-free SPSC queues for fifo
+    shapes, a small interpreted bridge for other modal SPSC automata). The
+    per-region products stay small even when the monolithic product would
+    have exponentially many transitions per state.
+
+    Recognized cuts: empty fifo1s, initially-full fifo1s, chains of fifo1s
+    (collapsed into one queue of the summed capacity), and any other
+    single-source single-sink medium whose states are modal (each state
+    either only consumes or only emits). A candidate with one boundary end
+    is cut by synthesizing a tiny relay region that owns the boundary
+    vertex — but only when at least two such candidates hang off the same
+    region, so the cut buys parallelism rather than pure bridge overhead. *)
 
 open Preo_support
 open Preo_automata
@@ -19,6 +27,9 @@ type region = {
   r_sinks : Iset.t;
   gates : (Vertex.t * Engine.gate) list;
   bridge_peers : int list;  (** indices of regions adjacent via bridges *)
+  gate_peers : (Vertex.t * int) list;
+      (** per gate vertex, the region on the other side of its bridge (for
+          targeted cross-engine kicks) *)
 }
 
 type plan = { regions : region array; nbridges : int }
@@ -27,6 +38,25 @@ val split : sources:Iset.t -> sinks:Iset.t -> Automaton.t list -> plan
 (** Always succeeds; when nothing can be cut the plan has one region and no
     bridges. *)
 
+(** {1 Cut-shape recognition (exposed for tests)} *)
+
+type cut_shape =
+  | Cut_queue of {
+      q_tail : Vertex.t;
+      q_head : Vertex.t;
+      q_cap : int;
+      q_init : Value.t list;  (** first element = next to pop *)
+    }
+  | Cut_auto of {
+      a_tail : Vertex.t;
+      a_head : Vertex.t;
+      a_auto : Automaton.t;  (** label-optimized, cells densely renumbered *)
+    }
+
+val classify : Automaton.t -> cut_shape option
+(** The shape a lone medium would be cut as, if its ends allow it: empty
+    fifo1 / full fifo1 as capacity-1 queues, otherwise the general modal
+    SPSC check. [None] means the medium always stays solid. *)
+
 val is_plain_fifo1 : Automaton.t -> (Vertex.t * Vertex.t) option
-(** Recognize an (empty) fifo1-shaped medium, returning (tail, head);
-    exposed for tests. *)
+(** Recognize an (empty) fifo1-shaped medium, returning (tail, head). *)

@@ -240,6 +240,211 @@ let partition_fifo_chain_alternates () =
     (Array.length plan.Partition.regions >= 2);
   Alcotest.(check bool) "bridges exist" true (plan.Partition.nbridges >= 1)
 
+(* A 3-state single-cell duplicator: consume on [t], then emit the datum
+   twice on [h]. Every state is modal (all-tail or all-head), so the general
+   SPSC recognizer must accept it even though it is no fifo. *)
+let duplicator t h =
+  let open Constr in
+  let c = Cell.fresh "dup" in
+  let tr sync constr target = { Automaton.sync; constr; command = None; target } in
+  Automaton.make ~nstates:3 ~initial:0
+    ~trans:
+      [|
+        [| tr (Iset.singleton t) [ Post c === Port t ] 1 |];
+        [| tr (Iset.singleton h) [ Port h === Pre c ] 2 |];
+        [| tr (Iset.singleton h) [ Port h === Pre c ] 0 |];
+      |]
+    ~sources:(Iset.singleton t) ~sinks:(Iset.singleton h)
+
+let partition_classifies_shapes () =
+  let a = v "a" and b = v "b" in
+  (match
+     Partition.classify
+       (Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ b ])
+   with
+  | Some (Partition.Cut_queue { q_cap = 1; q_init = []; q_tail; q_head }) ->
+    Alcotest.(check bool) "fifo ends" true
+      (Vertex.equal q_tail a && Vertex.equal q_head b)
+  | _ -> Alcotest.fail "fifo1 should classify as an empty capacity-1 queue");
+  (match
+     Partition.classify
+       (Preo_reo.Prim.build
+          (Preo_reo.Prim.Fifo1_full (Value.int 9))
+          ~tails:[ a ] ~heads:[ b ])
+   with
+  | Some (Partition.Cut_queue { q_cap = 1; q_init = [ x ]; _ }) ->
+    Alcotest.(check int) "seed value" 9 (Value.to_int x)
+  | _ -> Alcotest.fail "full fifo1 should classify as a pre-seeded queue");
+  (match
+     Partition.classify
+       (Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ b ])
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "sync fires tail and head together: never cut");
+  match Partition.classify (duplicator a b) with
+  | Some (Partition.Cut_auto { a_tail; a_head; _ }) ->
+    Alcotest.(check bool) "modal ends" true
+      (Vertex.equal a_tail a && Vertex.equal a_head b)
+  | _ -> Alcotest.fail "modal duplicator should classify as a bridge automaton"
+
+(* Initially-full fifo1 between two solid components: cut, and the seed
+   value comes out first (the settle pass drives it to the consumer side
+   before any task runs). *)
+let partition_cuts_full_fifo () =
+  let a = v "a" and m1 = v "m1" and m2 = v "m2" and b = v "b" in
+  let autos () =
+    [
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ m1 ];
+      Preo_reo.Prim.build
+        (Preo_reo.Prim.Fifo1_full (Value.int 99))
+        ~tails:[ m1 ] ~heads:[ m2 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ m2 ] ~heads:[ b ];
+    ]
+  in
+  let plan =
+    Partition.split ~sources:(Iset.singleton a) ~sinks:(Iset.singleton b)
+      (autos ())
+  in
+  Alcotest.(check int) "2 regions" 2 (Array.length plan.Partition.regions);
+  Alcotest.(check int) "1 bridge" 1 plan.Partition.nbridges;
+  let conn =
+    mk_conn ~config:Config.new_partitioned (autos ()) ~sources:[| a |]
+      ~sinks:[| b |]
+  in
+  let got = ref [] in
+  Task.run_all
+    [
+      (fun () ->
+        for i = 1 to 5 do
+          Port.send (Connector.outport conn a) (Value.int i)
+        done);
+      (fun () ->
+        for _ = 1 to 6 do
+          got := Value.to_int (Port.recv (Connector.inport conn b)) :: !got
+        done);
+    ];
+  Alcotest.(check (list int)) "seed first, then order"
+    [ 99; 1; 2; 3; 4; 5 ] (List.rev !got)
+
+(* Two internal fifo1s in a row collapse into ONE capacity-2 bridge: a
+   single cut instead of three regions. *)
+let partition_collapses_chain () =
+  let a = v "a" and m1 = v "m1" and m2 = v "m2" and m3 = v "m3" and b = v "b" in
+  let autos () =
+    [
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ m1 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ m1 ] ~heads:[ m2 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ m2 ] ~heads:[ m3 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ m3 ] ~heads:[ b ];
+    ]
+  in
+  let plan =
+    Partition.split ~sources:(Iset.singleton a) ~sinks:(Iset.singleton b)
+      (autos ())
+  in
+  Alcotest.(check int) "chain collapses to 2 regions" 2
+    (Array.length plan.Partition.regions);
+  Alcotest.(check int) "one bridge for the whole chain" 1
+    plan.Partition.nbridges;
+  let conn =
+    mk_conn ~config:Config.new_partitioned (autos ()) ~sources:[| a |]
+      ~sinks:[| b |]
+  in
+  (* Capacity 2: both sends complete with no consumer attached. *)
+  let far = Unix.gettimeofday () +. 2.0 in
+  Alcotest.(check bool) "buffers first" true
+    (Port.send_opt ~deadline:far (Connector.outport conn a) (Value.int 1) = Ok ());
+  Alcotest.(check bool) "buffers second" true
+    (Port.send_opt ~deadline:far (Connector.outport conn a) (Value.int 2) = Ok ());
+  let got = List.init 2 (fun _ -> Value.to_int (Port.recv (Connector.inport conn b))) in
+  Alcotest.(check (list int)) "order through queue" [ 1; 2 ] got
+
+(* A modal non-fifo medium (the duplicator) is cut and behaves identically
+   to the monolithic JIT run. *)
+let partition_cuts_modal_medium () =
+  let run config =
+    let a = v "a" and t = v "t" and h = v "h" and b = v "b" in
+    let autos =
+      [
+        Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ a ] ~heads:[ t ];
+        duplicator t h;
+        Preo_reo.Prim.build Preo_reo.Prim.Sync ~tails:[ h ] ~heads:[ b ];
+      ]
+    in
+    let conn = mk_conn ~config autos ~sources:[| a |] ~sinks:[| b |] in
+    let got = ref [] in
+    Task.run_all
+      [
+        (fun () ->
+          for i = 1 to 4 do
+            Port.send (Connector.outport conn a) (Value.int i)
+          done);
+        (fun () ->
+          for _ = 1 to 8 do
+            got := Value.to_int (Port.recv (Connector.inport conn b)) :: !got
+          done);
+      ];
+    (List.rev !got, Connector.nregions conn)
+  in
+  let jit, r1 = run Config.new_jit in
+  let part, r2 = run Config.new_partitioned in
+  Alcotest.(check (list int)) "each datum twice"
+    [ 1; 1; 2; 2; 3; 3; 4; 4 ] part;
+  Alcotest.(check (list int)) "matches jit" jit part;
+  Alcotest.(check int) "jit monolithic" 1 r1;
+  Alcotest.(check int) "modal medium cut" 2 r2
+
+(* Fan-out relay rule: two boundary-headed fifos off the same replicator are
+   both cut via relay regions (one per consumer), decoupling the consumers
+   from each other. *)
+let partition_relay_fanout () =
+  let a = v "a" and x1 = v "x1" and x2 = v "x2" in
+  let b1 = v "b1" and b2 = v "b2" in
+  let autos () =
+    [
+      Preo_reo.Prim.build Preo_reo.Prim.Replicator ~tails:[ a ]
+        ~heads:[ x1; x2 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ x1 ] ~heads:[ b1 ];
+      Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ x2 ] ~heads:[ b2 ];
+    ]
+  in
+  let plan =
+    Partition.split ~sources:(Iset.singleton a)
+      ~sinks:(Iset.of_list [ b1; b2 ])
+      (autos ())
+  in
+  Alcotest.(check int) "replicator + 2 relays" 3
+    (Array.length plan.Partition.regions);
+  Alcotest.(check int) "2 bridges" 2 plan.Partition.nbridges;
+  let conn =
+    mk_conn ~config:Config.new_partitioned (autos ()) ~sources:[| a |]
+      ~sinks:[| b1; b2 |]
+  in
+  let streams = [| []; [] |] in
+  Task.run_all
+    [
+      (fun () ->
+        for i = 1 to 5 do
+          Port.send (Connector.outport conn a) (Value.int i)
+        done);
+      (fun () ->
+        for _ = 1 to 5 do
+          streams.(0) <-
+            Value.to_int (Port.recv (Connector.inport conn b1)) :: streams.(0)
+        done);
+      (fun () ->
+        for _ = 1 to 5 do
+          streams.(1) <-
+            Value.to_int (Port.recv (Connector.inport conn b2)) :: streams.(1)
+        done);
+    ];
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "consumer %d full stream" i)
+        [ 1; 2; 3; 4; 5 ] (List.rev s))
+    streams
+
 let partitioned_execution_matches () =
   (* Same data through a partitioned pipeline as through monolithic JIT. *)
   let run config =
@@ -639,6 +844,11 @@ let tests =
     ("partition splits pipeline", `Quick, partition_splits_pipeline);
     ("partition keeps boundary fifo", `Quick, partition_boundary_fifo_not_cut);
     ("partition cuts fifo chain", `Quick, partition_fifo_chain_alternates);
+    ("partition classifies shapes", `Quick, partition_classifies_shapes);
+    ("partition cuts full fifo", `Quick, partition_cuts_full_fifo);
+    ("partition collapses chain", `Quick, partition_collapses_chain);
+    ("partition cuts modal medium", `Quick, partition_cuts_modal_medium);
+    ("partition relay fan-out", `Quick, partition_relay_fanout);
     ("partitioned execution matches", `Quick, partitioned_execution_matches);
     ("steps agree across composers", `Quick, steps_agree_across_composers);
     ("gated source", `Quick, gates_direct);

@@ -19,6 +19,7 @@ let () =
       ("fuzz", Suite_fuzz.tests);
       ("stream", Suite_stream.tests);
       ("stress", Suite_stress.tests);
+      ("wakeup", Suite_wakeup.tests);
       ("facade", Suite_facade.tests);
       ("dsl-corners", Suite_dsl_corners.tests);
       ("random-networks", Suite_random.tests);
