@@ -12,8 +12,8 @@
 open Preo_support
 
 let sections =
-  [ "fig12"; "fig13"; "fig13-blowup"; "abl-opt"; "abl-cache"; "abl-part";
-    "obs"; "micro" ]
+  [ "fig12"; "fig13"; "fig13-blowup"; "npb-mc"; "abl-opt"; "abl-cache";
+    "abl-part"; "obs"; "micro" ]
 
 (* Representative connector families for the steps/s micro bench: picked to
    exercise deep pending sets (sequencer), partitionable pipelines
@@ -24,15 +24,22 @@ let micro_families =
   [ ("sequencer", 8); ("relay_ring", 6); ("broadcast_fifo", 8);
     ("token_ring", 8); ("gather", 8) ]
 
+(* Each config pins its domain placement: [`One] runs everything in the
+   primary domain (the schema-3 baseline semantics, so old and new rows stay
+   comparable), [`Multi] spreads partition regions and port tasks over a
+   domain pool of --domains workers (default 2). new-partitioned-mc is the
+   multicore row of the evaluation. *)
 let micro_configs =
   [
-    ("new-jit", Preo_runtime.Config.new_jit);
+    ("new-jit", Preo_runtime.Config.new_jit, `One);
     ("new-jit-nolabel",
      Preo_runtime.Config.New
        { optimize_labels = false; cache_capacity = 0;
          expansion_budget = 2_000_000; partition = false;
-         true_synchronous = false });
-    ("new-partitioned", Preo_runtime.Config.new_partitioned);
+         true_synchronous = false },
+     `One);
+    ("new-partitioned", Preo_runtime.Config.new_partitioned, `One);
+    ("new-partitioned-mc", Preo_runtime.Config.new_partitioned, `Multi);
   ]
 
 type opts = {
@@ -41,11 +48,13 @@ type opts = {
   detail : bool;
   json : string option;
   compare : (string * string) option;
+  domains : int;  (* domain count for the `Multi (…-mc) rows and fig13 *)
 }
 
 let parse_args () =
   let full = ref false and only = ref [] and detail = ref false in
   let json = ref None in
+  let domains = ref 2 in
   let cmp_old = ref "" and cmp_new = ref None in
   let set_only s = only := String.split_on_char ',' s in
   let spec =
@@ -55,6 +64,9 @@ let parse_args () =
        "SECTIONS comma-separated subset of: " ^ String.concat "," sections);
       ("--detail", Arg.Set detail,
        " per-connector detail for fig12 and engine counters for micro");
+      ("--domains", Arg.Set_int domains,
+       "N domain count for the multicore micro rows (new-partitioned-mc); \
+        default 2, clamped to the runtime cap");
       ("--json", Arg.String (fun f -> json := Some f),
        "FILE dump the micro steps/s rows as JSON (baseline format, see \
         EXPERIMENTS.md)");
@@ -73,6 +85,7 @@ let parse_args () =
     detail = !detail;
     json = !json;
     compare = (match !cmp_new with Some n -> Some (!cmp_old, n) | None -> None);
+    domains = max 1 !domains;
   }
 
 let wants opts name = opts.only = [] || List.mem name opts.only
@@ -359,6 +372,56 @@ let fig13_blowup opts =
   Tablefmt.print ~header:[ "variant"; "N"; "time(s)" ] rows
 
 (* ------------------------------------------------------------------ *)
+(* NPB-MC: single- vs multi-domain task placement                      *)
+(* ------------------------------------------------------------------ *)
+
+(* One kernel, both comm variants, slave tasks inline (1 domain) vs.
+   pooled over --domains worker domains. The comm layer derives its
+   scheduling policy from [Config.effective_domains] at construction, so
+   the process-wide default is flipped around each build. *)
+let npb_mc opts =
+  let domains = max 2 opts.domains in
+  let cls = if opts.full then Preo_npb.Workloads.W else Preo_npb.Workloads.S in
+  Tablefmt.rule
+    (Printf.sprintf
+       "NPB-MC: CG class %s, single- vs multi-domain task placement"
+       (Preo_npb.Workloads.cls_name cls));
+  Printf.printf
+    "Slave tasks run inline (domains=1) or on a pool of %d worker domains.\n\
+     On a single-core testbed the multi-domain rows measure cross-domain\n\
+     signalling overhead, not speedup (see EXPERIMENTS.md §DOMAINS).\n\n"
+    domains;
+  let timeout = if opts.full then 120.0 else 60.0 in
+  let nslaves = 4 in
+  let saved = !Preo_runtime.Config.domains in
+  let measure ~domains mk =
+    Preo_runtime.Config.domains := Some domains;
+    Fun.protect
+      ~finally:(fun () -> Preo_runtime.Config.domains := saved)
+      (fun () ->
+        run_kernel ~kernel:`Cg ~comm:(mk ()) ~cls ~nslaves ~timeout)
+  in
+  let rows =
+    List.concat_map
+      (fun (vname, mk) ->
+        List.map
+          (fun d ->
+            let r = measure ~domains:d mk in
+            [
+              vname;
+              string_of_int d;
+              (if r.kr_dnf then "DNF" else Printf.sprintf "%.3f" r.kr_seconds);
+              string_of_int r.kr_steps;
+            ])
+          [ 1; domains ])
+      [
+        ("hand", fun () -> Preo_npb.Comm.hand ~nslaves);
+        ("reo", fun () -> Preo_npb.Comm.reo ~nslaves ());
+      ]
+  in
+  Tablefmt.print ~header:[ "variant"; "domains"; "time(s)"; "steps" ] rows
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -538,9 +601,13 @@ let micro_steps opts =
       (fun (fname, n) ->
         let e = Preo_connectors.Catalog.find fname in
         List.map
-          (fun (cname, config) ->
+          (fun (cname, config, dom_spec) ->
+            let domains =
+              match dom_spec with `One -> 1 | `Multi -> max 2 opts.domains
+            in
             match
-              Preo_connectors.Driver.run_noop ~config ~seconds:window e ~n
+              Preo_connectors.Driver.run_noop ~config ~domains ~seconds:window
+                e ~n
             with
             | Preo_connectors.Driver.Steps { steps; run_seconds; stats = st; _ } ->
               let rate = float_of_int steps /. run_seconds in
@@ -549,14 +616,15 @@ let micro_steps opts =
                   Printf.sprintf
                     "    {\"family\": %S, \"n\": %d, \"config\": %S, \
                      \"steps_per_s\": %.1f, \"stats\": {\"st_steps\": %d, \
-                     \"st_regions\": %d, \"st_expansions\": %d, \
+                     \"st_regions\": %d, \"st_domains\": %d, \
+                     \"st_expansions\": %d, \
                      \"st_cache_hits\": %d, \"st_cache_evictions\": %d, \
                      \"st_compile_seconds\": %.6f, \"st_solver_calls\": %d, \
                      \"st_cond_waits\": %d, \"st_peer_kicks\": %d, \
                      \"st_cand_hits\": %d, \"st_stalls\": %d, \
                      \"st_wakes_targeted\": %d, \"st_wakes_spurious\": %d, \
                      \"st_wakes_broadcast\": %d}}"
-                    fname n cname rate st.st_steps st.st_regions
+                    fname n cname rate st.st_steps st.st_regions st.st_domains
                     st.st_expansions st.st_cache_hits st.st_cache_evictions
                     st.st_compile_seconds st.st_solver_calls st.st_cond_waits
                     st.st_peer_kicks st.st_cand_hits st.st_stalls
@@ -598,7 +666,7 @@ let micro_steps opts =
   | Some path ->
     let oc = open_out path in
     Printf.fprintf oc
-      "{\n  \"schema_version\": 3,\n  \"window_seconds\": %.2f,\n  \
+      "{\n  \"schema_version\": 4,\n  \"window_seconds\": %.2f,\n  \
        \"rows\": [\n%s\n  ]\n}\n"
       window
       (String.concat ",\n" (List.rev !json_rows));
@@ -785,6 +853,7 @@ let () =
   if wants opts "fig12" then fig12 opts;
   if wants opts "fig13" then fig13 opts;
   if wants opts "fig13-blowup" then fig13_blowup opts;
+  if wants opts "npb-mc" then npb_mc opts;
   if wants opts "abl-opt" then abl_opt opts;
   if wants opts "abl-cache" then abl_cache opts;
   if wants opts "abl-part" then abl_part opts;

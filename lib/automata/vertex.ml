@@ -12,7 +12,15 @@ let fresh name =
   Mutex.unlock lock;
   id
 
-let name v = try Hashtbl.find names v with Not_found -> Printf.sprintf "v%d" v
+(* Under the lock: [fresh] may be resizing the table from another domain
+   while a trace or error path formats a vertex. *)
+let name v =
+  Mutex.lock lock;
+  let n =
+    try Hashtbl.find names v with Not_found -> Printf.sprintf "v%d" v
+  in
+  Mutex.unlock lock;
+  n
 let equal = Int.equal
 let compare = Int.compare
 let pp ppf v = Format.fprintf ppf "%s#%d" (name v) v

@@ -44,14 +44,18 @@ let dbg fmt =
     Printf.eprintf ("[driver] " ^^ fmt ^^ "\n%!")
   else Printf.ifprintf stderr fmt
 
-let run_window ?config ~seconds entry n =
+let run_window ?config ?domains ~seconds entry n =
   let compiled = Catalog.compiled entry in
-  match Preo.instantiate ?config compiled ~lengths:(entry.Catalog.lengths n) with
+  match
+    Preo.instantiate ?config ?domains compiled ~lengths:(entry.Catalog.lengths n)
+  with
   | exception Preo.Connector.Compile_failure msg -> Compile_failed msg
   | inst ->
     dbg "instantiated %s" entry.Catalog.name;
     let conn = Preo.connector inst in
-    let threads = List.map Preo.Task.spawn (port_threads inst) in
+    let threads =
+      List.map (Preo.Task.spawn ~on:(Preo.sched inst)) (port_threads inst)
+    in
     dbg "spawned %d" (List.length threads);
     Thread.delay seconds;
     let steps = Preo.steps inst in
@@ -77,7 +81,8 @@ let run_window ?config ~seconds entry n =
            stats;
          })
 
-let run_noop ?config ?(seconds = 0.2) entry ~n = run_window ?config ~seconds entry n
+let run_noop ?config ?domains ?(seconds = 0.2) entry ~n =
+  run_window ?config ?domains ~seconds entry n
 
 let smoke ?config entry ~n =
   match run_window ?config ~seconds:0.05 entry n with

@@ -19,12 +19,16 @@ type outcome =
 
 val run_noop :
   ?config:Preo_runtime.Config.t ->
+  ?domains:int ->
   ?seconds:float ->
   Catalog.entry ->
   n:int ->
   outcome
 (** Instantiate the entry for [n], spam all ports for [seconds] (default
-    0.2), poison the connector, join the tasks, and report. *)
+    0.2), poison the connector, join the tasks, and report. Port tasks run
+    under the connector's scheduling policy: pooled across domains when
+    [?domains] (or the process default) exceeds 1, inline threads
+    otherwise. *)
 
 val smoke :
   ?config:Preo_runtime.Config.t -> Catalog.entry -> n:int -> (int, string) result

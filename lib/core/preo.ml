@@ -6,6 +6,7 @@ module Normalize = Preo_lang.Normalize
 module Template = Preo_lang.Template
 module Eval = Preo_lang.Eval
 module Value = Preo_support.Value
+module Pool = Preo_support.Pool
 module Port = Preo_runtime.Port
 module Task = Preo_runtime.Task
 module Config = Preo_runtime.Config
@@ -75,12 +76,12 @@ let build_mediums ?(config = Config.new_jit) (c : compiled) venv =
     Eval.small_automata (Eval.prims venv c.flat.Ast.c_body)
   | Config.New _ -> Template.instantiate c.template venv
 
-let instantiate ?(config = Config.new_jit) (c : compiled) ~lengths =
+let instantiate ?(config = Config.new_jit) ?domains (c : compiled) ~lengths =
   reraise (fun () ->
       let bindings, sources, sinks = Eval.boundary_of_def c.def ~lengths in
       let venv = Eval.venv ~ints:[] ~arrays:bindings in
       let mediums = build_mediums ~config c venv in
-      let conn = Connector.create ~config ~sources ~sinks mediums in
+      let conn = Connector.create ~config ?domains ~sources ~sinks mediums in
       let tails =
         List.map (function Ast.P_scalar x | Ast.P_array x -> x) c.def.Ast.c_tparams
       in
@@ -116,8 +117,10 @@ let inports inst name =
 
 let connector inst = inst.conn
 let steps inst = Connector.steps inst.conn
+let sched inst = Connector.sched inst.conn
 let shutdown inst = Connector.poison inst.conn "shutdown"
 let set_stall_threshold v = Preo_runtime.Config.stall_threshold := v
+let set_domains v = Preo_runtime.Config.domains := v
 let set_tracing v = Preo_obs.Obs.set_tracing v
 let tracing_enabled () = !Preo_obs.Obs.tracing
 let dump_trace inst = Connector.dump_trace inst.conn
@@ -138,7 +141,8 @@ let in1 = function
   | Ins ps -> err "expected one inport, got %d" (Array.length ps)
   | Outs _ -> err "expected an inport argument, got outports"
 
-let run_main ?(config = Config.new_jit) ~(program : Ast.program) ~params tasks =
+let run_main ?(config = Config.new_jit) ?domains ~(program : Ast.program) ~params
+    tasks =
   reraise (fun () ->
       let main =
         match program.main with
@@ -210,7 +214,7 @@ let run_main ?(config = Config.new_jit) ~(program : Ast.program) ~params tasks =
           let venv = Eval.venv ~ints:[] ~arrays in
           build_mediums ~config c venv
       in
-      let conn = Connector.create ~config ~sources ~sinks mediums in
+      let conn = Connector.create ~config ?domains ~sources ~sinks mediums in
       let inst = { conn; groups } in
       (* Resolve a task argument to ports. *)
       let task_arg tenv arg =
@@ -259,8 +263,8 @@ let run_main ?(config = Config.new_jit) ~(program : Ast.program) ~params tasks =
               bodies := (fun () -> f args) :: !bodies
             done)
         main.m_tasks;
-      Task.run_all (List.rev !bodies);
+      Task.run_all ~on:(Connector.sched conn) (List.rev !bodies);
       inst)
 
-let run_main_source ?config ~source ~params tasks =
-  run_main ?config ~program:(parse_check source) ~params tasks
+let run_main_source ?config ?domains ~source ~params tasks =
+  run_main ?config ?domains ~program:(parse_check source) ~params tasks

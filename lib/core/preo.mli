@@ -23,6 +23,7 @@ module Normalize = Preo_lang.Normalize
 module Template = Preo_lang.Template
 module Eval = Preo_lang.Eval
 module Value = Preo_support.Value
+module Pool = Preo_support.Pool
 module Port = Preo_runtime.Port
 module Task = Preo_runtime.Task
 module Config = Preo_runtime.Config
@@ -56,10 +57,15 @@ val compile_program : Ast.program -> name:string -> compiled
 type instance
 
 val instantiate :
-  ?config:Config.t -> compiled -> lengths:(string * int) list -> instance
+  ?config:Config.t ->
+  ?domains:int ->
+  compiled ->
+  lengths:(string * int) list ->
+  instance
 (** Create boundary vertices ([lengths] sizes each array parameter), run the
     run-time share (or, under [Config.Existing], evaluate and compose
     everything), and start the connector. Default config: [Config.new_jit].
+    [?domains] sets the parallelism target (see {!Connector.create}).
     Raises {!Connector.Compile_failure} if the existing approach exceeds its
     composition budget. *)
 
@@ -72,8 +78,21 @@ val outports : instance -> string -> Port.outport array
 val inports : instance -> string -> Port.inport array
 val connector : instance -> Connector.t
 val steps : instance -> int
+
+val sched : instance -> Task.sched
+(** Where this instance's tasks should run: the shared domain pool when the
+    connector was built for more than one domain, inline threads otherwise.
+    Pass to [Task.spawn ~on] / [Task.run_all ~on]. *)
+
 val shutdown : instance -> unit
 (** Poison the connector, releasing any blocked task. *)
+
+val set_domains : int option -> unit
+(** Configure the process-wide default domain count
+    ({!Config.domains} / [PREO_DOMAINS]): [Some n] makes subsequent
+    connector instantiations target [n] domains (clamped to
+    [Config.max_domains]); [None] falls back to
+    [Domain.recommended_domain_count]. *)
 
 val set_stall_threshold : float option -> unit
 (** Configure the global stall watchdog ({!Config.stall_threshold}): a port
@@ -121,18 +140,21 @@ val in1 : port_arg -> Port.inport
 
 val run_main :
   ?config:Config.t ->
+  ?domains:int ->
   program:Ast.program ->
   params:(string * int) list ->
   (string * (port_arg list -> unit)) list ->
   instance
 (** Instantiate the [main] connector with the given integer parameters,
-    spawn one thread per task instance ([forall] items expand), wait for all
-    of them, and return the finished instance (for inspecting step counts).
-    [tasks] maps the task names used in [main] (e.g. ["Tasks.pro"]) to OCaml
-    functions. *)
+    spawn one task per task instance ([forall] items expand) — on the shared
+    domain pool when the connector targets more than one domain — wait for
+    all of them, and return the finished instance (for inspecting step
+    counts). [tasks] maps the task names used in [main] (e.g. ["Tasks.pro"])
+    to OCaml functions. *)
 
 val run_main_source :
   ?config:Config.t ->
+  ?domains:int ->
   source:string ->
   params:(string * int) list ->
   (string * (port_arg list -> unit)) list ->

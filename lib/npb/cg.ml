@@ -124,7 +124,8 @@ let run ~(comm : Comm.t) ~cls ~nslaves =
       comm.barrier ~rank
     done
   in
-  Preo_runtime.Task.run_all (List.init nslaves (fun rank () -> slave rank));
+  Preo_runtime.Task.run_all ~on:comm.Comm.sched
+    (List.init nslaves (fun rank () -> slave rank));
   let seconds = Clock.now () -. t0 in
   let comm_steps = comm.comm_steps () in
   comm.finish ();

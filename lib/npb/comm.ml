@@ -9,6 +9,7 @@ type t = {
   abort : unit -> unit;
   finish : unit -> unit;
   comm_steps : unit -> int;
+  sched : Task.sched;
 }
 
 (* --- Hand-written variant ------------------------------------------------ *)
@@ -27,6 +28,13 @@ let hand ~nslaves =
     abort = (fun () -> ());
     finish = (fun () -> ());
     comm_steps = (fun () -> 0);
+    sched =
+      (* The hand variant has no connector to derive a policy from, but its
+         slaves deserve the same placement: pool them whenever the runtime
+         is configured for more than one domain. *)
+      (let d = Config.effective_domains () in
+       if d > 1 then Task.Domains (Pool.default ~domains:d ())
+       else Task.Threads);
   }
 
 (* --- Connector-based variant --------------------------------------------- *)
@@ -79,8 +87,9 @@ let reo ?(config = Config.new_jit) ~nslaves () =
      broadcast the total; scalar floats and float arrays (elementwise) share
      one protocol since every rank issues the same collective. Ends when the
      connectors are poisoned. *)
+  let sched = sched gather_inst in
   let master =
-    Task.spawn (fun () ->
+    Task.spawn ~on:sched (fun () ->
         while true do
           let parts = Array.map Port.recv gather_in in
           let total =
@@ -133,4 +142,5 @@ let reo ?(config = Config.new_jit) ~nslaves () =
          end);
     comm_steps =
       (fun () -> List.fold_left (fun acc i -> acc + steps i) 0 instances);
+    sched;
   }

@@ -29,6 +29,10 @@ type t = {
   finish : unit -> unit;  (** tear down helper tasks/connectors; idempotent *)
   comm_steps : unit -> int;
       (** global connector execution steps so far (0 for the hand variant) *)
+  sched : Preo_runtime.Task.sched;
+      (** where the kernel's slave tasks should run: the shared domain pool
+          when the runtime targets more than one domain, inline threads
+          otherwise. Kernels pass this to [Task.run_all ~on]. *)
 }
 
 val hand : nslaves:int -> t

@@ -18,7 +18,8 @@ let run ~(comm : Comm.t) ~cls ~nslaves =
     if rank = 0 then
       estimate := 4.0 *. total /. float_of_int (per * nslaves)
   in
-  Preo_runtime.Task.run_all (List.init nslaves (fun rank () -> slave rank));
+  Preo_runtime.Task.run_all ~on:comm.Comm.sched
+    (List.init nslaves (fun rank () -> slave rank));
   let seconds = Clock.now () -. t0 in
   let comm_steps = comm.comm_steps () in
   comm.finish ();

@@ -43,7 +43,8 @@ let run ~(comm : Comm.t) ~cls ~nslaves =
     let total = comm.allreduce ~rank !local_check in
     if rank = 0 then checksum := total
   in
-  Preo_runtime.Task.run_all (List.init nslaves (fun rank () -> slave rank));
+  Preo_runtime.Task.run_all ~on:comm.Comm.sched
+    (List.init nslaves (fun rank () -> slave rank));
   let seconds = Clock.now () -. t0 in
   let comm_steps = comm.comm_steps () in
   comm.finish ();

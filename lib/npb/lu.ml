@@ -63,7 +63,8 @@ let run ~(comm : Comm.t) ~cls ~nslaves =
       if rank = 0 then residual := total
     done
   in
-  Preo_runtime.Task.run_all (List.init nslaves (fun rank () -> slave rank));
+  Preo_runtime.Task.run_all ~on:comm.Comm.sched
+    (List.init nslaves (fun rank () -> slave rank));
   let seconds = Clock.now () -. t0 in
   (* Verification value: grid checksum plus the last sweep's delta (the
      delta alone converges to zero, which would verify vacuously). *)

@@ -144,7 +144,8 @@ let run ~(comm : Comm.t) ~cls ~nslaves =
       if rank = 0 then norm := sqrt total
     done
   in
-  Preo_runtime.Task.run_all (List.init nslaves (fun rank () -> slave rank));
+  Preo_runtime.Task.run_all ~on:comm.Comm.sched
+    (List.init nslaves (fun rank () -> slave rank));
   let seconds = Clock.now () -. t0 in
   (* verification value: final norm plus a solution checksum *)
   let checksum = ref 0.0 in

@@ -44,7 +44,7 @@ let dump ?rings () =
             | Obs.Wake_broadcast -> Printf.sprintf "waiters=%d" e.e_a
           in
           Buffer.add_string buf
-            (Printf.sprintf "  +%.6f %-14s %s\n" (e.e_ts -. !t0)
+            (Printf.sprintf "  +%.6f d%d %-14s %s\n" (e.e_ts -. !t0) e.e_dom
                (Obs.kind_name e.e_kind) detail))
         (Obs.events r))
     rings;
@@ -89,8 +89,14 @@ let chrome ?rings () =
   let us t = (t -. t0) *. 1e6 in
   let out = ref [] in
   let push e = out := e :: !out in
+  (* tid -> recording domain (-1 when only inferred from leftovers), so the
+     lane metadata can say which domain a task thread lived in. *)
   let task_lanes = Hashtbl.create 16 in
-  let task_lane tid = Hashtbl.replace task_lanes tid () in
+  let task_lane ?dom tid =
+    match dom with
+    | Some d -> Hashtbl.replace task_lanes tid d
+    | None -> if not (Hashtbl.mem task_lanes tid) then Hashtbl.add task_lanes tid (-1)
+  in
   List.iter
     (fun r ->
       let lane = ring_tid r in
@@ -116,6 +122,10 @@ let chrome ?rings () =
         last := t;
         t
       in
+      (* Domain of the event currently being rendered (events are walked in
+         order, so instants and slices pick it up without re-plumbing). *)
+      let cur_dom = ref 0 in
+      let dom_arg () = ("dom", string_of_int !cur_dom) in
       let instant ?(tid = lane) ?(args = []) name kind ts =
         push
           {
@@ -125,12 +135,13 @@ let chrome ?rings () =
             o_ts = us ts;
             o_dur = 0.0;
             o_tid = tid;
-            o_args = ("s", "\"t\"") :: args;
+            o_args = ("s", "\"t\"") :: dom_arg () :: args;
           }
       in
       List.iter
         (fun (e : Obs.event) ->
           let ts = mono e.e_ts in
+          cur_dom := e.e_dom;
           match e.e_kind with
           | Obs.Fire ->
             instant
@@ -158,7 +169,7 @@ let chrome ?rings () =
             Hashtbl.replace pending_op (e.e_b, e.e_a, false) ts
           | Obs.Park -> Hashtbl.replace pending_park e.e_b ts
           | Obs.Wake -> begin
-            task_lane e.e_b;
+            task_lane ~dom:e.e_dom e.e_b;
             match Hashtbl.find_opt pending_park e.e_b with
             | None -> instant ~tid:e.e_b "wake" Obs.Wake ts
             | Some start ->
@@ -171,13 +182,13 @@ let chrome ?rings () =
                   o_ts = us start;
                   o_dur = Float.max 0.01 (us ts -. us start);
                   o_tid = e.e_b;
-                  o_args = [];
+                  o_args = [ dom_arg () ];
                 }
           end
           | Obs.Complete_send | Obs.Complete_recv ->
             let is_send = e.e_kind = Obs.Complete_send in
             let opname = if is_send then "send" else "recv" in
-            task_lane e.e_b;
+            task_lane ~dom:e.e_dom e.e_b;
             (match Hashtbl.find_opt pending_op (e.e_b, e.e_a, is_send) with
              | None ->
                instant ~tid:e.e_b
@@ -193,10 +204,14 @@ let chrome ?rings () =
                    o_ts = us start;
                    o_dur = Float.max 0.01 (us ts -. us start);
                    o_tid = e.e_b;
-                   o_args = [ ("vertex", Printf.sprintf "\"%s\"" (Json.escape (vname e.e_a))) ];
+                   o_args =
+                     [
+                       ("vertex", Printf.sprintf "\"%s\"" (Json.escape (vname e.e_a)));
+                       dom_arg ();
+                     ];
                  })
           | Obs.Stall ->
-            task_lane e.e_b;
+            task_lane ~dom:e.e_dom e.e_b;
             instant ~tid:e.e_b ("stall " ^ vname e.e_a) Obs.Stall ts
           | Obs.Rpc_client_start | Obs.Rpc_server_start ->
             let side =
@@ -240,7 +255,11 @@ let chrome ?rings () =
         pending_rpc)
     rings;
   Hashtbl.iter
-    (fun tid () ->
+    (fun tid dom ->
+      let label =
+        if dom >= 0 then Printf.sprintf "task-%d@d%d" tid dom
+        else Printf.sprintf "task-%d" tid
+      in
       push
         {
           o_name = "thread_name";
@@ -249,7 +268,7 @@ let chrome ?rings () =
           o_ts = 0.0;
           o_dur = 0.0;
           o_tid = tid;
-          o_args = [ ("name", Printf.sprintf "\"task-%d\"" tid) ];
+          o_args = [ ("name", Printf.sprintf "\"%s\"" label) ];
         })
     task_lanes;
   let buf = Buffer.create 16384 in

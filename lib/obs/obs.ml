@@ -87,10 +87,17 @@ type ring = {
   ev : int array;
   ra : int array;
   rb : int array;
+  rd : int array;  (* recording domain id, for cross-domain attribution *)
   mutable total : int;  (** events ever written; index = total mod cap *)
 }
 
-type event = { e_ts : float; e_kind : kind; e_a : int; e_b : int }
+type event = {
+  e_ts : float;
+  e_kind : kind;
+  e_a : int;
+  e_b : int;
+  e_dom : int;  (** domain that recorded the event *)
+}
 
 let default_cap =
   match Sys.getenv_opt "PREO_TRACE_CAP" with
@@ -116,6 +123,7 @@ let create_ring ?(locked = false) ?cap name =
       ev = Array.make cap 0;
       ra = Array.make cap 0;
       rb = Array.make cap 0;
+      rd = Array.make cap 0;
       total = 0;
     }
   in
@@ -123,12 +131,17 @@ let create_ring ?(locked = false) ?cap name =
   Mutex.unlock registry_lock;
   r
 
+(* Single-writer discipline: an unlocked (engine) ring is only ever written
+   by the thread holding the owning engine's mutex — whichever domain that
+   thread lives in — so writes are serialized and [rd] records which domain
+   each event came from. Locked rings serialize on their own mutex. *)
 let emit_unlocked r kind ~a ~b =
   let i = r.total mod r.cap in
   r.ts.(i) <- Clock.now ();
   r.ev.(i) <- kind_index kind;
   r.ra.(i) <- a;
   r.rb.(i) <- b;
+  r.rd.(i) <- (Domain.self () :> int);
   r.total <- r.total + 1
 
 let emit r kind ~a ~b =
@@ -151,7 +164,13 @@ let events r =
     let first = r.total - n in
     List.init n (fun k ->
         let i = (first + k) mod r.cap in
-        { e_ts = r.ts.(i); e_kind = kinds.(r.ev.(i)); e_a = r.ra.(i); e_b = r.rb.(i) })
+        {
+          e_ts = r.ts.(i);
+          e_kind = kinds.(r.ev.(i));
+          e_a = r.ra.(i);
+          e_b = r.rb.(i);
+          e_dom = r.rd.(i);
+        })
   in
   match r.lock with
   | None -> snap ()

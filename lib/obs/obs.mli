@@ -47,7 +47,13 @@ type kind =
 val kind_name : kind -> string
 
 type ring
-type event = { e_ts : float; e_kind : kind; e_a : int; e_b : int }
+type event = {
+  e_ts : float;
+  e_kind : kind;
+  e_a : int;
+  e_b : int;
+  e_dom : int;  (** id of the domain that recorded the event *)
+}
 
 val create_ring : ?locked:bool -> ?cap:int -> string -> ring
 (** Register a new lane. [locked] (default false) adds an internal mutex —

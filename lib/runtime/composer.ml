@@ -59,8 +59,11 @@ type jit_state = {
   mutable jit_current : int array;
   expansion_budget : int;
   true_synchronous : bool;
-  mutable nexpansions : int;
-  mutable ncache_hits : int;
+  (* Atomic for the same reason as the engine counters: bumped under the
+     owning engine's lock, read lock-free by [Connector.stats], possibly
+     from another domain. *)
+  nexpansions : int Atomic.t;
+  ncache_hits : int Atomic.t;
 }
 
 type aot_state = { states : expanded array; mutable aot_current : int }
@@ -74,9 +77,9 @@ type t = {
   snks : Iset.t;
   cells : int;
   optimize : bool;
-  mutable ncand_hits : int;
-  mutable ncand_evictions : int;
-  mutable nsolves : int;
+  ncand_hits : int Atomic.t;
+  ncand_evictions : int Atomic.t;
+  nsolves : int Atomic.t;
       (* runtime (post-expansion) Command.solve calls, i.e. firing-loop
          solver work that label optimization would have precompiled *)
 }
@@ -170,9 +173,9 @@ let aot ?(use_dispatch = true) ?(optimize_labels = true) (large : Automaton.t) =
     snks;
     cells;
     optimize = optimize_labels;
-    ncand_hits = 0;
-    ncand_evictions = 0;
-    nsolves = 0;
+    ncand_hits = Atomic.make 0;
+    ncand_evictions = Atomic.make 0;
+    nsolves = Atomic.make 0;
   }
 
 (* --- Just-in-time ------------------------------------------------------- *)
@@ -216,16 +219,16 @@ let jit ?(cache_capacity = 0) ?(optimize_labels = true)
           jit_current = initial;
           expansion_budget;
           true_synchronous;
-          nexpansions = 0;
-          ncache_hits = 0;
+          nexpansions = Atomic.make 0;
+          ncache_hits = Atomic.make 0;
         };
     srcs = sources;
     snks = sinks;
     cells;
     optimize = optimize_labels;
-    ncand_hits = 0;
-    ncand_evictions = 0;
-    nsolves = 0;
+    ncand_hits = Atomic.make 0;
+    ncand_evictions = Atomic.make 0;
+    nsolves = Atomic.make 0;
   }
 
 (* Expand one product state, interleaving flavour: every global transition is
@@ -321,7 +324,7 @@ let expand_interleaved t (js : jit_state) (state : int array) : expanded =
         selection.(i) <- -1)
       js.mediums.(i).trans.(state.(i))
   done;
-  js.nexpansions <- js.nexpansions + 1;
+  Atomic.incr js.nexpansions;
   let ts = Array.of_list (List.rev !result) in
   let boundary = Iset.union t.srcs t.snks in
   mk_expanded ts ~index:(Some (build_index boundary ts))
@@ -394,7 +397,7 @@ let expand_synchronous t (js : jit_state) (state : int array) : expanded =
     end
   in
   go 0 Iset.empty Iset.empty false;
-  js.nexpansions <- js.nexpansions + 1;
+  Atomic.incr js.nexpansions;
   let ts = Array.of_list (List.rev !result) in
   let boundary = Iset.union t.srcs t.snks in
   mk_expanded ts ~index:(Some (build_index boundary ts))
@@ -405,7 +408,7 @@ let expanded_of_current t =
   | S_jit js -> begin
     match Cache.find js.cache js.jit_current with
     | Some e ->
-      js.ncache_hits <- js.ncache_hits + 1;
+      Atomic.incr js.ncache_hits;
       e
     | None ->
       let e =
@@ -451,7 +454,7 @@ let candidates t ~pending =
   in
   match probe e.cand_memo with
   | Some arr ->
-    t.ncand_hits <- t.ncand_hits + 1;
+    Atomic.incr t.ncand_hits;
     arr (* shared buffer: callers must not mutate it *)
   | None ->
     (* Filtering with the restricted key is equivalent: every transition's
@@ -460,7 +463,7 @@ let candidates t ~pending =
     let memo = (key, arr) :: e.cand_memo in
     let memo =
       if List.length memo > cand_memo_capacity then begin
-        t.ncand_evictions <- t.ncand_evictions + 1;
+        Atomic.incr t.ncand_evictions;
         List.filteri (fun i _ -> i < cand_memo_capacity) memo
       end
       else memo
@@ -476,7 +479,7 @@ let command_of t (x : xtrans) =
   | C_solved c -> Some c
   | C_unsat -> None
   | C_unsolved -> begin
-    t.nsolves <- t.nsolves + 1;
+    Atomic.incr t.nsolves;
     match Command.solve ~readable:t.srcs ~writable:t.snks x.constr with
     | Ok c ->
       x.cmd <- C_solved c;
@@ -498,16 +501,16 @@ let sources t = t.srcs
 let sinks t = t.snks
 
 let expansions t =
-  match t.strategy with S_aot _ -> 0 | S_jit js -> js.nexpansions
+  match t.strategy with S_aot _ -> 0 | S_jit js -> Atomic.get js.nexpansions
 
 let cache_hits t =
-  match t.strategy with S_aot _ -> 0 | S_jit js -> js.ncache_hits
+  match t.strategy with S_aot _ -> 0 | S_jit js -> Atomic.get js.ncache_hits
 
 let cache_evictions t =
   match t.strategy with S_aot _ -> 0 | S_jit js -> Cache.evictions js.cache
 
-let solver_calls t = t.nsolves
-let cand_hits t = t.ncand_hits
-let cand_evictions t = t.ncand_evictions
+let solver_calls t = Atomic.get t.nsolves
+let cand_hits t = Atomic.get t.ncand_hits
+let cand_evictions t = Atomic.get t.ncand_evictions
 
 let current_out_degree t = Array.length (expanded_of_current t).all

@@ -78,6 +78,31 @@ let stall_threshold : float option ref =
      | Some s -> float_of_string_opt s
      | None -> None)
 
+(* Domain-count default for connector instantiation. [None] means "size
+   from the hardware": [Domain.recommended_domain_count], capped. An
+   explicit request (here or per-connector via [?domains]) is honored up
+   to the hard cap even beyond the recommended count, so cross-domain
+   paths can be exercised deterministically on small machines. Settable
+   at runtime or via the PREO_DOMAINS environment variable. *)
+let domains : int option ref =
+  ref
+    (match Sys.getenv_opt "PREO_DOMAINS" with
+     | Some s -> int_of_string_opt s
+     | None -> None)
+
+let max_domains = 16
+
+let effective_domains ?requested () =
+  let d =
+    match requested with
+    | Some d -> d
+    | None ->
+      (match !domains with
+       | Some d -> d
+       | None -> Domain.recommended_domain_count ())
+  in
+  max 1 (min max_domains d)
+
 let synchronous_of = function
   | Existing e -> Existing { e with true_synchronous = true }
   | New n -> New { n with true_synchronous = true }

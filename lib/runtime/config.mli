@@ -41,6 +41,21 @@ val stall_threshold : float option ref
     disables the watchdog; initialized from the [PREO_STALL_THRESHOLD]
     environment variable when set. *)
 
+val domains : int option ref
+(** Process-wide default domain count for connector instantiation. [None]
+    (default) sizes from [Domain.recommended_domain_count], capped at
+    {!max_domains}; an explicit value is honored up to the cap even beyond
+    the recommended count. Initialized from the [PREO_DOMAINS] environment
+    variable when set. *)
+
+val max_domains : int
+(** Hard cap on domains per connector (matches [Pool.max_domains]). *)
+
+val effective_domains : ?requested:int -> unit -> int
+(** Resolve a domain count: [?requested] wins, else [!domains], else
+    [Domain.recommended_domain_count]; always clamped to
+    [1..max_domains]. *)
+
 val synchronous_of : t -> t
 (** Same configuration with the textbook fully-synchronous product
     (joint independent firings included). *)

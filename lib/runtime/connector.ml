@@ -10,12 +10,15 @@ type t = {
   sources : Vertex.t array;
   sinks : Vertex.t array;
   compile_seconds : float;
+  domains : int;  (* effective domain count this connector was built for *)
+  pool : Pool.t option;  (* shared pool when domains > 1 *)
 }
 
 let hide_internals ~keep (a : Automaton.t) =
   Automaton.trim (Automaton.hide (Iset.diff a.vertices keep) a)
 
-let create ?(config = Config.new_jit) ~sources ~sinks mediums =
+let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
+  let eff_domains = Config.effective_domains ?requested:domains () in
   let src_set = Iset.of_list (Array.to_list sources) in
   let snk_set = Iset.of_list (Array.to_list sinks) in
   let t0 = Clock.now () in
@@ -61,7 +64,10 @@ let create ?(config = Config.new_jit) ~sources ~sinks mediums =
         ([| e |], [ (Iset.union src_set snk_set, e) ])
       end
       else begin
-        let plan = Partition.split ~sources:src_set ~sinks:snk_set mediums in
+        let plan =
+          Partition.split ~domains:eff_domains ~sources:src_set ~sinks:snk_set
+            mediums
+        in
         let engines =
           Array.mapi
             (fun i (r : Partition.region) ->
@@ -115,6 +121,12 @@ let create ?(config = Config.new_jit) ~sources ~sinks mediums =
     sources;
     sinks;
     compile_seconds = Clock.now () -. t0;
+    domains = eff_domains;
+    pool =
+      (* The pool is shared process-wide and never shut down here: tasks
+         spawned on it may outlive the connector. *)
+      (if eff_domains > 1 then Some (Pool.default ~domains:eff_domains ())
+       else None);
   }
 
 let engine_of t v =
@@ -134,6 +146,13 @@ let steps t = Array.fold_left (fun acc e -> acc + Engine.steps e) 0 t.engines
 let compile_seconds t = t.compile_seconds
 let engines t = Array.to_list t.engines
 let nregions t = Array.length t.engines
+let domains t = t.domains
+let pool t = t.pool
+
+(* Where this connector's tasks should run: on the shared pool when it was
+   built for more than one domain, inline threads otherwise. *)
+let sched t =
+  match t.pool with Some p -> Task.Domains p | None -> Task.Threads
 
 let expansions t =
   Array.fold_left
@@ -205,6 +224,7 @@ type stats = {
   st_wakes_targeted : int;
   st_wakes_spurious : int;
   st_wakes_broadcast : int;
+  st_domains : int;
 }
 
 let sum_engines t f = Array.fold_left (fun acc e -> acc + f e) 0 t.engines
@@ -226,6 +246,7 @@ let stats t =
     st_wakes_targeted = sum_engines t Engine.wakes_targeted;
     st_wakes_spurious = sum_engines t Engine.wakes_spurious;
     st_wakes_broadcast = sum_engines t Engine.wakes_broadcast;
+    st_domains = t.domains;
   }
 
 (* Exports cover every lane registered in the process — this connector's
@@ -242,10 +263,10 @@ let chrome_trace t =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "steps=%d regions=%d expansions=%d cache-hits=%d evictions=%d \
+    "steps=%d regions=%d domains=%d expansions=%d cache-hits=%d evictions=%d \
      compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d stalls=%d \
      wakes=%d/%d/%d"
-    s.st_steps s.st_regions s.st_expansions s.st_cache_hits s.st_cache_evictions
-    s.st_compile_seconds s.st_solver_calls s.st_cond_waits s.st_peer_kicks
-    s.st_cand_hits s.st_stalls s.st_wakes_targeted s.st_wakes_spurious
-    s.st_wakes_broadcast
+    s.st_steps s.st_regions s.st_domains s.st_expansions s.st_cache_hits
+    s.st_cache_evictions s.st_compile_seconds s.st_solver_calls s.st_cond_waits
+    s.st_peer_kicks s.st_cand_hits s.st_stalls s.st_wakes_targeted
+    s.st_wakes_spurious s.st_wakes_broadcast

@@ -12,13 +12,21 @@ type t
 
 val create :
   ?config:Config.t ->
+  ?domains:int ->
   sources:Vertex.t array ->
   sinks:Vertex.t array ->
   Automaton.t list ->
   t
 (** [create ~sources ~sinks mediums] compiles and starts a connector whose
     boundary vertices are [sources] (tasks send there) and [sinks] (tasks
-    receive there). Default config: {!Config.new_jit}. *)
+    receive there). Default config: {!Config.new_jit}.
+
+    [?domains] is the parallelism target: it feeds the partitioner (relay
+    fan-out/fan-in cuts are only made when > 1) and selects the task
+    scheduling policy ({!sched}). Resolution follows
+    {!Config.effective_domains}: an explicit argument wins, else the
+    process-wide [Config.domains] / [PREO_DOMAINS], else
+    [Domain.recommended_domain_count], clamped to [Config.max_domains]. *)
 
 val outport : t -> Vertex.t -> Port.outport
 val inport : t -> Vertex.t -> Port.inport
@@ -37,6 +45,17 @@ val engines : t -> Engine.t list
 val nregions : t -> int
 val expansions : t -> int
 val cache_evictions : t -> int
+
+val domains : t -> int
+(** The effective domain count this connector was instantiated for. *)
+
+val pool : t -> Preo_support.Pool.t option
+(** The shared domain pool, when [domains t > 1]. *)
+
+val sched : t -> Task.sched
+(** Where this connector's tasks should run: [Task.Domains pool] when built
+    for more than one domain, [Task.Threads] otherwise. Pass to
+    [Task.spawn ~on] / [Task.run_all ~on]. *)
 
 val poison : ?stall:Engine.stall_report -> t -> string -> unit
 (** Shut every engine down. [stall] (defaulting to the most recent recorded
@@ -79,6 +98,7 @@ type stats = {
   st_wakes_broadcast : int;
       (** fallback wake-everyone broadcasts (poison, kick-round cap,
           shutdown) *)
+  st_domains : int;  (** effective domain count (see {!domains}) *)
 }
 
 val stats : t -> stats

@@ -139,14 +139,17 @@ type t = {
   mutable kick_missing : bool;
       (** a committed gate had no [gate_peer] mapping (hand-wired gates):
           fall back to kicking every peer at the next flush *)
-  mutable nsteps : int;
-  mutable nwaits : int;  (** times a blocked operation parked *)
-  mutable nkicks : int;  (** peer-engine nudges issued after firings *)
-  mutable nwakes_t : int;  (** targeted per-vertex wake signals issued *)
-  mutable nwakes_sp : int;  (** wakes after which the woken op re-parked
-                                without the engine having progressed *)
-  mutable nwakes_b : int;  (** broadcast fallbacks (poison, kick-round cap) *)
-  mutable nstalls : int;  (** stall reports recorded (watchdog + deadlines) *)
+  (* Counters are atomic, not plain ints: they are bumped under the engine
+     lock but read lock-free by [Connector.stats] — possibly from another
+     domain once tasks run on a pool. *)
+  nsteps : int Atomic.t;
+  nwaits : int Atomic.t;  (** times a blocked operation parked *)
+  nkicks : int Atomic.t;  (** peer-engine nudges issued after firings *)
+  nwakes_t : int Atomic.t;  (** targeted per-vertex wake signals issued *)
+  nwakes_sp : int Atomic.t;  (** wakes after which the woken op re-parked
+                                 without the engine having progressed *)
+  nwakes_b : int Atomic.t;  (** broadcast fallbacks (poison, kick-round cap) *)
+  nstalls : int Atomic.t;  (** stall reports recorded (watchdog + deadlines) *)
   mutable last_stall : stall_report option;
   poison_flag : string option Atomic.t;
       (* read without the lock so overloaded engines notice shutdown *)
@@ -194,13 +197,13 @@ let create ?(gates = []) ?(name = "engine") comp =
     wake_list = [];
     kick_list = [];
     kick_missing = false;
-    nsteps = 0;
-    nwaits = 0;
-    nkicks = 0;
-    nwakes_t = 0;
-    nwakes_sp = 0;
-    nwakes_b = 0;
-    nstalls = 0;
+    nsteps = Atomic.make 0;
+    nwaits = Atomic.make 0;
+    nkicks = Atomic.make 0;
+    nwakes_t = Atomic.make 0;
+    nwakes_sp = Atomic.make 0;
+    nwakes_b = Atomic.make 0;
+    nstalls = Atomic.make 0;
     last_stall = None;
     poison_flag = Atomic.make None;
     poisoned = None;
@@ -236,13 +239,13 @@ let set_gate_peers t pairs =
 
 let set_on_fire t f = t.on_fire <- f
 let composer t = t.comp
-let steps t = t.nsteps
-let cond_waits t = t.nwaits
-let peer_kicks t = t.nkicks
-let wakes_targeted t = t.nwakes_t
-let wakes_spurious t = t.nwakes_sp
-let wakes_broadcast t = t.nwakes_b
-let stalls t = t.nstalls
+let steps t = Atomic.get t.nsteps
+let cond_waits t = Atomic.get t.nwaits
+let peer_kicks t = Atomic.get t.nkicks
+let wakes_targeted t = Atomic.get t.nwakes_t
+let wakes_spurious t = Atomic.get t.nwakes_sp
+let wakes_broadcast t = Atomic.get t.nwakes_b
+let stalls t = Atomic.get t.nstalls
 
 (* --- Targeted wakeups -------------------------------------------------------
    Operations complete only inside [fire_one], under the engine lock, and a
@@ -285,7 +288,7 @@ let flush_wakes t =
       (fun w ->
         w.w_queued <- false;
         if w.w_parked > 0 then begin
-          t.nwakes_t <- t.nwakes_t + 1;
+          Atomic.incr t.nwakes_t;
           if !Obs.tracing then
             Obs.emit (obs_ring t) Obs.Wake_targeted ~a:w.w_vertex
               ~b:w.w_parked;
@@ -306,7 +309,7 @@ let wake_all t =
         Condition.broadcast w.w_cond
       end)
     t.waiters;
-  t.nwakes_b <- t.nwakes_b + 1;
+  Atomic.incr t.nwakes_b;
   if !Obs.tracing then Obs.emit (obs_ring t) Obs.Wake_broadcast ~a:!woken ~b:0
 
 let entry_of t v =
@@ -364,7 +367,7 @@ let fire_one t =
   let n = Array.length cands in
   if n = 0 then false
   else begin
-    let start = t.nsteps mod n in
+    let start = Atomic.get t.nsteps mod n in
     let try_candidate (x : Composer.xtrans) =
       let read_send v =
         match gate_of t v with
@@ -433,7 +436,7 @@ let fire_one t =
               x.needs_recv);
           Composer.commit t.comp x;
           invalidate_gates t;
-          t.nsteps <- t.nsteps + 1;
+          Atomic.incr t.nsteps;
           if !Obs.tracing then begin
             Obs.emit (obs_ring t) Obs.Fire ~a:(Iset.cardinal x.sync)
               ~b:(if Iset.is_empty x.sync then -1 else Iset.choose x.sync);
@@ -509,7 +512,7 @@ let take_kick_targets t =
         (fun acc p -> if List.memq p acc then acc else p :: acc)
         targets t.peers
   in
-  t.nkicks <- t.nkicks + List.length targets;
+  ignore (Atomic.fetch_and_add t.nkicks (List.length targets));
   targets
 
 (* Nudge peer engines so a firing here propagates through shared gates.
@@ -638,9 +641,9 @@ let snapshot_locked t =
     | exception Composer.Expansion_budget _ -> -1
   in
   {
-    es_steps = t.nsteps;
-    es_waits = t.nwaits;
-    es_kicks = t.nkicks;
+    es_steps = Atomic.get t.nsteps;
+    es_waits = Atomic.get t.nwaits;
+    es_kicks = Atomic.get t.nkicks;
     es_pending = List.map vname (Iset.elements pending);
     es_candidates = candidates;
     es_gates =
@@ -750,7 +753,7 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
         (match threshold with
          | Some th when (not !watchdog_tripped) && waited >= th ->
            watchdog_tripped := true;
-           t.nstalls <- t.nstalls + 1;
+           Atomic.incr t.nstalls;
            t.last_stall <- Some (stall_here waited);
            if traced then begin
              Obs.emit (obs_ring t) Obs.Stall ~a:opv ~b:tid;
@@ -787,8 +790,8 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
       let woke_idle = ref false in
       let park () =
         trace "waiting";
-        if !woke_idle then t.nwakes_sp <- t.nwakes_sp + 1;
-        t.nwaits <- t.nwaits + 1;
+        if !woke_idle then Atomic.incr t.nwakes_sp;
+        Atomic.incr t.nwaits;
         if traced then begin
           Obs.emit (obs_ring t) Obs.Park ~a:opv ~b:tid;
           Metrics.incr m_parks
@@ -862,7 +865,7 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
     in
     Mutex.lock t.lock;
     t.last_stall <- Some full;
-    t.nstalls <- t.nstalls + 1;
+    Atomic.incr t.nstalls;
     Mutex.unlock t.lock;
     Error full
 
@@ -999,7 +1002,7 @@ let debug_dump t =
   invalidate_gates t;
   let pending = pending_now t in
   Buffer.add_string buf
-    (Printf.sprintf "steps=%d poisoned=%s\n" t.nsteps
+    (Printf.sprintf "steps=%d poisoned=%s\n" (Atomic.get t.nsteps)
        (match t.poisoned with Some m -> m | None -> "no"));
   Buffer.add_string buf "pending:";
   Iset.iter

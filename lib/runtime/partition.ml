@@ -369,7 +369,7 @@ let sync_medium g h =
 
 type chain = { members : Automaton.t list; shape : cut_shape }
 
-let split ~sources ~sinks (mediums : Automaton.t list) =
+let split ?(domains = 2) ~sources ~sinks (mediums : Automaton.t list) =
   let boundary = Iset.union sources sinks in
   (* Classify every medium; eligibility (boundary ends, components) is
      decided later over the collapsed chains. *)
@@ -603,12 +603,18 @@ let split ~sources ~sinks (mediums : Automaton.t list) =
         | _ -> returned := ch :: !returned)
       !internal_cands;
     (* Relay candidates (exactly one boundary end): cut only when at least
-       two of them hang off the same solid component. Cutting a lone relay
+       two of them hang off the same solid component AND the runtime has
+       more than one domain to run the pieces on. Cutting a lone relay
        adds an engine and a bridge on a path that already serializes
        through that component — pure overhead (this is what keeps
        token_ring's per-station fifos fused with their Syncs). With two or
        more, the cut decouples siblings that previously contended on one
-       engine (broadcast_fifo's and gather's per-task fifos). *)
+       engine (broadcast_fifo's and gather's per-task fifos) — but only if
+       the decoupled pieces can actually run concurrently: on a single
+       domain the extra regions just add bridge and wakeup traffic (the
+       gather regression of PR 4), so [domains <= 1] keeps relays fused.
+       Internal cuts above are kept regardless — they shrink per-region
+       products, which pays even on one core. *)
     let by_comp : (int, chain list) Hashtbl.t = Hashtbl.create 8 in
     List.iter
       (fun ch ->
@@ -623,7 +629,7 @@ let split ~sources ~sinks (mediums : Automaton.t list) =
     let relay_cuts = ref [] in
     Hashtbl.iter
       (fun rep chs ->
-        if List.length chs >= 2 then
+        if domains > 1 && List.length chs >= 2 then
           List.iter
             (fun ch ->
               let t, _ = shape_ends ch.shape in

@@ -16,7 +16,8 @@
     either only consumes or only emits). A candidate with one boundary end
     is cut by synthesizing a tiny relay region that owns the boundary
     vertex — but only when at least two such candidates hang off the same
-    region, so the cut buys parallelism rather than pure bridge overhead. *)
+    region and more than one domain is available, so the cut buys
+    parallelism rather than pure bridge overhead. *)
 
 open Preo_support
 open Preo_automata
@@ -34,9 +35,13 @@ type region = {
 
 type plan = { regions : region array; nbridges : int }
 
-val split : sources:Iset.t -> sinks:Iset.t -> Automaton.t list -> plan
+val split : ?domains:int -> sources:Iset.t -> sinks:Iset.t -> Automaton.t list -> plan
 (** Always succeeds; when nothing can be cut the plan has one region and no
-    bridges. *)
+    bridges. [?domains] is the parallelism available to run the regions
+    (default 2, i.e. assume parallelism): relay fan-out/fan-in cuts are
+    skipped when [domains <= 1], since those cuts only pay when the
+    decoupled siblings can actually run concurrently. Internal cuts are
+    made regardless. *)
 
 (** {1 Cut-shape recognition (exposed for tests)} *)
 

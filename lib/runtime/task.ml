@@ -1,28 +1,47 @@
-type t = { thread : Thread.t; failure : exn option ref }
+(* Where a task's body runs. [Threads] keeps the original model: a systhread
+   in the caller's domain. [Domains pool] places the body on one of the
+   pool's worker domains (still a thread there, so it may block on connector
+   operations indefinitely) — that is what makes partitioned connectors
+   actually parallel on OCaml 5. *)
+type sched = Threads | Domains of Preo_support.Pool.t
 
-let spawn f =
-  let failure = ref None in
-  let thread =
-    Thread.create
-      (fun () -> try f () with e -> failure := Some e)
-      ()
-  in
-  { thread; failure }
+type t =
+  | Thr of { thread : Thread.t; failure : exn option ref }
+  | Job of Preo_support.Pool.job
+
+let spawn ?(on = Threads) f =
+  match on with
+  | Threads ->
+    let failure = ref None in
+    let thread =
+      Thread.create
+        (fun () -> try f () with e -> failure := Some e)
+        ()
+    in
+    Thr { thread; failure }
+  | Domains pool -> Job (Preo_support.Pool.spawn pool f)
+
+(* Wait for completion and surface the failure, if any. Pooled jobs can't
+   be [Thread.join]ed from here — the thread lives in another domain — so
+   completion travels through the pool's per-job condition instead. *)
+let wait = function
+  | Thr { thread; failure } ->
+    Thread.join thread;
+    !failure
+  | Job j -> Preo_support.Pool.result j
 
 let join t =
-  Thread.join t.thread;
-  match !(t.failure) with
+  match wait t with
   | None | Some (Engine.Poisoned _) -> ()
   | Some e -> raise e
 
 let join_all ts =
-  (* Join everything before propagating, so no thread outlives the call. *)
-  List.iter (fun t -> Thread.join t.thread) ts;
+  (* Join everything before propagating, so no task outlives the call. *)
+  let failures = List.map wait ts in
   List.iter
-    (fun t ->
-      match !(t.failure) with
+    (function
       | None | Some (Engine.Poisoned _) -> ()
       | Some e -> raise e)
-    ts
+    failures
 
-let run_all fs = join_all (List.map spawn fs)
+let run_all ?on fs = join_all (List.map (spawn ?on) fs)

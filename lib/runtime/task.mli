@@ -1,14 +1,25 @@
 (** Tasks as threads. Thin wrappers so examples and benchmarks read like the
-    paper's programming model: spawn tasks, join them, tolerate poisoning. *)
+    paper's programming model: spawn tasks, join them, tolerate poisoning.
+
+    A task's body may run as a plain systhread in the caller's domain
+    (default) or on a worker domain of a {!Preo_support.Pool.t} — the latter
+    is how partitioned connectors get real parallelism on OCaml 5. *)
+
+type sched =
+  | Threads  (** systhread in the caller's domain (the classic model) *)
+  | Domains of Preo_support.Pool.t
+      (** thread placed round-robin on the pool's worker domains *)
 
 type t
 
-val spawn : (unit -> unit) -> t
+val spawn : ?on:sched -> (unit -> unit) -> t
+(** [spawn ?on f] runs [f] under the given policy (default [Threads]). *)
+
 val join : t -> unit
 (** Re-raises any exception the task died with, except {!Engine.Poisoned},
     which is swallowed (a poisoned connector already reported the failure). *)
 
 val join_all : t list -> unit
 
-val run_all : (unit -> unit) list -> unit
+val run_all : ?on:sched -> (unit -> unit) list -> unit
 (** Spawn all, then join all. *)

@@ -17,6 +17,8 @@ let lock = Mutex.create ()
 let entries : (handle * float * (unit -> unit)) list ref = ref []
 let next_handle = ref 0
 let pipe_ref : (Unix.file_descr * Unix.file_descr) option ref = ref None
+let thread_ref : Thread.t option ref = ref None
+let stopping = ref false  (* under [lock]; tells the thread to exit *)
 
 (* The wake-up time the thread is currently sleeping towards (under [lock]);
    registrations later than this need no self-pipe poke — the thread will
@@ -38,19 +40,22 @@ let drain fd =
 let rec thread_fn rd () =
   let now = Unix.gettimeofday () in
   Mutex.lock lock;
-  let due, rest = List.partition (fun (_, at, _) -> at <= now) !entries in
-  entries := rest;
-  let next =
-    List.fold_left (fun acc (_, at, _) -> Float.min acc at) infinity rest
-  in
-  next_wake := next;
-  Mutex.unlock lock;
-  List.iter (fun (_, _, f) -> try f () with _ -> ()) due;
-  let timeout = if next = infinity then -1.0 else Float.max 0.0 (next -. now) in
-  (match restart_eintr (fun () -> Unix.select [ rd ] [] [] timeout) with
-   | [ _ ], _, _ -> drain rd
-   | _ -> ());
-  thread_fn rd ()
+  if !stopping then Mutex.unlock lock (* exit; shutdown drops the state *)
+  else begin
+    let due, rest = List.partition (fun (_, at, _) -> at <= now) !entries in
+    entries := rest;
+    let next =
+      List.fold_left (fun acc (_, at, _) -> Float.min acc at) infinity rest
+    in
+    next_wake := next;
+    Mutex.unlock lock;
+    List.iter (fun (_, _, f) -> try f () with _ -> ()) due;
+    let timeout = if next = infinity then -1.0 else Float.max 0.0 (next -. now) in
+    (match restart_eintr (fun () -> Unix.select [ rd ] [] [] timeout) with
+     | [ _ ], _, _ -> drain rd
+     | _ -> ());
+    thread_fn rd ()
+  end
 
 (* Caller holds [lock]. *)
 let wake_pipe () =
@@ -61,7 +66,8 @@ let wake_pipe () =
   | None ->
     let rd, wr = Unix.pipe () in
     pipe_ref := Some (rd, wr);
-    ignore (Thread.create (thread_fn rd) ())
+    stopping := false;
+    thread_ref := Some (Thread.create (thread_fn rd) ())
 
 let register at f =
   Mutex.lock lock;
@@ -86,4 +92,35 @@ let wake_at at f = ignore (register at f)
 let cancel h =
   Mutex.lock lock;
   entries := List.filter (fun (h', _, _) -> h' <> h) !entries;
+  Mutex.unlock lock
+
+(* Stop and join the timer thread, dropping outstanding registrations (their
+   callbacks never run). The module stays usable: the next [register]
+   lazily starts a fresh thread. Mainly for tests, which can now assert the
+   thread does not leak across suite runs. *)
+let shutdown () =
+  Mutex.lock lock;
+  let joinable = !thread_ref in
+  let pipe = !pipe_ref in
+  (match pipe with
+   | Some _ ->
+     stopping := true;
+     entries := [];
+     next_wake := infinity;
+     wake_pipe () (* cut the select short so the thread sees [stopping] *)
+   | None -> ());
+  thread_ref := None;
+  Mutex.unlock lock;
+  (match joinable with Some th -> Thread.join th | None -> ());
+  Mutex.lock lock;
+  (* Close fds only after the join: the thread can no longer select on them. *)
+  (match pipe with
+   | Some (rd, wr) ->
+     if !pipe_ref = pipe then begin
+       pipe_ref := None;
+       stopping := false;
+       (try Unix.close rd with _ -> ());
+       (try Unix.close wr with _ -> ())
+     end
+   | None -> ());
   Mutex.unlock lock

@@ -23,3 +23,10 @@ val cancel : handle -> unit
 
 val wake_at : float -> (unit -> unit) -> unit
 (** {!register} without keeping the handle (fire-and-forget). *)
+
+val shutdown : unit -> unit
+(** Stop and join the timer thread, dropping outstanding registrations
+    (their callbacks never run). No-op when the thread was never started.
+    The module stays usable afterwards: the next {!register} starts a fresh
+    thread. Intended for tests, so the timer thread can be joined instead of
+    leaking across suite runs. *)

@@ -1,0 +1,201 @@
+(* A reusable pool of OCaml 5 domains for running tasks in parallel.
+
+   Shape: each worker is one domain running a small scheduler loop; a
+   submitted job is spawned as a *system thread inside the worker's domain*
+   rather than run inline on the scheduler loop. This matters for the
+   runtime's programming model: tasks block on connector operations
+   (condition variables) for arbitrarily long, so a pool that ran jobs to
+   completion one at a time would deadlock as soon as more tasks than
+   workers wait on each other. Threads within one domain interleave as
+   under the single-domain runtime; threads in different domains run truly
+   in parallel.
+
+   Placement is round-robin across workers (overridable with [~worker]),
+   so K tasks on N domains spread evenly and deterministically. Completion
+   and failure travel through a per-job mutex/condition pair rather than
+   [Thread.join], because joins are issued from the submitting domain while
+   the thread lives in the worker's domain.
+
+   Shutdown is graceful: queued jobs still run, and every worker joins the
+   threads it spawned before its domain exits. *)
+
+type job_state = J_running | J_done | J_failed of exn
+
+type job = {
+  j_m : Mutex.t;
+  j_c : Condition.t;
+  mutable j_state : job_state;
+}
+
+type worker = {
+  w_m : Mutex.t;
+  w_c : Condition.t;
+  w_q : (unit -> unit) Queue.t;
+  mutable w_stop : bool;
+  mutable w_dom : unit Domain.t option;
+}
+
+type t = {
+  p_m : Mutex.t;  (* guards worker-set growth and [p_closed] *)
+  mutable p_workers : worker array;
+  p_rr : int Atomic.t;
+  mutable p_closed : bool;
+}
+
+(* Beyond this, domains stop paying for themselves (OCaml caps the process
+   at 128 and recommends at most one per core). *)
+let max_domains = 16
+
+let clamp n = max 1 (min max_domains n)
+
+let worker_loop w () =
+  (* Threads spawned for finished jobs are pruned lazily (one flag read
+     each) so a long-lived pool doesn't accumulate handles; whatever is
+     still live at shutdown is joined before the domain exits. *)
+  let live = ref [] in
+  let rec loop () =
+    Mutex.lock w.w_m;
+    while Queue.is_empty w.w_q && not w.w_stop do
+      Condition.wait w.w_c w.w_m
+    done;
+    if Queue.is_empty w.w_q then begin
+      (* stop requested and queue drained *)
+      Mutex.unlock w.w_m;
+      List.iter (fun (_, th) -> Thread.join th) !live
+    end
+    else begin
+      let f = Queue.pop w.w_q in
+      Mutex.unlock w.w_m;
+      live := List.filter (fun (fin, _) -> not (Atomic.get fin)) !live;
+      let fin = Atomic.make false in
+      let th =
+        Thread.create
+          (fun () ->
+            (try f () with _ -> ());
+            Atomic.set fin true)
+          ()
+      in
+      live := (fin, th) :: !live;
+      loop ()
+    end
+  in
+  loop ()
+
+let make_worker () =
+  let w =
+    {
+      w_m = Mutex.create ();
+      w_c = Condition.create ();
+      w_q = Queue.create ();
+      w_stop = false;
+      w_dom = None;
+    }
+  in
+  w.w_dom <- Some (Domain.spawn (worker_loop w));
+  w
+
+let create ?(domains = 2) () =
+  {
+    p_m = Mutex.create ();
+    p_workers = Array.init (clamp domains) (fun _ -> make_worker ());
+    p_rr = Atomic.make 0;
+    p_closed = false;
+  }
+
+let size t =
+  Mutex.lock t.p_m;
+  let n = Array.length t.p_workers in
+  Mutex.unlock t.p_m;
+  n
+
+let ensure t n =
+  let n = clamp n in
+  Mutex.lock t.p_m;
+  let cur = Array.length t.p_workers in
+  if (not t.p_closed) && n > cur then
+    t.p_workers <-
+      Array.append t.p_workers (Array.init (n - cur) (fun _ -> make_worker ()));
+  Mutex.unlock t.p_m
+
+let submit ?worker t f =
+  Mutex.lock t.p_m;
+  if t.p_closed then begin
+    Mutex.unlock t.p_m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  let ws = t.p_workers in
+  Mutex.unlock t.p_m;
+  let n = Array.length ws in
+  let i =
+    match worker with
+    | Some i -> ((i mod n) + n) mod n
+    | None -> Atomic.fetch_and_add t.p_rr 1 mod n
+  in
+  let w = ws.(i) in
+  Mutex.lock w.w_m;
+  Queue.push f w.w_q;
+  Condition.signal w.w_c;
+  Mutex.unlock w.w_m
+
+let spawn ?worker t f =
+  let j = { j_m = Mutex.create (); j_c = Condition.create (); j_state = J_running } in
+  submit ?worker t (fun () ->
+      let r = try f (); J_done with e -> J_failed e in
+      Mutex.lock j.j_m;
+      j.j_state <- r;
+      Condition.broadcast j.j_c;
+      Mutex.unlock j.j_m);
+  j
+
+let result j =
+  Mutex.lock j.j_m;
+  while j.j_state = J_running do
+    Condition.wait j.j_c j.j_m
+  done;
+  let r = j.j_state in
+  Mutex.unlock j.j_m;
+  match r with J_failed e -> Some e | J_done -> None | J_running -> assert false
+
+let await j = match result j with Some e -> raise e | None -> ()
+
+let shutdown t =
+  Mutex.lock t.p_m;
+  let ws = if t.p_closed then [||] else t.p_workers in
+  t.p_closed <- true;
+  Mutex.unlock t.p_m;
+  Array.iter
+    (fun w ->
+      Mutex.lock w.w_m;
+      w.w_stop <- true;
+      Condition.broadcast w.w_c;
+      Mutex.unlock w.w_m)
+    ws;
+  Array.iter
+    (fun w -> match w.w_dom with Some d -> Domain.join d | None -> ())
+    ws
+
+(* --- Shared process-wide pool ----------------------------------------------
+
+   Connectors (and anything else placing long-lived tasks) share one pool so
+   consecutive instantiations reuse domains instead of churning them. The
+   pool is sized by the first caller and grows on demand up to [max_domains];
+   it is never shut down — worker domains blocked on their queue condition
+   are reclaimed by process exit. *)
+
+let default_lock = Mutex.create ()
+let default_pool : t option ref = ref None
+
+let default ~domains () =
+  Mutex.lock default_lock;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create ~domains ()
+      in
+      default_pool := Some p;
+      p
+  in
+  Mutex.unlock default_lock;
+  ensure p domains;
+  p

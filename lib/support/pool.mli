@@ -1,0 +1,49 @@
+(** A reusable pool of OCaml 5 domains.
+
+    Each worker is one domain; a submitted job runs as a system thread
+    *inside* the worker's domain, so jobs may block on condition variables
+    (as runtime tasks do) without stalling the pool. Threads placed in
+    different domains run truly in parallel; threads within one domain
+    interleave exactly as under the single-domain runtime. *)
+
+type t
+(** A pool of worker domains. *)
+
+type job
+(** Handle for one submitted unit of work. *)
+
+val max_domains : int
+(** Hard cap on workers per pool (requests are clamped to [1..max_domains]). *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns a pool of [domains] worker domains
+    (clamped to [1..max_domains]; default 2). *)
+
+val size : t -> int
+(** Current number of worker domains. *)
+
+val ensure : t -> int -> unit
+(** [ensure t n] grows the pool to at least [n] workers (clamped; no-op if
+    already that large or shut down). *)
+
+val submit : ?worker:int -> t -> (unit -> unit) -> unit
+(** Fire-and-forget: run [f] on a pooled domain. Exceptions from [f] are
+    dropped. [~worker] pins the job to a specific worker (mod pool size)
+    instead of round-robin. Raises [Invalid_argument] after [shutdown]. *)
+
+val spawn : ?worker:int -> t -> (unit -> unit) -> job
+(** Like {!submit} but returns a handle carrying completion and failure. *)
+
+val result : job -> exn option
+(** Block until the job finishes; [Some e] if it raised [e]. *)
+
+val await : job -> unit
+(** Block until the job finishes; re-raises the job's exception, if any. *)
+
+val shutdown : t -> unit
+(** Graceful: queued jobs still run; each worker joins the threads it
+    spawned, then its domain exits and is joined. Subsequent submits raise. *)
+
+val default : domains:int -> unit -> t
+(** The shared process-wide pool, created on first use and grown (never
+    shrunk) to [domains] workers. It is never shut down. *)

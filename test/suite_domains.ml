@@ -1,0 +1,224 @@
+(* Multicore runtime: domain-pool lifecycle and cross-domain connector
+   traffic. Every test here forces [~domains:2] (or a 2-worker pool)
+   explicitly, so the cross-domain paths are exercised even on a
+   single-core testbed — OCaml honors explicit domain requests regardless
+   of [recommended_domain_count]. *)
+
+open Preo
+
+module P = Preo_support.Pool
+
+(* --- Pool lifecycle ----------------------------------------------------- *)
+
+let pool_spawn_join_reuse () =
+  let p = P.create ~domains:2 () in
+  Alcotest.(check int) "two workers" 2 (P.size p);
+  (* First batch: jobs really run, on a domain that can differ from ours. *)
+  let hits = Atomic.make 0 in
+  let doms = Atomic.make [] in
+  let batch () =
+    List.init 8 (fun _ ->
+        P.spawn p (fun () ->
+            let d = (Domain.self () :> int) in
+            let rec add () =
+              let old = Atomic.get doms in
+              if not (Atomic.compare_and_set doms old (d :: old)) then add ()
+            in
+            add ();
+            Atomic.incr hits))
+  in
+  List.iter P.await (batch ());
+  Alcotest.(check int) "first batch ran" 8 (Atomic.get hits);
+  (* Reuse: the same workers accept a second batch. *)
+  List.iter P.await (batch ());
+  Alcotest.(check int) "second batch ran on the same pool" 16 (Atomic.get hits);
+  let distinct = List.sort_uniq compare (Atomic.get doms) in
+  Alcotest.(check bool) "jobs spread over more than one domain" true
+    (List.length distinct >= 2);
+  P.shutdown p;
+  Alcotest.check_raises "submit after shutdown raises"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      P.submit p (fun () -> ()))
+
+exception Boom
+
+let pool_exception_propagation () =
+  let p = P.create ~domains:2 () in
+  Fun.protect ~finally:(fun () -> P.shutdown p) (fun () ->
+      let ok = P.spawn p (fun () -> ()) in
+      let bad = P.spawn p (fun () -> raise Boom) in
+      Alcotest.(check bool) "clean job reports no failure" true
+        (P.result ok = None);
+      (match P.result bad with
+       | Some Boom -> ()
+       | Some e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+       | None -> Alcotest.fail "failure was swallowed");
+      (* await re-raises, and a failed job doesn't poison its worker. *)
+      (try
+         P.await bad;
+         Alcotest.fail "await did not re-raise"
+       with Boom -> ());
+      let again = P.spawn p (fun () -> ()) in
+      Alcotest.(check bool) "worker survives a failed job" true
+        (P.result again = None))
+
+let pool_ensure_grows () =
+  let p = P.create ~domains:1 () in
+  Fun.protect ~finally:(fun () -> P.shutdown p) (fun () ->
+      Alcotest.(check int) "starts at one" 1 (P.size p);
+      P.ensure p 3;
+      Alcotest.(check int) "grown to three" 3 (P.size p);
+      P.ensure p 2;
+      Alcotest.(check int) "never shrinks" 3 (P.size p);
+      let ran = Atomic.make 0 in
+      List.iter P.await
+        (List.init 6 (fun i ->
+             P.spawn ~worker:i p (fun () -> Atomic.incr ran)));
+      Alcotest.(check int) "pinned jobs all ran" 6 (Atomic.get ran))
+
+(* --- Cross-domain connector traffic ------------------------------------- *)
+
+let with_inst ?(config = Config.new_partitioned) ?(n = 4) name f =
+  let e = Preo_connectors.Catalog.find name in
+  let inst =
+    instantiate ~config ~domains:2
+      (Preo_connectors.Catalog.compiled e)
+      ~lengths:(e.Preo_connectors.Catalog.lengths n)
+  in
+  Fun.protect ~finally:(fun () -> shutdown inst) (fun () -> f n inst)
+
+(* sequencer: the round-robin rotation only completes if sends landing from
+   pooled (cross-domain) tasks wake the right parked receivers. *)
+let sequencer_cross_domain_storm () =
+  with_inst "sequencer" (fun n inst ->
+      (match sched inst with
+       | Task.Domains _ -> ()
+       | Task.Threads -> Alcotest.fail "expected a pooled scheduling policy");
+      let ins = inports inst "hd" in
+      let order = ref [] in
+      Task.run_all ~on:(sched inst)
+        [
+          (fun () ->
+            for _round = 1 to 50 do
+              Array.iteri
+                (fun i p ->
+                  ignore (Port.recv p);
+                  order := i :: !order)
+                ins
+            done);
+        ];
+      Alcotest.(check (list int))
+        "rotation intact across domains"
+        (List.concat (List.init 50 (fun _ -> List.init n Fun.id)))
+        (List.rev !order))
+
+(* token_ring: n pooled station tasks circulate the token; the observed
+   order must be a strict rotation, which a lost cross-domain wakeup or a
+   torn counter would break. *)
+let token_ring_cross_domain_storm () =
+  with_inst "token_ring" (fun n inst ->
+      let outs = outports inst "tl" in
+      let ins = inports inst "hd" in
+      let rounds = 50 in
+      let order = ref [] in
+      let lock = Mutex.create () in
+      Task.run_all ~on:(sched inst)
+        (List.init n (fun i -> fun () ->
+             for _ = 1 to rounds do
+               ignore (Port.recv ins.(i));
+               Mutex.lock lock;
+               order := i :: !order;
+               Mutex.unlock lock;
+               Port.send outs.(i) Value.unit
+             done));
+      Alcotest.(check (list int))
+        "ring order intact across domains"
+        (List.concat (List.init rounds (fun _ -> List.init n Fun.id)))
+        (List.rev !order))
+
+(* Targeted wakeups stay precise when sender and receiver sit in different
+   domains: a parked receiver is woken by a targeted signal, never a
+   spurious one, and no broadcast happens before close. *)
+let targeted_wakeups_across_domains () =
+  let a = Preo_automata.Vertex.fresh "da"
+  and b = Preo_automata.Vertex.fresh "db" in
+  let auto = Preo_reo.Prim.build Preo_reo.Prim.Fifo1 ~tails:[ a ] ~heads:[ b ] in
+  let conn =
+    Connector.create ~config:Config.new_jit ~domains:2 ~sources:[| a |]
+      ~sinks:[| b |] [ auto ]
+  in
+  Alcotest.(check int) "built for two domains" 2 (Connector.domains conn);
+  let got = ref 0 in
+  let t =
+    Task.spawn ~on:(Connector.sched conn) (fun () ->
+        got := Value.to_int (Port.recv (Connector.inport conn b)))
+  in
+  Thread.delay 0.05;
+  (* receiver parked in its (possibly remote) domain *)
+  Port.send (Connector.outport conn a) (Value.int 7);
+  Task.join t;
+  let st = Connector.stats conn in
+  Alcotest.(check int) "value crossed domains" 7 !got;
+  Alcotest.(check int) "stats report the domain target" 2
+    st.Connector.st_domains;
+  Alcotest.(check bool) "receiver parked" true
+    (st.Connector.st_cond_waits >= 1);
+  Alcotest.(check bool) "targeted wake issued" true
+    (st.Connector.st_wakes_targeted >= 1);
+  Alcotest.(check int) "zero spurious wakes" 0 st.Connector.st_wakes_spurious;
+  Alcotest.(check int) "no broadcast before close" 0
+    st.Connector.st_wakes_broadcast;
+  Connector.close conn
+
+(* Race smoke for the atomic engine counters: two domains hammer
+   [Connector.stats] while traffic runs. Monotonicity of the step counter
+   across lock-free cross-domain reads is the observable; a plain (non
+   [Atomic.t]) int field would not guarantee it under the OCaml memory
+   model. *)
+let stats_race_smoke () =
+  with_inst "broadcast_fifo" (fun n inst ->
+      let conn = connector inst in
+      let out = (outports inst "tl").(0) in
+      let ins = inports inst "hd" in
+      let rounds = 100 in
+      let stop = Atomic.make false in
+      let violated = Atomic.make false in
+      let reader () =
+        let last = ref 0 in
+        while not (Atomic.get stop) do
+          let st = Connector.stats conn in
+          if st.Connector.st_steps < !last then Atomic.set violated true;
+          last := st.Connector.st_steps;
+          if st.Connector.st_cond_waits < 0 || st.Connector.st_peer_kicks < 0
+          then Atomic.set violated true
+        done
+      in
+      let readers =
+        [ Task.spawn ~on:(sched inst) reader; Task.spawn reader ]
+      in
+      Task.run_all ~on:(sched inst)
+        ((fun () ->
+           for r = 1 to rounds do
+             Port.send out (Value.int r)
+           done)
+        :: List.init n (fun i -> fun () ->
+               for _ = 1 to rounds do
+                 ignore (Port.recv ins.(i))
+               done));
+      Atomic.set stop true;
+      List.iter Task.join readers;
+      Alcotest.(check bool) "counters monotone under concurrent readers" false
+        (Atomic.get violated);
+      Alcotest.(check bool) "traffic completed" true
+        (Connector.steps conn >= rounds))
+
+let tests =
+  [
+    ("pool spawn/join/reuse", `Quick, pool_spawn_join_reuse);
+    ("pool exception propagation", `Quick, pool_exception_propagation);
+    ("pool ensure grows, never shrinks", `Quick, pool_ensure_grows);
+    ("sequencer cross-domain storm", `Quick, sequencer_cross_domain_storm);
+    ("token-ring cross-domain storm", `Quick, token_ring_cross_domain_storm);
+    ("targeted wakeups across domains", `Quick, targeted_wakeups_across_domains);
+    ("stats race smoke", `Quick, stats_race_smoke);
+  ]

@@ -57,10 +57,36 @@ let cancel_one_of_two_keeps_the_other () =
   Thread.delay 0.1;
   Alcotest.(check int) "only the survivor fired" 10 (Atomic.get fired)
 
+(* Shutdown joins the timer thread (no orphan), drops pending registrations,
+   and leaves the module restartable: a later registration spins the thread
+   back up and fires normally. *)
+let shutdown_joins_and_restarts () =
+  let dropped = Atomic.make false in
+  ignore
+    (Timer.register
+       (Unix.gettimeofday () +. 0.15)
+       (fun () -> Atomic.set dropped true));
+  (* Returns only after the timer thread has been joined. *)
+  Timer.shutdown ();
+  (* Idempotent with no thread running. *)
+  Timer.shutdown ();
+  Thread.delay 0.3;
+  Alcotest.(check bool) "pending registration dropped by shutdown" false
+    (Atomic.get dropped);
+  let fired = Atomic.make false in
+  ignore
+    (Timer.register
+       (Unix.gettimeofday () +. 0.02)
+       (fun () -> Atomic.set fired true));
+  Alcotest.(check bool) "module restarts after shutdown" true
+    (wait_for (fun () -> Atomic.get fired));
+  Timer.shutdown ()
+
 let tests =
   [
     ("past deadline fires immediately", `Quick, past_deadline_fires_immediately);
     ("cancelled registration never fires", `Quick, cancelled_registration_never_fires);
     ("identical deadlines both fire", `Quick, identical_deadlines_both_fire);
     ("cancel one of two keeps the other", `Quick, cancel_one_of_two_keeps_the_other);
+    ("shutdown joins and restarts", `Quick, shutdown_joins_and_restarts);
   ]

@@ -25,5 +25,6 @@ let () =
       ("random-networks", Suite_random.tests);
       ("npb", Suite_npb.tests);
       ("timer", Suite_timer.tests);
+      ("domains", Suite_domains.tests);
       ("obs", Suite_obs.tests);
     ]
