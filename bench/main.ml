@@ -28,18 +28,23 @@ let micro_families =
    primary domain (the schema-3 baseline semantics, so old and new rows stay
    comparable), [`Multi] spreads partition regions and port tasks over a
    domain pool of --domains workers (default 2). new-partitioned-mc is the
-   multicore row of the evaluation. *)
+   multicore row of the evaluation. The last field is the port-task batch
+   size: the -b8 rows drive every port through the batch API (8 values per
+   submission burst), exercising the MPSC submission queues and the
+   engines' self-loop replay. *)
 let micro_configs =
   [
-    ("new-jit", Preo_runtime.Config.new_jit, `One);
+    ("new-jit", Preo_runtime.Config.new_jit, `One, 1);
     ("new-jit-nolabel",
      Preo_runtime.Config.New
        { optimize_labels = false; cache_capacity = 0;
          expansion_budget = 2_000_000; partition = false;
          true_synchronous = false },
-     `One);
-    ("new-partitioned", Preo_runtime.Config.new_partitioned, `One);
-    ("new-partitioned-mc", Preo_runtime.Config.new_partitioned, `Multi);
+     `One, 1);
+    ("new-jit-b8", Preo_runtime.Config.new_jit, `One, 8);
+    ("new-partitioned", Preo_runtime.Config.new_partitioned, `One, 1);
+    ("new-partitioned-mc", Preo_runtime.Config.new_partitioned, `Multi, 1);
+    ("new-partitioned-mc-b8", Preo_runtime.Config.new_partitioned, `Multi, 8);
   ]
 
 type opts = {
@@ -601,13 +606,13 @@ let micro_steps opts =
       (fun (fname, n) ->
         let e = Preo_connectors.Catalog.find fname in
         List.map
-          (fun (cname, config, dom_spec) ->
+          (fun (cname, config, dom_spec, batch) ->
             let domains =
               match dom_spec with `One -> 1 | `Multi -> max 2 opts.domains
             in
             match
-              Preo_connectors.Driver.run_noop ~config ~domains ~seconds:window
-                e ~n
+              Preo_connectors.Driver.run_noop ~config ~domains ~batch
+                ~seconds:window e ~n
             with
             | Preo_connectors.Driver.Steps { steps; run_seconds; stats = st; _ } ->
               let rate = float_of_int steps /. run_seconds in
@@ -623,13 +628,16 @@ let micro_steps opts =
                      \"st_cond_waits\": %d, \"st_peer_kicks\": %d, \
                      \"st_cand_hits\": %d, \"st_stalls\": %d, \
                      \"st_wakes_targeted\": %d, \"st_wakes_spurious\": %d, \
-                     \"st_wakes_broadcast\": %d}}"
+                     \"st_wakes_broadcast\": %d, \"st_mpsc_ops\": %d, \
+                     \"st_mpsc_batches\": %d, \"st_mpsc_fast\": %d, \
+                     \"st_batch_fires\": %d}}"
                     fname n cname rate st.st_steps st.st_regions st.st_domains
                     st.st_expansions st.st_cache_hits st.st_cache_evictions
                     st.st_compile_seconds st.st_solver_calls st.st_cond_waits
                     st.st_peer_kicks st.st_cand_hits st.st_stalls
                     st.st_wakes_targeted st.st_wakes_spurious
-                    st.st_wakes_broadcast)
+                    st.st_wakes_broadcast st.st_mpsc_ops st.st_mpsc_batches
+                    st.st_mpsc_fast st.st_batch_fires)
                 :: !json_rows;
               Printf.eprintf "[micro] %-16s N=%-3d %-16s %.0f steps/s\n%!"
                 fname n cname rate;
@@ -642,14 +650,17 @@ let micro_steps opts =
                        string_of_int st.st_cand_hits;
                        string_of_int st.st_wakes_targeted;
                        string_of_int st.st_wakes_spurious;
-                       string_of_int st.st_wakes_broadcast ]
+                       string_of_int st.st_wakes_broadcast;
+                       string_of_int st.st_mpsc_ops;
+                       string_of_int st.st_mpsc_fast;
+                       string_of_int st.st_batch_fires ]
                  else [])
             | Preo_connectors.Driver.Compile_failed _ ->
               [ fname; string_of_int n; cname; "COMPILE-FAIL" ]
-              @ (if opts.detail then [ "-"; "-"; "-"; "-"; "-"; "-"; "-" ] else [])
+              @ (if opts.detail then List.init 10 (fun _ -> "-") else [])
             | Preo_connectors.Driver.Run_failed _ ->
               [ fname; string_of_int n; cname; "RUN-FAIL" ]
-              @ (if opts.detail then [ "-"; "-"; "-"; "-"; "-"; "-"; "-" ] else []))
+              @ (if opts.detail then List.init 10 (fun _ -> "-") else []))
           micro_configs)
       micro_families
   in
@@ -657,7 +668,7 @@ let micro_steps opts =
     [ "family"; "N"; "config"; "steps/s" ]
     @ (if opts.detail then
          [ "solves"; "waits"; "kicks"; "cand-hits"; "wakes-t"; "wakes-sp";
-           "wakes-b" ]
+           "wakes-b"; "mpsc"; "fast"; "bfires" ]
        else [])
   in
   Tablefmt.print ~header rows;
@@ -666,7 +677,7 @@ let micro_steps opts =
   | Some path ->
     let oc = open_out path in
     Printf.fprintf oc
-      "{\n  \"schema_version\": 4,\n  \"window_seconds\": %.2f,\n  \
+      "{\n  \"schema_version\": 5,\n  \"window_seconds\": %.2f,\n  \
        \"rows\": [\n%s\n  ]\n}\n"
       window
       (String.concat ",\n" (List.rev !json_rows));

@@ -10,7 +10,11 @@ type outcome =
   | Compile_failed of string
   | Run_failed of string
 
-let port_threads inst =
+(* [batch > 1] hammers each port with the batch API instead of one
+   blocking op at a time: one lock-free publication burst and at most one
+   park per [batch] values — the submission pattern the engines' MPSC
+   queues and self-loop replay exist to amortize. *)
+let port_threads ?(batch = 1) inst =
   let bodies = ref [] in
   List.iter
     (fun (name, is_source) ->
@@ -18,22 +22,33 @@ let port_threads inst =
         Array.iter
           (fun p ->
             bodies :=
-              (fun () ->
-                let i = ref 0 in
-                while true do
-                  Preo.Port.send p (Value.int !i);
-                  incr i
-                done)
+              (if batch > 1 then (fun () ->
+                 let i = ref 0 in
+                 while true do
+                   Preo.Port.send_batch p
+                     (List.init batch (fun k -> Value.int (!i + k)));
+                   i := !i + batch
+                 done)
+               else fun () ->
+                 let i = ref 0 in
+                 while true do
+                   Preo.Port.send p (Value.int !i);
+                   incr i
+                 done)
               :: !bodies)
           (Preo.outports inst name)
       else
         Array.iter
           (fun p ->
             bodies :=
-              (fun () ->
-                while true do
-                  ignore (Preo.Port.recv p)
-                done)
+              (if batch > 1 then (fun () ->
+                 while true do
+                   ignore (Preo.Port.recv_batch p batch)
+                 done)
+               else fun () ->
+                 while true do
+                   ignore (Preo.Port.recv p)
+                 done)
               :: !bodies)
           (Preo.inports inst name))
     (Preo.groups inst);
@@ -44,7 +59,7 @@ let dbg fmt =
     Printf.eprintf ("[driver] " ^^ fmt ^^ "\n%!")
   else Printf.ifprintf stderr fmt
 
-let run_window ?config ?domains ~seconds entry n =
+let run_window ?config ?domains ?batch ~seconds entry n =
   let compiled = Catalog.compiled entry in
   match
     Preo.instantiate ?config ?domains compiled ~lengths:(entry.Catalog.lengths n)
@@ -54,7 +69,7 @@ let run_window ?config ?domains ~seconds entry n =
     dbg "instantiated %s" entry.Catalog.name;
     let conn = Preo.connector inst in
     let threads =
-      List.map (Preo.Task.spawn ~on:(Preo.sched inst)) (port_threads inst)
+      List.map (Preo.Task.spawn ~on:(Preo.sched inst)) (port_threads ?batch inst)
     in
     dbg "spawned %d" (List.length threads);
     Thread.delay seconds;
@@ -81,8 +96,8 @@ let run_window ?config ?domains ~seconds entry n =
            stats;
          })
 
-let run_noop ?config ?domains ?(seconds = 0.2) entry ~n =
-  run_window ?config ?domains ~seconds entry n
+let run_noop ?config ?domains ?batch ?(seconds = 0.2) entry ~n =
+  run_window ?config ?domains ?batch ~seconds entry n
 
 let smoke ?config entry ~n =
   match run_window ?config ~seconds:0.05 entry n with

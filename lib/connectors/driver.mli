@@ -20,6 +20,7 @@ type outcome =
 val run_noop :
   ?config:Preo_runtime.Config.t ->
   ?domains:int ->
+  ?batch:int ->
   ?seconds:float ->
   Catalog.entry ->
   n:int ->
@@ -28,7 +29,9 @@ val run_noop :
     0.2), poison the connector, join the tasks, and report. Port tasks run
     under the connector's scheduling policy: pooled across domains when
     [?domains] (or the process default) exceeds 1, inline threads
-    otherwise. *)
+    otherwise. [batch > 1] makes each port task use
+    {!Preo.Port.send_batch}/[recv_batch] with that many values per call
+    (default 1: one blocking op at a time). *)
 
 val smoke :
   ?config:Preo_runtime.Config.t -> Catalog.entry -> n:int -> (int, string) result

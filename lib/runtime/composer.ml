@@ -489,6 +489,18 @@ let command_of t (x : xtrans) =
       None
   end
 
+(* Does [x] leave the composer in the state it entered? Must be asked
+   BEFORE {!commit} — afterwards the current state IS the target, so the
+   test degenerates to true for every transition. The engine's batched
+   firing relies on this: a self-loop stays among the current state's
+   transitions after it commits, so re-firing it needs no fresh candidate
+   scan. *)
+let is_self_loop t (x : xtrans) =
+  match (t.strategy, x.target) with
+  | S_aot s, T_aot target -> target = s.aot_current
+  | S_jit js, T_jit target -> Tuple_key.equal target js.jit_current
+  | S_aot _, T_jit _ | S_jit _, T_aot _ -> false
+
 let commit t (x : xtrans) =
   match (t.strategy, x.target) with
   | S_aot s, T_aot target -> s.aot_current <- target

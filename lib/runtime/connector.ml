@@ -224,6 +224,10 @@ type stats = {
   st_wakes_targeted : int;
   st_wakes_spurious : int;
   st_wakes_broadcast : int;
+  st_mpsc_ops : int;
+  st_mpsc_batches : int;
+  st_mpsc_fast : int;
+  st_batch_fires : int;
   st_domains : int;
 }
 
@@ -246,6 +250,10 @@ let stats t =
     st_wakes_targeted = sum_engines t Engine.wakes_targeted;
     st_wakes_spurious = sum_engines t Engine.wakes_spurious;
     st_wakes_broadcast = sum_engines t Engine.wakes_broadcast;
+    st_mpsc_ops = sum_engines t Engine.mpsc_ops;
+    st_mpsc_batches = sum_engines t Engine.mpsc_batches;
+    st_mpsc_fast = sum_engines t Engine.mpsc_fast;
+    st_batch_fires = sum_engines t Engine.batch_fires;
     st_domains = t.domains;
   }
 
@@ -265,8 +273,9 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "steps=%d regions=%d domains=%d expansions=%d cache-hits=%d evictions=%d \
      compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d stalls=%d \
-     wakes=%d/%d/%d"
+     wakes=%d/%d/%d mpsc=%d/%d fast=%d batch-fires=%d"
     s.st_steps s.st_regions s.st_domains s.st_expansions s.st_cache_hits
     s.st_cache_evictions s.st_compile_seconds s.st_solver_calls s.st_cond_waits
     s.st_peer_kicks s.st_cand_hits s.st_stalls s.st_wakes_targeted
-    s.st_wakes_spurious s.st_wakes_broadcast
+    s.st_wakes_spurious s.st_wakes_broadcast s.st_mpsc_ops s.st_mpsc_batches
+    s.st_mpsc_fast s.st_batch_fires

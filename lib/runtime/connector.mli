@@ -98,6 +98,18 @@ type stats = {
   st_wakes_broadcast : int;
       (** fallback wake-everyone broadcasts (poison, kick-round cap,
           shutdown) *)
+  st_mpsc_ops : int;
+      (** blocking operations published through the lock-free submission
+          queues (try-ops and gate traffic bypass them) *)
+  st_mpsc_batches : int;
+      (** nonempty submission-queue drains; [st_mpsc_ops /
+          st_mpsc_batches] is the mean installed batch size *)
+  st_mpsc_fast : int;
+      (** operations completed without the submitting task ever taking an
+          engine mutex (lock-free fast path) *)
+  st_batch_fires : int;
+      (** transition firings obtained by replaying a committed guard-free
+          self-loop — firings beyond the one found by a candidate scan *)
   st_domains : int;  (** effective domain count (see {!domains}) *)
 }
 

@@ -30,34 +30,54 @@ let m_stalls = Metrics.counter ~help:"stall reports" "stalls_total"
    growing with every thread ever seen. *)
 let trace_enabled = ref (Sys.getenv_opt "PREO_ENGINE_TRACE" <> None)
 let set_op_trace b = trace_enabled := b
-let trace_tbl : (int, string) Hashtbl.t = Hashtbl.create 32
-let trace_lock = Mutex.create ()
+
+(* Sharded by thread id: stage notes from tasks on different domains no
+   longer serialize on one process-wide mutex. Each shard keeps the
+   single-writer-per-entry discipline (a thread only ever touches its own
+   tid's entry); the shard lock exists for the Hashtbl's sake and for
+   [trace_dump], which walks all shards. *)
+let trace_shards = 16 (* power of two: shard_of uses a mask *)
+
+type trace_shard = { sh_lock : Mutex.t; sh_tbl : (int, string) Hashtbl.t }
+
+let trace_tbl =
+  Array.init trace_shards (fun _ ->
+      { sh_lock = Mutex.create (); sh_tbl = Hashtbl.create 8 })
+
+let shard_of tid = trace_tbl.(tid land (trace_shards - 1))
 
 let trace stage =
   if !trace_enabled then begin
-    Mutex.lock trace_lock;
-    Hashtbl.replace trace_tbl (Thread.id (Thread.self ())) stage;
-    Mutex.unlock trace_lock
+    let tid = Thread.id (Thread.self ()) in
+    let sh = shard_of tid in
+    Mutex.lock sh.sh_lock;
+    Hashtbl.replace sh.sh_tbl tid stage;
+    Mutex.unlock sh.sh_lock
   end
 
 (* Called when an operation leaves the engine for good; the thread has no
    in-flight op, so its stage note is stale. *)
 let trace_clear () =
   if !trace_enabled then begin
-    Mutex.lock trace_lock;
-    Hashtbl.remove trace_tbl (Thread.id (Thread.self ()));
-    Mutex.unlock trace_lock
+    let tid = Thread.id (Thread.self ()) in
+    let sh = shard_of tid in
+    Mutex.lock sh.sh_lock;
+    Hashtbl.remove sh.sh_tbl tid;
+    Mutex.unlock sh.sh_lock
   end
 
 let trace_dump () =
-  Mutex.lock trace_lock;
-  let s =
-    Hashtbl.fold
-      (fun tid stage acc -> acc ^ Printf.sprintf "thread %d: %s\n" tid stage)
-      trace_tbl ""
-  in
-  Mutex.unlock trace_lock;
-  s
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.sh_lock;
+      let acc =
+        Hashtbl.fold
+          (fun tid stage acc -> acc ^ Printf.sprintf "thread %d: %s\n" tid stage)
+          sh.sh_tbl acc
+      in
+      Mutex.unlock sh.sh_lock;
+      acc)
+    "" trace_tbl
 
 type gate = {
   gate_ready : unit -> bool;
@@ -101,17 +121,46 @@ type waiter = {
   mutable w_queued : bool;
 }
 
-(* Blocking ops carry their vertex's waiter (resolved once at submit) so
-   completion inside the firing loop reaches the right condition variable
-   with no lookup at all; nonblocking try-ops leave it [None] — their
-   issuing thread is the one driving, nobody needs a wake. *)
-type send_op = { sv : Value.t; mutable s_done : bool; mutable s_w : waiter option }
-type recv_op = { mutable r_result : Value.t option; mutable r_w : waiter option }
+(* Blocking ops carry their vertex's waiter (resolved by whichever thread
+   drains the submission queue) so completion inside the firing loop
+   reaches the right condition variable with no lookup at all; nonblocking
+   try-ops leave it [None] — their issuing thread is the one driving,
+   nobody needs a wake.
+
+   Completion ([s_done] / [r_result]) is atomic, not a plain mutable: on
+   the lock-free fast path the submitting task polls it from outside the
+   engine lock while the current lock holder completes it inside, possibly
+   on another domain. The waiter field stays plain mutable — it is only
+   touched under the engine lock (set at drain, read at completion).
+
+   [s_tid]/[r_tid] record the submitting thread so the drainer — a
+   different thread — can still emit this op's Submit trace event under
+   the original task's id. *)
+type send_op = {
+  sv : Value.t;
+  s_done : bool Atomic.t;
+  mutable s_w : waiter option;
+  s_tid : int;
+}
+
+type recv_op = {
+  r_result : Value.t option Atomic.t;
+  mutable r_w : waiter option;
+  r_tid : int;
+}
+
+(* An operation published to the lock-free submission queue, before the
+   drainer has installed it into the per-vertex queues. *)
+type sub = Sub_send of Vertex.t * send_op | Sub_recv of Vertex.t * recv_op
 
 type t = {
   lock : Mutex.t;
   comp : Composer.t;
   cells : Value.t option array;
+  subs : sub Mpsc.t;
+      (** lock-free submission queue: tasks publish operations here with a
+          CAS; whichever thread next drives the engine (under the lock)
+          drains them in one batch into the per-vertex queues *)
   send_q : (Vertex.t, send_op Queue.t) Hashtbl.t;
   recv_q : (Vertex.t, recv_op Queue.t) Hashtbl.t;
   mutable base_pending : Iset.t;  (** vertices with nonempty queues *)
@@ -150,6 +199,14 @@ type t = {
                                  without the engine having progressed *)
   nwakes_b : int Atomic.t;  (** broadcast fallbacks (poison, kick-round cap) *)
   nstalls : int Atomic.t;  (** stall reports recorded (watchdog + deadlines) *)
+  nmpsc_ops : int Atomic.t;  (** operations that went through the MPSC queue *)
+  nmpsc_batches : int Atomic.t;  (** nonempty drains of the MPSC queue *)
+  nmpsc_fast : int Atomic.t;
+      (** ops completed on the lock-free fast path: the submitting task
+          never took the engine mutex *)
+  nbatch : int Atomic.t;
+      (** extra transition firings obtained by batched self-loop replay
+          (beyond the first firing found by the candidate scan) *)
   mutable last_stall : stall_report option;
   poison_flag : string option Atomic.t;
       (* read without the lock so overloaded engines notice shutdown *)
@@ -186,6 +243,7 @@ let create ?(gates = []) ?(name = "engine") comp =
     lock = Mutex.create ();
     comp;
     cells = Array.make (max 1 (Composer.ncells comp)) None;
+    subs = Mpsc.create ();
     send_q = Hashtbl.create 16;
     recv_q = Hashtbl.create 16;
     base_pending = Iset.empty;
@@ -204,6 +262,10 @@ let create ?(gates = []) ?(name = "engine") comp =
     nwakes_sp = Atomic.make 0;
     nwakes_b = Atomic.make 0;
     nstalls = Atomic.make 0;
+    nmpsc_ops = Atomic.make 0;
+    nmpsc_batches = Atomic.make 0;
+    nmpsc_fast = Atomic.make 0;
+    nbatch = Atomic.make 0;
     last_stall = None;
     poison_flag = Atomic.make None;
     poisoned = None;
@@ -246,6 +308,10 @@ let wakes_targeted t = Atomic.get t.nwakes_t
 let wakes_spurious t = Atomic.get t.nwakes_sp
 let wakes_broadcast t = Atomic.get t.nwakes_b
 let stalls t = Atomic.get t.nstalls
+let mpsc_ops t = Atomic.get t.nmpsc_ops
+let mpsc_batches t = Atomic.get t.nmpsc_batches
+let mpsc_fast t = Atomic.get t.nmpsc_fast
+let batch_fires t = Atomic.get t.nbatch
 
 (* --- Targeted wakeups -------------------------------------------------------
    Operations complete only inside [fire_one], under the engine lock, and a
@@ -292,7 +358,12 @@ let flush_wakes t =
           if !Obs.tracing then
             Obs.emit (obs_ring t) Obs.Wake_targeted ~a:w.w_vertex
               ~b:w.w_parked;
-          Condition.broadcast w.w_cond
+          (* One parked op: a single signal wakes exactly it. Several
+             parked on the same vertex: broadcast — which of them can
+             proceed depends on queue order, and the losers re-park (the
+             spurious-wake counter picks them up). *)
+          if w.w_parked = 1 then Condition.signal w.w_cond
+          else Condition.broadcast w.w_cond
         end)
       ws
 
@@ -360,7 +431,71 @@ let check_poison t =
    | _ -> ());
   match t.poisoned with Some msg -> raise (Poisoned msg) | None -> ()
 
-(* Fire one enabled transition if any; caller holds the lock. *)
+(* Install everything published to the lock-free submission queue into the
+   real per-vertex queues; returns whether anything was installed. Runs
+   under the engine lock, at the top of every drive (and from the poison /
+   exception paths). Non-raising by construction, so an op popped from the
+   MPSC queue always lands in a queue where the poison, deadline-withdraw
+   and stall machinery can reach it — an [Expansion_budget] or poison in a
+   later solve finds it parked in the queue, never dropped.
+
+   Submit trace events are emitted here, by the drainer, under the
+   submitting task's recorded thread id: the obs ring keeps its
+   single-writer-under-the-engine-lock discipline even though submission
+   itself no longer takes the lock. *)
+let drain_subs t =
+  match Mpsc.pop_all t.subs with
+  | [] -> false
+  | subs ->
+    Atomic.incr t.nmpsc_batches;
+    let traced = !Obs.tracing in
+    let n = ref 0 in
+    List.iter
+      (fun s ->
+        incr n;
+        match s with
+        | Sub_send (v, op) ->
+          op.s_w <- Some (waiter_of t v);
+          Queue.push op (queue_of t.send_q v);
+          t.base_pending <- Iset.add v t.base_pending;
+          if traced then Obs.emit (obs_ring t) Obs.Submit_send ~a:v ~b:op.s_tid
+        | Sub_recv (v, op) ->
+          op.r_w <- Some (waiter_of t v);
+          Queue.push op (queue_of t.recv_q v);
+          t.base_pending <- Iset.add v t.base_pending;
+          if traced then Obs.emit (obs_ring t) Obs.Submit_recv ~a:v ~b:op.r_tid)
+      subs;
+    ignore (Atomic.fetch_and_add t.nmpsc_ops !n);
+    true
+
+(* Batched self-loop firing: when a transition that just fired is a
+   self-loop with a guard-free command, it is — by definition of self-loop
+   — still among the current state's transitions, and its enabledness
+   depends only on its needed boundary vertices still having data/room. So
+   instead of re-running the whole candidate scan (and, for JIT, the
+   candidate-cache lookup) per datum, replay the same transition while its
+   needs stay satisfied: one scan, k data moves. The cap bounds how long
+   the lock is held against a pathological firehose. *)
+let batch_limit = 64
+
+(* May [x] fire again right now? Per needed vertex: a gate must report
+   ready (data / room in the bridge), a task-facing vertex must have a
+   nonempty queue. Caller holds the lock; only called for self-loops, so
+   the composer state is unchanged. *)
+let still_enabled t (x : Composer.xtrans) =
+  let vertex_ready q_tbl v =
+    match entry_of t v with
+    | Some e -> e.ge_gate.gate_ready ()
+    | None -> (
+      match Hashtbl.find_opt q_tbl v with
+      | Some q -> not (Queue.is_empty q)
+      | None -> false)
+  in
+  Iset.for_all (vertex_ready t.send_q) x.needs_send
+  && Iset.for_all (vertex_ready t.recv_q) x.needs_recv
+
+(* Fire one enabled transition if any (plus its batched replays); caller
+   holds the lock. *)
 let fire_one t =
   let pending = pending_now t in
   let cands = Composer.candidates t.comp ~pending in
@@ -368,6 +503,9 @@ let fire_one t =
   if n = 0 then false
   else begin
     let start = Atomic.get t.nsteps mod n in
+    (* Decided inside try_candidate, BEFORE Composer.commit — afterwards
+       the current state is the target and self-loop-ness degenerates. *)
+    let batchable = ref false in
     let try_candidate (x : Composer.xtrans) =
       let read_send v =
         match gate_of t v with
@@ -394,6 +532,13 @@ let fire_one t =
       | Some cmd ->
         if not (Command.guards_hold cmd env) then false
         else begin
+          (* A silent self-loop (no needs at all) must never be replayed:
+             it would spin inside the batch loop without moving data. *)
+          batchable :=
+            Array.length cmd.Command.guards = 0
+            && (not (Iset.is_empty x.needs_send)
+               || not (Iset.is_empty x.needs_recv))
+            && Composer.is_self_loop t.comp x;
           Command.execute cmd env;
           (* Apply staged effects. *)
           List.iter (fun (c, v) -> t.cells.(c) <- Some v) !staged_cells;
@@ -406,7 +551,7 @@ let fire_one t =
               | None ->
                 let q = queue_of t.recv_q v in
                 let op = Queue.pop q in
-                op.r_result <- Some value;
+                Atomic.set op.r_result (Some value);
                 queue_wake t op.r_w;
                 if Queue.is_empty q then
                   t.base_pending <- Iset.remove v t.base_pending)
@@ -422,7 +567,7 @@ let fire_one t =
               | None ->
                 let q = queue_of t.send_q v in
                 let op = Queue.pop q in
-                op.s_done <- true;
+                Atomic.set op.s_done true;
                 queue_wake t op.s_w;
                 if Queue.is_empty q then
                   t.base_pending <- Iset.remove v t.base_pending)
@@ -446,7 +591,29 @@ let fire_one t =
           true
         end
     in
-    let rec scan i = i < n && (try_candidate cands.((start + i) mod n) || scan (i + 1)) in
+    let rec scan i =
+      i < n
+      && begin
+           let x = cands.((start + i) mod n) in
+           if not (try_candidate x) then scan (i + 1)
+           else begin
+             (* Amortize the scan: replay the committed self-loop while its
+                needs stay satisfied. Each replay goes back through
+                try_candidate, so staging, delivery, gate kicks, wakes and
+                tracing behave exactly as for a scanned firing. *)
+             if !batchable then begin
+               let k = ref 1 in
+               while
+                 !k < batch_limit && still_enabled t x && try_candidate x
+               do
+                 incr k;
+                 Atomic.incr t.nbatch
+               done
+             end;
+             true
+           end
+         end
+    in
     scan 0
   end
 
@@ -469,11 +636,18 @@ let poison_locked t msg =
         Atomic.set p.poison_flag (Some msg))
     t.peers;
   if t.peers <> [] then t.need_kick <- true;
+  (* Ops published but not yet installed would be invisible to the
+     wake/stall machinery below: install them first (their owners also
+     re-check the poison flag themselves, but the queues must account for
+     every popped submission). *)
+  ignore (drain_subs t);
   wake_all t
 
-(* Fire as many transitions as possible; returns whether any fired. *)
+(* Install pending submissions and fire as many transitions as possible;
+   returns whether any were installed or fired (progress). *)
 let drive t =
   invalidate_gates t;
+  let drained = drain_subs t in
   let fired = ref 0 in
   (try
      while fire_one t do
@@ -491,7 +665,7 @@ let drive t =
   (* The wake-set of this drive loop: signal exactly the vertices whose
      task-facing operations completed, while still holding the lock. *)
   flush_wakes t;
-  !fired > 0
+  !fired > 0 || drained
 
 (* Consume this engine's pending kick requests and resolve them to the
    engines that must be re-driven. Gate commits were already resolved
@@ -612,6 +786,12 @@ let flush_kicks t =
    their blocked tasks never re-check their engines. Caller holds the
    lock. *)
 let unlock_raise t exn =
+  (* Exception audit: submissions popped by a mid-drain exception were
+     installed by drain_subs (it is non-raising); submissions still in the
+     MPSC queue are installed now, so nothing leaves this function merely
+     published — every op is either in a per-vertex queue (reachable by
+     poison/withdraw) or still safely in the MPSC queue's atomic. *)
+  ignore (drain_subs t);
   let targets =
     if t.need_kick || t.kick_missing || t.kick_list <> [] then
       take_kick_targets t
@@ -706,12 +886,18 @@ let withdraw t tbl v keep_op =
    expiry; expiry withdraws the operation and returns the stall report. *)
 let untraced_submit_t = ref 0.0
 
-let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
+(* Bounded lock-free wait after publishing an op: give the current lock
+   holder a chance to drain and complete it before we contend on the mutex
+   at all. The occasional yield matters on a single domain, where systhreads
+   interleave rather than truly run in parallel — spinning alone would never
+   let the drainer progress. *)
+let spin_budget = 64
+
+let run_op ?deadline t ~opname ~opv ~sub ~remove ~finished ~extract =
   trace "entry";
   (match Atomic.get t.poison_flag with
    | Some msg -> raise (Poisoned msg)
    | None -> ());
-  trace "locking";
   (* One flag read when tracing is off; the op's whole lifecycle shares the
      decision so submit/complete events always pair up. *)
   let traced = !Obs.tracing in
@@ -719,19 +905,53 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
   let tid = if traced then Thread.id (Thread.self ()) else 0 in
   (* written and read only when [traced]; the shared dummy spares the
      untraced path the allocation *)
-  let submit_t = if traced then ref 0.0 else untraced_submit_t in
-  Mutex.lock t.lock;
+  let submit_t = if traced then ref (Clock.now ()) else untraced_submit_t in
+  (* Publish the operation lock-free: from here on, whichever thread next
+     drives the engine installs — and may complete — it. The op's Submit
+     trace event is emitted by that drainer (under the lock, preserving the
+     ring's single-writer discipline), stamped with our thread id. *)
+  Mpsc.push t.subs sub;
+  trace "published";
+  let locked = ref false in
+  let fast_done =
+    deadline = None
+    && !Config.stall_threshold = None
+    && (not traced)
+    &&
+    (* Fast path: poll the op's atomic completion flag while a concurrent
+       drainer works, grabbing the lock only if it frees up first. Plain
+       ops only — deadlines, the stall watchdog and tracing all need the
+       locked bookkeeping below. Completion is read through an atomic, so
+       this is safe from any domain; if nobody completes the op we fall
+       through to the mutex+condvar path, which drains the queue itself
+       (every published op has an owner that eventually drains, so none is
+       ever lost). *)
+    let rec spin i =
+      if finished () then true
+      else if Mutex.try_lock t.lock then begin
+        locked := true;
+        false
+      end
+      else if i >= spin_budget then false
+      else begin
+        if i land 7 = 7 then Thread.yield () else Domain.cpu_relax ();
+        spin (i + 1)
+      end
+    in
+    spin 0
+  in
+  if fast_done then begin
+    Atomic.incr t.nmpsc_fast;
+    trace_clear ();
+    Ok (extract ())
+  end
+  else begin
+  trace "locking";
+  if not !locked then Mutex.lock t.lock;
   let result =
     try
       check_poison t;
       let w = waiter_of t opv in
-      enqueue w;
-      if traced then begin
-        Obs.emit (obs_ring t)
-          (if is_send then Obs.Submit_send else Obs.Submit_recv)
-          ~a:opv ~b:tid;
-        submit_t := Clock.now ()
-      end;
       let threshold = !Config.stall_threshold in
       let wait_start = ref nan in
       let timer_armed = ref false in
@@ -772,9 +992,18 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
             timer_armed := true;
             (* Wake only this operation's vertex: the timer fires for a
                specific parked op, not for the whole engine. *)
+            (* Targeted: with exactly one parked op (the overwhelming
+               common case — this deadline's owner) a single signal
+               suffices; the old unconditional broadcast woke every op
+               parked on the vertex, and the extras re-parked as spurious
+               wakes (visible in the st_wakes_spurious counter, which the
+               wakeup suite pins at zero). With several parked we must
+               still broadcast — a lone signal could wake the wrong op and
+               leave the expiring one asleep. *)
             let wake () =
               Mutex.lock t.lock;
-              if w.w_parked > 0 then Condition.broadcast w.w_cond;
+              if w.w_parked = 1 then Condition.signal w.w_cond
+              else if w.w_parked > 1 then Condition.broadcast w.w_cond;
               Mutex.unlock t.lock
             in
             (match deadline with Some d -> Timer.wake_at d wake | None -> ());
@@ -868,29 +1097,30 @@ let run_op ?deadline t ~opname ~opv ~remove ~enqueue ~finished ~extract =
     Atomic.incr t.nstalls;
     Mutex.unlock t.lock;
     Error full
+  end
+
+let new_send_op value =
+  { sv = value; s_done = Atomic.make false; s_w = None;
+    s_tid = Thread.id (Thread.self ()) }
+
+let new_recv_op () =
+  { r_result = Atomic.make None; r_w = None;
+    r_tid = Thread.id (Thread.self ()) }
 
 let send_opt ?deadline t v value =
-  let op = { sv = value; s_done = false; s_w = None } in
-  run_op ?deadline t ~opname:"send" ~opv:v
+  let op = new_send_op value in
+  run_op ?deadline t ~opname:"send" ~opv:v ~sub:(Sub_send (v, op))
     ~remove:(fun () -> withdraw t t.send_q v (fun o -> o == op))
-    ~enqueue:(fun w ->
-      op.s_w <- Some w;
-      Queue.push op (queue_of t.send_q v);
-      add_pending t v)
-    ~finished:(fun () -> op.s_done)
+    ~finished:(fun () -> Atomic.get op.s_done)
     ~extract:(fun () -> ())
 
 let recv_opt ?deadline t v =
-  let op = { r_result = None; r_w = None } in
-  run_op ?deadline t ~opname:"recv" ~opv:v
+  let op = new_recv_op () in
+  run_op ?deadline t ~opname:"recv" ~opv:v ~sub:(Sub_recv (v, op))
     ~remove:(fun () -> withdraw t t.recv_q v (fun o -> o == op))
-    ~enqueue:(fun w ->
-      op.r_w <- Some w;
-      Queue.push op (queue_of t.recv_q v);
-      add_pending t v)
-    ~finished:(fun () -> op.r_result <> None)
+    ~finished:(fun () -> Atomic.get op.r_result <> None)
     ~extract:(fun () ->
-      match op.r_result with Some x -> x | None -> assert false)
+      match Atomic.get op.r_result with Some x -> x | None -> assert false)
 
 let send ?deadline t v value =
   match send_opt ?deadline t v value with
@@ -902,6 +1132,86 @@ let recv ?deadline t v =
   | Ok x -> x
   | Error report -> raise (Timed_out report)
 
+(* --- Batch submission --------------------------------------------------------
+   Publish [k] operations in one shot and block behind the LAST one only.
+   Operations on one vertex complete in queue (FIFO) order — the firing
+   loop pops from the front and batch ops are never withdrawn — so the
+   last op finishing implies all the earlier ones have. MPSC pushes from
+   one producer keep their order, so the k ops land in the vertex queue in
+   submission order. No [?deadline]: a partially completed batch has no
+   sensible withdraw semantics. *)
+
+let rec last_of = function
+  | [ x ] -> x
+  | _ :: rest -> last_of rest
+  | [] -> invalid_arg "Engine: empty batch"
+
+let wait_last ?prefix t ~opname ~opv ~sub ~finished =
+  (match prefix with
+   | Some subs -> List.iter (fun s -> Mpsc.push t.subs s) subs
+   | None -> ());
+  match
+    run_op t ~opname ~opv ~sub ~remove:(fun () -> ()) ~finished
+      ~extract:(fun () -> ())
+  with
+  | Ok () -> ()
+  | Error _ -> assert false (* no deadline, no watchdog report returned *)
+
+let send_many t v values =
+  match values with
+  | [] -> ()
+  | values ->
+    let ops = List.map new_send_op values in
+    let last = last_of ops in
+    let prefix =
+      List.filter_map
+        (fun op -> if op == last then None else Some (Sub_send (v, op)))
+        ops
+    in
+    wait_last t ~prefix ~opname:"send" ~opv:v ~sub:(Sub_send (v, last))
+      ~finished:(fun () -> Atomic.get last.s_done);
+    (* Keep Submit/Complete pairing for the whole batch in traces: run_op
+       emitted Complete for the last op only. Under the lock, like every
+       ring write. *)
+    if !Obs.tracing then begin
+      Mutex.lock t.lock;
+      List.iter
+        (fun op ->
+          if op != last then
+            Obs.emit (obs_ring t) Obs.Complete_send ~a:v ~b:op.s_tid)
+        ops;
+      Mutex.unlock t.lock
+    end
+
+let recv_many t v k =
+  if k <= 0 then []
+  else begin
+    let ops = List.init k (fun _ -> new_recv_op ()) in
+    let last = last_of ops in
+    let prefix =
+      List.filter_map
+        (fun op -> if op == last then None else Some (Sub_recv (v, op)))
+        ops
+    in
+    wait_last t ~prefix ~opname:"recv" ~opv:v ~sub:(Sub_recv (v, last))
+      ~finished:(fun () -> Atomic.get last.r_result <> None);
+    if !Obs.tracing then begin
+      Mutex.lock t.lock;
+      List.iter
+        (fun op ->
+          if op != last then
+            Obs.emit (obs_ring t) Obs.Complete_recv ~a:v ~b:op.r_tid)
+        ops;
+      Mutex.unlock t.lock
+    end;
+    List.map
+      (fun op ->
+        match Atomic.get op.r_result with
+        | Some x -> x
+        | None -> assert false (* FIFO: last done implies all done *))
+      ops
+  end
+
 let try_send t v value =
   (match Atomic.get t.poison_flag with
    | Some msg -> raise (Poisoned msg)
@@ -910,12 +1220,15 @@ let try_send t v value =
   let result =
     try
       check_poison t;
-      let op = { sv = value; s_done = false; s_w = None } in
+      (* Install concurrently published ops first, so our direct enqueue
+         does not jump ahead of operations submitted before us. *)
+      ignore (drain_subs t);
+      let op = { sv = value; s_done = Atomic.make false; s_w = None; s_tid = 0 } in
       Queue.push op (queue_of t.send_q v);
       add_pending t v;
       let _ = drive t in
       check_poison t;
-      if op.s_done then true
+      if Atomic.get op.s_done then true
       else begin
         withdraw t t.send_q v (fun o -> o == op);
         false
@@ -934,12 +1247,13 @@ let try_recv t v =
   let result =
     try
       check_poison t;
-      let op = { r_result = None; r_w = None } in
+      ignore (drain_subs t);
+      let op = { r_result = Atomic.make None; r_w = None; r_tid = 0 } in
       Queue.push op (queue_of t.recv_q v);
       add_pending t v;
       let _ = drive t in
       check_poison t;
-      (match op.r_result with
+      (match Atomic.get op.r_result with
        | Some _ as r -> r
        | None ->
          withdraw t t.recv_q v (fun o -> o == op);
@@ -959,6 +1273,7 @@ let try_step t =
     try
       check_poison t;
       invalidate_gates t;
+      ignore (drain_subs t);
       (try fire_one t with Composer.Expansion_budget msg ->
         poison_locked t msg;
         false)
@@ -981,6 +1296,7 @@ let rec poison t msg =
     t.poisoned <- Some msg;
     if !Obs.tracing then Obs.emit (obs_ring t) Obs.Poison ~a:0 ~b:0
   end;
+  ignore (drain_subs t);
   wake_all t;
   let peers = t.peers in
   Mutex.unlock t.lock;

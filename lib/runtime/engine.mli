@@ -100,6 +100,18 @@ val recv_opt :
   Preo_automata.Vertex.t ->
   (Value.t, stall_report) result
 
+val send_many : t -> Preo_automata.Vertex.t -> Value.t list -> unit
+(** Batch send: publish every value's operation in one shot (submission
+    order preserved) and block behind the {e last} one only — operations on
+    one vertex complete in FIFO order, so the last completing implies all
+    did. One lock-free publication per op, at most one park path for the
+    whole batch. No deadline: a partially completed batch has no sensible
+    withdraw semantics. *)
+
+val recv_many : t -> Preo_automata.Vertex.t -> int -> Value.t list
+(** Batch receive of [k] values, in arrival order (see {!send_many}).
+    [k <= 0] returns []. *)
+
 val try_send : t -> Preo_automata.Vertex.t -> Preo_support.Value.t -> bool
 (** Nonblocking send: fires whatever the offer enables and reports whether
     the operation completed; otherwise the offer is withdrawn. *)
@@ -135,6 +147,24 @@ val wakes_spurious : t -> int
 val wakes_broadcast : t -> int
 (** Fallback broadcasts that woke every parked operation (poison delivery,
     kick-round cap, shutdown); correctness backstop, not a fast path. *)
+
+val mpsc_ops : t -> int
+(** Operations that went through the lock-free submission queue (every
+    blocking send/recv; try-ops and gate traffic bypass it). *)
+
+val mpsc_batches : t -> int
+(** Nonempty drains of the submission queue; [mpsc_ops / mpsc_batches] is
+    the mean submission batch size — the amortization the MPSC queue
+    buys. *)
+
+val mpsc_fast : t -> int
+(** Operations completed on the lock-free fast path: the submitting task
+    polled its op's completion flag and never took the engine mutex. *)
+
+val batch_fires : t -> int
+(** Extra transition firings obtained by replaying a committed guard-free
+    self-loop while its needed vertices stayed ready — firings beyond the
+    one the candidate scan found (one scan, k data moves). *)
 
 val poison : t -> string -> unit
 (** Wake all blocked operations with {!Poisoned}. Propagates transitively

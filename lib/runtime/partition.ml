@@ -194,31 +194,30 @@ let shape_ends = function
 (* --- Bridges ---------------------------------------------------------------- *)
 
 (* A capacity-[cap] SPSC ring buffer bridging two engines, optionally
-   prefilled (initially-full fifos). [Atomic] gives the necessary memory
-   ordering; mutual exclusion follows from single-producer single-consumer:
-   only the producing engine moves [qtail], only the consuming engine moves
-   [qhead], and each side acts only when its gate reports room / data. *)
+   prefilled (initially-full fifos); the buffer itself is {!Ring}, which
+   carries the cross-domain memory ordering. Mutual exclusion follows from
+   single-producer single-consumer: only the producing engine's gate
+   pushes, only the consuming engine's gate pops, and each side acts only
+   when its gate reports room / data. The engines' batched self-loop
+   firing moves whole batches through these gates per candidate scan —
+   bounded by the ring's occupancy/room, which the replay loop re-checks
+   through [gate_ready] before every move. *)
 let make_queue ~tail ~head ~cap ~init =
-  let slots : Value.t option Atomic.t array =
-    Array.init cap (fun i -> Atomic.make (List.nth_opt init i))
-  in
-  let qhead = Atomic.make 0 in
-  let qtail = Atomic.make (List.length init) in
-  let count () = Atomic.get qtail - Atomic.get qhead in
+  let ring : Value.t Ring.t = Ring.create ~init cap in
   (* Queue occupancy feeds stall reports: a deadline expiring in one region
      shows whether the bridge into a peer region was full or starved. *)
-  let dump side () = Printf.sprintf "%s-queue=%d/%d" side (count ()) cap in
+  let dump side () =
+    Printf.sprintf "%s-queue=%d/%d" side (Ring.length ring) cap
+  in
   let producer_gate =
     {
-      Engine.gate_ready = (fun () -> count () < cap);
+      Engine.gate_ready = (fun () -> not (Ring.is_full ring));
       gate_peek = (fun () -> invalid_arg "producer gate has no value");
       gate_commit =
         (fun v ->
           match v with
           | Some value ->
-            let i = Atomic.get qtail in
-            Atomic.set slots.(i mod cap) (Some value);
-            Atomic.set qtail (i + 1);
+            Ring.push ring value;
             if !Obs.tracing then
               Obs.emit (get_bridge_ring ()) Obs.Slot_put ~a:tail ~b:head
           | None -> invalid_arg "producer gate expects a value");
@@ -227,19 +226,13 @@ let make_queue ~tail ~head ~cap ~init =
   in
   let consumer_gate =
     {
-      Engine.gate_ready = (fun () -> count () > 0);
-      gate_peek =
-        (fun () ->
-          match Atomic.get slots.(Atomic.get qhead mod cap) with
-          | Some v -> v
-          | None -> invalid_arg "consumer gate: queue empty");
+      Engine.gate_ready = (fun () -> not (Ring.is_empty ring));
+      gate_peek = (fun () -> Ring.peek ring);
       gate_commit =
         (fun v ->
           match v with
           | None ->
-            let i = Atomic.get qhead in
-            Atomic.set slots.(i mod cap) None;
-            Atomic.set qhead (i + 1);
+            ignore (Ring.pop ring);
             if !Obs.tracing then
               Obs.emit (get_bridge_ring ()) Obs.Slot_take ~a:head ~b:tail
           | Some _ -> invalid_arg "consumer gate consumes, not delivers");

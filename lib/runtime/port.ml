@@ -27,6 +27,16 @@ let send_opt ?deadline p (v : Value.t) =
 let recv_opt ?deadline p =
   if !Obs.tracing then Metrics.incr m_recvs;
   Engine.recv_opt ?deadline p.ie p.iv
+let send_batch p (vs : Value.t list) =
+  if !Obs.tracing then
+    List.iter (fun _ -> Metrics.incr m_sends) vs;
+  Engine.send_many p.oe p.ov vs
+
+let recv_batch p k =
+  if !Obs.tracing then
+    for _ = 1 to k do Metrics.incr m_recvs done;
+  Engine.recv_many p.ie p.iv k
+
 let try_send p (v : Value.t) = Engine.try_send p.oe p.ov v
 let try_recv p = Engine.try_recv p.ie p.iv
 let out_vertex p = p.ov

@@ -28,6 +28,15 @@ val send_opt :
 val recv_opt :
   ?deadline:float -> inport -> (Value.t, Engine.stall_report) result
 
+val send_batch : outport -> Value.t list -> unit
+(** Submit every value's send in one lock-free publication burst and block
+    behind the last one only (FIFO completion makes that sufficient); see
+    {!Engine.send_many}. No deadline variant. *)
+
+val recv_batch : inport -> int -> Value.t list
+(** Receive [k] values in arrival order, parking at most once; see
+    {!Engine.recv_many}. *)
+
 val try_send : outport -> Value.t -> bool
 (** Nonblocking: completes the send iff the connector can take it now. *)
 

@@ -1,0 +1,34 @@
+(* Lock-free multi-producer single-consumer queue: a Treiber stack of cons
+   cells plus a whole-list reversal at drain time.
+
+   Producers only ever CAS a new head on; the (single) consumer exchanges
+   the whole list for [[]] in one atomic swap and reverses it, so one drain
+   observes every element pushed before the swap, in push order. Push is
+   wait-free in the absence of contention and lock-free under it (a failed
+   CAS retries against the freshly observed head); drain is wait-free.
+
+   Per-producer FIFO order is exact: a producer's second push can only CAS
+   on top of (a list containing) its first, so after reversal its elements
+   appear oldest-first. Cross-producer order is whatever the CAS
+   interleaving produced — the same guarantee a mutex-protected queue gives
+   concurrent producers.
+
+   The engine uses this as its submission queue: tasks publish blocking
+   send/recv operations without touching the engine mutex; whichever thread
+   holds the mutex drains the batch into the real per-vertex queues before
+   solving. *)
+
+type 'a t = 'a list Atomic.t
+
+let create () = Atomic.make []
+
+let rec push q x =
+  let old = Atomic.get q in
+  if not (Atomic.compare_and_set q old (x :: old)) then push q x
+
+let pop_all q =
+  match Atomic.get q with
+  | [] -> [] (* empty fast path: no swap, no fence traffic for the drainer *)
+  | _ -> List.rev (Atomic.exchange q [])
+
+let is_empty q = Atomic.get q = []

@@ -1,0 +1,22 @@
+(** Lock-free multi-producer single-consumer queue.
+
+    Any number of threads (on any domain) may {!push} concurrently; one
+    consumer at a time calls {!pop_all} and receives every element pushed
+    before the call, in per-producer FIFO order. The engine's op-submission
+    queue: producers publish operations with a CAS instead of taking the
+    engine mutex; the mutex holder drains them in batches. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Lock-free; safe from any thread or domain. *)
+
+val pop_all : 'a t -> 'a list
+(** Atomically take everything pushed so far, oldest first (per producer).
+    Caller discipline: one drainer at a time (the engine-mutex holder) —
+    concurrent drains are safe but split the batch arbitrarily. *)
+
+val is_empty : 'a t -> bool
+(** Snapshot; may be stale by the time the caller acts on it. *)

@@ -1,0 +1,89 @@
+(* Fixed-capacity single-producer single-consumer ring buffer.
+
+   The partitioned runtime's cut queues: one engine (the producer side of a
+   severed fifo chain) fills slots, the engine on the other side drains
+   them. [Atomic] indices give the necessary cross-domain memory ordering;
+   mutual exclusion follows from the SPSC discipline — only the producer
+   moves [tail], only the consumer moves [head], and each side acts only
+   when its gate reports room / data. Indices grow monotonically and are
+   reduced mod [cap] at access, so [length] is a plain subtraction.
+
+   Slots hold ['a option Atomic.t] rather than a plain array: the value
+   written by the producer must be published before the consumer (possibly
+   on another domain) reads it through [head]; the atomic slot store plus
+   the atomic [tail] bump provide that ordering. *)
+
+type 'a t = {
+  slots : 'a option Atomic.t array;
+  head : int Atomic.t;  (* next slot to pop; advanced only by the consumer *)
+  tail : int Atomic.t;  (* next slot to fill; advanced only by the producer *)
+  cap : int;
+}
+
+let create ?(init = []) cap =
+  if cap < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  if List.length init > cap then invalid_arg "Ring.create: init exceeds capacity";
+  {
+    slots = Array.init cap (fun i -> Atomic.make (List.nth_opt init i));
+    head = Atomic.make 0;
+    tail = Atomic.make (List.length init);
+    cap;
+  }
+
+let capacity r = r.cap
+let length r = Atomic.get r.tail - Atomic.get r.head
+let is_empty r = length r = 0
+let is_full r = length r >= r.cap
+
+(* Producer side. *)
+let try_push r x =
+  if is_full r then false
+  else begin
+    let i = Atomic.get r.tail in
+    Atomic.set r.slots.(i mod r.cap) (Some x);
+    Atomic.set r.tail (i + 1);
+    true
+  end
+
+let push r x = if not (try_push r x) then invalid_arg "Ring.push: full"
+
+(* Consumer side. *)
+let peek_opt r =
+  if is_empty r then None else Atomic.get r.slots.(Atomic.get r.head mod r.cap)
+
+let peek r =
+  match peek_opt r with Some x -> x | None -> invalid_arg "Ring.peek: empty"
+
+let pop_opt r =
+  if is_empty r then None
+  else begin
+    let i = Atomic.get r.head in
+    let s = r.slots.(i mod r.cap) in
+    let x = Atomic.get s in
+    Atomic.set s None;
+    Atomic.set r.head (i + 1);
+    x
+  end
+
+let pop r =
+  match pop_opt r with Some x -> x | None -> invalid_arg "Ring.pop: empty"
+
+(* Batch helpers: move up to [n] elements in one call — one index read per
+   element is unavoidable, but callers save the per-element closure/branch
+   overhead of going through a gate for each datum. *)
+let pop_upto r n =
+  let rec go n acc =
+    if n <= 0 then List.rev acc
+    else
+      match pop_opt r with
+      | Some x -> go (n - 1) (x :: acc)
+      | None -> List.rev acc
+  in
+  go n []
+
+let push_list r xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> if try_push r x then go rest else x :: rest
+  in
+  go xs

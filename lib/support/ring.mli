@@ -1,0 +1,47 @@
+(** Fixed-capacity single-producer single-consumer ring buffer.
+
+    Lock-free under the SPSC discipline: exactly one thread pushes, exactly
+    one thread pops (they may live on different domains). The partitioned
+    runtime's cut-queue bridges are built on this — a severed fifo chain of
+    capacity [k] becomes a [k]-slot ring moving batches of data between two
+    engine regions. *)
+
+type 'a t
+
+val create : ?init:'a list -> int -> 'a t
+(** [create ~init cap]: ring of capacity [cap >= 1], prefilled with [init]
+    (first element = next to pop; at most [cap] elements).
+    @raise Invalid_argument on a bad capacity or oversized [init]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Elements currently buffered. Exact for the producer and consumer
+    themselves; a racing third-party reader sees a consistent snapshot. *)
+
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only. [false] when full. *)
+
+val push : 'a t -> 'a -> unit
+(** Producer only. @raise Invalid_argument when full. *)
+
+val peek_opt : 'a t -> 'a option
+(** Consumer only: next element without removing it. *)
+
+val peek : 'a t -> 'a
+(** @raise Invalid_argument when empty. *)
+
+val pop_opt : 'a t -> 'a option
+(** Consumer only. *)
+
+val pop : 'a t -> 'a
+(** @raise Invalid_argument when empty. *)
+
+val pop_upto : 'a t -> int -> 'a list
+(** Consumer only: up to [n] elements, oldest first. *)
+
+val push_list : 'a t -> 'a list -> 'a list
+(** Producer only: push until full or done; returns the leftovers. *)

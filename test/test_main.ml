@@ -20,6 +20,7 @@ let () =
       ("stream", Suite_stream.tests);
       ("stress", Suite_stress.tests);
       ("wakeup", Suite_wakeup.tests);
+      ("lockfree", Suite_lockfree.tests);
       ("facade", Suite_facade.tests);
       ("dsl-corners", Suite_dsl_corners.tests);
       ("random-networks", Suite_random.tests);
