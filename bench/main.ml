@@ -13,13 +13,14 @@ open Preo_support
 
 let sections =
   [ "fig12"; "fig13"; "fig13-blowup"; "npb-mc"; "abl-opt"; "abl-cache";
-    "abl-part"; "obs"; "micro" ]
+    "abl-part"; "obs"; "elastic"; "micro" ]
 
 (* Representative connector families for the steps/s micro bench: picked to
    exercise deep pending sets (sequencer), partitionable pipelines
    (relay_ring), wide synchronization (broadcast_fifo, gather), and token
    circulation (token_ring). BENCH_baseline.json is regenerated from these
-   rows via `--only micro --json BENCH_baseline.json`. *)
+   rows (plus the elastic churn rows) via
+   `--only micro,elastic --json BENCH_baseline.json`. *)
 let micro_families =
   [ ("sequencer", 8); ("relay_ring", 6); ("broadcast_fifo", 8);
     ("token_ring", 8); ("gather", 8) ]
@@ -73,8 +74,8 @@ let parse_args () =
        "N domain count for the multicore micro rows (new-partitioned-mc); \
         default 2, clamped to the runtime cap");
       ("--json", Arg.String (fun f -> json := Some f),
-       "FILE dump the micro steps/s rows as JSON (baseline format, see \
-        EXPERIMENTS.md)");
+       "FILE dump the micro and elastic steps/s rows as JSON (baseline \
+        format, see EXPERIMENTS.md)");
       ("--compare",
        Arg.Tuple
          [ Arg.Set_string cmp_old; Arg.String (fun f -> cmp_new := Some f) ],
@@ -590,6 +591,106 @@ let obs_overhead opts =
   Printf.printf "tracing-on overhead: %.1f%%\n" (100.0 *. (1.0 -. (on /. off)))
 
 (* ------------------------------------------------------------------ *)
+(* Shared --json row emission (schema 6)                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json (st : Preo_runtime.Connector.stats) =
+  Preo_runtime.Connector.(
+    Printf.sprintf
+      "{\"st_steps\": %d, \"st_regions\": %d, \"st_domains\": %d, \
+       \"st_expansions\": %d, \"st_cache_hits\": %d, \
+       \"st_cache_evictions\": %d, \"st_compile_seconds\": %.6f, \
+       \"st_solver_calls\": %d, \"st_cond_waits\": %d, \"st_peer_kicks\": %d, \
+       \"st_cand_hits\": %d, \"st_stalls\": %d, \"st_wakes_targeted\": %d, \
+       \"st_wakes_spurious\": %d, \"st_wakes_broadcast\": %d, \
+       \"st_mpsc_ops\": %d, \"st_mpsc_batches\": %d, \"st_mpsc_fast\": %d, \
+       \"st_batch_fires\": %d, \"st_splices\": %d}"
+      st.st_steps st.st_regions st.st_domains st.st_expansions st.st_cache_hits
+      st.st_cache_evictions st.st_compile_seconds st.st_solver_calls
+      st.st_cond_waits st.st_peer_kicks st.st_cand_hits st.st_stalls
+      st.st_wakes_targeted st.st_wakes_spurious st.st_wakes_broadcast
+      st.st_mpsc_ops st.st_mpsc_batches st.st_mpsc_fast st.st_batch_fires
+      st.st_splices)
+
+let json_row ~family ~n ~config ~rate ~stats =
+  Printf.sprintf
+    "    {\"family\": %S, \"n\": %d, \"config\": %S, \"steps_per_s\": %.1f, \
+     \"stats\": %s}"
+    family n config rate (stats_json stats)
+
+(* ------------------------------------------------------------------ *)
+(* ELASTIC: run-time join/leave churn                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput under elastic churn: grow a live connector by one task slot,
+   exchange a full round of data at the larger size, shrink back, exchange
+   another round — so every splice faces a real quiescence check and the
+   steady-state data path is measured together with the splice overhead.
+   The autoscaling EP kernel rides along as an end-to-end row (table only;
+   its connectors are torn down inside the kernel, so no stats object). *)
+let elastic_bench opts =
+  Tablefmt.rule "ELASTIC: run-time join/leave (splice) churn";
+  let window = if opts.full then 1.0 else 0.5 in
+  let json_rows = ref [] in
+  let churn fname base ~round =
+    let e = Preo_connectors.Catalog.find fname in
+    let inst =
+      Preo.instantiate ~config:Preo_runtime.Config.new_jit
+        (Preo_connectors.Catalog.compiled e)
+        ~lengths:(e.Preo_connectors.Catalog.lengths base)
+    in
+    let t0 = Clock.now () in
+    while Clock.now () -. t0 < window do
+      ignore (Preo.grow inst "hd");
+      round inst (base + 1);
+      Preo.shrink inst "hd";
+      round inst base
+    done;
+    let seconds = Clock.now () -. t0 in
+    let st = Preo_runtime.Connector.stats (Preo.connector inst) in
+    let steps = Preo.steps inst in
+    let splices = Preo_runtime.Connector.splices (Preo.connector inst) in
+    let rate = float_of_int steps /. seconds in
+    json_rows :=
+      json_row ~family:"elastic_churn" ~n:base ~config:fname ~rate ~stats:st
+      :: !json_rows;
+    Printf.eprintf "[elastic] %-16s N=%-3d %.0f steps/s, %d splices\n%!" fname
+      base rate splices;
+    Preo.shutdown inst;
+    [ "churn"; fname; string_of_int base; Printf.sprintf "%.0f" rate;
+      string_of_int splices;
+      Printf.sprintf "%.0f" (float_of_int splices /. seconds) ]
+  in
+  let bcast_round inst size =
+    Preo.Port.send (Preo.outports inst "tl").(0) Value.unit;
+    for i = 1 to size do
+      ignore (Preo.Port.recv (Preo.inport_at inst "hd" i))
+    done
+  in
+  let seq_round inst size =
+    for i = 1 to size do
+      ignore (Preo.Port.recv (Preo.inport_at inst "hd" i))
+    done
+  in
+  let ep = Preo_npb.Ep_elastic.run ~cls:Preo_npb.Workloads.S () in
+  let rows =
+    [
+      churn "broadcast_fifo" 4 ~round:bcast_round;
+      churn "sequencer" 4 ~round:seq_round;
+      [ "ep-autoscale"; "load_balancer+gather";
+        string_of_int ep.Preo_npb.Ep_elastic.peak_slaves;
+        Printf.sprintf "%.0f"
+          (float_of_int ep.Preo_npb.Ep_elastic.comm_steps
+          /. ep.Preo_npb.Ep_elastic.seconds);
+        string_of_int ep.Preo_npb.Ep_elastic.splices; "-" ];
+    ]
+  in
+  Tablefmt.print
+    ~header:[ "bench"; "family"; "N/peak"; "steps/s"; "splices"; "splices/s" ]
+    rows;
+  List.rev !json_rows
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -617,27 +718,7 @@ let micro_steps opts =
             | Preo_connectors.Driver.Steps { steps; run_seconds; stats = st; _ } ->
               let rate = float_of_int steps /. run_seconds in
               json_rows :=
-                Preo_runtime.Connector.(
-                  Printf.sprintf
-                    "    {\"family\": %S, \"n\": %d, \"config\": %S, \
-                     \"steps_per_s\": %.1f, \"stats\": {\"st_steps\": %d, \
-                     \"st_regions\": %d, \"st_domains\": %d, \
-                     \"st_expansions\": %d, \
-                     \"st_cache_hits\": %d, \"st_cache_evictions\": %d, \
-                     \"st_compile_seconds\": %.6f, \"st_solver_calls\": %d, \
-                     \"st_cond_waits\": %d, \"st_peer_kicks\": %d, \
-                     \"st_cand_hits\": %d, \"st_stalls\": %d, \
-                     \"st_wakes_targeted\": %d, \"st_wakes_spurious\": %d, \
-                     \"st_wakes_broadcast\": %d, \"st_mpsc_ops\": %d, \
-                     \"st_mpsc_batches\": %d, \"st_mpsc_fast\": %d, \
-                     \"st_batch_fires\": %d}}"
-                    fname n cname rate st.st_steps st.st_regions st.st_domains
-                    st.st_expansions st.st_cache_hits st.st_cache_evictions
-                    st.st_compile_seconds st.st_solver_calls st.st_cond_waits
-                    st.st_peer_kicks st.st_cand_hits st.st_stalls
-                    st.st_wakes_targeted st.st_wakes_spurious
-                    st.st_wakes_broadcast st.st_mpsc_ops st.st_mpsc_batches
-                    st.st_mpsc_fast st.st_batch_fires)
+                json_row ~family:fname ~n ~config:cname ~rate ~stats:st
                 :: !json_rows;
               Printf.eprintf "[micro] %-16s N=%-3d %-16s %.0f steps/s\n%!"
                 fname n cname rate;
@@ -672,17 +753,7 @@ let micro_steps opts =
        else [])
   in
   Tablefmt.print ~header rows;
-  match opts.json with
-  | None -> ()
-  | Some path ->
-    let oc = open_out path in
-    Printf.fprintf oc
-      "{\n  \"schema_version\": 5,\n  \"window_seconds\": %.2f,\n  \
-       \"rows\": [\n%s\n  ]\n}\n"
-      window
-      (String.concat ",\n" (List.rev !json_rows));
-    close_out oc;
-    Printf.printf "wrote %s\n" path
+  List.rev !json_rows
 
 let micro _opts =
   Tablefmt.rule "MICRO: bechamel latencies";
@@ -869,8 +940,21 @@ let () =
   if wants opts "abl-cache" then abl_cache opts;
   if wants opts "abl-part" then abl_part opts;
   if wants opts "obs" then obs_overhead opts;
+  let json_rows = ref [] in
+  if wants opts "elastic" then json_rows := !json_rows @ elastic_bench opts;
   if wants opts "micro" then begin
-    micro_steps opts;
+    json_rows := !json_rows @ micro_steps opts;
     micro opts
   end;
+  (match opts.json with
+  | Some path when !json_rows <> [] ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n  \"schema_version\": 6,\n  \"window_seconds\": %.2f,\n  \
+       \"rows\": [\n%s\n  ]\n}\n"
+      (if opts.full then 1.0 else 0.5)
+      (String.concat ",\n" !json_rows);
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  | _ -> ());
   Printf.printf "\nbench total: %.1fs\n" (Clock.now () -. t0)

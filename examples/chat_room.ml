@@ -1,0 +1,124 @@
+(* Chat room with presence: members join and leave a live broadcast
+   connector while messages flow — the elastic-connector showcase.
+
+   The room is one NBcastFifo instance: a single feed port fans every
+   message out into one buffered inbox per member. A join grows the "hd"
+   group (Preo.grow splices a fresh inbox fifo into the running product); a
+   leave shrinks it (Preo.shrink retires the member's fifo once it has
+   drained and poisons only that member's parked recv — everyone else keeps
+   chatting). Each member runs as a task that receives until the targeted
+   "detached" poison tells it it has left.
+
+   The script is a deterministic 1000-event churn mix of joins, leaves and
+   messages (LCG-driven), so the run is reproducible:
+
+     dune exec examples/chat_room.exe -- 1000
+*)
+
+open Preo
+
+let room_src =
+  {|Room(feed;inbox[]) =
+  Repl(feed;x[1..#inbox])
+  mult prod (i:1..#inbox) Fifo1(x[i];inbox[i])|}
+
+type member = {
+  id : int;
+  task : Task.t;
+  received : int Atomic.t;
+}
+
+let () =
+  let events = try int_of_string Sys.argv.(1) with _ -> 1000 in
+  let inst =
+    instantiate (compile ~source:room_src ~name:"Room") ~lengths:[ ("inbox", 2) ]
+  in
+  let feed = (outports inst "feed").(0) in
+  let next_id = ref 0 in
+  (* members in slot order: position k <-> group index k+1 *)
+  let roster : member list ref = ref [] in
+  let spawn_member idx =
+    incr next_id;
+    let id = !next_id in
+    let inbox = inport_at inst "inbox" idx in
+    let received = Atomic.make 0 in
+    let body () =
+      try
+        while true do
+          ignore (Port.recv inbox);
+          Atomic.incr received
+        done
+      with Engine.Poisoned _ -> () (* "detached": this member left *)
+    in
+    { id; task = Task.spawn ~on:(sched inst) body; received }
+  in
+  (* the two seed members occupy slots 1 and 2 *)
+  roster := [ spawn_member 1; spawn_member 2 ];
+  let joins = ref 0 and leaves = ref 0 and messages = ref 0 in
+  let delivered = ref 0 in
+  (* deterministic LCG so every run replays the same churn script *)
+  let seed = ref 0x2545F491 in
+  let rand bound =
+    seed := (!seed * 1103515245) + 12345;
+    (!seed lsr 9) mod bound
+  in
+  let rec shrink_when_quiet budget idx =
+    if budget = 0 then failwith "leave never became quiescent";
+    match shrink ~index:idx inst "inbox" with
+    | () -> ()
+    | exception Preo_runtime.Composer.Not_quiescent _ ->
+      (* the leaver is still draining its inbox; let it run *)
+      Thread.yield ();
+      shrink_when_quiet (budget - 1) idx
+  in
+  for ev = 1 to events do
+    let n = List.length !roster in
+    let die = rand 10 in
+    if (die < 3 && n < 8) || n <= 1 then begin
+      (* join: one splice, a fresh inbox, a fresh member task *)
+      let idx = grow inst "inbox" in
+      roster := !roster @ [ spawn_member idx ];
+      incr joins
+    end
+    else if die < 6 && n > 1 then begin
+      (* leave: pick any member; only their parked recv is poisoned *)
+      let pos = rand n in
+      let m = List.nth !roster pos in
+      shrink_when_quiet 100_000 (pos + 1);
+      roster := List.filteri (fun i _ -> i <> pos) !roster;
+      Task.join m.task;
+      delivered := !delivered + Atomic.get m.received;
+      incr leaves
+    end
+    else begin
+      (* message: broadcast to every current member's inbox *)
+      Port.send feed (Value.int ev);
+      incr messages
+    end;
+    if ev mod 100 = 0 then
+      Printf.printf
+        "after %4d events: %d members, %d joins, %d leaves, %d messages, %d \
+         splices\n%!"
+        ev (List.length !roster) !joins !leaves !messages
+        (Connector.splices (connector inst))
+  done;
+  (* drain: everyone but the last member leaves; the room then closes *)
+  while List.length !roster > 1 do
+    match !roster with
+    | _first :: m :: _ ->
+      shrink_when_quiet 100_000 2;
+      roster := List.filteri (fun i _ -> i <> 1) !roster;
+      Task.join m.task;
+      delivered := !delivered + Atomic.get m.received
+    | _ -> assert false
+  done;
+  let last = List.hd !roster in
+  shutdown inst;
+  Task.join last.task;
+  delivered := !delivered + Atomic.get last.received;
+  Printf.printf
+    "done: %d events (%d joins, %d leaves, %d messages), %d deliveries, %d \
+     splices, %d steps\n"
+    events !joins !leaves !messages !delivered
+    (Connector.splices (connector inst))
+    (steps inst)

@@ -154,6 +154,41 @@ let trim a =
   in
   make ~nstates:!count ~initial:0 ~trans ~sources:a.sources ~sinks:a.sinks
 
+let label_bisimilar a p q =
+  if p = q then true
+  else begin
+    let n = a.nstates in
+    let rel = Array.make_matrix n n true in
+    (* Greatest fixpoint of the label-only bisimulation game: refine until
+       no pair is removed. Data (constraints, commands, cells) is ignored —
+       callers that care about stored values must encode them in states, as
+       the fifo primitives do (a full fifo1's state is not label-bisimilar
+       to its empty initial state, so quiescence checks built on this cannot
+       discard buffered data). *)
+    let changed = ref true in
+    let simulates x y =
+      (* every transition of [x] has a related-match in [y] *)
+      Array.for_all
+        (fun tx ->
+          Array.exists
+            (fun ty -> Iset.equal tx.sync ty.sync && rel.(tx.target).(ty.target))
+            a.trans.(y))
+        a.trans.(x)
+    in
+    while !changed do
+      changed := false;
+      for x = 0 to n - 1 do
+        for y = 0 to n - 1 do
+          if rel.(x).(y) && not (simulates x y && simulates y x) then begin
+            rel.(x).(y) <- false;
+            changed := true
+          end
+        done
+      done
+    done;
+    rel.(p).(q)
+  end
+
 let pp ppf a =
   Format.fprintf ppf "@[<v>automaton: %d states, %d transitions, initial %d@,"
     a.nstates (num_transitions a) a.initial;

@@ -65,5 +65,16 @@ val trim : t -> t
 (** Restrict to states reachable from [initial] (renumbering states), and
     remove duplicate transitions. *)
 
+val label_bisimilar : t -> int -> int -> bool
+(** [label_bisimilar a p q] — are states [p] and [q] strongly bisimilar when
+    transitions are compared by sync label only (constraints and cells
+    ignored)? Used by the elastic splice path to decide whether a medium
+    sitting in state [p] can be replaced by a fresh copy starting from its
+    initial state: label-bisimilarity to the initial state means the swap is
+    invisible at the synchronization level. Because the fifo primitives
+    encode buffered data as distinct states, a data-holding fifo state is
+    never label-bisimilar to the empty initial state, so this check also
+    protects against silently discarding buffered values. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_stats : Format.formatter -> t -> unit

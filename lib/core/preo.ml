@@ -58,14 +58,23 @@ let compile ~source ~name = compile_program (parse_check source) ~name
 (* --- Instantiation ------------------------------------------------------- *)
 
 type group = {
-  g_vertices : Vertex.t array;
+  mutable g_vertices : Vertex.t array;  (* mutable: grow/shrink resize it *)
   g_offset : int;  (** value of the first index (1 for plain parameters) *)
   g_is_source : bool;
+}
+
+type elastic = {
+  e_compiled : compiled;
+  e_venv : Eval.venv;
+      (* kept live so re-instantiations reuse the memoized local vertices:
+         only the resized group's wiring differs between runs *)
+  e_lock : Mutex.t;
 }
 
 type instance = {
   conn : Connector.t;
   groups : (string * group) list;
+  elastic : elastic option;
 }
 
 let build_mediums ?(config = Config.new_jit) (c : compiled) venv =
@@ -96,7 +105,13 @@ let instantiate ?(config = Config.new_jit) ?domains (c : compiled) ~lengths =
               } ))
           bindings
       in
-      { conn; groups })
+      let elastic =
+        match config with
+        | Config.New _ ->
+          Some { e_compiled = c; e_venv = venv; e_lock = Mutex.create () }
+        | Config.Existing _ -> None
+      in
+      { conn; groups; elastic })
 
 let groups inst = List.map (fun (n, g) -> (n, g.g_is_source)) inst.groups
 
@@ -114,6 +129,131 @@ let inports inst name =
   let g = group_of inst name in
   if g.g_is_source then err "%s is a source-side group (use outports)" name;
   Array.map (Connector.inport inst.conn) g.g_vertices
+
+(* --- Elastic grow/shrink ------------------------------------------------- *)
+
+module Automaton = Preo_automata.Automaton
+module Constr = Preo_automata.Constr
+module Iset = Preo_support.Iset
+
+(* Structural identity of a medium, independent of which Template.instantiate
+   call produced it: cell numbers are fresh per instantiation, so they are
+   normalized away. Everything else is pure data, safe under polymorphic
+   equality/hashing. *)
+let medium_key (a : Automaton.t) =
+  ( Iset.elements a.Automaton.vertices,
+    Iset.elements a.Automaton.sources,
+    Iset.elements a.Automaton.sinks,
+    a.Automaton.nstates,
+    a.Automaton.initial,
+    Array.map
+      (Array.map (fun (tr : Automaton.trans) ->
+           ( Iset.elements tr.Automaton.sync,
+             tr.Automaton.target,
+             Constr.map_cells (fun _ -> -1) tr.Automaton.constr )))
+      a.Automaton.trans )
+
+(* Multiset diff of a fresh instantiation against the live mediums: a fresh
+   medium that structurally matches a live one is the same wiring (keep the
+   live copy — it holds the run-time state); the rest is the splice delta. *)
+let diff_mediums ~live ~fresh =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun a -> Hashtbl.add tbl (medium_key a) a) live;
+  let added =
+    List.filter
+      (fun a ->
+        let k = medium_key a in
+        match Hashtbl.find_opt tbl k with
+        | Some _ ->
+          Hashtbl.remove tbl k;
+          false
+        | None -> true)
+      fresh
+  in
+  let retired = Hashtbl.fold (fun _ a acc -> a :: acc) tbl [] in
+  (added, retired)
+
+let elastic_of inst op =
+  match inst.elastic with
+  | Some e -> e
+  | None ->
+    err
+      "%s: instance is not elastic (only connectors built by instantiate \
+       under the new approach support run-time join/leave)"
+      op
+
+(* Resize the named group to [vs'], re-run the run-time share against the
+   updated environment, and splice the delta into the live connector. The
+   environment is rolled back if anything goes wrong (including a transient
+   Composer.Not_quiescent), so the call can simply be retried. *)
+let resplice e inst (g : group) name vs' ~add_sources ~add_sinks
+    ~retire_vertices =
+  let old = Hashtbl.find e.e_venv.Eval.arrays name in
+  Hashtbl.replace e.e_venv.Eval.arrays name vs';
+  try
+    let fresh =
+      reraise (fun () -> Template.instantiate e.e_compiled.template e.e_venv)
+    in
+    let live = Connector.live_mediums inst.conn in
+    let added, retired = diff_mediums ~live ~fresh in
+    Connector.splice inst.conn ~add:added ~retire:retired ~add_sources
+      ~add_sinks ~retire_vertices;
+    g.g_vertices <- vs'
+  with exn ->
+    Hashtbl.replace e.e_venv.Eval.arrays name old;
+    raise exn
+
+let grow inst name =
+  let e = elastic_of inst "grow" in
+  let g = group_of inst name in
+  Mutex.lock e.e_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.e_lock) @@ fun () ->
+  let n = Array.length g.g_vertices in
+  let idx = g.g_offset + n in
+  let v = Vertex.fresh (Printf.sprintf "%s[%d]" name idx) in
+  let vs' = Array.append g.g_vertices [| v |] in
+  let add_sources, add_sinks =
+    if g.g_is_source then ([| v |], [||]) else ([||], [| v |])
+  in
+  resplice e inst g name vs' ~add_sources ~add_sinks ~retire_vertices:[||];
+  idx
+
+let shrink ?index inst name =
+  let e = elastic_of inst "shrink" in
+  let g = group_of inst name in
+  Mutex.lock e.e_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.e_lock) @@ fun () ->
+  let n = Array.length g.g_vertices in
+  if n <= 1 then err "shrink: port group %s cannot go below one port" name;
+  let idx = match index with Some i -> i | None -> g.g_offset + n - 1 in
+  let k = idx - g.g_offset in
+  if k < 0 || k >= n then
+    err "shrink: index %d out of range for port group %s" idx name;
+  let v = g.g_vertices.(k) in
+  let vs' =
+    Array.init (n - 1) (fun j ->
+        if j < k then g.g_vertices.(j) else g.g_vertices.(j + 1))
+  in
+  resplice e inst g name vs' ~add_sources:[||] ~add_sinks:[||]
+    ~retire_vertices:[| v |]
+
+let group_size inst name = Array.length (group_of inst name).g_vertices
+
+let outport_at inst name i =
+  let g = group_of inst name in
+  if not g.g_is_source then err "%s is a sink-side group (use inport_at)" name;
+  let k = i - g.g_offset in
+  if k < 0 || k >= Array.length g.g_vertices then
+    err "index %d out of range for port group %s" i name;
+  Connector.outport inst.conn g.g_vertices.(k)
+
+let inport_at inst name i =
+  let g = group_of inst name in
+  if g.g_is_source then err "%s is a source-side group (use outport_at)" name;
+  let k = i - g.g_offset in
+  if k < 0 || k >= Array.length g.g_vertices then
+    err "index %d out of range for port group %s" i name;
+  Connector.inport inst.conn g.g_vertices.(k)
 
 let connector inst = inst.conn
 let steps inst = Connector.steps inst.conn
@@ -215,7 +355,7 @@ let run_main ?(config = Config.new_jit) ?domains ~(program : Ast.program) ~param
           build_mediums ~config c venv
       in
       let conn = Connector.create ~config ?domains ~sources ~sinks mediums in
-      let inst = { conn; groups } in
+      let inst = { conn; groups; elastic = None } in
       (* Resolve a task argument to ports. *)
       let task_arg tenv arg =
         let name =

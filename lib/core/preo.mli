@@ -72,6 +72,43 @@ val instantiate :
 val groups : instance -> (string * bool) list
 (** Parameter groups of the instance: (name, is_source). *)
 
+(** {1 Elastic grow/shrink}
+
+    Run-time task join/leave on an instance built by {!instantiate} under the
+    new approach: resizing a parameter group re-runs the run-time share
+    against the updated environment and splices only the difference into the
+    live connector ({!Connector.splice}) — mediums whose wiring is unchanged
+    keep their run-time state, no global rebuild. Raises {!Error} on
+    instances built by {!run_main} or under [Config.Existing] (ahead-of-time
+    composition freezes the product).
+
+    Retiring a medium requires it to be quiescent; a transient
+    {!Connector.Composer.Not_quiescent} means some in-flight exchange still
+    occupies the affected wiring — let traffic drain and retry the call
+    (instance bookkeeping is rolled back, so retrying is always safe). *)
+
+val grow : instance -> string -> int
+(** [grow inst name] adds one port slot to parameter group [name] and
+    returns its index (groups are 1-based, so the first [grow] on a group of
+    [n] returns [n + 1]). Fetch the new port with {!outport_at} /
+    {!inport_at}. *)
+
+val shrink : ?index:int -> instance -> string -> unit
+(** [shrink inst name] removes the port slot [?index] (default: the last) of
+    parameter group [name]. The leaving slot's pending operations fail with
+    [Engine.Poisoned] (targeted poison — other tasks keep running); its
+    mediums are retired once quiescent. Remaining slots keep their indices
+    below [index] and shift down above it, mirroring the group array. *)
+
+val group_size : instance -> string -> int
+(** Current number of ports in a parameter group. *)
+
+val outport_at : instance -> string -> int -> Port.outport
+(** Port of a tail-side group at a 1-based index (fresh lookup — valid
+    across {!grow}/{!shrink}). *)
+
+val inport_at : instance -> string -> int -> Port.inport
+
 val outports : instance -> string -> Port.outport array
 (** Ports of a tail-side parameter group, in index order. *)
 

@@ -1,0 +1,133 @@
+open Preo_support
+open Preo
+
+type result = {
+  estimate : float;
+  seconds : float;
+  comm_steps : int;
+  splices : int;
+  peak_slaves : int;
+}
+
+(* One chunk's contribution depends only on the chunk id, so the reduction
+   is independent of which slave computes it and of the scaling schedule. *)
+let chunk_hits ~chunk_samples id =
+  let rng = Rng.create (7919 * (id + 1)) in
+  let hits = ref 0 in
+  for _ = 1 to chunk_samples do
+    let x = Rng.float rng 2.0 -. 1.0 and y = Rng.float rng 2.0 -. 1.0 in
+    if (x *. x) +. (y *. y) <= 1.0 then incr hits
+  done;
+  !hits
+
+let nchunks = 32
+
+let scatter_e = lazy (Preo_connectors.Catalog.find "load_balancer")
+let gather_e = lazy (Preo_connectors.Catalog.find "gather")
+
+let rec retry_quiescent budget f =
+  if budget = 0 then failwith "ep_elastic: shrink never became quiescent";
+  match f () with
+  | () -> ()
+  | exception Preo_runtime.Composer.Not_quiescent _ ->
+    Thread.yield ();
+    retry_quiescent (budget - 1) f
+
+let run ?(schedule = [ 2; 4; 3; 1 ]) ~cls () =
+  let { Workloads.ep_samples } = Workloads.ep cls in
+  let chunk_samples = max 1 (ep_samples / nchunks) in
+  let nphases = List.length schedule in
+  let start = List.hd schedule in
+  let scatter =
+    instantiate
+      (Preo_connectors.Catalog.compiled (Lazy.force scatter_e))
+      ~lengths:[ ("hd", start) ]
+  in
+  let gather =
+    instantiate
+      (Preo_connectors.Catalog.compiled (Lazy.force gather_e))
+      ~lengths:[ ("tl", start) ]
+  in
+  let work_out = (outports scatter "tl").(0) in
+  let hits_in = (inports gather "hd").(0) in
+  let slave idx () =
+    let work = inport_at scatter "hd" idx in
+    let res = outport_at gather "tl" idx in
+    try
+      while true do
+        let id = Value.to_int (Port.recv work) in
+        Port.send res (Value.int (chunk_hits ~chunk_samples id))
+      done
+    with Engine.Poisoned _ -> () (* "detached": this slave was descaled *)
+  in
+  let t0 = Clock.now () in
+  let tasks = ref (List.init start (fun k -> Task.spawn ~on:(sched scatter) (slave (k + 1)))) in
+  let nslaves = ref start and peak = ref start in
+  let total_hits = ref 0 and next_chunk = ref 0 in
+  List.iteri
+    (fun phase want ->
+      (* resize the pool between phases: the connectors are idle here
+         (every dealt chunk has been collected), so shrink retries are
+         only about a leaving slave still pushing its last result out *)
+      while !nslaves < want do
+        let widx = grow scatter "hd" in
+        let ridx = grow gather "tl" in
+        assert (widx = ridx);
+        tasks := Task.spawn ~on:(sched scatter) (slave widx) :: !tasks;
+        incr nslaves;
+        if !nslaves > !peak then peak := !nslaves
+      done;
+      while !nslaves > want do
+        retry_quiescent 1_000_000 (fun () -> shrink scatter "hd");
+        retry_quiescent 1_000_000 (fun () -> shrink gather "tl");
+        decr nslaves
+      done;
+      (* this phase's share of the chunk budget *)
+      let upto =
+        if phase = nphases - 1 then nchunks else (phase + 1) * nchunks / nphases
+      in
+      let batch = ref [] in
+      while !next_chunk < upto do
+        batch := !next_chunk :: !batch;
+        incr next_chunk
+      done;
+      let batch = List.rev !batch in
+      let feeder () =
+        List.iter (fun id -> Port.send work_out (Value.int id)) batch
+      in
+      let collector () =
+        List.iter
+          (fun _ -> total_hits := !total_hits + Value.to_int (Port.recv hits_in))
+          batch
+      in
+      Task.run_all ~on:(sched scatter) [ feeder; collector ])
+    schedule;
+  let seconds = Clock.now () -. t0 in
+  let comm_steps = steps scatter + steps gather in
+  let splices =
+    Connector.splices (connector scatter) + Connector.splices (connector gather)
+  in
+  shutdown scatter;
+  shutdown gather;
+  List.iter Task.join !tasks;
+  {
+    estimate = 4.0 *. float_of_int !total_hits
+               /. float_of_int (chunk_samples * nchunks);
+    seconds;
+    comm_steps;
+    splices;
+    peak_slaves = !peak;
+  }
+
+let verify cls =
+  let r = run ~cls () in
+  let { Workloads.ep_samples } = Workloads.ep cls in
+  let chunk_samples = max 1 (ep_samples / nchunks) in
+  let seq = ref 0 in
+  for id = 0 to nchunks - 1 do
+    seq := !seq + chunk_hits ~chunk_samples id
+  done;
+  let expect =
+    4.0 *. float_of_int !seq /. float_of_int (chunk_samples * nchunks)
+  in
+  r.estimate = expect && r.splices > 0

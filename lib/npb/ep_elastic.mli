@@ -1,0 +1,26 @@
+(** Autoscaling master–slaves variant of the EP kernel.
+
+    The master deals Monte-Carlo sample chunks through a load-balancer
+    connector and collects per-chunk hit counts through a gather connector;
+    between phases it resizes the slave pool at run time with
+    [Preo.grow]/[Preo.shrink] — joining slaves get freshly spliced work and
+    result slots, leaving slaves are retired via the targeted "detached"
+    poison once their buffers drain. Chunk results are keyed by chunk id
+    (not by slave), so the estimate is bit-identical regardless of the
+    scaling schedule. *)
+
+type result = {
+  estimate : float;
+  seconds : float;
+  comm_steps : int;  (** scatter + gather connector steps *)
+  splices : int;  (** elastic splices performed across both connectors *)
+  peak_slaves : int;
+}
+
+val run : ?schedule:int list -> cls:Workloads.cls -> unit -> result
+(** [schedule] is the slave-pool size per phase (default [[2; 4; 3; 1]]);
+    the chunk budget is split evenly across phases. *)
+
+val verify : Workloads.cls -> bool
+(** The autoscaled estimate must equal a sequential evaluation of the same
+    chunks exactly. *)

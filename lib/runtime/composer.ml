@@ -54,7 +54,7 @@ end
 module Cache = Lru.Make (Tuple_key)
 
 type jit_state = {
-  mediums : Automaton.t array;
+  mutable mediums : Automaton.t array;
   cache : expanded Cache.t;
   mutable jit_current : int array;
   expansion_budget : int;
@@ -73,9 +73,9 @@ let cand_memo_capacity = 8
 
 type t = {
   strategy : strategy;
-  srcs : Iset.t;
-  snks : Iset.t;
-  cells : int;
+  mutable srcs : Iset.t;  (* mutable: {!splice} moves the boundary *)
+  mutable snks : Iset.t;
+  mutable cells : int;  (* splice appends fresh cell slots; never reused *)
   optimize : bool;
   ncand_hits : int Atomic.t;
   ncand_evictions : int Atomic.t;
@@ -511,6 +511,120 @@ let commit t (x : xtrans) =
 let ncells t = t.cells
 let sources t = t.srcs
 let sinks t = t.snks
+
+(* --- Elastic splice ------------------------------------------------------ *)
+
+exception Not_quiescent of string
+
+let live_mediums t =
+  match t.strategy with
+  | S_aot _ -> [||]
+  | S_jit js -> Array.copy js.mediums
+
+let medium_vertices acc (a : Automaton.t) = Iset.union acc a.vertices
+
+(* Replace medium slots of a live JIT composer. [retire] indexes the current
+   mediums array; [add] automata arrive raw (un-hidden, un-renumbered) and go
+   through the same preparation as at {!jit} time, with occurrence counts
+   taken across the surviving mediums so cross-medium vertices stay visible.
+   Retired mediums must be quiescent: their current local state must be
+   label-bisimilar to their initial state, so that dropping them (and letting
+   any replacement start from its own initial state) is invisible at the
+   synchronization level. The expansion cache is flushed; the JIT expander
+   rediscovers the new product states lazily — no global rebuild. Returns
+   the set of vertices that vanished from the connector (retired and no
+   longer referenced by any medium or the new boundary). *)
+let splice t ~sources ~sinks ~retire ~add =
+  match t.strategy with
+  | S_aot _ ->
+    invalid_arg
+      "Composer.splice: only JIT composers are elastic (AOT composition \
+       freezes the product; rebuild instead)"
+  | S_jit js ->
+    let k = Array.length js.mediums in
+    List.iter
+      (fun i ->
+        if i < 0 || i >= k then invalid_arg "Composer.splice: bad medium index")
+      retire;
+    let retired = Array.make k false in
+    List.iter (fun i -> retired.(i) <- true) retire;
+    Array.iteri
+      (fun i r ->
+        if r then begin
+          let a = js.mediums.(i) in
+          if not (Automaton.label_bisimilar a js.jit_current.(i) a.initial) then
+            raise
+              (Not_quiescent
+                 (Printf.sprintf
+                    "medium %d (vertices %s) is mid-protocol: local state %d \
+                     is not label-bisimilar to its initial state %d — retry \
+                     once in-flight exchanges drain"
+                    i
+                    (String.concat ","
+                       (List.map Vertex.name (Iset.elements a.vertices)))
+                    js.jit_current.(i) a.initial))
+        end)
+      retired;
+    let kept = ref [] and kept_cur = ref [] in
+    Array.iteri
+      (fun i a ->
+        if not retired.(i) then begin
+          kept := a :: !kept;
+          kept_cur := js.jit_current.(i) :: !kept_cur
+        end)
+      js.mediums;
+    let kept = List.rev !kept and kept_cur = List.rev !kept_cur in
+    (* Prepare the added mediums exactly as [jit] does, but count vertex
+       occurrences across kept ∪ added so shared vertices stay visible. *)
+    let boundary = Iset.union sources sinks in
+    let count : (Vertex.t, int) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (a : Automaton.t) ->
+        Iset.iter
+          (fun v ->
+            Hashtbl.replace count v
+              (1 + try Hashtbl.find count v with Not_found -> 0))
+          a.vertices)
+      (kept @ add);
+    let add_cooked =
+      List.map
+        (fun (a : Automaton.t) ->
+          let hidden =
+            Iset.filter
+              (fun v -> (not (Iset.mem v boundary)) && Hashtbl.find count v = 1)
+              a.vertices
+          in
+          Automaton.trim (Automaton.hide hidden a))
+        add
+    in
+    (* Fresh cell slots for the added mediums, appended after the existing
+       ones; retired mediums' slots are not reclaimed (the engine just
+       clears them), so ids stay stable for surviving mediums. *)
+    let mapping : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let freshc = ref t.cells in
+    let remap c =
+      match Hashtbl.find_opt mapping c with
+      | Some d -> d
+      | None ->
+        let d = !freshc in
+        incr freshc;
+        Hashtbl.add mapping c d;
+        d
+    in
+    let add_cooked = List.map (Automaton.map_cells remap) add_cooked in
+    let before =
+      Array.fold_left medium_vertices (Iset.union t.srcs t.snks) js.mediums
+    in
+    js.mediums <- Array.of_list (kept @ add_cooked);
+    js.jit_current <-
+      Array.of_list
+        (kept_cur @ List.map (fun (a : Automaton.t) -> a.initial) add_cooked);
+    Cache.clear js.cache;
+    t.srcs <- sources;
+    t.snks <- sinks;
+    t.cells <- !freshc;
+    let after = Array.fold_left medium_vertices boundary js.mediums in
+    Iset.diff before after
 
 let expansions t =
   match t.strategy with S_aot _ -> 0 | S_jit js -> Atomic.get js.nexpansions

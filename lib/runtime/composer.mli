@@ -82,7 +82,37 @@ val command_of : t -> xtrans -> Command.t option
     structurally unsatisfiable (the transition is never enabled). *)
 
 val ncells : t -> int
-(** Number of (densely renumbered) memory cells; engine memory size. *)
+(** Number of (densely renumbered) memory cells; engine memory size. Grows
+    when {!splice} adds mediums (fresh slots are appended, retired slots are
+    not reclaimed). *)
+
+exception Not_quiescent of string
+(** A medium slated for retirement by {!splice} is mid-protocol: its current
+    local state is not label-bisimilar to its initial state. Retry once the
+    in-flight exchanges drain. *)
+
+val live_mediums : t -> Automaton.t array
+(** JIT: the current (prepared: hidden, cell-renumbered) medium automata, in
+    slot order — positionally aligned with the raw medium list the caller
+    composed. Empty for AOT. *)
+
+val splice :
+  t ->
+  sources:Iset.t ->
+  sinks:Iset.t ->
+  retire:int list ->
+  add:Automaton.t list ->
+  Iset.t
+(** Elastic splice: retire the medium slots at the given indices (current
+    slot order, as in {!live_mediums}) and append the [add] automata (raw;
+    they get the same hiding/trimming/cell-renumbering as at {!jit} time).
+    [sources]/[sinks] become the new connector boundary. The expanded-state
+    cache is flushed; the JIT expander discovers the new product states
+    lazily — no global rebuild. Surviving mediums keep their current local
+    states; added mediums start from their initial states. Returns the set
+    of vertices that vanished (belonging only to retired mediums). Raises
+    {!Not_quiescent} if a retired medium is mid-protocol (nothing is mutated
+    in that case), [Invalid_argument] on AOT composers or bad indices. *)
 
 val sources : t -> Iset.t
 val sinks : t -> Iset.t

@@ -2,16 +2,29 @@ open Preo_support
 open Preo_automata
 
 exception Compile_failure of string
+exception Splice_error of string
 
 type t = {
   engines : Engine.t array;
   (* vertex -> owning engine *)
   route : (Vertex.t, Engine.t) Hashtbl.t;
-  sources : Vertex.t array;
-  sinks : Vertex.t array;
+  mutable sources : Vertex.t array;  (* mutable: elastic splices move the boundary *)
+  mutable sinks : Vertex.t array;
   compile_seconds : float;
   domains : int;  (* effective domain count this connector was built for *)
   pool : Pool.t option;  (* shared pool when domains > 1 *)
+  elastic : bool;  (* JIT composition — the product can be spliced live *)
+  slots : Automaton.t list ref array;
+      (* per engine: the RAW medium automata, in composer slot order (the
+         same positional order Composer.live_mediums reports); updated in
+         lockstep with every splice. Callers diff against these by physical
+         identity. *)
+  bridges : Automaton.t list;
+      (* raw mediums the partitioner replaced with cut-queue bridges: part
+         of the live connector, but owned by no engine — retiring one needs
+         a rebuild, not a splice *)
+  nsplices : int Atomic.t;
+  splice_lock : Mutex.t;  (* serializes splices (engine locks nest inside) *)
 }
 
 let hide_internals ~keep (a : Automaton.t) =
@@ -22,7 +35,7 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
   let src_set = Iset.of_list (Array.to_list sources) in
   let snk_set = Iset.of_list (Array.to_list sinks) in
   let t0 = Clock.now () in
-  let engines, routes =
+  let engines, routes, slots, bridges, elastic =
     match config with
     | Config.Existing
         {
@@ -46,7 +59,7 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
       let large = { large with sources = src_set; sinks = snk_set } in
       let comp = Composer.aot ~use_dispatch ~optimize_labels large in
       let e = Engine.create ~name:"engine0" comp in
-      ([| e |], [ (Iset.union src_set snk_set, e) ])
+      ([| e |], [ (Iset.union src_set snk_set, e) ], [| ref [] |], [], false)
     | Config.New
         {
           optimize_labels;
@@ -61,7 +74,7 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
             ~true_synchronous ~sources:src_set ~sinks:snk_set mediums
         in
         let e = Engine.create ~name:"engine0" comp in
-        ([| e |], [ (Iset.union src_set snk_set, e) ])
+        ([| e |], [ (Iset.union src_set snk_set, e) ], [| ref mediums |], [], true)
       end
       else begin
         let plan =
@@ -105,7 +118,19 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
                  (Iset.union r.r_sources r.r_sinks, engines.(i)))
                plan.regions)
         in
-        (engines, routes)
+        let slots =
+          Array.map (fun (r : Partition.region) -> ref r.mediums) plan.regions
+        in
+        (* Mediums the planner replaced with bridges live in no region. *)
+        let bridges =
+          List.filter
+            (fun a ->
+              not
+                (Array.exists (fun (r : Partition.region) -> List.memq a r.mediums)
+                   plan.regions))
+            mediums
+        in
+        (engines, routes, slots, bridges, true)
       end
   in
   let route = Hashtbl.create 32 in
@@ -127,6 +152,11 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
          spawned on it may outlive the connector. *)
       (if eff_domains > 1 then Some (Pool.default ~domains:eff_domains ())
        else None);
+    elastic;
+    slots;
+    bridges;
+    nsplices = Atomic.make 0;
+    splice_lock = Mutex.create ();
   }
 
 let engine_of t v =
@@ -141,6 +171,208 @@ let outport t v = Port.make_out (engine_of t v) v
 let inport t v = Port.make_in (engine_of t v) v
 let outports t = Array.map (outport t) t.sources
 let inports t = Array.map (inport t) t.sinks
+
+(* --- Elastic splicing --------------------------------------------------------
+   Rewiring a live connector for one task slot: retire the slot's medium
+   automata, add replacements, move the boundary — all against the running
+   product, no global rebuild. The connector tracks its raw mediums per
+   engine in composer slot order, so callers (Preo.grow/shrink) can diff a
+   fresh template instantiation against the live set and hand the delta
+   here by physical identity. *)
+
+let live_mediums t =
+  List.concat (Array.to_list (Array.map ( ! ) t.slots)) @ t.bridges
+
+let splices t = Atomic.get t.nsplices
+
+(* Engine index owning raw medium [a], by physical identity. *)
+let owner_of t a =
+  let n = Array.length t.slots in
+  let rec go i =
+    if i >= n then None
+    else if List.memq a !(t.slots.(i)) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* All vertices an engine currently touches: its composer boundary plus its
+   mediums' alphabets (splice anchoring and cross-region validation). *)
+let engine_vertices t i =
+  let comp = Engine.composer t.engines.(i) in
+  List.fold_left
+    (fun acc (a : Automaton.t) -> Iset.union acc a.vertices)
+    (Iset.union (Composer.sources comp) (Composer.sinks comp))
+    !(t.slots.(i))
+
+let array_mem v arr = Array.exists (Vertex.equal v) arr
+
+let splice t ~add ~retire ~add_sources ~add_sinks ~retire_vertices =
+  if not t.elastic then
+    raise
+      (Splice_error
+         "connector is not elastic: ahead-of-time composition (Config.Existing) \
+          freezes the product — rebuild with Config.New to splice live");
+  Mutex.lock t.splice_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.splice_lock) @@ fun () ->
+  (* Locate the retired mediums; they must all live on one engine. *)
+  List.iter
+    (fun a ->
+      if List.memq a t.bridges then
+        raise
+          (Splice_error
+             "cannot retire a partition-bridge medium: a cut queue owns it \
+              (splice-vs-rebuild boundary; rebuild the connector instead)"))
+    retire;
+  let anchor =
+    match
+      List.fold_left
+        (fun acc a ->
+          match (owner_of t a, acc) with
+          | None, _ ->
+            raise
+              (Splice_error
+                 "retired medium is not part of this connector (already \
+                  retired, or from another instantiation)")
+          | Some i, None -> Some i
+          | Some i, Some j when i = j -> acc
+          | Some _, Some _ ->
+            raise
+              (Splice_error
+                 "splice spans partition regions: the retired mediums live on \
+                  different engines (rebuild instead)"))
+        None retire
+    with
+    | Some i -> i
+    | None ->
+      if Array.length t.engines = 1 then 0
+      else begin
+        (* Pure attach on a partitioned connector: anchor to the engine
+           already owning the added mediums' shared vertices. *)
+        let shared =
+          List.fold_left
+            (fun acc (a : Automaton.t) -> Iset.union acc a.vertices)
+            Iset.empty add
+        in
+        let candidates =
+          List.filter
+            (fun i -> not (Iset.disjoint shared (engine_vertices t i)))
+            (List.init (Array.length t.engines) Fun.id)
+        in
+        match candidates with
+        | [ i ] -> i
+        | [] ->
+          raise
+            (Splice_error
+               "cannot anchor the splice: added mediums share no vertex with \
+                any region")
+        | _ ->
+          raise
+            (Splice_error
+               "splice spans partition regions: added mediums touch several \
+                engines (rebuild instead)")
+      end
+  in
+  (* Cross-region safety: the added mediums must not touch other engines'
+     vertices or bridge alphabets. *)
+  if Array.length t.engines > 1 then begin
+    let foreign = ref Iset.empty in
+    Array.iteri
+      (fun i _ ->
+        if i <> anchor then foreign := Iset.union !foreign (engine_vertices t i))
+      t.engines;
+    List.iter
+      (fun (a : Automaton.t) ->
+        foreign := Iset.union !foreign a.vertices)
+      t.bridges;
+    List.iter
+      (fun (a : Automaton.t) ->
+        if not (Iset.disjoint a.vertices !foreign) then
+          raise
+            (Splice_error
+               "added medium touches a vertex owned by another region or a \
+                partition bridge (splice-vs-rebuild boundary)"))
+      add
+  end;
+  let engine = t.engines.(anchor) in
+  Array.iter
+    (fun v ->
+      match Hashtbl.find_opt t.route v with
+      | Some e when e == engine -> ()
+      | Some _ ->
+        raise
+          (Splice_error
+             "retired boundary vertex belongs to a different region than the \
+              retired mediums")
+      | None ->
+        raise
+          (Splice_error
+             (Printf.sprintf "retired vertex %s is not on the boundary"
+                (Vertex.name v))))
+    retire_vertices;
+  (* The anchor engine's new boundary. *)
+  let comp = Engine.composer engine in
+  let retired_set = Iset.of_list (Array.to_list retire_vertices) in
+  let e_sources =
+    Array.fold_left
+      (fun acc v -> Iset.add v acc)
+      (Iset.diff (Composer.sources comp) retired_set)
+      add_sources
+  in
+  let e_sinks =
+    Array.fold_left
+      (fun acc v -> Iset.add v acc)
+      (Iset.diff (Composer.sinks comp) retired_set)
+      add_sinks
+  in
+  (* Slot indices of the retired mediums in composer order. *)
+  let slot_list = !(t.slots.(anchor)) in
+  let retire_idx =
+    List.map
+      (fun a ->
+        let rec go i = function
+          | [] -> assert false (* owner_of found it above *)
+          | x :: _ when x == a -> i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 slot_list)
+      retire
+  in
+  (* The engine validates quiescence before mutating anything, so a
+     [Composer.Not_quiescent] here leaves connector bookkeeping untouched. *)
+  Engine.splice engine ~sources:e_sources ~sinks:e_sinks ~retire:retire_idx
+    ~add;
+  t.slots.(anchor) :=
+    List.filter (fun a -> not (List.memq a retire)) slot_list @ add;
+  Array.iter (fun v -> Hashtbl.remove t.route v) retire_vertices;
+  Array.iter
+    (fun v -> if not (Hashtbl.mem t.route v) then Hashtbl.add t.route v engine)
+    add_sources;
+  Array.iter
+    (fun v -> if not (Hashtbl.mem t.route v) then Hashtbl.add t.route v engine)
+    add_sinks;
+  t.sources <-
+    Array.append
+      (Array.of_list
+         (List.filter
+            (fun v -> not (array_mem v retire_vertices))
+            (Array.to_list t.sources)))
+      add_sources;
+  t.sinks <-
+    Array.append
+      (Array.of_list
+         (List.filter
+            (fun v -> not (array_mem v retire_vertices))
+            (Array.to_list t.sinks)))
+      add_sinks;
+  Atomic.incr t.nsplices
+
+let attach t ?(retire = []) ~sources ~sinks add =
+  splice t ~add ~retire ~add_sources:sources ~add_sinks:sinks
+    ~retire_vertices:[||]
+
+let detach t ?(add = []) ?(retire = []) ~vertices () =
+  splice t ~add ~retire ~add_sources:[||] ~add_sinks:[||]
+    ~retire_vertices:vertices
 
 let steps t = Array.fold_left (fun acc e -> acc + Engine.steps e) 0 t.engines
 let compile_seconds t = t.compile_seconds
@@ -229,6 +461,7 @@ type stats = {
   st_mpsc_fast : int;
   st_batch_fires : int;
   st_domains : int;
+  st_splices : int;
 }
 
 let sum_engines t f = Array.fold_left (fun acc e -> acc + f e) 0 t.engines
@@ -255,6 +488,7 @@ let stats t =
     st_mpsc_fast = sum_engines t Engine.mpsc_fast;
     st_batch_fires = sum_engines t Engine.batch_fires;
     st_domains = t.domains;
+    st_splices = Atomic.get t.nsplices;
   }
 
 (* Exports cover every lane registered in the process — this connector's
@@ -273,9 +507,9 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "steps=%d regions=%d domains=%d expansions=%d cache-hits=%d evictions=%d \
      compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d stalls=%d \
-     wakes=%d/%d/%d mpsc=%d/%d fast=%d batch-fires=%d"
+     wakes=%d/%d/%d mpsc=%d/%d fast=%d batch-fires=%d splices=%d"
     s.st_steps s.st_regions s.st_domains s.st_expansions s.st_cache_hits
     s.st_cache_evictions s.st_compile_seconds s.st_solver_calls s.st_cond_waits
     s.st_peer_kicks s.st_cand_hits s.st_stalls s.st_wakes_targeted
     s.st_wakes_spurious s.st_wakes_broadcast s.st_mpsc_ops s.st_mpsc_batches
-    s.st_mpsc_fast s.st_batch_fires
+    s.st_mpsc_fast s.st_batch_fires s.st_splices

@@ -8,6 +8,13 @@ exception Compile_failure of string
 (** The existing approach exceeded its ahead-of-time composition budget
     (Fig. 12's "existing approach fails" cells). *)
 
+exception Splice_error of string
+(** An elastic splice was rejected structurally: the connector is not
+    elastic (AOT composition), a retired medium is unknown or owned by a
+    partition bridge, or the delta spans several partition regions. Distinct
+    from {!Composer.Not_quiescent}, which is transient (retry once traffic
+    drains) — a [Splice_error] will not succeed on retry. *)
+
 type t
 
 val create :
@@ -34,6 +41,62 @@ val outports : t -> Port.outport array
 (** In [sources] order. *)
 
 val inports : t -> Port.inport array
+
+(** {1 Elastic splicing}
+
+    Run-time task join/leave: rewire a {e live} connector for one task slot
+    without a global rebuild. Only JIT-composed connectors (the default
+    {!Config.new_jit} and partitioned {!Config.new_partitioned}) are
+    elastic. On partitioned connectors the whole delta must fall inside one
+    region and away from cut bridges; anything wider raises {!Splice_error}
+    (the splice-vs-rebuild boundary). Retired mediums must be quiescent —
+    {!Composer.Not_quiescent} is transient: retry once in-flight exchanges
+    drain. Pending operations of retired boundary vertices fail individually
+    with [Engine.Poisoned] (targeted poison); the rest of the connector
+    keeps running throughout. *)
+
+val live_mediums : t -> Automaton.t list
+(** The raw medium automata currently composing this connector, including
+    any the partitioner turned into bridges. Callers diff fresh template
+    instantiations against this list by physical identity. *)
+
+val splice :
+  t ->
+  add:Automaton.t list ->
+  retire:Automaton.t list ->
+  add_sources:Vertex.t array ->
+  add_sinks:Vertex.t array ->
+  retire_vertices:Vertex.t array ->
+  unit
+(** Core rewiring primitive. [retire] members must be physically identical
+    ([==]) to elements of {!live_mediums}; [add] automata arrive raw.
+    [add_sources]/[add_sinks] join the boundary; [retire_vertices] leave it
+    (their pending ops get targeted poison). Serialized per connector. *)
+
+val attach :
+  t ->
+  ?retire:Automaton.t list ->
+  sources:Vertex.t array ->
+  sinks:Vertex.t array ->
+  Automaton.t list ->
+  unit
+(** [attach t ~sources ~sinks mediums]: a task joins — register its fresh
+    boundary vertices and splice in its medium automata. [?retire] drops
+    mediums the new wiring replaces (e.g. a ring-closing fifo that moves). *)
+
+val detach :
+  t ->
+  ?add:Automaton.t list ->
+  ?retire:Automaton.t list ->
+  vertices:Vertex.t array ->
+  unit ->
+  unit
+(** [detach t ~retire ~vertices ()]: a task leaves — retire its mediums,
+    withdraw its boundary [vertices] (only {e its} pending ops are poisoned),
+    [?add] splices in any rewiring the remaining topology needs. *)
+
+val splices : t -> int
+(** Completed splices so far. *)
 
 val steps : t -> int
 (** Total global execution steps across all engines. *)
@@ -111,6 +174,7 @@ type stats = {
       (** transition firings obtained by replaying a committed guard-free
           self-loop — firings beyond the one found by a candidate scan *)
   st_domains : int;  (** effective domain count (see {!domains}) *)
+  st_splices : int;  (** elastic splices completed (see {!splices}) *)
 }
 
 val stats : t -> stats

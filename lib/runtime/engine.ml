@@ -141,12 +141,17 @@ type send_op = {
   s_done : bool Atomic.t;
   mutable s_w : waiter option;
   s_tid : int;
+  s_fail : string option Atomic.t;
+      (* targeted failure: set when the op's vertex is retired by an elastic
+         splice (at drain time or while queued); the owner raises [Poisoned]
+         for just this op — the rest of the connector keeps running *)
 }
 
 type recv_op = {
   r_result : Value.t option Atomic.t;
   mutable r_w : waiter option;
   r_tid : int;
+  r_fail : string option Atomic.t;
 }
 
 (* An operation published to the lock-free submission queue, before the
@@ -156,7 +161,9 @@ type sub = Sub_send of Vertex.t * send_op | Sub_recv of Vertex.t * recv_op
 type t = {
   lock : Mutex.t;
   comp : Composer.t;
-  cells : Value.t option array;
+  mutable cells : Value.t option array;
+      (** mutable: {!splice} grows the cell store when added mediums bring
+          fresh slots (never shrunk; retired slots are simply cleared) *)
   subs : sub Mpsc.t;
       (** lock-free submission queue: tasks publish operations here with a
           CAS; whichever thread next drives the engine (under the lock)
@@ -164,6 +171,10 @@ type t = {
   send_q : (Vertex.t, send_op Queue.t) Hashtbl.t;
   recv_q : (Vertex.t, recv_op Queue.t) Hashtbl.t;
   mutable base_pending : Iset.t;  (** vertices with nonempty queues *)
+  mutable retired : Iset.t;
+      (** vertices removed by elastic splices; operations arriving on them
+          (from tasks holding stale ports) fail immediately at drain time
+          instead of queueing forever *)
   gates : (Vertex.t * gate) array;
   gate_tbl : (Vertex.t, gate_entry) Hashtbl.t;
       (** O(1) view of [gates], each entry fused with the peer engine behind
@@ -247,6 +258,7 @@ let create ?(gates = []) ?(name = "engine") comp =
     send_q = Hashtbl.create 16;
     recv_q = Hashtbl.create 16;
     base_pending = Iset.empty;
+    retired = Iset.empty;
     gates = Array.of_list gates;
     gate_tbl;
     gate_pending = Iset.empty;
@@ -443,6 +455,10 @@ let check_poison t =
    submitting task's recorded thread id: the obs ring keeps its
    single-writer-under-the-engine-lock discipline even though submission
    itself no longer takes the lock. *)
+let retired_msg v =
+  Printf.sprintf "detached: port %s#%d was retired from the connector"
+    (Vertex.name v) v
+
 let drain_subs t =
   match Mpsc.pop_all t.subs with
   | [] -> false
@@ -455,15 +471,30 @@ let drain_subs t =
         incr n;
         match s with
         | Sub_send (v, op) ->
-          op.s_w <- Some (waiter_of t v);
-          Queue.push op (queue_of t.send_q v);
-          t.base_pending <- Iset.add v t.base_pending;
-          if traced then Obs.emit (obs_ring t) Obs.Submit_send ~a:v ~b:op.s_tid
+          if Iset.mem v t.retired then begin
+            (* Stale port: the vertex was spliced out. Fail just this op —
+               its owner re-checks the failure flag in its blocking loop (or
+               is woken below if already parked). *)
+            Atomic.set op.s_fail (Some (retired_msg v));
+            queue_wake t (Hashtbl.find_opt t.waiters v)
+          end
+          else begin
+            op.s_w <- Some (waiter_of t v);
+            Queue.push op (queue_of t.send_q v);
+            t.base_pending <- Iset.add v t.base_pending;
+            if traced then Obs.emit (obs_ring t) Obs.Submit_send ~a:v ~b:op.s_tid
+          end
         | Sub_recv (v, op) ->
-          op.r_w <- Some (waiter_of t v);
-          Queue.push op (queue_of t.recv_q v);
-          t.base_pending <- Iset.add v t.base_pending;
-          if traced then Obs.emit (obs_ring t) Obs.Submit_recv ~a:v ~b:op.r_tid)
+          if Iset.mem v t.retired then begin
+            Atomic.set op.r_fail (Some (retired_msg v));
+            queue_wake t (Hashtbl.find_opt t.waiters v)
+          end
+          else begin
+            op.r_w <- Some (waiter_of t v);
+            Queue.push op (queue_of t.recv_q v);
+            t.base_pending <- Iset.add v t.base_pending;
+            if traced then Obs.emit (obs_ring t) Obs.Submit_recv ~a:v ~b:op.r_tid
+          end)
       subs;
     ignore (Atomic.fetch_and_add t.nmpsc_ops !n);
     true
@@ -893,11 +924,16 @@ let untraced_submit_t = ref 0.0
    let the drainer progress. *)
 let spin_budget = 64
 
-let run_op ?deadline t ~opname ~opv ~sub ~remove ~finished ~extract =
+let run_op ?deadline ?(publish = true) t ~opname ~opv ~sub ~remove ~finished
+    ~failed ~extract =
   trace "entry";
   (match Atomic.get t.poison_flag with
    | Some msg -> raise (Poisoned msg)
    | None -> ());
+  let check_failed () =
+    match failed () with Some msg -> raise (Poisoned msg) | None -> ()
+  in
+  check_failed ();
   (* One flag read when tracing is off; the op's whole lifecycle shares the
      decision so submit/complete events always pair up. *)
   let traced = !Obs.tracing in
@@ -909,8 +945,10 @@ let run_op ?deadline t ~opname ~opv ~sub ~remove ~finished ~extract =
   (* Publish the operation lock-free: from here on, whichever thread next
      drives the engine installs — and may complete — it. The op's Submit
      trace event is emitted by that drainer (under the lock, preserving the
-     ring's single-writer discipline), stamped with our thread id. *)
-  Mpsc.push t.subs sub;
+     ring's single-writer discipline), stamped with our thread id.
+     [publish = false] re-enters the wait for an op that is already
+     installed (the batch retry path). *)
+  if publish then Mpsc.push t.subs sub;
   trace "published";
   let locked = ref false in
   let fast_done =
@@ -1035,6 +1073,7 @@ let run_op ?deadline t ~opname ~opv ~sub ~remove ~finished ~extract =
       let rec loop () =
         trace "loop";
         check_poison t;
+        check_failed ();
         if finished () then Ok (extract ())
         else begin
           trace "driving";
@@ -1101,17 +1140,18 @@ let run_op ?deadline t ~opname ~opv ~sub ~remove ~finished ~extract =
 
 let new_send_op value =
   { sv = value; s_done = Atomic.make false; s_w = None;
-    s_tid = Thread.id (Thread.self ()) }
+    s_tid = Thread.id (Thread.self ()); s_fail = Atomic.make None }
 
 let new_recv_op () =
   { r_result = Atomic.make None; r_w = None;
-    r_tid = Thread.id (Thread.self ()) }
+    r_tid = Thread.id (Thread.self ()); r_fail = Atomic.make None }
 
 let send_opt ?deadline t v value =
   let op = new_send_op value in
   run_op ?deadline t ~opname:"send" ~opv:v ~sub:(Sub_send (v, op))
     ~remove:(fun () -> withdraw t t.send_q v (fun o -> o == op))
     ~finished:(fun () -> Atomic.get op.s_done)
+    ~failed:(fun () -> Atomic.get op.s_fail)
     ~extract:(fun () -> ())
 
 let recv_opt ?deadline t v =
@@ -1119,6 +1159,7 @@ let recv_opt ?deadline t v =
   run_op ?deadline t ~opname:"recv" ~opv:v ~sub:(Sub_recv (v, op))
     ~remove:(fun () -> withdraw t t.recv_q v (fun o -> o == op))
     ~finished:(fun () -> Atomic.get op.r_result <> None)
+    ~failed:(fun () -> Atomic.get op.r_fail)
     ~extract:(fun () ->
       match Atomic.get op.r_result with Some x -> x | None -> assert false)
 
@@ -1139,23 +1180,37 @@ let recv ?deadline t v =
    last op finishing implies all the earlier ones have. MPSC pushes from
    one producer keep their order, so the k ops land in the vertex queue in
    submission order. No [?deadline]: a partially completed batch has no
-   sensible withdraw semantics. *)
+   sensible withdraw semantics. The empty batch ([send_many _ _ []],
+   [recv_many _ _ 0]) is a documented no-op — churn code computes batch
+   sizes at run time and zero must not trip anything. [last_of] is only
+   reached with a nonempty list; the [invalid_arg] is a belt-and-braces
+   guard, not an API surface. *)
 
 let rec last_of = function
   | [ x ] -> x
   | _ :: rest -> last_of rest
   | [] -> invalid_arg "Engine: empty batch"
 
-let wait_last ?prefix t ~opname ~opv ~sub ~finished =
+let wait_last ?prefix t ~opname ~opv ~sub ~finished ~failed =
   (match prefix with
    | Some subs -> List.iter (fun s -> Mpsc.push t.subs s) subs
    | None -> ());
-  match
-    run_op t ~opname ~opv ~sub ~remove:(fun () -> ()) ~finished
-      ~extract:(fun () -> ())
-  with
-  | Ok () -> ()
-  | Error _ -> assert false (* no deadline, no watchdog report returned *)
+  let rec wait publish =
+    match
+      run_op ~publish t ~opname ~opv ~sub ~remove:(fun () -> ()) ~finished
+        ~failed ~extract:(fun () -> ())
+    with
+    | Ok () -> ()
+    | Error report ->
+      (* A stall report came back for a no-deadline batch op (the watchdog
+         path). run_op already recorded it (st_stalls, last_stall); the op
+         itself is still queued — [remove] is a no-op — so keep waiting
+         instead of aborting the process. [publish = false]: the op must
+         not be resubmitted. *)
+      ignore report;
+      wait false
+  in
+  wait true
 
 let send_many t v values =
   match values with
@@ -1169,7 +1224,8 @@ let send_many t v values =
         ops
     in
     wait_last t ~prefix ~opname:"send" ~opv:v ~sub:(Sub_send (v, last))
-      ~finished:(fun () -> Atomic.get last.s_done);
+      ~finished:(fun () -> Atomic.get last.s_done)
+      ~failed:(fun () -> Atomic.get last.s_fail);
     (* Keep Submit/Complete pairing for the whole batch in traces: run_op
        emitted Complete for the last op only. Under the lock, like every
        ring write. *)
@@ -1194,7 +1250,8 @@ let recv_many t v k =
         ops
     in
     wait_last t ~prefix ~opname:"recv" ~opv:v ~sub:(Sub_recv (v, last))
-      ~finished:(fun () -> Atomic.get last.r_result <> None);
+      ~finished:(fun () -> Atomic.get last.r_result <> None)
+      ~failed:(fun () -> Atomic.get last.r_fail);
     if !Obs.tracing then begin
       Mutex.lock t.lock;
       List.iter
@@ -1220,10 +1277,14 @@ let try_send t v value =
   let result =
     try
       check_poison t;
+      if Iset.mem v t.retired then raise (Poisoned (retired_msg v));
       (* Install concurrently published ops first, so our direct enqueue
          does not jump ahead of operations submitted before us. *)
       ignore (drain_subs t);
-      let op = { sv = value; s_done = Atomic.make false; s_w = None; s_tid = 0 } in
+      let op =
+        { sv = value; s_done = Atomic.make false; s_w = None; s_tid = 0;
+          s_fail = Atomic.make None }
+      in
       Queue.push op (queue_of t.send_q v);
       add_pending t v;
       let _ = drive t in
@@ -1247,8 +1308,12 @@ let try_recv t v =
   let result =
     try
       check_poison t;
+      if Iset.mem v t.retired then raise (Poisoned (retired_msg v));
       ignore (drain_subs t);
-      let op = { r_result = Atomic.make None; r_w = None; r_tid = 0 } in
+      let op =
+        { r_result = Atomic.make None; r_w = None; r_tid = 0;
+          r_fail = Atomic.make None }
+      in
       Queue.push op (queue_of t.recv_q v);
       add_pending t v;
       let _ = drive t in
@@ -1283,6 +1348,73 @@ let try_step t =
   flush_kicks t;
   Mutex.unlock t.lock;
   fired
+
+(* --- Elastic splice ----------------------------------------------------------
+   Rewire the live composer under the engine lock: retire medium slots,
+   append fresh ones, move the boundary. The composer validates quiescence
+   (label-bisimilarity of each retired medium's current state to its initial
+   state) before mutating anything, so a [Composer.Not_quiescent] leaves the
+   engine untouched and the caller free to retry. After a successful splice:
+   ops queued on vanished vertices fail individually (targeted poison — the
+   rest of the connector keeps running), future ops on them fail at drain
+   time via [retired], the cell store grows to cover the added mediums'
+   fresh slots, and every parked op is woken to re-examine the rewired
+   engine. *)
+let splice t ~sources ~sinks ~retire ~add =
+  Mutex.lock t.lock;
+  (try
+     check_poison t;
+     (* Install everything already published, so queued ops on soon-dead
+        vertices are visible to the targeted-failure sweep below. *)
+     ignore (drain_subs t);
+     let dead = Composer.splice t.comp ~sources ~sinks ~retire ~add in
+     t.retired <- Iset.union t.retired dead;
+     let n = Composer.ncells t.comp in
+     if n > Array.length t.cells then begin
+       let cells = Array.make n None in
+       Array.blit t.cells 0 cells 0 (Array.length t.cells);
+       t.cells <- cells
+     end;
+     Iset.iter
+       (fun v ->
+         let msg = retired_msg v in
+         (match Hashtbl.find_opt t.send_q v with
+          | Some q ->
+            Queue.iter (fun op -> Atomic.set op.s_fail (Some msg)) q;
+            Queue.clear q;
+            Hashtbl.remove t.send_q v
+          | None -> ());
+         (match Hashtbl.find_opt t.recv_q v with
+          | Some q ->
+            Queue.iter (fun op -> Atomic.set op.r_fail (Some msg)) q;
+            Queue.clear q;
+            Hashtbl.remove t.recv_q v
+          | None -> ());
+         t.base_pending <- Iset.remove v t.base_pending;
+         (* Wake this vertex's parked owners before dropping the table
+            entry — [wake_all] below iterates the table, so anything
+            removed here would sleep through the broadcast. *)
+         (match Hashtbl.find_opt t.waiters v with
+          | Some w when w.w_parked > 0 -> Condition.broadcast w.w_cond
+          | _ -> ());
+         Hashtbl.remove t.waiters v)
+       dead;
+     invalidate_gates t;
+     (* The product changed shape: wake everything so each parked op
+        re-examines the rewired engine (failed ops raise, survivors re-park
+        or complete against the new transitions). Splices are rare; the
+        broadcast cost is irrelevant next to the rewiring itself. *)
+     wake_all t;
+     flush_wakes t
+   with e -> unlock_raise t e);
+  flush_kicks t;
+  Mutex.unlock t.lock
+
+let retired_vertices t =
+  Mutex.lock t.lock;
+  let r = t.retired in
+  Mutex.unlock t.lock;
+  r
 
 (* Public poisoning propagates transitively through partitioned peers so a
    whole multi-region connector shuts down from any one engine; the atomic

@@ -106,11 +106,15 @@ val send_many : t -> Preo_automata.Vertex.t -> Value.t list -> unit
     one vertex complete in FIFO order, so the last completing implies all
     did. One lock-free publication per op, at most one park path for the
     whole batch. No deadline: a partially completed batch has no sensible
-    withdraw semantics. *)
+    withdraw semantics — under the global stall watchdog
+    ({!Config.stall_threshold}) a slow batch records stall reports
+    ({!last_stall}, the [st_stalls] counter) and keeps waiting. The empty
+    batch ([[]]) is a no-op: callers computing batch sizes at run time (as
+    churn code does) need no special-casing. *)
 
 val recv_many : t -> Preo_automata.Vertex.t -> int -> Value.t list
 (** Batch receive of [k] values, in arrival order (see {!send_many}).
-    [k <= 0] returns []. *)
+    [k <= 0] is a no-op returning [[]]. *)
 
 val try_send : t -> Preo_automata.Vertex.t -> Preo_support.Value.t -> bool
 (** Nonblocking send: fires whatever the offer enables and reports whether
@@ -165,6 +169,29 @@ val batch_fires : t -> int
 (** Extra transition firings obtained by replaying a committed guard-free
     self-loop while its needed vertices stayed ready — firings beyond the
     one the candidate scan found (one scan, k data moves). *)
+
+val splice :
+  t ->
+  sources:Iset.t ->
+  sinks:Iset.t ->
+  retire:int list ->
+  add:Preo_automata.Automaton.t list ->
+  unit
+(** Elastic splice (see {!Composer.splice}): retire the given medium slots,
+    add the raw automata, move the boundary to [sources]/[sinks] — all
+    under the engine lock, against the live product. Quiescence of retired
+    mediums is validated before anything mutates, so
+    {!Composer.Not_quiescent} leaves the engine unchanged (retry once
+    in-flight exchanges drain). On success: operations pending on vanished
+    vertices fail with {!Poisoned} {e individually} (targeted poison — the
+    rest of the connector keeps running), later operations on them (stale
+    ports) fail at submission-drain time, the connector memory grows to
+    cover the added mediums' cells, and every parked operation is woken to
+    re-examine the rewired engine. *)
+
+val retired_vertices : t -> Iset.t
+(** Vertices removed by elastic splices so far: operations on them fail
+    immediately instead of queueing forever. *)
 
 val poison : t -> string -> unit
 (** Wake all blocked operations with {!Poisoned}. Propagates transitively

@@ -9,16 +9,32 @@
    earlier wake-up writes one byte to the pipe to cut the sleep short.
    Entries are dropped once fired, so memory is bounded by the number of
    outstanding deadlines. Nothing here runs unless a wake-up is registered,
-   so deadline-free programs pay nothing. *)
+   so deadline-free programs pay nothing.
+
+   Lifecycle: everything thread-specific — pipe, thread handle, stop flag —
+   lives in one [state] record that [shutdown] detaches atomically under
+   [lock]. A [register] racing a [shutdown] therefore sees either the old
+   state (its entry is dropped with the rest, exactly as if it had lost the
+   race outright and registered just before) or no state at all, in which
+   case it starts a fresh thread that services it. The old failure mode —
+   an entry added between shutdown's join and its state reset, poking a
+   dying thread's pipe and then sitting in [entries] with nothing to fire
+   it — cannot happen: the dying thread's state is unreachable the moment
+   shutdown's first locked section ends. *)
 
 type handle = int
+
+type state = {
+  s_rd : Unix.file_descr;
+  s_wr : Unix.file_descr;
+  s_thread : Thread.t;
+  s_stop : bool ref;  (* under [lock]; tells this thread (only) to exit *)
+}
 
 let lock = Mutex.create ()
 let entries : (handle * float * (unit -> unit)) list ref = ref []
 let next_handle = ref 0
-let pipe_ref : (Unix.file_descr * Unix.file_descr) option ref = ref None
-let thread_ref : Thread.t option ref = ref None
-let stopping = ref false  (* under [lock]; tells the thread to exit *)
+let state : state option ref = ref None
 
 (* The wake-up time the thread is currently sleeping towards (under [lock]);
    registrations later than this need no self-pipe poke — the thread will
@@ -37,10 +53,10 @@ let drain fd =
   in
   go ()
 
-let rec thread_fn rd () =
+let rec thread_fn stop rd () =
   let now = Unix.gettimeofday () in
   Mutex.lock lock;
-  if !stopping then Mutex.unlock lock (* exit; shutdown drops the state *)
+  if !stop then Mutex.unlock lock (* exit; shutdown closes the detached fds *)
   else begin
     let due, rest = List.partition (fun (_, at, _) -> at <= now) !entries in
     entries := rest;
@@ -54,31 +70,29 @@ let rec thread_fn rd () =
     (match restart_eintr (fun () -> Unix.select [ rd ] [] [] timeout) with
      | [ _ ], _, _ -> drain rd
      | _ -> ());
-    thread_fn rd ()
+    thread_fn stop rd ()
   end
 
+(* Caller holds [lock] and has checked [!state = None]. *)
+let start_locked () =
+  let rd, wr = Unix.pipe () in
+  let stop = ref false in
+  next_wake := infinity;
+  state := Some { s_rd = rd; s_wr = wr; s_thread = Thread.create (thread_fn stop rd) (); s_stop = stop }
+
 (* Caller holds [lock]. *)
-let wake_pipe () =
-  match !pipe_ref with
-  | Some (_, wr) ->
-    (try ignore (restart_eintr (fun () -> Unix.write wr (Bytes.make 1 'x') 0 1))
-     with _ -> ())
-  | None ->
-    let rd, wr = Unix.pipe () in
-    pipe_ref := Some (rd, wr);
-    stopping := false;
-    thread_ref := Some (Thread.create (thread_fn rd) ())
+let poke s =
+  try ignore (restart_eintr (fun () -> Unix.write s.s_wr (Bytes.make 1 'x') 0 1))
+  with _ -> ()
 
 let register at f =
   Mutex.lock lock;
   incr next_handle;
   let h = !next_handle in
   entries := (h, at, f) :: !entries;
-  if at < !next_wake then begin
-    next_wake := at;
-    wake_pipe ()
-  end
-  else if !pipe_ref = None then wake_pipe ();
+  (match !state with
+   | Some s -> if at < !next_wake then begin next_wake := at; poke s end
+   | None -> start_locked ());
   Mutex.unlock lock;
   h
 
@@ -95,32 +109,28 @@ let cancel h =
   Mutex.unlock lock
 
 (* Stop and join the timer thread, dropping outstanding registrations (their
-   callbacks never run). The module stays usable: the next [register]
-   lazily starts a fresh thread. Mainly for tests, which can now assert the
-   thread does not leak across suite runs. *)
+   callbacks never run). Detaching the whole state record under one lock
+   section makes this idempotent and safe against concurrent [register]s:
+   once the section ends, no other caller can reach the dying thread's pipe
+   or stop flag, so a register observing [None] simply starts a replacement
+   thread. The fds are closed only after the join, when the exited thread
+   can no longer select on them, and without the lock — nothing else holds a
+   reference to the detached state. *)
 let shutdown () =
   Mutex.lock lock;
-  let joinable = !thread_ref in
-  let pipe = !pipe_ref in
-  (match pipe with
-   | Some _ ->
-     stopping := true;
+  let st = !state in
+  (match st with
+   | Some s ->
+     s.s_stop := true;
      entries := [];
      next_wake := infinity;
-     wake_pipe () (* cut the select short so the thread sees [stopping] *)
+     poke s; (* cut the select short so the thread sees its stop flag *)
+     state := None
    | None -> ());
-  thread_ref := None;
   Mutex.unlock lock;
-  (match joinable with Some th -> Thread.join th | None -> ());
-  Mutex.lock lock;
-  (* Close fds only after the join: the thread can no longer select on them. *)
-  (match pipe with
-   | Some (rd, wr) ->
-     if !pipe_ref = pipe then begin
-       pipe_ref := None;
-       stopping := false;
-       (try Unix.close rd with _ -> ());
-       (try Unix.close wr with _ -> ())
-     end
-   | None -> ());
-  Mutex.unlock lock
+  match st with
+  | Some s ->
+    Thread.join s.s_thread;
+    (try Unix.close s.s_rd with _ -> ());
+    (try Unix.close s.s_wr with _ -> ())
+  | None -> ()

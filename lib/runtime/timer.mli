@@ -26,7 +26,11 @@ val wake_at : float -> (unit -> unit) -> unit
 
 val shutdown : unit -> unit
 (** Stop and join the timer thread, dropping outstanding registrations
-    (their callbacks never run). No-op when the thread was never started.
-    The module stays usable afterwards: the next {!register} starts a fresh
-    thread. Intended for tests, so the timer thread can be joined instead of
-    leaking across suite runs. *)
+    (their callbacks never run). No-op when the thread was never started;
+    idempotent, and safe to race with {!register} from other threads: a
+    concurrent registration either lands before the cut (and is dropped with
+    the rest) or observes no timer thread and starts a fresh one that will
+    service it — it is never silently stranded. The module stays usable
+    afterwards: the next {!register} starts a fresh thread. Intended for
+    tests, so the timer thread can be joined instead of leaking across suite
+    runs. *)

@@ -117,6 +117,20 @@ let handsync_channel_fifo () =
     Alcotest.(check int) "order" i (Preo_npb.Handsync.recv c)
   done
 
+(* Autoscaling EP: the slave pool grows and shrinks mid-run through elastic
+   splices, and the estimate must still be bit-identical to a sequential
+   evaluation of the same chunks. *)
+let ep_elastic_verify () =
+  Alcotest.(check bool) "autoscaled estimate exact" true
+    (Preo_npb.Ep_elastic.verify Preo_npb.Workloads.S)
+
+let ep_elastic_scales () =
+  let r = Preo_npb.Ep_elastic.run ~schedule:[ 1; 3; 2 ] ~cls:Preo_npb.Workloads.S () in
+  Alcotest.(check int) "peak pool size" 3 r.Preo_npb.Ep_elastic.peak_slaves;
+  Alcotest.(check bool) "spliced while scaling" true
+    (r.Preo_npb.Ep_elastic.splices >= 6);
+  Alcotest.(check bool) "communicated" true (r.Preo_npb.Ep_elastic.comm_steps > 0)
+
 let tests =
   [
     ("cg hand=reo", `Quick, cg_verify);
@@ -135,4 +149,6 @@ let tests =
     ("handsync barrier", `Quick, handsync_barrier_cycles);
     ("handsync reducer", `Quick, handsync_reducer_rank_order);
     ("handsync channel", `Quick, handsync_channel_fifo);
+    ("ep autoscaled exact", `Quick, ep_elastic_verify);
+    ("ep autoscaling schedule", `Quick, ep_elastic_scales);
   ]

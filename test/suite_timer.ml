@@ -82,6 +82,49 @@ let shutdown_joins_and_restarts () =
     (wait_for (fun () -> Atomic.get fired));
   Timer.shutdown ()
 
+(* Hammer shutdown against concurrent registers: every registration must
+   either be dropped by a shutdown cut or fire — none may be silently
+   stranded on a dead thread. After the storm the module must still work. *)
+let shutdown_register_storm () =
+  let fired = Atomic.make 0 and registered = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let registrar () =
+    while not (Atomic.get stop) do
+      ignore
+        (Timer.register
+           (Unix.gettimeofday () +. 0.001)
+           (fun () -> ignore (Atomic.fetch_and_add fired 1)));
+      ignore (Atomic.fetch_and_add registered 1);
+      Thread.yield ()
+    done
+  in
+  let shutter () =
+    while not (Atomic.get stop) do
+      Timer.shutdown ();
+      Thread.yield ()
+    done
+  in
+  let ts =
+    List.map
+      (fun f -> Thread.create f ())
+      [ registrar; registrar; shutter; shutter ]
+  in
+  Thread.delay 0.5;
+  Atomic.set stop true;
+  List.iter Thread.join ts;
+  Timer.shutdown ();
+  Alcotest.(check bool) "storm registered plenty" true
+    (Atomic.get registered > 100);
+  (* Liveness after the storm: a fresh registration restarts the thread. *)
+  let after = Atomic.make false in
+  ignore
+    (Timer.register
+       (Unix.gettimeofday () +. 0.02)
+       (fun () -> Atomic.set after true));
+  Alcotest.(check bool) "timer still live after storm" true
+    (wait_for (fun () -> Atomic.get after));
+  Timer.shutdown ()
+
 let tests =
   [
     ("past deadline fires immediately", `Quick, past_deadline_fires_immediately);
@@ -89,4 +132,5 @@ let tests =
     ("identical deadlines both fire", `Quick, identical_deadlines_both_fire);
     ("cancel one of two keeps the other", `Quick, cancel_one_of_two_keeps_the_other);
     ("shutdown joins and restarts", `Quick, shutdown_joins_and_restarts);
+    ("shutdown/register storm", `Quick, shutdown_register_storm);
   ]

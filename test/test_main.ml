@@ -26,6 +26,7 @@ let () =
       ("random-networks", Suite_random.tests);
       ("npb", Suite_npb.tests);
       ("timer", Suite_timer.tests);
+      ("elastic", Suite_elastic.tests);
       ("domains", Suite_domains.tests);
       ("obs", Suite_obs.tests);
     ]
