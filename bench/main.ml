@@ -13,14 +13,14 @@ open Preo_support
 
 let sections =
   [ "fig12"; "fig13"; "fig13-blowup"; "npb-mc"; "abl-opt"; "abl-cache";
-    "abl-part"; "obs"; "elastic"; "micro" ]
+    "abl-part"; "obs"; "elastic"; "coloring"; "micro" ]
 
 (* Representative connector families for the steps/s micro bench: picked to
    exercise deep pending sets (sequencer), partitionable pipelines
    (relay_ring), wide synchronization (broadcast_fifo, gather), and token
    circulation (token_ring). BENCH_baseline.json is regenerated from these
-   rows (plus the elastic churn rows) via
-   `--only micro,elastic --json BENCH_baseline.json`. *)
+   rows (plus the elastic churn and coloring scaling rows) via
+   `--only micro,elastic,coloring --json BENCH_baseline.json`. *)
 let micro_families =
   [ ("sequencer", 8); ("relay_ring", 6); ("broadcast_fifo", 8);
     ("token_ring", 8); ("gather", 8) ]
@@ -55,12 +55,16 @@ type opts = {
   json : string option;
   compare : (string * string) option;
   domains : int;  (* domain count for the `Multi (…-mc) rows and fig13 *)
+  backend : Preo_runtime.Sched.backend option;
+      (* process-default backend for every section; the coloring section
+         always pins its three configs explicitly *)
 }
 
 let parse_args () =
   let full = ref false and only = ref [] and detail = ref false in
   let json = ref None in
   let domains = ref 2 in
+  let backend = ref None in
   let cmp_old = ref "" and cmp_new = ref None in
   let set_only s = only := String.split_on_char ',' s in
   let spec =
@@ -73,9 +77,12 @@ let parse_args () =
       ("--domains", Arg.Set_int domains,
        "N domain count for the multicore micro rows (new-partitioned-mc); \
         default 2, clamped to the runtime cap");
+      ("--backend", Arg.String (fun b -> backend := Some b),
+       "B execution backend for every run: automata (default) or coloring \
+        (the coloring section always measures both explicitly)");
       ("--json", Arg.String (fun f -> json := Some f),
-       "FILE dump the micro and elastic steps/s rows as JSON (baseline \
-        format, see EXPERIMENTS.md)");
+       "FILE dump the micro, elastic and coloring steps/s rows as JSON \
+        (baseline format, see EXPERIMENTS.md)");
       ("--compare",
        Arg.Tuple
          [ Arg.Set_string cmp_old; Arg.String (fun f -> cmp_new := Some f) ],
@@ -85,6 +92,31 @@ let parse_args () =
   in
   Arg.parse spec (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
     "preo benchmark harness";
+  (* Unknown operands exit 2 with usage instead of silently running an empty
+     selection. *)
+  let invalid fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "bench: %s\n" msg;
+        Arg.usage spec "preo benchmark harness";
+        exit 2)
+      fmt
+  in
+  List.iter
+    (fun s ->
+      if not (List.mem s sections) then
+        invalid "--only %s: unknown section (expected a subset of %s)" s
+          (String.concat "," sections))
+    !only;
+  let backend =
+    match !backend with
+    | None -> None
+    | Some b -> begin
+      match Preo_runtime.Sched.of_string b with
+      | Some _ as bk -> bk
+      | None -> invalid "--backend %s: expected 'automata' or 'coloring'" b
+    end
+  in
   {
     full = !full;
     only = !only;
@@ -92,6 +124,7 @@ let parse_args () =
     json = !json;
     compare = (match !cmp_new with Some n -> Some (!cmp_old, n) | None -> None);
     domains = max 1 !domains;
+    backend;
   }
 
 let wants opts name = opts.only = [] || List.mem name opts.only
@@ -591,7 +624,7 @@ let obs_overhead opts =
   Printf.printf "tracing-on overhead: %.1f%%\n" (100.0 *. (1.0 -. (on /. off)))
 
 (* ------------------------------------------------------------------ *)
-(* Shared --json row emission (schema 6)                               *)
+(* Shared --json row emission (schema 7)                               *)
 (* ------------------------------------------------------------------ *)
 
 let stats_json (st : Preo_runtime.Connector.stats) =
@@ -604,19 +637,124 @@ let stats_json (st : Preo_runtime.Connector.stats) =
        \"st_cand_hits\": %d, \"st_stalls\": %d, \"st_wakes_targeted\": %d, \
        \"st_wakes_spurious\": %d, \"st_wakes_broadcast\": %d, \
        \"st_mpsc_ops\": %d, \"st_mpsc_batches\": %d, \"st_mpsc_fast\": %d, \
-       \"st_batch_fires\": %d, \"st_splices\": %d}"
+       \"st_batch_fires\": %d, \"st_splices\": %d, \"st_color_rounds\": %d, \
+       \"st_color_iters\": %d}"
       st.st_steps st.st_regions st.st_domains st.st_expansions st.st_cache_hits
       st.st_cache_evictions st.st_compile_seconds st.st_solver_calls
       st.st_cond_waits st.st_peer_kicks st.st_cand_hits st.st_stalls
       st.st_wakes_targeted st.st_wakes_spurious st.st_wakes_broadcast
       st.st_mpsc_ops st.st_mpsc_batches st.st_mpsc_fast st.st_batch_fires
-      st.st_splices)
+      st.st_splices st.st_color_rounds st.st_color_iters)
 
 let json_row ~family ~n ~config ~rate ~stats =
   Printf.sprintf
     "    {\"family\": %S, \"n\": %d, \"config\": %S, \"steps_per_s\": %.1f, \
      \"stats\": %s}"
     family n config rate (stats_json stats)
+
+(* ------------------------------------------------------------------ *)
+(* COLORING: three-way backend scaling                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The connector-coloring backend against both automata pipelines at sizes
+   where product composition stops being viable. lossy_bcast is the §V-C
+   exponential-choice shape (2^N synchronized subsets): ahead-of-time
+   composition and JIT expansion both trip their budgets long before
+   N=1024, while coloring resolves rounds in work proportional to the
+   connector graph. broadcast_fifo + ordered_merger are the NPB master–
+   slaves building blocks (EP/CG scatter and gather); sequencer is the
+   deep-pending-set baseline. *)
+let coloring_bench opts =
+  Tablefmt.rule "COLORING: backend scaling (steps per second, no-op tasks)";
+  let window = if opts.full then 0.5 else 0.12 in
+  let budget = if opts.full then 2_000_000 else 200_000 in
+  Printf.printf
+    "existing = ahead-of-time product   new-jit = lazy product expansion\n\
+     coloring = per-round 2-coloring propagation (no product states at all)\n\
+     window = %.2fs per cell; expansion/propagation budget = %d\n\n"
+    window budget;
+  let existing_config =
+    Preo_runtime.Config.Existing
+      { use_dispatch = true; optimize_labels = true; max_states = 50_000;
+        max_trans = 200_000;
+        max_compile_seconds = (if opts.full then 10.0 else 2.0);
+        true_synchronous = false }
+  in
+  let jit_config ~budget =
+    Preo_runtime.Config.New
+      { optimize_labels = true; cache_capacity = 0;
+        expansion_budget = budget; partition = false;
+        true_synchronous = false }
+  in
+  (* On exponential-choice families the JIT cell exists to document the
+     budget trip, and each counted combination costs O(N) set work — at
+     N=1024 a full-budget trip takes minutes while holding the engine lock.
+     Shrink the budget with N so the (inevitable) failure is prompt; the
+     coloring cell keeps the full budget as its propagation backstop. *)
+  let configs (e : Preo_connectors.Catalog.entry) n =
+    let jit_budget =
+      if e.Preo_connectors.Catalog.exponential_choice then
+        max 2_000 (budget * 16 / n)
+      else budget
+    in
+    [
+      ("existing", existing_config, None);
+      ("new-jit", jit_config ~budget:jit_budget,
+       Some Preo_runtime.Sched.Automata);
+      ("coloring", jit_config ~budget, Some Preo_runtime.Sched.Coloring);
+    ]
+  in
+  let families =
+    [ "lossy_bcast"; "broadcast_fifo"; "sequencer"; "ordered_merger" ]
+  in
+  let ns = [ 16; 64; 256; 1024 ] in
+  let json_rows = ref [] in
+  let rows =
+    List.concat_map
+      (fun fname ->
+        let e = Preo_connectors.Catalog.find fname in
+        List.concat_map
+          (fun n ->
+            List.map
+              (fun (cname, config, backend) ->
+                match
+                  Preo_connectors.Driver.run_noop ~config ?backend
+                    ~seconds:window e ~n
+                with
+                | Preo_connectors.Driver.Steps
+                    { steps; run_seconds; stats = st; _ } ->
+                  let rate = float_of_int steps /. run_seconds in
+                  json_rows :=
+                    json_row ~family:fname ~n ~config:cname ~rate ~stats:st
+                    :: !json_rows;
+                  Printf.eprintf "[coloring] %-16s N=%-4d %-9s %.0f steps/s\n%!"
+                    fname n cname rate;
+                  Preo_runtime.Connector.
+                    [ fname; string_of_int n; cname;
+                      Printf.sprintf "%.0f" rate;
+                      string_of_int st.st_color_rounds;
+                      (if st.st_color_rounds = 0 then "-"
+                       else
+                         Printf.sprintf "%.1f"
+                           (float_of_int st.st_color_iters
+                           /. float_of_int st.st_color_rounds)) ]
+                | Preo_connectors.Driver.Compile_failed _ ->
+                  Printf.eprintf "[coloring] %-16s N=%-4d %-9s COMPILE-FAIL\n%!"
+                    fname n cname;
+                  [ fname; string_of_int n; cname; "COMPILE-FAIL"; "-"; "-" ]
+                | Preo_connectors.Driver.Run_failed _ ->
+                  Printf.eprintf "[coloring] %-16s N=%-4d %-9s RUN-FAIL\n%!"
+                    fname n cname;
+                  [ fname; string_of_int n; cname; "RUN-FAIL"; "-"; "-" ])
+              (configs e n))
+          ns)
+      families
+  in
+  Tablefmt.print
+    ~header:
+      [ "family"; "N"; "backend"; "steps/s"; "color-rounds"; "iters/round" ]
+    rows;
+  List.rev !json_rows
 
 (* ------------------------------------------------------------------ *)
 (* ELASTIC: run-time join/leave churn                                  *)
@@ -931,6 +1069,7 @@ let () =
     compare_baselines old_path new_path;
     exit 0
   | None -> ());
+  Preo.set_backend opts.backend;
   let t0 = Clock.now () in
   if wants opts "fig12" then fig12 opts;
   if wants opts "fig13" then fig13 opts;
@@ -942,6 +1081,7 @@ let () =
   if wants opts "obs" then obs_overhead opts;
   let json_rows = ref [] in
   if wants opts "elastic" then json_rows := !json_rows @ elastic_bench opts;
+  if wants opts "coloring" then json_rows := !json_rows @ coloring_bench opts;
   if wants opts "micro" then begin
     json_rows := !json_rows @ micro_steps opts;
     micro opts
@@ -950,7 +1090,7 @@ let () =
   | Some path when !json_rows <> [] ->
     let oc = open_out path in
     Printf.fprintf oc
-      "{\n  \"schema_version\": 6,\n  \"window_seconds\": %.2f,\n  \
+      "{\n  \"schema_version\": 7,\n  \"window_seconds\": %.2f,\n  \
        \"rows\": [\n%s\n  ]\n}\n"
       (if opts.full then 1.0 else 0.5)
       (String.concat ",\n" !json_rows);

@@ -18,8 +18,11 @@
                                        deadlock/property check the composition
      preoc template FILE CONN          show the compile-time share
      preoc emit FILE CONN              generate a standalone OCaml module
-     preoc simulate FILE CONN K=N ... [--deadline SECS] [--trace OUT]
+     preoc simulate FILE CONN K=N ... [--backend B] [--deadline SECS]
+                                      [--trace OUT]
                                        run with port-spamming tasks for 1s;
+                                       --backend automata or coloring selects
+                                       the round scheduler;
                                        with --deadline, a blocked operation
                                        times out and prints a stall report;
                                        with --trace, record under tracing and
@@ -43,8 +46,9 @@ let usage () =
   prerr_endline
     "usage: preoc \
      {check|print|fmt|flatten|eval|automaton|dot|graph|trace|verify|template|\
-     emit|simulate} FILE [CONNECTOR] [ARR=N ...] [--deadline SECS] [--trace \
-     OUT] [--json OUT] [--metrics] [--prop P]\n\
+     emit|simulate} FILE [CONNECTOR] [ARR=N ...] [--backend \
+     {automata|coloring}] [--deadline SECS] [--trace OUT] [--json OUT] \
+     [--metrics] [--prop P]\n\
      \       preoc catalog";
   exit 2
 
@@ -308,23 +312,30 @@ let main () =
        connector is poisoned with the report attached, so this doubles as a
        runtime deadlock detector for protocols too big to verify
        statically. *)
-    let deadline_s, trace_out, rest =
-      let rec split dl tr = function
+    let deadline_s, trace_out, backend, rest =
+      let rec split dl tr bk = function
         | "--deadline" :: s :: more ->
-          split (Some (parse_float_arg "--deadline" s)) tr more
+          split (Some (parse_float_arg "--deadline" s)) tr bk more
         | "--deadline" :: [] -> bad_operand "--deadline: missing seconds"
-        | "--trace" :: out :: more -> split dl (Some out) more
+        | "--trace" :: out :: more -> split dl (Some out) bk more
         | "--trace" :: [] -> bad_operand "--trace: missing output file"
+        | "--backend" :: b :: more -> begin
+          match Preo.Sched.of_string b with
+          | Some bk -> split dl tr (Some bk) more
+          | None ->
+            bad_operand "--backend %s: expected 'automata' or 'coloring'" b
+        end
+        | "--backend" :: [] -> bad_operand "--backend: missing name"
         | x :: more ->
-          let d, t, r = split dl tr more in
-          (d, t, x :: r)
-        | [] -> (dl, tr, [])
+          let d, t, b, r = split dl tr bk more in
+          (d, t, b, x :: r)
+        | [] -> (dl, tr, bk, [])
       in
-      split None None rest
+      split None None None rest
     in
     if trace_out <> None then Preo.set_tracing true;
     let c = compiled path name in
-    let inst = Preo.instantiate c ~lengths:(parse_lengths rest) in
+    let inst = Preo.instantiate ?backend c ~lengths:(parse_lengths rest) in
     let write_trace () =
       match trace_out with
       | Some out ->

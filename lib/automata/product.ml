@@ -13,8 +13,8 @@ let combine_polarity a b =
   let mixed = Iset.inter sources sinks in
   (Iset.diff sources mixed, Iset.diff sinks mixed)
 
-let pair ?(max_states = max_int) ?(max_trans = max_int) ?deadline
-    ?(joint_independent = false) ?(open_vertices = Iset.empty)
+let pair ?(label = "connector") ?(max_states = max_int) ?(max_trans = max_int)
+    ?deadline ?(joint_independent = false) ?(open_vertices = Iset.empty)
     (a : Automaton.t) (b : Automaton.t) : Automaton.t =
   let va = a.vertices and vb = b.vertices in
   let shared = Iset.inter va vb in
@@ -22,6 +22,17 @@ let pair ?(max_states = max_int) ?(max_trans = max_int) ?deadline
   let states : (int * int) Dyn.t = Dyn.create () in
   let out : Automaton.trans list Dyn.t = Dyn.create () in
   let queue = Queue.create () in
+  let ntrans = ref 0 in
+  (* Budget failures must be diagnosable at large N: name the connector and
+     report how far composition got before tripping. *)
+  let time_exceeded () =
+    raise
+      (Budget_exceeded
+         (Printf.sprintf
+            "product of %s exceeded its compile-time budget (%d states, %d \
+             transitions reached)"
+            label (Dyn.length states) !ntrans))
+  in
   let intern (sa, sb) =
     match Hashtbl.find_opt index (sa, sb) with
     | Some i -> i
@@ -30,7 +41,9 @@ let pair ?(max_states = max_int) ?(max_trans = max_int) ?deadline
       if i >= max_states then
         raise
           (Budget_exceeded
-             (Printf.sprintf "product exceeded %d states" max_states));
+             (Printf.sprintf
+                "product of %s exceeded %d states (%d transitions reached)"
+                label max_states !ntrans));
       Hashtbl.add index (sa, sb) i;
       ignore (Dyn.add states (sa, sb));
       ignore (Dyn.add out []);
@@ -39,23 +52,22 @@ let pair ?(max_states = max_int) ?(max_trans = max_int) ?deadline
   in
   let initial = intern (a.initial, b.initial) in
   assert (initial = 0);
-  let ntrans = ref 0 in
   let emit i tr =
     incr ntrans;
     if !ntrans > max_trans then
       raise
         (Budget_exceeded
-           (Printf.sprintf "product exceeded %d transitions" max_trans));
+           (Printf.sprintf
+              "product of %s exceeded %d transitions (%d states reached)"
+              label max_trans (Dyn.length states)));
     (match deadline with
-     | Some d when !ntrans land 0xFFF = 0 && Sys.time () > d ->
-       raise (Budget_exceeded "product exceeded its compile-time budget")
+     | Some d when !ntrans land 0xFFF = 0 && Sys.time () > d -> time_exceeded ()
      | _ -> ());
     Dyn.set out i (tr :: Dyn.get out i)
   in
   while not (Queue.is_empty queue) do
     (match deadline with
-     | Some d when Sys.time () > d ->
-       raise (Budget_exceeded "product exceeded its compile-time budget")
+     | Some d when Sys.time () > d -> time_exceeded ()
      | _ -> ());
     let i = Queue.pop queue in
     let sa, sb = Dyn.get states i in
@@ -69,8 +81,7 @@ let pair ?(max_states = max_int) ?(max_trans = max_int) ?deadline
     Array.iter
       (fun (t1 : Automaton.trans) ->
         (match deadline with
-         | Some d when Sys.time () > d ->
-           raise (Budget_exceeded "product exceeded its compile-time budget")
+         | Some d when Sys.time () > d -> time_exceeded ()
          | _ -> ());
         let s1_shared = Iset.inter t1.sync shared in
         Array.iter
@@ -112,18 +123,35 @@ let pair ?(max_states = max_int) ?(max_trans = max_int) ?deadline
   Automaton.make ~nstates:(Array.length trans) ~initial:0 ~trans ~sources
     ~sinks
 
-let all ?max_states ?max_trans ?max_seconds ?joint_independent = function
+let all ?(label = "connector") ?max_states ?max_trans ?max_seconds
+    ?joint_independent = function
   | [] -> invalid_arg "Product.all: empty list"
   | [ a ] -> Automaton.trim a
   | first :: rest ->
+    let deadline = Option.map (fun s -> Sys.time () +. s) max_seconds in
+    let check_deadline ~ordered ~total =
+      match deadline with
+      | Some d when Sys.time () > d ->
+        raise
+          (Budget_exceeded
+             (Printf.sprintf
+                "product of %s exceeded its compile-time budget while \
+                 ordering the composition (%d of %d automata ordered)"
+                label ordered total))
+      | _ -> ()
+    in
     (* Fold in connectivity order: composing automata that share vertices as
        early as possible keeps the preserved independent joints (below) from
-       accumulating across long unrelated prefixes. *)
+       accumulating across long unrelated prefixes. The selection itself is
+       quadratic in the number of automata, so the compile-time budget is
+       enforced here too, not only inside the pairwise products. *)
     let a, rest =
+      let total = 1 + List.length rest in
       let chosen = ref [ first ] in
       let covered = ref first.Automaton.vertices in
       let remaining = ref rest in
       while !remaining <> [] do
+        check_deadline ~ordered:(total - List.length !remaining) ~total;
         let score (x : Automaton.t) = Iset.cardinal (Iset.inter x.vertices !covered) in
         let best =
           List.fold_left
@@ -153,10 +181,9 @@ let all ?max_states ?max_trans ?max_seconds ?joint_independent = function
           Iset.empty tl
         :: opens tl
     in
-    let deadline = Option.map (fun s -> Sys.time () +. s) max_seconds in
     List.fold_left2
       (fun acc b open_vertices ->
         Automaton.trim
-          (pair ?max_states ?max_trans ?deadline ?joint_independent
+          (pair ~label ?max_states ?max_trans ?deadline ?joint_independent
              ~open_vertices acc b))
       (Automaton.trim a) rest (opens rest)

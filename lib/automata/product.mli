@@ -7,8 +7,11 @@
     exhaustively at compile time, the parametrized approach at run time. *)
 
 exception Budget_exceeded of string
+(** The message names the connector being composed ([?label]) and reports
+    the state/transition counts reached when the budget tripped. *)
 
 val pair :
+  ?label:string ->
   ?max_states:int ->
   ?max_trans:int ->
   ?deadline:float ->
@@ -35,6 +38,7 @@ val pair :
     transition blow-up). *)
 
 val all :
+  ?label:string ->
   ?max_states:int ->
   ?max_trans:int ->
   ?max_seconds:float ->

@@ -1,0 +1,256 @@
+open Preo_support
+open Preo_automata
+
+type row = {
+  flow : Iset.t;
+  no_flow : Iset.t;
+  bflow : Iset.t;
+  constr : Constr.t;
+  target : int;
+}
+
+type t = {
+  mediums : Automaton.t array;
+  boundary : Iset.t;
+  (* tables.(j).(s) = color-table rows of medium j at local state s, one per
+     local transition; the implicit all-no-flow (idle) row is represented by
+     simply not selecting the medium. *)
+  tables : row array array array;
+  (* vertex -> mediums whose alphabet contains it (at most two on
+     well-formed graphs: the writer arc and the reader arc) *)
+  owners : (Vertex.t, int list) Hashtbl.t;
+}
+
+type round = {
+  r_sync : Iset.t;
+  r_constr : Constr.t;
+  r_moves : (int * int) array;
+  r_key : string;
+}
+
+exception Propagation_budget of string
+
+let make ~sources ~sinks mediums =
+  let boundary = Iset.union sources sinks in
+  let tables =
+    Array.map
+      (fun (a : Automaton.t) ->
+        Array.init a.nstates (fun s ->
+            Array.map
+              (fun (tr : Automaton.trans) ->
+                {
+                  flow = tr.sync;
+                  no_flow = Iset.diff a.vertices tr.sync;
+                  bflow = Iset.inter tr.sync boundary;
+                  constr = tr.constr;
+                  target = tr.target;
+                })
+              a.trans.(s)))
+      mediums
+  in
+  let owners = Hashtbl.create 64 in
+  Array.iteri
+    (fun j (a : Automaton.t) ->
+      Iset.iter
+        (fun v ->
+          let prev = try Hashtbl.find owners v with Not_found -> [] in
+          Hashtbl.replace owners v (j :: prev))
+        a.vertices)
+    mediums;
+  { mediums; boundary; tables; owners }
+
+let mediums t = t.mediums
+let boundary t = t.boundary
+
+(* One resolution: depth-first propagation from each seed row. [selection]
+   maps medium slot -> chosen row index (-1 = not yet pulled; unpulled at
+   emission time = idle row). The worklist holds fired vertices whose owners
+   may not all have been pulled yet; consistency of an already-selected
+   owner is implied — a row firing a vertex the owner colored no-flow would
+   have been rejected against [idled] when it was tried. *)
+let resolve t ~current ~pending ~rot ~max_rounds ~budget =
+  let k = Array.length t.mediums in
+  let iters = ref 0 in
+  let found = ref [] in
+  let nfound = ref 0 in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let selection = Array.make k (-1) in
+  let exception Done in
+  let spend () =
+    incr iters;
+    if !iters > budget then
+      raise
+        (Propagation_budget
+           (Printf.sprintf
+              "coloring propagation exceeded %d iterations over %d mediums \
+               (%d rounds resolved so far)"
+              budget k !nfound))
+  in
+  let emit () =
+    let buf = Buffer.create 32 in
+    for j = 0 to k - 1 do
+      if selection.(j) >= 0 then (
+        Buffer.add_string buf (string_of_int j);
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (string_of_int current.(j));
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (string_of_int selection.(j));
+        Buffer.add_char buf ',')
+    done;
+    let key = Buffer.contents buf in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      let sync = ref Iset.empty in
+      let constr = ref Constr.tt in
+      let moves = ref [] in
+      for j = k - 1 downto 0 do
+        if selection.(j) >= 0 then begin
+          let row = t.tables.(j).(current.(j)).(selection.(j)) in
+          sync := Iset.union !sync row.flow;
+          constr := Constr.conj row.constr !constr;
+          moves := (j, row.target) :: !moves
+        end
+      done;
+      found :=
+        {
+          r_sync = !sync;
+          r_constr = !constr;
+          r_moves = Array.of_list !moves;
+          r_key = key;
+        }
+        :: !found;
+      incr nfound;
+      if !nfound >= max_rounds then raise Done
+    end
+  in
+  (* [queue]: fired vertices still to be checked for unpulled owners;
+     [fired]/[idled]: the partial coloring so far. Each round is enumerated
+     exactly once, from its minimum-slot participant: a branch that would
+     pull a medium below [seed] is abandoned — that coloring is (or was)
+     found when the smaller slot acted as seed. Without this rule a round
+     touching m mediums is rediscovered from all m of them, making the
+     nothing-more-to-find confirmation scan quadratic in connector size. *)
+  let rec close ~seed queue fired idled =
+    match queue with
+    | [] -> emit ()
+    | v :: rest -> begin
+      let js = try Hashtbl.find t.owners v with Not_found -> [] in
+      if List.exists (fun j -> selection.(j) < 0 && j < seed) js then ()
+      else
+        match List.find_opt (fun j -> selection.(j) < 0) js with
+        | None -> close ~seed rest fired idled
+        | Some j ->
+          let rows = t.tables.(j).(current.(j)) in
+          let nrows = Array.length rows in
+          for ii = 0 to nrows - 1 do
+            (* rotate row preference with [rot] so successive resolutions
+               surface different branches of a shared-seed choice *)
+            let ri = (ii + rot) mod nrows in
+            let row = rows.(ri) in
+            spend ();
+            let need = Iset.inter fired t.mediums.(j).vertices in
+            if
+              Iset.subset need row.flow
+              && Iset.disjoint row.flow idled
+              && Iset.subset row.bflow pending
+            then begin
+              selection.(j) <- ri;
+              (* [v] stays queued: its other owner may still be unpulled. *)
+              close ~seed
+                (Iset.fold (fun u acc -> u :: acc) (Iset.diff row.flow fired)
+                   queue)
+                (Iset.union fired row.flow)
+                (Iset.union idled row.no_flow);
+              selection.(j) <- -1
+            end
+          done
+    end
+  in
+  (try
+     for jj = 0 to k - 1 do
+       let j = (rot + jj) mod k in
+       Array.iteri
+         (fun ri row ->
+           spend ();
+           if Iset.subset row.bflow pending then begin
+             selection.(j) <- ri;
+             close ~seed:j (Iset.elements row.flow) row.flow row.no_flow;
+             selection.(j) <- -1
+           end)
+         t.tables.(j).(current.(j))
+     done
+   with Done -> ());
+  (List.rev !found, !iters)
+
+(* --- Exhaustive LTS (verification path) ---------------------------------- *)
+
+module Vec_key = struct
+  type t = int array
+
+  let equal (a : t) (b : t) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (a : t) = Array.fold_left (fun acc x -> (acc * 31) + x + 1) 7 a
+end
+
+let lts ?(max_states = 20_000) ?(max_iters = 5_000_000) ~sources ~sinks
+    mediums =
+  let t = make ~sources ~sinks (Array.of_list mediums) in
+  let module H = Hashtbl.Make (Vec_key) in
+  let index : int H.t = H.create 64 in
+  let states : int array Dyn.t = Dyn.create () in
+  let out : Automaton.trans list Dyn.t = Dyn.create () in
+  let queue = Queue.create () in
+  let intern vec =
+    match H.find_opt index vec with
+    | Some i -> i
+    | None ->
+      let i = Dyn.length states in
+      if i >= max_states then
+        raise
+          (Propagation_budget
+             (Printf.sprintf "coloring LTS exceeded %d states" max_states));
+      H.add index vec i;
+      ignore (Dyn.add states vec);
+      ignore (Dyn.add out []);
+      Queue.push i queue;
+      i
+  in
+  let initial =
+    intern (Array.map (fun (a : Automaton.t) -> a.initial) t.mediums)
+  in
+  assert (initial = 0);
+  let remaining = ref max_iters in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    let vec = Dyn.get states i in
+    let rounds, iters =
+      resolve t ~current:vec ~pending:t.boundary ~rot:0 ~max_rounds:max_int
+        ~budget:!remaining
+    in
+    remaining := !remaining - iters;
+    List.iter
+      (fun r ->
+        let target = Array.copy vec in
+        Array.iter (fun (j, s) -> target.(j) <- s) r.r_moves;
+        Dyn.set out i
+          ({
+             Automaton.sync = r.r_sync;
+             constr = r.r_constr;
+             command = None;
+             target = intern target;
+           }
+           :: Dyn.get out i))
+      rounds
+  done;
+  let trans =
+    Array.init (Dyn.length out) (fun i ->
+        Array.of_list (List.rev (Dyn.get out i)))
+  in
+  Automaton.trim
+    (Automaton.make ~nstates:(Array.length trans) ~initial:0 ~trans ~sources
+       ~sinks)

@@ -59,10 +59,11 @@ let dbg fmt =
     Printf.eprintf ("[driver] " ^^ fmt ^^ "\n%!")
   else Printf.ifprintf stderr fmt
 
-let run_window ?config ?domains ?batch ~seconds entry n =
+let run_window ?config ?backend ?domains ?batch ~seconds entry n =
   let compiled = Catalog.compiled entry in
   match
-    Preo.instantiate ?config ?domains compiled ~lengths:(entry.Catalog.lengths n)
+    Preo.instantiate ?config ?backend ?domains compiled
+      ~lengths:(entry.Catalog.lengths n)
   with
   | exception Preo.Connector.Compile_failure msg -> Compile_failed msg
   | inst ->
@@ -96,11 +97,11 @@ let run_window ?config ?domains ?batch ~seconds entry n =
            stats;
          })
 
-let run_noop ?config ?domains ?batch ?(seconds = 0.2) entry ~n =
-  run_window ?config ?domains ?batch ~seconds entry n
+let run_noop ?config ?backend ?domains ?batch ?(seconds = 0.2) entry ~n =
+  run_window ?config ?backend ?domains ?batch ~seconds entry n
 
-let smoke ?config entry ~n =
-  match run_window ?config ~seconds:0.05 entry n with
+let smoke ?config ?backend entry ~n =
+  match run_window ?config ?backend ~seconds:0.05 entry n with
   | Steps { steps; _ } -> Ok steps
   | Compile_failed msg -> Error ("compile: " ^ msg)
   | Run_failed msg -> Error ("run: " ^ msg)

@@ -19,6 +19,7 @@ type outcome =
 
 val run_noop :
   ?config:Preo_runtime.Config.t ->
+  ?backend:Preo_runtime.Sched.backend ->
   ?domains:int ->
   ?batch:int ->
   ?seconds:float ->
@@ -26,7 +27,8 @@ val run_noop :
   n:int ->
   outcome
 (** Instantiate the entry for [n], spam all ports for [seconds] (default
-    0.2), poison the connector, join the tasks, and report. Port tasks run
+    0.2), poison the connector, join the tasks, and report. [?backend]
+    selects the round scheduler (see {!Preo.instantiate}). Port tasks run
     under the connector's scheduling policy: pooled across domains when
     [?domains] (or the process default) exceeds 1, inline threads
     otherwise. [batch > 1] makes each port task use
@@ -34,6 +36,10 @@ val run_noop :
     (default 1: one blocking op at a time). *)
 
 val smoke :
-  ?config:Preo_runtime.Config.t -> Catalog.entry -> n:int -> (int, string) result
+  ?config:Preo_runtime.Config.t ->
+  ?backend:Preo_runtime.Sched.backend ->
+  Catalog.entry ->
+  n:int ->
+  (int, string) result
 (** Short correctness-oriented run: exchanges a bounded number of messages
     (window 0.05 s) and returns the step count. Used by tests. *)

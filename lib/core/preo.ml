@@ -10,6 +10,7 @@ module Pool = Preo_support.Pool
 module Port = Preo_runtime.Port
 module Task = Preo_runtime.Task
 module Config = Preo_runtime.Config
+module Sched = Preo_runtime.Sched
 module Connector = Preo_runtime.Connector
 module Engine = Preo_runtime.Engine
 module Datafun = Preo_automata.Datafun
@@ -85,12 +86,16 @@ let build_mediums ?(config = Config.new_jit) (c : compiled) venv =
     Eval.small_automata (Eval.prims venv c.flat.Ast.c_body)
   | Config.New _ -> Template.instantiate c.template venv
 
-let instantiate ?(config = Config.new_jit) ?domains (c : compiled) ~lengths =
+let instantiate ?(config = Config.new_jit) ?backend ?domains (c : compiled)
+    ~lengths =
   reraise (fun () ->
       let bindings, sources, sinks = Eval.boundary_of_def c.def ~lengths in
       let venv = Eval.venv ~ints:[] ~arrays:bindings in
       let mediums = build_mediums ~config c venv in
-      let conn = Connector.create ~config ?domains ~sources ~sinks mediums in
+      let conn =
+        Connector.create ~config ?backend ~name:c.def.Ast.c_name ?domains
+          ~sources ~sinks mediums
+      in
       let tails =
         List.map (function Ast.P_scalar x | Ast.P_array x -> x) c.def.Ast.c_tparams
       in
@@ -261,6 +266,8 @@ let sched inst = Connector.sched inst.conn
 let shutdown inst = Connector.poison inst.conn "shutdown"
 let set_stall_threshold v = Preo_runtime.Config.stall_threshold := v
 let set_domains v = Preo_runtime.Config.domains := v
+let set_backend v = Preo_runtime.Sched.backend := v
+let backend inst = Connector.backend inst.conn
 let set_tracing v = Preo_obs.Obs.set_tracing v
 let tracing_enabled () = !Preo_obs.Obs.tracing
 let dump_trace inst = Connector.dump_trace inst.conn
@@ -281,8 +288,8 @@ let in1 = function
   | Ins ps -> err "expected one inport, got %d" (Array.length ps)
   | Outs _ -> err "expected an inport argument, got outports"
 
-let run_main ?(config = Config.new_jit) ?domains ~(program : Ast.program) ~params
-    tasks =
+let run_main ?(config = Config.new_jit) ?backend ?domains
+    ~(program : Ast.program) ~params tasks =
   reraise (fun () ->
       let main =
         match program.main with
@@ -354,7 +361,10 @@ let run_main ?(config = Config.new_jit) ?domains ~(program : Ast.program) ~param
           let venv = Eval.venv ~ints:[] ~arrays in
           build_mediums ~config c venv
       in
-      let conn = Connector.create ~config ?domains ~sources ~sinks mediums in
+      let conn =
+        Connector.create ~config ?backend ~name:conn_name ?domains ~sources
+          ~sinks mediums
+      in
       let inst = { conn; groups; elastic = None } in
       (* Resolve a task argument to ports. *)
       let task_arg tenv arg =
@@ -406,5 +416,5 @@ let run_main ?(config = Config.new_jit) ?domains ~(program : Ast.program) ~param
       Task.run_all ~on:(Connector.sched conn) (List.rev !bodies);
       inst)
 
-let run_main_source ?config ?domains ~source ~params tasks =
-  run_main ?config ?domains ~program:(parse_check source) ~params tasks
+let run_main_source ?config ?backend ?domains ~source ~params tasks =
+  run_main ?config ?backend ?domains ~program:(parse_check source) ~params tasks

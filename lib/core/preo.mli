@@ -27,6 +27,7 @@ module Pool = Preo_support.Pool
 module Port = Preo_runtime.Port
 module Task = Preo_runtime.Task
 module Config = Preo_runtime.Config
+module Sched = Preo_runtime.Sched
 module Connector = Preo_runtime.Connector
 module Engine = Preo_runtime.Engine
 module Datafun = Preo_automata.Datafun
@@ -58,6 +59,7 @@ type instance
 
 val instantiate :
   ?config:Config.t ->
+  ?backend:Sched.backend ->
   ?domains:int ->
   compiled ->
   lengths:(string * int) list ->
@@ -65,9 +67,11 @@ val instantiate :
 (** Create boundary vertices ([lengths] sizes each array parameter), run the
     run-time share (or, under [Config.Existing], evaluate and compose
     everything), and start the connector. Default config: [Config.new_jit].
-    [?domains] sets the parallelism target (see {!Connector.create}).
-    Raises {!Connector.Compile_failure} if the existing approach exceeds its
-    composition budget. *)
+    [?backend] picks the round scheduler — [Sched.Coloring] resolves rounds
+    by color propagation instead of product-state expansion; resolution and
+    downgrade rules in {!Connector.create}. [?domains] sets the parallelism
+    target (see {!Connector.create}). Raises {!Connector.Compile_failure}
+    if the existing approach exceeds its composition budget. *)
 
 val groups : instance -> (string * bool) list
 (** Parameter groups of the instance: (name, is_source). *)
@@ -131,6 +135,17 @@ val set_domains : int option -> unit
     [Config.max_domains]); [None] falls back to
     [Domain.recommended_domain_count]. *)
 
+val set_backend : Sched.backend option -> unit
+(** Configure the process-wide default execution backend
+    ({!Sched.backend} / [PREO_BACKEND]): [Some Sched.Coloring] makes
+    subsequent instantiations resolve rounds by connector coloring,
+    [Some Sched.Automata] by (JIT) product automata; [None] falls back to
+    the environment variable, then automata. *)
+
+val backend : instance -> Sched.backend
+(** The backend the instance actually runs on (a coloring request degrades
+    to automata under [Config.Existing] or [true_synchronous]). *)
+
 val set_stall_threshold : float option -> unit
 (** Configure the global stall watchdog ({!Config.stall_threshold}): a port
     operation blocked longer than this many seconds has a stall report
@@ -177,6 +192,7 @@ val in1 : port_arg -> Port.inport
 
 val run_main :
   ?config:Config.t ->
+  ?backend:Sched.backend ->
   ?domains:int ->
   program:Ast.program ->
   params:(string * int) list ->
@@ -191,6 +207,7 @@ val run_main :
 
 val run_main_source :
   ?config:Config.t ->
+  ?backend:Sched.backend ->
   ?domains:int ->
   source:string ->
   params:(string * int) list ->

@@ -1,5 +1,6 @@
 open Preo_support
 open Preo_automata
+module Coloring = Preo_coloring.Coloring
 
 type xtrans = {
   sync : Iset.t;
@@ -13,7 +14,14 @@ type xtrans = {
 }
 
 and cmd_state = C_unsolved | C_solved of Command.t | C_unsat
-and target = T_aot of int | T_jit of int array
+
+and target =
+  | T_aot of int
+  | T_jit of int array
+  | T_color of (int * int) array
+      (* participating (medium slot, local target) pairs only — cacheable
+         across resolutions because the round key pins the participants'
+         source states, and non-participants are untouched by commit *)
 
 exception Expansion_budget of string
 
@@ -57,6 +65,11 @@ type jit_state = {
   mutable mediums : Automaton.t array;
   cache : expanded Cache.t;
   mutable jit_current : int array;
+  mutable jit_owners : (int, int list) Hashtbl.t option;
+      (* vertex -> indices of mediums whose automaton mentions it, built
+         lazily from [mediums] and dropped on splice; lets the expansion
+         closure pull the next medium by scanning the fired vertices
+         instead of all k mediums *)
   expansion_budget : int;
   true_synchronous : bool;
   (* Atomic for the same reason as the engine counters: bumped under the
@@ -67,12 +80,48 @@ type jit_state = {
 }
 
 type aot_state = { states : expanded array; mutable aot_current : int }
-type strategy = S_aot of aot_state | S_jit of jit_state
+
+module Round_key = struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end
+
+module Xcache = Lru.Make (Round_key)
+
+(* Coloring backend: rounds are re-resolved by color propagation on every
+   candidate request (per-round cost proportional to graph size), but the
+   per-round work that does not depend on the resolution — building the
+   xtrans, solving its command — is memoized on the round's canonical key.
+   The cached entry is [None] when the round's constraint is structurally
+   unsatisfiable under label optimization, so it is rejected once, not
+   re-solved per resolution. *)
+type color_state = {
+  mutable col : Coloring.t;  (* rebuilt by {!splice} *)
+  mutable col_current : int array;
+  col_max_rounds : int;
+  col_budget : int;  (* propagation-iteration budget per resolution *)
+  xcache : xtrans option Xcache.t;
+  mutable col_rot : int;
+      (* seed-rotation cursor: resolutions start their seed scan at a
+         different medium each time, so rounds beyond the per-resolution
+         cap are not starved *)
+  mutable col_version : int;  (* bumped on commit/splice: memo validity *)
+  mutable col_memo : (int * Iset.t * xtrans array) option;
+      (* single-slot candidates memo keyed on (version, pending): the
+         firing loop re-asks for the same state's candidates repeatedly *)
+  ncolor_rounds : int Atomic.t;
+  ncolor_iters : int Atomic.t;
+}
+
+type strategy = S_aot of aot_state | S_jit of jit_state | S_color of color_state
 
 let cand_memo_capacity = 8
 
 type t = {
   strategy : strategy;
+  name : string;  (* connector name, for diagnosable budget errors *)
   mutable srcs : Iset.t;  (* mutable: {!splice} moves the boundary *)
   mutable snks : Iset.t;
   mutable cells : int;  (* splice appends fresh cell slots; never reused *)
@@ -148,7 +197,8 @@ let renumber_cells autos =
 
 (* --- Ahead-of-time ------------------------------------------------------ *)
 
-let aot ?(use_dispatch = true) ?(optimize_labels = true) (large : Automaton.t) =
+let aot ?(name = "connector") ?(use_dispatch = true) ?(optimize_labels = true)
+    (large : Automaton.t) =
   let large, cells = match renumber_cells [ large ] with
     | [ a ], n -> (a, n)
     | _ -> assert false
@@ -169,6 +219,7 @@ let aot ?(use_dispatch = true) ?(optimize_labels = true) (large : Automaton.t) =
   in
   {
     strategy = S_aot { states; aot_current = large.initial };
+    name;
     srcs;
     snks;
     cells;
@@ -203,7 +254,7 @@ let prepare_mediums ~sources ~sinks mediums =
       Automaton.trim (Automaton.hide hidden a))
     mediums
 
-let jit ?(cache_capacity = 0) ?(optimize_labels = true)
+let jit ?(name = "connector") ?(cache_capacity = 0) ?(optimize_labels = true)
     ?(expansion_budget = 2_000_000) ?(true_synchronous = false) ~sources
     ~sinks mediums =
   let mediums = prepare_mediums ~sources ~sinks mediums in
@@ -217,11 +268,49 @@ let jit ?(cache_capacity = 0) ?(optimize_labels = true)
           mediums;
           cache = Cache.create ~capacity:cache_capacity;
           jit_current = initial;
+          jit_owners = None;
           expansion_budget;
           true_synchronous;
           nexpansions = Atomic.make 0;
           ncache_hits = Atomic.make 0;
         };
+    name;
+    srcs = sources;
+    snks = sinks;
+    cells;
+    optimize = optimize_labels;
+    ncand_hits = Atomic.make 0;
+    ncand_evictions = Atomic.make 0;
+    nsolves = Atomic.make 0;
+  }
+
+(* --- Connector coloring -------------------------------------------------- *)
+
+let coloring ?(name = "connector") ?(cache_capacity = 0)
+    ?(optimize_labels = true) ?(expansion_budget = 2_000_000)
+    ?(max_rounds = 16) ~sources ~sinks mediums =
+  let mediums = prepare_mediums ~sources ~sinks mediums in
+  let mediums, cells = renumber_cells mediums in
+  let mediums = Array.of_list mediums in
+  let initial = Array.map (fun (a : Automaton.t) -> a.initial) mediums in
+  {
+    strategy =
+      S_color
+        {
+          col = Coloring.make ~sources ~sinks mediums;
+          col_current = initial;
+          col_max_rounds = max_rounds;
+          (* the one budget knob covers both backends: per state expansion
+             for the JIT product, per color resolution here *)
+          col_budget = expansion_budget;
+          xcache = Xcache.create ~capacity:cache_capacity;
+          col_rot = 0;
+          col_version = 0;
+          col_memo = None;
+          ncolor_rounds = Atomic.make 0;
+          ncolor_iters = Atomic.make 0;
+        };
+    name;
     srcs = sources;
     snks = sinks;
     cells;
@@ -237,8 +326,25 @@ let jit ?(cache_capacity = 0) ?(optimize_labels = true)
    transitions stay separate steps. Exponential growth can still arise from
    genuinely synchronized choice (several compatible local options per pulled
    medium); that is the paper's §V-C blow-up, guarded by the budget. *)
+let jit_owners_of (js : jit_state) =
+  match js.jit_owners with
+  | Some o -> o
+  | None ->
+    let o = Hashtbl.create (4 * Array.length js.mediums) in
+    Array.iteri
+      (fun j (a : Automaton.t) ->
+        Iset.iter
+          (fun v ->
+            let prev = try Hashtbl.find o v with Not_found -> [] in
+            Hashtbl.replace o v (j :: prev))
+          a.vertices)
+      js.mediums;
+    js.jit_owners <- Some o;
+    o
+
 let expand_interleaved t (js : jit_state) (state : int array) : expanded =
   let k = Array.length js.mediums in
+  let owners = jit_owners_of js in
   let result = ref [] in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let budget = ref js.expansion_budget in
@@ -248,9 +354,11 @@ let expand_interleaved t (js : jit_state) (state : int array) : expanded =
       raise
         (Expansion_budget
            (Printf.sprintf
-              "state expansion exceeded %d combinations (exponential \
-               transition structure)"
-              js.expansion_budget))
+              "state expansion of %s exceeded %d combinations over %d \
+               mediums, %d transitions emitted (exponential transition \
+               structure)"
+              t.name js.expansion_budget k
+              (List.length !result)))
   in
   (* selection: medium index -> chosen transition index, or unset *)
   let selection = Array.make k (-1) in
@@ -289,16 +397,18 @@ let expand_interleaved t (js : jit_state) (state : int array) : expanded =
      vertex, branch over its compatible local transitions. *)
   let rec close fired idled =
     spend ();
+    (* minimum-index unselected medium owning a fired vertex — the same
+       pull order as scanning all k mediums, but via the vertex->mediums
+       index the cost is the fired set, not the connector size *)
     let pulled = ref (-1) in
-    (try
-       for j = 0 to k - 1 do
-         if selection.(j) < 0 && not (Iset.disjoint js.mediums.(j).vertices fired)
-         then begin
-           pulled := j;
-           raise Exit
-         end
-       done
-     with Exit -> ());
+    Iset.iter
+      (fun v ->
+        List.iter
+          (fun j ->
+            if selection.(j) < 0 && (!pulled < 0 || j < !pulled) then
+              pulled := j)
+          (try Hashtbl.find owners v with Not_found -> []))
+      fired;
     if !pulled < 0 then emit ()
     else begin
       let j = !pulled in
@@ -342,9 +452,11 @@ let expand_synchronous t (js : jit_state) (state : int array) : expanded =
       raise
         (Expansion_budget
            (Printf.sprintf
-              "state expansion exceeded %d combinations (exponential \
-               transition structure)"
-              js.expansion_budget))
+              "state expansion of %s exceeded %d combinations over %d \
+               mediums, %d transitions emitted (exponential transition \
+               structure)"
+              t.name js.expansion_budget k
+              (List.length !result)))
   in
   (* choices.(i) = None (idle) or Some tr *)
   let choices = Array.make k None in
@@ -405,6 +517,8 @@ let expand_synchronous t (js : jit_state) (state : int array) : expanded =
 let expanded_of_current t =
   match t.strategy with
   | S_aot s -> s.states.(s.aot_current)
+  | S_color _ ->
+    invalid_arg "Composer: coloring strategy has no expanded product state"
   | S_jit js -> begin
     match Cache.find js.cache js.jit_current with
     | Some e ->
@@ -444,7 +558,48 @@ let build_candidates e ~pending =
       pending;
     Array.of_list !acc
 
+(* Coloring candidates: resolve up to [col_max_rounds] rounds by color
+   propagation, then map each round to its memoized xtrans. A single-slot
+   memo keyed on (state version, pending) serves the firing loop's repeated
+   requests for the same situation without re-propagating. *)
+let color_candidates t (cs : color_state) ~pending =
+  match cs.col_memo with
+  | Some (v, p, arr) when v = cs.col_version && Iset.equal p pending ->
+    Atomic.incr t.ncand_hits;
+    arr
+  | _ ->
+    let rounds, iters =
+      try
+        Coloring.resolve cs.col ~current:cs.col_current ~pending
+          ~rot:cs.col_rot ~max_rounds:cs.col_max_rounds ~budget:cs.col_budget
+      with Coloring.Propagation_budget msg ->
+        raise (Expansion_budget (Printf.sprintf "%s: %s" t.name msg))
+    in
+    cs.col_rot <- cs.col_rot + 1;
+    ignore (Atomic.fetch_and_add cs.ncolor_iters iters);
+    ignore (Atomic.fetch_and_add cs.ncolor_rounds (List.length rounds));
+    let arr =
+      rounds
+      |> List.filter_map (fun (r : Coloring.round) ->
+             match Xcache.find cs.xcache r.r_key with
+             | Some cached -> cached
+             | None ->
+               let x =
+                 make_xtrans ~srcs:t.srcs ~snks:t.snks ~optimize:t.optimize
+                   ~sync:r.r_sync ~constr:r.r_constr
+                   ~target:(T_color r.r_moves)
+               in
+               Xcache.add cs.xcache r.r_key x;
+               x)
+      |> Array.of_list
+    in
+    cs.col_memo <- Some (cs.col_version, pending, arr);
+    arr
+
 let candidates t ~pending =
+  match t.strategy with
+  | S_color cs -> color_candidates t cs ~pending
+  | S_aot _ | S_jit _ ->
   let e = expanded_of_current t in
   let key = Iset.inter pending e.relevant in
   let rec probe = function
@@ -499,14 +654,21 @@ let is_self_loop t (x : xtrans) =
   match (t.strategy, x.target) with
   | S_aot s, T_aot target -> target = s.aot_current
   | S_jit js, T_jit target -> Tuple_key.equal target js.jit_current
-  | S_aot _, T_jit _ | S_jit _, T_aot _ -> false
+  | S_color cs, T_color moves ->
+    Array.for_all (fun (j, s) -> cs.col_current.(j) = s) moves
+  | _ -> false
 
 let commit t (x : xtrans) =
   match (t.strategy, x.target) with
   | S_aot s, T_aot target -> s.aot_current <- target
   | S_jit js, T_jit target -> js.jit_current <- target
-  | S_aot _, T_jit _ | S_jit _, T_aot _ ->
-    invalid_arg "Composer.commit: transition from a different composer"
+  | S_color cs, T_color moves ->
+    Array.iter (fun (j, s) -> cs.col_current.(j) <- s) moves;
+    (* Invalidate the candidates memo even for self-loops: the next
+       resolution restarts the seed rotation, keeping round selection fair
+       when more rounds are enabled than one resolution returns. *)
+    cs.col_version <- cs.col_version + 1
+  | _ -> invalid_arg "Composer.commit: transition from a different composer"
 
 let ncells t = t.cells
 let sources t = t.srcs
@@ -520,6 +682,7 @@ let live_mediums t =
   match t.strategy with
   | S_aot _ -> [||]
   | S_jit js -> Array.copy js.mediums
+  | S_color cs -> Array.copy (Coloring.mediums cs.col)
 
 let medium_vertices acc (a : Automaton.t) = Iset.union acc a.vertices
 
@@ -538,10 +701,16 @@ let splice t ~sources ~sinks ~retire ~add =
   match t.strategy with
   | S_aot _ ->
     invalid_arg
-      "Composer.splice: only JIT composers are elastic (AOT composition \
-       freezes the product; rebuild instead)"
-  | S_jit js ->
-    let k = Array.length js.mediums in
+      "Composer.splice: only JIT/coloring composers are elastic (AOT \
+       composition freezes the product; rebuild instead)"
+  | S_jit _ | S_color _ ->
+    let mediums, current =
+      match t.strategy with
+      | S_jit js -> (js.mediums, js.jit_current)
+      | S_color cs -> (Coloring.mediums cs.col, cs.col_current)
+      | S_aot _ -> assert false
+    in
+    let k = Array.length mediums in
     List.iter
       (fun i ->
         if i < 0 || i >= k then invalid_arg "Composer.splice: bad medium index")
@@ -551,8 +720,8 @@ let splice t ~sources ~sinks ~retire ~add =
     Array.iteri
       (fun i r ->
         if r then begin
-          let a = js.mediums.(i) in
-          if not (Automaton.label_bisimilar a js.jit_current.(i) a.initial) then
+          let a = mediums.(i) in
+          if not (Automaton.label_bisimilar a current.(i) a.initial) then
             raise
               (Not_quiescent
                  (Printf.sprintf
@@ -562,7 +731,7 @@ let splice t ~sources ~sinks ~retire ~add =
                     i
                     (String.concat ","
                        (List.map Vertex.name (Iset.elements a.vertices)))
-                    js.jit_current.(i) a.initial))
+                    current.(i) a.initial))
         end)
       retired;
     let kept = ref [] and kept_cur = ref [] in
@@ -570,9 +739,9 @@ let splice t ~sources ~sinks ~retire ~add =
       (fun i a ->
         if not retired.(i) then begin
           kept := a :: !kept;
-          kept_cur := js.jit_current.(i) :: !kept_cur
+          kept_cur := current.(i) :: !kept_cur
         end)
-      js.mediums;
+      mediums;
     let kept = List.rev !kept and kept_cur = List.rev !kept_cur in
     (* Prepare the added mediums exactly as [jit] does, but count vertex
        occurrences across kept ∪ added so shared vertices stay visible. *)
@@ -613,30 +782,71 @@ let splice t ~sources ~sinks ~retire ~add =
     in
     let add_cooked = List.map (Automaton.map_cells remap) add_cooked in
     let before =
-      Array.fold_left medium_vertices (Iset.union t.srcs t.snks) js.mediums
+      Array.fold_left medium_vertices (Iset.union t.srcs t.snks) mediums
     in
-    js.mediums <- Array.of_list (kept @ add_cooked);
-    js.jit_current <-
+    let mediums' = Array.of_list (kept @ add_cooked) in
+    let current' =
       Array.of_list
-        (kept_cur @ List.map (fun (a : Automaton.t) -> a.initial) add_cooked);
-    Cache.clear js.cache;
+        (kept_cur @ List.map (fun (a : Automaton.t) -> a.initial) add_cooked)
+    in
+    (match t.strategy with
+     | S_jit js ->
+       js.mediums <- mediums';
+       js.jit_current <- current';
+       js.jit_owners <- None;
+       Cache.clear js.cache
+     | S_color cs ->
+       (* The color tables are derived state: rebuild them over the new
+          medium array (O(graph), no product exploration involved). *)
+       cs.col <- Coloring.make ~sources ~sinks mediums';
+       cs.col_current <- current';
+       Xcache.clear cs.xcache;
+       cs.col_memo <- None;
+       cs.col_version <- cs.col_version + 1
+     | S_aot _ -> assert false);
     t.srcs <- sources;
     t.snks <- sinks;
     t.cells <- !freshc;
-    let after = Array.fold_left medium_vertices boundary js.mediums in
+    let after = Array.fold_left medium_vertices boundary mediums' in
     Iset.diff before after
 
 let expansions t =
-  match t.strategy with S_aot _ -> 0 | S_jit js -> Atomic.get js.nexpansions
+  match t.strategy with
+  | S_aot _ | S_color _ -> 0
+  | S_jit js -> Atomic.get js.nexpansions
 
 let cache_hits t =
-  match t.strategy with S_aot _ -> 0 | S_jit js -> Atomic.get js.ncache_hits
+  match t.strategy with
+  | S_aot _ -> 0
+  | S_jit js -> Atomic.get js.ncache_hits
+  | S_color cs -> Xcache.hits cs.xcache
 
 let cache_evictions t =
-  match t.strategy with S_aot _ -> 0 | S_jit js -> Cache.evictions js.cache
+  match t.strategy with
+  | S_aot _ -> 0
+  | S_jit js -> Cache.evictions js.cache
+  | S_color cs -> Xcache.evictions cs.xcache
 
 let solver_calls t = Atomic.get t.nsolves
 let cand_hits t = Atomic.get t.ncand_hits
 let cand_evictions t = Atomic.get t.ncand_evictions
 
-let current_out_degree t = Array.length (expanded_of_current t).all
+let color_rounds t =
+  match t.strategy with
+  | S_color cs -> Atomic.get cs.ncolor_rounds
+  | S_aot _ | S_jit _ -> 0
+
+let color_iters t =
+  match t.strategy with
+  | S_color cs -> Atomic.get cs.ncolor_iters
+  | S_aot _ | S_jit _ -> 0
+
+let current_out_degree t =
+  match t.strategy with
+  | S_color cs ->
+    (* Rounds enabled assuming every boundary vertex has a pending
+       operation, capped at the per-resolution limit (a lower bound on the
+       true out-degree — enumerating it exactly is the blow-up this backend
+       exists to avoid). Debug-path only. *)
+    Array.length (color_candidates t cs ~pending:(Iset.union t.srcs t.snks))
+  | S_aot _ | S_jit _ -> Array.length (expanded_of_current t).all

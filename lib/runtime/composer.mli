@@ -5,7 +5,12 @@
     existing compiler's approach, §IV-D "ahead-of-time composition");
     [jit] keeps the medium automata apart and expands the product state
     space lazily, one state at a time, as execution reaches it ("just-in-time
-    composition"). Both present the same stateful interface to the engine. *)
+    composition"); [coloring] also keeps them apart but never expands a
+    product state at all — each candidate request resolves up to a handful
+    of synchronization rounds by flow/no-flow color propagation over the
+    connector graph ([Preo_coloring.Coloring]), so per-round cost tracks
+    graph size rather than product size. All three present the same
+    stateful interface to the engine (the {!Sched.S} contract). *)
 
 open Preo_support
 open Preo_automata
@@ -22,16 +27,24 @@ type xtrans = {
 }
 
 and cmd_state = C_unsolved | C_solved of Command.t | C_unsat
-and target = T_aot of int | T_jit of int array
+
+and target =
+  | T_aot of int
+  | T_jit of int array
+  | T_color of (int * int) array
+      (** participating (medium slot, local target state) pairs *)
 
 type t
 
 exception Expansion_budget of string
 (** Raised when a single JIT state expansion enumerates more than the
     configured number of candidate transition combinations — the blow-up of
-    the paper's §V-C finding 3. *)
+    the paper's §V-C finding 3 — or when a coloring resolution exceeds its
+    propagation budget. The message names the connector and reports the
+    counts reached. *)
 
 val aot :
+  ?name:string ->
   ?use_dispatch:bool ->
   ?optimize_labels:bool ->
   Automaton.t ->
@@ -39,9 +52,11 @@ val aot :
 (** The automaton's [sources]/[sinks] are the connector boundary.
     [use_dispatch] builds the per-state vertex index (the whole-automaton
     optimization); [optimize_labels] pre-solves all commands. Both default
-    to [true] (the existing compiler applies both). *)
+    to [true] (the existing compiler applies both). [name] labels budget
+    errors (default ["connector"]). *)
 
 val jit :
+  ?name:string ->
   ?cache_capacity:int ->
   ?optimize_labels:bool ->
   ?expansion_budget:int ->
@@ -57,6 +72,28 @@ val jit :
     composition. [true_synchronous] (default [false]) additionally
     enumerates joint firings of independent mediums, as the textbook ×
     does — exponentially many in wide states (the paper's §V-C finding). *)
+
+val coloring :
+  ?name:string ->
+  ?cache_capacity:int ->
+  ?optimize_labels:bool ->
+  ?expansion_budget:int ->
+  ?max_rounds:int ->
+  sources:Iset.t ->
+  sinks:Iset.t ->
+  Automaton.t list ->
+  t
+(** The connector-coloring backend: mediums get the same preparation as
+    {!jit}, but {!candidates} resolves at most [max_rounds] (default 16)
+    synchronization rounds per request by color propagation instead of
+    expanding the product state — per-round cost proportional to graph
+    size. Resolutions rotate their seed scan so enabled rounds beyond the
+    cap are not starved. [expansion_budget] bounds propagation iterations
+    {e per resolution} (same knob as the JIT expander's per-state budget);
+    [cache_capacity] bounds the per-round command cache (LRU; unbounded by
+    default). Always interleaving semantics: 2-coloring cannot express the
+    textbook synchronous product's joint independent firings (request
+    [true_synchronous] via {!jit} instead). *)
 
 val candidates : t -> pending:Iset.t -> xtrans array
 (** Transitions leaving the current state whose needed boundary vertices are
@@ -92,9 +129,9 @@ exception Not_quiescent of string
     in-flight exchanges drain. *)
 
 val live_mediums : t -> Automaton.t array
-(** JIT: the current (prepared: hidden, cell-renumbered) medium automata, in
-    slot order — positionally aligned with the raw medium list the caller
-    composed. Empty for AOT. *)
+(** JIT/coloring: the current (prepared: hidden, cell-renumbered) medium
+    automata, in slot order — positionally aligned with the raw medium list
+    the caller composed. Empty for AOT. *)
 
 val splice :
   t ->
@@ -137,4 +174,15 @@ val cand_hits : t -> int
 
 val cand_evictions : t -> int
 
+val color_rounds : t -> int
+(** Coloring: synchronization rounds resolved by color propagation across
+    all resolutions (0 for the automata strategies). *)
+
+val color_iters : t -> int
+(** Coloring: total propagation iterations (color-table row trials) — the
+    fixed-point work; [color_iters / color_rounds] is the mean propagation
+    cost of one round. *)
+
 val current_out_degree : t -> int
+(** Out-degree of the current state. Coloring: a lower bound, capped at the
+    per-resolution round limit (debug paths only). *)

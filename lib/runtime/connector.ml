@@ -25,17 +25,20 @@ type t = {
          a rebuild, not a splice *)
   nsplices : int Atomic.t;
   splice_lock : Mutex.t;  (* serializes splices (engine locks nest inside) *)
+  backend : Sched.backend;  (* the round scheduler this instance runs on *)
 }
 
 let hide_internals ~keep (a : Automaton.t) =
   Automaton.trim (Automaton.hide (Iset.diff a.vertices keep) a)
 
-let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
+let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
+    ~sources ~sinks mediums =
   let eff_domains = Config.effective_domains ?requested:domains () in
   let src_set = Iset.of_list (Array.to_list sources) in
   let snk_set = Iset.of_list (Array.to_list sinks) in
+  let backend = Sched.effective ?requested:backend () in
   let t0 = Clock.now () in
-  let engines, routes, slots, bridges, elastic =
+  let engines, routes, slots, bridges, elastic, backend =
     match config with
     | Config.Existing
         {
@@ -46,9 +49,14 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
           max_compile_seconds;
           true_synchronous;
         } ->
+      (* The ahead-of-time product IS the automata backend: a coloring
+         request does not apply to [Config.Existing] (there is no per-round
+         resolution to replace — the whole point of that config is the
+         precomposed large automaton). *)
       let large =
         try
-          Product.all ~max_states ~max_trans ~max_seconds:max_compile_seconds
+          Product.all ~label:name ~max_states ~max_trans
+            ~max_seconds:max_compile_seconds
             ~joint_independent:true_synchronous mediums
         with
         | Product.Budget_exceeded msg -> raise (Compile_failure msg)
@@ -57,9 +65,14 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
       let large = hide_internals ~keep:(Iset.union src_set snk_set) large in
       (* Force boundary polarity from the declared signature. *)
       let large = { large with sources = src_set; sinks = snk_set } in
-      let comp = Composer.aot ~use_dispatch ~optimize_labels large in
+      let comp = Composer.aot ~name ~use_dispatch ~optimize_labels large in
       let e = Engine.create ~name:"engine0" comp in
-      ([| e |], [ (Iset.union src_set snk_set, e) ], [| ref [] |], [], false)
+      ( [| e |],
+        [ (Iset.union src_set snk_set, e) ],
+        [| ref [] |],
+        [],
+        false,
+        Sched.Automata )
     | Config.New
         {
           optimize_labels;
@@ -68,13 +81,30 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
           partition;
           true_synchronous;
         } ->
+      (* Coloring implements interleaving semantics only: 2 colors cannot
+         express the textbook synchronous product's joint independent
+         firings, so [true_synchronous] stays on the JIT expander. *)
+      let backend =
+        if true_synchronous then Sched.Automata else backend
+      in
+      let mk_composer ~sources ~sinks mediums =
+        match backend with
+        | Sched.Coloring ->
+          Composer.coloring ~name ~cache_capacity ~optimize_labels
+            ~expansion_budget ~sources ~sinks mediums
+        | Sched.Automata ->
+          Composer.jit ~name ~cache_capacity ~optimize_labels
+            ~expansion_budget ~true_synchronous ~sources ~sinks mediums
+      in
       if not partition then begin
-        let comp =
-          Composer.jit ~cache_capacity ~optimize_labels ~expansion_budget
-            ~true_synchronous ~sources:src_set ~sinks:snk_set mediums
-        in
+        let comp = mk_composer ~sources:src_set ~sinks:snk_set mediums in
         let e = Engine.create ~name:"engine0" comp in
-        ([| e |], [ (Iset.union src_set snk_set, e) ], [| ref mediums |], [], true)
+        ( [| e |],
+          [ (Iset.union src_set snk_set, e) ],
+          [| ref mediums |],
+          [],
+          true,
+          backend )
       end
       else begin
         let plan =
@@ -85,9 +115,7 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
           Array.mapi
             (fun i (r : Partition.region) ->
               let comp =
-                Composer.jit ~cache_capacity ~optimize_labels ~expansion_budget
-                  ~true_synchronous ~sources:r.r_sources ~sinks:r.r_sinks
-                  r.mediums
+                mk_composer ~sources:r.r_sources ~sinks:r.r_sinks r.mediums
               in
               Engine.create ~gates:r.gates
                 ~name:(Printf.sprintf "engine%d" i)
@@ -130,7 +158,7 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
                    plan.regions))
             mediums
         in
-        (engines, routes, slots, bridges, true)
+        (engines, routes, slots, bridges, true, backend)
       end
   in
   let route = Hashtbl.create 32 in
@@ -157,7 +185,10 @@ let create ?(config = Config.new_jit) ?domains ~sources ~sinks mediums =
     bridges;
     nsplices = Atomic.make 0;
     splice_lock = Mutex.create ();
+    backend;
   }
+
+let backend t = t.backend
 
 let engine_of t v =
   match Hashtbl.find_opt t.route v with
@@ -462,6 +493,8 @@ type stats = {
   st_batch_fires : int;
   st_domains : int;
   st_splices : int;
+  st_color_rounds : int;
+  st_color_iters : int;
 }
 
 let sum_engines t f = Array.fold_left (fun acc e -> acc + f e) 0 t.engines
@@ -489,6 +522,10 @@ let stats t =
     st_batch_fires = sum_engines t Engine.batch_fires;
     st_domains = t.domains;
     st_splices = Atomic.get t.nsplices;
+    st_color_rounds =
+      sum_engines t (fun e -> Composer.color_rounds (Engine.composer e));
+    st_color_iters =
+      sum_engines t (fun e -> Composer.color_iters (Engine.composer e));
   }
 
 (* Exports cover every lane registered in the process — this connector's
@@ -507,9 +544,11 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "steps=%d regions=%d domains=%d expansions=%d cache-hits=%d evictions=%d \
      compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d stalls=%d \
-     wakes=%d/%d/%d mpsc=%d/%d fast=%d batch-fires=%d splices=%d"
+     wakes=%d/%d/%d mpsc=%d/%d fast=%d batch-fires=%d splices=%d \
+     color-rounds=%d color-iters=%d"
     s.st_steps s.st_regions s.st_domains s.st_expansions s.st_cache_hits
     s.st_cache_evictions s.st_compile_seconds s.st_solver_calls s.st_cond_waits
     s.st_peer_kicks s.st_cand_hits s.st_stalls s.st_wakes_targeted
     s.st_wakes_spurious s.st_wakes_broadcast s.st_mpsc_ops s.st_mpsc_batches
-    s.st_mpsc_fast s.st_batch_fires s.st_splices
+    s.st_mpsc_fast s.st_batch_fires s.st_splices s.st_color_rounds
+    s.st_color_iters

@@ -19,6 +19,8 @@ type t
 
 val create :
   ?config:Config.t ->
+  ?backend:Sched.backend ->
+  ?name:string ->
   ?domains:int ->
   sources:Vertex.t array ->
   sinks:Vertex.t array ->
@@ -28,12 +30,28 @@ val create :
     boundary vertices are [sources] (tasks send there) and [sinks] (tasks
     receive there). Default config: {!Config.new_jit}.
 
+    [?backend] selects the round scheduler for JIT-composed configs
+    (resolution follows {!Sched.effective}: explicit argument, else
+    [Sched.backend] / [PREO_BACKEND], else {!Sched.Automata}).
+    {!Sched.Coloring} resolves each synchronization round by color
+    propagation over the connector graph instead of expanding product
+    states — per-round cost proportional to graph size. The request is
+    ignored (automata used) for [Config.Existing] (the ahead-of-time
+    product {e is} the automata backend) and for configs with
+    [true_synchronous] set (2-coloring cannot express joint independent
+    firings). [?name] labels compile/expansion budget errors and stall
+    diagnostics with the connector's name (default ["connector"]).
+
     [?domains] is the parallelism target: it feeds the partitioner (relay
     fan-out/fan-in cuts are only made when > 1) and selects the task
     scheduling policy ({!sched}). Resolution follows
     {!Config.effective_domains}: an explicit argument wins, else the
     process-wide [Config.domains] / [PREO_DOMAINS], else
     [Domain.recommended_domain_count], clamped to [Config.max_domains]. *)
+
+val backend : t -> Sched.backend
+(** The backend this connector actually runs on (after the resolution and
+    downgrade rules above). *)
 
 val outport : t -> Vertex.t -> Port.outport
 val inport : t -> Vertex.t -> Port.inport
@@ -175,6 +193,13 @@ type stats = {
           self-loop — firings beyond the one found by a candidate scan *)
   st_domains : int;  (** effective domain count (see {!domains}) *)
   st_splices : int;  (** elastic splices completed (see {!splices}) *)
+  st_color_rounds : int;
+      (** synchronization rounds resolved by color propagation (coloring
+          backend; 0 under automata) *)
+  st_color_iters : int;
+      (** color-propagation iterations — row trials during the fixed point;
+          [st_color_iters / st_color_rounds] is the mean cost of resolving
+          one round *)
 }
 
 val stats : t -> stats

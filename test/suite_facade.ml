@@ -160,7 +160,9 @@ let config_describe_strings () =
 
 let stats_reflect_jit_activity () =
   let c = compile ~source:gather_src ~name:"NGather" in
-  let inst = instantiate c ~lengths:[ ("tl", 2) ] in
+  (* pinned: these counters are JIT-expansion specific, so the test must
+     not follow a PREO_BACKEND=coloring process default *)
+  let inst = instantiate ~backend:Sched.Automata c ~lengths:[ ("tl", 2) ] in
   Fun.protect ~finally:(fun () -> shutdown inst) (fun () ->
       let outs = outports inst "tl" in
       let consume = (inports inst "hd").(0) in

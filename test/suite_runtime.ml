@@ -173,8 +173,12 @@ let expansion_blowup_poisons () =
       { optimize_labels = true; cache_capacity = 0; expansion_budget = 10_000;
         partition = false; true_synchronous = false }
   in
+  (* the automata expansion budget specifically: pin the backend so a
+     PREO_BACKEND=coloring run (where this shape does not blow up) still
+     exercises the JIT path *)
   let conn =
-    mk_conn ~config autos ~sources:[| a |] ~sinks:(Array.of_list bs)
+    Connector.create ~config ~backend:Preo_runtime.Sched.Automata ~sources:[| a |]
+      ~sinks:(Array.of_list bs) autos
   in
   (match Port.send (Connector.outport conn a) Value.unit with
    | exception Engine.Poisoned _ -> ()

@@ -29,4 +29,5 @@ let () =
       ("elastic", Suite_elastic.tests);
       ("domains", Suite_domains.tests);
       ("obs", Suite_obs.tests);
+      ("coloring", Suite_coloring.tests);
     ]
