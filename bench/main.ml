@@ -13,7 +13,7 @@ open Preo_support
 
 let sections =
   [ "fig12"; "fig13"; "fig13-blowup"; "npb-mc"; "abl-opt"; "abl-cache";
-    "abl-part"; "obs"; "elastic"; "coloring"; "micro" ]
+    "abl-part"; "obs"; "elastic"; "coloring"; "compile"; "micro" ]
 
 (* Representative connector families for the steps/s micro bench: picked to
    exercise deep pending sets (sequencer), partitionable pipelines
@@ -58,6 +58,10 @@ type opts = {
   backend : Preo_runtime.Sched.backend option;
       (* process-default backend for every section; the coloring section
          always pins its three configs explicitly *)
+  interleave : int;
+      (* executions per mode in the compile section: compiled and
+         interpreted runs alternate (A/B/A/B…) so drift hits both sides,
+         and each cell reports the median of its K runs with the spread *)
 }
 
 let parse_args () =
@@ -65,6 +69,7 @@ let parse_args () =
   let json = ref None in
   let domains = ref 2 in
   let backend = ref None in
+  let interleave = ref 5 in
   let cmp_old = ref "" and cmp_new = ref None in
   let set_only s = only := String.split_on_char ',' s in
   let spec =
@@ -80,6 +85,9 @@ let parse_args () =
       ("--backend", Arg.String (fun b -> backend := Some b),
        "B execution backend for every run: automata (default) or coloring \
         (the coloring section always measures both explicitly)");
+      ("--interleave", Arg.Set_int interleave,
+       "K runs per mode in the compile section, alternating \
+        compiled/interpreted; each cell is the median of K (default 5)");
       ("--json", Arg.String (fun f -> json := Some f),
        "FILE dump the micro, elastic and coloring steps/s rows as JSON \
         (baseline format, see EXPERIMENTS.md)");
@@ -125,6 +133,7 @@ let parse_args () =
     compare = (match !cmp_new with Some n -> Some (!cmp_old, n) | None -> None);
     domains = max 1 !domains;
     backend;
+    interleave = max 1 !interleave;
   }
 
 let wants opts name = opts.only = [] || List.mem name opts.only
@@ -624,7 +633,7 @@ let obs_overhead opts =
   Printf.printf "tracing-on overhead: %.1f%%\n" (100.0 *. (1.0 -. (on /. off)))
 
 (* ------------------------------------------------------------------ *)
-(* Shared --json row emission (schema 7)                               *)
+(* Shared --json row emission (schema 8)                               *)
 (* ------------------------------------------------------------------ *)
 
 let stats_json (st : Preo_runtime.Connector.stats) =
@@ -638,13 +647,15 @@ let stats_json (st : Preo_runtime.Connector.stats) =
        \"st_wakes_spurious\": %d, \"st_wakes_broadcast\": %d, \
        \"st_mpsc_ops\": %d, \"st_mpsc_batches\": %d, \"st_mpsc_fast\": %d, \
        \"st_batch_fires\": %d, \"st_splices\": %d, \"st_color_rounds\": %d, \
-       \"st_color_iters\": %d}"
+       \"st_color_iters\": %d, \"st_compiled_fires\": %d, \
+       \"st_interp_fires\": %d, \"st_regions_fused\": %d}"
       st.st_steps st.st_regions st.st_domains st.st_expansions st.st_cache_hits
       st.st_cache_evictions st.st_compile_seconds st.st_solver_calls
       st.st_cond_waits st.st_peer_kicks st.st_cand_hits st.st_stalls
       st.st_wakes_targeted st.st_wakes_spurious st.st_wakes_broadcast
       st.st_mpsc_ops st.st_mpsc_batches st.st_mpsc_fast st.st_batch_fires
-      st.st_splices st.st_color_rounds st.st_color_iters)
+      st.st_splices st.st_color_rounds st.st_color_iters st.st_compiled_fires
+      st.st_interp_fires st.st_regions_fused)
 
 let json_row ~family ~n ~config ~rate ~stats =
   Printf.sprintf
@@ -835,6 +846,107 @@ let elastic_bench opts =
 (* Firing-loop throughput per connector family. The committed
    BENCH_baseline.json pins these numbers so future engine changes have a
    perf trajectory to compare against. *)
+(* ------------------------------------------------------------------ *)
+(* COMPILE: compiled dispatch vs interpreted, interleaved A/B           *)
+(* ------------------------------------------------------------------ *)
+
+(* Same binary, same process, same wall-clock neighbourhood: the compiled
+   and interpreted executions of each cell alternate (A/B/A/B…) so thermal
+   and scheduler drift hits both sides equally, and each side reports the
+   median of its K runs plus the relative spread (max-min)/median. The
+   interpreted side is exactly PREO_COMPILE=0. The partitioned sequencer
+   row doubles as the sequentialization demo: its ring fuses to one region
+   (fused > 0), so the compiled side also sheds its bridge queues. *)
+let compile_bench opts =
+  Tablefmt.rule
+    "COMPILE: compiled dispatch vs interpreted (interleaved median-of-K)";
+  let window = if opts.full then 0.5 else 0.15 in
+  let k = opts.interleave in
+  Printf.printf
+    "window = %.2fs per run; %d interleaved runs per mode; interpreted = \
+     PREO_COMPILE=0\n\n"
+    window k;
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n land 1 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+  in
+  let spread xs m =
+    let mx = List.fold_left max neg_infinity xs
+    and mn = List.fold_left min infinity xs in
+    if m > 0.0 then (mx -. mn) /. m else 0.0
+  in
+  let cells =
+    [
+      ("xform_lanes", 4, "new-jit-b8", Preo_runtime.Config.new_jit, 1, 8);
+      ("xform_lanes", 4, "new-jit-b32", Preo_runtime.Config.new_jit, 1, 32);
+      ("xform_lanes", 4, "new-partitioned-mc",
+       Preo_runtime.Config.new_partitioned, 2, 1);
+      ("sequencer", 8, "new-jit", Preo_runtime.Config.new_jit, 1, 1);
+      ("token_ring", 8, "new-jit", Preo_runtime.Config.new_jit, 1, 1);
+      ("relay_ring", 6, "new-jit-b8", Preo_runtime.Config.new_jit, 1, 8);
+      ("sequencer", 8, "new-partitioned",
+       Preo_runtime.Config.new_partitioned, 1, 1);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (fname, n, cname, config, domains, batch) ->
+        let e = Preo_connectors.Catalog.find fname in
+        let run mode =
+          let saved = !Preo_runtime.Config.compile in
+          Fun.protect
+            ~finally:(fun () -> Preo_runtime.Config.compile := saved)
+            (fun () ->
+              Preo_runtime.Config.compile := Some mode;
+              match
+                Preo_connectors.Driver.run_noop ~config ~domains ~batch
+                  ~seconds:window e ~n
+              with
+              | Preo_connectors.Driver.Steps { steps; run_seconds; stats; _ }
+                ->
+                Some (float_of_int steps /. run_seconds, stats)
+              | _ -> None)
+        in
+        let irates = ref [] and crates = ref [] in
+        let cstats = ref None in
+        for _ = 1 to k do
+          (match run false with
+          | Some (r, _) -> irates := r :: !irates
+          | None -> ());
+          match run true with
+          | Some (r, st) ->
+            crates := r :: !crates;
+            cstats := Some st
+          | None -> ()
+        done;
+        match (!irates, !crates, !cstats) with
+        | [], _, _ | _, [], _ | _, _, None ->
+          [ fname; string_of_int n; cname; "FAIL"; "FAIL"; "-"; "-"; "-";
+            "-"; "-" ]
+        | is_, cs, Some st ->
+          let im = median is_ and cm = median cs in
+          Printf.eprintf "[compile] %-16s %-16s %.0f -> %.0f steps/s\n%!"
+            fname cname im cm;
+          Preo_runtime.Connector.
+            [ fname; string_of_int n; cname;
+              Printf.sprintf "%.0f" im;
+              Printf.sprintf "%.0f" cm;
+              Printf.sprintf "%.2fx" (cm /. im);
+              Printf.sprintf "±%.0f%%"
+                (50.0 *. (spread is_ im +. spread cs cm));
+              string_of_int st.st_compiled_fires;
+              string_of_int st.st_interp_fires;
+              string_of_int st.st_regions_fused ])
+      cells
+  in
+  Tablefmt.print
+    ~header:
+      [ "family"; "N"; "config"; "interp/s"; "compiled/s"; "speedup";
+        "spread"; "cfires"; "ifires"; "fused" ]
+    rows
+
 let micro_steps opts =
   Tablefmt.rule "MICRO-STEPS: firing-loop throughput per connector family";
   let window = if opts.full then 1.0 else 0.5 in
@@ -872,14 +984,17 @@ let micro_steps opts =
                        string_of_int st.st_wakes_broadcast;
                        string_of_int st.st_mpsc_ops;
                        string_of_int st.st_mpsc_fast;
-                       string_of_int st.st_batch_fires ]
+                       string_of_int st.st_batch_fires;
+                       string_of_int st.st_compiled_fires;
+                       string_of_int st.st_interp_fires;
+                       string_of_int st.st_regions_fused ]
                  else [])
             | Preo_connectors.Driver.Compile_failed _ ->
               [ fname; string_of_int n; cname; "COMPILE-FAIL" ]
-              @ (if opts.detail then List.init 10 (fun _ -> "-") else [])
+              @ (if opts.detail then List.init 13 (fun _ -> "-") else [])
             | Preo_connectors.Driver.Run_failed _ ->
               [ fname; string_of_int n; cname; "RUN-FAIL" ]
-              @ (if opts.detail then List.init 10 (fun _ -> "-") else []))
+              @ (if opts.detail then List.init 13 (fun _ -> "-") else []))
           micro_configs)
       micro_families
   in
@@ -887,7 +1002,7 @@ let micro_steps opts =
     [ "family"; "N"; "config"; "steps/s" ]
     @ (if opts.detail then
          [ "solves"; "waits"; "kicks"; "cand-hits"; "wakes-t"; "wakes-sp";
-           "wakes-b"; "mpsc"; "fast"; "bfires" ]
+           "wakes-b"; "mpsc"; "fast"; "bfires"; "cfires"; "ifires"; "fused" ]
        else [])
   in
   Tablefmt.print ~header rows;
@@ -1082,6 +1197,7 @@ let () =
   let json_rows = ref [] in
   if wants opts "elastic" then json_rows := !json_rows @ elastic_bench opts;
   if wants opts "coloring" then json_rows := !json_rows @ coloring_bench opts;
+  if wants opts "compile" then compile_bench opts;
   if wants opts "micro" then begin
     json_rows := !json_rows @ micro_steps opts;
     micro opts
@@ -1090,7 +1206,7 @@ let () =
   | Some path when !json_rows <> [] ->
     let oc = open_out path in
     Printf.fprintf oc
-      "{\n  \"schema_version\": 7,\n  \"window_seconds\": %.2f,\n  \
+      "{\n  \"schema_version\": 8,\n  \"window_seconds\": %.2f,\n  \
        \"rows\": [\n%s\n  ]\n}\n"
       (if opts.full then 1.0 else 0.5)
       (String.concat ",\n" !json_rows);

@@ -28,6 +28,12 @@
                                        with --trace, record under tracing and
                                        write Chrome trace JSON to OUT (also on
                                        the timed-out path)
+     preoc compile FILE CONN K=N ... [--dump]
+                                       lower every medium transition into a
+                                       compiled dispatch entry and report
+                                       the partition layout (regions,
+                                       sequentializer merges); --dump prints
+                                       the per-transition tables
      preoc catalog                     list the built-in connector families
 
    Unknown subcommands, missing arguments and malformed operands all print
@@ -46,9 +52,9 @@ let usage () =
   prerr_endline
     "usage: preoc \
      {check|print|fmt|flatten|eval|automaton|dot|graph|trace|verify|template|\
-     emit|simulate} FILE [CONNECTOR] [ARR=N ...] [--backend \
+     emit|simulate|compile} FILE [CONNECTOR] [ARR=N ...] [--backend \
      {automata|coloring}] [--deadline SECS] [--trace OUT] [--json OUT] \
-     [--metrics] [--prop P]\n\
+     [--metrics] [--prop P] [--dump]\n\
      \       preoc catalog";
   exit 2
 
@@ -305,6 +311,98 @@ let main () =
             exit 1
         end)
       (List.rev props)
+  | _ :: "compile" :: rest ->
+    (* Static view of what the run-time dispatch compiler will do: every
+       medium transition is solved and lowered exactly as the composer's
+       [lower] would (the JIT builds product entries on demand from these),
+       and the partitioner runs with sequentialization on, so the printed
+       region layout is the one a partitioned instantiation would use. *)
+    let dump, rest =
+      let rec split d = function
+        | "--dump" :: more -> split true more
+        | x :: more ->
+          let d', r = split d more in
+          (d', x :: r)
+        | [] -> (d, [])
+      in
+      split false rest
+    in
+    (match rest with
+     | path :: name :: rest ->
+       let c = compiled path name in
+       let bindings, sources, sinks =
+         Eval.boundary_of_def c.Preo.def ~lengths:(parse_lengths rest)
+       in
+       let venv = Eval.venv ~ints:[] ~arrays:bindings in
+       let autos = Eval.small_automata (Eval.prims venv c.Preo.flat.Ast.c_body) in
+       let plan =
+         Preo_runtime.Partition.split ~sequentialize:true
+           ~sources:(Iset.of_list (Array.to_list sources))
+           ~sinks:(Iset.of_list (Array.to_list sinks))
+           autos
+       in
+       Printf.printf "%s: %d medium(s), %d region(s), %d bridge(s), %d fused\n"
+         name (List.length autos)
+         (Array.length plan.Preo_runtime.Partition.regions)
+         plan.Preo_runtime.Partition.nbridges
+         plan.Preo_runtime.Partition.nfused;
+       let ncompiled = ref 0 and ninterp = ref 0 and nunsat = ref 0 in
+       let sync_names sync =
+         let acc = ref [] in
+         Iset.iter (fun v -> acc := Preo_automata.Vertex.name v :: !acc) sync;
+         String.concat "," (List.rev !acc)
+       in
+       Array.iteri
+         (fun ri (r : Preo_runtime.Partition.region) ->
+           Printf.printf "region %d: %d medium(s)%s\n" ri
+             (List.length r.Preo_runtime.Partition.mediums)
+             (match r.Preo_runtime.Partition.bridge_peers with
+              | [] -> ""
+              | ps ->
+                " bridges to "
+                ^ String.concat "," (List.map string_of_int ps));
+           List.iteri
+             (fun mi (a : Automaton.t) ->
+               if dump then Printf.printf "  medium %d.%d:\n" ri mi;
+               Array.iteri
+                 (fun s trs ->
+                   Array.iter
+                     (fun (tr : Automaton.trans) ->
+                       let entry =
+                         match
+                           Preo_automata.Command.solve
+                             ~readable:
+                               (Iset.inter a.Automaton.sources tr.Automaton.sync)
+                             ~writable:
+                               (Iset.inter a.Automaton.sinks tr.Automaton.sync)
+                             tr.Automaton.constr
+                         with
+                         | Error _ ->
+                           incr nunsat;
+                           "unsatisfiable (never fires)"
+                         | Ok cmd -> begin
+                           match Preo_automata.Command.compile cmd with
+                           | Some k ->
+                             incr ncompiled;
+                             Printf.sprintf "compiled, %d residual guard(s)"
+                               (Preo_automata.Command.compiled_nguards k)
+                           | None ->
+                             incr ninterp;
+                             "interpreted (late-bound data function)"
+                         end
+                       in
+                       if dump then
+                         Printf.printf "    s%d --{%s}--> s%d  %s\n" s
+                           (sync_names tr.Automaton.sync) tr.Automaton.target
+                           entry)
+                     trs)
+                 a.Automaton.trans)
+             r.Preo_runtime.Partition.mediums)
+         plan.Preo_runtime.Partition.regions;
+       Printf.printf
+         "dispatch: %d compiled, %d interpreted, %d unsatisfiable\n" !ncompiled
+         !ninterp !nunsat
+     | _ -> bad_operand "compile: expected FILE CONNECTOR [ARR=N ...] [--dump]")
   | _ :: "simulate" :: path :: name :: rest ->
     (* --deadline SECS: every port operation of the spamming tasks carries
        a deadline. On expiry the stall report is printed (which pending

@@ -265,6 +265,143 @@ let execute t env =
       | `Cell (c, value) -> env.write_cell c value)
     staged
 
+(* --- Compilation -------------------------------------------------------- *)
+
+(* A command lowered into closed OCaml closures: every [Datafun] name is
+   looked up once here (not per evaluation, through a mutex), constant
+   guards are folded away, and the guard check + move execution fuse into a
+   single [fire] call. The closures only touch the world through the same
+   [env] the interpreter uses, so a compiled command is observationally
+   identical to [guards_hold]+[execute] — certified by the differential
+   suite over the whole catalog.
+
+   Semantics of folding: data functions and predicates are pure functions of
+   their argument (the Reo contract; all stock ones are), so a predicate
+   applied to a literal can be decided at compile time. A name that is not
+   registered at compile time makes the command "exotic": {!compile} returns
+   [None] and the interpreter keeps late-binding it per evaluation. *)
+
+type compiled = {
+  k_nguards : int;  (** residual (unfolded) guards; 0 = batchable *)
+  k_fire : env -> bool;
+      (** check the residual guards; when they hold, execute the moves
+          (through [env], so writes stage wherever the caller stages them)
+          and return [true]. A statically false guard yields a [fire] that
+          is constantly [false]. *)
+}
+
+let compiled_nguards k = k.k_nguards
+
+exception Not_compilable
+
+let rec lower_expr : expr -> env -> Value.t = function
+  | Read_port v -> fun env -> env.read_send v
+  | Read_cell c -> fun env -> env.read_cell c
+  | Lit v -> fun _ -> v
+  | Apply (f, e) -> (
+    let g = lower_expr e in
+    match Datafun.lookup_fn f with
+    | Some fn -> fun env -> fn (g env)
+    | None -> raise Not_compilable)
+
+type lowered_guard = L_true | L_false | L_test of (env -> bool)
+
+let lower_guard = function
+  | G_eq (Lit a, Lit b) -> if Value.equal a b then L_true else L_false
+  | G_eq (a, b) ->
+    let ea = lower_expr a and eb = lower_expr b in
+    L_test (fun env -> Value.equal (ea env) (eb env))
+  | G_pred { g_pred; g_positive; g_arg } -> (
+    match Datafun.lookup_pred g_pred with
+    | None -> raise Not_compilable
+    | Some p -> (
+      match g_arg with
+      | Lit v -> if p v = g_positive then L_true else L_false
+      | _ ->
+        let a = lower_expr g_arg in
+        if g_positive then L_test (fun env -> p (a env))
+        else L_test (fun env -> not (p (a env)))))
+
+let lower_move = function
+  | To_sink (v, e) ->
+    let g = lower_expr e in
+    fun env -> env.deliver v (g env)
+  | To_cell (c, e) ->
+    let g = lower_expr e in
+    fun env -> env.write_cell c (g env)
+
+let compile (t : t) : compiled option =
+  match
+    let static_false = ref false in
+    let tests =
+      Array.to_list t.guards
+      |> List.filter_map (fun g ->
+             match lower_guard g with
+             | L_true -> None
+             | L_false ->
+               static_false := true;
+               None
+             | L_test f -> Some f)
+      |> Array.of_list
+    in
+    if !static_false then
+      (* Constant-folded to never-enabled; keep the original guard count so
+         nobody mistakes it for guard-free. *)
+      { k_nguards = max 1 (Array.length t.guards); k_fire = (fun _ -> false) }
+    else begin
+      let exec =
+        match t.moves with
+        | [||] -> fun _ -> ()
+        | [| m |] ->
+          (* One move: its own read happens before its own write, so the
+             read-before-write contract holds with no staging. *)
+          lower_move m
+        | moves ->
+          (* Several moves: preserve [execute]'s contract (all sources read
+             before any write) by staging the values first. *)
+          let writes =
+            Array.map
+              (function
+                | To_sink (v, e) ->
+                  (lower_expr e, fun env value -> env.deliver v value)
+                | To_cell (c, e) ->
+                  (lower_expr e, fun env value -> env.write_cell c value))
+              moves
+          in
+          fun env ->
+            let staged = Array.map (fun (g, _) -> g env) writes in
+            Array.iteri (fun i (_, w) -> w env staged.(i)) writes
+      in
+      let k_fire =
+        match Array.length tests with
+        | 0 ->
+          fun env ->
+            exec env;
+            true
+        | 1 ->
+          let g = tests.(0) in
+          fun env ->
+            if g env then begin
+              exec env;
+              true
+            end
+            else false
+        | _ ->
+          fun env ->
+            Array.for_all (fun g -> g env) tests
+            && begin
+                 exec env;
+                 true
+               end
+      in
+      { k_nguards = Array.length tests; k_fire }
+    end
+  with
+  | k -> Some k
+  | exception Not_compilable -> None
+
+let fire_compiled k env = k.k_fire env
+
 (* --- Renaming ---------------------------------------------------------- *)
 
 let rec map_expr_vertices f = function

@@ -52,6 +52,29 @@ val solve :
 val guards_hold : t -> env -> bool
 (** Evaluate the guards only (cheap pre-check before committing a firing). *)
 
+type compiled
+(** A command lowered into closed OCaml closures: [Datafun] names resolved
+    once at compile time, constant guards folded, guard check and move
+    execution fused into a single call. Observationally identical to
+    {!guards_hold} + {!execute} on the same [env]. *)
+
+val compile : t -> compiled option
+(** Lower a command. [None] when a [Datafun] name it mentions is not yet
+    registered — such "exotic" commands stay on the interpreted path, which
+    late-binds names per evaluation. Data functions and predicates are
+    treated as pure (the Reo contract), so a predicate applied to a literal
+    is decided here, at compile time. *)
+
+val fire_compiled : compiled -> env -> bool
+(** Check the residual guards; when they hold, run the moves (reads before
+    writes, exactly as {!execute}) and return [true]. A [false] performs no
+    writes — safe against envs that stage effects. *)
+
+val compiled_nguards : compiled -> int
+(** Number of guards that survived constant folding — tests whose verdict
+    can still change between firings. 0 means unconditionally enabled
+    (modulo synchronization), which the engine's batching relies on. *)
+
 val execute : t -> env -> unit
 (** Run the moves: all source values are read first, then all writes and
     deliveries are performed, so a cell may be both read and overwritten in

@@ -24,6 +24,14 @@ let find_pred name =
 let fn_exists name = with_lock (fun () -> Hashtbl.mem fns name)
 let pred_exists name = with_lock (fun () -> Hashtbl.mem preds name)
 
+(* Non-raising lookups for the command compiler: a [Some f] is the function
+   itself, pre-bound into the compiled closure so the hot loop never pays
+   the mutex + hashtable cost again. [None] sends the command down the
+   interpreted path, which re-looks the name up at every evaluation — the
+   behaviour late-registering programs rely on. *)
+let lookup_fn name = with_lock (fun () -> Hashtbl.find_opt fns name)
+let lookup_pred name = with_lock (fun () -> Hashtbl.find_opt preds name)
+
 (* A few stock functions/predicates, always available. *)
 let () =
   register_fn "id" Fun.id;

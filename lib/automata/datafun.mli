@@ -15,3 +15,12 @@ val find_pred : string -> (Preo_support.Value.t -> bool)
 
 val fn_exists : string -> bool
 val pred_exists : string -> bool
+
+val lookup_fn : string -> (Preo_support.Value.t -> Preo_support.Value.t) option
+(** Non-raising lookup, for the command compiler: [Some f] is the function
+    itself, pre-bound into the compiled closure so the hot loop never pays
+    the registry mutex again. [None] keeps the command on the interpreted
+    path, which re-resolves the name at every evaluation — the behaviour
+    late-registering programs rely on. *)
+
+val lookup_pred : string -> (Preo_support.Value.t -> bool) option

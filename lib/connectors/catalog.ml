@@ -192,6 +192,17 @@ NOrderedMerger(tl[];hd[]) =
   mult Fifo1(a;b)
   mult Router(b;hd[1..#hd])|}
       tl_hd_n;
+    entry "xform_lanes"
+      "N independent lanes applying a data function before and after a \
+       buffer (dispatch-heavy: every firing evaluates Datafun applications)"
+      "NXformLanes"
+      {|NXformLanes(tl[];hd[]) =
+  prod (i:1..#tl) {
+    Transform<incr>(tl[i];x[i])
+    mult Fifo1(x[i];y[i])
+    mult Transform<incr>(y[i];hd[i])
+  }|}
+      tl_hd_n;
   ]
 
 let find name = List.find (fun e -> e.name = name) all

@@ -1,4 +1,4 @@
-(** The 18 parametrizable connector families of the Fig. 12 benchmark suite,
+(** The parametrizable connector families of the Fig. 12 benchmark suite,
     covering the major parametrizable examples of the Reo literature:
     (de)multiplexers, round-robin disciplines, barriers and fork/joins,
     buffered distribution/collection, token and relay rings, mutual

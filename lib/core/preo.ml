@@ -86,15 +86,15 @@ let build_mediums ?(config = Config.new_jit) (c : compiled) venv =
     Eval.small_automata (Eval.prims venv c.flat.Ast.c_body)
   | Config.New _ -> Template.instantiate c.template venv
 
-let instantiate ?(config = Config.new_jit) ?backend ?domains (c : compiled)
-    ~lengths =
+let instantiate ?(config = Config.new_jit) ?backend ?domains ?compile
+    (c : compiled) ~lengths =
   reraise (fun () ->
       let bindings, sources, sinks = Eval.boundary_of_def c.def ~lengths in
       let venv = Eval.venv ~ints:[] ~arrays:bindings in
       let mediums = build_mediums ~config c venv in
       let conn =
         Connector.create ~config ?backend ~name:c.def.Ast.c_name ?domains
-          ~sources ~sinks mediums
+          ?compile ~sources ~sinks mediums
       in
       let tails =
         List.map (function Ast.P_scalar x | Ast.P_array x -> x) c.def.Ast.c_tparams
@@ -267,6 +267,7 @@ let shutdown inst = Connector.poison inst.conn "shutdown"
 let set_stall_threshold v = Preo_runtime.Config.stall_threshold := v
 let set_domains v = Preo_runtime.Config.domains := v
 let set_backend v = Preo_runtime.Sched.backend := v
+let set_compile v = Preo_runtime.Config.compile := v
 let backend inst = Connector.backend inst.conn
 let set_tracing v = Preo_obs.Obs.set_tracing v
 let tracing_enabled () = !Preo_obs.Obs.tracing
@@ -288,7 +289,7 @@ let in1 = function
   | Ins ps -> err "expected one inport, got %d" (Array.length ps)
   | Outs _ -> err "expected an inport argument, got outports"
 
-let run_main ?(config = Config.new_jit) ?backend ?domains
+let run_main ?(config = Config.new_jit) ?backend ?domains ?compile
     ~(program : Ast.program) ~params tasks =
   reraise (fun () ->
       let main =
@@ -362,8 +363,8 @@ let run_main ?(config = Config.new_jit) ?backend ?domains
           build_mediums ~config c venv
       in
       let conn =
-        Connector.create ~config ?backend ~name:conn_name ?domains ~sources
-          ~sinks mediums
+        Connector.create ~config ?backend ~name:conn_name ?domains ?compile
+          ~sources ~sinks mediums
       in
       let inst = { conn; groups; elastic = None } in
       (* Resolve a task argument to ports. *)
@@ -416,5 +417,6 @@ let run_main ?(config = Config.new_jit) ?backend ?domains
       Task.run_all ~on:(Connector.sched conn) (List.rev !bodies);
       inst)
 
-let run_main_source ?config ?backend ?domains ~source ~params tasks =
-  run_main ?config ?backend ?domains ~program:(parse_check source) ~params tasks
+let run_main_source ?config ?backend ?domains ?compile ~source ~params tasks =
+  run_main ?config ?backend ?domains ?compile ~program:(parse_check source)
+    ~params tasks

@@ -61,6 +61,7 @@ val instantiate :
   ?config:Config.t ->
   ?backend:Sched.backend ->
   ?domains:int ->
+  ?compile:bool ->
   compiled ->
   lengths:(string * int) list ->
   instance
@@ -70,7 +71,9 @@ val instantiate :
     [?backend] picks the round scheduler — [Sched.Coloring] resolves rounds
     by color propagation instead of product-state expansion; resolution and
     downgrade rules in {!Connector.create}. [?domains] sets the parallelism
-    target (see {!Connector.create}). Raises {!Connector.Compile_failure}
+    target (see {!Connector.create}). [?compile] toggles compiled transition
+    dispatch and region sequentialization (default on; see
+    {!Connector.create}). Raises {!Connector.Compile_failure}
     if the existing approach exceeds its composition budget. *)
 
 val groups : instance -> (string * bool) list
@@ -146,6 +149,13 @@ val backend : instance -> Sched.backend
 (** The backend the instance actually runs on (a coloring request degrades
     to automata under [Config.Existing] or [true_synchronous]). *)
 
+val set_compile : bool option -> unit
+(** Configure the process-wide default for compiled transition dispatch and
+    region sequentialization ({!Config.compile} / [PREO_COMPILE]):
+    [Some false] makes subsequent instantiations interpret every command and
+    skip sequentialization (the reference semantics); [Some true] forces
+    compilation on; [None] falls back to the environment variable, then on. *)
+
 val set_stall_threshold : float option -> unit
 (** Configure the global stall watchdog ({!Config.stall_threshold}): a port
     operation blocked longer than this many seconds has a stall report
@@ -194,6 +204,7 @@ val run_main :
   ?config:Config.t ->
   ?backend:Sched.backend ->
   ?domains:int ->
+  ?compile:bool ->
   program:Ast.program ->
   params:(string * int) list ->
   (string * (port_arg list -> unit)) list ->
@@ -209,6 +220,7 @@ val run_main_source :
   ?config:Config.t ->
   ?backend:Sched.backend ->
   ?domains:int ->
+  ?compile:bool ->
   source:string ->
   params:(string * int) list ->
   (string * (port_arg list -> unit)) list ->

@@ -13,7 +13,13 @@ type xtrans = {
   target : target;
 }
 
-and cmd_state = C_unsolved | C_solved of Command.t | C_unsat
+and cmd_state =
+  | C_unsolved
+  | C_solved of Command.t
+  | C_compiled of Command.t * Command.compiled
+      (* solved and lowered into closed closures; the engine fires the
+         compiled form and never revisits the guard/move trees *)
+  | C_unsat
 
 and target =
   | T_aot of int
@@ -126,6 +132,9 @@ type t = {
   mutable snks : Iset.t;
   mutable cells : int;  (* splice appends fresh cell slots; never reused *)
   optimize : bool;
+  compile : bool;
+      (* lower solved commands into closed closures (Command.compile);
+         commands with unregistered Datafun names stay interpreted *)
   ncand_hits : int Atomic.t;
   ncand_evictions : int Atomic.t;
   nsolves : int Atomic.t;
@@ -158,11 +167,18 @@ let build_index boundary (ts : xtrans array) =
     ts;
   { si_silent = Array.of_list (List.rev !silent); si_by_least = by_least }
 
-let make_xtrans ~srcs ~snks ~optimize ~sync ~constr ~target =
+let lower ~compile c =
+  if compile then
+    match Command.compile c with
+    | Some k -> C_compiled (c, k)
+    | None -> C_solved c (* exotic (late-bound Datafun): stay interpreted *)
+  else C_solved c
+
+let make_xtrans ~srcs ~snks ~optimize ~compile ~sync ~constr ~target =
   let cmd =
     if optimize then
       match Command.solve ~readable:srcs ~writable:snks constr with
-      | Ok c -> C_solved c
+      | Ok c -> lower ~compile c
       | Error _ -> C_unsat (* structurally unsatisfiable: caller drops it *)
     else C_unsolved
   in
@@ -198,7 +214,8 @@ let renumber_cells autos =
 (* --- Ahead-of-time ------------------------------------------------------ *)
 
 let aot ?(name = "connector") ?(use_dispatch = true) ?(optimize_labels = true)
-    (large : Automaton.t) =
+    ?compile (large : Automaton.t) =
+  let compile = Config.effective_compile ?requested:compile () in
   let large, cells = match renumber_cells [ large ] with
     | [ a ], n -> (a, n)
     | _ -> assert false
@@ -210,7 +227,7 @@ let aot ?(name = "connector") ?(use_dispatch = true) ?(optimize_labels = true)
         let ts =
           Array.to_list large.trans.(s)
           |> List.filter_map (fun (tr : Automaton.trans) ->
-                 make_xtrans ~srcs ~snks ~optimize:optimize_labels
+                 make_xtrans ~srcs ~snks ~optimize:optimize_labels ~compile
                    ~sync:tr.sync ~constr:tr.constr ~target:(T_aot tr.target))
           |> Array.of_list
         in
@@ -224,6 +241,7 @@ let aot ?(name = "connector") ?(use_dispatch = true) ?(optimize_labels = true)
     snks;
     cells;
     optimize = optimize_labels;
+    compile;
     ncand_hits = Atomic.make 0;
     ncand_evictions = Atomic.make 0;
     nsolves = Atomic.make 0;
@@ -255,8 +273,9 @@ let prepare_mediums ~sources ~sinks mediums =
     mediums
 
 let jit ?(name = "connector") ?(cache_capacity = 0) ?(optimize_labels = true)
-    ?(expansion_budget = 2_000_000) ?(true_synchronous = false) ~sources
-    ~sinks mediums =
+    ?(expansion_budget = 2_000_000) ?(true_synchronous = false) ?compile
+    ~sources ~sinks mediums =
+  let compile = Config.effective_compile ?requested:compile () in
   let mediums = prepare_mediums ~sources ~sinks mediums in
   let mediums, cells = renumber_cells mediums in
   let mediums = Array.of_list mediums in
@@ -279,6 +298,7 @@ let jit ?(name = "connector") ?(cache_capacity = 0) ?(optimize_labels = true)
     snks = sinks;
     cells;
     optimize = optimize_labels;
+    compile;
     ncand_hits = Atomic.make 0;
     ncand_evictions = Atomic.make 0;
     nsolves = Atomic.make 0;
@@ -288,7 +308,8 @@ let jit ?(name = "connector") ?(cache_capacity = 0) ?(optimize_labels = true)
 
 let coloring ?(name = "connector") ?(cache_capacity = 0)
     ?(optimize_labels = true) ?(expansion_budget = 2_000_000)
-    ?(max_rounds = 16) ~sources ~sinks mediums =
+    ?(max_rounds = 16) ?compile ~sources ~sinks mediums =
+  let compile = Config.effective_compile ?requested:compile () in
   let mediums = prepare_mediums ~sources ~sinks mediums in
   let mediums, cells = renumber_cells mediums in
   let mediums = Array.of_list mediums in
@@ -315,6 +336,7 @@ let coloring ?(name = "connector") ?(cache_capacity = 0)
     snks = sinks;
     cells;
     optimize = optimize_labels;
+    compile;
     ncand_hits = Atomic.make 0;
     ncand_evictions = Atomic.make 0;
     nsolves = Atomic.make 0;
@@ -386,8 +408,8 @@ let expand_interleaved t (js : jit_state) (state : int array) : expanded =
           end)
         selection;
       match
-        make_xtrans ~srcs:t.srcs ~snks:t.snks ~optimize:t.optimize ~sync:!sync
-          ~constr:!constr ~target:(T_jit target)
+        make_xtrans ~srcs:t.srcs ~snks:t.snks ~optimize:t.optimize
+          ~compile:t.compile ~sync:!sync ~constr:!constr ~target:(T_jit target)
       with
       | Some x -> result := x :: !result
       | None -> ()
@@ -478,7 +500,8 @@ let expand_synchronous t (js : jit_state) (state : int array) : expanded =
           choices;
         match
           make_xtrans ~srcs:t.srcs ~snks:t.snks ~optimize:t.optimize
-            ~sync:!sync ~constr:!constr ~target:(T_jit target)
+            ~compile:t.compile ~sync:!sync ~constr:!constr
+            ~target:(T_jit target)
         with
         | Some x -> result := x :: !result
         | None -> ()
@@ -586,7 +609,7 @@ let color_candidates t (cs : color_state) ~pending =
              | None ->
                let x =
                  make_xtrans ~srcs:t.srcs ~snks:t.snks ~optimize:t.optimize
-                   ~sync:r.r_sync ~constr:r.r_constr
+                   ~compile:t.compile ~sync:r.r_sync ~constr:r.r_constr
                    ~target:(T_color r.r_moves)
                in
                Xcache.add cs.xcache r.r_key x;
@@ -631,18 +654,28 @@ let candidates t ~pending =
    constraint is structurally unsatisfiable (never enabled). *)
 let command_of t (x : xtrans) =
   match x.cmd with
-  | C_solved c -> Some c
+  | C_solved c | C_compiled (c, _) -> Some c
   | C_unsat -> None
   | C_unsolved -> begin
     Atomic.incr t.nsolves;
     match Command.solve ~readable:t.srcs ~writable:t.snks x.constr with
     | Ok c ->
-      x.cmd <- C_solved c;
+      x.cmd <- lower ~compile:t.compile c;
       Some c
     | Error _ ->
       x.cmd <- C_unsat;
       None
   end
+
+(* The compiled form, if lowering succeeded. Meaningful only after
+   {!command_of} returned [Some] — until then an unoptimized transition is
+   still [C_unsolved]. *)
+let compiled_of (x : xtrans) =
+  match x.cmd with
+  | C_compiled (_, k) -> Some k
+  | C_unsolved | C_solved _ | C_unsat -> None
+
+let compiling t = t.compile
 
 (* Does [x] leave the composer in the state it entered? Must be asked
    BEFORE {!commit} — afterwards the current state IS the target, so the

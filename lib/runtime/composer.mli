@@ -26,7 +26,13 @@ type xtrans = {
   target : target;
 }
 
-and cmd_state = C_unsolved | C_solved of Command.t | C_unsat
+and cmd_state =
+  | C_unsolved
+  | C_solved of Command.t
+  | C_compiled of Command.t * Command.compiled
+      (** solved and lowered into closed closures ([Command.compile]); the
+          engine fires the compiled form without walking guard/move trees *)
+  | C_unsat
 
 and target =
   | T_aot of int
@@ -47,13 +53,15 @@ val aot :
   ?name:string ->
   ?use_dispatch:bool ->
   ?optimize_labels:bool ->
+  ?compile:bool ->
   Automaton.t ->
   t
 (** The automaton's [sources]/[sinks] are the connector boundary.
     [use_dispatch] builds the per-state vertex index (the whole-automaton
     optimization); [optimize_labels] pre-solves all commands. Both default
-    to [true] (the existing compiler applies both). [name] labels budget
-    errors (default ["connector"]). *)
+    to [true] (the existing compiler applies both). [compile] lowers solved
+    commands into closed closures (default [Config.effective_compile]).
+    [name] labels budget errors (default ["connector"]). *)
 
 val jit :
   ?name:string ->
@@ -61,6 +69,7 @@ val jit :
   ?optimize_labels:bool ->
   ?expansion_budget:int ->
   ?true_synchronous:bool ->
+  ?compile:bool ->
   sources:Iset.t ->
   sinks:Iset.t ->
   Automaton.t list ->
@@ -79,6 +88,7 @@ val coloring :
   ?optimize_labels:bool ->
   ?expansion_budget:int ->
   ?max_rounds:int ->
+  ?compile:bool ->
   sources:Iset.t ->
   sinks:Iset.t ->
   Automaton.t list ->
@@ -116,7 +126,18 @@ val command_of : t -> xtrans -> Command.t option
 (** The executable command of a transition: the precompiled one when label
     optimization is on, otherwise solved — once — on the first firing
     attempt and memoized on the transition. [None] means the constraint is
-    structurally unsatisfiable (the transition is never enabled). *)
+    structurally unsatisfiable (the transition is never enabled). When the
+    composer compiles ({!compiling}), the solved command is also lowered
+    into closed closures, retrievable via {!compiled_of}. *)
+
+val compiled_of : xtrans -> Command.compiled option
+(** The closure-lowered form of the transition's command, when the composer
+    compiles and lowering succeeded (all [Datafun] names registered at
+    solve time). Only meaningful after {!command_of} returned [Some]; the
+    engine fires it in place of the interpreted guard/move walk. *)
+
+val compiling : t -> bool
+(** Whether this composer lowers solved commands into closures. *)
 
 val ncells : t -> int
 (** Number of (densely renumbered) memory cells; engine memory size. Grows

@@ -90,6 +90,24 @@ let domains : int option ref =
      | Some s -> int_of_string_opt s
      | None -> None)
 
+(* Compiled transition dispatch. [None] means "default" (on): commands are
+   lowered into closed closures at solve time and fired without walking the
+   guard/move trees, and the partitioner is allowed to fuse provably
+   alternating regions back together. [Some false] forces the interpreted
+   path everywhere — the reference semantics, kept green in CI. Settable at
+   runtime or via the PREO_COMPILE environment variable. *)
+let compile : bool option ref =
+  ref
+    (match Sys.getenv_opt "PREO_COMPILE" with
+     | Some ("0" | "false" | "no" | "off") -> Some false
+     | Some _ -> Some true
+     | None -> None)
+
+let effective_compile ?requested () =
+  match requested with
+  | Some c -> c
+  | None -> ( match !compile with Some c -> c | None -> true)
+
 let max_domains = 16
 
 let effective_domains ?requested () =

@@ -48,6 +48,18 @@ val domains : int option ref
     the recommended count. Initialized from the [PREO_DOMAINS] environment
     variable when set. *)
 
+val compile : bool option ref
+(** Process-wide default for compiled transition dispatch. [None] (default)
+    means on: solved commands are lowered into closed closures
+    ([Command.compile]) and the partitioner may fuse provably alternating
+    regions. [Some false] forces the interpreted reference path and disables
+    region fusion. Initialized from the [PREO_COMPILE] environment variable
+    when set ("0"/"false"/"no"/"off" disable, anything else enables). *)
+
+val effective_compile : ?requested:bool -> unit -> bool
+(** Resolve the compile switch: [?requested] wins, else [!compile], else
+    [true]. *)
+
 val max_domains : int
 (** Hard cap on domains per connector (matches [Pool.max_domains]). *)
 

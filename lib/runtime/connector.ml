@@ -26,19 +26,21 @@ type t = {
   nsplices : int Atomic.t;
   splice_lock : Mutex.t;  (* serializes splices (engine locks nest inside) *)
   backend : Sched.backend;  (* the round scheduler this instance runs on *)
+  nfused : int;  (* region pairs the sequentializer merged at split time *)
 }
 
 let hide_internals ~keep (a : Automaton.t) =
   Automaton.trim (Automaton.hide (Iset.diff a.vertices keep) a)
 
 let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
-    ~sources ~sinks mediums =
+    ?compile ~sources ~sinks mediums =
   let eff_domains = Config.effective_domains ?requested:domains () in
+  let eff_compile = Config.effective_compile ?requested:compile () in
   let src_set = Iset.of_list (Array.to_list sources) in
   let snk_set = Iset.of_list (Array.to_list sinks) in
   let backend = Sched.effective ?requested:backend () in
   let t0 = Clock.now () in
-  let engines, routes, slots, bridges, elastic, backend =
+  let engines, routes, slots, bridges, elastic, backend, nfused =
     match config with
     | Config.Existing
         {
@@ -65,14 +67,18 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
       let large = hide_internals ~keep:(Iset.union src_set snk_set) large in
       (* Force boundary polarity from the declared signature. *)
       let large = { large with sources = src_set; sinks = snk_set } in
-      let comp = Composer.aot ~name ~use_dispatch ~optimize_labels large in
+      let comp =
+        Composer.aot ~name ~use_dispatch ~optimize_labels ~compile:eff_compile
+          large
+      in
       let e = Engine.create ~name:"engine0" comp in
       ( [| e |],
         [ (Iset.union src_set snk_set, e) ],
         [| ref [] |],
         [],
         false,
-        Sched.Automata )
+        Sched.Automata,
+        0 )
     | Config.New
         {
           optimize_labels;
@@ -91,10 +97,11 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
         match backend with
         | Sched.Coloring ->
           Composer.coloring ~name ~cache_capacity ~optimize_labels
-            ~expansion_budget ~sources ~sinks mediums
+            ~expansion_budget ~compile:eff_compile ~sources ~sinks mediums
         | Sched.Automata ->
           Composer.jit ~name ~cache_capacity ~optimize_labels
-            ~expansion_budget ~true_synchronous ~sources ~sinks mediums
+            ~expansion_budget ~true_synchronous ~compile:eff_compile ~sources
+            ~sinks mediums
       in
       if not partition then begin
         let comp = mk_composer ~sources:src_set ~sinks:snk_set mediums in
@@ -104,12 +111,13 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
           [| ref mediums |],
           [],
           true,
-          backend )
+          backend,
+          0 )
       end
       else begin
         let plan =
-          Partition.split ~domains:eff_domains ~sources:src_set ~sinks:snk_set
-            mediums
+          Partition.split ~domains:eff_domains ~sequentialize:eff_compile
+            ~sources:src_set ~sinks:snk_set mediums
         in
         let engines =
           Array.mapi
@@ -158,7 +166,7 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
                    plan.regions))
             mediums
         in
-        (engines, routes, slots, bridges, true, backend)
+        (engines, routes, slots, bridges, true, backend, plan.nfused)
       end
   in
   let route = Hashtbl.create 32 in
@@ -186,6 +194,7 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
     nsplices = Atomic.make 0;
     splice_lock = Mutex.create ();
     backend;
+    nfused;
   }
 
 let backend t = t.backend
@@ -409,6 +418,7 @@ let steps t = Array.fold_left (fun acc e -> acc + Engine.steps e) 0 t.engines
 let compile_seconds t = t.compile_seconds
 let engines t = Array.to_list t.engines
 let nregions t = Array.length t.engines
+let regions_fused t = t.nfused
 let domains t = t.domains
 let pool t = t.pool
 
@@ -495,6 +505,9 @@ type stats = {
   st_splices : int;
   st_color_rounds : int;
   st_color_iters : int;
+  st_compiled_fires : int;
+  st_interp_fires : int;
+  st_regions_fused : int;
 }
 
 let sum_engines t f = Array.fold_left (fun acc e -> acc + f e) 0 t.engines
@@ -526,6 +539,9 @@ let stats t =
       sum_engines t (fun e -> Composer.color_rounds (Engine.composer e));
     st_color_iters =
       sum_engines t (fun e -> Composer.color_iters (Engine.composer e));
+    st_compiled_fires = sum_engines t Engine.compiled_fires;
+    st_interp_fires = sum_engines t Engine.interp_fires;
+    st_regions_fused = t.nfused;
   }
 
 (* Exports cover every lane registered in the process — this connector's
@@ -545,10 +561,11 @@ let pp_stats ppf s =
     "steps=%d regions=%d domains=%d expansions=%d cache-hits=%d evictions=%d \
      compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d stalls=%d \
      wakes=%d/%d/%d mpsc=%d/%d fast=%d batch-fires=%d splices=%d \
-     color-rounds=%d color-iters=%d"
+     color-rounds=%d color-iters=%d compiled-fires=%d interp-fires=%d \
+     fused=%d"
     s.st_steps s.st_regions s.st_domains s.st_expansions s.st_cache_hits
     s.st_cache_evictions s.st_compile_seconds s.st_solver_calls s.st_cond_waits
     s.st_peer_kicks s.st_cand_hits s.st_stalls s.st_wakes_targeted
     s.st_wakes_spurious s.st_wakes_broadcast s.st_mpsc_ops s.st_mpsc_batches
     s.st_mpsc_fast s.st_batch_fires s.st_splices s.st_color_rounds
-    s.st_color_iters
+    s.st_color_iters s.st_compiled_fires s.st_interp_fires s.st_regions_fused

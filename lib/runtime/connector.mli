@@ -22,6 +22,7 @@ val create :
   ?backend:Sched.backend ->
   ?name:string ->
   ?domains:int ->
+  ?compile:bool ->
   sources:Vertex.t array ->
   sinks:Vertex.t array ->
   Automaton.t list ->
@@ -47,7 +48,15 @@ val create :
     scheduling policy ({!sched}). Resolution follows
     {!Config.effective_domains}: an explicit argument wins, else the
     process-wide [Config.domains] / [PREO_DOMAINS], else
-    [Domain.recommended_domain_count], clamped to [Config.max_domains]. *)
+    [Domain.recommended_domain_count], clamped to [Config.max_domains].
+
+    [?compile] controls compiled transition dispatch and region
+    sequentialization together (resolution follows
+    {!Config.effective_compile}: explicit argument, else [Config.compile] /
+    [PREO_COMPILE], else on): solved commands are lowered into closed
+    closures fired without interpretation, and the partitioner fuses region
+    pairs whose cross-cut traffic is provably strictly alternating.
+    [false] gives the interpreted, unfused reference semantics. *)
 
 val backend : t -> Sched.backend
 (** The backend this connector actually runs on (after the resolution and
@@ -124,6 +133,11 @@ val compile_seconds : t -> float
 
 val engines : t -> Engine.t list
 val nregions : t -> int
+
+val regions_fused : t -> int
+(** Region pairs the sequentializer merged back at split time (0 for
+    unpartitioned configs or when compilation is off). *)
+
 val expansions : t -> int
 val cache_evictions : t -> int
 
@@ -200,6 +214,16 @@ type stats = {
       (** color-propagation iterations — row trials during the fixed point;
           [st_color_iters / st_color_rounds] is the mean cost of resolving
           one round *)
+  st_compiled_fires : int;
+      (** firings executed through closure-compiled commands
+          ([Command.compile]): guard check + moves in one pre-bound call *)
+  st_interp_fires : int;
+      (** firings through the interpreted guard/move walk — everything when
+          [PREO_COMPILE=0], otherwise only unsolved-lazily or exotic
+          (late-bound Datafun) commands *)
+  st_regions_fused : int;
+      (** region pairs the sequentializer merged back (see
+          {!regions_fused}) *)
 }
 
 val stats : t -> stats

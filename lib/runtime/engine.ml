@@ -218,6 +218,15 @@ type t = {
   nbatch : int Atomic.t;
       (** extra transition firings obtained by batched self-loop replay
           (beyond the first firing found by the candidate scan) *)
+  ncfires : int Atomic.t;  (** firings through compiled (closure) commands *)
+  nifires : int Atomic.t;  (** firings through the interpreted walk *)
+  mutable fire_env : Command.env option;
+      (** the one [Command.env] this engine ever allocates: its closures
+          capture [t] (not the cell array, which splice replaces) and stage
+          into [staged_cells]/[delivered] below — reset at the top of every
+          firing attempt, all under the engine lock *)
+  mutable staged_cells : (int * Value.t) list;
+  mutable delivered : (Vertex.t * Value.t) list;
   mutable last_stall : stall_report option;
   poison_flag : string option Atomic.t;
       (* read without the lock so overloaded engines notice shutdown *)
@@ -278,6 +287,11 @@ let create ?(gates = []) ?(name = "engine") comp =
     nmpsc_batches = Atomic.make 0;
     nmpsc_fast = Atomic.make 0;
     nbatch = Atomic.make 0;
+    ncfires = Atomic.make 0;
+    nifires = Atomic.make 0;
+    fire_env = None;
+    staged_cells = [];
+    delivered = [];
     last_stall = None;
     poison_flag = Atomic.make None;
     poisoned = None;
@@ -324,6 +338,8 @@ let mpsc_ops t = Atomic.get t.nmpsc_ops
 let mpsc_batches t = Atomic.get t.nmpsc_batches
 let mpsc_fast t = Atomic.get t.nmpsc_fast
 let batch_fires t = Atomic.get t.nbatch
+let compiled_fires t = Atomic.get t.ncfires
+let interp_fires t = Atomic.get t.nifires
 
 (* --- Targeted wakeups -------------------------------------------------------
    Operations complete only inside [fire_one], under the engine lock, and a
@@ -525,6 +541,36 @@ let still_enabled t (x : Composer.xtrans) =
   Iset.for_all (vertex_ready t.send_q) x.needs_send
   && Iset.for_all (vertex_ready t.recv_q) x.needs_recv
 
+(* The engine's single [Command.env]: allocated once, reused for every
+   firing attempt (compiled or interpreted). Its closures capture [t], so
+   they survive splice (which replaces [t.cells] and the composer's
+   boundary) and always see the current state; writes stage into the
+   engine's [staged_cells]/[delivered] fields, reset by each attempt. All
+   of this happens strictly under the engine lock. *)
+let fire_env t =
+  match t.fire_env with
+  | Some env -> env
+  | None ->
+    let env =
+      {
+        Command.read_send =
+          (fun v ->
+            match gate_of t v with
+            | Some g -> g.gate_peek ()
+            | None -> (Queue.peek (queue_of t.send_q v)).sv);
+        read_cell =
+          (fun c ->
+            match t.cells.(c) with
+            | Some v -> v
+            | None ->
+              failwith "engine: read from empty cell (corrupt automaton)");
+        write_cell = (fun c v -> t.staged_cells <- (c, v) :: t.staged_cells);
+        deliver = (fun v value -> t.delivered <- (v, value) :: t.delivered);
+      }
+    in
+    t.fire_env <- Some env;
+    env
+
 (* Fire one enabled transition if any (plus its batched replays); caller
    holds the lock. *)
 let fire_one t =
@@ -538,41 +584,44 @@ let fire_one t =
        the current state is the target and self-loop-ness degenerates. *)
     let batchable = ref false in
     let try_candidate (x : Composer.xtrans) =
-      let read_send v =
-        match gate_of t v with
-        | Some g -> g.gate_peek ()
-        | None -> (Queue.peek (queue_of t.send_q v)).sv
-      in
-      let read_cell c =
-        match t.cells.(c) with
-        | Some v -> v
-        | None -> failwith "engine: read from empty cell (corrupt automaton)"
-      in
-      let staged_cells = ref [] in
-      let delivered = ref [] in
-      let env =
-        {
-          Command.read_send;
-          read_cell;
-          write_cell = (fun c v -> staged_cells := (c, v) :: !staged_cells);
-          deliver = (fun v value -> delivered := (v, value) :: !delivered);
-        }
-      in
+      let env = fire_env t in
+      t.staged_cells <- [];
+      t.delivered <- [];
       match Composer.command_of t.comp x with
       | None -> false (* structurally unsatisfiable: never enabled *)
       | Some cmd ->
-        if not (Command.guards_hold cmd env) then false
+        (* Compiled commands check guards and execute in one closure call
+           (its writes only stage, so a [false] has no effect to undo);
+           interpreted ones walk the guard/move trees. [residual_guards]
+           counts data tests that survived constant folding — the ones
+           whose verdict could change between replays. *)
+        let fired, residual_guards =
+          match Composer.compiled_of x with
+          | Some k ->
+            if Command.fire_compiled k env then begin
+              Atomic.incr t.ncfires;
+              (true, Command.compiled_nguards k)
+            end
+            else (false, 0)
+          | None ->
+            if Command.guards_hold cmd env then begin
+              Atomic.incr t.nifires;
+              Command.execute cmd env;
+              (true, Array.length cmd.Command.guards)
+            end
+            else (false, 0)
+        in
+        if not fired then false
         else begin
           (* A silent self-loop (no needs at all) must never be replayed:
              it would spin inside the batch loop without moving data. *)
           batchable :=
-            Array.length cmd.Command.guards = 0
+            residual_guards = 0
             && (not (Iset.is_empty x.needs_send)
                || not (Iset.is_empty x.needs_recv))
             && Composer.is_self_loop t.comp x;
-          Command.execute cmd env;
           (* Apply staged effects. *)
-          List.iter (fun (c, v) -> t.cells.(c) <- Some v) !staged_cells;
+          List.iter (fun (c, v) -> t.cells.(c) <- Some v) t.staged_cells;
           List.iter
             (fun (v, value) ->
               match entry_of t v with
@@ -586,7 +635,7 @@ let fire_one t =
                 queue_wake t op.r_w;
                 if Queue.is_empty q then
                   t.base_pending <- Iset.remove v t.base_pending)
-            !delivered;
+            t.delivered;
           (* Complete the consumed sends (their data was either moved by the
              command or discarded by the protocol). *)
           Iset.iter
@@ -608,7 +657,7 @@ let fire_one t =
             Iset.for_all
               (fun v ->
                 gate_of t v <> None
-                || List.exists (fun (u, _) -> Vertex.equal u v) !delivered)
+                || List.exists (fun (u, _) -> Vertex.equal u v) t.delivered)
               x.needs_recv);
           Composer.commit t.comp x;
           invalidate_gates t;

@@ -170,6 +170,15 @@ val batch_fires : t -> int
     self-loop while its needed vertices stayed ready — firings beyond the
     one the candidate scan found (one scan, k data moves). *)
 
+val compiled_fires : t -> int
+(** Firings executed through a closure-compiled command
+    ([Command.compile]): guard check + moves in one pre-bound call. *)
+
+val interp_fires : t -> int
+(** Firings executed through the interpreted guard/move walk — the
+    fallback for unsolved-lazily or exotic (late-bound Datafun) commands,
+    and everything when compilation is off ([PREO_COMPILE=0]). *)
+
 val splice :
   t ->
   sources:Iset.t ->

@@ -32,7 +32,7 @@ type region = {
   gate_peers : (Vertex.t * int) list;
 }
 
-type plan = { regions : region array; nbridges : int }
+type plan = { regions : region array; nbridges : int; nfused : int }
 
 (* --- Cut-shape recognition -------------------------------------------------
 
@@ -358,11 +358,144 @@ let sync_medium g h =
       |]
     ~sources:(Iset.singleton g) ~sinks:(Iset.singleton h)
 
+(* --- Sequentialization -------------------------------------------------------
+
+   PAPERS.md's "Toward Sequentializing Overparallelized Protocol Code": the
+   splitter below happily cuts at every eligible fifo, but a cut only pays
+   when the two sides can actually run concurrently. For a pair of solid
+   components joined by cut queues, concurrency is decidable from a small
+   abstraction: compose each side's mediums, hide everything except the
+   pair's cut ends, and run the two interface automata against the cut
+   occupancies. If no reachable state of that product enables both sides at
+   once, the cross-cut traffic is strictly alternating — the regions would
+   only ever take turns, and every queue slot, wake signal and drive-loop
+   pass on the bridge is pure overhead. Such pairs are fused back into one
+   region.
+
+   Conservative in the right direction: hiding over-approximates each
+   side's enabledness (external ports are assumed ready, data guards
+   assumed true), so "alternating" under the abstraction implies
+   alternating in every real execution. Every escape hatch — a silent
+   interface transition (the side has work unrelated to this cut), a
+   non-queue cut shape, a budget trip, an abstraction too large to explore
+   — refuses the fusion and keeps the cut. Fusion never changes observable
+   behaviour (the unfused split is just a runtime layout of the same
+   product); the fused ≡ unfused suite certifies that. *)
+
+let seq_iface_budget = 512
+let seq_explore_budget = 4096
+
+(* One cut queue between the pair, as the occupancy simulation sees it. *)
+type seq_cut = {
+  sc_tail : Vertex.t;
+  sc_head : Vertex.t;
+  sc_cap : int;
+  sc_occ0 : int;
+  sc_tail_in_a : bool;  (** the producing end lives in side A *)
+}
+
+let strictly_alternating meds_a meds_b (cuts : seq_cut list) =
+  let cutverts =
+    List.fold_left
+      (fun acc c -> Iset.add c.sc_tail (Iset.add c.sc_head acc))
+      Iset.empty cuts
+  in
+  let iface meds =
+    let p =
+      Product.all ~label:"sequentialize" ~max_states:seq_iface_budget
+        ~max_trans:(4 * seq_iface_budget) ~max_seconds:0.05 meds
+    in
+    Automaton.trim (Automaton.hide (Iset.diff p.vertices cutverts) p)
+  in
+  match (iface meds_a, iface meds_b) with
+  | exception Product.Budget_exceeded _ -> false
+  | exception Invalid_argument _ -> false (* an empty side: nothing to prove *)
+  | ia, ib ->
+    let no_silent (a : Automaton.t) =
+      Array.for_all
+        (Array.for_all (fun (tr : Automaton.trans) ->
+             not (Iset.is_empty tr.sync)))
+        a.trans
+    in
+    no_silent ia && no_silent ib
+    && begin
+         let cuts = Array.of_list cuts in
+         (* Occupancy feasibility + effect of one interface transition:
+            pushing needs room, popping needs data; a side only ever
+            touches its own end of a cut. *)
+         let step occ ~in_a (tr : Automaton.trans) =
+           let occ' = Array.copy occ in
+           let ok = ref true in
+           Array.iteri
+             (fun i c ->
+               let this_end =
+                 if c.sc_tail_in_a = in_a then c.sc_tail else c.sc_head
+               in
+               if Iset.mem this_end tr.sync then
+                 if Vertex.equal this_end c.sc_tail then begin
+                   if occ'.(i) < c.sc_cap then occ'.(i) <- occ'.(i) + 1
+                   else ok := false
+                 end
+                 else if occ'.(i) > 0 then occ'.(i) <- occ'.(i) - 1
+                 else ok := false)
+             cuts;
+           if !ok then Some occ' else None
+         in
+         let seen = Hashtbl.create 64 in
+         let key sa sb occ = (sa, sb, Array.to_list occ) in
+         let frontier = Queue.create () in
+         let occ0 = Array.map (fun c -> c.sc_occ0) cuts in
+         Queue.push (ia.initial, ib.initial, occ0) frontier;
+         Hashtbl.replace seen (key ia.initial ib.initial occ0) ();
+         let refused = ref false in
+         (try
+            while not (Queue.is_empty frontier) do
+              if Hashtbl.length seen > seq_explore_budget then begin
+                refused := true;
+                raise Exit
+              end;
+              let sa, sb, occ = Queue.pop frontier in
+              let succs side_trans ~in_a mk =
+                Array.fold_left
+                  (fun acc (tr : Automaton.trans) ->
+                    match step occ ~in_a tr with
+                    | Some occ' -> mk tr.target occ' :: acc
+                    | None -> acc)
+                  [] side_trans
+              in
+              let sa_succs =
+                succs ia.trans.(sa) ~in_a:true (fun t occ' -> (t, sb, occ'))
+              in
+              let sb_succs =
+                succs ib.trans.(sb) ~in_a:false (fun t occ' -> (sa, t, occ'))
+              in
+              if sa_succs <> [] && sb_succs <> [] then begin
+                (* both sides enabled at a reachable state: concurrent *)
+                refused := true;
+                raise Exit
+              end;
+              List.iter
+                (fun ((sa', sb', occ') as s) ->
+                  let k = key sa' sb' occ' in
+                  if not (Hashtbl.mem seen k) then begin
+                    Hashtbl.replace seen k ();
+                    Queue.push s frontier
+                  end)
+                (sa_succs @ sb_succs)
+            done
+          with Exit -> ());
+         not !refused
+       end
+
 (* --- The splitter ----------------------------------------------------------- *)
 
 type chain = { members : Automaton.t list; shape : cut_shape }
 
-let split ?(domains = 2) ~sources ~sinks (mediums : Automaton.t list) =
+let split ?(domains = 2) ?sequentialize ~sources ~sinks
+    (mediums : Automaton.t list) =
+  (* Fusion rides the compile switch: PREO_COMPILE=0 gives the unfused
+     (reference) layout as well as the interpreted commands. *)
+  let sequentialize = Config.effective_compile ?requested:sequentialize () in
   let boundary = Iset.union sources sinks in
   (* Classify every medium; eligibility (boundary ends, components) is
      decided later over the collapsed chains. *)
@@ -562,6 +695,7 @@ let split ?(domains = 2) ~sources ~sinks (mediums : Automaton.t list) =
           };
         |];
       nbridges = 0;
+      nfused = 0;
     }
   else begin
     (* Union-find over solid mediums through shared vertices. *)
@@ -595,6 +729,98 @@ let split ?(domains = 2) ~sources ~sinks (mediums : Automaton.t list) =
         | Some rt, Some rh when rt <> rh -> cuts := (ch, Some rt, Some rh) :: !cuts
         | _ -> returned := ch :: !returned)
       !internal_cands;
+    (* Sequentialization: fuse component pairs whose cross-cut traffic is
+       strictly alternating (see {!strictly_alternating} above). Greedy to a
+       fixed point — a merged pair can itself alternate with a neighbour
+       (the sequencer ring collapses to one region this way). The fused
+       cuts' fifos return to the merged region as ordinary mediums. *)
+    let nfused = ref 0 in
+    if sequentialize then begin
+      (* Everything currently anchored to a component, for its interface
+         automaton: its solids, plus returned/relay chains living there (a
+         chain with a boundary end is anchored at its internal end). *)
+      let comp_mediums rep =
+        let acc = ref [] in
+        Array.iteri
+          (fun i m -> if Union_find.find uf i = rep then acc := m :: !acc)
+          solids;
+        let anchored ch =
+          let t, h = shape_ends ch.shape in
+          let here v = region_of_vertex v = Some rep in
+          if Iset.mem t boundary then here h
+          else if Iset.mem h boundary then here t
+          else here t || here h
+        in
+        List.iter (fun ch -> if anchored ch then acc := ch.members @ !acc) !returned;
+        List.iter (fun ch -> if anchored ch then acc := ch.members @ !acc) !relay_cands;
+        !acc
+      in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        (* Group the surviving internal cuts by current component pair
+           (reps re-resolved through the union-find after earlier fusions). *)
+        let groups : (int * int, (chain * bool) list) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        List.iter
+          (fun (ch, rt, rh) ->
+            match (rt, rh) with
+            | Some rt, Some rh ->
+              let ra = Union_find.find uf rt and rb = Union_find.find uf rh in
+              if ra <> rb then begin
+                let a = min ra rb and b = max ra rb in
+                Hashtbl.replace groups (a, b)
+                  ((ch, ra = a)
+                  :: (try Hashtbl.find groups (a, b) with Not_found -> []))
+              end
+            | _ -> ())
+          !cuts;
+        Hashtbl.iter
+          (fun (a, b) chs ->
+            if not !changed then begin
+              let scuts =
+                List.map
+                  (fun (ch, tail_in_a) ->
+                    match ch.shape with
+                    | Cut_queue { q_tail; q_head; q_cap; q_init } ->
+                      Some
+                        {
+                          sc_tail = q_tail;
+                          sc_head = q_head;
+                          sc_cap = q_cap;
+                          sc_occ0 = List.length q_init;
+                          sc_tail_in_a = tail_in_a;
+                        }
+                    | Cut_auto _ -> None)
+                  chs
+              in
+              if
+                List.for_all Option.is_some scuts
+                && strictly_alternating (comp_mediums a) (comp_mediums b)
+                     (List.filter_map Fun.id scuts)
+              then begin
+                let stay, gone =
+                  List.partition
+                    (fun (_, rt, rh) ->
+                      match (rt, rh) with
+                      | Some rt, Some rh ->
+                        let ra = Union_find.find uf rt
+                        and rb = Union_find.find uf rh in
+                        (min ra rb, max ra rb) <> (a, b)
+                      | _ -> true)
+                    !cuts
+                in
+                cuts := stay;
+                List.iter (fun (ch, _, _) -> returned := ch :: !returned) gone;
+                Union_find.union uf a b;
+                incr nfused;
+                changed := true
+              end
+            end)
+          groups
+      done
+    end;
     (* Relay candidates (exactly one boundary end): cut only when at least
        two of them hang off the same solid component AND the runtime has
        more than one domain to run the pieces on. Cutting a lone relay
@@ -646,6 +872,9 @@ let split ?(domains = 2) ~sources ~sinks (mediums : Automaton.t list) =
     done;
     let region_ids = Array.of_list !region_ids in
     let index_of_rep r =
+      (* Re-canonicalize: cut records hold reps captured before the
+         sequentializer's unions, which may since have merged away. *)
+      let r = Union_find.find uf r in
       let rec go i = if region_ids.(i) = r then i else go (i + 1) in
       go 0
     in
@@ -783,5 +1012,6 @@ let split ?(domains = 2) ~sources ~sinks (mediums : Automaton.t list) =
               gate_peers = r_gpeers.(r);
             });
       nbridges = List.length all_cuts;
+      nfused = !nfused;
     }
   end

@@ -33,15 +33,32 @@ type region = {
           targeted cross-engine kicks) *)
 }
 
-type plan = { regions : region array; nbridges : int }
+type plan = {
+  regions : region array;
+  nbridges : int;
+  nfused : int;
+      (** component pairs the sequentializer merged back (regions the plan
+          has {e fewer} than an unfused split would) *)
+}
 
-val split : ?domains:int -> sources:Iset.t -> sinks:Iset.t -> Automaton.t list -> plan
+val split :
+  ?domains:int ->
+  ?sequentialize:bool ->
+  sources:Iset.t ->
+  sinks:Iset.t ->
+  Automaton.t list ->
+  plan
 (** Always succeeds; when nothing can be cut the plan has one region and no
     bridges. [?domains] is the parallelism available to run the regions
     (default 2, i.e. assume parallelism): relay fan-out/fan-in cuts are
     skipped when [domains <= 1], since those cuts only pay when the
     decoupled siblings can actually run concurrently. Internal cuts are
-    made regardless. *)
+    made regardless — except when [?sequentialize] (default
+    [Config.effective_compile], i.e. rides [PREO_COMPILE]) proves a pair of
+    regions strictly alternating across their cuts: such pairs are fused
+    back into one region, eliminating their queues, wake traffic and drive
+    loops ({!plan.nfused} counts the merges). Fusion is a layout decision
+    only; observable behaviour is unchanged. *)
 
 (** {1 Cut-shape recognition (exposed for tests)} *)
 

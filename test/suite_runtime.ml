@@ -6,8 +6,8 @@ open Preo_runtime
 
 let v = Vertex.fresh
 
-let mk_conn ?config prims ~sources ~sinks =
-  Connector.create ?config ~sources ~sinks prims
+let mk_conn ?config ?compile prims ~sources ~sinks =
+  Connector.create ?config ?compile ~sources ~sinks prims
 
 let sync_conn config =
   let a = v "a" and b = v "b" in
@@ -210,14 +210,24 @@ let partition_splits_pipeline () =
     ]
   in
   let plan =
-    Partition.split ~sources:(Iset.singleton a) ~sinks:(Iset.singleton b) autos
+    Partition.split ~sequentialize:false ~sources:(Iset.singleton a)
+      ~sinks:(Iset.singleton b) autos
   in
   Alcotest.(check int) "2 regions" 2 (Array.length plan.Partition.regions);
   Alcotest.(check int) "1 bridge" 1 plan.Partition.nbridges;
   Array.iter
     (fun (r : Partition.region) ->
       Alcotest.(check bool) "region has adjacency" true (r.bridge_peers <> []))
-    plan.Partition.regions
+    plan.Partition.regions;
+  (* The sequentializer recognizes this pipeline's cut as strictly
+     alternating and fuses it back when enabled. *)
+  let fused =
+    Partition.split ~sequentialize:true ~sources:(Iset.singleton a)
+      ~sinks:(Iset.singleton b) autos
+  in
+  Alcotest.(check int) "fused to one region" 1
+    (Array.length fused.Partition.regions);
+  Alcotest.(check int) "one merge counted" 1 fused.Partition.nfused
 
 let partition_boundary_fifo_not_cut () =
   let a = v "a" and b = v "b" in
@@ -306,8 +316,8 @@ let partition_cuts_full_fifo () =
     ]
   in
   let plan =
-    Partition.split ~sources:(Iset.singleton a) ~sinks:(Iset.singleton b)
-      (autos ())
+    Partition.split ~sequentialize:false ~sources:(Iset.singleton a)
+      ~sinks:(Iset.singleton b) (autos ())
   in
   Alcotest.(check int) "2 regions" 2 (Array.length plan.Partition.regions);
   Alcotest.(check int) "1 bridge" 1 plan.Partition.nbridges;
@@ -460,7 +470,7 @@ let partitioned_execution_matches () =
         Preo_reo.Prim.build (Preo_reo.Prim.Transform "incr") ~tails:[ m2 ] ~heads:[ b ];
       ]
     in
-    let conn = mk_conn ~config autos ~sources:[| a |] ~sinks:[| b |] in
+    let conn = mk_conn ~config ~compile:false autos ~sources:[| a |] ~sinks:[| b |] in
     let got = ref [] in
     Task.run_all
       [
@@ -634,7 +644,8 @@ let firing_loop_counters () =
     ]
   in
   let conn =
-    mk_conn ~config:Config.new_partitioned autos ~sources:[| a |] ~sinks:[| b |]
+    mk_conn ~config:Config.new_partitioned ~compile:false autos ~sources:[| a |]
+      ~sinks:[| b |]
   in
   Task.run_all
     [
@@ -814,7 +825,8 @@ let cross_region_poison_propagates () =
     ]
   in
   let conn =
-    mk_conn ~config:Config.new_partitioned autos ~sources:[| a |] ~sinks:[| b |]
+    mk_conn ~config:Config.new_partitioned ~compile:false autos ~sources:[| a |]
+      ~sinks:[| b |]
   in
   Alcotest.(check bool) "actually partitioned" true (Connector.nregions conn > 1);
   let released = Atomic.make false in

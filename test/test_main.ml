@@ -30,4 +30,5 @@ let () =
       ("domains", Suite_domains.tests);
       ("obs", Suite_obs.tests);
       ("coloring", Suite_coloring.tests);
+      ("compile", Suite_compile.tests);
     ]
