@@ -13,7 +13,7 @@ open Preo_support
 
 let sections =
   [ "fig12"; "fig13"; "fig13-blowup"; "npb-mc"; "abl-opt"; "abl-cache";
-    "abl-part"; "obs"; "elastic"; "coloring"; "compile"; "micro" ]
+    "abl-part"; "obs"; "elastic"; "coloring"; "compile"; "shard"; "micro" ]
 
 (* Representative connector families for the steps/s micro bench: picked to
    exercise deep pending sets (sequencer), partitionable pipelines
@@ -633,7 +633,7 @@ let obs_overhead opts =
   Printf.printf "tracing-on overhead: %.1f%%\n" (100.0 *. (1.0 -. (on /. off)))
 
 (* ------------------------------------------------------------------ *)
-(* Shared --json row emission (schema 8)                               *)
+(* Shared --json row emission (schema 9)                               *)
 (* ------------------------------------------------------------------ *)
 
 let stats_json (st : Preo_runtime.Connector.stats) =
@@ -648,20 +648,37 @@ let stats_json (st : Preo_runtime.Connector.stats) =
        \"st_mpsc_ops\": %d, \"st_mpsc_batches\": %d, \"st_mpsc_fast\": %d, \
        \"st_batch_fires\": %d, \"st_splices\": %d, \"st_color_rounds\": %d, \
        \"st_color_iters\": %d, \"st_compiled_fires\": %d, \
-       \"st_interp_fires\": %d, \"st_regions_fused\": %d}"
+       \"st_interp_fires\": %d, \"st_regions_fused\": %d, \
+       \"st_shard_batches\": %d, \"st_shard_items\": %d, \
+       \"st_shard_acks\": %d, \"st_shard_reconnects\": %d}"
       st.st_steps st.st_regions st.st_domains st.st_expansions st.st_cache_hits
       st.st_cache_evictions st.st_compile_seconds st.st_solver_calls
       st.st_cond_waits st.st_peer_kicks st.st_cand_hits st.st_stalls
       st.st_wakes_targeted st.st_wakes_spurious st.st_wakes_broadcast
       st.st_mpsc_ops st.st_mpsc_batches st.st_mpsc_fast st.st_batch_fires
       st.st_splices st.st_color_rounds st.st_color_iters st.st_compiled_fires
-      st.st_interp_fires st.st_regions_fused)
+      st.st_interp_fires st.st_regions_fused st.st_shard_batches
+      st.st_shard_items st.st_shard_acks st.st_shard_reconnects)
 
-let json_row ~family ~n ~config ~rate ~stats =
+(* Latency columns (schema 9): only the sections that measure end-to-end
+   round trips emit them, so they are optional per row. [extra] splices
+   additional section-specific keys (the shard row's worker-exit flag). *)
+let json_row ?latency ?(extra = "") ~family ~n ~config ~rate ~stats () =
+  let lat =
+    match latency with
+    | None -> ""
+    | Some (p50_ms, p99_ms) ->
+      Printf.sprintf " \"p50_ms\": %.3f, \"p99_ms\": %.3f," p50_ms p99_ms
+  in
   Printf.sprintf
-    "    {\"family\": %S, \"n\": %d, \"config\": %S, \"steps_per_s\": %.1f, \
+    "    {\"family\": %S, \"n\": %d, \"config\": %S, \"steps_per_s\": %.1f,%s%s \
      \"stats\": %s}"
-    family n config rate (stats_json stats)
+    family n config rate lat extra (stats_json stats)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
 
 (* ------------------------------------------------------------------ *)
 (* COLORING: three-way backend scaling                                 *)
@@ -737,6 +754,7 @@ let coloring_bench opts =
                   let rate = float_of_int steps /. run_seconds in
                   json_rows :=
                     json_row ~family:fname ~n ~config:cname ~rate ~stats:st
+                      ()
                     :: !json_rows;
                   Printf.eprintf "[coloring] %-16s N=%-4d %-9s %.0f steps/s\n%!"
                     fname n cname rate;
@@ -802,6 +820,7 @@ let elastic_bench opts =
     let rate = float_of_int steps /. seconds in
     json_rows :=
       json_row ~family:"elastic_churn" ~n:base ~config:fname ~rate ~stats:st
+        ()
       :: !json_rows;
     Printf.eprintf "[elastic] %-16s N=%-3d %.0f steps/s, %d splices\n%!" fname
       base rate splices;
@@ -947,6 +966,124 @@ let compile_bench opts =
         "spread"; "cfires"; "ifires"; "fused" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* SHARD: multi-process connector fabric                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Production-shape pub-sub: one publisher on the host fans out through
+   NBcastFifo to [branches] relay regions spread over [nworkers] worker
+   processes; each relay's consumer task fans every delivery out to its
+   share of ~1M simulated client counters. Every cross-process cut rides a
+   batched, backpressured shard channel, so the row measures the wire-level
+   fabric (frame coalescing, window stalls, ack round trips), not just the
+   in-process engines. Throughput is messages acked end to end; the
+   latency columns are producer-send -> ack round trips sampled every 8th
+   message. *)
+let shard_bench opts =
+  let module Shard = Preo_dist.Shard in
+  let nworkers = 3 and branches = 6 in
+  let domains = max 2 opts.domains in
+  let window = if opts.full then 8.0 else 2.0 in
+  let clients_total = 1_000_002 in
+  let per_branch = clients_total / branches in
+  Tablefmt.rule
+    (Printf.sprintf
+       "SHARD: sharded broadcast, %d worker processes, %d simulated clients"
+       nworkers clients_total);
+  Printf.printf
+    "NBcastFifo hd=%d: the Repl region stays on the host, relay regions\n\
+     round-robin over %d worker processes; each relay fans deliveries out\n\
+     to %d client counters. window = %.1fs\n\n"
+    branches nworkers per_branch window;
+  let src =
+    "NBcastFifo(tl;hd[]) =\n\
+    \  Repl(tl;x[1..#hd])\n\
+    \  mult prod (i:1..#hd) Fifo1(x[i];hd[i])"
+  in
+  let lengths = [ ("hd", branches) ] in
+  let regions =
+    Shard.boundary_regions ~domains ~source:src ~name:"NBcastFifo" ~lengths ()
+  in
+  let hd = List.assoc "hd" regions in
+  let place r = if r = 0 then 0 else ((r - 1) mod nworkers) + 1 in
+  let workloads w =
+    [ Shard.Consume
+        { w_group = "hd";
+          w_indices =
+            List.filter
+              (fun i -> place hd.(i) = w)
+              (List.init branches Fun.id);
+          w_clients = per_branch } ]
+  in
+  (* window 256: deep enough to keep frames coalescing, shallow enough that
+     the latency columns measure the fabric rather than queueing behind a
+     four-thousand-deep backlog *)
+  let h =
+    Shard.host ~domains ~window:256 ~latency_every:8 ~nworkers ~place
+      ~workloads ~source:src ~name:"NBcastFifo" ~lengths ()
+  in
+  let stop = Atomic.make false in
+  let sent = Atomic.make 0 in
+  let producer =
+    Thread.create
+      (fun () ->
+        let p = Shard.outport_at h "tl" 0 in
+        try
+          while not (Atomic.get stop) do
+            Preo.Port.send p (Value.int (Atomic.get sent));
+            Atomic.incr sent
+          done
+        with Preo_runtime.Engine.Poisoned _ -> ())
+      ()
+  in
+  (* settle, then measure a clean window of acked traffic *)
+  Thread.delay 0.3;
+  ignore (Shard.latencies h);
+  let a0 = Atomic.get Preo_runtime.Shard_stats.acks in
+  let b0 = Atomic.get Preo_runtime.Shard_stats.batches in
+  let i0 = Atomic.get Preo_runtime.Shard_stats.items in
+  let t0 = Clock.now () in
+  Thread.delay window;
+  let elapsed = Clock.now () -. t0 in
+  let acked = Atomic.get Preo_runtime.Shard_stats.acks - a0 in
+  let batches = Atomic.get Preo_runtime.Shard_stats.batches - b0 in
+  let items = Atomic.get Preo_runtime.Shard_stats.items - i0 in
+  let lat =
+    let a = Array.of_list (List.map (fun s -> s *. 1000.0) (Shard.latencies h)) in
+    Array.sort compare a;
+    a
+  in
+  let p50 = percentile lat 0.50 and p99 = percentile lat 0.99 in
+  let stats = Preo_runtime.Connector.stats (Shard.connector h) in
+  Atomic.set stop true;
+  let statuses = Shard.shutdown h in
+  (try Thread.join producer with _ -> ());
+  let clean =
+    List.for_all (fun (_, st) -> st = Unix.WEXITED 0) statuses
+  in
+  let msgs_per_s = float_of_int acked /. float_of_int branches /. elapsed in
+  let deliveries_per_s = msgs_per_s *. float_of_int clients_total in
+  Tablefmt.print
+    ~header:
+      [ "workers"; "branches"; "clients"; "msg/s"; "client-deliv/s";
+        "p50(ms)"; "p99(ms)"; "items/frame"; "workers-clean" ]
+    [
+      [ string_of_int nworkers; string_of_int branches;
+        string_of_int clients_total; Printf.sprintf "%.0f" msgs_per_s;
+        Printf.sprintf "%.3g" deliveries_per_s; Printf.sprintf "%.2f" p50;
+        Printf.sprintf "%.2f" p99;
+        (if batches = 0 then "-"
+         else Printf.sprintf "%.1f" (float_of_int items /. float_of_int batches));
+        (if clean then "yes" else "NO") ];
+    ];
+  Printf.eprintf "[shard] %d workers %.0f msg/s p50=%.2fms p99=%.2fms%s\n%!"
+    nworkers msgs_per_s p50 p99 (if clean then "" else " (UNCLEAN EXIT)");
+  [ json_row ~latency:(p50, p99)
+      ~extra:(Printf.sprintf " \"workers_clean\": %b," clean)
+      ~family:"shard_bcast" ~n:branches
+      ~config:(Printf.sprintf "sharded-%dw" nworkers)
+      ~rate:msgs_per_s ~stats () ]
+
 let micro_steps opts =
   Tablefmt.rule "MICRO-STEPS: firing-loop throughput per connector family";
   let window = if opts.full then 1.0 else 0.5 in
@@ -968,7 +1105,7 @@ let micro_steps opts =
             | Preo_connectors.Driver.Steps { steps; run_seconds; stats = st; _ } ->
               let rate = float_of_int steps /. run_seconds in
               json_rows :=
-                json_row ~family:fname ~n ~config:cname ~rate ~stats:st
+                json_row ~family:fname ~n ~config:cname ~rate ~stats:st ()
                 :: !json_rows;
               Printf.eprintf "[micro] %-16s N=%-3d %-16s %.0f steps/s\n%!"
                 fname n cname rate;
@@ -1082,8 +1219,11 @@ let micro _opts =
 (* ------------------------------------------------------------------ *)
 
 (* Rows are keyed (family, n, config); steps/s within ±5% of the old value
-   counts as noise. Exit codes: 0 clean, 1 at least one regression, 2 bad
-   input. Used by CI against the committed BENCH_baseline.json. *)
+   counts as noise. Rows carrying latency columns (schema 9) are also banded
+   on p99: round-trip tails are far noisier than throughput, so the band is
+   a generous +50% — only a blown-up tail fails the gate. Exit codes: 0
+   clean, 1 at least one regression, 2 bad input. Used by CI against the
+   committed BENCH_baseline.json. *)
 let compare_baselines old_path new_path =
   let module J = Preo_obs.Json in
   let load path =
@@ -1116,17 +1256,20 @@ let compare_baselines old_path new_path =
     | _ -> None
   in
   let rate r = Option.bind (J.member "steps_per_s" r) J.to_float in
+  let p99 r = Option.bind (J.member "p99_ms" r) J.to_float in
   let threshold = 0.05 in
+  let lat_band = 0.50 in
   let old_rows = rows (load old_path) and new_rows = rows (load new_path) in
   let old_tbl = Hashtbl.create 32 in
   List.iter
     (fun r ->
       match (key r, rate r) with
-      | Some k, Some v -> Hashtbl.replace old_tbl k v
+      | Some k, Some v -> Hashtbl.replace old_tbl k (v, p99 r)
       | _ -> ())
     old_rows;
   let regressions = ref 0 in
   let seen = Hashtbl.create 32 in
+  let fmt_p99 = function Some v -> Printf.sprintf "%.2f" v | None -> "-" in
   let table =
     List.filter_map
       (fun r ->
@@ -1136,13 +1279,27 @@ let compare_baselines old_path new_path =
           match Hashtbl.find_opt old_tbl k with
           | None ->
             Some [ f; string_of_int n; c; "-"; Printf.sprintf "%.0f" nv; "-";
-                   "new-row" ]
-          | Some ov ->
+                   "-"; fmt_p99 (p99 r); "new-row" ]
+          | Some (ov, op99) ->
             let delta = (nv -. ov) /. ov in
+            let np99 = p99 r in
+            let lat_regressed =
+              match (op99, np99) with
+              | Some o, Some n -> n > o *. (1.0 +. lat_band)
+              | _ -> false
+            in
             let verdict =
-              if delta < -.threshold then begin
+              if delta < -.threshold && lat_regressed then begin
+                incr regressions;
+                "REGRESSION+LAT"
+              end
+              else if delta < -.threshold then begin
                 incr regressions;
                 "REGRESSION"
+              end
+              else if lat_regressed then begin
+                incr regressions;
+                "LAT-REGRESSION"
               end
               else if delta > threshold then "improved"
               else "ok"
@@ -1150,23 +1307,26 @@ let compare_baselines old_path new_path =
             Some
               [ f; string_of_int n; c; Printf.sprintf "%.0f" ov;
                 Printf.sprintf "%.0f" nv;
-                Printf.sprintf "%+.1f%%" (100.0 *. delta); verdict ]
+                Printf.sprintf "%+.1f%%" (100.0 *. delta);
+                fmt_p99 op99; fmt_p99 np99; verdict ]
         end
         | _ -> None)
       new_rows
   in
   let missing =
     Hashtbl.fold
-      (fun ((f, n, c) as k) ov acc ->
+      (fun ((f, n, c) as k) (ov, op99) acc ->
         if Hashtbl.mem seen k then acc
         else
           [ f; string_of_int n; c; Printf.sprintf "%.0f" ov; "-"; "-";
-            "missing" ]
+            fmt_p99 op99; "-"; "missing" ]
           :: acc)
       old_tbl []
   in
   Tablefmt.print
-    ~header:[ "family"; "N"; "config"; "old/s"; "new/s"; "delta"; "verdict" ]
+    ~header:
+      [ "family"; "N"; "config"; "old/s"; "new/s"; "delta"; "p99old";
+        "p99new"; "verdict" ]
     (table @ missing);
   if !regressions > 0 then begin
     Printf.printf "\n%d row(s) regressed beyond %.0f%%\n" !regressions
@@ -1198,6 +1358,7 @@ let () =
   if wants opts "elastic" then json_rows := !json_rows @ elastic_bench opts;
   if wants opts "coloring" then json_rows := !json_rows @ coloring_bench opts;
   if wants opts "compile" then compile_bench opts;
+  if wants opts "shard" then json_rows := !json_rows @ shard_bench opts;
   if wants opts "micro" then begin
     json_rows := !json_rows @ micro_steps opts;
     micro opts
@@ -1206,7 +1367,7 @@ let () =
   | Some path when !json_rows <> [] ->
     let oc = open_out path in
     Printf.fprintf oc
-      "{\n  \"schema_version\": 8,\n  \"window_seconds\": %.2f,\n  \
+      "{\n  \"schema_version\": 9,\n  \"window_seconds\": %.2f,\n  \
        \"rows\": [\n%s\n  ]\n}\n"
       (if opts.full then 1.0 else 0.5)
       (String.concat ",\n" !json_rows);

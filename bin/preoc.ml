@@ -35,6 +35,9 @@
                                        sequentializer merges); --dump prints
                                        the per-transition tables
      preoc catalog                     list the built-in connector families
+     preoc worker --port P --token T [--retries N] [--backoff S]
+                                       shard-fabric worker process; spawned
+                                       by Shard.host, not usually by hand
 
    Unknown subcommands, missing arguments and malformed operands all print
    usage to stderr and exit 2. *)
@@ -55,7 +58,8 @@ let usage () =
      emit|simulate|compile} FILE [CONNECTOR] [ARR=N ...] [--backend \
      {automata|coloring}] [--deadline SECS] [--trace OUT] [--json OUT] \
      [--metrics] [--prop P] [--dump]\n\
-     \       preoc catalog";
+     \       preoc catalog\n\
+     \       preoc worker --port P --token T [--retries N] [--backoff S]";
   exit 2
 
 let read_file path =
@@ -403,6 +407,44 @@ let main () =
          "dispatch: %d compiled, %d interpreted, %d unsatisfiable\n" !ncompiled
          !ninterp !nunsat
      | _ -> bad_operand "compile: expected FILE CONNECTOR [ARR=N ...] [--dump]")
+  | _ :: "worker" :: rest ->
+    (* Shard-fabric worker: connect back to the host, rebuild the plan from
+       the shipped configuration, run assigned regions until closed. Errors
+       here are operational, not usage mistakes — report and exit without
+       printing usage (the host's manager interprets the code). *)
+    let port = ref None
+    and token = ref None
+    and retries = ref None
+    and backoff = ref None in
+    let rec parse = function
+      | "--port" :: v :: more ->
+        port := int_of_string_opt v;
+        parse more
+      | "--token" :: v :: more ->
+        token := Some v;
+        parse more
+      | "--retries" :: v :: more ->
+        retries := int_of_string_opt v;
+        parse more
+      | "--backoff" :: v :: more ->
+        backoff := float_of_string_opt v;
+        parse more
+      | [] -> ()
+      | x :: _ -> bad_operand "worker: unexpected argument %s" x
+    in
+    parse rest;
+    (match (!port, !token) with
+     | Some port, Some token ->
+       let code =
+         try
+           Preo_dist.Shard.worker_main ?retries:!retries ?backoff:!backoff
+             ~port ~token ()
+         with e ->
+           Printf.eprintf "preoc worker %s: %s\n" token (Printexc.to_string e);
+           1
+       in
+       exit code
+     | _ -> bad_operand "worker: expected --port P --token T")
   | _ :: "simulate" :: path :: name :: rest ->
     (* --deadline SECS: every port operation of the spamming tasks carries
        a deadline. On expiry the stall report is printed (which pending

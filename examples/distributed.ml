@@ -1,85 +1,98 @@
-(* Protocols across process boundaries: the connector (a round-robin
-   distributor and the paper's ordered merger) lives on one "host"; worker
-   tasks drive their ports remotely over TCP through the preo_dist bridges.
-   Here the workers are threads for a self-contained demo, but each could be
-   a separate OS process on another machine — the wire format is
-   cross-binary.
+(* Protocols across process boundaries, sharded: the connector itself is
+   partitioned over OS processes. The host keeps the broadcast (Repl) region
+   and spawns `preoc worker` processes that each rebuild the same plan and
+   run their assigned relay regions; every cross-process cut rides a
+   batched, backpressured, exactly-once shard channel (see lib/dist/shard).
 
-     dune exec examples/distributed.exe -- 3
-*)
+     dune exec examples/distributed.exe -- 2     # worker process count
 
-open Preo
-module Bridge = Preo_dist.Bridge
+   Each worker journals what it consumed, so the demo can show — after an
+   orderly shutdown — that every branch received every published value
+   exactly once, in order, across real process boundaries. *)
+
+module Shard = Preo_dist.Shard
+module Shard_stats = Preo_runtime.Shard_stats
+open Preo_support
+
+let src =
+  {|NBcastFifo(tl;hd[]) =
+  Repl(tl;x[1..#hd])
+  mult prod (i:1..#hd) Fifo1(x[i];hd[i])|}
 
 let () =
-  let n = try int_of_string Sys.argv.(1) with _ -> 3 in
-  let rounds = 4 in
-  let base_port = 38000 in
-  (* --- host side: owns both connectors and exports worker-facing ports *)
-  let scatter =
-    instantiate
-      (Preo_connectors.Catalog.compiled (Preo_connectors.Catalog.find "distributor"))
-      ~lengths:[ ("hd", n) ]
+  let nworkers = try int_of_string Sys.argv.(1) with _ -> 2 in
+  let branches = 2 * nworkers in
+  let rounds = 40 in
+  let lengths = [ ("hd", branches) ] in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "preo_distributed_%d" (Unix.getpid ()))
   in
-  let gather =
-    instantiate
-      (Preo_connectors.Catalog.compiled
-         (Preo_connectors.Catalog.find "ordered_merger"))
-      ~lengths:[ ("tl", n); ("hd", n) ]
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (* Inspect the plan to place regions: the Repl region (the one owning the
+     publisher's boundary vertex) stays on the host, the relay regions
+     round-robin over the workers. *)
+  let regions =
+    Shard.boundary_regions ~domains:(1 + nworkers) ~source:src
+      ~name:"NBcastFifo" ~lengths ()
   in
-  let listener = Bridge.listen_local ~port:base_port in
-  let exporter =
-    Task.spawn (fun () ->
-        (* one work-in and one result-out descriptor per worker, in order *)
-        for i = 0 to n - 1 do
-          let fd_work = Bridge.accept_one listener in
-          ignore (Bridge.serve_inport (inports scatter "hd").(i) fd_work);
-          let fd_res = Bridge.accept_one listener in
-          ignore (Bridge.serve_outport (outports gather "tl").(i) fd_res)
-        done)
+  let hd = List.assoc "hd" regions in
+  let place r = if r = 0 then 0 else ((r - 1) mod nworkers) + 1 in
+  let workloads w =
+    [ Shard.Consume
+        { w_group = "hd";
+          w_indices =
+            List.filter (fun i -> place hd.(i) = w) (List.init branches Fun.id);
+          w_clients = 1 } ]
   in
-  (* --- "remote" workers: talk to the host only through sockets *)
-  let worker i () =
-    let fd_work = Bridge.connect_local ~port:base_port () in
-    let fd_res = Bridge.connect_local ~port:base_port () in
-    let work = Bridge.remote_inport fd_work in
-    let results = Bridge.remote_outport fd_res in
-    for _ = 1 to rounds do
-      let x = Value.to_int (Bridge.recv work) in
-      Bridge.send results (Value.int (x * x))
-    done;
-    Bridge.close_remote fd_work;
-    Bridge.close_remote fd_res;
-    ignore i
+  let h =
+    Shard.host ~domains:(1 + nworkers) ~window:16 ~journal_dir:dir ~nworkers
+      ~place ~workloads ~source:src ~name:"NBcastFifo" ~lengths ()
   in
-  (* --- master: local ports *)
-  let master () =
-    let work_out = (outports scatter "tl").(0) in
-    let res_in = inports gather "hd" in
-    for r = 1 to rounds do
-      for i = 1 to n do
-        Port.send work_out (Value.int (((r - 1) * n) + i))
-      done;
-      Printf.printf "round %d results:" r;
-      Array.iter
-        (fun p -> Printf.printf " %d" (Value.to_int (Port.recv p)))
-        res_in;
-      print_newline ()
-    done
+  Printf.printf "host: %d branches over %d worker processes (pids:%s)\n%!"
+    branches nworkers
+    (Array.fold_left
+       (fun acc pid -> acc ^ " " ^ string_of_int pid)
+       "" (Shard.worker_pids h));
+  let publisher = Shard.outport_at h "tl" 0 in
+  for r = 0 to rounds - 1 do
+    Preo_runtime.Port.send publisher (Value.int r)
+  done;
+  (* wait until every branch's journal has every round *)
+  let full () =
+    List.for_all
+      (fun ch ->
+        List.length (Shard.read_journal (Shard.journal_path ~dir ~ch)) >= rounds)
+      (List.init branches Fun.id)
   in
-  (* Workers must connect strictly in order (worker i owns port slot i), so
-     spawn them one at a time after the exporter accepted the previous
-     pair. For the demo we serialize the dials with a tiny delay. *)
-  let workers =
-    List.init n (fun i ->
-        let t = Task.spawn (worker i) in
-        Thread.delay 0.02;
-        t)
-  in
-  Task.join (Task.spawn master);
-  Task.join_all workers;
-  Task.join exporter;
-  Unix.close listener;
-  shutdown scatter;
-  shutdown gather;
-  print_endline "all results collected in rank order across the wire"
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while (not (full ())) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  let statuses = Shard.shutdown h in
+  List.iter
+    (fun ch ->
+      let vs = Shard.read_journal (Shard.journal_path ~dir ~ch) in
+      let ok =
+        List.length vs = rounds
+        && List.for_all2 Value.equal vs (List.init rounds Value.int)
+      in
+      Printf.printf "branch %d (worker %d): %d values %s\n" ch (place hd.(ch))
+        (List.length vs)
+        (if ok then "exactly once, in order" else "MISMATCH"))
+    (List.init branches Fun.id);
+  List.iter
+    (fun (pid, st) ->
+      Printf.printf "worker %d: %s\n" pid
+        (match st with
+        | Unix.WEXITED 0 -> "clean exit"
+        | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+        | _ -> "killed"))
+    statuses;
+  Printf.printf
+    "wire: %d values in %d batch frames (%.1f per frame), %d acked\n"
+    (Atomic.get Shard_stats.items) (Atomic.get Shard_stats.batches)
+    (float_of_int (Atomic.get Shard_stats.items)
+    /. float_of_int (max 1 (Atomic.get Shard_stats.batches)))
+    (Atomic.get Shard_stats.acks);
+  print_endline "every branch delivered across real process boundaries"

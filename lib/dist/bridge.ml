@@ -191,11 +191,11 @@ let close_remote fd =
 
 (* --- TCP ---------------------------------------------------------------------- *)
 
-let listen_local ~port =
+let listen_local ?(backlog = 64) ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen fd 8;
+  Unix.listen fd backlog;
   fd
 
 (* With [listen_local ~port:0] the kernel picks a free port; this reads it
@@ -211,7 +211,9 @@ let connect_local ?(retries = 0) ?(backoff = 0.05) ~port () =
   let fd () = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
   (* A listener that is still starting up is transient: retry with
-     exponential backoff, bounded so a genuinely dead peer fails fast. *)
+     exponential backoff, bounded so a genuinely dead peer fails fast. The
+     delay is capped at 1 s so a large retry budget bounds the total wait
+     at ~retries seconds rather than growing geometrically. *)
   let rec go n delay =
     let s = fd () in
     match Unix.connect s addr with
@@ -220,7 +222,7 @@ let connect_local ?(retries = 0) ?(backoff = 0.05) ~port () =
       when n < retries ->
       (try Unix.close s with _ -> ());
       Thread.delay delay;
-      go (n + 1) (delay *. 2.0)
+      go (n + 1) (Float.min 1.0 (delay *. 2.0))
     | exception e ->
       (try Unix.close s with _ -> ());
       raise e

@@ -57,9 +57,11 @@ val close_remote : Unix.file_descr -> unit
 
 (** {1 TCP conveniences} *)
 
-val listen_local : port:int -> Unix.file_descr
-(** Bind+listen on 127.0.0.1. [~port:0] lets the kernel pick a free port —
-    read it back with {!bound_port}. *)
+val listen_local : ?backlog:int -> port:int -> unit -> Unix.file_descr
+(** Bind+listen on 127.0.0.1 with [SO_REUSEADDR] (so rapid re-binds in tests
+    do not hit [EADDRINUSE]) and a real [backlog] (default 64 — a shard host
+    accepting several workers at once must not refuse the burst). [~port:0]
+    lets the kernel pick a free port — read it back with {!bound_port}. *)
 
 val bound_port : Unix.file_descr -> int
 (** The actual local port of a bound socket (via [getsockname]). *)

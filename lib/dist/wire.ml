@@ -260,3 +260,103 @@ let read_response ?deadline fd =
        need b pos n;
        Resp_error (Bytes.sub_string b !pos n)
      | c -> failwith (Printf.sprintf "wire: bad response tag %C" c))
+
+(* --- Shard fabric messages -------------------------------------------------- *)
+
+type shard_msg =
+  | Sh_hello of { token : string }
+  | Sh_cfg of Value.t
+  | Sh_resume of (int * int) list
+  | Sh_batch of { ch : int; base : int; items : Value.t list }
+  | Sh_ack of { ch : int; upto : int }
+  | Sh_poison of string
+  | Sh_close
+
+let add_str buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let get_str b ~pos =
+  need b pos 8;
+  let n = get_int b ~pos in
+  need b pos n;
+  let s = Bytes.sub_string b !pos n in
+  pos := !pos + n;
+  s
+
+let encode_shard buf = function
+  | Sh_hello { token } ->
+    Buffer.add_char buf 'H';
+    add_str buf token
+  | Sh_cfg v ->
+    Buffer.add_char buf 'G';
+    encode_value buf v
+  | Sh_resume resumes ->
+    Buffer.add_char buf 'M';
+    add_int buf (List.length resumes);
+    List.iter
+      (fun (ch, upto) ->
+        add_int buf ch;
+        add_int buf upto)
+      resumes
+  | Sh_batch { ch; base; items } ->
+    Buffer.add_char buf 'B';
+    add_int buf ch;
+    add_int buf base;
+    add_int buf (List.length items);
+    List.iter (encode_value buf) items
+  | Sh_ack { ch; upto } ->
+    Buffer.add_char buf 'A';
+    add_int buf ch;
+    add_int buf upto
+  | Sh_poison reason ->
+    Buffer.add_char buf 'P';
+    add_str buf reason
+  | Sh_close -> Buffer.add_char buf 'Z'
+
+let decode_shard b ~pos =
+  need b pos 1;
+  let tag = Bytes.get b !pos in
+  incr pos;
+  match tag with
+  | 'H' -> Sh_hello { token = get_str b ~pos }
+  | 'G' -> Sh_cfg (decode_value b ~pos)
+  | 'M' ->
+    need b pos 8;
+    let n = get_int b ~pos in
+    (* each entry takes 16 bytes *)
+    if n < 0 || n > (Bytes.length b - !pos) / 16 then
+      failwith (Printf.sprintf "wire: malformed resume count %d" n);
+    Sh_resume
+      (List.init n (fun _ ->
+           let ch = get_int b ~pos in
+           let upto = get_int b ~pos in
+           (ch, upto)))
+  | 'B' ->
+    need b pos 24;
+    let ch = get_int b ~pos in
+    let base = get_int b ~pos in
+    let n = get_int b ~pos in
+    (* each item takes at least its one tag byte *)
+    need b pos n;
+    Sh_batch { ch; base; items = List.init n (fun _ -> decode_value b ~pos) }
+  | 'A' ->
+    need b pos 16;
+    let ch = get_int b ~pos in
+    let upto = get_int b ~pos in
+    Sh_ack { ch; upto }
+  | 'P' -> Sh_poison (get_str b ~pos)
+  | 'Z' -> Sh_close
+  | c -> failwith (Printf.sprintf "wire: bad shard tag %C" c)
+
+let write_shard ?deadline fd msg =
+  let buf = Buffer.create 64 in
+  encode_shard buf msg;
+  write_frame ?deadline fd buf
+
+let read_shard ?deadline fd =
+  match read_frame ?deadline fd ~allow_eof:true with
+  | None -> None
+  | Some b ->
+    let pos = ref 0 in
+    Some (decode_shard b ~pos)

@@ -49,3 +49,34 @@ val read_request_traced :
 
 val write_response : ?deadline:float -> Unix.file_descr -> response -> unit
 val read_response : ?deadline:float -> Unix.file_descr -> response
+
+(** Messages of the sharded connector fabric (see {!module:Shard}). One
+    connection carries all cut channels between two processes; [Sh_batch]
+    coalesces every value queued on one channel since the last flush into a
+    single frame, and [Sh_ack] is cumulative (acknowledges all sequence
+    numbers below [upto]), so the in-flight window survives reconnects. *)
+type shard_msg =
+  | Sh_hello of { token : string }
+      (** first frame from a worker; names the link *)
+  | Sh_cfg of Value.t
+      (** host → worker: the placement configuration (DSL source, lengths,
+          regions, channels, workloads) as one encoded value *)
+  | Sh_resume of (int * int) list
+      (** worker → host after [Sh_cfg]: per-channel [(ch, upto)] — every
+          sequence number below [upto] was durably consumed; the host trims
+          its replay window to start there *)
+  | Sh_batch of { ch : int; base : int; items : Value.t list }
+      (** items carry sequence numbers [base], [base+1], ... *)
+  | Sh_ack of { ch : int; upto : int }  (** cumulative: acks all seq < upto *)
+  | Sh_poison of string  (** structured cross-process poison *)
+  | Sh_close  (** orderly shutdown *)
+
+val encode_shard : Buffer.t -> shard_msg -> unit
+
+val decode_shard : bytes -> pos:int ref -> shard_msg
+(** Raises [Failure "wire: ..."] on malformed input. *)
+
+val write_shard : ?deadline:float -> Unix.file_descr -> shard_msg -> unit
+
+val read_shard : ?deadline:float -> Unix.file_descr -> shard_msg option
+(** [None] on clean EOF. *)

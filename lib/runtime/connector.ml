@@ -6,6 +6,9 @@ exception Splice_error of string
 
 type t = {
   engines : Engine.t array;
+  region_engines : Engine.t option array;
+      (* plan-region index -> engine; [None] for regions placed in another
+         process (the shard fabric kicks engines through this map) *)
   (* vertex -> owning engine *)
   route : (Vertex.t, Engine.t) Hashtbl.t;
   mutable sources : Vertex.t array;  (* mutable: elastic splices move the boundary *)
@@ -33,14 +36,16 @@ let hide_internals ~keep (a : Automaton.t) =
   Automaton.trim (Automaton.hide (Iset.diff a.vertices keep) a)
 
 let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
-    ?compile ~sources ~sinks mediums =
+    ?compile ?local ?cut_gates ~sources ~sinks mediums =
   let eff_domains = Config.effective_domains ?requested:domains () in
   let eff_compile = Config.effective_compile ?requested:compile () in
   let src_set = Iset.of_list (Array.to_list sources) in
   let snk_set = Iset.of_list (Array.to_list sinks) in
   let backend = Sched.effective ?requested:backend () in
+  let placed = local <> None in
   let t0 = Clock.now () in
-  let engines, routes, slots, bridges, elastic, backend, nfused =
+  let engines, region_engines, routes, slots, bridges, elastic, backend, nfused
+      =
     match config with
     | Config.Existing
         {
@@ -73,6 +78,7 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
       in
       let e = Engine.create ~name:"engine0" comp in
       ( [| e |],
+        [| Some e |],
         [ (Iset.union src_set snk_set, e) ],
         [| ref [] |],
         [],
@@ -107,6 +113,7 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
         let comp = mk_composer ~sources:src_set ~sinks:snk_set mediums in
         let e = Engine.create ~name:"engine0" comp in
         ( [| e |],
+          [| Some e |],
           [ (Iset.union src_set snk_set, e) ],
           [| ref mediums |],
           [],
@@ -117,25 +124,45 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
       else begin
         let plan =
           Partition.split ~domains:eff_domains ~sequentialize:eff_compile
-            ~sources:src_set ~sinks:snk_set mediums
+            ?gate_for:cut_gates ~sources:src_set ~sinks:snk_set mediums
         in
-        let engines =
+        (* Placement: [?local] elects the subset of plan regions this
+           process runs (the shard fabric gives each worker its share; the
+           default runs everything). Non-local regions get no engine and no
+           composer — the other process pays for those — and peer edges
+           into them are dropped: cross-process kicks travel through the
+           shard channels' gates instead. *)
+        let is_local = match local with Some f -> f | None -> fun _ -> true in
+        let region_engines =
           Array.mapi
             (fun i (r : Partition.region) ->
-              let comp =
-                mk_composer ~sources:r.r_sources ~sinks:r.r_sinks r.mediums
-              in
-              Engine.create ~gates:r.gates
-                ~name:(Printf.sprintf "engine%d" i)
-                comp)
+              if not (is_local i) then None
+              else
+                let comp =
+                  mk_composer ~sources:r.r_sources ~sinks:r.r_sinks r.mediums
+                in
+                Some
+                  (Engine.create ~gates:r.gates
+                     ~name:(Printf.sprintf "engine%d" i)
+                     comp))
             plan.regions
+        in
+        let engines =
+          Array.of_list
+            (List.filter_map Fun.id (Array.to_list region_engines))
         in
         Array.iteri
           (fun i (r : Partition.region) ->
-            Engine.set_peers engines.(i)
-              (List.map (fun j -> engines.(j)) r.bridge_peers);
-            Engine.set_gate_peers engines.(i)
-              (List.map (fun (v, j) -> (v, engines.(j))) r.gate_peers))
+            match region_engines.(i) with
+            | None -> ()
+            | Some e ->
+              Engine.set_peers e
+                (List.filter_map (fun j -> region_engines.(j)) r.bridge_peers);
+              Engine.set_gate_peers e
+                (List.filter_map
+                   (fun (v, j) ->
+                     Option.map (fun pe -> (v, pe)) region_engines.(j))
+                   r.gate_peers))
           plan.regions;
         (* Settle: initially-full cut fifos make some regions enabled at
            construction with nothing to kick them (a gate commit kicks the
@@ -148,14 +175,24 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
         in
         settle ();
         let routes =
-          Array.to_list
-            (Array.mapi
-               (fun i (r : Partition.region) ->
-                 (Iset.union r.r_sources r.r_sinks, engines.(i)))
-               plan.regions)
+          List.filter_map Fun.id
+            (Array.to_list
+               (Array.mapi
+                  (fun i (r : Partition.region) ->
+                    Option.map
+                      (fun e -> (Iset.union r.r_sources r.r_sinks, e))
+                      region_engines.(i))
+                  plan.regions))
         in
         let slots =
-          Array.map (fun (r : Partition.region) -> ref r.mediums) plan.regions
+          Array.of_list
+            (List.filter_map Fun.id
+               (Array.to_list
+                  (Array.mapi
+                     (fun i (r : Partition.region) ->
+                       if region_engines.(i) = None then None
+                       else Some (ref r.mediums))
+                     plan.regions)))
         in
         (* Mediums the planner replaced with bridges live in no region. *)
         let bridges =
@@ -166,7 +203,14 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
                    plan.regions))
             mediums
         in
-        (engines, routes, slots, bridges, true, backend, plan.nfused)
+        ( engines,
+          region_engines,
+          routes,
+          slots,
+          bridges,
+          (not placed),
+          backend,
+          plan.nfused )
       end
   in
   let route = Hashtbl.create 32 in
@@ -178,6 +222,7 @@ let create ?(config = Config.new_jit) ?backend ?(name = "connector") ?domains
     routes;
   {
     engines;
+    region_engines;
     route;
     sources;
     sinks;
@@ -211,6 +256,13 @@ let outport t v = Port.make_out (engine_of t v) v
 let inport t v = Port.make_in (engine_of t v) v
 let outports t = Array.map (outport t) t.sources
 let inports t = Array.map (inport t) t.sinks
+let has_port t v = Hashtbl.mem t.route v
+
+let engine_for_region t i =
+  if i < 0 || i >= Array.length t.region_engines then None
+  else t.region_engines.(i)
+
+let plan_regions t = Array.length t.region_engines
 
 (* --- Elastic splicing --------------------------------------------------------
    Rewiring a live connector for one task slot: retire the slot's medium
@@ -508,6 +560,12 @@ type stats = {
   st_compiled_fires : int;
   st_interp_fires : int;
   st_regions_fused : int;
+  st_shard_batches : int;
+  st_shard_items : int;
+  st_shard_acks : int;
+  st_shard_reconnects : int;
+      (** the four [st_shard_*] fields are process-wide (every shard link in
+          the process, see {!Shard_stats}); in-process connectors report 0 *)
 }
 
 let sum_engines t f = Array.fold_left (fun acc e -> acc + f e) 0 t.engines
@@ -542,6 +600,10 @@ let stats t =
     st_compiled_fires = sum_engines t Engine.compiled_fires;
     st_interp_fires = sum_engines t Engine.interp_fires;
     st_regions_fused = t.nfused;
+    st_shard_batches = Atomic.get Shard_stats.batches;
+    st_shard_items = Atomic.get Shard_stats.items;
+    st_shard_acks = Atomic.get Shard_stats.acks;
+    st_shard_reconnects = Atomic.get Shard_stats.reconnects;
   }
 
 (* Exports cover every lane registered in the process — this connector's
@@ -562,10 +624,11 @@ let pp_stats ppf s =
      compile=%.3fs solves=%d waits=%d kicks=%d cand-hits=%d stalls=%d \
      wakes=%d/%d/%d mpsc=%d/%d fast=%d batch-fires=%d splices=%d \
      color-rounds=%d color-iters=%d compiled-fires=%d interp-fires=%d \
-     fused=%d"
+     fused=%d shard=%d/%d/%d/%d"
     s.st_steps s.st_regions s.st_domains s.st_expansions s.st_cache_hits
     s.st_cache_evictions s.st_compile_seconds s.st_solver_calls s.st_cond_waits
     s.st_peer_kicks s.st_cand_hits s.st_stalls s.st_wakes_targeted
     s.st_wakes_spurious s.st_wakes_broadcast s.st_mpsc_ops s.st_mpsc_batches
     s.st_mpsc_fast s.st_batch_fires s.st_splices s.st_color_rounds
     s.st_color_iters s.st_compiled_fires s.st_interp_fires s.st_regions_fused
+    s.st_shard_batches s.st_shard_items s.st_shard_acks s.st_shard_reconnects

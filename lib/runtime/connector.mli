@@ -23,6 +23,13 @@ val create :
   ?name:string ->
   ?domains:int ->
   ?compile:bool ->
+  ?local:(int -> bool) ->
+  ?cut_gates:
+    (int ->
+    Partition.cut_shape ->
+    tail_region:int ->
+    head_region:int ->
+    (Engine.gate * Engine.gate) option) ->
   sources:Vertex.t array ->
   sinks:Vertex.t array ->
   Automaton.t list ->
@@ -56,7 +63,17 @@ val create :
     [PREO_COMPILE], else on): solved commands are lowered into closed
     closures fired without interpretation, and the partitioner fuses region
     pairs whose cross-cut traffic is provably strictly alternating.
-    [false] gives the interpreted, unfused reference semantics. *)
+    [false] gives the interpreted, unfused reference semantics.
+
+    [?local] and [?cut_gates] are the shard fabric's placement hooks (only
+    meaningful for partitioned configs). [local i] elects whether plan
+    region [i] runs in this process: non-local regions get no engine — the
+    process that owns them pays their composition and drive cost — and peer
+    edges into them are dropped. [cut_gates] is forwarded to
+    {!Partition.split} as [gate_for], substituting bridge-backed gates at
+    cross-process cuts. A placed connector ([?local] given) is not elastic.
+    Ports of non-local boundary vertices do not exist here: {!outport} /
+    {!inport} raise [Invalid_argument] for them (probe with {!has_port}). *)
 
 val backend : t -> Sched.backend
 (** The backend this connector actually runs on (after the resolution and
@@ -68,6 +85,21 @@ val outports : t -> Port.outport array
 (** In [sources] order. *)
 
 val inports : t -> Port.inport array
+
+val has_port : t -> Vertex.t -> bool
+(** Whether this boundary vertex is routed to a local engine (always true
+    for unplaced connectors; on a placed one, false for vertices whose
+    region runs in another process). *)
+
+val engine_for_region : t -> int -> Engine.t option
+(** The engine running plan region [i], if local. For unpartitioned
+    connectors region 0 is the single engine. The shard fabric uses this to
+    kick the engine owning a channel's gate when wire traffic flips the
+    gate's readiness. *)
+
+val plan_regions : t -> int
+(** Total regions in the partition plan, local or not ({!nregions} counts
+    only local engines). *)
 
 (** {1 Elastic splicing}
 
@@ -224,6 +256,15 @@ type stats = {
   st_regions_fused : int;
       (** region pairs the sequentializer merged back (see
           {!regions_fused}) *)
+  st_shard_batches : int;
+      (** [Sh_batch] frames sent by the shard fabric (each coalesces one
+          channel's whole flush). Process-wide, like all [st_shard_*]
+          fields: they aggregate every shard link in the process (see
+          {!Shard_stats}); in-process connectors report 0. *)
+  st_shard_items : int;  (** values carried inside those batch frames *)
+  st_shard_acks : int;  (** values acknowledged by remote shards *)
+  st_shard_reconnects : int;
+      (** successful reconnect+resume cycles after link failures *)
 }
 
 val stats : t -> stats

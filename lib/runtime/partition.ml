@@ -32,8 +32,6 @@ type region = {
   gate_peers : (Vertex.t * int) list;
 }
 
-type plan = { regions : region array; nbridges : int; nfused : int }
-
 (* --- Cut-shape recognition -------------------------------------------------
 
    A medium can be cut out of the synchronous product and replaced by a
@@ -66,6 +64,20 @@ type cut_shape =
       a_head : Vertex.t;
       a_auto : Automaton.t;  (** label-optimized, cells densely renumbered *)
     }
+
+(* A realized cut, in plan order: cut index [i] is position [i] of this
+   array. The ordering is deterministic for a given (mediums, domains,
+   sequentialize) input — two processes that build the same connector from
+   the same source agree on every cut and region index, which is what lets
+   the shard fabric name its wire channels by cut index alone. *)
+type cut = { c_shape : cut_shape; c_tail_region : int; c_head_region : int }
+
+type plan = {
+  regions : region array;
+  cuts : cut array;
+  nbridges : int;
+  nfused : int;
+}
 
 let is_plain_fifo1 (a : Automaton.t) =
   if
@@ -491,7 +503,7 @@ let strictly_alternating meds_a meds_b (cuts : seq_cut list) =
 
 type chain = { members : Automaton.t list; shape : cut_shape }
 
-let split ?(domains = 2) ?sequentialize ~sources ~sinks
+let split ?(domains = 2) ?sequentialize ?gate_for ~sources ~sinks
     (mediums : Automaton.t list) =
   (* Fusion rides the compile switch: PREO_COMPILE=0 gives the unfused
      (reference) layout as well as the interpreted commands. *)
@@ -694,6 +706,7 @@ let split ?(domains = 2) ?sequentialize ~sources ~sinks
             gate_peers = [];
           };
         |];
+      cuts = [||];
       nbridges = 0;
       nfused = 0;
     }
@@ -915,50 +928,60 @@ let split ?(domains = 2) ?sequentialize ~sources ~sinks
     let add_peer r p =
       if not (List.mem p r_peers.(r)) then r_peers.(r) <- p :: r_peers.(r)
     in
+    (* Pass 1: resolve both region indices of every cut (synthesizing relay
+       region ids) before any gate is built, so a [gate_for] override can see
+       where each side of its cut will run. *)
     let next_relay = ref nsolid in
-    List.iter
-      (fun (ch, rt, rh) ->
+    let assigned =
+      List.map
+        (fun (ch, rt, rh) ->
+          let tail_region =
+            match rt with
+            | Some rep -> index_of_rep rep
+            | None ->
+              let ridx = !next_relay in
+              incr next_relay;
+              ridx
+          and head_region =
+            match rh with
+            | Some rep -> index_of_rep rep
+            | None ->
+              let ridx = !next_relay in
+              incr next_relay;
+              ridx
+          in
+          (ch, rt, rh, tail_region, head_region))
+        all_cuts
+    in
+    (* Pass 2: materialize gates and wiring. A side whose rep is [None] is a
+       synthesized relay: the gate moves to a fresh vertex bridged to the
+       boundary end by a sync medium. [gate_for] (the shard fabric's hook)
+       may replace the native SPSC gates of any cut with its own pair. *)
+    List.iteri
+      (fun idx (ch, rt, rh, tail_region, head_region) ->
         let tail, head = shape_ends ch.shape in
-        let producer_gate, consumer_gate = gates_of_shape ch.shape in
-        let tail_region =
-          match rt with
-          | Some rep -> index_of_rep rep
-          | None ->
-            (* boundary tail: synthesize the feeding relay *)
-            let ridx = !next_relay in
-            incr next_relay;
-            let g = Vertex.fresh "bridge" in
-            r_mediums.(ridx) <- [ sync_medium tail g ];
-            r_sources.(ridx) <- Iset.singleton tail;
-            Hashtbl.replace claimed tail ridx;
-            (* the producer gate moves to the relay's fresh vertex *)
-            r_sinks.(ridx) <- Iset.singleton g;
-            r_gates.(ridx) <- [ (g, producer_gate) ];
-            ridx
-        and head_region =
-          match rh with
-          | Some rep -> index_of_rep rep
-          | None ->
-            let ridx = !next_relay in
-            incr next_relay;
-            let g = Vertex.fresh "bridge" in
-            r_mediums.(ridx) <- [ sync_medium g head ];
-            r_sinks.(ridx) <- Iset.singleton head;
-            Hashtbl.replace claimed head ridx;
-            r_sources.(ridx) <- Iset.singleton g;
-            r_gates.(ridx) <- [ (g, consumer_gate) ];
-            ridx
+        let producer_gate, consumer_gate =
+          match gate_for with
+          | Some f -> (
+            match f idx ch.shape ~tail_region ~head_region with
+            | Some gates -> gates
+            | None -> gates_of_shape ch.shape)
+          | None -> gates_of_shape ch.shape
         in
-        (* Wire the two sides together. When a side is a relay its gate
-           was installed above on the fresh vertex; otherwise the gate
-           lives on the cut end itself. *)
         (match rt with
          | Some _ ->
            r_sinks.(tail_region) <- Iset.add tail r_sinks.(tail_region);
            r_gates.(tail_region) <- (tail, producer_gate) :: r_gates.(tail_region);
            r_gpeers.(tail_region) <- (tail, head_region) :: r_gpeers.(tail_region)
          | None ->
-           let g = fst (List.hd r_gates.(tail_region)) in
+           (* boundary tail: synthesize the feeding relay *)
+           let g = Vertex.fresh "bridge" in
+           r_mediums.(tail_region) <- [ sync_medium tail g ];
+           r_sources.(tail_region) <- Iset.singleton tail;
+           Hashtbl.replace claimed tail tail_region;
+           (* the producer gate moves to the relay's fresh vertex *)
+           r_sinks.(tail_region) <- Iset.singleton g;
+           r_gates.(tail_region) <- [ (g, producer_gate) ];
            r_gpeers.(tail_region) <- (g, head_region) :: r_gpeers.(tail_region));
         (match rh with
          | Some _ ->
@@ -966,11 +989,16 @@ let split ?(domains = 2) ?sequentialize ~sources ~sinks
            r_gates.(head_region) <- (head, consumer_gate) :: r_gates.(head_region);
            r_gpeers.(head_region) <- (head, tail_region) :: r_gpeers.(head_region)
          | None ->
-           let g = fst (List.hd r_gates.(head_region)) in
+           let g = Vertex.fresh "bridge" in
+           r_mediums.(head_region) <- [ sync_medium g head ];
+           r_sinks.(head_region) <- Iset.singleton head;
+           Hashtbl.replace claimed head head_region;
+           r_sources.(head_region) <- Iset.singleton g;
+           r_gates.(head_region) <- [ (g, consumer_gate) ];
            r_gpeers.(head_region) <- (g, tail_region) :: r_gpeers.(head_region));
         add_peer tail_region head_region;
         add_peer head_region tail_region)
-      all_cuts;
+      assigned;
     let assign_boundary v =
       match Hashtbl.find_opt claimed v with
       | Some r -> Some r
@@ -1011,6 +1039,12 @@ let split ?(domains = 2) ?sequentialize ~sources ~sinks
               bridge_peers = r_peers.(r);
               gate_peers = r_gpeers.(r);
             });
+      cuts =
+        Array.of_list
+          (List.map
+             (fun (ch, _, _, tr, hr) ->
+               { c_shape = ch.shape; c_tail_region = tr; c_head_region = hr })
+             assigned);
       nbridges = List.length all_cuts;
       nfused = !nfused;
     }

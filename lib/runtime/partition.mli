@@ -33,8 +33,32 @@ type region = {
           targeted cross-engine kicks) *)
 }
 
+(** {1 Cut shapes} *)
+
+type cut_shape =
+  | Cut_queue of {
+      q_tail : Vertex.t;
+      q_head : Vertex.t;
+      q_cap : int;
+      q_init : Value.t list;  (** first element = next to pop *)
+    }
+  | Cut_auto of {
+      a_tail : Vertex.t;
+      a_head : Vertex.t;
+      a_auto : Automaton.t;  (** label-optimized, cells densely renumbered *)
+    }
+
+type cut = { c_shape : cut_shape; c_tail_region : int; c_head_region : int }
+(** A realized cut: its shape and the plan indices of the regions holding
+    its tail (producer) and head (consumer) gates. *)
+
 type plan = {
   regions : region array;
+  cuts : cut array;
+      (** in deterministic plan order: for a given (mediums, domains,
+          sequentialize) input, two processes building the same connector
+          agree on every cut and region index — the shard fabric names wire
+          channels by cut index on the strength of this *)
   nbridges : int;
   nfused : int;
       (** component pairs the sequentializer merged back (regions the plan
@@ -44,6 +68,12 @@ type plan = {
 val split :
   ?domains:int ->
   ?sequentialize:bool ->
+  ?gate_for:
+    (int ->
+    cut_shape ->
+    tail_region:int ->
+    head_region:int ->
+    (Engine.gate * Engine.gate) option) ->
   sources:Iset.t ->
   sinks:Iset.t ->
   Automaton.t list ->
@@ -58,22 +88,15 @@ val split :
     regions strictly alternating across their cuts: such pairs are fused
     back into one region, eliminating their queues, wake traffic and drive
     loops ({!plan.nfused} counts the merges). Fusion is a layout decision
-    only; observable behaviour is unchanged. *)
+    only; observable behaviour is unchanged.
+
+    [?gate_for] lets a placement layer substitute its own (producer,
+    consumer) gate pair for any cut — called once per cut with the cut's
+    plan index, shape and both resolved region indices; [None] keeps the
+    native SPSC gates. This is how the shard fabric swaps a cross-process
+    cut's queue for a bridge-backed channel. *)
 
 (** {1 Cut-shape recognition (exposed for tests)} *)
-
-type cut_shape =
-  | Cut_queue of {
-      q_tail : Vertex.t;
-      q_head : Vertex.t;
-      q_cap : int;
-      q_init : Value.t list;  (** first element = next to pop *)
-    }
-  | Cut_auto of {
-      a_tail : Vertex.t;
-      a_head : Vertex.t;
-      a_auto : Automaton.t;  (** label-optimized, cells densely renumbered *)
-    }
 
 val classify : Automaton.t -> cut_shape option
 (** The shape a lone medium would be cut as, if its ends allow it: empty

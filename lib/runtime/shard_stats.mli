@@ -1,0 +1,23 @@
+(** Process-wide counters of the sharded connector fabric.
+
+    Incremented by [lib/dist]'s shard module, surfaced through
+    [Connector.stats] as the [st_shard_*] fields (bench schema 9). Global by
+    design: a shard link multiplexes the cut channels of one connector over
+    one socket, but the counters aggregate every link in the process — a
+    connector with no cross-process cuts reports zeros. *)
+
+val batches : int Atomic.t
+(** [Sh_batch] frames sent (each coalesces a whole flush of one channel). *)
+
+val items : int Atomic.t
+(** Values carried inside those batch frames. *)
+
+val acks : int Atomic.t
+(** Values acknowledged by the remote side (cumulative-ack deltas). *)
+
+val reconnects : int Atomic.t
+(** Successful reconnect+resume cycles after a link failure. *)
+
+val add_batch : items:int -> unit
+val add_acked : int -> unit
+val add_reconnect : unit -> unit

@@ -149,7 +149,7 @@ let bridged_over_tcp () =
   in
   (* port 0: the kernel assigns a free port, so parallel test runs cannot
      collide on a hardcoded number *)
-  let listener = Bridge.listen_local ~port:0 in
+  let listener = Bridge.listen_local ~port:0 () in
   let port = Bridge.bound_port listener in
   let acceptor =
     Task.spawn (fun () ->
