@@ -320,6 +320,7 @@ type link = {
   mutable lk_stop : bool;
   lk_chans : chan array;
   mutable lk_pid : int;  (* worker process (host side; -1 on workers) *)
+  mutable lk_spawns : int;  (* total processes ever spawned on this link *)
 }
 
 let make_link ~token chans =
@@ -335,6 +336,7 @@ let make_link ~token chans =
     lk_stop = false;
     lk_chans = chans;
     lk_pid = -1;
+    lk_spawns = 0;
   }
 
 let link_signal lk =
@@ -611,14 +613,27 @@ let spawn_worker h lk =
       |]
       Unix.stdin Unix.stdout Unix.stderr
   in
-  lk.lk_pid <- pid
+  lk.lk_pid <- pid;
+  lk.lk_spawns <- lk.lk_spawns + 1
 
 (* The accept thread reads each new connection's hello and hands the fd to
    the matching link's manager by token. Unknown tokens are dropped. *)
+(* Only a closed listener ends the loop: EINTR restarts immediately, and
+   transient failures (EMFILE, ECONNABORTED, ...) pause briefly and keep
+   serving — exiting on those would permanently disable reconnects and turn
+   every later link failure into a silent hello-timeout grind. *)
 let accept_loop h =
   let rec loop () =
     match Unix.accept h.h_listener with
-    | exception _ -> ()  (* listener closed: shutting down *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+      ()  (* listener closed: shutting down *)
+    | exception _ ->
+      if Atomic.get h.h_stop then ()
+      else begin
+        Thread.delay 0.05;
+        loop ()
+      end
     | fd, _ ->
       if Atomic.get h.h_stop then (try Unix.close fd with _ -> ())
       else begin
@@ -695,8 +710,27 @@ let record_latencies h samples =
    thread to route a hello, handshake (cfg out, resume in), trim and rewind
    the replay window, then sit in the receive loop. On failure, retry
    within the budget (respawning the worker process if it died), then
-   escalate. The attempt counter resets after every successful resume. *)
+   escalate.
+
+   The attempt counter resets only after a session that did useful work —
+   made progress (acks or arrivals) or survived a minimum lifetime — not
+   after every successful handshake. A worker that deterministically dies
+   right after resume therefore burns attempts and escalates instead of
+   being respawned forever; a total per-link respawn cap backstops even
+   slow crash cycles that do manage some progress each time. *)
 let manager h lk w =
+  let respawn_cap = max 32 ((h.h_retries + 1) * 8) in
+  let min_session_life = max 1.0 (8.0 *. h.h_backoff) in
+  let progress () =
+    Array.fold_left
+      (fun acc c ->
+        locked c.ch_mu (fun () ->
+            acc
+            + (match c.ch_role with
+              | Producing -> c.ch_acked
+              | Consuming -> c.ch_expect)))
+      0 lk.lk_chans
+  in
   let find_chan id =
     match Array.find_opt (fun c -> c.ch_id = id) lk.lk_chans with
     | Some c -> c
@@ -777,6 +811,8 @@ let manager h lk w =
           Mutex.unlock lk.lk_mu;
           (* acks applied during resume may have freed window space *)
           Array.iter (fun c -> c.ch_kick ()) lk.lk_chans;
+          let p0 = progress () in
+          let t0 = Unix.gettimeofday () in
           let outcome =
             try recv_loop fd ~find_chan ~on_ack_latency:(record_latencies h)
             with e -> `Down e
@@ -789,7 +825,15 @@ let manager h lk w =
                (spf "shard: worker %s: %s" lk.lk_token reason)
            | `Down e ->
              if stopping () then ()
-             else retry ~attempt:1 ~last:(Printexc.to_string e))
+             else begin
+               let useful =
+                 progress () > p0
+                 || Unix.gettimeofday () -. t0 >= min_session_life
+               in
+               retry
+                 ~attempt:(if useful then 1 else attempt + 1)
+                 ~last:(Printexc.to_string e)
+             end)
         | Some (Wire.Sh_poison reason) ->
           (try Unix.close fd with _ -> ());
           Connector.poison h.h_conn
@@ -801,6 +845,9 @@ let manager h lk w =
     if stopping () then ()
     else if attempt > h.h_retries then
       escalate h lk ~attempts:(max attempt h.h_retries) ~last
+    else if lk.lk_spawns > respawn_cap then
+      escalate h lk ~attempts:lk.lk_spawns
+        ~last:(spf "%s; respawn cap %d exhausted" last respawn_cap)
     else begin
       (* Respawn the worker if its process died (one that merely dropped
          the link exits on its own and is replaced on the next attempt). *)
@@ -904,7 +951,7 @@ let host ?(window = 1024) ?domains ?compile ?(retries = 3) ?(backoff = 0.25)
   (try Unix.set_close_on_exec listener with _ -> ());
   let port = Bridge.bound_port listener in
   (* The per-worker configuration frame, rebuilt at every (re)connect so
-     resume floors reflect the host's current consume positions. *)
+     resume floors reflect the host's current consume and ack positions. *)
   let cfg_for w =
     let mine =
       List.filter_map
@@ -923,10 +970,18 @@ let host ?(window = 1024) ?domains ?compile ?(retries = 3) ?(backoff = 0.25)
             | Producing, Some dir -> journal_path ~dir ~ch:c.ch_id
             | _ -> ""
           in
+          (* Both directions need a resume floor. Worker-producing (host
+             Consuming): our receive position, so the replaying producer
+             swallows what we already have. Worker-consuming (host
+             Producing): our ack watermark — the host replays from
+             [ch_acked], so a respawned worker with no journal (or a lost
+             one) must start expecting there, not at 0, or the first
+             replayed batch reads as a sequence gap and the worker dies in
+             a respawn loop. *)
           let floor =
             match c.ch_role with
             | Consuming -> locked c.ch_mu (fun () -> c.ch_expect)
-            | Producing -> 0
+            | Producing -> locked c.ch_mu (fun () -> c.ch_acked)
           in
           Value.list
             [
@@ -1218,12 +1273,18 @@ let worker_main ?(retries = 100) ?(backoff = 0.05) ~port ~token () =
         (match role with
          | Producing -> c.ch_floor <- floor
          | Consuming ->
+           (* Resume position: the journal when we have one, else the ack
+              floor the host shipped (its replay starts there). The max is
+              safe either way: the journal is flushed before any ack can
+              reach the host, so recovered >= floor whenever the journal
+              survived, and floor covers a missing or lost journal. *)
            let recovered =
              match journal with Some p -> recover_journal p | None -> 0
            in
-           c.ch_expect <- recovered;
-           c.ch_popped <- recovered;
-           c.ch_ack_flushed <- recovered;
+           let resume = max recovered floor in
+           c.ch_expect <- resume;
+           c.ch_popped <- resume;
+           c.ch_ack_flushed <- resume;
            c.ch_journal <-
              Option.map
                (fun p ->

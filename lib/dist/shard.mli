@@ -14,13 +14,19 @@
       flight — beyond that the producing region's gate closes and the
       producer task parks;
     - {b resume}: on link failure the host retries with exponential
-      backoff, respawning dead workers; a reconnecting worker reports its
-      durable position and the unacked window is replayed (duplicates are
-      dropped by sequence number). With a journal the channel is
-      exactly-once with respect to the journal contents;
+      backoff, respawning dead workers; a reconnecting worker resumes each
+      consuming channel at the greater of its journal's recovered count
+      and the ack floor the host ships in the configuration frame — so a
+      respawned worker without a journal picks up exactly where the host's
+      replay starts — reports that position, and the unacked window is
+      replayed (duplicates are dropped by sequence number). With a journal
+      the channel is exactly-once with respect to the journal contents;
     - {b escalation}: an exhausted retry budget poisons every region in
       every process with a structured diagnosis — parked producers are
-      released, nothing hangs.
+      released, nothing hangs. The budget is only refunded by sessions
+      that do useful work (progress or a minimum lifetime), and total
+      respawns per link are capped, so a worker that repeatedly dies
+      after resume still escalates rather than respawning forever.
 
     Topology is a star: every cross-process cut must keep one side on the
     host, and only queue-shaped cuts (async fifo boundaries) may cross

@@ -318,6 +318,51 @@ let kill_and_replay () =
   Alcotest.(check bool) "a reconnect was recorded" true
     (Atomic.get Shard_stats.reconnects > r0)
 
+(* --- end-to-end: kill without journals, resume from the shipped floor -------- *)
+
+(* The default configuration has no journal_dir: a respawned worker's only
+   resume position for a consuming channel is the ack floor the host ships
+   in the cfg frame. Before that floor existed, the replacement expected
+   seq 0 while the host replayed from its ack watermark — a sequence-gap
+   crash on every respawn, i.e. an endless respawn loop with the producer
+   parked forever. This asserts the stream completes through a mid-stream
+   kill with journals disabled. *)
+let kill_no_journal_resumes () =
+  let branches = 2 and nworkers = 1 and domains = 4 and n = 150 in
+  let a0 = Atomic.get Shard_stats.acks in
+  let r0 = Atomic.get Shard_stats.reconnects in
+  let h =
+    Shard.host ~domains ~window:8 ~retries:10 ~backoff:0.05 ~nworkers
+      ~place:(round_robin nworkers)
+      ~workloads:(consume_workloads ~branches ~nworkers ~domains ~clients:2)
+      ~source:bcast_src ~name:"NBcastFifo"
+      ~lengths:[ ("hd", branches) ]
+      ()
+  in
+  let producer =
+    Thread.create
+      (fun () ->
+        let p = Shard.outport_at h "tl" 0 in
+        try
+          for k = 0 to n - 1 do
+            Preo_runtime.Port.send p (Value.int k)
+          done
+        with Engine.Poisoned _ -> ())
+      ()
+  in
+  wait_for ~timeout:20.0 ~what:"stream underway" (fun () ->
+      Atomic.get Shard_stats.acks > a0 + 20);
+  Shard.kill_worker h 1;
+  (* every value must eventually be consumed and acknowledged: the acked
+     counter only advances on worker pops, so reaching branches * n proves
+     the replacement resumed at the host's replay position *)
+  wait_for ~timeout:30.0 ~what:"stream completes after journal-less respawn"
+    (fun () -> Atomic.get Shard_stats.acks >= a0 + (branches * n));
+  Thread.join producer;
+  ignore (Shard.shutdown h);
+  Alcotest.(check bool) "a reconnect was recorded" true
+    (Atomic.get Shard_stats.reconnects > r0)
+
 (* --- end-to-end: retry budget exhausted => structured poison, no hang -------- *)
 
 let budget_exhausted_poisons () =
@@ -397,6 +442,8 @@ let tests =
     ("shard stats surface in Connector.stats", `Quick, stats_surface);
     ("two workers stream with batching", `Slow, two_workers_stream);
     ("worker killed mid-stream: exactly-once replay", `Slow, kill_and_replay);
+    ("worker killed without journals: resumes from shipped floor", `Slow,
+     kill_no_journal_resumes);
     ("retry budget exhausted: structured poison, no hang", `Slow, budget_exhausted_poisons);
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_shard_fuzz
